@@ -1,0 +1,78 @@
+// Command seqbench runs the reproduction experiments (one per table or
+// figure of the paper; see DESIGN.md) and prints their result tables.
+//
+// Usage:
+//
+//	seqbench [-quick] [experiment ids...]
+//
+// With no ids, every experiment runs in order. -quick selects the
+// reduced CI-sized parameter sweeps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-size sweeps")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: seqbench [-quick] [-list] [experiment ids...]\n\nexperiments:\n")
+		for _, e := range experiments.All() {
+			fmt.Fprintf(os.Stderr, "  %s  %s\n", e.ID, e.Name)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%s  %s\n", e.ID, e.Name)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if flag.NArg() == 0 {
+		selected = experiments.All()
+	} else {
+		for _, id := range flag.Args() {
+			e, ok := experiments.Lookup(strings.ToLower(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "seqbench: unknown experiment %q\n", id)
+				flag.Usage()
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range selected {
+		run := e.Run
+		if *quick {
+			run = e.Quick
+		}
+		start := time.Now()
+		table, err := run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seqbench: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(table.Render())
+		fmt.Printf("(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if strings.Contains(table.Finding, "MISMATCH") {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "seqbench: %d experiment(s) failed or mismatched\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,299 @@
+// Command seqcli is an interactive shell for the sequence database: it
+// generates synthetic base sequences, runs SEQL queries over ranges, and
+// explains the optimizer's plans.
+//
+//	$ seqcli
+//	seq> gen table1 1
+//	seq> list
+//	seq> select(compose(ibm, hp), ibm.close > hp.close) over 1 750
+//	seq> explain sum(ibm, close, 6) over 200 500
+//	seq> describe ibm
+//	seq> quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	seqproc "repro"
+	"repro/internal/seq"
+	"repro/internal/workload"
+)
+
+func main() {
+	cli := &cli{db: seqproc.New(), out: os.Stdout}
+	fmt.Println("seqcli — sequence query processing (SIGMOD 1994 reproduction)")
+	fmt.Println(`type "help" for commands`)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("seq> ")
+		if !scanner.Scan() {
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if err := cli.exec(line); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+	}
+}
+
+type cli struct {
+	db  *seqproc.DB
+	out io.Writer
+}
+
+func (c *cli) exec(line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "help":
+		c.help()
+		return nil
+	case "list":
+		for _, name := range c.db.Sequences() {
+			info, _ := c.db.Describe(name)
+			fmt.Fprintf(c.out, "%-12s %v span=%v density=%.2f\n",
+				name, info.Schema, info.Span, info.Density)
+		}
+		return nil
+	case "describe":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: describe <name>")
+		}
+		info, err := c.db.Describe(fields[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(c.out, "%s: schema=%v span=%v density=%.3f\n",
+			fields[1], info.Schema, info.Span, info.Density)
+		return nil
+	case "gen":
+		return c.gen(fields[1:])
+	case "load":
+		return c.load(fields[1:])
+	case "save":
+		return c.save(fields[1:])
+	case "explain":
+		src, span, err := splitOver(strings.TrimPrefix(line, "explain"))
+		if err != nil {
+			return err
+		}
+		q, err := c.db.Query(src)
+		if err != nil {
+			return err
+		}
+		text, err := q.Explain(span)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(c.out, text)
+		return nil
+	default:
+		src, span, err := splitOver(line)
+		if err != nil {
+			return err
+		}
+		return c.run(src, span)
+	}
+}
+
+func (c *cli) help() {
+	fmt.Fprint(c.out, `commands:
+  gen stock <name> <start> <end> <density> [seed]   generate a stock series
+  gen events <name> <start> <end> <rate> [seed]     generate an event sequence
+  gen table1 <scale>                                load the paper's Table 1 data
+  load <name> <file.csv>                            load a sequence from CSV (needs a "pos" column)
+  save <name> <file.csv>                            write a sequence to CSV
+  list                                              list sequences
+  describe <name>                                   show schema and meta-data
+  <seql> over <start> <end>                         run a query
+  explain <seql> over <start> <end>                 show the chosen plan
+  quit
+
+SEQL operators:
+  select(S, pred)        project(S, expr [as name], ...)
+  compose(A, B [, pred]) offset(S, n)   prev(S [,k])   next(S [,k])
+  sum|avg|min|max(S, col [, w | lo, hi])   count(S [, w])
+  rsum|ravg|rmin|rmax(S, col)  rcount(S)      (running aggregates)
+  collapse(S, avg(col), k)  expand(S, k)       (ordering domains)
+  scalar functions: abs, min, max, floor, ceil, round
+`)
+}
+
+func (c *cli) gen(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: gen stock|events|table1 ...")
+	}
+	switch args[0] {
+	case "table1":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: gen table1 <scale>")
+		}
+		scale, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		ibm, dec, hp, err := workload.Table1(scale)
+		if err != nil {
+			return err
+		}
+		for name, data := range map[string]*seq.Materialized{"ibm": ibm, "dec": dec, "hp": hp} {
+			kind := seqproc.Sparse
+			if name == "hp" {
+				kind = seqproc.Dense
+			}
+			if err := c.db.CreateSequence(name, data, kind); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintln(c.out, "created ibm, dec, hp")
+		return nil
+	case "stock", "events":
+		if len(args) < 5 {
+			return fmt.Errorf("usage: gen %s <name> <start> <end> <density> [seed]", args[0])
+		}
+		start, err1 := strconv.ParseInt(args[2], 10, 64)
+		end, err2 := strconv.ParseInt(args[3], 10, 64)
+		density, err3 := strconv.ParseFloat(args[4], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fmt.Errorf("bad numeric arguments")
+		}
+		var seed int64 = 1
+		if len(args) > 5 {
+			if seed, err1 = strconv.ParseInt(args[5], 10, 64); err1 != nil {
+				return err1
+			}
+		}
+		var data *seq.Materialized
+		var err error
+		if args[0] == "stock" {
+			data, err = workload.Stock(workload.StockConfig{
+				Name: args[1], Span: seq.NewSpan(start, end), Density: density, Seed: seed,
+			})
+		} else {
+			data, err = workload.Events(seq.NewSpan(start, end), density, nil, seed)
+		}
+		if err != nil {
+			return err
+		}
+		if err := c.db.CreateSequence(args[1], data, seqproc.Sparse); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.out, "created %s with %d records\n", args[1], data.Count())
+		return nil
+	default:
+		return fmt.Errorf("unknown generator %q", args[0])
+	}
+}
+
+// load reads a CSV file into a new sparse base sequence.
+func (c *cli) load(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: load <name> <file.csv>")
+	}
+	f, err := os.Open(args[1])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	data, err := seqproc.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	if err := c.db.CreateSequence(args[0], data, seqproc.Sparse); err != nil {
+		return err
+	}
+	info := data.Info()
+	fmt.Fprintf(c.out, "loaded %s: %d records, span %v, schema %v\n",
+		args[0], data.Count(), info.Span, info.Schema)
+	return nil
+}
+
+// save writes a base sequence to a CSV file.
+func (c *cli) save(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: save <name> <file.csv>")
+	}
+	q, err := c.db.Query(args[0])
+	if err != nil {
+		return err
+	}
+	info, err := c.db.Describe(args[0])
+	if err != nil {
+		return err
+	}
+	res, err := q.Run(info.Span)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(args[1])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := seqproc.WriteCSV(f, res.Materialized()); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "wrote %d records to %s\n", res.Count(), args[1])
+	return nil
+}
+
+// splitOver separates "<seql> over <start> <end>".
+func splitOver(line string) (string, seqproc.Span, error) {
+	idx := strings.LastIndex(line, " over ")
+	if idx < 0 {
+		return "", seqproc.Span{}, fmt.Errorf(`expected "<query> over <start> <end>"`)
+	}
+	src := strings.TrimSpace(line[:idx])
+	parts := strings.Fields(line[idx+len(" over "):])
+	if len(parts) != 2 {
+		return "", seqproc.Span{}, fmt.Errorf(`expected "over <start> <end>"`)
+	}
+	start, err1 := strconv.ParseInt(parts[0], 10, 64)
+	end, err2 := strconv.ParseInt(parts[1], 10, 64)
+	if err1 != nil || err2 != nil {
+		return "", seqproc.Span{}, fmt.Errorf("bad range %q %q", parts[0], parts[1])
+	}
+	return src, seqproc.NewSpan(start, end), nil
+}
+
+func (c *cli) run(src string, span seqproc.Span) error {
+	q, err := c.db.Query(src)
+	if err != nil {
+		return err
+	}
+	res, err := q.Run(span)
+	if err != nil {
+		return err
+	}
+	schema := res.Schema()
+	fmt.Fprintf(c.out, "pos")
+	for i := 0; i < schema.NumFields(); i++ {
+		fmt.Fprintf(c.out, "\t%s", schema.Field(i).Name)
+	}
+	fmt.Fprintln(c.out)
+	const maxRows = 50
+	for i, e := range res.Entries() {
+		if i == maxRows {
+			fmt.Fprintf(c.out, "... (%d more rows)\n", res.Count()-maxRows)
+			break
+		}
+		fmt.Fprintf(c.out, "%d", e.Pos)
+		for _, v := range e.Rec {
+			fmt.Fprintf(c.out, "\t%s", v.String())
+		}
+		fmt.Fprintln(c.out)
+	}
+	fmt.Fprintf(c.out, "(%d rows)\n", res.Count())
+	return nil
+}

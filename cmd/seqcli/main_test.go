@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	seqproc "repro"
+)
+
+func newTestCLI() (*cli, *bytes.Buffer) {
+	var buf bytes.Buffer
+	return &cli{db: seqproc.New(), out: &buf}, &buf
+}
+
+func TestCLIGenListDescribe(t *testing.T) {
+	c, buf := newTestCLI()
+	if err := c.exec("gen table1 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.exec("list"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ibm", "dec", "hp", "density"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := c.exec("describe ibm"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "span=[200, 500]") {
+		t.Errorf("describe = %q", buf.String())
+	}
+	if err := c.exec("describe"); err == nil {
+		t.Error("describe without name must fail")
+	}
+	if err := c.exec("describe ghost"); err == nil {
+		t.Error("describe unknown must fail")
+	}
+}
+
+func TestCLIGenStockAndEvents(t *testing.T) {
+	c, buf := newTestCLI()
+	if err := c.exec("gen stock acme 1 100 0.5 7"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "created acme") {
+		t.Errorf("gen output = %q", buf.String())
+	}
+	if err := c.exec("gen events ticks 1 100 0.3"); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		"gen", "gen nothing x 1 2 3", "gen stock x", "gen stock x a b c",
+		"gen table1", "gen table1 x", "gen stock x 1 100 0.5 seed",
+	} {
+		if err := c.exec(bad); err == nil {
+			t.Errorf("%q must fail", bad)
+		}
+	}
+}
+
+func TestCLIQueryAndExplain(t *testing.T) {
+	c, buf := newTestCLI()
+	if err := c.exec("gen table1 1"); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := c.exec("select(compose(ibm, hp), ibm.close > hp.close) over 1 750"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "rows)") || !strings.Contains(out, "ibm.close") {
+		t.Errorf("query output = %q", out)
+	}
+	buf.Reset()
+	if err := c.exec("explain sum(ibm, close, 6) over 200 500"); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "stream cost") || !strings.Contains(out, "agg-") {
+		t.Errorf("explain output = %q", out)
+	}
+	// Errors.
+	if err := c.exec("select(ghost, x > 1) over 1 10"); err == nil {
+		t.Error("unknown sequence must fail")
+	}
+	if err := c.exec("ibm"); err == nil {
+		t.Error("missing range must fail")
+	}
+	if err := c.exec("ibm over 1"); err == nil {
+		t.Error("incomplete range must fail")
+	}
+	if err := c.exec("ibm over a b"); err == nil {
+		t.Error("non-numeric range must fail")
+	}
+}
+
+func TestCLIRowLimit(t *testing.T) {
+	c, buf := newTestCLI()
+	if err := c.exec("gen stock big 1 200 1.0"); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := c.exec("big over 1 200"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "more rows") {
+		t.Errorf("expected row-limit marker:\n%s", buf.String())
+	}
+}
+
+func TestCLIHelp(t *testing.T) {
+	c, buf := newTestCLI()
+	if err := c.exec("help"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SEQL operators") {
+		t.Error("help output missing operator list")
+	}
+}
+
+func TestSplitOver(t *testing.T) {
+	src, span, err := splitOver("select(a, x > 1) over 10 20")
+	if err != nil || src != "select(a, x > 1)" || span != seqproc.NewSpan(10, 20) {
+		t.Errorf("splitOver = %q %v %v", src, span, err)
+	}
+	// "over" inside the query text: last occurrence wins.
+	src, _, err = splitOver("select(rollover, x > 1) over 1 2")
+	if err != nil || !strings.Contains(src, "rollover") {
+		t.Errorf("splitOver = %q %v", src, err)
+	}
+}
+
+func TestCLILoadSave(t *testing.T) {
+	dir := t.TempDir()
+	src := dir + "/in.csv"
+	if err := os.WriteFile(src, []byte("pos,close\n1,10.5\n2,11.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, buf := newTestCLI()
+	if err := c.exec("load ticks " + src); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "loaded ticks: 2 records") {
+		t.Errorf("load output = %q", buf.String())
+	}
+	buf.Reset()
+	if err := c.exec("select(ticks, close > 11.0) over 1 2"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(1 rows)") {
+		t.Errorf("query output = %q", buf.String())
+	}
+	dst := dir + "/out.csv"
+	if err := c.exec("save ticks " + dst); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(out), "pos,close") {
+		t.Errorf("saved = %q", out)
+	}
+	// Errors.
+	if err := c.exec("load x"); err == nil {
+		t.Error("load without file must fail")
+	}
+	if err := c.exec("load y /nonexistent.csv"); err == nil {
+		t.Error("missing file must fail")
+	}
+	if err := c.exec("save ghost " + dst); err == nil {
+		t.Error("saving unknown sequence must fail")
+	}
+	if err := c.exec("save"); err == nil {
+		t.Error("save without args must fail")
+	}
+}

@@ -1,0 +1,161 @@
+package seqproc
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/seq"
+)
+
+// ReadCSV parses sequence data from CSV. The first row is a header; one
+// column must be named "pos" (the record's position), and the remaining
+// columns become the record schema. Column types are inferred from the
+// first data row: int, then float, then bool, else string. Rows may
+// arrive in any order; duplicate positions are an error.
+func ReadCSV(r io.Reader) (*SequenceData, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("seqproc: reading CSV header: %w", err)
+	}
+	posCol := -1
+	for i, name := range header {
+		if strings.EqualFold(strings.TrimSpace(name), "pos") {
+			posCol = i
+			break
+		}
+	}
+	if posCol < 0 {
+		return nil, fmt.Errorf("seqproc: CSV needs a %q column, header was %v", "pos", header)
+	}
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("seqproc: reading CSV rows: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("seqproc: CSV has no data rows")
+	}
+
+	// Infer the column types from the first data row.
+	fields := make([]Field, 0, len(header)-1)
+	var colIdx []int // CSV column for each schema field
+	for i, name := range header {
+		if i == posCol {
+			continue
+		}
+		fields = append(fields, Field{
+			Name: strings.TrimSpace(name),
+			Type: inferType(rows[0][i]),
+		})
+		colIdx = append(colIdx, i)
+	}
+	schema, err := NewSchema(fields...)
+	if err != nil {
+		return nil, err
+	}
+
+	entries := make([]Entry, 0, len(rows))
+	for rn, row := range rows {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("seqproc: CSV row %d has %d fields, want %d", rn+2, len(row), len(header))
+		}
+		pos, err := strconv.ParseInt(strings.TrimSpace(row[posCol]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("seqproc: CSV row %d: bad position %q", rn+2, row[posCol])
+		}
+		rec := make(Record, len(fields))
+		for k, f := range fields {
+			v, err := parseValue(row[colIdx[k]], f.Type)
+			if err != nil {
+				return nil, fmt.Errorf("seqproc: CSV row %d, column %q: %w", rn+2, f.Name, err)
+			}
+			rec[k] = v
+		}
+		entries = append(entries, Entry{Pos: pos, Rec: rec})
+	}
+	return NewData(schema, entries)
+}
+
+func inferType(cell string) Type {
+	cell = strings.TrimSpace(cell)
+	if _, err := strconv.ParseInt(cell, 10, 64); err == nil {
+		return TInt
+	}
+	if _, err := strconv.ParseFloat(cell, 64); err == nil {
+		return TFloat
+	}
+	if _, err := strconv.ParseBool(cell); err == nil {
+		return TBool
+	}
+	return TString
+}
+
+func parseValue(cell string, t Type) (Value, error) {
+	cell = strings.TrimSpace(cell)
+	switch t {
+	case TInt:
+		n, err := strconv.ParseInt(cell, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("bad int %q", cell)
+		}
+		return Int(n), nil
+	case TFloat:
+		f, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("bad float %q", cell)
+		}
+		return Float(f), nil
+	case TBool:
+		b, err := strconv.ParseBool(cell)
+		if err != nil {
+			return Value{}, fmt.Errorf("bad bool %q", cell)
+		}
+		return Bool(b), nil
+	default:
+		return Str(cell), nil
+	}
+}
+
+// WriteCSV writes sequence data as CSV with a "pos" column followed by
+// the schema's attributes, in positional order.
+func WriteCSV(w io.Writer, data *SequenceData) error {
+	cw := csv.NewWriter(w)
+	schema := data.Info().Schema
+	header := make([]string, 0, schema.NumFields()+1)
+	header = append(header, "pos")
+	for i := 0; i < schema.NumFields(); i++ {
+		header = append(header, schema.Field(i).Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, e := range data.Entries() {
+		row[0] = strconv.FormatInt(e.Pos, 10)
+		for i, v := range e.Rec {
+			row[i+1] = renderValue(v)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func renderValue(v Value) string {
+	switch v.T {
+	case seq.TInt:
+		return strconv.FormatInt(v.AsInt(), 10)
+	case seq.TFloat:
+		return strconv.FormatFloat(v.AsFloat(), 'g', -1, 64)
+	case seq.TBool:
+		return strconv.FormatBool(v.AsBool())
+	default:
+		return v.AsStr()
+	}
+}

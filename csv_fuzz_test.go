@@ -1,0 +1,30 @@
+package seqproc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the CSV importer never panics on arbitrary input.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("pos,close\n1,10.5\n2,11\n")
+	f.Add("pos,a,b\n1,x,true\n")
+	f.Add("pos\n1\n")
+	f.Add("a,b\n1,2\n")
+	f.Add("pos,a\n9223372036854775807,1\n")
+	f.Add("pos,a\n-1,2\n\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		data, err := ReadCSV(strings.NewReader(src))
+		if err == nil && data == nil {
+			t.Fatal("nil data without error")
+		}
+		if err == nil {
+			// Round-trip must also not panic.
+			var buf strings.Builder
+			if werr := WriteCSV(&buf, data); werr != nil {
+				t.Fatalf("write after successful read: %v", werr)
+			}
+		}
+	})
+}

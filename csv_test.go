@@ -1,0 +1,103 @@
+package seqproc
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `pos,close,volume,halted,sym
+3,10.5,100,false,IBM
+1,9.25,250,true,IBM
+2,9.75,50,false,IBM
+`
+
+func TestReadCSV(t *testing.T) {
+	data, err := ReadCSV(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := data.Info().Schema
+	wantTypes := map[string]Type{"close": TFloat, "volume": TInt, "halted": TBool, "sym": TString}
+	for name, typ := range wantTypes {
+		i := schema.Index(name)
+		if i < 0 || schema.Field(i).Type != typ {
+			t.Errorf("column %q: got %v", name, schema)
+		}
+	}
+	// Rows are sorted by position regardless of input order.
+	entries := data.Entries()
+	if len(entries) != 3 || entries[0].Pos != 1 || entries[2].Pos != 3 {
+		t.Fatalf("entries = %v", entries)
+	}
+	ci := schema.Index("close")
+	if entries[0].Rec[ci].AsFloat() != 9.25 {
+		t.Errorf("row 1 = %v", entries[0].Rec)
+	}
+}
+
+func TestReadCSVIntoDBAndQuery(t *testing.T) {
+	data, err := ReadCSV(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := New()
+	db.MustCreateSequence("ticks", data, Sparse)
+	q, err := db.Query("select(ticks, close > 9.5 and not halted)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Run(NewSpan(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 2 {
+		t.Errorf("result = %v", res.Entries())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"no pos column":   "a,b\n1,2\n",
+		"no data rows":    "pos,a\n",
+		"bad position":    "pos,a\nx,1\n",
+		"bad int":         "pos,a\n1,5\n2,x\n",
+		"bad float":       "pos,a\n1,5.5\n2,x\n",
+		"bad bool":        "pos,a\n1,true\n2,maybe\n",
+		"ragged row":      "pos,a\n1,2,3\n",
+		"duplicate pos":   "pos,a\n1,2\n1,3\n",
+		"empty input":     "",
+		"duplicate names": "pos,a,a\n1,2,3\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	data, err := ReadCSV(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteCSV(&buf, data); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("round trip parse: %v\n%s", err, buf.String())
+	}
+	if back.Count() != data.Count() {
+		t.Fatalf("count %d vs %d", back.Count(), data.Count())
+	}
+	for i, e := range back.Entries() {
+		orig := data.Entries()[i]
+		if e.Pos != orig.Pos || !e.Rec.Equal(orig.Rec) {
+			t.Errorf("entry %d: %v vs %v", i, e, orig)
+		}
+	}
+	if !strings.HasPrefix(buf.String(), "pos,close,volume,halted,sym") {
+		t.Errorf("header = %q", strings.Split(buf.String(), "\n")[0])
+	}
+}

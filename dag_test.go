@@ -1,0 +1,33 @@
+package seqproc
+
+import "testing"
+
+func TestSharedBaseNodeAccessSpans(t *testing.T) {
+	db := stockDB(t)
+	// ibm appears twice: directly and shifted by +100. The direct path
+	// needs [200,500]; the offset path needs [300,500] of the input.
+	// If the shared node's access span is last-writer-wins, the direct
+	// scan is wrongly narrowed.
+	q, err := db.Query("compose(ibm as a, offset(ibm, 100) as b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Run(NewSpan(1, 750))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Records exist where both ibm(i) and ibm(i+100) exist: i in
+	// [200,400] at density ~0.95^2.
+	min, max := Pos(1<<60), Pos(-1)
+	for _, e := range res.Entries() {
+		if e.Pos < min {
+			min = e.Pos
+		}
+		if e.Pos > max {
+			max = e.Pos
+		}
+	}
+	if min > 210 || max < 390 {
+		t.Errorf("result range [%d, %d]; expected to cover about [200, 400] (count %d)", min, max, res.Count())
+	}
+}

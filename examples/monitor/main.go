@@ -1,0 +1,83 @@
+// Trigger-mode monitoring (the §5.3 extension): sequence queries as
+// standing triggers over dynamically arriving data.
+//
+// A stream of sensor readings arrives in batches; two monitors watch it:
+// an alert on the 4-reading moving average, and a spike detector that
+// compares each reading with the most recent earlier one. Each poll
+// evaluates only the newly arrived window — the span pass restricts base
+// access and the cost model switches to probe-based plans for small
+// ranges, so per-batch cost tracks batch size rather than history size.
+//
+//	go run ./examples/monitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	seqproc "repro"
+)
+
+func main() {
+	schema := seqproc.MustSchema(seqproc.Field{Name: "temp", Type: seqproc.TFloat})
+	empty, err := seqproc.NewData(schema, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := seqproc.New()
+	db.MustCreateSequence("sensor", empty, seqproc.Sparse)
+
+	overheat, err := db.Monitor("select(avg(sensor, temp, 4), avg > 90.0)", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spikes, err := db.Monitor(
+		`select(project(compose(sensor as cur, prev(sensor) as last), cur.temp - last.temp as jump),
+		        jump > 15.0 or jump < -15.0)`, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	pos := seqproc.Pos(0)
+	temp := 70.0
+	for batch := 1; batch <= 8; batch++ {
+		// A batch of 5-10 readings arrives, with occasional gaps
+		// (positions with no reading) and a heat event in batch 5.
+		n := 5 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			pos += seqproc.Pos(1 + rng.Intn(2))
+			drift := (rng.Float64() - 0.5) * 6
+			if batch == 5 {
+				drift += 12 // the machine overheats
+			}
+			if batch == 7 && i == 2 {
+				drift -= 25 // a sensor glitch
+			}
+			temp += drift
+			if err := db.Append("sensor", pos, seqproc.Record{seqproc.Float(temp)}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("batch %d arrived (through position %d, latest %.1f°)\n", batch, pos, temp)
+
+		alerts, err := overheat.Poll(pos)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, a := range alerts {
+			fmt.Printf("  OVERHEAT  pos %3d: 4-reading average %.1f°\n", a.Pos, a.Rec[0].AsFloat())
+		}
+		jumps, err := spikes.Poll(pos)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, j := range jumps {
+			fmt.Printf("  SPIKE     pos %3d: jumped %+.1f°\n", j.Pos, j.Rec[0].AsFloat())
+		}
+		if len(alerts) == 0 && len(jumps) == 0 {
+			fmt.Println("  (quiet)")
+		}
+	}
+}

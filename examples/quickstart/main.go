@@ -1,0 +1,79 @@
+// Quickstart: create a database, register a sequence, run queries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	seqproc "repro"
+)
+
+func main() {
+	// A sequence is a mapping from integer positions to records. Here:
+	// daily temperature readings, with gaps on days the sensor was down.
+	schema := seqproc.MustSchema(
+		seqproc.Field{Name: "temp", Type: seqproc.TFloat},
+		seqproc.Field{Name: "station", Type: seqproc.TString},
+	)
+	var entries []seqproc.Entry
+	temps := []float64{12.1, 13.4, 15.2, 0, 14.8, 18.9, 21.3, 0, 19.5, 16.2}
+	for day, temp := range temps {
+		if temp == 0 {
+			continue // empty position: no reading that day
+		}
+		entries = append(entries, seqproc.Entry{
+			Pos: seqproc.Pos(day + 1),
+			Rec: seqproc.Record{seqproc.Float(temp), seqproc.Str("oslo")},
+		})
+	}
+	data, err := seqproc.NewData(schema, entries)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	db := seqproc.New()
+	db.MustCreateSequence("readings", data, seqproc.Sparse)
+
+	// Query 1: a selection — hot days.
+	show(db, "select(readings, temp > 15.0)", seqproc.NewSpan(1, 10))
+
+	// Query 2: a 3-day moving average; note how it bridges the gaps
+	// (Null inputs are ignored when the window has any record).
+	show(db, "avg(readings, temp, 3)", seqproc.NewSpan(1, 10))
+
+	// Query 3: day-over-day change, using the Previous operator to find
+	// the most recent earlier reading regardless of gaps.
+	show(db,
+		"project(compose(readings as cur, prev(readings) as before), cur.temp - before.temp as change)",
+		seqproc.NewSpan(1, 10))
+
+	// The optimizer explains its chosen physical plan.
+	q, err := db.Query("avg(readings, temp, 3)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := q.Explain(seqproc.NewSpan(1, 10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("-- explain avg(readings, temp, 3) --")
+	fmt.Println(plan)
+}
+
+func show(db *seqproc.DB, query string, span seqproc.Span) {
+	q, err := db.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := q.Run(span)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("-- %s --\n", query)
+	for _, e := range res.Entries() {
+		fmt.Printf("  day %2d: %v\n", e.Pos, e.Rec)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,95 @@
+// Stock analytics over the paper's Table 1 sequences: moving averages,
+// golden-cross detection, running statistics, and the span optimization
+// of Figure 3 made visible through page counters.
+//
+//	go run ./examples/stocks
+package main
+
+import (
+	"fmt"
+	"log"
+
+	seqproc "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	const scale = 10 // Table 1 spans x10: IBM [2000,5000], DEC [10,3500], HP [10,7500]
+	ibm, dec, hp, err := workload.Table1(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := seqproc.New()
+	db.MustCreateSequence("ibm", ibm, seqproc.Sparse)
+	db.MustCreateSequence("dec", dec, seqproc.Sparse)
+	db.MustCreateSequence("hp", hp, seqproc.Dense)
+	span := seqproc.NewSpan(1, 7500)
+
+	// 1. Figure 5.A's query: the moving 6-position sum of IBM's close.
+	run(db, "sum(ibm, close, 6)", span, 3)
+
+	// 2. A golden cross: days where the 5-day average close rises above
+	// the 20-day average. Two windowed aggregates composed positionally.
+	run(db, `select(compose(avg(ibm, close, 5) as fast, avg(ibm, close, 20) as slow),
+	                fast.avg > slow.avg)`, span, 3)
+
+	// 3. Running statistics: IBM's all-time-high close so far, and the
+	// days it was set (close equals the running max).
+	run(db, `select(compose(ibm, rmax(ibm, close) as peak), close >= peak.rmax)`, span, 3)
+
+	// 4. Ordering domains (§5.1): the weekly average of IBM's daily
+	// closes, and the days IBM closed below its own weekly average
+	// (collapse into weeks, expand back to days, compose with the
+	// daily series).
+	run(db, "collapse(ibm, avg(close), 5)", seqproc.NewSpan(1, 1500), 3)
+	run(db, `select(compose(ibm as d, expand(collapse(ibm, avg(close), 5), 5) as w),
+	                d.close < w.avg - 1.0)`, span, 3)
+
+	// 5. Figure 3: the DEC price whenever IBM closed above HP. Span
+	// propagation restricts all three scans to the overlap window.
+	const fig3 = "project(compose(dec, select(compose(ibm, hp), ibm.close > hp.close) as ih), dec.close)"
+	db.ResetPageStats()
+	run(db, fig3, span, 3)
+	var pages int64
+	for _, name := range db.Sequences() {
+		st, _ := db.PageStats(name)
+		pages += st.Pages()
+	}
+	fmt.Printf("figure-3 query touched %d pages with span propagation\n", pages)
+
+	db.SetOptions(seqproc.Options{DisableSpanPropagation: true})
+	db.ResetPageStats()
+	q, err := db.Query(fig3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := q.Run(span); err != nil {
+		log.Fatal(err)
+	}
+	var pagesNo int64
+	for _, name := range db.Sequences() {
+		st, _ := db.PageStats(name)
+		pagesNo += st.Pages()
+	}
+	fmt.Printf("the same query without span propagation: %d pages (%.1fx more)\n",
+		pagesNo, float64(pagesNo)/float64(pages))
+}
+
+func run(db *seqproc.DB, query string, span seqproc.Span, preview int) {
+	q, err := db.Query(query)
+	if err != nil {
+		log.Fatalf("%s: %v", query, err)
+	}
+	res, err := q.Run(span)
+	if err != nil {
+		log.Fatalf("%s: %v", query, err)
+	}
+	fmt.Printf("-- %s --\n", query)
+	for i, e := range res.Entries() {
+		if i == preview {
+			break
+		}
+		fmt.Printf("  pos %5d: %v\n", e.Pos, e.Rec)
+	}
+	fmt.Printf("  (%d rows)\n\n", res.Count())
+}

@@ -1,0 +1,69 @@
+package algebra
+
+// Divergence analysis. A cumulative or whole-sequence aggregate over an
+// input with unboundedly many records — a constant sequence, or anything
+// derived from one without being bounded by a base sequence — has no
+// finite value: count over (-inf, i] of a constant sequence is infinite
+// at every position. Such queries are rejected up front; any finite
+// answer would be an artifact of evaluation bounds rather than a
+// property of the data, and query transformations that are perfectly
+// sound on well-defined queries (e.g. pushing a positional offset
+// through the aggregate) would appear to change those artifacts.
+
+// supportSides reports whether the node's non-Null support can extend
+// unboundedly to the left and to the right. The analysis is
+// conservative: it may report true for inputs that happen to be empty.
+func supportSides(n *Node) (left, right bool) {
+	switch n.Kind {
+	case KindBase:
+		return false, false
+	case KindConst:
+		return true, true
+	case KindSelect, KindProject:
+		return supportSides(n.Inputs[0])
+	case KindPosOffset, KindCollapse, KindExpand:
+		return supportSides(n.Inputs[0])
+	case KindValueOffset:
+		l, r := supportSides(n.Inputs[0])
+		if n.Offset < 0 {
+			// Defined forever after the |k|-th record.
+			return l, true
+		}
+		return true, r
+	case KindAgg:
+		l, r := supportSides(n.Inputs[0])
+		w := n.Agg.Window
+		if w.LoUnbounded {
+			r = true // defined forever once any record exists
+		}
+		if w.HiUnbounded {
+			l = true
+		}
+		return l, r
+	case KindCompose:
+		// Non-Null only where both inputs are.
+		ll, lr := supportSides(n.Inputs[0])
+		rl, rr := supportSides(n.Inputs[1])
+		return ll && rl, lr && rr
+	default:
+		return true, true
+	}
+}
+
+// Divergent reports whether the query contains an aggregate whose scope
+// covers unboundedly many records.
+func Divergent(n *Node) bool {
+	if n.Kind == KindAgg {
+		l, r := supportSides(n.Inputs[0])
+		w := n.Agg.Window
+		if (w.LoUnbounded && l) || (w.HiUnbounded && r) {
+			return true
+		}
+	}
+	for _, in := range n.Inputs {
+		if Divergent(in) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/seq"
+)
+
+// Ordering-domain operators (§5.1 "Ordering Domains"): when two ordering
+// domains are related by a constant factor — days and weeks, minutes and
+// hours — a sequence can be "collapsed" into the coarser domain or
+// "expanded" into the finer one.
+//
+//   - Collapse(S, k, agg): output position j aggregates the input
+//     records at positions {jk, ..., jk+k-1} (one output per group of k
+//     input positions; Null iff the group is empty). A daily sequence
+//     collapsed with k=7 and Avg yields the weekly average.
+//   - Expand(S, k): output position i carries the record at input
+//     position floor(i/k) — each coarse record is replicated across its
+//     k fine positions.
+//
+// Both operators have fixed-size scopes but their scopes are NOT
+// relative (the positions read are {jk+c}, an affine — not translated —
+// function of the output position), so the §3.1 offset push-down rules
+// do not apply to them and Collapse delimits query blocks like the other
+// non-unit-scope operators.
+
+// Collapse builds the domain-coarsening operator.
+func Collapse(in *Node, factor int64, spec AggSpec) (*Node, error) {
+	if in == nil {
+		return nil, fmt.Errorf("algebra: collapse requires an input")
+	}
+	if factor <= 1 {
+		return nil, fmt.Errorf("algebra: collapse factor must be > 1, got %d", factor)
+	}
+	var argType seq.Type
+	switch {
+	case spec.Arg == -1:
+		if spec.Func != AggCount {
+			return nil, fmt.Errorf("algebra: aggregate %s requires an input attribute", spec.Func)
+		}
+	case spec.Arg >= 0 && spec.Arg < in.Schema.NumFields():
+		argType = in.Schema.Field(spec.Arg).Type
+	default:
+		return nil, fmt.Errorf("algebra: collapse attribute index %d out of range for %v", spec.Arg, in.Schema)
+	}
+	out := seq.TInt
+	if spec.Arg >= 0 {
+		var err error
+		out, err = spec.Func.ResultType(argType)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if spec.As == "" {
+		spec.As = spec.Func.String()
+	}
+	// The window field is unused by Collapse (grouping replaces it).
+	spec.Window = Window{}
+	schema, err := seq.NewSchema(seq.Field{Name: spec.As, Type: out})
+	if err != nil {
+		return nil, err
+	}
+	return &Node{
+		Kind: KindCollapse, Inputs: []*Node{in}, Schema: schema,
+		Factor: factor, Agg: &spec,
+	}, nil
+}
+
+// Expand builds the domain-refining operator.
+func Expand(in *Node, factor int64) (*Node, error) {
+	if in == nil {
+		return nil, fmt.Errorf("algebra: expand requires an input")
+	}
+	if factor <= 1 {
+		return nil, fmt.Errorf("algebra: expand factor must be > 1, got %d", factor)
+	}
+	return &Node{Kind: KindExpand, Inputs: []*Node{in}, Schema: in.Schema, Factor: factor}, nil
+}
+
+// FloorDiv divides rounding toward negative infinity (Go's / truncates
+// toward zero), so position grouping works for negative positions too.
+func FloorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// GroupSpan returns the input span covered by output group j under
+// factor k: [jk, jk+k-1], clamped to the sentinels.
+func GroupSpan(j seq.Pos, k int64) seq.Span {
+	return seq.Span{
+		Start: seq.ClampPos(j * k),
+		End:   seq.ClampPos(j*k + k - 1),
+	}
+}

@@ -1,0 +1,225 @@
+package algebra
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/seq"
+)
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{7, 2, 3}, {6, 2, 3}, {0, 2, 0},
+		{-1, 2, -1}, {-2, 2, -1}, {-3, 2, -2}, {-4, 2, -2},
+		{7, 3, 2}, {-7, 3, -3},
+	}
+	for _, c := range cases {
+		if got := FloorDiv(c.a, c.b); got != c.want {
+			t.Errorf("FloorDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// FloorDiv inverts GroupSpan: every position in group j maps back to j.
+func TestGroupSpanProperty(t *testing.T) {
+	f := func(j int16, kRaw uint8) bool {
+		k := int64(kRaw%9) + 2
+		g := GroupSpan(seq.Pos(j), k)
+		if g.Len() != k {
+			return false
+		}
+		for p := g.Start; p <= g.End; p++ {
+			if FloorDiv(p, k) != int64(j) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollapseValidation(t *testing.T) {
+	b := mkBase(t, "s", 1, 2, 3)
+	c, err := Collapse(b, 7, AggSpec{Func: AggAvg, Arg: 0, As: "weekly"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind != KindCollapse || c.Factor != 7 || !c.NonUnitScope() {
+		t.Errorf("collapse node = %+v", c)
+	}
+	if c.Schema.Field(0).Name != "weekly" || c.Schema.Field(0).Type != seq.TFloat {
+		t.Errorf("schema = %v", c.Schema)
+	}
+	if _, err := Collapse(nil, 7, AggSpec{}); err == nil {
+		t.Error("nil input must fail")
+	}
+	if _, err := Collapse(b, 1, AggSpec{Func: AggAvg, Arg: 0}); err == nil {
+		t.Error("factor 1 must fail")
+	}
+	if _, err := Collapse(b, 7, AggSpec{Func: AggSum, Arg: -1}); err == nil {
+		t.Error("sum without attribute must fail")
+	}
+	if _, err := Collapse(b, 7, AggSpec{Func: AggSum, Arg: 9}); err == nil {
+		t.Error("bad attribute must fail")
+	}
+}
+
+func TestExpandValidation(t *testing.T) {
+	b := mkBase(t, "s", 1)
+	x, err := Expand(b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Kind != KindExpand || x.NonUnitScope() {
+		t.Errorf("expand node = %+v", x)
+	}
+	if !x.Schema.Equal(b.Schema) {
+		t.Error("expand must preserve schema")
+	}
+	if _, err := Expand(nil, 3); err == nil {
+		t.Error("nil input must fail")
+	}
+	if _, err := Expand(b, 0); err == nil {
+		t.Error("factor 0 must fail")
+	}
+}
+
+func TestEvalCollapse(t *testing.T) {
+	// Days 0..6 in week 0, 7..13 in week 1.
+	b := mkBaseVals(t, "daily", map[seq.Pos]float64{0: 10, 3: 20, 7: 30, 13: 50})
+	weekly, err := Collapse(b, 7, AggSpec{Func: AggAvg, Arg: 0, As: "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := evalEntries(t, weekly, seq.NewSpan(-1, 3))
+	wantSeq(t, got, map[seq.Pos]float64{0: 15, 1: 40})
+	// Count over whole records.
+	cnt, err := Collapse(b, 7, AggSpec{Func: AggCount, Arg: -1, As: "n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := EvalRange(cnt, seq.NewSpan(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 2 || es[0].Rec[0].AsInt() != 2 || es[1].Rec[0].AsInt() != 2 {
+		t.Errorf("count = %v", es)
+	}
+}
+
+func TestEvalCollapseNegativePositions(t *testing.T) {
+	b := mkBaseVals(t, "s", map[seq.Pos]float64{-3: 5, -1: 7, 0: 9})
+	c, _ := Collapse(b, 2, AggSpec{Func: AggSum, Arg: 0, As: "g"})
+	got := evalEntries(t, c, seq.NewSpan(-3, 2))
+	// Groups: -2 -> {-4,-3} sum 5; -1 -> {-2,-1} sum 7; 0 -> {0,1} sum 9.
+	wantSeq(t, got, map[seq.Pos]float64{-2: 5, -1: 7, 0: 9})
+}
+
+func TestEvalExpand(t *testing.T) {
+	b := mkBaseVals(t, "weekly", map[seq.Pos]float64{0: 10, 2: 30})
+	daily, err := Expand(b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := evalEntries(t, daily, seq.NewSpan(-1, 9))
+	wantSeq(t, got, map[seq.Pos]float64{0: 10, 1: 10, 2: 10, 6: 30, 7: 30, 8: 30})
+}
+
+func TestCollapseExpandRoundTrip(t *testing.T) {
+	// expand(collapse(S, k, max), k) at position i equals the group max
+	// of i's group; for a dense constant-per-group input it is identity.
+	b := mkBaseVals(t, "s", map[seq.Pos]float64{0: 4, 1: 4, 2: 9, 3: 9})
+	c, _ := Collapse(b, 2, AggSpec{Func: AggMax, Arg: 0, As: "m"})
+	x, _ := Expand(c, 2)
+	got := evalEntries(t, x, seq.NewSpan(0, 3))
+	wantSeq(t, got, map[seq.Pos]float64{0: 4, 1: 4, 2: 9, 3: 9})
+}
+
+func TestDomainScopes(t *testing.T) {
+	b := mkBase(t, "s", 1)
+	c, _ := Collapse(b, 7, AggSpec{Func: AggSum, Arg: 0})
+	p, err := c.Scope(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.FixedSize || p.Size != 7 || p.Sequential || p.Relative {
+		t.Errorf("collapse scope = %+v", p)
+	}
+	x, _ := Expand(b, 7)
+	p, err = x.Scope(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.FixedSize || p.Size != 1 || p.Relative {
+		t.Errorf("expand scope = %+v", p)
+	}
+}
+
+func TestTransformedHull(t *testing.T) {
+	b := mkBase(t, "s", 10, 20)
+	if got := TransformedHull(b); got != seq.NewSpan(10, 20) {
+		t.Errorf("base hull = %v", got)
+	}
+	o, _ := PosOffset(b, 5)
+	if got := TransformedHull(o); got != seq.NewSpan(5, 15) {
+		t.Errorf("offset hull = %v", got)
+	}
+	c, _ := Collapse(b, 7, AggSpec{Func: AggSum, Arg: 0})
+	if got := TransformedHull(c); got != seq.NewSpan(1, 2) {
+		t.Errorf("collapse hull = %v", got)
+	}
+	x, _ := Expand(b, 3)
+	if got := TransformedHull(x); got != seq.NewSpan(30, 62) {
+		t.Errorf("expand hull = %v", got)
+	}
+	k, _ := Const(closeSchema, seq.Record{seq.Float(1)})
+	if !TransformedHull(k).IsEmpty() {
+		t.Error("const hull must be empty")
+	}
+	cm, _ := Compose(b, mkBase(t, "r", 40, 50), nil, "l", "r")
+	if got := TransformedHull(cm); got != seq.NewSpan(10, 50) {
+		t.Errorf("compose hull = %v", got)
+	}
+	ag, _ := AggCol(b, AggSum, "close", Trailing(3), "")
+	if got := TransformedHull(ag); got != seq.NewSpan(10, 22) {
+		t.Errorf("agg hull = %v", got)
+	}
+}
+
+func TestDivergent(t *testing.T) {
+	b := mkBase(t, "s", 1, 2, 3)
+	k, _ := Const(closeSchema, seq.Record{seq.Float(1)})
+	// Cumulative over a base: fine.
+	okAgg, _ := AggCol(b, AggSum, "close", Cumulative(), "")
+	if Divergent(okAgg) {
+		t.Error("cumulative over base must not be divergent")
+	}
+	// Cumulative over a constant: divergent.
+	badAgg, _ := AggCol(k, AggSum, "close", Cumulative(), "")
+	if !Divergent(badAgg) {
+		t.Error("cumulative over const must be divergent")
+	}
+	// Whole-sequence aggregate over prev(base): prev extends support to
+	// the right forever, and the All window looks right-unbounded.
+	prev, _ := Previous(b)
+	allAgg, _ := AggCol(prev, AggSum, "close", All(), "")
+	if !Divergent(allAgg) {
+		t.Error("all-window over voffset must be divergent")
+	}
+	// Composing with a base bounds the support again.
+	cm, _ := Compose(k, b, nil, "k", "b")
+	boundAgg, _ := AggCol(cm, AggSum, "k.close", Cumulative(), "")
+	if Divergent(boundAgg) {
+		t.Error("cumulative over compose-with-base must not be divergent")
+	}
+	// Divergence is detected anywhere in the tree.
+	sel, _ := Select(badAgg, gtConst(t, badAgg, "sum", 0))
+	if !Divergent(sel) {
+		t.Error("nested divergence must be detected")
+	}
+	if _, err := EvalRange(badAgg, seq.NewSpan(0, 3)); err == nil {
+		t.Error("evaluator must reject divergent queries")
+	}
+}

@@ -1,0 +1,383 @@
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/seq"
+)
+
+// Evaluator is the naive reference interpreter: a direct, memoized
+// implementation of the denotational semantics of §2.1, evaluated
+// position by position with probed access to the base sequences. It makes
+// no use of scopes, caches, rewrites or cost-based choices, which is
+// exactly why it serves as ground truth for everything that does.
+type Evaluator struct {
+	memo     map[evalKey]seq.Record
+	universe seq.Span
+}
+
+type evalKey struct {
+	n *Node
+	p seq.Pos
+}
+
+// NewEvaluator prepares an evaluator for the given query, to be asked
+// about positions within the bounded span `requested`. The universe — the
+// position range the evaluator searches within — is the hull of the
+// base-sequence spans and the requested span, grown by the query's total
+// offset reach. It must cover the requested span (not just the base
+// spans) because constant sequences carry non-Null records everywhere;
+// it bounds the searches of value offsets and unbounded aggregate
+// windows.
+func NewEvaluator(root *Node, requested seq.Span) (*Evaluator, error) {
+	if Divergent(root) {
+		return nil, fmt.Errorf("algebra: query contains an aggregate over unboundedly many records (e.g. a cumulative aggregate of a constant sequence)")
+	}
+	hull := Universe(root, requested)
+	if !hull.Bounded() {
+		return nil, fmt.Errorf("algebra: unbounded universe %v", hull)
+	}
+	return &Evaluator{
+		memo:     make(map[evalKey]seq.Record),
+		universe: hull,
+	}, nil
+}
+
+// Universe computes the bounded range outputs within the requested span
+// can depend on: the hull of the base spans transformed up to the root's
+// coordinate frame (collapse/expand rescale positions, offsets translate
+// them), unioned with the request, grown by the query's offset reach.
+// The evaluator and the meta-data pass share this definition so that
+// optimized plans and the reference interpreter agree exactly, even on
+// degenerate queries whose true dependency range is unbounded (value
+// offsets over constant sequences).
+func Universe(root *Node, requested seq.Span) seq.Span {
+	hull := AllFramesHull(root).Union(requested)
+	if hull.IsEmpty() {
+		hull = seq.NewSpan(0, 0)
+	}
+	slack := Reach(root)
+	return hull.Grow(slack, slack)
+}
+
+// AllFramesHull unions the base-record hulls of every node's coordinate
+// frame. Collapse and Expand rescale positions, so a record can live at
+// very different coordinates at different depths of the query; bounds
+// derived from the universe ("no records beyond here") must hold in
+// every frame at once, hence the union.
+func AllFramesHull(n *Node) seq.Span {
+	out := TransformedHull(n)
+	for _, in := range n.Inputs {
+		out = out.Union(AllFramesHull(in))
+	}
+	return out
+}
+
+// TransformedHull returns the hull of the base-record positions
+// expressed in the node's own coordinate frame.
+func TransformedHull(n *Node) seq.Span {
+	switch n.Kind {
+	case KindBase:
+		return n.Seq.Info().Span
+	case KindConst:
+		return seq.EmptySpan // no materialized records of its own
+	case KindPosOffset:
+		return TransformedHull(n.Inputs[0]).Shift(-n.Offset)
+	case KindAgg:
+		h := TransformedHull(n.Inputs[0])
+		w := n.Agg.Window
+		lo, hi := int64(0), int64(0)
+		if !w.HiUnbounded {
+			hi = abs64(w.Hi)
+		}
+		if !w.LoUnbounded {
+			lo = abs64(w.Lo)
+		}
+		return h.Grow(hi, lo)
+	case KindCollapse:
+		h := TransformedHull(n.Inputs[0])
+		if h.IsEmpty() {
+			return h
+		}
+		return seq.Span{Start: FloorDiv(h.Start, n.Factor), End: FloorDiv(h.End, n.Factor)}
+	case KindExpand:
+		h := TransformedHull(n.Inputs[0])
+		if h.IsEmpty() {
+			return h
+		}
+		return seq.Span{
+			Start: seq.ClampPos(h.Start * n.Factor),
+			End:   seq.ClampPos(h.End*n.Factor + n.Factor - 1),
+		}
+	default:
+		out := seq.EmptySpan
+		for _, in := range n.Inputs {
+			out = out.Union(TransformedHull(in))
+		}
+		return out
+	}
+}
+
+// Reach bounds how far any derived record can move from the base
+// hull: the sum over the tree of |positional offset| plus bounded window
+// extents. It is used to size the bounded "universe" inside which all
+// evaluation (reference and physical) can be confined.
+func Reach(n *Node) int64 {
+	var own int64
+	switch n.Kind {
+	case KindPosOffset:
+		own = abs64(n.Offset)
+	case KindValueOffset:
+		own = abs64(n.Offset)
+	case KindAgg:
+		w := n.Agg.Window
+		if !w.LoUnbounded {
+			own += abs64(w.Lo)
+		}
+		if !w.HiUnbounded {
+			own += abs64(w.Hi)
+		}
+	case KindCollapse:
+		// Collapse multiplies positions going down: reach below a
+		// collapse must scale by the factor (the input of output
+		// position j+r lies up to r*k+k-1 input positions away).
+		r := Reach(n.Inputs[0])
+		if r > (1<<40)/n.Factor {
+			return 1 << 40 // saturate; spans clamp at sentinels anyway
+		}
+		return r*n.Factor + n.Factor
+	case KindExpand:
+		own = n.Factor
+	}
+	var total int64 = own
+	for _, in := range n.Inputs {
+		total += Reach(in)
+	}
+	return total
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Universe returns the bounded range the evaluator searches within.
+func (e *Evaluator) Universe() seq.Span { return e.universe }
+
+// At returns the output record of node n at position pos, per §2.1.
+func (e *Evaluator) At(n *Node, pos seq.Pos) (seq.Record, error) {
+	key := evalKey{n, pos}
+	if r, ok := e.memo[key]; ok {
+		return r, nil
+	}
+	r, err := e.eval(n, pos)
+	if err != nil {
+		return nil, err
+	}
+	e.memo[key] = r
+	return r, nil
+}
+
+func (e *Evaluator) eval(n *Node, pos seq.Pos) (seq.Record, error) {
+	switch n.Kind {
+	case KindBase, KindConst:
+		return n.Seq.Probe(pos)
+
+	case KindSelect:
+		r, err := e.At(n.Inputs[0], pos)
+		if err != nil || r.IsNull() {
+			return nil, err
+		}
+		ok, err := expr.EvalPred(n.Pred, r)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil
+		}
+		return r, nil
+
+	case KindProject:
+		r, err := e.At(n.Inputs[0], pos)
+		if err != nil || r.IsNull() {
+			return nil, err
+		}
+		out := make(seq.Record, len(n.Items))
+		for i, it := range n.Items {
+			v, err := it.Expr.Eval(r)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+
+	case KindPosOffset:
+		p := pos + n.Offset
+		if p <= seq.MinPos || p >= seq.MaxPos {
+			return nil, nil
+		}
+		return e.At(n.Inputs[0], p)
+
+	case KindValueOffset:
+		return e.evalValueOffset(n, pos)
+
+	case KindAgg:
+		return e.evalAgg(n, pos)
+
+	case KindCollapse:
+		return e.evalCollapse(n, pos)
+
+	case KindExpand:
+		return e.At(n.Inputs[0], FloorDiv(pos, n.Factor))
+
+	case KindCompose:
+		l, err := e.At(n.Inputs[0], pos)
+		if err != nil || l.IsNull() {
+			return nil, err
+		}
+		r, err := e.At(n.Inputs[1], pos)
+		if err != nil || r.IsNull() {
+			return nil, err
+		}
+		joined := l.Concat(r)
+		if n.Pred != nil {
+			ok, err := expr.EvalPred(n.Pred, joined)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, nil
+			}
+		}
+		return joined, nil
+
+	default:
+		return nil, fmt.Errorf("algebra: cannot evaluate %s", n.Kind)
+	}
+}
+
+func (e *Evaluator) evalValueOffset(n *Node, pos seq.Pos) (seq.Record, error) {
+	in := n.Inputs[0]
+	need := abs64(n.Offset)
+	var count int64
+	if n.Offset < 0 {
+		start := pos - 1
+		if start > e.universe.End {
+			start = e.universe.End
+		}
+		for p := start; p >= e.universe.Start; p-- {
+			r, err := e.At(in, p)
+			if err != nil {
+				return nil, err
+			}
+			if !r.IsNull() {
+				count++
+				if count == need {
+					return r, nil
+				}
+			}
+		}
+		return nil, nil
+	}
+	start := pos + 1
+	if start < e.universe.Start {
+		start = e.universe.Start
+	}
+	for p := start; p <= e.universe.End; p++ {
+		r, err := e.At(in, p)
+		if err != nil {
+			return nil, err
+		}
+		if !r.IsNull() {
+			count++
+			if count == need {
+				return r, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+func (e *Evaluator) evalCollapse(n *Node, pos seq.Pos) (seq.Record, error) {
+	in := n.Inputs[0]
+	group := GroupSpan(pos, n.Factor)
+	var vals []seq.Value
+	for p := group.Start; p <= group.End && !group.IsEmpty(); p++ {
+		r, err := e.At(in, p)
+		if err != nil {
+			return nil, err
+		}
+		if r.IsNull() {
+			continue
+		}
+		if n.Agg.Arg >= 0 {
+			vals = append(vals, r[n.Agg.Arg])
+		} else {
+			vals = append(vals, seq.Int(1))
+		}
+	}
+	v, ok, err := n.Agg.Func.Apply(vals)
+	if err != nil || !ok {
+		return nil, err
+	}
+	return seq.Record{v}, nil
+}
+
+func (e *Evaluator) evalAgg(n *Node, pos seq.Pos) (seq.Record, error) {
+	in := n.Inputs[0]
+	// Bounded window sides are exact requirements; only the unbounded
+	// sides of cumulative/whole-sequence windows are capped by the
+	// universe (no records exist beyond it in any frame).
+	span := n.Agg.Window.Positions(pos).ClampUnboundedTo(e.universe)
+	var vals []seq.Value
+	for p := span.Start; p <= span.End && !span.IsEmpty(); p++ {
+		r, err := e.At(in, p)
+		if err != nil {
+			return nil, err
+		}
+		if r.IsNull() {
+			continue
+		}
+		if n.Agg.Arg >= 0 {
+			vals = append(vals, r[n.Agg.Arg])
+		} else {
+			vals = append(vals, seq.Int(1)) // Count over whole records
+		}
+	}
+	v, ok, err := n.Agg.Func.Apply(vals)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return seq.Record{v}, nil
+}
+
+// EvalRange evaluates the query at every position of the bounded span and
+// returns the non-Null results in positional order. It is the reference
+// answer the engine's plans are compared against.
+func EvalRange(root *Node, span seq.Span) ([]seq.Entry, error) {
+	if !span.Bounded() {
+		return nil, fmt.Errorf("algebra: EvalRange requires a bounded span, got %v", span)
+	}
+	ev, err := NewEvaluator(root, span)
+	if err != nil {
+		return nil, err
+	}
+	var out []seq.Entry
+	for p := span.Start; p <= span.End; p++ {
+		r, err := ev.At(root, p)
+		if err != nil {
+			return nil, err
+		}
+		if !r.IsNull() {
+			out = append(out, seq.Entry{Pos: p, Rec: r})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,259 @@
+package algebra
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/seq"
+)
+
+// evalAll evaluates the query over its universe and returns pos->value
+// for the single-float-column result schemas used in these tests.
+func evalEntries(t *testing.T, root *Node, span seq.Span) []seq.Entry {
+	t.Helper()
+	es, err := EvalRange(root, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return es
+}
+
+func wantSeq(t *testing.T, got []seq.Entry, want map[seq.Pos]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d entries %v, want %d", len(got), got, len(want))
+	}
+	for _, e := range got {
+		w, ok := want[e.Pos]
+		if !ok {
+			t.Errorf("unexpected entry at %d: %v", e.Pos, e.Rec)
+			continue
+		}
+		if len(e.Rec) != 1 || e.Rec[0].AsFloat() != w {
+			t.Errorf("at %d: got %v, want %g", e.Pos, e.Rec, w)
+		}
+	}
+}
+
+func TestEvalBaseAndSelect(t *testing.T) {
+	b := mkBaseVals(t, "s", map[seq.Pos]float64{1: 5, 2: 9, 4: 3})
+	sel, _ := Select(b, gtConst(t, b, "close", 4))
+	got := evalEntries(t, sel, seq.NewSpan(0, 5))
+	wantSeq(t, got, map[seq.Pos]float64{1: 5, 2: 9})
+}
+
+func TestEvalProject(t *testing.T) {
+	b := mkBaseVals(t, "s", map[seq.Pos]float64{1: 5})
+	c, _ := expr.NewCol(b.Schema, "close")
+	dbl, _ := expr.NewBin(expr.OpMul, c, expr.Literal(seq.Float(2)))
+	p, _ := Project(b, []ProjItem{{Expr: dbl, Name: "twice"}})
+	got := evalEntries(t, p, seq.NewSpan(0, 2))
+	wantSeq(t, got, map[seq.Pos]float64{1: 10})
+}
+
+func TestEvalPosOffset(t *testing.T) {
+	b := mkBaseVals(t, "s", map[seq.Pos]float64{3: 30, 5: 50})
+	// out(i) = in(i+2): record at 3 appears at 1, record at 5 at 3.
+	o, _ := PosOffset(b, 2)
+	got := evalEntries(t, o, seq.NewSpan(0, 6))
+	wantSeq(t, got, map[seq.Pos]float64{1: 30, 3: 50})
+	// Negative offset shifts the other way.
+	o2, _ := PosOffset(b, -2)
+	got = evalEntries(t, o2, seq.NewSpan(0, 8))
+	wantSeq(t, got, map[seq.Pos]float64{5: 30, 7: 50})
+}
+
+func TestEvalValueOffsetPrevious(t *testing.T) {
+	// Records at 2, 5, 6. Previous(i) = most recent record strictly
+	// before i.
+	b := mkBaseVals(t, "s", map[seq.Pos]float64{2: 20, 5: 50, 6: 60})
+	prev, _ := Previous(b)
+	got := evalEntries(t, prev, seq.NewSpan(0, 9))
+	wantSeq(t, got, map[seq.Pos]float64{
+		3: 20, 4: 20, 5: 20, 6: 50, 7: 60, 8: 60, 9: 60,
+	})
+}
+
+func TestEvalValueOffsetNext(t *testing.T) {
+	b := mkBaseVals(t, "s", map[seq.Pos]float64{2: 20, 5: 50})
+	next, _ := Next(b)
+	got := evalEntries(t, next, seq.NewSpan(0, 6))
+	wantSeq(t, got, map[seq.Pos]float64{0: 20, 1: 20, 2: 50, 3: 50, 4: 50})
+}
+
+func TestEvalValueOffsetDeeper(t *testing.T) {
+	// voffset(-2): second most recent record strictly before i.
+	b := mkBaseVals(t, "s", map[seq.Pos]float64{1: 10, 3: 30, 6: 60})
+	vo, _ := ValueOffset(b, -2)
+	got := evalEntries(t, vo, seq.NewSpan(0, 8))
+	wantSeq(t, got, map[seq.Pos]float64{4: 10, 5: 10, 6: 10, 7: 30, 8: 30})
+}
+
+func TestEvalAggTrailing(t *testing.T) {
+	// Fig 5.A: sum of close over the last six positions.
+	b := mkBaseVals(t, "ibm", map[seq.Pos]float64{1: 1, 2: 2, 3: 3, 4: 4})
+	sum, _ := AggCol(b, AggSum, "close", Trailing(3), "s3")
+	got := evalEntries(t, sum, seq.NewSpan(0, 7))
+	wantSeq(t, got, map[seq.Pos]float64{
+		1: 1, 2: 3, 3: 6, 4: 9, 5: 7, 6: 4,
+	})
+}
+
+func TestEvalAggNullHandling(t *testing.T) {
+	// Windows that contain no records yield Null (absent), not zero.
+	b := mkBaseVals(t, "s", map[seq.Pos]float64{5: 50})
+	sum, _ := AggCol(b, AggSum, "close", Trailing(2), "")
+	got := evalEntries(t, sum, seq.NewSpan(0, 10))
+	wantSeq(t, got, map[seq.Pos]float64{5: 50, 6: 50})
+}
+
+func TestEvalAggCumulative(t *testing.T) {
+	b := mkBaseVals(t, "s", map[seq.Pos]float64{1: 1, 3: 3, 5: 5})
+	sum, _ := AggCol(b, AggSum, "close", Cumulative(), "run")
+	got := evalEntries(t, sum, seq.NewSpan(0, 6))
+	wantSeq(t, got, map[seq.Pos]float64{1: 1, 2: 1, 3: 4, 4: 4, 5: 9, 6: 9})
+}
+
+func TestEvalAggAllAndFuncs(t *testing.T) {
+	b := mkBaseVals(t, "s", map[seq.Pos]float64{1: 4, 2: 2, 3: 6})
+	for _, c := range []struct {
+		f    AggFunc
+		want float64
+	}{
+		{AggSum, 12}, {AggAvg, 4}, {AggMin, 2}, {AggMax, 6}, {AggCount, 3},
+	} {
+		a, err := AggCol(b, c.f, "close", All(), "v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := evalEntries(t, a, seq.NewSpan(2, 2))
+		if len(got) != 1 {
+			t.Fatalf("%s: got %v", c.f, got)
+		}
+		if got[0].Rec[0].AsFloat() != c.want {
+			t.Errorf("%s = %v, want %g", c.f, got[0].Rec[0], c.want)
+		}
+	}
+}
+
+func TestEvalCountWholeRecords(t *testing.T) {
+	b := mkBaseVals(t, "s", map[seq.Pos]float64{1: 1, 2: 2})
+	cn, _ := Agg(b, AggSpec{Func: AggCount, Arg: -1, Window: Cumulative(), As: "n"})
+	got := evalEntries(t, cn, seq.NewSpan(2, 2))
+	if len(got) != 1 || got[0].Rec[0].AsInt() != 2 {
+		t.Errorf("count = %v", got)
+	}
+}
+
+func TestEvalCompose(t *testing.T) {
+	l := mkBaseVals(t, "ibm", map[seq.Pos]float64{1: 10, 2: 20, 3: 30})
+	r := mkBaseVals(t, "hp", map[seq.Pos]float64{2: 19, 3: 31, 4: 40})
+	schema, _ := ComposeSchema(l, r, "ibm", "hp")
+	lc, _ := expr.NewCol(schema, "ibm.close")
+	rc, _ := expr.NewCol(schema, "hp.close")
+	pred, _ := expr.NewBin(expr.OpGt, lc, rc)
+	c, _ := Compose(l, r, pred, "ibm", "hp")
+	got := evalEntries(t, c, seq.NewSpan(0, 5))
+	// Common positions: 2 (20>19 keep), 3 (30>31 drop).
+	if len(got) != 1 || got[0].Pos != 2 {
+		t.Fatalf("compose result = %v", got)
+	}
+	if got[0].Rec[0].AsFloat() != 20 || got[0].Rec[1].AsFloat() != 19 {
+		t.Errorf("composed record = %v", got[0].Rec)
+	}
+	// Without predicate: all common positions.
+	c2, _ := Compose(l, r, nil, "ibm", "hp")
+	got = evalEntries(t, c2, seq.NewSpan(0, 5))
+	if len(got) != 2 {
+		t.Errorf("compose without predicate = %v", got)
+	}
+}
+
+func TestEvalComposeWithConstant(t *testing.T) {
+	b := mkBaseVals(t, "s", map[seq.Pos]float64{1: 10, 2: 20})
+	k, _ := Const(seq.MustSchema(seq.Field{Name: "limit", Type: seq.TFloat}), seq.Record{seq.Float(15)})
+	schema, _ := ComposeSchema(b, k, "s", "k")
+	sc, _ := expr.NewCol(schema, "close")
+	kc, _ := expr.NewCol(schema, "limit")
+	pred, _ := expr.NewBin(expr.OpGt, sc, kc)
+	c, _ := Compose(b, k, pred, "s", "k")
+	got := evalEntries(t, c, seq.NewSpan(0, 3))
+	if len(got) != 1 || got[0].Pos != 2 {
+		t.Errorf("const compose = %v", got)
+	}
+}
+
+// The motivating query of Example 1.1: for which volcano eruptions was
+// the strength of the most recent earthquake greater than 7.0?
+func TestEvalMotivatingExample(t *testing.T) {
+	quakeSchema := seq.MustSchema(seq.Field{Name: "strength", Type: seq.TFloat})
+	volcSchema := seq.MustSchema(seq.Field{Name: "name", Type: seq.TString})
+	quakes := Base("earthquakes", seq.MustMaterialized(quakeSchema, []seq.Entry{
+		{Pos: 1, Rec: seq.Record{seq.Float(6.0)}},
+		{Pos: 4, Rec: seq.Record{seq.Float(7.5)}},
+		{Pos: 8, Rec: seq.Record{seq.Float(5.0)}},
+	}))
+	volcanos := Base("volcanos", seq.MustMaterialized(volcSchema, []seq.Entry{
+		{Pos: 2, Rec: seq.Record{seq.Str("etna")}},    // last quake 6.0 -> no
+		{Pos: 6, Rec: seq.Record{seq.Str("fuji")}},    // last quake 7.5 -> yes
+		{Pos: 9, Rec: seq.Record{seq.Str("rainier")}}, // last quake 5.0 -> no
+	}))
+	prevQuake, err := Previous(quakes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, _ := ComposeSchema(volcanos, prevQuake, "v", "e")
+	strength, _ := expr.NewCol(schema, "strength")
+	pred, _ := expr.NewBin(expr.OpGt, strength, expr.Literal(seq.Float(7.0)))
+	joined, err := Compose(volcanos, prevQuake, pred, "v", "e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, err := ProjectCols(joined, "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := evalEntries(t, result, seq.NewSpan(0, 10))
+	if len(got) != 1 || got[0].Pos != 6 || got[0].Rec[0].AsStr() != "fuji" {
+		t.Errorf("example 1.1 = %v, want fuji at 6", got)
+	}
+}
+
+func TestEvalRangeRequiresBoundedSpan(t *testing.T) {
+	b := mkBase(t, "s", 1)
+	if _, err := EvalRange(b, seq.AllSpan); err == nil {
+		t.Error("unbounded EvalRange must fail")
+	}
+}
+
+func TestEvaluatorUniverse(t *testing.T) {
+	b := mkBase(t, "s", 10, 20)
+	o, _ := PosOffset(b, 5)
+	ev, err := NewEvaluator(o, seq.NewSpan(0, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := ev.Universe()
+	if !u.Contains(5) || !u.Contains(25) {
+		t.Errorf("universe %v must cover shifted records", u)
+	}
+	// Constant-only query gets a token universe.
+	k, _ := Const(closeSchema, seq.Record{seq.Float(1)})
+	if _, err := NewEvaluator(k, seq.NewSpan(0, 10)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalErrorPropagation(t *testing.T) {
+	// Integer division by zero inside a projection must surface.
+	intSchema := seq.MustSchema(seq.Field{Name: "v", Type: seq.TInt})
+	b := Base("s", seq.MustMaterialized(intSchema, []seq.Entry{
+		{Pos: 1, Rec: seq.Record{seq.Int(1)}},
+	}))
+	c, _ := expr.NewCol(b.Schema, "v")
+	div, _ := expr.NewBin(expr.OpDiv, c, expr.Literal(seq.Int(0)))
+	p, _ := Project(b, []ProjItem{{Expr: div, Name: "boom"}})
+	if _, err := EvalRange(p, seq.NewSpan(1, 1)); err == nil {
+		t.Error("division by zero must propagate")
+	}
+}

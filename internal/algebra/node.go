@@ -1,0 +1,380 @@
+// Package algebra defines the logical operator graph of sequence queries:
+// the operators of §2.1 (selection, projection, positional and value
+// offsets, windowed aggregates, compose), schema inference, the operator
+// scope machinery of §2.3 with its composition laws (Proposition 2.1),
+// and a naive reference interpreter implementing the denotational
+// semantics directly — the ground truth that rewrites, plans and cache
+// strategies are property-tested against.
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/seq"
+)
+
+// Kind identifies a logical operator.
+type Kind int
+
+// The logical operators of the model (§2.1), plus the two leaf kinds.
+const (
+	KindBase Kind = iota
+	KindConst
+	KindSelect
+	KindProject
+	KindPosOffset
+	KindValueOffset
+	KindAgg
+	KindCompose
+	KindCollapse
+	KindExpand
+)
+
+// String returns the operator's name.
+func (k Kind) String() string {
+	switch k {
+	case KindBase:
+		return "base"
+	case KindConst:
+		return "const"
+	case KindSelect:
+		return "select"
+	case KindProject:
+		return "project"
+	case KindPosOffset:
+		return "offset"
+	case KindValueOffset:
+		return "voffset"
+	case KindAgg:
+		return "agg"
+	case KindCompose:
+		return "compose"
+	case KindCollapse:
+		return "collapse"
+	case KindExpand:
+		return "expand"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ProjItem is one output attribute of a projection: an expression over
+// the input record and the attribute's output name. Projections of the
+// Null record are Null regardless of the expressions (§2.1).
+type ProjItem struct {
+	Expr expr.Expr
+	Name string
+}
+
+// Node is one operator in a query graph. Queries are trees: the paper
+// restricts graphs to be hierarchical (§2.2), so each node feeds exactly
+// one consumer. Nodes are immutable after construction; rewrites build
+// new nodes.
+type Node struct {
+	Kind   Kind
+	Inputs []*Node
+	Schema *seq.Schema
+
+	// Leaf payloads.
+	Name      string                // Base: the sequence's name
+	Seq       seq.Sequence          // Base: the physical sequence
+	BaseStats map[int]expr.ColStats // Base: optional column statistics
+	Rec       seq.Record            // Const: the repeated record
+
+	// Operator payloads.
+	Pred      expr.Expr // Select; Compose (optional join predicate)
+	Items     []ProjItem
+	Offset    int64    // PosOffset (any), ValueOffset (non-zero)
+	Factor    int64    // Collapse, Expand: the domain ratio (> 1)
+	Agg       *AggSpec // Agg (windowed); Collapse (grouped)
+	LeftQual  string   // Compose: qualifier for left input attributes
+	RightQual string   // Compose: qualifier for right input attributes
+}
+
+// Base wraps a physical sequence as a query leaf.
+func Base(name string, s seq.Sequence) *Node {
+	return &Node{Kind: KindBase, Name: name, Seq: s, Schema: s.Info().Schema}
+}
+
+// BaseWithStats wraps a physical sequence together with column statistics
+// for the optimizer.
+func BaseWithStats(name string, s seq.Sequence, stats map[int]expr.ColStats) *Node {
+	n := Base(name, s)
+	n.BaseStats = stats
+	return n
+}
+
+// Const builds a constant-sequence leaf holding rec at every position.
+func Const(schema *seq.Schema, rec seq.Record) (*Node, error) {
+	c, err := seq.NewConstant(schema, rec)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{Kind: KindConst, Schema: schema, Rec: rec, Seq: c}, nil
+}
+
+// Select applies a boolean predicate at every position (§2.1).
+func Select(in *Node, pred expr.Expr) (*Node, error) {
+	if in == nil || pred == nil {
+		return nil, fmt.Errorf("algebra: select requires an input and a predicate")
+	}
+	if pred.Type() != seq.TBool {
+		return nil, fmt.Errorf("algebra: selection predicate has type %s, want bool", pred.Type())
+	}
+	if err := colsInRange(pred, in.Schema); err != nil {
+		return nil, err
+	}
+	return &Node{Kind: KindSelect, Inputs: []*Node{in}, Schema: in.Schema, Pred: pred}, nil
+}
+
+// Project maps each record through the given output expressions (§2.1,
+// generalized from attribute subsets to computed attributes).
+func Project(in *Node, items []ProjItem) (*Node, error) {
+	if in == nil || len(items) == 0 {
+		return nil, fmt.Errorf("algebra: project requires an input and at least one item")
+	}
+	fields := make([]seq.Field, len(items))
+	for i, it := range items {
+		if it.Expr == nil {
+			return nil, fmt.Errorf("algebra: projection item %d has nil expression", i)
+		}
+		if err := colsInRange(it.Expr, in.Schema); err != nil {
+			return nil, err
+		}
+		name := it.Name
+		if name == "" {
+			if c, ok := it.Expr.(*expr.Col); ok {
+				name = c.Name
+			} else {
+				name = fmt.Sprintf("expr%d", i)
+			}
+			items[i].Name = name
+		}
+		fields[i] = seq.Field{Name: name, Type: it.Expr.Type()}
+	}
+	schema, err := seq.NewSchema(fields...)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{Kind: KindProject, Inputs: []*Node{in}, Schema: schema, Items: items}, nil
+}
+
+// ProjectCols projects the named attributes of the input.
+func ProjectCols(in *Node, names ...string) (*Node, error) {
+	items := make([]ProjItem, len(names))
+	for i, name := range names {
+		c, err := expr.NewCol(in.Schema, name)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = ProjItem{Expr: c, Name: name}
+	}
+	return Project(in, items)
+}
+
+// PosOffset shifts the input by l positions: out(i) = in(i+l) (§2.1).
+func PosOffset(in *Node, l int64) (*Node, error) {
+	if in == nil {
+		return nil, fmt.Errorf("algebra: offset requires an input")
+	}
+	return &Node{Kind: KindPosOffset, Inputs: []*Node{in}, Schema: in.Schema, Offset: l}, nil
+}
+
+// ValueOffset returns at each position the record of the |l|-th non-Null
+// input record strictly before (l < 0) or after (l > 0) that position
+// (§2.1). Previous is ValueOffset(in, -1), Next is ValueOffset(in, +1).
+func ValueOffset(in *Node, l int64) (*Node, error) {
+	if in == nil {
+		return nil, fmt.Errorf("algebra: voffset requires an input")
+	}
+	if l == 0 {
+		return nil, fmt.Errorf("algebra: voffset requires a non-zero offset")
+	}
+	return &Node{Kind: KindValueOffset, Inputs: []*Node{in}, Schema: in.Schema, Offset: l}, nil
+}
+
+// Previous is the value offset -1 (§2.1).
+func Previous(in *Node) (*Node, error) { return ValueOffset(in, -1) }
+
+// Next is the value offset +1 (§2.1).
+func Next(in *Node) (*Node, error) { return ValueOffset(in, 1) }
+
+// Agg applies an aggregate function over a window of input positions
+// (§2.1). The output schema is the single aggregate attribute.
+func Agg(in *Node, spec AggSpec) (*Node, error) {
+	if in == nil {
+		return nil, fmt.Errorf("algebra: agg requires an input")
+	}
+	if err := spec.Window.Validate(); err != nil {
+		return nil, err
+	}
+	var argType seq.Type
+	switch {
+	case spec.Arg == -1:
+		if spec.Func != AggCount {
+			return nil, fmt.Errorf("algebra: aggregate %s requires an input attribute", spec.Func)
+		}
+		argType = seq.TInt // unused
+	case spec.Arg >= 0 && spec.Arg < in.Schema.NumFields():
+		argType = in.Schema.Field(spec.Arg).Type
+	default:
+		return nil, fmt.Errorf("algebra: aggregate attribute index %d out of range for %v", spec.Arg, in.Schema)
+	}
+	out := seq.TInt
+	if spec.Func != AggCount || spec.Arg >= 0 {
+		var err error
+		out, err = spec.Func.ResultType(argType)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if spec.As == "" {
+		spec.As = spec.Func.String()
+	}
+	schema, err := seq.NewSchema(seq.Field{Name: spec.As, Type: out})
+	if err != nil {
+		return nil, err
+	}
+	return &Node{Kind: KindAgg, Inputs: []*Node{in}, Schema: schema, Agg: &spec}, nil
+}
+
+// AggCol is a convenience: aggregate the named attribute over the window.
+func AggCol(in *Node, f AggFunc, colName string, w Window, as string) (*Node, error) {
+	i := in.Schema.Index(colName)
+	if i < 0 {
+		return nil, fmt.Errorf("algebra: no attribute %q in %v", colName, in.Schema)
+	}
+	return Agg(in, AggSpec{Func: f, Arg: i, Window: w, As: as})
+}
+
+// ComposeSchema returns the record schema a Compose of the two inputs
+// will produce, so callers can build join predicates against it.
+func ComposeSchema(l, r *Node, leftQual, rightQual string) (*seq.Schema, error) {
+	return l.Schema.Concat(r.Schema, leftQual, rightQual)
+}
+
+// Compose positionally joins two sequences: out(i) = l(i).r(i), Null if
+// either input is Null at i or if the optional join predicate rejects the
+// composed record (§2.1).
+func Compose(l, r *Node, pred expr.Expr, leftQual, rightQual string) (*Node, error) {
+	if l == nil || r == nil {
+		return nil, fmt.Errorf("algebra: compose requires two inputs")
+	}
+	schema, err := ComposeSchema(l, r, leftQual, rightQual)
+	if err != nil {
+		return nil, err
+	}
+	if pred != nil {
+		if pred.Type() != seq.TBool {
+			return nil, fmt.Errorf("algebra: join predicate has type %s, want bool", pred.Type())
+		}
+		if err := colsInRange(pred, schema); err != nil {
+			return nil, err
+		}
+	}
+	return &Node{
+		Kind: KindCompose, Inputs: []*Node{l, r}, Schema: schema,
+		Pred: pred, LeftQual: leftQual, RightQual: rightQual,
+	}, nil
+}
+
+func colsInRange(e expr.Expr, schema *seq.Schema) error {
+	for _, i := range expr.Columns(e) {
+		if i < 0 || i >= schema.NumFields() {
+			return fmt.Errorf("algebra: expression %s references column %d outside %v", e, i, schema)
+		}
+	}
+	return nil
+}
+
+// NonUnitScope reports whether the operator has non-unit scope on some
+// input — the operators that break the query into blocks (§3.1:
+// aggregates and value offsets; Collapse from the §5.1 extension reads
+// k input positions per output and breaks blocks the same way).
+func (n *Node) NonUnitScope() bool {
+	return n.Kind == KindAgg || n.Kind == KindValueOffset || n.Kind == KindCollapse
+}
+
+// IsLeaf reports whether the node is a base or constant sequence.
+func (n *Node) IsLeaf() bool { return n.Kind == KindBase || n.Kind == KindConst }
+
+// Bases returns the base-sequence leaves of the subtree, left to right.
+func (n *Node) Bases() []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m.Kind == KindBase {
+			out = append(out, m)
+			return
+		}
+		for _, in := range m.Inputs {
+			walk(in)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// label renders the node's own operator (without inputs).
+func (n *Node) label() string {
+	switch n.Kind {
+	case KindBase:
+		return "base(" + n.Name + ")"
+	case KindConst:
+		return "const(" + n.Rec.String() + ")"
+	case KindSelect:
+		return "select(" + n.Pred.String() + ")"
+	case KindProject:
+		parts := make([]string, len(n.Items))
+		for i, it := range n.Items {
+			parts[i] = it.Expr.String()
+			if c, ok := it.Expr.(*expr.Col); !ok || c.Name != it.Name {
+				parts[i] += " as " + it.Name
+			}
+		}
+		return "project(" + strings.Join(parts, ", ") + ")"
+	case KindPosOffset:
+		return fmt.Sprintf("offset(%+d)", n.Offset)
+	case KindValueOffset:
+		return fmt.Sprintf("voffset(%+d)", n.Offset)
+	case KindAgg:
+		arg := "*"
+		if n.Agg.Arg >= 0 {
+			arg = n.Inputs[0].Schema.Field(n.Agg.Arg).Name
+		}
+		return fmt.Sprintf("%s(%s) over %s as %s", n.Agg.Func, arg, n.Agg.Window, n.Agg.As)
+	case KindCompose:
+		if n.Pred != nil {
+			return "compose(" + n.Pred.String() + ")"
+		}
+		return "compose"
+	case KindCollapse:
+		arg := "*"
+		if n.Agg.Arg >= 0 {
+			arg = n.Inputs[0].Schema.Field(n.Agg.Arg).Name
+		}
+		return fmt.Sprintf("collapse(%s(%s), k=%d) as %s", n.Agg.Func, arg, n.Factor, n.Agg.As)
+	case KindExpand:
+		return fmt.Sprintf("expand(k=%d)", n.Factor)
+	default:
+		return n.Kind.String()
+	}
+}
+
+// String renders the query tree, one operator per line, indented.
+func (n *Node) String() string {
+	var b strings.Builder
+	var walk func(m *Node, depth int)
+	walk = func(m *Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(m.label())
+		b.WriteByte('\n')
+		for _, in := range m.Inputs {
+			walk(in, depth+1)
+		}
+	}
+	walk(n, 0)
+	return strings.TrimRight(b.String(), "\n")
+}

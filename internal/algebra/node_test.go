@@ -1,0 +1,339 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/seq"
+)
+
+var closeSchema = seq.MustSchema(seq.Field{Name: "close", Type: seq.TFloat})
+
+// mkBase builds a base node over a materialized sequence with records
+// {close: val} at the given positions, val = pos as float.
+func mkBase(t *testing.T, name string, positions ...seq.Pos) *Node {
+	t.Helper()
+	es := make([]seq.Entry, len(positions))
+	for i, p := range positions {
+		es[i] = seq.Entry{Pos: p, Rec: seq.Record{seq.Float(float64(p))}}
+	}
+	return Base(name, seq.MustMaterialized(closeSchema, es))
+}
+
+// mkBaseVals builds a base node with explicit (pos, value) pairs.
+func mkBaseVals(t *testing.T, name string, pairs map[seq.Pos]float64) *Node {
+	t.Helper()
+	es := make([]seq.Entry, 0, len(pairs))
+	for p, v := range pairs {
+		es = append(es, seq.Entry{Pos: p, Rec: seq.Record{seq.Float(v)}})
+	}
+	return Base(name, seq.MustMaterialized(closeSchema, es))
+}
+
+func gtConst(t *testing.T, n *Node, col string, v float64) expr.Expr {
+	t.Helper()
+	c, err := expr.NewCol(n.Schema, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := expr.NewBin(expr.OpGt, c, expr.Literal(seq.Float(v)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestBaseNode(t *testing.T) {
+	b := mkBase(t, "ibm", 1, 2, 3)
+	if b.Kind != KindBase || b.Name != "ibm" || !b.Schema.Equal(closeSchema) {
+		t.Errorf("base node = %+v", b)
+	}
+	if !b.IsLeaf() || b.NonUnitScope() {
+		t.Error("base must be a unit-scope leaf")
+	}
+}
+
+func TestConstNode(t *testing.T) {
+	c, err := Const(closeSchema, seq.Record{seq.Float(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind != KindConst || !c.IsLeaf() {
+		t.Error("const node malformed")
+	}
+	if _, err := Const(closeSchema, nil); err == nil {
+		t.Error("Null constant must be rejected")
+	}
+}
+
+func TestSelectValidation(t *testing.T) {
+	b := mkBase(t, "ibm", 1)
+	s, err := Select(b, gtConst(t, b, "close", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Schema.Equal(b.Schema) {
+		t.Error("select must preserve schema")
+	}
+	if _, err := Select(nil, nil); err == nil {
+		t.Error("nil inputs must be rejected")
+	}
+	c, _ := expr.NewCol(b.Schema, "close")
+	if _, err := Select(b, c); err == nil {
+		t.Error("non-bool predicate must be rejected")
+	}
+	// Predicate referencing a column outside the schema.
+	bad := &expr.Col{Index: 5, Name: "ghost", Typ: seq.TBool}
+	if _, err := Select(b, bad); err == nil {
+		t.Error("out-of-schema predicate must be rejected")
+	}
+}
+
+func TestProjectValidation(t *testing.T) {
+	b := mkBase(t, "ibm", 1)
+	c, _ := expr.NewCol(b.Schema, "close")
+	doubled, _ := expr.NewBin(expr.OpMul, c, expr.Literal(seq.Float(2)))
+	p, err := Project(b, []ProjItem{{Expr: c}, {Expr: doubled, Name: "twice"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schema.Field(0).Name != "close" || p.Schema.Field(1).Name != "twice" {
+		t.Errorf("project schema = %v", p.Schema)
+	}
+	if p.Schema.Field(1).Type != seq.TFloat {
+		t.Error("computed projection type wrong")
+	}
+	if _, err := Project(b, nil); err == nil {
+		t.Error("empty projection must be rejected")
+	}
+	if _, err := Project(b, []ProjItem{{Expr: nil}}); err == nil {
+		t.Error("nil expression must be rejected")
+	}
+	// Default naming of non-column expressions.
+	p2, err := Project(b, []ProjItem{{Expr: doubled}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Schema.Field(0).Name != "expr0" {
+		t.Errorf("default name = %q", p2.Schema.Field(0).Name)
+	}
+	// ProjectCols convenience.
+	p3, err := ProjectCols(b, "close")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Schema.NumFields() != 1 {
+		t.Error("ProjectCols wrong")
+	}
+	if _, err := ProjectCols(b, "ghost"); err == nil {
+		t.Error("unknown column must be rejected")
+	}
+}
+
+func TestOffsetValidation(t *testing.T) {
+	b := mkBase(t, "ibm", 1)
+	if _, err := PosOffset(b, -5); err != nil {
+		t.Error(err)
+	}
+	if _, err := PosOffset(nil, 1); err == nil {
+		t.Error("nil input must be rejected")
+	}
+	if _, err := ValueOffset(b, 0); err == nil {
+		t.Error("zero value offset must be rejected")
+	}
+	prev, err := Previous(b)
+	if err != nil || prev.Offset != -1 {
+		t.Errorf("Previous = %+v, %v", prev, err)
+	}
+	next, err := Next(b)
+	if err != nil || next.Offset != 1 {
+		t.Errorf("Next = %+v, %v", next, err)
+	}
+	if !prev.NonUnitScope() {
+		t.Error("value offset must be non-unit scope")
+	}
+	po, _ := PosOffset(b, -5)
+	if po.NonUnitScope() {
+		t.Error("positional offset has unit scope")
+	}
+}
+
+func TestAggValidation(t *testing.T) {
+	b := mkBase(t, "ibm", 1)
+	a, err := AggCol(b, AggSum, "close", Trailing(6), "sum6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schema.NumFields() != 1 || a.Schema.Field(0).Name != "sum6" || a.Schema.Field(0).Type != seq.TFloat {
+		t.Errorf("agg schema = %v", a.Schema)
+	}
+	if !a.NonUnitScope() {
+		t.Error("aggregate must be non-unit scope")
+	}
+	// Avg yields float; count yields int.
+	av, _ := AggCol(b, AggAvg, "close", Trailing(3), "")
+	if av.Schema.Field(0).Type != seq.TFloat || av.Schema.Field(0).Name != "avg" {
+		t.Errorf("avg schema = %v", av.Schema)
+	}
+	cn, err := Agg(b, AggSpec{Func: AggCount, Arg: -1, Window: Trailing(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cn.Schema.Field(0).Type != seq.TInt {
+		t.Error("count must be int")
+	}
+	// Invalid specs.
+	if _, err := Agg(b, AggSpec{Func: AggSum, Arg: -1, Window: Trailing(3)}); err == nil {
+		t.Error("sum without attribute must be rejected")
+	}
+	if _, err := Agg(b, AggSpec{Func: AggSum, Arg: 9, Window: Trailing(3)}); err == nil {
+		t.Error("out-of-range attribute must be rejected")
+	}
+	if _, err := Agg(b, AggSpec{Func: AggSum, Arg: 0, Window: Range(3, 1)}); err == nil {
+		t.Error("empty window must be rejected")
+	}
+	if _, err := AggCol(b, AggSum, "ghost", Trailing(3), ""); err == nil {
+		t.Error("unknown attribute must be rejected")
+	}
+	// Sum over strings must be rejected.
+	strSchema := seq.MustSchema(seq.Field{Name: "s", Type: seq.TString})
+	sb := Base("s", seq.MustMaterialized(strSchema, nil))
+	if _, err := AggCol(sb, AggSum, "s", Trailing(2), ""); err == nil {
+		t.Error("sum over string must be rejected")
+	}
+	if _, err := AggCol(sb, AggMin, "s", Trailing(2), ""); err != nil {
+		t.Error("min over string is legal (ordered type)")
+	}
+}
+
+func TestComposeValidation(t *testing.T) {
+	l := mkBase(t, "ibm", 1)
+	r := mkBase(t, "hp", 1)
+	schema, err := ComposeSchema(l, r, "ibm", "hp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Field(0).Name != "ibm.close" || schema.Field(1).Name != "hp.close" {
+		t.Errorf("compose schema = %v", schema)
+	}
+	lc, _ := expr.NewCol(schema, "ibm.close")
+	rc, _ := expr.NewCol(schema, "hp.close")
+	pred, _ := expr.NewBin(expr.OpGt, lc, rc)
+	c, err := Compose(l, r, pred, "ibm", "hp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind != KindCompose || len(c.Inputs) != 2 {
+		t.Error("compose node malformed")
+	}
+	if _, err := Compose(nil, r, nil, "", ""); err == nil {
+		t.Error("nil input must be rejected")
+	}
+	if _, err := Compose(l, r, lc, "ibm", "hp"); err == nil {
+		t.Error("non-bool join predicate must be rejected")
+	}
+}
+
+func TestBases(t *testing.T) {
+	l := mkBase(t, "a", 1)
+	r := mkBase(t, "b", 1)
+	c, _ := Compose(l, r, nil, "a", "b")
+	s, _ := Select(c, gtConst(t, c, "a.close", 0))
+	bases := s.Bases()
+	if len(bases) != 2 || bases[0].Name != "a" || bases[1].Name != "b" {
+		t.Errorf("Bases = %v", bases)
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	b := mkBase(t, "ibm", 1)
+	sel, _ := Select(b, gtConst(t, b, "close", 7))
+	agg, _ := AggCol(sel, AggSum, "close", Trailing(6), "s6")
+	str := agg.String()
+	for _, want := range []string{"sum(close) over [-5, +0] as s6", "select((close > 7))", "base(ibm)"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() missing %q:\n%s", want, str)
+		}
+	}
+	prev, _ := Previous(b)
+	if !strings.Contains(prev.String(), "voffset(-1)") {
+		t.Errorf("String() = %q", prev.String())
+	}
+	po, _ := PosOffset(b, 3)
+	if !strings.Contains(po.String(), "offset(+3)") {
+		t.Errorf("String() = %q", po.String())
+	}
+	con, _ := Const(closeSchema, seq.Record{seq.Float(1)})
+	if !strings.Contains(con.String(), "const(") {
+		t.Errorf("String() = %q", con.String())
+	}
+	cmp, _ := Compose(b, con, nil, "l", "r")
+	if !strings.Contains(cmp.String(), "compose") {
+		t.Errorf("String() = %q", cmp.String())
+	}
+	pr, _ := ProjectCols(b, "close")
+	if !strings.Contains(pr.String(), "project(close)") {
+		t.Errorf("String() = %q", pr.String())
+	}
+}
+
+func TestAggFuncStringsAndTypes(t *testing.T) {
+	for f := AggSum; f <= AggMax; f++ {
+		if f.String() == "" {
+			t.Errorf("AggFunc %d has no name", f)
+		}
+	}
+	if _, err := AggAvg.ResultType(seq.TString); err == nil {
+		t.Error("avg over string must fail")
+	}
+	if typ, err := AggCount.ResultType(seq.TString); err != nil || typ != seq.TInt {
+		t.Error("count is int over anything")
+	}
+	if typ, err := AggSum.ResultType(seq.TInt); err != nil || typ != seq.TInt {
+		t.Error("sum preserves int")
+	}
+}
+
+func TestWindowBasics(t *testing.T) {
+	w := Trailing(6)
+	if w.Lo != -5 || w.Hi != 0 {
+		t.Errorf("Trailing(6) = %+v", w)
+	}
+	if s, ok := w.Size(); !ok || s != 6 {
+		t.Errorf("size = %d, %v", s, ok)
+	}
+	if !w.Sequential() {
+		t.Error("trailing windows are sequential")
+	}
+	lead := Range(1, 3)
+	if lead.Sequential() {
+		t.Error("leading windows are not sequential")
+	}
+	cum := Cumulative()
+	if _, ok := cum.Size(); ok {
+		t.Error("cumulative window has no fixed size")
+	}
+	if !cum.Sequential() {
+		t.Error("cumulative windows are sequential")
+	}
+	all := All()
+	if !all.Sequential() {
+		t.Error("the all-window scope is constant, hence sequential")
+	}
+	half := Window{Lo: 1, HiUnbounded: true}
+	if half.Sequential() {
+		t.Error("forward-unbounded windows are not sequential")
+	}
+	if got := w.Positions(10); got != seq.NewSpan(5, 10) {
+		t.Errorf("Positions = %v", got)
+	}
+	if got := cum.Positions(10); got.Start != seq.MinPos || got.End != 10 {
+		t.Errorf("cumulative Positions = %v", got)
+	}
+	for _, win := range []Window{w, lead, cum, all, half} {
+		if win.String() == "" {
+			t.Error("window must render")
+		}
+	}
+}

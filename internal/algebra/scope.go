@@ -1,0 +1,178 @@
+package algebra
+
+import "fmt"
+
+// ScopeProps describes the scope of an operator on one of its inputs
+// (§2.3): the set of input positions the operator function reads to
+// produce the output at a position, abstracted into the three properties
+// the optimizer reasons with.
+//
+// When Relative is true, Win gives the relative window {i+Lo .. i+Hi} of
+// positions read (possibly unbounded on either side). Value offsets have
+// data-dependent scopes — which positions they read depends on where the
+// non-Null records lie — so they are non-relative here, and the window
+// recorded for them is their *effective* scope (Definition 3.3): the
+// relative hull that always contains the true scope.
+type ScopeProps struct {
+	FixedSize  bool
+	Size       int64 // meaningful when FixedSize
+	Sequential bool
+	Relative   bool
+	Win        Window // relative (or effective) window
+}
+
+// UnitScope is the scope of selections, projections and compose inputs:
+// exactly the current position.
+func UnitScope() ScopeProps {
+	return ScopeProps{FixedSize: true, Size: 1, Sequential: true, Relative: true, Win: Range(0, 0)}
+}
+
+// Unit reports a fixed scope of size one.
+func (p ScopeProps) Unit() bool { return p.FixedSize && p.Size == 1 }
+
+// Scope returns the operator's scope on its input-th input sequence.
+func (n *Node) Scope(input int) (ScopeProps, error) {
+	if input < 0 || input >= len(n.Inputs) {
+		return ScopeProps{}, fmt.Errorf("algebra: %s has no input %d", n.Kind, input)
+	}
+	switch n.Kind {
+	case KindSelect, KindProject, KindCompose:
+		return UnitScope(), nil
+	case KindPosOffset:
+		// Scope {i+l}: fixed size one, relative; sequential only for the
+		// identity offset (§2.3: "the scope of a positional offset
+		// operator is not [sequential]").
+		return ScopeProps{
+			FixedSize: true, Size: 1,
+			Sequential: n.Offset == 0,
+			Relative:   true,
+			Win:        Range(n.Offset, n.Offset),
+		}, nil
+	case KindValueOffset:
+		// Data-dependent: the |l|-th non-Null neighbor may be arbitrarily
+		// far away. Variable size, not sequential, not relative. The
+		// effective scope is the open-ended window on the relevant side.
+		w := Window{LoUnbounded: true, Hi: -1}
+		if n.Offset > 0 {
+			w = Window{Lo: 1, HiUnbounded: true}
+		}
+		return ScopeProps{Win: w}, nil
+	case KindAgg:
+		w := n.Agg.Window
+		size, fixed := w.Size()
+		return ScopeProps{
+			FixedSize:  fixed,
+			Size:       size,
+			Sequential: w.Sequential(),
+			Relative:   true,
+			Win:        w,
+		}, nil
+	case KindCollapse:
+		// Scope at output j is {jk, ..., jk+k-1}: fixed size k, but the
+		// positions are an affine (not translated) function of j — not
+		// relative, not sequential in the §2.3 sense (consecutive output
+		// scopes are disjoint), though trivially single-scan evaluable.
+		return ScopeProps{FixedSize: true, Size: n.Factor}, nil
+	case KindExpand:
+		// Scope {floor(i/k)}: fixed size one, non-relative (affine).
+		return ScopeProps{FixedSize: true, Size: 1}, nil
+	default:
+		return ScopeProps{}, fmt.Errorf("algebra: leaf %s has no scope", n.Kind)
+	}
+}
+
+// ComposeScopes combines the scope of an outer operator B on its input
+// with the scope of the inner operator A producing that input, yielding
+// the scope of the complex operator B∘A on A's input (§2.3: Op.Scope
+// is the union over k in B.Scope of A.Scope(k)). The combination
+// realizes Proposition 2.1:
+//
+//	(a) fixed ∘ fixed   = fixed (size ≤ product; for windows, width sum)
+//	(b) sequential ∘ sequential = sequential
+//	(c) relative ∘ relative     = relative (windows add)
+func ComposeScopes(outer, inner ScopeProps) ScopeProps {
+	win := addWindows(outer.Win, inner.Win)
+	out := ScopeProps{
+		FixedSize:  outer.FixedSize && inner.FixedSize,
+		Sequential: outer.Sequential && inner.Sequential,
+		Relative:   outer.Relative && inner.Relative,
+		Win:        win,
+	}
+	if out.FixedSize {
+		if s, ok := win.Size(); ok {
+			out.Size = s
+		} else {
+			out.FixedSize = false
+		}
+	}
+	return out
+}
+
+func addWindows(a, b Window) Window {
+	out := Window{
+		LoUnbounded: a.LoUnbounded || b.LoUnbounded,
+		HiUnbounded: a.HiUnbounded || b.HiUnbounded,
+	}
+	if !out.LoUnbounded {
+		out.Lo = a.Lo + b.Lo
+	}
+	if !out.HiUnbounded {
+		out.Hi = a.Hi + b.Hi
+	}
+	return out
+}
+
+// QueryScopes computes the scope of the whole query (viewed as one
+// complex operator, §2.3) on each of its base/constant leaves, by
+// composing scopes along every root-to-leaf path.
+func QueryScopes(root *Node) map[*Node]ScopeProps {
+	out := make(map[*Node]ScopeProps)
+	var walk func(n *Node, acc ScopeProps)
+	walk = func(n *Node, acc ScopeProps) {
+		if n.IsLeaf() {
+			out[n] = acc
+			return
+		}
+		for i, in := range n.Inputs {
+			s, err := n.Scope(i)
+			if err != nil {
+				continue
+			}
+			walk(in, ComposeScopes(acc, s))
+		}
+	}
+	walk(root, UnitScope())
+	return out
+}
+
+// StreamEvaluable reports whether the query admits a stream-access
+// evaluation with bounded caches. Per Theorem 3.1 and Lemma 3.2, a
+// sequential fixed-size (effective) scope at every operator suffices; the
+// engine additionally handles two broadenings (§3.4–3.5):
+//
+//   - positional offsets (fixed but non-sequential scope) run by
+//     broadening the effective scope to a bounded window, and
+//   - value offsets run with Cache-Strategy-B using a cache of |l|+1
+//     entries despite their variable scope.
+//
+// The only constructs that defeat single-scan evaluation here are
+// unbounded *future* references (All-window aggregates and forward value
+// offsets are handled with lookahead materialization, reported as
+// non-streamable).
+func StreamEvaluable(root *Node) bool {
+	ok := true
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		switch n.Kind {
+		case KindAgg:
+			if n.Agg.Window.HiUnbounded {
+				ok = false
+			}
+		}
+		for _, in := range n.Inputs {
+			walk(in)
+		}
+	}
+	walk(root)
+	return ok
+}

@@ -1,0 +1,237 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/seq"
+)
+
+func TestScopePerOperator(t *testing.T) {
+	b := mkBase(t, "s", 1, 2, 3)
+	sel, _ := Select(b, gtConst(t, b, "close", 0))
+	pr, _ := ProjectCols(b, "close")
+	po, _ := PosOffset(b, -5)
+	id, _ := PosOffset(b, 0)
+	vo, _ := Previous(b)
+	vn, _ := Next(b)
+	ag, _ := AggCol(b, AggSum, "close", Trailing(6), "")
+	lead, _ := AggCol(b, AggSum, "close", Range(1, 3), "")
+	cum, _ := AggCol(b, AggSum, "close", Cumulative(), "")
+	cm, _ := Compose(b, mkBase(t, "r", 1), nil, "l", "r")
+
+	cases := []struct {
+		name       string
+		node       *Node
+		input      int
+		unit       bool
+		fixed      bool
+		size       int64
+		sequential bool
+		relative   bool
+	}{
+		{"select", sel, 0, true, true, 1, true, true},
+		{"project", pr, 0, true, true, 1, true, true},
+		{"compose-left", cm, 0, true, true, 1, true, true},
+		{"compose-right", cm, 1, true, true, 1, true, true},
+		{"offset-5", po, 0, true, true, 1, false, true},
+		{"offset0", id, 0, true, true, 1, true, true},
+		{"previous", vo, 0, false, false, 0, false, false},
+		{"next", vn, 0, false, false, 0, false, false},
+		{"agg-trailing6", ag, 0, false, true, 6, true, true},
+		{"agg-leading", lead, 0, false, true, 3, false, true},
+		{"agg-cumulative", cum, 0, false, false, 0, true, true},
+	}
+	for _, c := range cases {
+		p, err := c.node.Scope(c.input)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if p.Unit() != c.unit {
+			t.Errorf("%s: unit = %v, want %v", c.name, p.Unit(), c.unit)
+		}
+		if p.FixedSize != c.fixed {
+			t.Errorf("%s: fixed = %v, want %v", c.name, p.FixedSize, c.fixed)
+		}
+		if p.FixedSize && p.Size != c.size {
+			t.Errorf("%s: size = %d, want %d", c.name, p.Size, c.size)
+		}
+		if p.Sequential != c.sequential {
+			t.Errorf("%s: sequential = %v, want %v", c.name, p.Sequential, c.sequential)
+		}
+		if p.Relative != c.relative {
+			t.Errorf("%s: relative = %v, want %v", c.name, p.Relative, c.relative)
+		}
+	}
+	if _, err := sel.Scope(5); err == nil {
+		t.Error("out-of-range input must fail")
+	}
+	if _, err := b.Scope(0); err == nil {
+		t.Error("leaf scope must fail")
+	}
+}
+
+// Figure 2's complex operator: scope of size 8 ending at the current
+// position (the current input record and the last seven).
+func TestFigure2Scope(t *testing.T) {
+	b := mkBase(t, "s", 1)
+	ag, _ := AggCol(b, AggSum, "close", Trailing(8), "")
+	p, _ := ag.Scope(0)
+	if !p.FixedSize || p.Size != 8 || !p.Sequential {
+		t.Errorf("figure-2 scope = %+v", p)
+	}
+	if p.Win.Lo != -7 || p.Win.Hi != 0 {
+		t.Errorf("window = %v, want [-7, 0]", p.Win)
+	}
+}
+
+// Proposition 2.1 on concrete compositions.
+func TestComposeScopesConcrete(t *testing.T) {
+	b := mkBase(t, "s", 1)
+	// sum over last 3 of (offset by -2): window [-2-2, 0-2] = [-4, -2].
+	po, _ := PosOffset(b, -2)
+	poScope, _ := po.Scope(0)
+	ag, _ := AggCol(po, AggSum, "close", Trailing(3), "")
+	agScope, _ := ag.Scope(0)
+	combined := ComposeScopes(agScope, poScope)
+	if !combined.FixedSize || combined.Size != 3 {
+		t.Errorf("combined = %+v, want fixed size 3", combined)
+	}
+	if combined.Win.Lo != -4 || combined.Win.Hi != -2 {
+		t.Errorf("combined window = %v, want [-4, -2]", combined.Win)
+	}
+	if combined.Sequential {
+		t.Error("offset breaks sequentiality (2.1b only preserves it when both are sequential)")
+	}
+	if !combined.Relative {
+		t.Error("relative ∘ relative must be relative (2.1c)")
+	}
+	// Two trailing aggregates compose to a trailing window: sequential.
+	a1, _ := AggCol(b, AggSum, "close", Trailing(3), "")
+	s1, _ := a1.Scope(0)
+	a2, _ := AggCol(a1, AggSum, "sum", Trailing(4), "")
+	s2, _ := a2.Scope(0)
+	both := ComposeScopes(s2, s1)
+	if !both.Sequential || !both.FixedSize || both.Size != 6 {
+		t.Errorf("trailing∘trailing = %+v, want sequential fixed size 6", both)
+	}
+	// Unbounded windows poison fixedness.
+	cum, _ := AggCol(b, AggSum, "close", Cumulative(), "")
+	sc, _ := cum.Scope(0)
+	mix := ComposeScopes(s1, sc)
+	if mix.FixedSize {
+		t.Error("fixed ∘ unbounded must not be fixed")
+	}
+	if !mix.Sequential {
+		t.Error("sequential ∘ sequential must stay sequential (2.1b)")
+	}
+}
+
+// Property 2.1 as a quick-check over random window stacks: composing
+// random trailing/offset scopes preserves (a) fixedness, (b)
+// sequentiality, (c) relativity per the proposition.
+func TestProposition21Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		randScope := func() ScopeProps {
+			switch rng.Intn(4) {
+			case 0:
+				return UnitScope()
+			case 1: // positional offset
+				l := int64(rng.Intn(11) - 5)
+				return ScopeProps{FixedSize: true, Size: 1, Sequential: l == 0, Relative: true, Win: Range(l, l)}
+			case 2: // trailing aggregate
+				w := int64(rng.Intn(6) + 1)
+				return ScopeProps{FixedSize: true, Size: w, Sequential: true, Relative: true, Win: Trailing(w)}
+			default: // value offset (variable, non-relative)
+				return ScopeProps{Win: Window{LoUnbounded: true, Hi: -1}}
+			}
+		}
+		a, b := randScope(), randScope()
+		c := ComposeScopes(a, b)
+		if c.FixedSize != (a.FixedSize && b.FixedSize) {
+			return false
+		}
+		if (a.Sequential && b.Sequential) && !c.Sequential {
+			return false // 2.1(b)
+		}
+		if c.Relative != (a.Relative && b.Relative) {
+			return false // 2.1(c)
+		}
+		// Window arithmetic: bounded sides add.
+		if !a.Win.LoUnbounded && !b.Win.LoUnbounded {
+			if c.Win.LoUnbounded || c.Win.Lo != a.Win.Lo+b.Win.Lo {
+				return false
+			}
+		} else if !c.Win.LoUnbounded {
+			return false
+		}
+		if !a.Win.HiUnbounded && !b.Win.HiUnbounded {
+			if c.Win.HiUnbounded || c.Win.Hi != a.Win.Hi+b.Win.Hi {
+				return false
+			}
+		} else if !c.Win.HiUnbounded {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueryScopes(t *testing.T) {
+	// select(sum over last 3(offset(-2, base))) on one leaf.
+	b := mkBase(t, "s", 1, 2, 3)
+	po, _ := PosOffset(b, -2)
+	ag, _ := AggCol(po, AggSum, "close", Trailing(3), "")
+	sel, _ := Select(ag, gtConst(t, ag, "sum", 0))
+	scopes := QueryScopes(sel)
+	p, ok := scopes[b]
+	if !ok {
+		t.Fatal("no scope recorded for base leaf")
+	}
+	if !p.FixedSize || p.Size != 3 || p.Win.Lo != -4 || p.Win.Hi != -2 {
+		t.Errorf("query scope on base = %+v", p)
+	}
+	// Two-leaf query.
+	l := mkBase(t, "l", 1)
+	r := mkBase(t, "r", 1)
+	cm, _ := Compose(l, r, nil, "l", "r")
+	pv, _ := Previous(cm)
+	scopes = QueryScopes(pv)
+	if len(scopes) != 2 {
+		t.Fatalf("scopes on %d leaves, want 2", len(scopes))
+	}
+	for _, leaf := range []*Node{l, r} {
+		if scopes[leaf].Relative {
+			t.Error("value offset must poison relativity on the path")
+		}
+	}
+}
+
+func TestStreamEvaluable(t *testing.T) {
+	b := mkBase(t, "s", 1, 2, 3)
+	ag, _ := AggCol(b, AggSum, "close", Trailing(3), "")
+	if !StreamEvaluable(ag) {
+		t.Error("trailing aggregate must be stream-evaluable")
+	}
+	cum, _ := AggCol(b, AggSum, "close", Cumulative(), "")
+	if !StreamEvaluable(cum) {
+		t.Error("cumulative aggregate must be stream-evaluable")
+	}
+	all, _ := AggCol(b, AggSum, "close", All(), "")
+	if StreamEvaluable(all) {
+		t.Error("whole-sequence aggregate is not stream-evaluable")
+	}
+	prev, _ := Previous(b)
+	if !StreamEvaluable(prev) {
+		t.Error("previous runs with Cache-Strategy-B: stream-evaluable")
+	}
+	deep, _ := AggCol(all, AggSum, "sum", Trailing(2), "")
+	if StreamEvaluable(deep) {
+		t.Error("nested non-streamable input must propagate")
+	}
+	_ = seq.EmptySpan
+}

@@ -1,0 +1,205 @@
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/seq"
+)
+
+// AggFunc enumerates the aggregate functions of the model (§2.1: "The
+// aggregate functions allowed are Avg, Count, Min, Max and Sum").
+type AggFunc int
+
+// The aggregate functions.
+const (
+	AggSum AggFunc = iota
+	AggAvg
+	AggCount
+	AggMin
+	AggMax
+)
+
+// String returns the function's name.
+func (f AggFunc) String() string {
+	switch f {
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggCount:
+		return "count"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(f))
+	}
+}
+
+// ResultType returns the output type of the aggregate applied to an input
+// of type in.
+func (f AggFunc) ResultType(in seq.Type) (seq.Type, error) {
+	switch f {
+	case AggCount:
+		return seq.TInt, nil
+	case AggAvg:
+		if !in.Numeric() {
+			return seq.TInvalid, fmt.Errorf("algebra: avg requires numeric input, got %s", in)
+		}
+		return seq.TFloat, nil
+	case AggSum:
+		if !in.Numeric() {
+			return seq.TInvalid, fmt.Errorf("algebra: sum requires numeric input, got %s", in)
+		}
+		return in, nil
+	case AggMin, AggMax:
+		if !in.Numeric() && in != seq.TString {
+			return seq.TInvalid, fmt.Errorf("algebra: %s requires an ordered input type, got %s", f, in)
+		}
+		return in, nil
+	default:
+		return seq.TInvalid, fmt.Errorf("algebra: unknown aggregate %v", f)
+	}
+}
+
+// Apply folds the aggregate over the given values (already filtered to
+// non-Null inputs). It returns ok=false when vals is empty, in which case
+// the operator's output is the Null record (§2.1: "Null records in the
+// inputs are ignored if there is at least one non-Null record; else the
+// output is a Null record").
+func (f AggFunc) Apply(vals []seq.Value) (seq.Value, bool, error) {
+	if len(vals) == 0 {
+		return seq.Value{}, false, nil
+	}
+	switch f {
+	case AggCount:
+		return seq.Int(int64(len(vals))), true, nil
+	case AggSum:
+		if vals[0].T == seq.TInt {
+			var s int64
+			for _, v := range vals {
+				s += v.AsInt()
+			}
+			return seq.Int(s), true, nil
+		}
+		var s float64
+		for _, v := range vals {
+			s += v.AsFloat()
+		}
+		return seq.Float(s), true, nil
+	case AggAvg:
+		var s float64
+		for _, v := range vals {
+			s += v.AsFloat()
+		}
+		return seq.Float(s / float64(len(vals))), true, nil
+	case AggMin, AggMax:
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c, err := v.Compare(best)
+			if err != nil {
+				return seq.Value{}, false, err
+			}
+			if (f == AggMin && c < 0) || (f == AggMax && c > 0) {
+				best = v
+			}
+		}
+		return best, true, nil
+	default:
+		return seq.Value{}, false, fmt.Errorf("algebra: unknown aggregate %v", f)
+	}
+}
+
+// Window is the agg_pos function of an aggregate operator, restricted to
+// the relative form the paper's operators use: the scope at position i is
+// the positions {i+Lo, ..., i+Hi}, optionally unbounded on either side.
+//
+//   - Trailing(w):   [i-w+1, i]      — "moving w-position" window
+//   - Cumulative():  (-inf, i]       — running aggregate
+//   - All():         (-inf, +inf)    — whole-sequence aggregate (the
+//     special case in §2.1 where agg_pos selects all positions)
+type Window struct {
+	Lo, Hi      int64
+	LoUnbounded bool
+	HiUnbounded bool
+}
+
+// Trailing returns the moving window covering the current position and
+// the w-1 previous ones. w must be positive.
+func Trailing(w int64) Window { return Window{Lo: -(w - 1), Hi: 0} }
+
+// Range returns the relative window [i+lo, i+hi].
+func Range(lo, hi int64) Window { return Window{Lo: lo, Hi: hi} }
+
+// Cumulative returns the running window (-inf, i].
+func Cumulative() Window { return Window{LoUnbounded: true, Hi: 0} }
+
+// All returns the whole-sequence window.
+func All() Window { return Window{LoUnbounded: true, HiUnbounded: true} }
+
+// Validate checks internal consistency.
+func (w Window) Validate() error {
+	if !w.LoUnbounded && !w.HiUnbounded && w.Lo > w.Hi {
+		return fmt.Errorf("algebra: window [%d, %d] is empty", w.Lo, w.Hi)
+	}
+	return nil
+}
+
+// Size returns the number of positions in the window and whether that
+// size is fixed (false for unbounded windows).
+func (w Window) Size() (int64, bool) {
+	if w.LoUnbounded || w.HiUnbounded {
+		return 0, false
+	}
+	return w.Hi - w.Lo + 1, true
+}
+
+// Sequential reports whether the window's scope is sequential in the
+// sense of §2.3: Scope(i) ⊆ Scope(i-1) ∪ {i}. Relative windows are
+// sequential exactly when they end at the current position (Hi == 0) or
+// extend unboundedly on the right only together with the left
+// (the All window trivially has Scope(i) == Scope(i-1)).
+func (w Window) Sequential() bool {
+	if w.HiUnbounded {
+		return w.LoUnbounded // All: scope constant across positions
+	}
+	return w.Hi == 0
+}
+
+// Positions returns the window's absolute position span at position i,
+// clamping unbounded sides to the sentinels.
+func (w Window) Positions(i seq.Pos) seq.Span {
+	lo, hi := seq.MinPos, seq.MaxPos
+	if !w.LoUnbounded {
+		lo = seq.ClampPos(i + w.Lo)
+	}
+	if !w.HiUnbounded {
+		hi = seq.ClampPos(i + w.Hi)
+	}
+	return seq.Span{Start: lo, End: hi}
+}
+
+// String renders the window.
+func (w Window) String() string {
+	switch {
+	case w.LoUnbounded && w.HiUnbounded:
+		return "all"
+	case w.LoUnbounded:
+		return fmt.Sprintf("(-inf, %+d]", w.Hi)
+	case w.HiUnbounded:
+		return fmt.Sprintf("[%+d, +inf)", w.Lo)
+	default:
+		return fmt.Sprintf("[%+d, %+d]", w.Lo, w.Hi)
+	}
+}
+
+// AggSpec parameterizes an aggregate operator: the function, the input
+// expression it folds (nil means "the record itself", legal only for
+// Count), the window, and the output attribute name.
+type AggSpec struct {
+	Func   AggFunc
+	Arg    int // input attribute index; -1 for Count over whole records
+	Window Window
+	As     string // output attribute name; defaults to the function name
+}

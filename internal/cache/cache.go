@@ -1,0 +1,173 @@
+// Package cache implements the operator caches of §3.4: randomly
+// accessible FIFO buffers, associatively addressable by position, that
+// stream-access evaluation attaches to each operator. Cache sizes are
+// fixed by the query plan; the package tracks peak residency so tests and
+// experiments can verify the cache-finite property (Definition 3.2).
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/seq"
+)
+
+// FIFO is a first-in-first-out positional record cache. Records are
+// inserted in increasing position order (the order a stream access
+// produces them); when the cache is full the oldest entry is evicted.
+// Lookup by position is O(log n) via binary search over the ring, which
+// stays sorted because insertion order is positional order.
+type FIFO struct {
+	buf  []seq.Entry // ring storage
+	head int         // index of oldest entry
+	n    int         // live entries
+	cap  int
+
+	lastPos seq.Pos
+	havePos bool
+	peak    int
+	hits    int64
+	misses  int64
+	puts    int64
+	evicts  int64
+}
+
+// NewFIFO returns a cache holding at most capacity entries.
+// Capacity must be positive.
+func NewFIFO(capacity int) *FIFO {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cache: capacity must be positive, got %d", capacity))
+	}
+	return &FIFO{buf: make([]seq.Entry, capacity), cap: capacity}
+}
+
+// Len returns the number of live entries.
+func (c *FIFO) Len() int { return c.n }
+
+// Cap returns the configured capacity.
+func (c *FIFO) Cap() int { return c.cap }
+
+// Peak returns the maximum number of entries ever resident.
+func (c *FIFO) Peak() int { return c.peak }
+
+// Hits and Misses return the lookup counters; Puts and Evictions the
+// insertion counters.
+func (c *FIFO) Hits() int64      { return c.hits }
+func (c *FIFO) Misses() int64    { return c.misses }
+func (c *FIFO) Puts() int64      { return c.puts }
+func (c *FIFO) Evictions() int64 { return c.evicts }
+
+func (c *FIFO) at(i int) *seq.Entry {
+	return &c.buf[(c.head+i)%c.cap]
+}
+
+// Put inserts a record at the given position, which must exceed every
+// previously inserted position. Inserting a Null record is allowed: some
+// operators cache "position known empty" results.
+func (c *FIFO) Put(pos seq.Pos, rec seq.Record) {
+	if c.havePos && pos <= c.lastPos {
+		panic(fmt.Sprintf("cache: out-of-order Put at %d after %d", pos, c.lastPos))
+	}
+	c.lastPos, c.havePos = pos, true
+	c.puts++
+	if c.n == c.cap {
+		c.buf[c.head] = seq.Entry{}
+		c.head = (c.head + 1) % c.cap
+		c.n--
+		c.evicts++
+	}
+	*c.at(c.n) = seq.Entry{Pos: pos, Rec: rec}
+	c.n++
+	if c.n > c.peak {
+		c.peak = c.n
+	}
+}
+
+// Get returns the cached record at exactly pos. The boolean reports
+// whether the position is present in the cache at all (a present position
+// may still hold a Null record).
+func (c *FIFO) Get(pos seq.Pos) (seq.Record, bool) {
+	i, ok := c.search(pos)
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return c.at(i).Rec, true
+}
+
+// search finds the smallest index whose position is >= pos; ok reports an
+// exact match.
+func (c *FIFO) search(pos seq.Pos) (int, bool) {
+	lo, hi := 0, c.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.at(mid).Pos < pos {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < c.n && c.at(lo).Pos == pos
+}
+
+// EvictBelow drops every entry with position < pos (used by sliding
+// windows to retire records that left the scope).
+func (c *FIFO) EvictBelow(pos seq.Pos) {
+	for c.n > 0 && c.buf[c.head].Pos < pos {
+		c.buf[c.head] = seq.Entry{}
+		c.head = (c.head + 1) % c.cap
+		c.n--
+		c.evicts++
+	}
+}
+
+// Oldest returns the oldest live entry.
+func (c *FIFO) Oldest() (seq.Entry, bool) {
+	if c.n == 0 {
+		return seq.Entry{}, false
+	}
+	return *c.at(0), true
+}
+
+// Newest returns the most recently inserted entry.
+func (c *FIFO) Newest() (seq.Entry, bool) {
+	if c.n == 0 {
+		return seq.Entry{}, false
+	}
+	return *c.at(c.n - 1), true
+}
+
+// Ascend calls f on each live entry from oldest to newest, stopping early
+// if f returns false.
+func (c *FIFO) Ascend(f func(seq.Entry) bool) {
+	for i := 0; i < c.n; i++ {
+		if !f(*c.at(i)) {
+			return
+		}
+	}
+}
+
+// AscendRange calls f on each live entry with position in [lo, hi], in
+// increasing position order, stopping early if f returns false.
+func (c *FIFO) AscendRange(lo, hi seq.Pos, f func(seq.Entry) bool) {
+	i, _ := c.search(lo)
+	for ; i < c.n; i++ {
+		e := c.at(i)
+		if e.Pos > hi {
+			return
+		}
+		if !f(*e) {
+			return
+		}
+	}
+}
+
+// Reset empties the cache and clears positional ordering state (counters
+// are preserved so long-running plans keep cumulative statistics).
+func (c *FIFO) Reset() {
+	for i := 0; i < c.n; i++ {
+		*c.at(i) = seq.Entry{}
+	}
+	c.head, c.n = 0, 0
+	c.havePos = false
+}

@@ -1,0 +1,242 @@
+package cache
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/seq"
+)
+
+func rec(v int64) seq.Record { return seq.Record{seq.Int(v)} }
+
+func TestNewFIFORejectsNonPositiveCapacity(t *testing.T) {
+	for _, c := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFIFO(%d) did not panic", c)
+				}
+			}()
+			NewFIFO(c)
+		}()
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	c := NewFIFO(4)
+	c.Put(10, rec(1))
+	c.Put(20, rec(2))
+	if r, ok := c.Get(10); !ok || r[0].AsInt() != 1 {
+		t.Errorf("Get(10) = %v, %v", r, ok)
+	}
+	if r, ok := c.Get(20); !ok || r[0].AsInt() != 2 {
+		t.Errorf("Get(20) = %v, %v", r, ok)
+	}
+	if _, ok := c.Get(15); ok {
+		t.Error("Get(15) must miss")
+	}
+	if c.Hits() != 2 || c.Misses() != 1 || c.Puts() != 2 {
+		t.Errorf("counters: hits=%d misses=%d puts=%d", c.Hits(), c.Misses(), c.Puts())
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	c := NewFIFO(2)
+	c.Put(1, rec(1))
+	c.Put(2, rec(2))
+	c.Put(3, rec(3)) // evicts pos 1
+	if _, ok := c.Get(1); ok {
+		t.Error("oldest entry must have been evicted")
+	}
+	if _, ok := c.Get(2); !ok {
+		t.Error("pos 2 must survive")
+	}
+	if _, ok := c.Get(3); !ok {
+		t.Error("pos 3 must survive")
+	}
+	if c.Evictions() != 1 {
+		t.Errorf("evictions = %d, want 1", c.Evictions())
+	}
+	if c.Len() != 2 || c.Peak() != 2 {
+		t.Errorf("len=%d peak=%d", c.Len(), c.Peak())
+	}
+}
+
+func TestOutOfOrderPutPanics(t *testing.T) {
+	c := NewFIFO(4)
+	c.Put(5, rec(1))
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order Put must panic")
+		}
+	}()
+	c.Put(5, rec(2))
+}
+
+func TestNullRecordsAreCacheable(t *testing.T) {
+	c := NewFIFO(2)
+	c.Put(7, nil)
+	r, ok := c.Get(7)
+	if !ok {
+		t.Error("Null record at known position must be a cache hit")
+	}
+	if !r.IsNull() {
+		t.Error("cached record must be Null")
+	}
+}
+
+func TestEvictBelow(t *testing.T) {
+	c := NewFIFO(8)
+	for p := seq.Pos(1); p <= 6; p++ {
+		c.Put(p, rec(int64(p)))
+	}
+	c.EvictBelow(4)
+	if c.Len() != 3 {
+		t.Errorf("len after EvictBelow = %d, want 3", c.Len())
+	}
+	if _, ok := c.Get(3); ok {
+		t.Error("pos 3 must be evicted")
+	}
+	if _, ok := c.Get(4); !ok {
+		t.Error("pos 4 must survive")
+	}
+	old, ok := c.Oldest()
+	if !ok || old.Pos != 4 {
+		t.Errorf("Oldest = %v, %v", old, ok)
+	}
+	nw, ok := c.Newest()
+	if !ok || nw.Pos != 6 {
+		t.Errorf("Newest = %v, %v", nw, ok)
+	}
+}
+
+func TestOldestNewestEmpty(t *testing.T) {
+	c := NewFIFO(2)
+	if _, ok := c.Oldest(); ok {
+		t.Error("empty Oldest must report false")
+	}
+	if _, ok := c.Newest(); ok {
+		t.Error("empty Newest must report false")
+	}
+}
+
+func TestAscend(t *testing.T) {
+	c := NewFIFO(3)
+	for p := seq.Pos(1); p <= 5; p++ { // wraps the ring
+		c.Put(p, rec(int64(p)))
+	}
+	var got []seq.Pos
+	c.Ascend(func(e seq.Entry) bool {
+		got = append(got, e.Pos)
+		return true
+	})
+	want := []seq.Pos{3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Ascend = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Ascend = %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	count := 0
+	c.Ascend(func(seq.Entry) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("early-stop Ascend visited %d", count)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	c := NewFIFO(10)
+	for _, p := range []seq.Pos{2, 4, 6, 8} {
+		c.Put(p, rec(int64(p)))
+	}
+	var got []seq.Pos
+	c.AscendRange(3, 7, func(e seq.Entry) bool {
+		got = append(got, e.Pos)
+		return true
+	})
+	if len(got) != 2 || got[0] != 4 || got[1] != 6 {
+		t.Errorf("AscendRange = %v, want [4 6]", got)
+	}
+	got = nil
+	c.AscendRange(9, 100, func(e seq.Entry) bool { got = append(got, e.Pos); return true })
+	if len(got) != 0 {
+		t.Errorf("empty AscendRange = %v", got)
+	}
+	// Early stop.
+	count := 0
+	c.AscendRange(0, 100, func(seq.Entry) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("early-stop AscendRange visited %d", count)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewFIFO(2)
+	c.Put(1, rec(1))
+	c.Reset()
+	if c.Len() != 0 {
+		t.Error("Reset must empty the cache")
+	}
+	c.Put(1, rec(2)) // re-inserting the same position after Reset is legal
+	if r, ok := c.Get(1); !ok || r[0].AsInt() != 2 {
+		t.Errorf("Get after Reset = %v, %v", r, ok)
+	}
+	if c.Peak() != 1 {
+		t.Errorf("peak = %d", c.Peak())
+	}
+}
+
+// Property: after any in-order insertion sequence into a cache of capacity
+// k, the cache holds exactly the last min(n, k) insertions, and Get
+// answers exactly those positions.
+func TestFIFORetentionProperty(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60)
+		posSet := make(map[seq.Pos]bool)
+		for i := 0; i < n; i++ {
+			posSet[seq.Pos(rng.Intn(200))] = true
+		}
+		var positions []seq.Pos
+		for p := range posSet {
+			positions = append(positions, p)
+		}
+		sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+		c := NewFIFO(capacity)
+		for _, p := range positions {
+			c.Put(p, rec(int64(p)))
+		}
+		keep := positions
+		if len(keep) > capacity {
+			keep = keep[len(keep)-capacity:]
+		}
+		if c.Len() != len(keep) {
+			return false
+		}
+		kept := make(map[seq.Pos]bool, len(keep))
+		for _, p := range keep {
+			kept[p] = true
+			r, ok := c.Get(p)
+			if !ok || r[0].AsInt() != int64(p) {
+				return false
+			}
+		}
+		for _, p := range positions {
+			if !kept[p] {
+				if _, ok := c.Get(p); ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/seq"
+	"repro/internal/testgen"
+)
+
+// TestDeepRandomSweep is the heavyweight randomized campaign: deeper
+// trees and more seeds than the per-package property tests, across every
+// optimizer configuration. It caught the shared-base-node access-span
+// bug and the sliding-sum float-drift subtlety during development.
+func TestDeepRandomSweep(t *testing.T) {
+	span := seq.NewSpan(-12, 60)
+	cfg := testgen.Config{MaxDepth: 6, MaxPos: 40, BaseDensity: 0.45}
+	optionSets := []Options{
+		{},
+		{DisableRewrites: true},
+		{DisableSpanPropagation: true},
+		{ForceNaiveAggregates: true, ForceNaiveValueOffsets: true},
+		{DisableSlidingAggregates: true},
+	}
+	for seed := int64(1000); seed < 4000; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q, err := testgen.RandomQuery(rng, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if algebra.Divergent(q) {
+			continue
+		}
+		want, err := algebra.EvalRange(q, span)
+		if err != nil {
+			t.Fatalf("seed %d: reference: %v\n%s", seed, err, q)
+		}
+		opts := optionSets[seed%int64(len(optionSets))]
+		res, err := Optimize(q, span, opts)
+		if err != nil {
+			t.Fatalf("seed %d: optimize: %v\n%s", seed, err, q)
+		}
+		got, err := res.Run()
+		if err != nil {
+			t.Fatalf("seed %d: run: %v\nquery:\n%s\nplan:\n%s", seed, err, q, res.Explain())
+		}
+		if !testgen.EntriesApproxEqual(got.Entries(), want) {
+			t.Fatalf("seed %d (opts %d): output differs\nquery:\n%s\nplan:\n%s",
+				seed, seed%5, q, res.Explain())
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/cache"
+	"repro/internal/seq"
+)
+
+// CollapseOp evaluates the ordering-domain coarsening operator (§5.1):
+// output position j aggregates the input records at positions
+// {jk, ..., jk+k-1}. Stream evaluation is a single input scan — groups
+// arrive contiguously, so no cache is needed at all; probes scan one
+// k-position segment.
+type CollapseOp struct {
+	In      Plan
+	Factor  int64
+	Spec    algebra.AggSpec
+	OutSpan seq.Span
+	schema  *seq.Schema
+}
+
+// NewCollapse builds the collapse operator.
+func NewCollapse(in Plan, factor int64, spec algebra.AggSpec, outSpan seq.Span) (*CollapseOp, error) {
+	if factor <= 1 {
+		return nil, fmt.Errorf("exec: collapse factor must be > 1, got %d", factor)
+	}
+	schema, err := aggSchema(in, &spec)
+	if err != nil {
+		return nil, err
+	}
+	return &CollapseOp{In: in, Factor: factor, Spec: spec, OutSpan: outSpan, schema: schema}, nil
+}
+
+// Info implements seq.Sequence.
+func (c *CollapseOp) Info() seq.Info {
+	return seq.Info{Schema: c.schema, Span: c.OutSpan, Density: 1}
+}
+
+// Probe implements seq.Sequence: aggregate one group segment.
+func (c *CollapseOp) Probe(pos seq.Pos) (seq.Record, error) {
+	group := algebra.GroupSpan(pos, c.Factor).Intersect(c.In.Info().Span)
+	if group.IsEmpty() {
+		return nil, nil
+	}
+	cur := c.In.Scan(group)
+	defer cur.Close()
+	var vals []seq.Value
+	for {
+		_, r, ok := cur.Next()
+		if !ok {
+			break
+		}
+		vals = append(vals, aggArg(&c.Spec, r))
+	}
+	if err := cur.Err(); err != nil {
+		return nil, err
+	}
+	v, ok, err := c.Spec.Func.Apply(vals)
+	if err != nil || !ok {
+		return nil, err
+	}
+	return seq.Record{v}, nil
+}
+
+// Scan implements seq.Sequence: one pass over the grouped input.
+func (c *CollapseOp) Scan(span seq.Span) seq.Cursor {
+	span = span.Intersect(c.OutSpan)
+	if span.IsEmpty() {
+		return emptyCursor{}
+	}
+	if !span.Bounded() {
+		return seq.ErrCursor(fmt.Errorf("exec: unbounded scan of collapse (span %v)", span))
+	}
+	inSpan := seq.Span{
+		Start: seq.ClampPos(span.Start * c.Factor),
+		End:   seq.ClampPos(span.End*c.Factor + c.Factor - 1),
+	}.Intersect(c.In.Info().Span)
+	in := newPull(c.In.Scan(inSpan))
+	var done bool
+	vals := make([]seq.Value, 0, c.Factor) // reused across groups
+	return &forwardCursor{
+		closes: []func() error{in.close},
+		next: func() (seq.Pos, seq.Record, bool, error) {
+			for !done {
+				// The next group is determined by the next input record.
+				e, ok, err := in.peek()
+				if err != nil {
+					return 0, nil, false, err
+				}
+				if !ok {
+					done = true
+					return 0, nil, false, nil
+				}
+				j := algebra.FloorDiv(e.Pos, c.Factor)
+				groupEnd := j*c.Factor + c.Factor - 1
+				vals = vals[:0]
+				for {
+					e, ok, err := in.peek()
+					if err != nil {
+						return 0, nil, false, err
+					}
+					if !ok || e.Pos > groupEnd {
+						break
+					}
+					vals = append(vals, aggArg(&c.Spec, e.Rec))
+					in.take()
+				}
+				v, okv, err := c.Spec.Func.Apply(vals)
+				if err != nil {
+					return 0, nil, false, err
+				}
+				if okv && span.Contains(j) {
+					return j, seq.Record{v}, true, nil
+				}
+			}
+			return 0, nil, false, nil
+		},
+	}
+}
+
+// Label implements Plan.
+func (c *CollapseOp) Label() string {
+	return fmt.Sprintf("collapse(%s, k=%d)", c.Spec.Func, c.Factor)
+}
+
+// Children implements Plan.
+func (c *CollapseOp) Children() []Plan { return []Plan{c.In} }
+
+// Caches implements Plan.
+func (c *CollapseOp) Caches() []*cache.FIFO { return nil }
+
+// ExpandOp evaluates the ordering-domain refinement operator (§5.1):
+// output position i carries the input record at floor(i/k), replicating
+// each coarse record across its k fine positions.
+type ExpandOp struct {
+	In      Plan
+	Factor  int64
+	OutSpan seq.Span
+}
+
+// NewExpand builds the expand operator.
+func NewExpand(in Plan, factor int64, outSpan seq.Span) (*ExpandOp, error) {
+	if factor <= 1 {
+		return nil, fmt.Errorf("exec: expand factor must be > 1, got %d", factor)
+	}
+	return &ExpandOp{In: in, Factor: factor, OutSpan: outSpan}, nil
+}
+
+// Info implements seq.Sequence.
+func (x *ExpandOp) Info() seq.Info {
+	info := x.In.Info()
+	info.Span = x.OutSpan
+	return info
+}
+
+// Probe implements seq.Sequence.
+func (x *ExpandOp) Probe(pos seq.Pos) (seq.Record, error) {
+	return x.In.Probe(algebra.FloorDiv(pos, x.Factor))
+}
+
+// Scan implements seq.Sequence: each input record is emitted k times.
+func (x *ExpandOp) Scan(span seq.Span) seq.Cursor {
+	span = span.Intersect(x.OutSpan)
+	if span.IsEmpty() {
+		return emptyCursor{}
+	}
+	if !span.Bounded() {
+		return seq.ErrCursor(fmt.Errorf("exec: unbounded scan of expand (span %v)", span))
+	}
+	inSpan := seq.Span{
+		Start: algebra.FloorDiv(span.Start, x.Factor),
+		End:   algebra.FloorDiv(span.End, x.Factor),
+	}
+	in := newPull(x.In.Scan(inSpan))
+	var cur seq.Entry
+	var at, end seq.Pos
+	var have bool
+	return &forwardCursor{
+		closes: []func() error{in.close},
+		next: func() (seq.Pos, seq.Record, bool, error) {
+			for {
+				if have && at <= end {
+					p := at
+					at++
+					return p, cur.Rec, true, nil
+				}
+				e, ok, err := in.peek()
+				if err != nil {
+					return 0, nil, false, err
+				}
+				if !ok {
+					return 0, nil, false, nil
+				}
+				in.take()
+				cur = e
+				lo := e.Pos * x.Factor
+				hi := lo + x.Factor - 1
+				if lo < span.Start {
+					lo = span.Start
+				}
+				if hi > span.End {
+					hi = span.End
+				}
+				at, end, have = lo, hi, true
+			}
+		},
+	}
+}
+
+// Label implements Plan.
+func (x *ExpandOp) Label() string { return fmt.Sprintf("expand(k=%d)", x.Factor) }
+
+// Children implements Plan.
+func (x *ExpandOp) Children() []Plan { return []Plan{x.In} }
+
+// Caches implements Plan.
+func (x *ExpandOp) Caches() []*cache.FIFO { return nil }

@@ -1,0 +1,180 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/seq"
+)
+
+func TestCollapseOpMatchesReference(t *testing.T) {
+	pairs := map[seq.Pos]float64{0: 10, 3: 20, 7: 30, 13: 50, 14: 60, 20: 70}
+	for _, k := range []int64{2, 3, 7} {
+		for _, f := range []algebra.AggFunc{algebra.AggSum, algebra.AggAvg, algebra.AggMin, algebra.AggMax, algebra.AggCount} {
+			spec := algebra.AggSpec{Func: f, Arg: 0, As: "g"}
+			node := algebra.Base("s", mkSeq(t, pairs))
+			cn, err := algebra.Collapse(node, k, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			span := seq.NewSpan(-2, 12)
+			want, err := algebra.EvalRange(cn, span)
+			if err != nil {
+				t.Fatal(err)
+			}
+			op, err := NewCollapse(leaf(t, pairs), k, spec, span)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := seq.Collect(op.Scan(seq.AllSpan))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("k=%d %s: got %v, want %v", k, f, got, want)
+			}
+			for i := range got {
+				if got[i].Pos != want[i].Pos || !got[i].Rec.Equal(want[i].Rec) {
+					t.Fatalf("k=%d %s at %d: %v vs %v", k, f, got[i].Pos, got[i].Rec, want[i].Rec)
+				}
+			}
+			// Probes agree with the stream results.
+			byPos := make(map[seq.Pos]seq.Record)
+			for _, e := range want {
+				byPos[e.Pos] = e.Rec
+			}
+			for p := span.Start; p <= span.End; p++ {
+				r, err := op.Probe(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !r.Equal(byPos[p]) {
+					t.Fatalf("k=%d %s Probe(%d) = %v, want %v", k, f, p, r, byPos[p])
+				}
+			}
+		}
+	}
+}
+
+func TestExpandOpMatchesReference(t *testing.T) {
+	pairs := map[seq.Pos]float64{0: 10, 2: 30, 5: 50}
+	for _, k := range []int64{2, 3, 5} {
+		node := algebra.Base("s", mkSeq(t, pairs))
+		xn, err := algebra.Expand(node, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		span := seq.NewSpan(-3, 30)
+		want, err := algebra.EvalRange(xn, span)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op, err := NewExpand(leaf(t, pairs), k, span)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := seq.Collect(op.Scan(seq.AllSpan))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: got %d entries, want %d", k, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Pos != want[i].Pos || !got[i].Rec.Equal(want[i].Rec) {
+				t.Fatalf("k=%d at %d: %v vs %v", k, got[i].Pos, got[i].Rec, want[i].Rec)
+			}
+		}
+		for _, p := range []seq.Pos{-1, 0, 1, 7, 11, 29} {
+			r, err := op.Probe(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRec, _ := mkSeq(t, pairs).Probe(algebra.FloorDiv(p, k))
+			if !r.Equal(wantRec) {
+				t.Fatalf("k=%d Probe(%d) = %v, want %v", k, p, r, wantRec)
+			}
+		}
+	}
+}
+
+func TestExpandScanPartialGroups(t *testing.T) {
+	// A scan window cutting through the middle of replicated groups.
+	op, err := NewExpand(leaf(t, map[seq.Pos]float64{1: 10, 2: 20}), 4, seq.NewSpan(0, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := seq.Collect(op.Scan(seq.NewSpan(6, 9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group 1 covers 4..7, group 2 covers 8..11; window [6,9] sees 6,7
+	// from group 1 and 8,9 from group 2.
+	if len(got) != 4 || got[0].Pos != 6 || got[3].Pos != 9 {
+		t.Fatalf("partial scan = %v", got)
+	}
+	if got[0].Rec[0].AsFloat() != 10 || got[3].Rec[0].AsFloat() != 20 {
+		t.Fatalf("partial scan records = %v", got)
+	}
+}
+
+func TestDomainOpValidationAndMetadata(t *testing.T) {
+	in := leaf(t, map[seq.Pos]float64{1: 1})
+	if _, err := NewCollapse(in, 1, algebra.AggSpec{Func: algebra.AggSum, Arg: 0}, seq.AllSpan); err == nil {
+		t.Error("factor 1 collapse must fail")
+	}
+	if _, err := NewExpand(in, 1, seq.AllSpan); err == nil {
+		t.Error("factor 1 expand must fail")
+	}
+	c, _ := NewCollapse(in, 2, algebra.AggSpec{Func: algebra.AggSum, Arg: 0}, seq.NewSpan(0, 4))
+	if c.Label() == "" || len(c.Children()) != 1 || c.Caches() != nil {
+		t.Error("collapse plan metadata wrong")
+	}
+	if err := c.Scan(seq.AllSpan).Err(); err != nil {
+		t.Errorf("bounded outspan scan errored: %v", err)
+	}
+	unbounded, _ := NewCollapse(in, 2, algebra.AggSpec{Func: algebra.AggSum, Arg: 0}, seq.AllSpan)
+	if err := unbounded.Scan(seq.AllSpan).Err(); err == nil {
+		t.Error("unbounded collapse scan must error")
+	}
+	x, _ := NewExpand(in, 2, seq.NewSpan(0, 4))
+	if x.Label() == "" || len(x.Children()) != 1 {
+		t.Error("expand plan metadata wrong")
+	}
+	xu, _ := NewExpand(in, 2, seq.AllSpan)
+	if err := xu.Scan(seq.AllSpan).Err(); err == nil {
+		t.Error("unbounded expand scan must error")
+	}
+}
+
+func TestRenameOp(t *testing.T) {
+	in := leaf(t, map[seq.Pos]float64{1: 5})
+	renamed := seq.MustSchema(seq.Field{Name: "last", Type: seq.TFloat})
+	r, err := NewRename(in, renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Info().Schema.Field(0).Name != "last" {
+		t.Error("rename did not take")
+	}
+	rec, err := r.Probe(1)
+	if err != nil || rec[0].AsFloat() != 5 {
+		t.Errorf("probe through rename = %v, %v", rec, err)
+	}
+	got, err := seq.Collect(r.Scan(seq.AllSpan))
+	if err != nil || len(got) != 1 {
+		t.Errorf("scan through rename = %v, %v", got, err)
+	}
+	if r.Label() == "" || len(r.Children()) != 1 || r.Caches() != nil {
+		t.Error("rename metadata wrong")
+	}
+	// Arity and type mismatches rejected.
+	two := seq.MustSchema(seq.Field{Name: "a", Type: seq.TFloat}, seq.Field{Name: "b", Type: seq.TFloat})
+	if _, err := NewRename(in, two); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+	intS := seq.MustSchema(seq.Field{Name: "v", Type: seq.TInt})
+	if _, err := NewRename(in, intS); err == nil {
+		t.Error("type mismatch must fail")
+	}
+}

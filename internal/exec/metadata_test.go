@@ -1,0 +1,97 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/seq"
+)
+
+// Every physical operator must expose coherent plan metadata: a
+// non-empty label, its children, its caches (possibly none), and an Info
+// with the schema evaluation needs. Explain must render the whole tree.
+func TestAllOperatorsPlanMetadata(t *testing.T) {
+	pairs := map[seq.Pos]float64{1: 1, 2: 2, 3: 3, 4: 4}
+	in := leaf(t, pairs)
+	spec := algebra.AggSpec{Func: algebra.AggSum, Arg: 0, Window: algebra.Trailing(2), As: "s"}
+	cumSpec := algebra.AggSpec{Func: algebra.AggSum, Arg: 0, Window: algebra.Cumulative(), As: "c"}
+	span := seq.NewSpan(1, 6)
+
+	c, _ := expr.NewCol(closeSchema, "close")
+	pred, _ := expr.NewBin(expr.OpGt, c, expr.Literal(seq.Float(0)))
+	composeSchema, _ := closeSchema.Concat(closeSchema, "l", "r")
+
+	sel := NewSelect(in, pred)
+	proj, _ := NewProject(in, []ProjExpr{{Expr: c, Name: "close"}})
+	off := NewPosOffset(in, 2)
+	von, _ := NewValueOffsetNaive(in, -1, span)
+	voi, _ := NewValueOffsetIncremental(in, -1, span)
+	agn, _ := NewAggNaive(in, spec, span)
+	agc, _ := NewAggCached(in, spec, span)
+	ags, _ := NewAggSliding(in, spec, span)
+	agr, _ := NewAggCumulative(in, cumSpec, span)
+	cmp, _ := NewCompose(leaf(t, pairs), leaf(t, pairs), nil, composeSchema, ComposeLockStep)
+	mat, _ := NewMaterialize(in, span)
+	col, _ := NewCollapse(in, 2, algebra.AggSpec{Func: algebra.AggSum, Arg: 0, As: "g"}, seq.NewSpan(0, 3))
+	exp, _ := NewExpand(in, 2, seq.NewSpan(2, 9))
+	ren, _ := NewRename(in, seq.MustSchema(seq.Field{Name: "x", Type: seq.TFloat}))
+
+	plans := []Plan{sel, proj, off, von, voi, agn, agc, ags, agr, cmp, mat, col, exp, ren}
+	for _, p := range plans {
+		if p.Label() == "" {
+			t.Errorf("%T: empty label", p)
+		}
+		if len(p.Children()) == 0 {
+			t.Errorf("%T: no children", p)
+		}
+		info := p.Info()
+		if info.Schema == nil || info.Schema.NumFields() == 0 {
+			t.Errorf("%T: bad info schema", p)
+		}
+		text := Explain(p)
+		if !strings.Contains(text, "scan(s)") {
+			t.Errorf("%T: explain does not reach the leaf:\n%s", p, text)
+		}
+		// Caches must be consistent with AllCaches.
+		if len(p.Caches()) > len(AllCaches(p)) {
+			t.Errorf("%T: caches inconsistent", p)
+		}
+	}
+	// Cache-owning operators report them.
+	if len(voi.Caches()) != 1 || len(agc.Caches()) != 1 {
+		t.Error("voffset-cacheB and agg-cacheA must own one cache each")
+	}
+}
+
+// Every operator's Scan must respect a narrowed request span.
+func TestAllOperatorsScanNarrowing(t *testing.T) {
+	pairs := map[seq.Pos]float64{1: 1, 2: 2, 3: 3, 4: 4, 5: 5, 6: 6}
+	in := leaf(t, pairs)
+	spec := algebra.AggSpec{Func: algebra.AggSum, Arg: 0, Window: algebra.Trailing(2), As: "s"}
+	span := seq.NewSpan(1, 6)
+	narrow := seq.NewSpan(3, 4)
+
+	von, _ := NewValueOffsetNaive(in, -1, span)
+	voi, _ := NewValueOffsetIncremental(in, -1, span)
+	agc, _ := NewAggCached(in, spec, span)
+	ags, _ := NewAggSliding(in, spec, span)
+	col, _ := NewCollapse(in, 2, algebra.AggSpec{Func: algebra.AggSum, Arg: 0, As: "g"}, seq.NewSpan(0, 3))
+	exp, _ := NewExpand(in, 2, seq.NewSpan(2, 13))
+
+	for _, p := range []Plan{von, voi, agc, ags, col, exp} {
+		es, err := seq.Collect(p.Scan(narrow))
+		if err != nil {
+			t.Fatalf("%s: %v", p.Label(), err)
+		}
+		for _, e := range es {
+			if !narrow.Contains(e.Pos) {
+				t.Errorf("%s: emitted %d outside %v", p.Label(), e.Pos, narrow)
+			}
+		}
+		if len(es) == 0 {
+			t.Errorf("%s: narrowed scan yielded nothing", p.Label())
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/seq"
+)
+
+// valueOffsetInfo computes the common Info of a value-offset operator.
+func valueOffsetInfo(in Plan, outSpan seq.Span) seq.Info {
+	info := in.Info()
+	info.Span = outSpan
+	info.Density = 1
+	return info
+}
+
+// ValueOffsetNaive evaluates a value offset with the naive algorithm of
+// §3.5/§4.1.2: each output position walks the input backward (or
+// forward) probing position by position until it has seen |offset|
+// non-Null records. Its cost explodes when matching input records are
+// rare — the behavior Figure 5.B's Cache-Strategy-B removes.
+type ValueOffsetNaive struct {
+	In      Plan
+	Offset  int64
+	OutSpan seq.Span
+}
+
+// NewValueOffsetNaive builds the naive value offset. outSpan bounds
+// stream emission (the operator's output is dense, so scans enumerate
+// every position of the span).
+func NewValueOffsetNaive(in Plan, offset int64, outSpan seq.Span) (*ValueOffsetNaive, error) {
+	if offset == 0 {
+		return nil, fmt.Errorf("exec: value offset must be non-zero")
+	}
+	return &ValueOffsetNaive{In: in, Offset: offset, OutSpan: outSpan}, nil
+}
+
+// Info implements seq.Sequence.
+func (v *ValueOffsetNaive) Info() seq.Info { return valueOffsetInfo(v.In, v.OutSpan) }
+
+// Probe implements seq.Sequence: the backward/forward probing walk.
+func (v *ValueOffsetNaive) Probe(pos seq.Pos) (seq.Record, error) {
+	return probeValueOffset(v.In, v.Offset, pos)
+}
+
+func probeValueOffset(in Plan, offset int64, pos seq.Pos) (seq.Record, error) {
+	inSpan := in.Info().Span
+	if inSpan.IsEmpty() {
+		return nil, nil
+	}
+	need := offset
+	step := seq.Pos(1)
+	p := pos + 1
+	if offset < 0 {
+		need = -offset
+		step = -1
+		p = pos - 1
+		if p > inSpan.End {
+			p = inSpan.End
+		}
+	} else if p < inSpan.Start {
+		p = inSpan.Start
+	}
+	var count int64
+	for inSpan.Contains(p) {
+		r, err := in.Probe(p)
+		if err != nil {
+			return nil, err
+		}
+		if !r.IsNull() {
+			count++
+			if count == need {
+				return r, nil
+			}
+		}
+		p += step
+	}
+	return nil, nil
+}
+
+// Scan implements seq.Sequence: dense emission, probing per position.
+func (v *ValueOffsetNaive) Scan(span seq.Span) seq.Cursor {
+	span = span.Intersect(v.OutSpan)
+	if span.IsEmpty() {
+		return emptyCursor{}
+	}
+	if !span.Bounded() {
+		return seq.ErrCursor(fmt.Errorf("exec: unbounded scan of value offset (span %v)", span))
+	}
+	p := span.Start
+	return &forwardCursor{
+		next: func() (seq.Pos, seq.Record, bool, error) {
+			for p <= span.End {
+				pos := p
+				p++
+				r, err := v.Probe(pos)
+				if err != nil {
+					return 0, nil, false, err
+				}
+				if !r.IsNull() {
+					return pos, r, true, nil
+				}
+			}
+			return 0, nil, false, nil
+		},
+	}
+}
+
+// Label implements Plan.
+func (v *ValueOffsetNaive) Label() string {
+	return fmt.Sprintf("voffset-naive(%+d)", v.Offset)
+}
+
+// Children implements Plan.
+func (v *ValueOffsetNaive) Children() []Plan { return []Plan{v.In} }
+
+// Caches implements Plan.
+func (v *ValueOffsetNaive) Caches() []*cache.FIFO { return nil }
+
+// ValueOffsetIncremental evaluates a value offset with Cache-Strategy-B
+// (§3.5): a single input scan feeds a FIFO cache of the last (or next)
+// |offset| non-Null records, and each output position reads its answer
+// from the cache — the record at a position is either the cached record
+// or a newly arrived input record. One scan, |offset| cache slots,
+// O(1) work per position.
+type ValueOffsetIncremental struct {
+	In      Plan
+	Offset  int64
+	OutSpan seq.Span
+	cache   *cache.FIFO
+}
+
+// NewValueOffsetIncremental builds the Cache-Strategy-B value offset.
+func NewValueOffsetIncremental(in Plan, offset int64, outSpan seq.Span) (*ValueOffsetIncremental, error) {
+	if offset == 0 {
+		return nil, fmt.Errorf("exec: value offset must be non-zero")
+	}
+	k := offset
+	if k < 0 {
+		k = -k
+	}
+	return &ValueOffsetIncremental{
+		In: in, Offset: offset, OutSpan: outSpan,
+		cache: cache.NewFIFO(int(k)),
+	}, nil
+}
+
+// Info implements seq.Sequence.
+func (v *ValueOffsetIncremental) Info() seq.Info { return valueOffsetInfo(v.In, v.OutSpan) }
+
+// Probe implements seq.Sequence. The incremental algorithm is not usable
+// with probed access (§4.1.2), so probes fall back to the naive walk.
+func (v *ValueOffsetIncremental) Probe(pos seq.Pos) (seq.Record, error) {
+	return probeValueOffset(v.In, v.Offset, pos)
+}
+
+// Scan implements seq.Sequence.
+func (v *ValueOffsetIncremental) Scan(span seq.Span) seq.Cursor {
+	span = span.Intersect(v.OutSpan)
+	if span.IsEmpty() {
+		return emptyCursor{}
+	}
+	if !span.Bounded() {
+		return seq.ErrCursor(fmt.Errorf("exec: unbounded scan of value offset (span %v)", span))
+	}
+	v.cache.Reset()
+	inSpan := v.In.Info().Span
+	if v.Offset < 0 {
+		// Scan the input from its start (history is needed) up to the
+		// last position that can influence the span.
+		end := span.End - 1
+		if end > inSpan.End {
+			end = inSpan.End
+		}
+		in := newPull(v.In.Scan(seq.Span{Start: inSpan.Start, End: end}))
+		need := int(-v.Offset)
+		p := span.Start
+		return &forwardCursor{
+			closes: []func() error{in.close},
+			next: func() (seq.Pos, seq.Record, bool, error) {
+				for p <= span.End {
+					pos := p
+					p++
+					// Absorb input records strictly before pos.
+					for {
+						e, ok, err := in.peek()
+						if err != nil {
+							return 0, nil, false, err
+						}
+						if !ok || e.Pos >= pos {
+							break
+						}
+						v.cache.Put(e.Pos, e.Rec)
+						in.take()
+					}
+					if v.cache.Len() >= need {
+						// The ring holds the last `need` records; the
+						// oldest is the answer.
+						e, _ := v.cache.Oldest()
+						return pos, e.Rec, true, nil
+					}
+				}
+				return 0, nil, false, nil
+			},
+		}
+	}
+	// Forward offsets: a lookahead ring of the next `need` records.
+	start := span.Start + 1
+	if start < inSpan.Start {
+		start = inSpan.Start
+	}
+	in := newPull(v.In.Scan(seq.Span{Start: start, End: inSpan.End}))
+	need := int(v.Offset)
+	p := span.Start
+	return &forwardCursor{
+		closes: []func() error{in.close},
+		next: func() (seq.Pos, seq.Record, bool, error) {
+			for p <= span.End {
+				pos := p
+				p++
+				v.cache.EvictBelow(pos + 1)
+				// Fill the ring with records strictly after pos.
+				for v.cache.Len() < need {
+					e, ok, err := in.peek()
+					if err != nil {
+						return 0, nil, false, err
+					}
+					if !ok {
+						break
+					}
+					in.take()
+					if e.Pos > pos {
+						v.cache.Put(e.Pos, e.Rec)
+					}
+				}
+				if v.cache.Len() >= need {
+					// The newest of the first `need` is the answer: the
+					// ring never grows beyond `need`, so it is Newest.
+					e, _ := v.cache.Newest()
+					return pos, e.Rec, true, nil
+				}
+			}
+			return 0, nil, false, nil
+		},
+	}
+}
+
+// Label implements Plan.
+func (v *ValueOffsetIncremental) Label() string {
+	return fmt.Sprintf("voffset-cacheB(%+d)", v.Offset)
+}
+
+// Children implements Plan.
+func (v *ValueOffsetIncremental) Children() []Plan { return []Plan{v.In} }
+
+// Caches implements Plan.
+func (v *ValueOffsetIncremental) Caches() []*cache.FIFO { return []*cache.FIFO{v.cache} }
+
+type emptyCursor struct{}
+
+func (emptyCursor) Next() (seq.Pos, seq.Record, bool) { return 0, nil, false }
+func (emptyCursor) Err() error                        { return nil }
+func (emptyCursor) Close() error                      { return nil }

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	seqproc "repro"
+	"repro/internal/rewrite"
+)
+
+// E8 is the rewrite ablation (§3.1): the same query optimized with rule
+// groups disabled one at a time. The paper proposes the transformations
+// as a heuristic ("it is a good heuristic to propagate selections,
+// projections and positional offsets as far down the query graph as
+// possible") without measurements; the reproducible claims are that
+// every transformation preserves semantics exactly (identical answers in
+// every ablation), that offset push-down merges query blocks (visible in
+// the block counts), and that rewriting never worsens page accesses.
+// Wall-clock effects are modest on scanning plans — early filtering
+// saves per-record CPU, not page I/O — and are reported informationally.
+func E8() (*Table, error) { return e8(40) }
+
+// E8Quick is E8 at test sizes.
+func E8Quick() (*Table, error) { return e8(4) }
+
+func e8(scale int64) (*Table, error) {
+	t := &Table{
+		ID:    "E8",
+		Title: "rewrite-rule ablation on a mixed query",
+		Claim: "transformations preserve semantics exactly; offset push-down merges blocks; pages never get worse",
+		Header: []string{
+			"rules", "fired", "blocks", "est_cost", "pages", "opt_ms", "run_ms", "answers",
+		},
+	}
+	// A query exercising all rule families: a selection with one-sided
+	// factors above a three-way join below an offset, and a narrow
+	// projection on top.
+	const query = `project(
+	    select(offset(compose(dec, compose(ibm, hp) as ih), -3),
+	           ibm.close > hp.close and dec.close > 103.0),
+	    dec.close)`
+
+	configs := []struct {
+		label string
+		opts  func() seqproc.Options
+	}{
+		{"all", func() seqproc.Options { return seqproc.Options{} }},
+		{"no-selects", func() seqproc.Options { return seqproc.Options{Rules: rewrite.RulesExcept("selects")} }},
+		{"no-projects", func() seqproc.Options { return seqproc.Options{Rules: rewrite.RulesExcept("projects")} }},
+		{"no-offsets", func() seqproc.Options { return seqproc.Options{Rules: rewrite.RulesExcept("offsets")} }},
+		{"none", func() seqproc.Options { return seqproc.Options{DisableRewrites: true} }},
+	}
+
+	span := seqproc.NewSpan(1, 750*scale)
+	var answers []int
+	var fullRun, noneRun time.Duration
+	var fullPages, nonePages int64
+	for _, cfg := range configs {
+		db, err := table1DB(scale)
+		if err != nil {
+			return nil, err
+		}
+		db.SetOptions(cfg.opts())
+		q, err := db.Query(query)
+		if err != nil {
+			return nil, err
+		}
+		optStart := time.Now()
+		stats, err := q.Stats(span)
+		if err != nil {
+			return nil, err
+		}
+		optTime := time.Since(optStart)
+		estCost, _, err := q.EstimatedCost(span)
+		if err != nil {
+			return nil, err
+		}
+		// Pages are deterministic: count them on one run. Timings at the
+		// millisecond scale are noisy: take the best of several runs.
+		db.ResetPageStats()
+		var res *seqproc.ResultSet
+		var runTime time.Duration
+		var pages int64
+		for rep := 0; rep < 5; rep++ {
+			runStart := time.Now()
+			r, err := q.Run(span)
+			if err != nil {
+				return nil, err
+			}
+			if d := time.Since(runStart); rep == 0 || d < runTime {
+				runTime = d
+			}
+			if rep == 0 {
+				res = r
+				for _, name := range db.Sequences() {
+					st, _ := db.PageStats(name)
+					pages += st.Pages()
+				}
+			}
+		}
+		answers = append(answers, res.Count())
+		switch cfg.label {
+		case "all":
+			fullRun, fullPages = runTime, pages
+		case "none":
+			noneRun, nonePages = runTime, pages
+		}
+		t.Rows = append(t.Rows, []string{
+			cfg.label,
+			itoa(int64(stats.RulesFired)),
+			itoa(int64(stats.BlocksOptimized)),
+			fmt.Sprintf("%.0f", estCost),
+			itoa(pages),
+			ms(optTime), ms(runTime),
+			itoa(int64(res.Count())),
+		})
+	}
+	for _, a := range answers[1:] {
+		if a != answers[0] {
+			return nil, fmt.Errorf("e8: ablations disagree on answers: %v", answers)
+		}
+	}
+	switch {
+	case fullPages > nonePages:
+		t.Finding = "MISMATCH: full rewriting accessed more pages than no rewriting"
+	default:
+		// Cost *estimates* are not comparable across differently
+		// rewritten trees (densities are estimated at different places),
+		// and wall-clock differences at this scale are CPU noise; the
+		// deterministic observables are answer identity and pages.
+		t.Finding = fmt.Sprintf("identical answers in every ablation; pages %d rewritten vs %d unrewritten; run time %s vs %s ms (CPU effect, informational)",
+			fullPages, nonePages, ms(fullRun), ms(noneRun))
+	}
+	return t, nil
+}

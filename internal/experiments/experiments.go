@@ -1,0 +1,123 @@
+// Package experiments implements the reproduction harness: one
+// experiment per table/figure of the paper (DESIGN.md E1–E8). Each
+// experiment generates its workload, runs the competing strategies, and
+// returns a Table whose rows mirror what the paper claims qualitatively;
+// cmd/seqbench prints them and EXPERIMENTS.md records them.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's result: a titled grid of rows.
+type Table struct {
+	ID     string
+	Title  string
+	Claim  string // the paper's claim being checked
+	Header []string
+	Rows   [][]string
+	// Finding summarizes whether the measured shape matches the claim;
+	// filled by the experiment itself from its own measurements.
+	Finding string
+}
+
+// Render formats the table for terminals and markdown-ish logs.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "claim: %s\n\n", t.Claim)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Finding != "" {
+		fmt.Fprintf(&b, "\nfinding: %s\n", t.Finding)
+	}
+	return b.String()
+}
+
+// Experiment is a runnable reproduction unit.
+type Experiment struct {
+	ID    string
+	Name  string
+	Run   func() (*Table, error)
+	Quick func() (*Table, error) // reduced sizes for tests/CI
+}
+
+// All returns every experiment in id order.
+func All() []Experiment {
+	out := []Experiment{
+		{"e1", "Example 1.1 / Figure 1: sequence vs relational plan", E1, E1Quick},
+		{"e2", "Table 1 / Figure 3: span propagation", E2, E2Quick},
+		{"e3", "Figure 4: access modes and join strategies", E3, E3Quick},
+		{"e4", "Figure 5.A: Cache-Strategy-A for windowed aggregates", E4, E4Quick},
+		{"e5", "Figure 5.B: Cache-Strategy-B for value offsets", E5, E5Quick},
+		{"e6", "Figures 6-7 / Property 4.1: optimizer complexity", E6, E6Quick},
+		{"e7", "Theorem 3.1: the stream-access property", E7, E7Quick},
+		{"e8", "Section 3.1: rewrite ablation", E8, E8Quick},
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// timed runs f and returns its duration.
+func timed(f func() error) (time.Duration, error) {
+	start := time.Now()
+	err := f()
+	return time.Since(start), nil2(err)
+}
+
+func nil2(err error) error { return err }
+
+// ms formats a duration in milliseconds.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000.0)
+}
+
+// ratio formats a/b with a guard.
+func ratio(a, b float64) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fx", a/b)
+}
+
+func itoa(n int64) string { return fmt.Sprintf("%d", n) }

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Each experiment's Quick variant must run, produce rows, and report a
+// finding that matches the paper's claim (no "MISMATCH").
+func TestQuickExperimentsMatchClaims(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Quick()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s: no rows", e.ID)
+			}
+			if strings.Contains(tbl.Finding, "MISMATCH") {
+				t.Errorf("%s: %s\n%s", e.ID, tbl.Finding, tbl.Render())
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Errorf("%s: ragged row %v", e.ID, row)
+				}
+			}
+			out := tbl.Render()
+			if !strings.Contains(out, tbl.ID) || !strings.Contains(out, "claim:") {
+				t.Errorf("%s: render missing metadata:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("e1"); !ok {
+		t.Error("e1 must exist")
+	}
+	if _, ok := Lookup("e99"); ok {
+		t.Error("e99 must not exist")
+	}
+	if len(All()) != 8 {
+		t.Errorf("experiments = %d, want 8", len(All()))
+	}
+}

@@ -1,0 +1,418 @@
+package expr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/seq"
+)
+
+var testSchema = seq.MustSchema(
+	seq.Field{Name: "open", Type: seq.TFloat},
+	seq.Field{Name: "close", Type: seq.TFloat},
+	seq.Field{Name: "volume", Type: seq.TInt},
+	seq.Field{Name: "halted", Type: seq.TBool},
+	seq.Field{Name: "sym", Type: seq.TString},
+)
+
+func testRec(open, close float64, vol int64, halted bool, sym string) seq.Record {
+	return seq.Record{seq.Float(open), seq.Float(close), seq.Int(vol), seq.Bool(halted), seq.Str(sym)}
+}
+
+func col(t *testing.T, name string) *Col {
+	t.Helper()
+	c, err := NewCol(testSchema, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func bin(t *testing.T, op BinOp, l, r Expr) Expr {
+	t.Helper()
+	b, err := NewBin(op, l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestColResolution(t *testing.T) {
+	c := col(t, "close")
+	if c.Index != 1 || c.Typ != seq.TFloat {
+		t.Errorf("col = %+v", c)
+	}
+	if _, err := NewCol(testSchema, "nope"); err == nil {
+		t.Error("unknown column must fail")
+	}
+	if _, err := ColAt(testSchema, 2); err != nil {
+		t.Error(err)
+	}
+	if _, err := ColAt(testSchema, 99); err == nil {
+		t.Error("out-of-range ColAt must fail")
+	}
+}
+
+func TestColEval(t *testing.T) {
+	r := testRec(10, 12, 100, false, "IBM")
+	v, err := col(t, "close").Eval(r)
+	if err != nil || v.AsFloat() != 12 {
+		t.Errorf("Eval = %v, %v", v, err)
+	}
+	if _, err := col(t, "close").Eval(nil); err == nil {
+		t.Error("evaluating on Null record must fail")
+	}
+	if _, err := (&Col{Index: 9, Typ: seq.TFloat}).Eval(r); err == nil {
+		t.Error("out-of-range column eval must fail")
+	}
+}
+
+func TestArithmeticTyping(t *testing.T) {
+	// int+int = int, int+float = float
+	e := bin(t, OpAdd, Literal(seq.Int(1)), Literal(seq.Int(2)))
+	if e.Type() != seq.TInt {
+		t.Error("int+int must be int")
+	}
+	e = bin(t, OpAdd, Literal(seq.Int(1)), Literal(seq.Float(2)))
+	if e.Type() != seq.TFloat {
+		t.Error("int+float must be float")
+	}
+	if _, err := NewBin(OpAdd, Literal(seq.Str("a")), Literal(seq.Int(1))); err == nil {
+		t.Error("string arithmetic must fail")
+	}
+	if _, err := NewBin(OpMod, Literal(seq.Float(1)), Literal(seq.Int(1))); err == nil {
+		t.Error("float modulo must fail")
+	}
+}
+
+func TestArithmeticEval(t *testing.T) {
+	r := testRec(10, 12, 100, false, "IBM")
+	cases := []struct {
+		e    Expr
+		want seq.Value
+	}{
+		{bin(t, OpAdd, col(t, "open"), col(t, "close")), seq.Float(22)},
+		{bin(t, OpSub, col(t, "close"), col(t, "open")), seq.Float(2)},
+		{bin(t, OpMul, col(t, "volume"), Literal(seq.Int(2))), seq.Int(200)},
+		{bin(t, OpDiv, col(t, "volume"), Literal(seq.Int(3))), seq.Int(33)},
+		{bin(t, OpMod, col(t, "volume"), Literal(seq.Int(7))), seq.Int(2)},
+		{bin(t, OpDiv, col(t, "close"), Literal(seq.Float(4))), seq.Float(3)},
+	}
+	for _, c := range cases {
+		got, err := c.e.Eval(r)
+		if err != nil {
+			t.Fatalf("%s: %v", c.e, err)
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	if _, err := bin(t, OpDiv, Literal(seq.Int(1)), Literal(seq.Int(0))).Eval(nil); err == nil {
+		t.Error("integer division by zero must fail")
+	}
+	if _, err := bin(t, OpMod, Literal(seq.Int(1)), Literal(seq.Int(0))).Eval(nil); err == nil {
+		t.Error("integer modulo by zero must fail")
+	}
+	v, err := bin(t, OpDiv, Literal(seq.Float(1)), Literal(seq.Float(0))).Eval(nil)
+	if err != nil || !math.IsInf(v.AsFloat(), 1) {
+		t.Errorf("float 1/0 = %v, %v; want +Inf", v, err)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	r := testRec(10, 12, 100, false, "IBM")
+	cases := []struct {
+		op   BinOp
+		want bool
+	}{
+		{OpLt, true}, {OpLe, true}, {OpGt, false}, {OpGe, false}, {OpEq, false}, {OpNe, true},
+	}
+	for _, c := range cases {
+		e := bin(t, c.op, col(t, "open"), col(t, "close"))
+		got, err := EvalPred(e, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("open %s close = %v, want %v", c.op, got, c.want)
+		}
+	}
+	// Mixed numeric comparison.
+	e := bin(t, OpGt, col(t, "volume"), Literal(seq.Float(99.5)))
+	if got, _ := EvalPred(e, r); !got {
+		t.Error("int/float comparison failed")
+	}
+	// String comparison.
+	e = bin(t, OpEq, col(t, "sym"), Literal(seq.Str("IBM")))
+	if got, _ := EvalPred(e, r); !got {
+		t.Error("string equality failed")
+	}
+	if _, err := NewBin(OpLt, col(t, "sym"), Literal(seq.Int(1))); err == nil {
+		t.Error("string-vs-int comparison must be rejected")
+	}
+}
+
+func TestLogicalShortCircuit(t *testing.T) {
+	r := testRec(10, 12, 100, false, "IBM")
+	boom := bin(t, OpEq, bin(t, OpDiv, Literal(seq.Int(1)), Literal(seq.Int(0))), Literal(seq.Int(1)))
+	// false AND boom -> false without evaluating boom
+	e := bin(t, OpAnd, col(t, "halted"), boom)
+	got, err := EvalPred(e, r)
+	if err != nil || got {
+		t.Errorf("short-circuit and = %v, %v", got, err)
+	}
+	// true OR boom -> true
+	e = bin(t, OpOr, bin(t, OpNe, col(t, "sym"), Literal(seq.Str(""))), boom)
+	got, err = EvalPred(e, r)
+	if err != nil || !got {
+		t.Errorf("short-circuit or = %v, %v", got, err)
+	}
+	if _, err := NewBin(OpAnd, Literal(seq.Int(1)), Literal(seq.Bool(true))); err == nil {
+		t.Error("non-bool logical operand must be rejected")
+	}
+}
+
+func TestNotNeg(t *testing.T) {
+	r := testRec(10, 12, 100, true, "IBM")
+	n, err := NewNot(col(t, "halted"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := n.Eval(r)
+	if err != nil || v.AsBool() {
+		t.Errorf("not halted = %v, %v", v, err)
+	}
+	if _, err := NewNot(col(t, "close")); err == nil {
+		t.Error("not on float must be rejected")
+	}
+	g, err := NewNeg(col(t, "close"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err = g.Eval(r)
+	if err != nil || v.AsFloat() != -12 {
+		t.Errorf("-close = %v, %v", v, err)
+	}
+	gi, err := NewNeg(col(t, "volume"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ = gi.Eval(r)
+	if v.AsInt() != -100 {
+		t.Errorf("-volume = %v", v)
+	}
+	if _, err := NewNeg(col(t, "sym")); err == nil {
+		t.Error("neg on string must be rejected")
+	}
+}
+
+func TestEvalPredRejectsNonBool(t *testing.T) {
+	if _, err := EvalPred(col(t, "close"), testRec(1, 2, 3, false, "x")); err == nil {
+		t.Error("non-bool predicate must be rejected")
+	}
+}
+
+func TestColumns(t *testing.T) {
+	e := bin(t, OpAnd,
+		bin(t, OpGt, col(t, "close"), col(t, "open")),
+		bin(t, OpLt, col(t, "volume"), Literal(seq.Int(10))))
+	got := Columns(e)
+	want := []int{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("Columns = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Columns = %v, want %v", got, want)
+		}
+	}
+	n, _ := NewNot(col(t, "halted"))
+	if c := Columns(n); len(c) != 1 || c[0] != 3 {
+		t.Errorf("Columns(not halted) = %v", c)
+	}
+	g, _ := NewNeg(col(t, "open"))
+	if c := Columns(g); len(c) != 1 || c[0] != 0 {
+		t.Errorf("Columns(-open) = %v", c)
+	}
+	if c := Columns(Literal(seq.Int(1))); len(c) != 0 {
+		t.Errorf("Columns(lit) = %v", c)
+	}
+}
+
+func TestRemap(t *testing.T) {
+	e := bin(t, OpGt, col(t, "close"), Literal(seq.Float(7)))
+	m, err := Remap(e, map[int]int{1: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After remap, close lives at index 0.
+	v, err := m.Eval(seq.Record{seq.Float(9)})
+	if err != nil || !v.AsBool() {
+		t.Errorf("remapped eval = %v, %v", v, err)
+	}
+	if _, err := Remap(e, map[int]int{0: 0}); err == nil {
+		t.Error("remap missing a referenced column must fail")
+	}
+	if _, err := Remap(e, map[int]int{1: -1}); err == nil {
+		t.Error("negative remap target must fail")
+	}
+	// Not/Neg recursion.
+	n, _ := NewNot(bin(t, OpLt, col(t, "open"), col(t, "close")))
+	if _, err := Remap(n, map[int]int{0: 1, 1: 0}); err != nil {
+		t.Error(err)
+	}
+	g, _ := NewNeg(col(t, "open"))
+	if _, err := Remap(g, map[int]int{0: 2}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAndHelper(t *testing.T) {
+	p := bin(t, OpGt, col(t, "close"), Literal(seq.Float(1)))
+	q := bin(t, OpLt, col(t, "open"), Literal(seq.Float(2)))
+	if got, _ := And(nil, p); got != p {
+		t.Error("And(nil, p) must be p")
+	}
+	if got, _ := And(p, nil); got != p {
+		t.Error("And(p, nil) must be p")
+	}
+	both, err := And(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := EvalPred(both, testRec(1.5, 1.5, 0, false, ""))
+	if err != nil || !ok {
+		t.Errorf("And eval = %v, %v", ok, err)
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	e := bin(t, OpAnd, bin(t, OpGt, col(t, "close"), Literal(seq.Float(7))), col(t, "halted"))
+	if got := e.String(); got != "((close > 7) and halted)" {
+		t.Errorf("String = %q", got)
+	}
+	n, _ := NewNot(col(t, "halted"))
+	if n.String() != "not halted" {
+		t.Errorf("String = %q", n.String())
+	}
+	g, _ := NewNeg(col(t, "open"))
+	if g.String() != "-open" {
+		t.Errorf("String = %q", g.String())
+	}
+	for op := OpAdd; op <= OpOr; op++ {
+		if op.String() == "" {
+			t.Errorf("op %d has empty string", op)
+		}
+	}
+}
+
+// Property: remapping through a permutation and evaluating on the
+// permuted record equals evaluating the original on the original record.
+func TestRemapPermutationProperty(t *testing.T) {
+	f := func(open, close float64, vol int64) bool {
+		if math.IsNaN(open) || math.IsNaN(close) {
+			return true
+		}
+		e := func() Expr {
+			b, _ := NewBin(OpGt, &Col{Index: 0, Name: "open", Typ: seq.TFloat}, &Col{Index: 1, Name: "close", Typ: seq.TFloat})
+			return b
+		}()
+		orig := seq.Record{seq.Float(open), seq.Float(close), seq.Int(vol)}
+		perm := seq.Record{seq.Int(vol), seq.Float(close), seq.Float(open)} // 0<->2
+		m, err := Remap(e, map[int]int{0: 2, 1: 1})
+		if err != nil {
+			return false
+		}
+		a, err1 := EvalPred(e, orig)
+		b, err2 := EvalPred(m, perm)
+		return err1 == nil && err2 == nil && a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	r := testRec(10, -12.6, -100, false, "IBM")
+	mk := func(fn FuncKind, args ...Expr) *Call {
+		t.Helper()
+		c, err := NewCall(fn, args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	cases := []struct {
+		e    Expr
+		want seq.Value
+	}{
+		{mk(FnAbs, col(t, "close")), seq.Float(12.6)},
+		{mk(FnAbs, col(t, "volume")), seq.Int(100)},
+		{mk(FnMin, col(t, "open"), col(t, "close")), seq.Float(-12.6)},
+		{mk(FnMax, col(t, "open"), col(t, "close")), seq.Float(10)},
+		{mk(FnMin, Literal(seq.Int(3)), Literal(seq.Int(7))), seq.Int(3)},
+		{mk(FnMax, Literal(seq.Int(3)), Literal(seq.Float(2))), seq.Float(3)},
+		{mk(FnFloor, col(t, "close")), seq.Int(-13)},
+		{mk(FnCeil, col(t, "close")), seq.Int(-12)},
+		{mk(FnRound, Literal(seq.Float(2.5))), seq.Int(3)},
+	}
+	for _, c := range cases {
+		got, err := c.e.Eval(r)
+		if err != nil {
+			t.Fatalf("%s: %v", c.e, err)
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+	// Typing.
+	if mk(FnAbs, col(t, "volume")).Type() != seq.TInt {
+		t.Error("abs preserves int")
+	}
+	if mk(FnMin, col(t, "volume"), col(t, "close")).Type() != seq.TFloat {
+		t.Error("mixed min is float")
+	}
+	if mk(FnFloor, col(t, "close")).Type() != seq.TInt {
+		t.Error("floor is int")
+	}
+	// Validation.
+	if _, err := NewCall(FnAbs, []Expr{col(t, "sym")}); err == nil {
+		t.Error("abs of string must fail")
+	}
+	if _, err := NewCall(FnAbs, []Expr{col(t, "close"), col(t, "open")}); err == nil {
+		t.Error("abs arity must be 1")
+	}
+	if _, err := NewCall(FnMin, []Expr{col(t, "close")}); err == nil {
+		t.Error("min arity must be 2")
+	}
+	// Name lookup and rendering.
+	for _, name := range []string{"abs", "min", "max", "floor", "ceil", "round"} {
+		fn, ok := LookupFunc(name)
+		if !ok || fn.String() != name {
+			t.Errorf("LookupFunc(%q) = %v, %v", name, fn, ok)
+		}
+	}
+	if _, ok := LookupFunc("median"); ok {
+		t.Error("unknown function must not resolve")
+	}
+	if got := mk(FnMin, col(t, "open"), col(t, "close")).String(); got != "min(open, close)" {
+		t.Errorf("String = %q", got)
+	}
+	// Columns and Remap traverse into calls.
+	e := mk(FnMax, col(t, "open"), col(t, "close"))
+	if cols := Columns(e); len(cols) != 2 {
+		t.Errorf("Columns = %v", cols)
+	}
+	m, err := Remap(e, map[int]int{0: 1, 1: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Eval(seq.Record{seq.Float(5), seq.Float(9)})
+	if err != nil || v.AsFloat() != 9 {
+		t.Errorf("remapped call = %v, %v", v, err)
+	}
+}

@@ -1,0 +1,162 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/seq"
+)
+
+// Scalar functions callable inside expressions: abs, min, max, floor,
+// ceil, round. They evaluate record-locally (unit scope), so they never
+// affect operator scopes or block boundaries.
+
+// FuncKind identifies a scalar function.
+type FuncKind int
+
+// The scalar functions.
+const (
+	FnAbs FuncKind = iota
+	FnMin
+	FnMax
+	FnFloor
+	FnCeil
+	FnRound
+)
+
+// String returns the function's SEQL name.
+func (f FuncKind) String() string {
+	switch f {
+	case FnAbs:
+		return "abs"
+	case FnMin:
+		return "min"
+	case FnMax:
+		return "max"
+	case FnFloor:
+		return "floor"
+	case FnCeil:
+		return "ceil"
+	case FnRound:
+		return "round"
+	default:
+		return fmt.Sprintf("FuncKind(%d)", int(f))
+	}
+}
+
+// LookupFunc resolves a scalar function name.
+func LookupFunc(name string) (FuncKind, bool) {
+	switch name {
+	case "abs":
+		return FnAbs, true
+	case "min":
+		return FnMin, true
+	case "max":
+		return FnMax, true
+	case "floor":
+		return FnFloor, true
+	case "ceil":
+		return FnCeil, true
+	case "round":
+		return FnRound, true
+	default:
+		return 0, false
+	}
+}
+
+// Call is a scalar function application.
+type Call struct {
+	Fn   FuncKind
+	Args []Expr
+	typ  seq.Type
+}
+
+// NewCall builds a type-checked scalar function call.
+func NewCall(fn FuncKind, args []Expr) (*Call, error) {
+	want := 1
+	if fn == FnMin || fn == FnMax {
+		want = 2
+	}
+	if len(args) != want {
+		return nil, fmt.Errorf("expr: %s expects %d argument(s), got %d", fn, want, len(args))
+	}
+	for _, a := range args {
+		if !a.Type().Numeric() {
+			return nil, fmt.Errorf("expr: %s requires numeric arguments, got %s", fn, a.Type())
+		}
+	}
+	var typ seq.Type
+	switch fn {
+	case FnAbs:
+		typ = args[0].Type()
+	case FnMin, FnMax:
+		typ = seq.TInt
+		if args[0].Type() == seq.TFloat || args[1].Type() == seq.TFloat {
+			typ = seq.TFloat
+		}
+	case FnFloor, FnCeil, FnRound:
+		typ = seq.TInt
+	default:
+		return nil, fmt.Errorf("expr: unknown function %v", fn)
+	}
+	return &Call{Fn: fn, Args: args, typ: typ}, nil
+}
+
+// Type implements Expr.
+func (c *Call) Type() seq.Type { return c.typ }
+
+// Eval implements Expr.
+func (c *Call) Eval(rec seq.Record) (seq.Value, error) {
+	vals := make([]seq.Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := a.Eval(rec)
+		if err != nil {
+			return seq.Value{}, err
+		}
+		vals[i] = v
+	}
+	switch c.Fn {
+	case FnAbs:
+		if vals[0].T == seq.TInt {
+			n := vals[0].AsInt()
+			if n < 0 {
+				n = -n
+			}
+			return seq.Int(n), nil
+		}
+		return seq.Float(math.Abs(vals[0].AsFloat())), nil
+	case FnMin, FnMax:
+		cmp, err := vals[0].Compare(vals[1])
+		if err != nil {
+			return seq.Value{}, err
+		}
+		pick := vals[0]
+		if (c.Fn == FnMin && cmp > 0) || (c.Fn == FnMax && cmp < 0) {
+			pick = vals[1]
+		}
+		if c.typ == seq.TFloat && pick.T == seq.TInt {
+			return seq.Float(pick.AsFloat()), nil
+		}
+		return pick, nil
+	case FnFloor:
+		return seq.Int(int64(math.Floor(vals[0].AsFloat()))), nil
+	case FnCeil:
+		return seq.Int(int64(math.Ceil(vals[0].AsFloat()))), nil
+	case FnRound:
+		return seq.Int(int64(math.Round(vals[0].AsFloat()))), nil
+	default:
+		return seq.Value{}, fmt.Errorf("expr: unknown function %v", c.Fn)
+	}
+}
+
+// String implements Expr.
+func (c *Call) String() string {
+	s := c.Fn.String() + "("
+	for i, a := range c.Args {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.String()
+	}
+	return s + ")"
+}

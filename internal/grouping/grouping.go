@@ -1,0 +1,140 @@
+// Package grouping implements the sequence-groupings extension of §5.1:
+// "in some situations, it might be desirable to collectively query a
+// group of sequences of similar record type. For instance, given a
+// database of experimental result sequences, a query might ask for those
+// sequences that satisfy some condition."
+//
+// A Grouping is a named collection of sequences sharing one schema. A
+// query template — a function from a member's base node to a query graph
+// — is instantiated per member, optimized with the usual §4 pipeline,
+// and evaluated; Where keeps the members whose instantiated query has
+// any answer, Apply returns every member's full result.
+package grouping
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/meta"
+	"repro/internal/seq"
+)
+
+// Grouping is a collection of same-schema sequences.
+type Grouping struct {
+	schema  *seq.Schema
+	members map[string]*algebra.Node
+	opts    core.Options
+}
+
+// New creates an empty grouping over the given record schema.
+func New(schema *seq.Schema) *Grouping {
+	return &Grouping{schema: schema, members: make(map[string]*algebra.Node)}
+}
+
+// SetOptions sets the optimizer options used for member queries.
+func (g *Grouping) SetOptions(opts core.Options) { g.opts = opts }
+
+// Add registers a member sequence. Its schema must match the grouping's.
+func (g *Grouping) Add(name string, data *seq.Materialized) error {
+	if name == "" {
+		return fmt.Errorf("grouping: empty member name")
+	}
+	if _, dup := g.members[name]; dup {
+		return fmt.Errorf("grouping: member %q already exists", name)
+	}
+	if !data.Info().Schema.Equal(g.schema) {
+		return fmt.Errorf("grouping: member %q schema %v does not match grouping schema %v",
+			name, data.Info().Schema, g.schema)
+	}
+	g.members[name] = algebra.BaseWithStats(name, data, meta.StatsFromMaterialized(data))
+	return nil
+}
+
+// Members lists the member names, sorted.
+func (g *Grouping) Members() []string {
+	out := make([]string, 0, len(g.members))
+	for name := range g.members {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Schema returns the grouping's record schema.
+func (g *Grouping) Schema() *seq.Schema { return g.schema }
+
+// Template instantiates a query for one member: it receives the member's
+// base node and returns the query graph to evaluate for that member.
+type Template func(member *algebra.Node) (*algebra.Node, error)
+
+// MemberResult is one member's evaluated query output.
+type MemberResult struct {
+	Name   string
+	Result *seq.Materialized
+}
+
+// Apply instantiates and runs the template for every member over the
+// span, returning results in member-name order.
+func (g *Grouping) Apply(tmpl Template, span seq.Span) ([]MemberResult, error) {
+	out := make([]MemberResult, 0, len(g.members))
+	for _, name := range g.Members() {
+		q, err := tmpl(g.members[name])
+		if err != nil {
+			return nil, fmt.Errorf("grouping: member %q: %w", name, err)
+		}
+		res, err := core.Optimize(q, span, g.opts)
+		if err != nil {
+			return nil, fmt.Errorf("grouping: member %q: %w", name, err)
+		}
+		m, err := res.Run()
+		if err != nil {
+			return nil, fmt.Errorf("grouping: member %q: %w", name, err)
+		}
+		out = append(out, MemberResult{Name: name, Result: m})
+	}
+	return out, nil
+}
+
+// Where returns the names of the members whose instantiated query
+// produces at least one record in the span — the "which sequences
+// satisfy some condition" query form.
+func (g *Grouping) Where(tmpl Template, span seq.Span) ([]string, error) {
+	results, err := g.Apply(tmpl, span)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, r := range results {
+		if r.Result.Count() > 0 {
+			out = append(out, r.Name)
+		}
+	}
+	return out, nil
+}
+
+// AggregateEach instantiates the template per member and returns each
+// member's single aggregate value (the template must produce a
+// one-record result, e.g. a whole-sequence aggregate probed at one
+// position). Members with empty results are skipped.
+func (g *Grouping) AggregateEach(tmpl Template, span seq.Span) (map[string]seq.Value, error) {
+	results, err := g.Apply(tmpl, span)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]seq.Value, len(results))
+	for _, r := range results {
+		entries := r.Result.Entries()
+		if len(entries) == 0 {
+			continue
+		}
+		last := entries[len(entries)-1]
+		if len(last.Rec) != 1 {
+			return nil, fmt.Errorf("grouping: member %q: aggregate template must produce single-attribute records, got %v",
+				r.Name, last.Rec)
+		}
+		out[r.Name] = last.Rec[0]
+	}
+	return out, nil
+}

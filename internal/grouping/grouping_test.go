@@ -1,0 +1,187 @@
+package grouping
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/seq"
+	"repro/internal/workload"
+)
+
+var valSchema = seq.MustSchema(seq.Field{Name: "v", Type: seq.TFloat})
+
+func mkMember(t *testing.T, pairs map[seq.Pos]float64) *seq.Materialized {
+	t.Helper()
+	es := make([]seq.Entry, 0, len(pairs))
+	for p, v := range pairs {
+		es = append(es, seq.Entry{Pos: p, Rec: seq.Record{seq.Float(v)}})
+	}
+	return seq.MustMaterialized(valSchema, es)
+}
+
+func testGrouping(t *testing.T) *Grouping {
+	t.Helper()
+	g := New(valSchema)
+	if err := g.Add("run-a", mkMember(t, map[seq.Pos]float64{1: 5, 2: 9, 3: 4})); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add("run-b", mkMember(t, map[seq.Pos]float64{1: 2, 2: 3})); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add("run-c", mkMember(t, map[seq.Pos]float64{2: 8, 5: 11})); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// exceeds builds the template "records with v > limit".
+func exceeds(limit float64) Template {
+	return func(member *algebra.Node) (*algebra.Node, error) {
+		c, err := expr.NewCol(member.Schema, "v")
+		if err != nil {
+			return nil, err
+		}
+		pred, err := expr.NewBin(expr.OpGt, c, expr.Literal(seq.Float(limit)))
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Select(member, pred)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	g := New(valSchema)
+	if err := g.Add("", nil); err == nil {
+		t.Error("empty name must fail")
+	}
+	if err := g.Add("x", mkMember(t, map[seq.Pos]float64{1: 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add("x", mkMember(t, map[seq.Pos]float64{1: 1})); err == nil {
+		t.Error("duplicate must fail")
+	}
+	other := seq.MustSchema(seq.Field{Name: "w", Type: seq.TInt})
+	bad := seq.MustMaterialized(other, nil)
+	if err := g.Add("y", bad); err == nil {
+		t.Error("schema mismatch must fail")
+	}
+	if !g.Schema().Equal(valSchema) {
+		t.Error("schema accessor wrong")
+	}
+}
+
+func TestWhere(t *testing.T) {
+	g := testGrouping(t)
+	// Which runs ever exceed 7?
+	names, err := g.Where(exceeds(7), seq.NewSpan(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "run-a" || names[1] != "run-c" {
+		t.Errorf("Where = %v", names)
+	}
+	// Nobody exceeds 100.
+	names, err = g.Where(exceeds(100), seq.NewSpan(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Errorf("Where = %v", names)
+	}
+}
+
+func TestApply(t *testing.T) {
+	g := testGrouping(t)
+	results, err := g.Apply(exceeds(0), seq.NewSpan(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Name != "run-a" || results[0].Result.Count() != 3 {
+		t.Errorf("run-a = %v", results[0])
+	}
+	if results[1].Name != "run-b" || results[1].Result.Count() != 2 {
+		t.Errorf("run-b = %v", results[1])
+	}
+	// Errors propagate with member context.
+	bad := func(*algebra.Node) (*algebra.Node, error) { return nil, errTest{} }
+	if _, err := g.Apply(bad, seq.NewSpan(1, 10)); err == nil {
+		t.Error("template error must propagate")
+	}
+}
+
+type errTest struct{}
+
+func (errTest) Error() string { return "boom" }
+
+func TestAggregateEach(t *testing.T) {
+	g := testGrouping(t)
+	// Whole-run maximum per member.
+	maxAll := func(member *algebra.Node) (*algebra.Node, error) {
+		return algebra.AggCol(member, algebra.AggMax, "v", algebra.All(), "m")
+	}
+	got, err := g.AggregateEach(maxAll, seq.NewSpan(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["run-a"].AsFloat() != 9 || got["run-b"].AsFloat() != 3 || got["run-c"].AsFloat() != 11 {
+		t.Errorf("AggregateEach = %v", got)
+	}
+	// Multi-attribute templates are rejected.
+	ident := func(member *algebra.Node) (*algebra.Node, error) { return member, nil }
+	g2 := New(workload.StockSchema)
+	data, err := workload.Stock(workload.StockConfig{Name: "s", Span: seq.NewSpan(1, 10), Density: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Add("s", data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g2.AggregateEach(ident, seq.NewSpan(1, 10)); err == nil {
+		t.Error("multi-attribute aggregate template must be rejected")
+	}
+}
+
+// A realistic use: which experiment runs have a 3-sample moving average
+// above threshold at any point (sensor drift detection).
+func TestGroupingWithWindows(t *testing.T) {
+	g := New(valSchema)
+	for name, base := range map[string]float64{"stable": 10, "drifting": 10} {
+		var es []seq.Entry
+		v := base
+		for p := seq.Pos(1); p <= 50; p++ {
+			if name == "drifting" && p > 25 {
+				v += 0.8
+			}
+			es = append(es, seq.Entry{Pos: p, Rec: seq.Record{seq.Float(v)}})
+		}
+		if err := g.Add(name, seq.MustMaterialized(valSchema, es)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drifted := func(member *algebra.Node) (*algebra.Node, error) {
+		avg, err := algebra.AggCol(member, algebra.AggAvg, "v", algebra.Trailing(3), "a")
+		if err != nil {
+			return nil, err
+		}
+		c, err := expr.NewCol(avg.Schema, "a")
+		if err != nil {
+			return nil, err
+		}
+		pred, err := expr.NewBin(expr.OpGt, c, expr.Literal(seq.Float(15)))
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Select(avg, pred)
+	}
+	names, err := g.Where(drifted, seq.NewSpan(1, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "drifting" {
+		t.Errorf("Where = %v", names)
+	}
+}

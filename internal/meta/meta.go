@@ -1,0 +1,425 @@
+// Package meta implements Step 2 of the optimization algorithm (§4): the
+// propagation of meta-information through the query graph.
+//
+// The bottom-up pass (Step 2.a) derives, for every node, the span (valid
+// range) and density of its output sequence from those of its inputs,
+// along with column statistics for selectivity estimation. The top-down
+// pass (Step 2.b) then narrows the *access span* of every node — the
+// range of positions that actually needs to be computed — starting from
+// the range the query requests at the root. This is the bidirectional
+// span propagation of §3.2 (Figure 3): composing sequences with
+// overlapping valid ranges restricts every base-sequence access to the
+// intersection window.
+package meta
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/seq"
+)
+
+// NodeMeta is the meta-information attached to one operator's output.
+type NodeMeta struct {
+	// Span is the bottom-up valid range: outside it the output is Null.
+	Span seq.Span
+	// Density estimates the fraction of non-Null positions within Span.
+	Density float64
+	// ColStats maps output attribute index to value statistics.
+	ColStats map[int]expr.ColStats
+	// AccessSpan is the top-down restricted range that must actually be
+	// computed to answer the query. It is always contained in Span
+	// intersected with the requested range's reach.
+	AccessSpan seq.Span
+}
+
+// ExpectedRecords estimates the number of non-Null records inside the
+// access span.
+func (m *NodeMeta) ExpectedRecords() float64 {
+	n := m.AccessSpan.Len()
+	if n <= 0 {
+		return 0
+	}
+	if !m.AccessSpan.Bounded() {
+		return math.Inf(1)
+	}
+	return m.Density * float64(n)
+}
+
+// Annotation carries the per-node meta-information of a query graph.
+type Annotation struct {
+	ByNode    map[*algebra.Node]*NodeMeta
+	Requested seq.Span
+	// Universe is the bounded range answers within the requested span
+	// can depend on: the hull of base spans and the requested range,
+	// grown by the query's offset reach. Access spans are clamped to it,
+	// which keeps every physical scan and probe walk bounded even for
+	// operators whose logical spans are unbounded (value offsets,
+	// constants).
+	Universe seq.Span
+}
+
+// Get returns the meta for a node (nil if the node is not part of the
+// annotated graph).
+func (a *Annotation) Get(n *algebra.Node) *NodeMeta { return a.ByNode[n] }
+
+// Annotate runs both propagation passes over the query tree for the
+// requested output range and returns the resulting annotation.
+func Annotate(root *algebra.Node, requested seq.Span) (*Annotation, error) {
+	universe := algebra.Universe(root, requested)
+	a := &Annotation{
+		ByNode:    make(map[*algebra.Node]*NodeMeta),
+		Requested: requested,
+		Universe:  universe,
+	}
+	if _, err := a.bottomUp(root); err != nil {
+		return nil, err
+	}
+	rootMeta := a.ByNode[root]
+	rootMeta.AccessSpan = rootMeta.Span.Intersect(requested).ClampUnboundedTo(universe)
+	if err := a.topDown(root); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func (a *Annotation) bottomUp(n *algebra.Node) (*NodeMeta, error) {
+	var ins []*NodeMeta
+	for _, in := range n.Inputs {
+		m, err := a.bottomUp(in)
+		if err != nil {
+			return nil, err
+		}
+		ins = append(ins, m)
+	}
+	m, err := deriveMeta(n, ins)
+	if err != nil {
+		return nil, err
+	}
+	a.ByNode[n] = m
+	return m, nil
+}
+
+func deriveMeta(n *algebra.Node, ins []*NodeMeta) (*NodeMeta, error) {
+	switch n.Kind {
+	case algebra.KindBase:
+		info := n.Seq.Info()
+		stats := n.BaseStats
+		if stats == nil {
+			stats = map[int]expr.ColStats{}
+		}
+		return &NodeMeta{Span: info.Span, Density: info.Density, ColStats: stats}, nil
+
+	case algebra.KindConst:
+		return &NodeMeta{Span: seq.AllSpan, Density: 1, ColStats: map[int]expr.ColStats{}}, nil
+
+	case algebra.KindSelect:
+		in := ins[0]
+		sel := expr.Selectivity(n.Pred, in.ColStats)
+		return &NodeMeta{Span: in.Span, Density: in.Density * sel, ColStats: in.ColStats}, nil
+
+	case algebra.KindProject:
+		in := ins[0]
+		stats := make(map[int]expr.ColStats)
+		for i, it := range n.Items {
+			if c, ok := it.Expr.(*expr.Col); ok {
+				if st, have := in.ColStats[c.Index]; have {
+					stats[i] = st
+				}
+			}
+		}
+		return &NodeMeta{Span: in.Span, Density: in.Density, ColStats: stats}, nil
+
+	case algebra.KindPosOffset:
+		in := ins[0]
+		// out(i) = in(i+l): a record at input position j surfaces at
+		// output position j-l.
+		return &NodeMeta{Span: in.Span.Shift(-n.Offset), Density: in.Density, ColStats: in.ColStats}, nil
+
+	case algebra.KindValueOffset:
+		in := ins[0]
+		m := &NodeMeta{ColStats: in.ColStats}
+		if in.Span.IsEmpty() {
+			m.Span = seq.EmptySpan
+			return m, nil
+		}
+		k := n.Offset
+		if k < 0 {
+			// Defined from just after the |k|-th record onward, forever.
+			start := in.Span.Start
+			if start > seq.MinPos {
+				start = seq.ClampPos(start + (-k))
+			}
+			m.Span = seq.Span{Start: start, End: seq.MaxPos}
+		} else {
+			end := in.Span.End
+			if end < seq.MaxPos {
+				end = seq.ClampPos(end - k)
+			}
+			m.Span = seq.Span{Start: seq.MinPos, End: end}
+		}
+		// Once enough records exist, every position maps to one: the
+		// output is dense within its span (up to edge effects).
+		m.Density = 1
+		if in.Density == 0 {
+			m.Density = 0
+		}
+		return m, nil
+
+	case algebra.KindAgg:
+		in := ins[0]
+		w := n.Agg.Window
+		m := &NodeMeta{ColStats: map[int]expr.ColStats{}}
+		if in.Span.IsEmpty() {
+			m.Span = seq.EmptySpan
+			return m, nil
+		}
+		// Non-Null at i iff some input record lies in [i+Lo, i+Hi]:
+		// span = [inStart-Hi, inEnd-Lo], unbounded sides saturating.
+		start, end := seq.MinPos, seq.MaxPos
+		if !w.HiUnbounded && in.Span.Start > seq.MinPos {
+			start = seq.ClampPos(in.Span.Start - w.Hi)
+		}
+		if !w.LoUnbounded && in.Span.End < seq.MaxPos {
+			end = seq.ClampPos(in.Span.End - w.Lo)
+		}
+		if w.HiUnbounded {
+			start = seq.MinPos
+		}
+		if w.LoUnbounded {
+			end = seq.MaxPos
+		}
+		m.Span = seq.Span{Start: start, End: end}
+		if size, fixed := w.Size(); fixed {
+			// P(window non-empty) = 1 - (1-d)^w under independence.
+			m.Density = 1 - math.Pow(1-clamp01(in.Density), float64(size))
+		} else {
+			m.Density = 1
+			if in.Density == 0 {
+				m.Density = 0
+			}
+		}
+		return m, nil
+
+	case algebra.KindCollapse:
+		in := ins[0]
+		m := &NodeMeta{ColStats: map[int]expr.ColStats{}}
+		if in.Span.IsEmpty() {
+			m.Span = seq.EmptySpan
+			return m, nil
+		}
+		k := n.Factor
+		start, end := seq.MinPos, seq.MaxPos
+		if in.Span.Start > seq.MinPos {
+			start = algebra.FloorDiv(in.Span.Start, k)
+		}
+		if in.Span.End < seq.MaxPos {
+			end = algebra.FloorDiv(in.Span.End, k)
+		}
+		m.Span = seq.Span{Start: start, End: end}
+		m.Density = 1 - math.Pow(1-clamp01(in.Density), float64(k))
+		return m, nil
+
+	case algebra.KindExpand:
+		in := ins[0]
+		m := &NodeMeta{ColStats: in.ColStats, Density: in.Density}
+		if in.Span.IsEmpty() {
+			m.Span = seq.EmptySpan
+			return m, nil
+		}
+		k := n.Factor
+		start, end := seq.MinPos, seq.MaxPos
+		if in.Span.Start > seq.MinPos {
+			start = seq.ClampPos(in.Span.Start * k)
+		}
+		if in.Span.End < seq.MaxPos {
+			end = seq.ClampPos(in.Span.End*k + k - 1)
+		}
+		m.Span = seq.Span{Start: start, End: end}
+		return m, nil
+
+	case algebra.KindCompose:
+		l, r := ins[0], ins[1]
+		span := l.Span.Intersect(r.Span)
+		sel := 1.0
+		if n.Pred != nil {
+			stats := concatStats(n, l, r)
+			sel = expr.Selectivity(n.Pred, stats)
+		}
+		// Independence assumption on the Null positions of the inputs
+		// (§4, Step 2.a mentions correlation; we expose the knob through
+		// the stats maps in a future extension).
+		return &NodeMeta{
+			Span:     span,
+			Density:  l.Density * r.Density * sel,
+			ColStats: concatStats(n, l, r),
+		}, nil
+
+	default:
+		return nil, fmt.Errorf("meta: unknown node kind %v", n.Kind)
+	}
+}
+
+func concatStats(n *algebra.Node, l, r *NodeMeta) map[int]expr.ColStats {
+	stats := make(map[int]expr.ColStats, len(l.ColStats)+len(r.ColStats))
+	leftArity := n.Inputs[0].Schema.NumFields()
+	for i, st := range l.ColStats {
+		stats[i] = st
+	}
+	for i, st := range r.ColStats {
+		stats[leftArity+i] = st
+	}
+	return stats
+}
+
+// topDown narrows the access spans of n's inputs from n's own access
+// span (Step 2.b), then recurses.
+func (a *Annotation) topDown(n *algebra.Node) error {
+	m := a.ByNode[n]
+	for idx, in := range n.Inputs {
+		childMeta := a.ByNode[in]
+		need, err := inputAccessSpan(n, idx, m.AccessSpan, childMeta.Span)
+		if err != nil {
+			return err
+		}
+		childMeta.AccessSpan = need.Intersect(childMeta.Span).ClampUnboundedTo(a.Universe)
+		if err := a.topDown(in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// inputAccessSpan computes the range of input positions operator n must
+// read from input idx to produce its output over access.
+func inputAccessSpan(n *algebra.Node, idx int, access, childSpan seq.Span) (seq.Span, error) {
+	if access.IsEmpty() {
+		return seq.EmptySpan, nil
+	}
+	switch n.Kind {
+	case algebra.KindSelect, algebra.KindProject, algebra.KindCompose:
+		return access, nil
+
+	case algebra.KindPosOffset:
+		return access.Shift(n.Offset), nil
+
+	case algebra.KindValueOffset:
+		if n.Offset < 0 {
+			// Need records strictly before access.End; how far back is
+			// data-dependent, so fall back to the input's own span start.
+			end := access.End
+			if end < seq.MaxPos {
+				end--
+			}
+			return seq.Span{Start: childSpan.Start, End: end}, nil
+		}
+		start := access.Start
+		if start > seq.MinPos {
+			start++
+		}
+		return seq.Span{Start: start, End: childSpan.End}, nil
+
+	case algebra.KindAgg:
+		w := n.Agg.Window
+		start, end := seq.MinPos, seq.MaxPos
+		if !w.LoUnbounded && access.Start > seq.MinPos {
+			start = seq.ClampPos(access.Start + w.Lo)
+		}
+		if !w.HiUnbounded && access.End < seq.MaxPos {
+			end = seq.ClampPos(access.End + w.Hi)
+		}
+		if w.LoUnbounded {
+			start = childSpan.Start
+		}
+		if w.HiUnbounded {
+			end = childSpan.End
+		}
+		return seq.Span{Start: start, End: end}, nil
+
+	case algebra.KindCollapse:
+		k := n.Factor
+		start, end := seq.MinPos, seq.MaxPos
+		if access.Start > seq.MinPos {
+			start = seq.ClampPos(access.Start * k)
+		}
+		if access.End < seq.MaxPos {
+			end = seq.ClampPos(access.End*k + k - 1)
+		}
+		return seq.Span{Start: start, End: end}, nil
+
+	case algebra.KindExpand:
+		k := n.Factor
+		start, end := seq.MinPos, seq.MaxPos
+		if access.Start > seq.MinPos {
+			start = algebra.FloorDiv(access.Start, k)
+		}
+		if access.End < seq.MaxPos {
+			end = algebra.FloorDiv(access.End, k)
+		}
+		return seq.Span{Start: start, End: end}, nil
+
+	default:
+		return seq.EmptySpan, fmt.Errorf("meta: node kind %v has no input %d", n.Kind, idx)
+	}
+}
+
+// StatsFromMaterialized computes column statistics by scanning a
+// materialized sequence once; used when base sequences are registered.
+func StatsFromMaterialized(m *seq.Materialized) map[int]expr.ColStats {
+	schema := m.Info().Schema
+	out := make(map[int]expr.ColStats)
+	type acc struct {
+		min, max float64
+		distinct map[float64]struct{}
+		any      bool
+	}
+	accs := make([]acc, schema.NumFields())
+	for i := range accs {
+		accs[i].distinct = make(map[float64]struct{})
+	}
+	for _, e := range m.Entries() {
+		for i := 0; i < schema.NumFields(); i++ {
+			if !schema.Field(i).Type.Numeric() {
+				continue
+			}
+			v := e.Rec[i].AsFloat()
+			a := &accs[i]
+			if !a.any {
+				a.min, a.max, a.any = v, v, true
+			} else {
+				if v < a.min {
+					a.min = v
+				}
+				if v > a.max {
+					a.max = v
+				}
+			}
+			if len(a.distinct) < 10000 {
+				a.distinct[v] = struct{}{}
+			}
+		}
+	}
+	for i := range accs {
+		if accs[i].any {
+			out[i] = expr.ColStats{
+				Known:    true,
+				Min:      accs[i].min,
+				Max:      accs[i].max,
+				Distinct: int64(len(accs[i].distinct)),
+			}
+		}
+	}
+	return out
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

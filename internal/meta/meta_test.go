@@ -1,0 +1,313 @@
+package meta
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/seq"
+)
+
+var closeSchema = seq.MustSchema(seq.Field{Name: "close", Type: seq.TFloat})
+
+// stock builds a base node whose span and density mimic Table 1.
+func stock(t *testing.T, name string, start, end seq.Pos, density float64) *algebra.Node {
+	t.Helper()
+	span := seq.NewSpan(start, end)
+	n := span.Len()
+	count := int64(density * float64(n))
+	var es []seq.Entry
+	// Spread `count` records evenly over the span.
+	for k := int64(0); k < count; k++ {
+		p := start + k*n/count
+		es = append(es, seq.Entry{Pos: p, Rec: seq.Record{seq.Float(float64(p))}})
+	}
+	m := seq.MustMaterialized(closeSchema, es)
+	m2, err := m.WithSpan(span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return algebra.Base(name, m2)
+}
+
+func annotate(t *testing.T, root *algebra.Node, span seq.Span) *Annotation {
+	t.Helper()
+	a, err := Annotate(root, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// Figure 3: composing DEC with (IBM x HP) restricts every base access to
+// the intersection [200, 350].
+func TestFigure3SpanRestriction(t *testing.T) {
+	dec := stock(t, "dec", 1, 350, 0.7)
+	ibm := stock(t, "ibm", 200, 500, 0.95)
+	hp := stock(t, "hp", 1, 750, 1.0)
+
+	schema, _ := algebra.ComposeSchema(ibm, hp, "ibm", "hp")
+	ic, _ := expr.NewCol(schema, "ibm.close")
+	hc, _ := expr.NewCol(schema, "hp.close")
+	pred, _ := expr.NewBin(expr.OpGt, ic, hc)
+	ibmHp, err := algebra.Compose(ibm, hp, pred, "ibm", "hp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := algebra.Compose(dec, ibmHp, nil, "dec", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := annotate(t, q, seq.AllSpan)
+	want := seq.NewSpan(200, 350)
+	if got := a.Get(q).Span; got != want {
+		t.Errorf("root span = %v, want %v", got, want)
+	}
+	for _, b := range []*algebra.Node{dec, ibm, hp} {
+		if got := a.Get(b).AccessSpan; got != want {
+			t.Errorf("%s access span = %v, want %v", b.Name, got, want)
+		}
+	}
+	// A narrower requested range narrows further.
+	a = annotate(t, q, seq.NewSpan(300, 320))
+	for _, b := range []*algebra.Node{dec, ibm, hp} {
+		if got := a.Get(b).AccessSpan; got != seq.NewSpan(300, 320) {
+			t.Errorf("%s access span = %v, want [300, 320]", b.Name, got)
+		}
+	}
+}
+
+func TestSelectDensity(t *testing.T) {
+	ibm := stock(t, "ibm", 1, 100, 1.0)
+	c, _ := expr.NewCol(ibm.Schema, "close")
+	pred, _ := expr.NewBin(expr.OpGt, c, expr.Literal(seq.Float(50)))
+	sel, _ := algebra.Select(ibm, pred)
+	a := annotate(t, sel, seq.AllSpan)
+	m := a.Get(sel)
+	if m.Span != seq.NewSpan(1, 100) {
+		t.Errorf("span = %v", m.Span)
+	}
+	// Without stats the default range selectivity (1/3) applies.
+	if got := m.Density; math.Abs(got-1.0/3.0) > 1e-9 {
+		t.Errorf("density = %g, want 1/3", got)
+	}
+	// With stats, the uniform estimate applies.
+	stats := map[int]expr.ColStats{0: {Known: true, Min: 0, Max: 100, Distinct: 100}}
+	ibm2 := algebra.BaseWithStats("ibm", ibm.Seq, stats)
+	sel2, _ := algebra.Select(ibm2, pred)
+	a = annotate(t, sel2, seq.AllSpan)
+	if got := a.Get(sel2).Density; math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("density with stats = %g, want 0.5", got)
+	}
+}
+
+func TestPosOffsetMeta(t *testing.T) {
+	ibm := stock(t, "ibm", 100, 200, 0.8)
+	o, _ := algebra.PosOffset(ibm, 10) // out(i) = in(i+10)
+	a := annotate(t, o, seq.AllSpan)
+	m := a.Get(o)
+	if m.Span != seq.NewSpan(90, 190) {
+		t.Errorf("span = %v, want [90, 190]", m.Span)
+	}
+	if math.Abs(m.Density-0.8) > 0.05 {
+		t.Errorf("density = %g", m.Density)
+	}
+	// Top-down: asking for output [100, 120] needs input [110, 130].
+	a = annotate(t, o, seq.NewSpan(100, 120))
+	if got := a.Get(ibm).AccessSpan; got != seq.NewSpan(110, 130) {
+		t.Errorf("input access = %v, want [110, 130]", got)
+	}
+}
+
+func TestValueOffsetMeta(t *testing.T) {
+	ibm := stock(t, "ibm", 100, 200, 1.0)
+	prev, _ := algebra.Previous(ibm)
+	a := annotate(t, prev, seq.NewSpan(1, 1000))
+	m := a.Get(prev)
+	if m.Span.Start != 101 || m.Span.End != seq.MaxPos {
+		t.Errorf("previous span = %v, want [101, +inf)", m.Span)
+	}
+	if m.Density != 1 {
+		t.Errorf("previous density = %g, want 1", m.Density)
+	}
+	if got := m.AccessSpan; got != seq.NewSpan(101, 1000) {
+		t.Errorf("access span = %v, want [101, 1000]", got)
+	}
+	// The input must be readable up to access.End-1.
+	if got := a.Get(ibm).AccessSpan; got != seq.NewSpan(100, 200) {
+		t.Errorf("input access = %v, want full input span", got)
+	}
+	next, _ := algebra.Next(ibm)
+	a = annotate(t, next, seq.NewSpan(1, 1000))
+	if got := a.Get(next).Span; got.Start != seq.MinPos || got.End != 199 {
+		t.Errorf("next span = %v, want (-inf, 199]", got)
+	}
+}
+
+func TestAggMeta(t *testing.T) {
+	ibm := stock(t, "ibm", 100, 200, 0.5)
+	sum, _ := algebra.AggCol(ibm, algebra.AggSum, "close", algebra.Trailing(6), "s6")
+	a := annotate(t, sum, seq.AllSpan)
+	m := a.Get(sum)
+	// Span: [100-0, 200+5] = [100, 205].
+	if m.Span != seq.NewSpan(100, 205) {
+		t.Errorf("span = %v, want [100, 205]", m.Span)
+	}
+	want := 1 - math.Pow(0.5, 6)
+	if math.Abs(m.Density-want) > 0.02 {
+		t.Errorf("density = %g, want about %g", m.Density, want)
+	}
+	// Top-down: output [150, 160] needs input [145, 160].
+	a = annotate(t, sum, seq.NewSpan(150, 160))
+	if got := a.Get(ibm).AccessSpan; got != seq.NewSpan(145, 160) {
+		t.Errorf("input access = %v, want [145, 160]", got)
+	}
+	// Cumulative: output span extends right unboundedly; input access
+	// reaches back to the input's start.
+	cum, _ := algebra.AggCol(ibm, algebra.AggSum, "close", algebra.Cumulative(), "run")
+	a = annotate(t, cum, seq.NewSpan(150, 160))
+	if got := a.Get(cum).Span; got.Start != 100 || got.End != seq.MaxPos {
+		t.Errorf("cumulative span = %v", got)
+	}
+	if got := a.Get(ibm).AccessSpan; got != seq.NewSpan(100, 160) {
+		t.Errorf("cumulative input access = %v, want [100, 160]", got)
+	}
+}
+
+func TestComposeDensity(t *testing.T) {
+	a1 := stock(t, "a", 1, 100, 0.5)
+	b1 := stock(t, "b", 1, 100, 0.4)
+	c, _ := algebra.Compose(a1, b1, nil, "a", "b")
+	a := annotate(t, c, seq.AllSpan)
+	if got := a.Get(c).Density; math.Abs(got-0.2) > 0.05 {
+		t.Errorf("compose density = %g, want 0.2", got)
+	}
+}
+
+func TestConstMeta(t *testing.T) {
+	k, _ := algebra.Const(closeSchema, seq.Record{seq.Float(5)})
+	ibm := stock(t, "ibm", 1, 50, 1.0)
+	c, _ := algebra.Compose(ibm, k, nil, "i", "k")
+	a := annotate(t, c, seq.AllSpan)
+	if got := a.Get(c).Span; got != seq.NewSpan(1, 50) {
+		t.Errorf("span = %v (constant must not widen)", got)
+	}
+	if got := a.Get(k).AccessSpan; got != seq.NewSpan(1, 50) {
+		t.Errorf("constant access span = %v", got)
+	}
+}
+
+func TestProjectStatsRemap(t *testing.T) {
+	two := seq.MustSchema(
+		seq.Field{Name: "a", Type: seq.TFloat},
+		seq.Field{Name: "b", Type: seq.TFloat},
+	)
+	m := seq.MustMaterialized(two, []seq.Entry{
+		{Pos: 1, Rec: seq.Record{seq.Float(1), seq.Float(10)}},
+	})
+	base := algebra.BaseWithStats("s", m, map[int]expr.ColStats{
+		0: {Known: true, Min: 0, Max: 1},
+		1: {Known: true, Min: 0, Max: 10},
+	})
+	p, _ := algebra.ProjectCols(base, "b")
+	a := annotate(t, p, seq.AllSpan)
+	st := a.Get(p).ColStats
+	if got, ok := st[0]; !ok || got.Max != 10 {
+		t.Errorf("projected stats = %v", st)
+	}
+}
+
+func TestExpectedRecords(t *testing.T) {
+	ibm := stock(t, "ibm", 1, 100, 0.5)
+	a := annotate(t, ibm, seq.AllSpan)
+	if got := a.Get(ibm).ExpectedRecords(); math.Abs(got-50) > 2 {
+		t.Errorf("expected records = %g, want about 50", got)
+	}
+	a = annotate(t, ibm, seq.EmptySpan)
+	if got := a.Get(ibm).ExpectedRecords(); got != 0 {
+		t.Errorf("empty access expected records = %g", got)
+	}
+}
+
+func TestStatsFromMaterialized(t *testing.T) {
+	two := seq.MustSchema(
+		seq.Field{Name: "v", Type: seq.TFloat},
+		seq.Field{Name: "s", Type: seq.TString},
+	)
+	m := seq.MustMaterialized(two, []seq.Entry{
+		{Pos: 1, Rec: seq.Record{seq.Float(3), seq.Str("x")}},
+		{Pos: 2, Rec: seq.Record{seq.Float(7), seq.Str("y")}},
+		{Pos: 3, Rec: seq.Record{seq.Float(3), seq.Str("z")}},
+	})
+	st := StatsFromMaterialized(m)
+	got, ok := st[0]
+	if !ok || got.Min != 3 || got.Max != 7 || got.Distinct != 2 {
+		t.Errorf("stats = %+v", got)
+	}
+	if _, ok := st[1]; ok {
+		t.Error("string column must have no numeric stats")
+	}
+}
+
+func TestEmptySpans(t *testing.T) {
+	empty := algebra.Base("empty", seq.MustMaterialized(closeSchema, nil))
+	prev, _ := algebra.Previous(empty)
+	a := annotate(t, prev, seq.AllSpan)
+	if !a.Get(prev).Span.IsEmpty() {
+		t.Error("previous of empty must be empty")
+	}
+	sum, _ := algebra.AggCol(empty, algebra.AggSum, "close", algebra.Trailing(3), "")
+	a = annotate(t, sum, seq.AllSpan)
+	if !a.Get(sum).Span.IsEmpty() {
+		t.Error("agg of empty must be empty")
+	}
+	// Disjoint compose: children get empty access spans.
+	l := stock(t, "l", 1, 10, 1)
+	r := stock(t, "r", 50, 60, 1)
+	c, _ := algebra.Compose(l, r, nil, "l", "r")
+	a = annotate(t, c, seq.AllSpan)
+	if !a.Get(l).AccessSpan.IsEmpty() || !a.Get(r).AccessSpan.IsEmpty() {
+		t.Error("disjoint compose must empty the children's access spans")
+	}
+}
+
+func TestCollapseExpandMeta(t *testing.T) {
+	daily := stock(t, "daily", 0, 69, 1.0) // 70 days = 10 weeks
+	weekly, err := algebra.Collapse(daily, 7, algebra.AggSpec{Func: algebra.AggAvg, Arg: 0, As: "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := annotate(t, weekly, seq.AllSpan)
+	m := a.Get(weekly)
+	if m.Span != seq.NewSpan(0, 9) {
+		t.Errorf("weekly span = %v, want [0, 9]", m.Span)
+	}
+	if m.Density < 0.99 {
+		t.Errorf("weekly density = %g, want ~1", m.Density)
+	}
+	// Top-down: asking for weeks [2, 4] needs days [14, 34].
+	a = annotate(t, weekly, seq.NewSpan(2, 4))
+	if got := a.Get(daily).AccessSpan; got != seq.NewSpan(14, 34) {
+		t.Errorf("daily access = %v, want [14, 34]", got)
+	}
+
+	back, err := algebra.Expand(weekly, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a = annotate(t, back, seq.AllSpan)
+	if got := a.Get(back).Span; got != seq.NewSpan(0, 69) {
+		t.Errorf("expanded span = %v, want [0, 69]", got)
+	}
+	// Requesting days [10, 20] of the expansion needs weeks [1, 2],
+	// hence days [7, 20] of the daily input.
+	a = annotate(t, back, seq.NewSpan(10, 20))
+	if got := a.Get(weekly).AccessSpan; got != seq.NewSpan(1, 2) {
+		t.Errorf("weekly access = %v, want [1, 2]", got)
+	}
+	if got := a.Get(daily).AccessSpan; got != seq.NewSpan(7, 20) {
+		t.Errorf("daily access = %v, want [7, 20]", got)
+	}
+}

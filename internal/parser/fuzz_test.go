@@ -1,0 +1,50 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/seq"
+)
+
+// FuzzBind checks that arbitrary input never panics the lexer, parser or
+// binder — it must either bind cleanly or return an error.
+func FuzzBind(f *testing.F) {
+	seeds := []string{
+		"select(ibm, close > 7.0)",
+		"project(compose(ibm, hp, ibm.close > hp.close), ibm.close)",
+		"sum(prev(ibm), close, 6)",
+		"collapse(ibm, avg(close), 7)",
+		"expand(ibm, 3)",
+		"rsum(ibm, close)",
+		"select(ibm, 'str' = \"str\" and not false)",
+		"offset(ibm, -5)",
+		"((((",
+		"select(ibm, close > )",
+		"1.2.3.4",
+		"ibm as as as",
+		"compose(ibm", "avg()", "-- comment only",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	schema := seq.MustSchema(
+		seq.Field{Name: "close", Type: seq.TFloat},
+		seq.Field{Name: "volume", Type: seq.TInt},
+	)
+	m := seq.MustMaterialized(schema, []seq.Entry{
+		{Pos: 1, Rec: seq.Record{seq.Float(1), seq.Int(1)}},
+	})
+	cat := CatalogFunc(func(name string) (*algebra.Node, bool) {
+		if name == "ibm" || name == "hp" {
+			return algebra.Base(name, m), true
+		}
+		return nil, false
+	})
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Bind(src, cat)
+		if err == nil && n == nil {
+			t.Fatal("nil node without error")
+		}
+	})
+}

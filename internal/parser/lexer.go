@@ -1,0 +1,187 @@
+// Package parser implements SEQL, a small functional query language for
+// building sequence-algebra graphs textually:
+//
+//	project(select(compose(ibm, hp, ibm.close > hp.close), volume >= 100), ibm.close)
+//	sum(ibm, close, 6)                      -- moving 6-position sum
+//	prev(select(earthquakes, strength > 7))
+//	offset(dec, -5)
+//
+// The paper explicitly defers query-language design ("we do not consider
+// query language issues", §5); SEQL exists so the CLI and the examples
+// can express queries compactly. Parsing is two-phase: a recursive-
+// descent parser produces an untyped AST, and a binder resolves sequence
+// and attribute names against a catalog to build the typed algebra graph.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokOp // comparison/arithmetic operator
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	at   int
+	toks []token
+}
+
+// lex tokenizes the source, returning a friendly error with the offset
+// of the offending character.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.at >= len(l.src) {
+			l.emit(tokEOF, "")
+			return l.toks, nil
+		}
+		c := l.src[l.at]
+		switch {
+		case c == '(':
+			l.emit(tokLParen, "(")
+			l.at++
+		case c == ')':
+			l.emit(tokRParen, ")")
+			l.at++
+		case c == ',':
+			l.emit(tokComma, ",")
+			l.at++
+		case c == '.' && !l.digitAt(l.at+1):
+			l.emit(tokDot, ".")
+			l.at++
+		case isIdentStart(rune(c)):
+			l.ident()
+		case unicode.IsDigit(rune(c)) || (c == '.' && l.digitAt(l.at+1)):
+			if err := l.number(); err != nil {
+				return nil, err
+			}
+		case c == '\'' || c == '"':
+			if err := l.str(c); err != nil {
+				return nil, err
+			}
+		case strings.ContainsRune("<>=!+-*/%", rune(c)):
+			l.operator()
+		default:
+			return nil, fmt.Errorf("parser: unexpected character %q at offset %d", c, l.at)
+		}
+	}
+}
+
+func (l *lexer) emit(kind tokKind, text string) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: l.at})
+}
+
+func (l *lexer) skipSpace() {
+	for l.at < len(l.src) {
+		c := l.src[l.at]
+		if c == '-' && l.at+1 < len(l.src) && l.src[l.at+1] == '-' {
+			// Line comment.
+			for l.at < len(l.src) && l.src[l.at] != '\n' {
+				l.at++
+			}
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.at++
+			continue
+		}
+		return
+	}
+}
+
+func (l *lexer) digitAt(i int) bool {
+	return i < len(l.src) && l.src[i] >= '0' && l.src[i] <= '9'
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) ident() {
+	start := l.at
+	for l.at < len(l.src) && isIdentPart(rune(l.src[l.at])) {
+		l.at++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.at], pos: start})
+}
+
+func (l *lexer) number() error {
+	start := l.at
+	seenDot := false
+	for l.at < len(l.src) {
+		c := l.src[l.at]
+		if c >= '0' && c <= '9' {
+			l.at++
+			continue
+		}
+		if c == '.' && !seenDot && l.digitAt(l.at+1) {
+			seenDot = true
+			l.at++
+			continue
+		}
+		break
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.at], pos: start})
+	return nil
+}
+
+func (l *lexer) str(quote byte) error {
+	start := l.at
+	l.at++ // opening quote
+	var b strings.Builder
+	for l.at < len(l.src) {
+		c := l.src[l.at]
+		if c == quote {
+			l.at++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		if c == '\\' && l.at+1 < len(l.src) {
+			l.at++
+			c = l.src[l.at]
+		}
+		b.WriteByte(c)
+		l.at++
+	}
+	return fmt.Errorf("parser: unterminated string starting at offset %d", start)
+}
+
+func (l *lexer) operator() {
+	start := l.at
+	two := ""
+	if l.at+1 < len(l.src) {
+		two = l.src[l.at : l.at+2]
+	}
+	switch two {
+	case "<=", ">=", "!=", "<>":
+		l.at += 2
+	default:
+		l.at++
+	}
+	l.toks = append(l.toks, token{kind: tokOp, text: l.src[start:l.at], pos: start})
+}

@@ -1,0 +1,227 @@
+// Package relational is a miniature relational query engine: relations
+// of tuples, iterator-based scan/select/project operators, nested-loop
+// join and scalar aggregates, with tuple-access accounting.
+//
+// It exists as the paper's comparator (Example 1.1): "a conventional
+// relational query optimizer ... would probably generate the following
+// query evaluation plan. For every Volcano tuple in the outer query, the
+// sub-query would be invoked to find the time of the most recent
+// earthquake. Each such access to the sub-query involves an aggregate
+// over the entire Earthquake relation." Experiment E1 runs that exact
+// plan here and the lock-step sequence plan in the sequence engine, and
+// compares accesses and wall-clock time.
+package relational
+
+import (
+	"fmt"
+
+	"repro/internal/seq"
+)
+
+// Tuple is a row of atomic values.
+type Tuple []seq.Value
+
+// Relation is a named bag of tuples with a schema. Access through Scan
+// is metered: every tuple delivered increments the TuplesRead counter.
+type Relation struct {
+	Name   string
+	Schema *seq.Schema
+	tuples []Tuple
+
+	// TuplesRead counts tuples delivered by scans — the baseline's
+	// access-cost measure (one logical record access per tuple).
+	TuplesRead int64
+}
+
+// NewRelation builds a relation, validating tuples against the schema.
+func NewRelation(name string, schema *seq.Schema, tuples []Tuple) (*Relation, error) {
+	for i, tup := range tuples {
+		if !seq.Record(tup).Conforms(schema) {
+			return nil, fmt.Errorf("relational: tuple %d does not conform to %v", i, schema)
+		}
+	}
+	return &Relation{Name: name, Schema: schema, tuples: tuples}, nil
+}
+
+// Cardinality returns the number of tuples.
+func (r *Relation) Cardinality() int { return len(r.tuples) }
+
+// ResetStats zeroes the access counter.
+func (r *Relation) ResetStats() { r.TuplesRead = 0 }
+
+// Iterator delivers tuples one at a time.
+type Iterator interface {
+	// Next returns the next tuple; ok=false ends the stream.
+	Next() (Tuple, bool, error)
+	// Close releases resources.
+	Close() error
+}
+
+// Scan returns a metered full-table scan.
+func (r *Relation) Scan() Iterator { return &scanIt{rel: r} }
+
+type scanIt struct {
+	rel *Relation
+	i   int
+}
+
+func (s *scanIt) Next() (Tuple, bool, error) {
+	if s.i >= len(s.rel.tuples) {
+		return nil, false, nil
+	}
+	t := s.rel.tuples[s.i]
+	s.i++
+	s.rel.TuplesRead++
+	return t, true, nil
+}
+
+func (s *scanIt) Close() error { return nil }
+
+// Select filters an iterator by a predicate.
+func Select(in Iterator, pred func(Tuple) (bool, error)) Iterator {
+	return &selectIt{in: in, pred: pred}
+}
+
+type selectIt struct {
+	in   Iterator
+	pred func(Tuple) (bool, error)
+}
+
+func (s *selectIt) Next() (Tuple, bool, error) {
+	for {
+		t, ok, err := s.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		keep, err := s.pred(t)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			return t, true, nil
+		}
+	}
+}
+
+func (s *selectIt) Close() error { return s.in.Close() }
+
+// Project maps an iterator through a column-index list.
+func Project(in Iterator, cols []int) Iterator {
+	return &projectIt{in: in, cols: cols}
+}
+
+type projectIt struct {
+	in   Iterator
+	cols []int
+}
+
+func (p *projectIt) Next() (Tuple, bool, error) {
+	t, ok, err := p.in.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(Tuple, len(p.cols))
+	for i, c := range p.cols {
+		if c < 0 || c >= len(t) {
+			return nil, false, fmt.Errorf("relational: projection column %d out of range", c)
+		}
+		out[i] = t[c]
+	}
+	return out, true, nil
+}
+
+func (p *projectIt) Close() error { return p.in.Close() }
+
+// NestedLoopJoin joins two relations with an arbitrary predicate,
+// rescanning the inner relation per outer tuple.
+func NestedLoopJoin(outer, inner *Relation, pred func(o, i Tuple) (bool, error)) Iterator {
+	return &nljIt{outer: outer.Scan(), inner: inner, pred: pred}
+}
+
+type nljIt struct {
+	outer    Iterator
+	inner    *Relation
+	pred     func(o, i Tuple) (bool, error)
+	curOuter Tuple
+	innerIt  Iterator
+}
+
+func (j *nljIt) Next() (Tuple, bool, error) {
+	for {
+		if j.curOuter == nil {
+			t, ok, err := j.outer.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.curOuter = t
+			j.innerIt = j.inner.Scan()
+		}
+		for {
+			it, ok, err := j.innerIt.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				j.curOuter = nil
+				break
+			}
+			match, err := j.pred(j.curOuter, it)
+			if err != nil {
+				return nil, false, err
+			}
+			if match {
+				out := make(Tuple, 0, len(j.curOuter)+len(it))
+				out = append(out, j.curOuter...)
+				out = append(out, it...)
+				return out, true, nil
+			}
+		}
+	}
+}
+
+func (j *nljIt) Close() error { return j.outer.Close() }
+
+// Collect drains an iterator.
+func Collect(in Iterator) ([]Tuple, error) {
+	defer in.Close()
+	var out []Tuple
+	for {
+		t, ok, err := in.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}
+
+// Max computes the maximum of a column over an iterator; ok=false when
+// the input is empty (SQL's NULL aggregate result).
+func Max(in Iterator, col int) (seq.Value, bool, error) {
+	defer in.Close()
+	var best seq.Value
+	any := false
+	for {
+		t, ok, err := in.Next()
+		if err != nil {
+			return seq.Value{}, false, err
+		}
+		if !ok {
+			return best, any, nil
+		}
+		v := t[col]
+		if !any {
+			best, any = v, true
+			continue
+		}
+		c, err := v.Compare(best)
+		if err != nil {
+			return seq.Value{}, false, err
+		}
+		if c > 0 {
+			best = v
+		}
+	}
+}

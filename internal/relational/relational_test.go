@@ -1,0 +1,164 @@
+package relational
+
+import (
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func mkVolcanos(t *testing.T, rows ...[2]interface{}) *Relation {
+	t.Helper()
+	tuples := make([]Tuple, len(rows))
+	for i, r := range rows {
+		tuples[i] = Tuple{seq.Int(int64(r[0].(int))), seq.Str(r[1].(string))}
+	}
+	rel, err := NewRelation("volcanos", VolcanoSchema, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func mkQuakes(t *testing.T, rows ...[2]float64) *Relation {
+	t.Helper()
+	tuples := make([]Tuple, len(rows))
+	for i, r := range rows {
+		tuples[i] = Tuple{seq.Int(int64(r[0])), seq.Float(r[1])}
+	}
+	rel, err := NewRelation("earthquakes", QuakeSchema, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func TestNewRelationValidates(t *testing.T) {
+	if _, err := NewRelation("x", VolcanoSchema, []Tuple{{seq.Float(1)}}); err == nil {
+		t.Error("non-conforming tuple must be rejected")
+	}
+}
+
+func TestScanMeters(t *testing.T) {
+	r := mkQuakes(t, [2]float64{1, 5}, [2]float64{2, 6})
+	got, err := Collect(r.Scan())
+	if err != nil || len(got) != 2 {
+		t.Fatalf("collect = %v, %v", got, err)
+	}
+	if r.TuplesRead != 2 {
+		t.Errorf("TuplesRead = %d", r.TuplesRead)
+	}
+	r.ResetStats()
+	if r.TuplesRead != 0 {
+		t.Error("ResetStats failed")
+	}
+	if r.Cardinality() != 2 {
+		t.Error("Cardinality wrong")
+	}
+}
+
+func TestSelectProject(t *testing.T) {
+	r := mkQuakes(t, [2]float64{1, 5}, [2]float64{2, 8}, [2]float64{3, 9})
+	it := Project(Select(r.Scan(), func(tup Tuple) (bool, error) {
+		return tup[1].AsFloat() > 7, nil
+	}), []int{1})
+	got, err := Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0][0].AsFloat() != 8 {
+		t.Errorf("result = %v", got)
+	}
+	// Out-of-range projection errors.
+	if _, err := Collect(Project(r.Scan(), []int{9})); err == nil {
+		t.Error("bad projection must fail")
+	}
+}
+
+func TestNestedLoopJoin(t *testing.T) {
+	v := mkVolcanos(t, [2]interface{}{3, "etna"}, [2]interface{}{7, "fuji"})
+	q := mkQuakes(t, [2]float64{1, 5}, [2]float64{5, 8})
+	it := NestedLoopJoin(v, q, func(o, i Tuple) (bool, error) {
+		return i[0].AsInt() < o[0].AsInt(), nil
+	})
+	got, err := Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// etna joins quake@1; fuji joins quakes @1 and @5.
+	if len(got) != 3 {
+		t.Errorf("join = %v", got)
+	}
+	if len(got[0]) != 4 {
+		t.Errorf("joined arity = %d", len(got[0]))
+	}
+}
+
+func TestMax(t *testing.T) {
+	r := mkQuakes(t, [2]float64{1, 5}, [2]float64{9, 2}, [2]float64{4, 7})
+	v, ok, err := Max(r.Scan(), 0)
+	if err != nil || !ok || v.AsInt() != 9 {
+		t.Errorf("max = %v, %v, %v", v, ok, err)
+	}
+	empty := mkQuakes(t)
+	if _, ok, _ := Max(empty.Scan(), 0); ok {
+		t.Error("max of empty must report !ok")
+	}
+}
+
+func TestVolcanoQueriesAgree(t *testing.T) {
+	v := mkVolcanos(t,
+		[2]interface{}{2, "etna"},
+		[2]interface{}{6, "fuji"},
+		[2]interface{}{9, "rainier"},
+	)
+	q := mkQuakes(t, [2]float64{1, 6.0}, [2]float64{4, 7.5}, [2]float64{8, 5.0})
+	nested, err := VolcanoQueryNested(v, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nested) != 1 || nested[0] != "fuji" {
+		t.Errorf("nested = %v", nested)
+	}
+	merged, err := VolcanoQueryMerge(v, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 1 || merged[0] != "fuji" {
+		t.Errorf("merge = %v", merged)
+	}
+}
+
+func TestVolcanoNestedIsQuadratic(t *testing.T) {
+	// The nested plan reads O(|V|·|E|) tuples; the merge plan O(|V|+|E|).
+	var vs [][2]interface{}
+	var qs [][2]float64
+	for i := 0; i < 50; i++ {
+		vs = append(vs, [2]interface{}{i*10 + 5, "v"})
+		qs = append(qs, [2]float64{float64(i * 10), 7.5})
+	}
+	v := mkVolcanos(t, vs...)
+	q := mkQuakes(t, qs...)
+	if _, err := VolcanoQueryNested(v, q); err != nil {
+		t.Fatal(err)
+	}
+	nestedReads := v.TuplesRead + q.TuplesRead
+	v.ResetStats()
+	q.ResetStats()
+	if _, err := VolcanoQueryMerge(v, q); err != nil {
+		t.Fatal(err)
+	}
+	mergeReads := v.TuplesRead + q.TuplesRead
+	if nestedReads < 50*50 {
+		t.Errorf("nested reads = %d, expected quadratic growth", nestedReads)
+	}
+	if mergeReads > 105 {
+		t.Errorf("merge reads = %d, expected linear", mergeReads)
+	}
+}
+
+func TestVolcanoSchemasChecked(t *testing.T) {
+	v := mkVolcanos(t)
+	if _, err := VolcanoQueryNested(v, v); err == nil {
+		t.Error("schema mismatch must be rejected")
+	}
+}

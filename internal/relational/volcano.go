@@ -1,0 +1,113 @@
+package relational
+
+import (
+	"fmt"
+
+	"repro/internal/seq"
+)
+
+// Schemas of the Example 1.1 relations. Time is the position attribute
+// made explicit, as a relational system would store it.
+var (
+	VolcanoSchema = seq.MustSchema(
+		seq.Field{Name: "time", Type: seq.TInt},
+		seq.Field{Name: "name", Type: seq.TString},
+	)
+	QuakeSchema = seq.MustSchema(
+		seq.Field{Name: "time", Type: seq.TInt},
+		seq.Field{Name: "strength", Type: seq.TFloat},
+	)
+)
+
+// VolcanoQueryNested evaluates Example 1.1 with the plan the paper
+// ascribes to a conventional relational optimizer:
+//
+//	SELECT V.name
+//	FROM   Volcanos V, Earthquakes E
+//	WHERE  E.strength > 7.0
+//	AND    E.time = (SELECT max(E1.time) FROM Earthquakes E1
+//	                 WHERE E1.time < V.time)
+//
+// For every volcano tuple, the correlated sub-query scans the entire
+// Earthquakes relation to find the most recent earlier quake; the result
+// then probes Earthquakes again (another scan here — the relation has no
+// index on time) and the strength filter applies last. The total work is
+// O(|V| · |E|).
+func VolcanoQueryNested(volcanos, quakes *Relation) ([]string, error) {
+	if !volcanos.Schema.Equal(VolcanoSchema) || !quakes.Schema.Equal(QuakeSchema) {
+		return nil, fmt.Errorf("relational: unexpected schemas %v, %v", volcanos.Schema, quakes.Schema)
+	}
+	var out []string
+	vIt := volcanos.Scan()
+	defer vIt.Close()
+	for {
+		v, ok, err := vIt.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		vTime := v[0].AsInt()
+		// Correlated sub-query: max(E1.time) where E1.time < V.time —
+		// a full scan of Earthquakes.
+		maxTime, any, err := Max(Select(quakes.Scan(), func(t Tuple) (bool, error) {
+			return t[0].AsInt() < vTime, nil
+		}), 0)
+		if err != nil {
+			return nil, err
+		}
+		if !any {
+			continue // no earlier earthquake: sub-query yields NULL
+		}
+		// Outer join condition: find the earthquake at that time and
+		// apply the strength filter — another scan.
+		matches, err := Collect(Select(quakes.Scan(), func(t Tuple) (bool, error) {
+			return t[0].AsInt() == maxTime.AsInt() && t[1].AsFloat() > 7.0, nil
+		}))
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) > 0 {
+			out = append(out, v[1].AsStr())
+		}
+	}
+}
+
+// VolcanoQueryMerge evaluates the same query the way the sequence engine
+// does (the efficient strategy of Example 1.1): one lock-step pass over
+// both relations, assumed sorted by time, buffering only the most recent
+// earthquake. It exists to show the relational substrate *can* express
+// the efficient plan when hand-written — the point of the paper being
+// that the sequence optimizer derives it automatically.
+func VolcanoQueryMerge(volcanos, quakes *Relation) ([]string, error) {
+	vIt, qIt := volcanos.Scan(), quakes.Scan()
+	defer vIt.Close()
+	defer qIt.Close()
+	var out []string
+	var lastQuake Tuple
+	q, qok, err := qIt.Next()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		v, vok, err := vIt.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !vok {
+			return out, nil
+		}
+		vTime := v[0].AsInt()
+		for qok && q[0].AsInt() < vTime {
+			lastQuake = q
+			q, qok, err = qIt.Next()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if lastQuake != nil && lastQuake[1].AsFloat() > 7.0 {
+			out = append(out, v[1].AsStr())
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/seq"
+)
+
+// The operators of non-unit scope divide a query into blocks (§3.1).
+// Inside a block, positional joins can be reordered freely; selections
+// and projections apply to the join result; the output of one block feeds
+// the next. A JoinBlock is the optimizer's view of one such block: the
+// join sources, the predicate set over a virtual concatenated schema, and
+// the post-processing chain above the top compose.
+type JoinBlock struct {
+	// Sources are the frontier subtrees joined in this block, in the
+	// left-to-right order of the original query. Each is either a leaf, a
+	// non-unit operator output (a lower block), or a chain of unary
+	// unit-scope operators over one of those.
+	Sources []*algebra.Node
+	// SourceStart[i] is the first column of source i in the virtual
+	// schema (the concatenation of the source schemas in order).
+	SourceStart []int
+	// Virtual is the concatenated schema the predicates are expressed
+	// against.
+	Virtual *seq.Schema
+	// Preds are the join/selection predicates of the block, each with the
+	// set of sources it references.
+	Preds []BlockPred
+	// Post is the chain of unary operators between the block root and
+	// the top compose, bottom-to-top. They are re-applied, unchanged,
+	// after the joins.
+	Post []*algebra.Node
+	// Root is the node the block was extracted from.
+	Root *algebra.Node
+}
+
+// BlockPred is one predicate of a join block.
+type BlockPred struct {
+	// Virtual is the predicate over the block's virtual schema.
+	Virtual expr.Expr
+	// Mask has bit i set iff the predicate references source i.
+	Mask uint64
+}
+
+// MaxBlockSources bounds the number of join sources per block (the
+// predicate masks are 64-bit).
+const MaxBlockSources = 64
+
+// ExtractJoinBlock analyzes the unit-scope region rooted at root. It
+// returns ok=false when the region contains no compose (the caller
+// should evaluate the unary chain directly). Otherwise it returns the
+// block: sources, predicates over the virtual schema, and the post
+// chain.
+func ExtractJoinBlock(root *algebra.Node) (*JoinBlock, bool, error) {
+	// Peel unary unit operators down to the first compose.
+	var post []*algebra.Node
+	n := root
+	for {
+		if n.Kind == algebra.KindCompose {
+			break
+		}
+		if len(n.Inputs) == 1 && !n.NonUnitScope() && !n.IsLeaf() {
+			post = append(post, n)
+			n = n.Inputs[0]
+			continue
+		}
+		return nil, false, nil // no compose in this region
+	}
+	// Reverse post into bottom-to-top application order.
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+
+	b := &JoinBlock{Root: root, Post: post}
+	if err := b.gather(n); err != nil {
+		return nil, false, err
+	}
+	// Build the virtual schema: concatenation of source schemas. Names
+	// may collide across sources; predicates are index-based, so the
+	// virtual schema uses positional names where needed.
+	var fields []seq.Field
+	used := make(map[string]bool)
+	for _, s := range b.Sources {
+		for i := 0; i < s.Schema.NumFields(); i++ {
+			f := s.Schema.Field(i)
+			name := f.Name
+			for used[name] {
+				name = "_" + name
+			}
+			used[name] = true
+			fields = append(fields, seq.Field{Name: name, Type: f.Type})
+		}
+	}
+	virtual, err := seq.NewSchema(fields...)
+	if err != nil {
+		return nil, false, err
+	}
+	b.Virtual = virtual
+	return b, true, nil
+}
+
+// gather walks the compose tree collecting sources and predicates.
+func (b *JoinBlock) gather(n *algebra.Node) error {
+	_, _, err := b.gatherRec(n)
+	return err
+}
+
+func (b *JoinBlock) gatherRec(n *algebra.Node) (start, width int, err error) {
+	if n.Kind != algebra.KindCompose {
+		// A source: leaf, non-unit output, constant, or a unary chain
+		// over one of those. The chain is opaque here; the plan builder
+		// recurses into it.
+		if len(b.Sources) >= MaxBlockSources {
+			return 0, 0, fmt.Errorf("rewrite: block exceeds %d sources", MaxBlockSources)
+		}
+		start = b.totalCols()
+		b.SourceStart = append(b.SourceStart, start)
+		b.Sources = append(b.Sources, n)
+		return start, n.Schema.NumFields(), nil
+	}
+	ls, lw, err := b.gatherRec(n.Inputs[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	_, rw, err := b.gatherRec(n.Inputs[1])
+	if err != nil {
+		return 0, 0, err
+	}
+	if n.Pred != nil {
+		// The composed schema's column c sits at virtual index ls+c
+		// (left subtree columns are contiguous from ls, right subtree
+		// continues immediately after).
+		shifted, err := shiftCols(n.Pred, ls)
+		if err != nil {
+			return 0, 0, err
+		}
+		b.Preds = append(b.Preds, BlockPred{Virtual: shifted, Mask: b.maskOf(shifted)})
+	}
+	return ls, lw + rw, nil
+}
+
+func (b *JoinBlock) totalCols() int {
+	if len(b.Sources) == 0 {
+		return 0
+	}
+	last := len(b.Sources) - 1
+	return b.SourceStart[last] + b.Sources[last].Schema.NumFields()
+}
+
+// maskOf computes which sources a virtual-schema expression references.
+func (b *JoinBlock) maskOf(e expr.Expr) uint64 {
+	var mask uint64
+	for _, c := range expr.Columns(e) {
+		if s := b.sourceOf(c); s >= 0 {
+			mask |= 1 << uint(s)
+		}
+	}
+	return mask
+}
+
+// sourceOf maps a virtual column to its source index.
+func (b *JoinBlock) sourceOf(col int) int {
+	for i := len(b.SourceStart) - 1; i >= 0; i-- {
+		if col >= b.SourceStart[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// SourceMask returns the bitmask with only source i set.
+func SourceMask(i int) uint64 { return 1 << uint(i) }
+
+// NumSources returns the number of join sources.
+func (b *JoinBlock) NumSources() int { return len(b.Sources) }

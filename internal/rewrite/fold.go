@@ -1,0 +1,197 @@
+package rewrite
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/seq"
+)
+
+// Constant folding. Not one of the paper's §3.1 transformations, but a
+// standard complement to them: folding literal sub-expressions before
+// push-down keeps predicates small, and folding a selection predicate to
+// a literal lets the whole selection disappear (true) or the subtree be
+// recognized as empty (false — the node keeps the selection, whose
+// density estimate then drops to zero).
+
+// foldExpr evaluates literal-only sub-expressions. It returns the
+// (possibly) simplified expression and whether anything changed.
+func foldExpr(e expr.Expr) (expr.Expr, bool, error) {
+	switch v := e.(type) {
+	case *expr.Bin:
+		l, lch, err := foldExpr(v.L)
+		if err != nil {
+			return nil, false, err
+		}
+		r, rch, err := foldExpr(v.R)
+		if err != nil {
+			return nil, false, err
+		}
+		if isLit(l) && isLit(r) {
+			nb, err := expr.NewBin(v.Op, l, r)
+			if err != nil {
+				return nil, false, err
+			}
+			val, err := nb.Eval(nil)
+			if err != nil {
+				// Evaluation can fail (division by zero): keep the
+				// expression; it will fail at run time if ever reached.
+				return rebuildBin(v, l, r, lch || rch)
+			}
+			return expr.Literal(val), true, nil
+		}
+		// Boolean identities with one literal side.
+		if v.Op == expr.OpAnd || v.Op == expr.OpOr {
+			if out, ok := foldLogical(v.Op, l, r); ok {
+				return out, true, nil
+			}
+		}
+		return rebuildBin(v, l, r, lch || rch)
+	case *expr.Not:
+		inner, ch, err := foldExpr(v.E)
+		if err != nil {
+			return nil, false, err
+		}
+		if lit, ok := inner.(*expr.Lit); ok && lit.Val.T == seq.TBool {
+			return expr.Literal(seq.Bool(!lit.Val.AsBool())), true, nil
+		}
+		if !ch {
+			return v, false, nil
+		}
+		out, err := expr.NewNot(inner)
+		return out, true, err
+	case *expr.Neg:
+		inner, ch, err := foldExpr(v.E)
+		if err != nil {
+			return nil, false, err
+		}
+		if lit, ok := inner.(*expr.Lit); ok {
+			if lit.Val.T == seq.TInt {
+				return expr.Literal(seq.Int(-lit.Val.AsInt())), true, nil
+			}
+			return expr.Literal(seq.Float(-lit.Val.AsFloat())), true, nil
+		}
+		if !ch {
+			return v, false, nil
+		}
+		out, err := expr.NewNeg(inner)
+		return out, true, err
+	case *expr.Call:
+		args := make([]expr.Expr, len(v.Args))
+		changed := false
+		allLit := true
+		for i, a := range v.Args {
+			na, ch, err := foldExpr(a)
+			if err != nil {
+				return nil, false, err
+			}
+			args[i] = na
+			changed = changed || ch
+			allLit = allLit && isLit(na)
+		}
+		if allLit {
+			nc, err := expr.NewCall(v.Fn, args)
+			if err != nil {
+				return nil, false, err
+			}
+			val, err := nc.Eval(nil)
+			if err == nil {
+				return expr.Literal(val), true, nil
+			}
+		}
+		if !changed {
+			return v, false, nil
+		}
+		out, err := expr.NewCall(v.Fn, args)
+		return out, true, err
+	default:
+		return e, false, nil
+	}
+}
+
+func isLit(e expr.Expr) bool {
+	_, ok := e.(*expr.Lit)
+	return ok
+}
+
+func rebuildBin(v *expr.Bin, l, r expr.Expr, changed bool) (expr.Expr, bool, error) {
+	if !changed {
+		return v, false, nil
+	}
+	out, err := expr.NewBin(v.Op, l, r)
+	return out, true, err
+}
+
+// foldLogical simplifies and/or with one boolean literal operand:
+// true AND p = p, false AND p = false, true OR p = true, false OR p = p.
+func foldLogical(op expr.BinOp, l, r expr.Expr) (expr.Expr, bool) {
+	pick := func(lit *expr.Lit, other expr.Expr) (expr.Expr, bool) {
+		b := lit.Val.AsBool()
+		switch {
+		case op == expr.OpAnd && b:
+			return other, true
+		case op == expr.OpAnd && !b:
+			return expr.Literal(seq.Bool(false)), true
+		case op == expr.OpOr && b:
+			return expr.Literal(seq.Bool(true)), true
+		default:
+			return other, true
+		}
+	}
+	if lit, ok := l.(*expr.Lit); ok && lit.Val.T == seq.TBool {
+		return pick(lit, r)
+	}
+	if lit, ok := r.(*expr.Lit); ok && lit.Val.T == seq.TBool {
+		return pick(lit, l)
+	}
+	return nil, false
+}
+
+// foldPredicates folds the expressions carried by a node; a selection
+// whose predicate folds to literal true is removed entirely.
+func foldPredicates(n *algebra.Node) (*algebra.Node, bool, error) {
+	switch n.Kind {
+	case algebra.KindSelect:
+		pred, changed, err := foldExpr(n.Pred)
+		if err != nil || !changed {
+			return n, false, err
+		}
+		if lit, ok := pred.(*expr.Lit); ok && lit.Val.T == seq.TBool && lit.Val.AsBool() {
+			return n.Inputs[0], true, nil // σ(true) = identity
+		}
+		out, err := algebra.Select(n.Inputs[0], pred)
+		return out, err == nil, err
+	case algebra.KindCompose:
+		if n.Pred == nil {
+			return n, false, nil
+		}
+		pred, changed, err := foldExpr(n.Pred)
+		if err != nil || !changed {
+			return n, false, err
+		}
+		if lit, ok := pred.(*expr.Lit); ok && lit.Val.T == seq.TBool && lit.Val.AsBool() {
+			pred = nil // compose with always-true predicate
+		}
+		out, err := algebra.Compose(n.Inputs[0], n.Inputs[1], pred, n.LeftQual, n.RightQual)
+		return out, err == nil, err
+	case algebra.KindProject:
+		items := append([]algebra.ProjItem(nil), n.Items...)
+		changed := false
+		for i, it := range items {
+			e, ch, err := foldExpr(it.Expr)
+			if err != nil {
+				return nil, false, err
+			}
+			if ch {
+				items[i].Expr = e
+				changed = true
+			}
+		}
+		if !changed {
+			return n, false, nil
+		}
+		out, err := algebra.Project(n.Inputs[0], items)
+		return out, err == nil, err
+	default:
+		return n, false, nil
+	}
+}

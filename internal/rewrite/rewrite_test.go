@@ -1,0 +1,459 @@
+package rewrite
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/seq"
+	"repro/internal/testgen"
+)
+
+var closeSchema = seq.MustSchema(seq.Field{Name: "close", Type: seq.TFloat})
+
+func mkBase(t *testing.T, name string, pairs map[seq.Pos]float64) *algebra.Node {
+	t.Helper()
+	es := make([]seq.Entry, 0, len(pairs))
+	for p, v := range pairs {
+		es = append(es, seq.Entry{Pos: p, Rec: seq.Record{seq.Float(v)}})
+	}
+	return algebra.Base(name, seq.MustMaterialized(closeSchema, es))
+}
+
+func gtPred(t *testing.T, schema *seq.Schema, col string, v float64) expr.Expr {
+	t.Helper()
+	c, err := expr.NewCol(schema, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := expr.NewBin(expr.OpGt, c, expr.Literal(seq.Float(v)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// assertEquivalent rewrites the query and checks the result agrees with
+// the reference interpreter on the original.
+func assertEquivalent(t *testing.T, orig *algebra.Node) *algebra.Node {
+	t.Helper()
+	rewritten, _, err := Rewrite(orig, DefaultRules())
+	if err != nil {
+		t.Fatalf("rewrite: %v\n%s", err, orig)
+	}
+	span := seq.NewSpan(-10, 45)
+	want, err := algebra.EvalRange(orig, span)
+	if err != nil {
+		t.Fatalf("eval original: %v", err)
+	}
+	got, err := algebra.EvalRange(rewritten, span)
+	if err != nil {
+		t.Fatalf("eval rewritten: %v\noriginal:\n%s\nrewritten:\n%s", err, orig, rewritten)
+	}
+	if !testgen.EntriesEqual(got, want) {
+		t.Fatalf("rewrite changed semantics\noriginal:\n%s\nrewritten:\n%s\nwant %v\ngot %v",
+			orig, rewritten, want, got)
+	}
+	return rewritten
+}
+
+func TestMergeSelects(t *testing.T) {
+	b := mkBase(t, "s", map[seq.Pos]float64{1: 5, 2: 9, 3: 12})
+	s1, _ := algebra.Select(b, gtPred(t, b.Schema, "close", 4))
+	s2, _ := algebra.Select(s1, gtPred(t, b.Schema, "close", 10))
+	out := assertEquivalent(t, s2)
+	if out.Kind != algebra.KindSelect || out.Inputs[0].Kind != algebra.KindBase {
+		t.Errorf("selects not merged:\n%s", out)
+	}
+}
+
+func TestPushSelectThroughProject(t *testing.T) {
+	b := mkBase(t, "s", map[seq.Pos]float64{1: 5, 2: 9})
+	c, _ := expr.NewCol(b.Schema, "close")
+	dbl, _ := expr.NewBin(expr.OpMul, c, expr.Literal(seq.Float(2)))
+	p, _ := algebra.Project(b, []algebra.ProjItem{{Expr: dbl, Name: "twice"}})
+	s, _ := algebra.Select(p, gtPred(t, p.Schema, "twice", 15))
+	out := assertEquivalent(t, s)
+	// Canonical form: project over select.
+	if out.Kind != algebra.KindProject || out.Inputs[0].Kind != algebra.KindSelect {
+		t.Errorf("select not pushed through project:\n%s", out)
+	}
+}
+
+func TestPushSelectThroughOffsetAndFuse(t *testing.T) {
+	b := mkBase(t, "s", map[seq.Pos]float64{1: 5, 2: 9, 7: 3})
+	o1, _ := algebra.PosOffset(b, 2)
+	o2, _ := algebra.PosOffset(o1, 3)
+	s, _ := algebra.Select(o2, gtPred(t, b.Schema, "close", 4))
+	out := assertEquivalent(t, s)
+	// offset(+5) over select over base.
+	if out.Kind != algebra.KindPosOffset || out.Offset != 5 {
+		t.Errorf("offsets not fused:\n%s", out)
+	}
+	if out.Inputs[0].Kind != algebra.KindSelect || out.Inputs[0].Inputs[0].Kind != algebra.KindBase {
+		t.Errorf("select not pushed below offset:\n%s", out)
+	}
+}
+
+func TestDropZeroOffset(t *testing.T) {
+	b := mkBase(t, "s", map[seq.Pos]float64{1: 1})
+	o, _ := algebra.PosOffset(b, 0)
+	out := assertEquivalent(t, o)
+	if out.Kind != algebra.KindBase {
+		t.Errorf("zero offset not dropped:\n%s", out)
+	}
+}
+
+func TestPushSelectThroughCompose(t *testing.T) {
+	l := mkBase(t, "ibm", map[seq.Pos]float64{1: 10, 2: 20, 3: 30})
+	r := mkBase(t, "hp", map[seq.Pos]float64{1: 15, 2: 15, 3: 35})
+	cmp, _ := algebra.Compose(l, r, nil, "ibm", "hp")
+	// (ibm.close > 12) and (ibm.close > hp.close): the first factor is
+	// one-sided, the second must stay at the compose.
+	ic, _ := expr.NewCol(cmp.Schema, "ibm.close")
+	hc, _ := expr.NewCol(cmp.Schema, "hp.close")
+	oneSided, _ := expr.NewBin(expr.OpGt, ic, expr.Literal(seq.Float(12)))
+	twoSided, _ := expr.NewBin(expr.OpGt, ic, hc)
+	both, _ := expr.NewBin(expr.OpAnd, oneSided, twoSided)
+	s, _ := algebra.Select(cmp, both)
+	out := assertEquivalent(t, s)
+	if out.Kind != algebra.KindCompose {
+		t.Fatalf("select not absorbed:\n%s", out)
+	}
+	if out.Pred == nil || strings.Contains(out.Pred.String(), "12") {
+		t.Errorf("one-sided factor should have left the join predicate: %v", out.Pred)
+	}
+	if out.Inputs[0].Kind != algebra.KindSelect {
+		t.Errorf("one-sided factor not pushed into left input:\n%s", out)
+	}
+}
+
+func TestPushComposePredRightSide(t *testing.T) {
+	l := mkBase(t, "a", map[seq.Pos]float64{1: 1, 2: 2})
+	r := mkBase(t, "b", map[seq.Pos]float64{1: 5, 2: 0})
+	schema, _ := algebra.ComposeSchema(l, r, "a", "b")
+	bc, _ := expr.NewCol(schema, "b.close")
+	pred, _ := expr.NewBin(expr.OpGt, bc, expr.Literal(seq.Float(1)))
+	cmp, _ := algebra.Compose(l, r, pred, "a", "b")
+	out := assertEquivalent(t, cmp)
+	if out.Pred != nil {
+		t.Errorf("one-sided join predicate should be fully pushed: %v", out.Pred)
+	}
+	if out.Inputs[1].Kind != algebra.KindSelect {
+		t.Errorf("predicate not pushed into right input:\n%s", out)
+	}
+}
+
+func TestMergeProjects(t *testing.T) {
+	b := mkBase(t, "s", map[seq.Pos]float64{1: 5})
+	c, _ := expr.NewCol(b.Schema, "close")
+	dbl, _ := expr.NewBin(expr.OpMul, c, expr.Literal(seq.Float(2)))
+	p1, _ := algebra.Project(b, []algebra.ProjItem{{Expr: dbl, Name: "twice"}})
+	tc, _ := expr.NewCol(p1.Schema, "twice")
+	add, _ := expr.NewBin(expr.OpAdd, tc, expr.Literal(seq.Float(1)))
+	p2, _ := algebra.Project(p1, []algebra.ProjItem{{Expr: add, Name: "plus"}})
+	out := assertEquivalent(t, p2)
+	if out.Kind != algebra.KindProject || out.Inputs[0].Kind != algebra.KindBase {
+		t.Errorf("projects not merged:\n%s", out)
+	}
+}
+
+func TestPushProjectThroughCompose(t *testing.T) {
+	two := seq.MustSchema(
+		seq.Field{Name: "x", Type: seq.TFloat},
+		seq.Field{Name: "y", Type: seq.TFloat},
+	)
+	mk := func(name string) *algebra.Node {
+		return algebra.Base(name, seq.MustMaterialized(two, []seq.Entry{
+			{Pos: 1, Rec: seq.Record{seq.Float(1), seq.Float(2)}},
+			{Pos: 2, Rec: seq.Record{seq.Float(3), seq.Float(4)}},
+		}))
+	}
+	l, r := mk("l"), mk("r")
+	cmp, _ := algebra.Compose(l, r, nil, "l", "r")
+	// Keep only l.x: the r side should shrink to a witness column.
+	p, _ := algebra.ProjectCols(cmp, "l.x")
+	out := assertEquivalent(t, p)
+	var sawInnerProject bool
+	var walk func(n *algebra.Node)
+	walk = func(n *algebra.Node) {
+		if n.Kind == algebra.KindProject && n.Inputs[0].Kind == algebra.KindBase {
+			sawInnerProject = true
+		}
+		for _, in := range n.Inputs {
+			walk(in)
+		}
+	}
+	walk(out)
+	if !sawInnerProject {
+		t.Errorf("projection not pushed to the base inputs:\n%s", out)
+	}
+}
+
+func TestDropTrivialProject(t *testing.T) {
+	b := mkBase(t, "s", map[seq.Pos]float64{1: 1})
+	p, _ := algebra.ProjectCols(b, "close")
+	out := assertEquivalent(t, p)
+	if out.Kind != algebra.KindBase {
+		t.Errorf("trivial project not dropped:\n%s", out)
+	}
+}
+
+func TestPushOffsetThroughComposeAggVOffset(t *testing.T) {
+	l := mkBase(t, "a", map[seq.Pos]float64{1: 1, 2: 2, 5: 5})
+	r := mkBase(t, "b", map[seq.Pos]float64{1: 9, 2: 8, 5: 7})
+	cmp, _ := algebra.Compose(l, r, nil, "a", "b")
+	o, _ := algebra.PosOffset(cmp, -2)
+	out := assertEquivalent(t, o)
+	if out.Kind != algebra.KindCompose {
+		t.Errorf("offset not pushed through compose:\n%s", out)
+	}
+
+	ag, _ := algebra.AggCol(l, algebra.AggSum, "close", algebra.Trailing(3), "s")
+	o2, _ := algebra.PosOffset(ag, 1)
+	out = assertEquivalent(t, o2)
+	if out.Kind != algebra.KindAgg {
+		t.Errorf("offset not pushed through agg:\n%s", out)
+	}
+
+	vo, _ := algebra.Previous(l)
+	o3, _ := algebra.PosOffset(vo, 2)
+	out = assertEquivalent(t, o3)
+	if out.Kind != algebra.KindValueOffset {
+		t.Errorf("offset not pushed through voffset:\n%s", out)
+	}
+}
+
+func TestSelectNotPushedThroughNonUnitScope(t *testing.T) {
+	// §3.1: a selection cannot be pushed through an aggregate or value
+	// offset. The rewriter must leave these in place.
+	b := mkBase(t, "s", map[seq.Pos]float64{1: 1, 2: 2, 3: 3})
+	ag, _ := algebra.AggCol(b, algebra.AggSum, "close", algebra.Trailing(2), "s2")
+	sel, _ := algebra.Select(ag, gtPred(t, ag.Schema, "s2", 2))
+	out := assertEquivalent(t, sel)
+	if out.Kind != algebra.KindSelect || out.Inputs[0].Kind != algebra.KindAgg {
+		t.Errorf("select over agg must not move:\n%s", out)
+	}
+	prev, _ := algebra.Previous(b)
+	sel2, _ := algebra.Select(prev, gtPred(t, prev.Schema, "close", 1))
+	out = assertEquivalent(t, sel2)
+	if out.Kind != algebra.KindSelect || out.Inputs[0].Kind != algebra.KindValueOffset {
+		t.Errorf("select over voffset must not move:\n%s", out)
+	}
+}
+
+func TestRulesExcept(t *testing.T) {
+	all := DefaultRules()
+	noSel := RulesExcept("selects")
+	if len(noSel) >= len(all) {
+		t.Error("RulesExcept must drop rules")
+	}
+	for _, r := range noSel {
+		if r.Group == "selects" {
+			t.Errorf("rule %s should be excluded", r.Name)
+		}
+	}
+	// Rewriting with selects disabled leaves the select stack alone.
+	b := mkBase(t, "s", map[seq.Pos]float64{1: 5})
+	s1, _ := algebra.Select(b, gtPred(t, b.Schema, "close", 1))
+	s2, _ := algebra.Select(s1, gtPred(t, b.Schema, "close", 2))
+	out, fired, err := Rewrite(s2, noSel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 || out.Inputs[0].Kind != algebra.KindSelect {
+		t.Errorf("selects rewritten despite ablation (fired=%d):\n%s", fired, out)
+	}
+}
+
+// The big one: random queries, rewritten, must agree with the reference
+// interpreter on the original query.
+func TestRewriteEquivalenceRandom(t *testing.T) {
+	cfg := testgen.DefaultConfig()
+	span := seq.NewSpan(-10, 45)
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q, err := testgen.RandomQuery(rng, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		if algebra.Divergent(q) {
+			continue // rejected up front by evaluator and optimizer alike
+		}
+		rewritten, _, err := Rewrite(q, DefaultRules())
+		if err != nil {
+			t.Fatalf("seed %d: rewrite: %v\n%s", seed, err, q)
+		}
+		want, err := algebra.EvalRange(q, span)
+		if err != nil {
+			t.Fatalf("seed %d: eval original: %v\n%s", seed, err, q)
+		}
+		got, err := algebra.EvalRange(rewritten, span)
+		if err != nil {
+			t.Fatalf("seed %d: eval rewritten: %v\n%s", seed, err, rewritten)
+		}
+		if !testgen.EntriesEqual(got, want) {
+			t.Fatalf("seed %d: semantics changed\noriginal:\n%s\nrewritten:\n%s",
+				seed, q, rewritten)
+		}
+	}
+}
+
+func TestExtractJoinBlockSimple(t *testing.T) {
+	a := mkBase(t, "a", map[seq.Pos]float64{1: 1})
+	b := mkBase(t, "b", map[seq.Pos]float64{1: 2})
+	c := mkBase(t, "c", map[seq.Pos]float64{1: 3})
+	ab, _ := algebra.Compose(a, b, nil, "a", "b")
+	pred := gtPred(t, ab.Schema, "a.close", 0)
+	abp, _ := algebra.Compose(a, b, pred, "a", "b")
+	abc, _ := algebra.Compose(abp, c, nil, "", "c")
+	blk, ok, err := ExtractJoinBlock(abc)
+	if err != nil || !ok {
+		t.Fatalf("extract: %v, %v", ok, err)
+	}
+	if blk.NumSources() != 3 {
+		t.Fatalf("sources = %d, want 3", blk.NumSources())
+	}
+	if len(blk.Preds) != 1 {
+		t.Fatalf("preds = %d, want 1", len(blk.Preds))
+	}
+	if blk.Preds[0].Mask != SourceMask(0) {
+		t.Errorf("pred mask = %b, want source 0 only", blk.Preds[0].Mask)
+	}
+	if blk.SourceStart[0] != 0 || blk.SourceStart[1] != 1 || blk.SourceStart[2] != 2 {
+		t.Errorf("source starts = %v", blk.SourceStart)
+	}
+	if blk.Virtual.NumFields() != 3 {
+		t.Errorf("virtual schema = %v", blk.Virtual)
+	}
+}
+
+func TestExtractJoinBlockPostChainAndMasks(t *testing.T) {
+	a := mkBase(t, "a", map[seq.Pos]float64{1: 1})
+	b := mkBase(t, "b", map[seq.Pos]float64{1: 2})
+	schema, _ := algebra.ComposeSchema(a, b, "a", "b")
+	ac, _ := expr.NewCol(schema, "a.close")
+	bc, _ := expr.NewCol(schema, "b.close")
+	pred, _ := expr.NewBin(expr.OpLt, ac, bc)
+	ab, _ := algebra.Compose(a, b, pred, "a", "b")
+	proj, _ := algebra.ProjectCols(ab, "a.close")
+	blk, ok, err := ExtractJoinBlock(proj)
+	if err != nil || !ok {
+		t.Fatalf("extract: %v, %v", ok, err)
+	}
+	if len(blk.Post) != 1 || blk.Post[0].Kind != algebra.KindProject {
+		t.Errorf("post chain = %v", blk.Post)
+	}
+	if len(blk.Preds) != 1 || blk.Preds[0].Mask != (SourceMask(0)|SourceMask(1)) {
+		t.Errorf("pred mask = %b", blk.Preds[0].Mask)
+	}
+	// A pure unary chain has no join block.
+	sel, _ := algebra.Select(a, gtPred(t, a.Schema, "close", 0))
+	if _, ok, _ := ExtractJoinBlock(sel); ok {
+		t.Error("unary chain must not form a join block")
+	}
+	// Sources behind unary chains stay opaque.
+	selA, _ := algebra.Select(a, gtPred(t, a.Schema, "close", 0))
+	mix, _ := algebra.Compose(selA, b, nil, "a", "b")
+	blk, ok, err = ExtractJoinBlock(mix)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if blk.Sources[0].Kind != algebra.KindSelect {
+		t.Errorf("chain source = %v", blk.Sources[0].Kind)
+	}
+	// Virtual-schema name collisions are disambiguated.
+	same, _ := algebra.Compose(a, a, nil, "x", "y")
+	blk, ok, err = ExtractJoinBlock(same)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if blk.Virtual.Field(0).Name == blk.Virtual.Field(1).Name {
+		t.Error("virtual schema names must be unique")
+	}
+}
+
+func TestExtractJoinBlockNestedBelowAgg(t *testing.T) {
+	// compose(agg(compose(a, b)), c): the inner block ends at the agg.
+	a := mkBase(t, "a", map[seq.Pos]float64{1: 1})
+	b := mkBase(t, "b", map[seq.Pos]float64{1: 2})
+	c := mkBase(t, "c", map[seq.Pos]float64{1: 3})
+	inner, _ := algebra.Compose(a, b, nil, "a", "b")
+	ag, _ := algebra.AggCol(inner, algebra.AggSum, "a.close", algebra.Trailing(2), "s")
+	outer, _ := algebra.Compose(ag, c, nil, "s", "c")
+	blk, ok, err := ExtractJoinBlock(outer)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if blk.NumSources() != 2 {
+		t.Fatalf("sources = %d, want 2 (agg output is one source)", blk.NumSources())
+	}
+	if blk.Sources[0].Kind != algebra.KindAgg {
+		t.Errorf("first source = %v, want agg", blk.Sources[0].Kind)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	b := mkBase(t, "s", map[seq.Pos]float64{1: 5, 2: 9})
+	// close > 2 + 3 folds to close > 5.
+	c, _ := expr.NewCol(b.Schema, "close")
+	sum, _ := expr.NewBin(expr.OpAdd, expr.Literal(seq.Float(2)), expr.Literal(seq.Float(3)))
+	pred, _ := expr.NewBin(expr.OpGt, c, sum)
+	sel, _ := algebra.Select(b, pred)
+	out := assertEquivalent(t, sel)
+	if !strings.Contains(out.Pred.String(), "5") || strings.Contains(out.Pred.String(), "+") {
+		t.Errorf("literal arithmetic not folded: %v", out.Pred)
+	}
+	// A tautological selection disappears.
+	tauto, _ := expr.NewBin(expr.OpLt, expr.Literal(seq.Float(1)), expr.Literal(seq.Float(2)))
+	sel2, _ := algebra.Select(b, tauto)
+	out = assertEquivalent(t, sel2)
+	if out.Kind != algebra.KindBase {
+		t.Errorf("sigma(true) not removed:\n%s", out)
+	}
+	// true AND p simplifies to p; false OR p to p.
+	tr := expr.Literal(seq.Bool(true))
+	gt, _ := expr.NewBin(expr.OpGt, c, expr.Literal(seq.Float(6)))
+	and, _ := expr.NewBin(expr.OpAnd, tr, gt)
+	sel3, _ := algebra.Select(b, and)
+	out = assertEquivalent(t, sel3)
+	if strings.Contains(out.Pred.String(), "and") {
+		t.Errorf("true AND p not simplified: %v", out.Pred)
+	}
+	// An always-true join predicate is dropped.
+	r := mkBase(t, "r", map[seq.Pos]float64{1: 1, 2: 2})
+	cmp, _ := algebra.Compose(b, r, tauto, "a", "b")
+	out = assertEquivalent(t, cmp)
+	if out.Pred != nil {
+		t.Errorf("tautological join predicate kept: %v", out.Pred)
+	}
+	// Division by zero in a literal expression is left to run time.
+	div, _ := expr.NewBin(expr.OpDiv, expr.Literal(seq.Int(1)), expr.Literal(seq.Int(0)))
+	eq, _ := expr.NewBin(expr.OpEq, div, expr.Literal(seq.Int(1)))
+	sel4, err := algebra.Select(b, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Rewrite(sel4, DefaultRules()); err != nil {
+		t.Fatalf("folding must not fail on 1/0: %v", err)
+	}
+	// not/neg folding.
+	notTr, _ := expr.NewNot(tr)
+	sel5, _ := algebra.Select(b, notTr)
+	rw, _, err := Rewrite(sel5, DefaultRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rw.Pred.String(), "false") {
+		t.Errorf("not true not folded: %v", rw.Pred)
+	}
+	neg, _ := expr.NewNeg(expr.Literal(seq.Float(3)))
+	lt, _ := expr.NewBin(expr.OpLt, c, neg)
+	sel6, _ := algebra.Select(b, lt)
+	out = assertEquivalent(t, sel6)
+	if strings.Contains(out.Pred.String(), "--") {
+		t.Errorf("neg literal not folded: %v", out.Pred)
+	}
+}

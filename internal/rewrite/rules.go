@@ -1,0 +1,529 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+)
+
+// Rule is one equivalence transformation, matched at the root of a
+// subtree. Apply returns the transformed node and whether it fired.
+type Rule struct {
+	Name  string
+	Group string // "selects", "projects" or "offsets", for ablation
+	Apply func(n *algebra.Node) (*algebra.Node, bool, error)
+}
+
+// DefaultRules returns the full §3.1 rule set in application order.
+func DefaultRules() []Rule {
+	return []Rule{
+		{"fold-constants", "fold", foldPredicates},
+		{"merge-selects", "selects", mergeSelects},
+		{"push-select-through-project", "selects", pushSelectThroughProject},
+		{"push-select-through-offset", "selects", pushSelectThroughOffset},
+		{"push-select-through-compose", "selects", pushSelectThroughCompose},
+		{"push-compose-pred", "selects", pushComposePred},
+		{"merge-projects", "projects", mergeProjects},
+		{"push-project-through-offset", "projects", pushProjectThroughOffset},
+		{"push-project-through-compose", "projects", pushProjectThroughCompose},
+		{"drop-trivial-project", "projects", dropTrivialProject},
+		{"fuse-offsets", "offsets", fuseOffsets},
+		{"drop-zero-offset", "offsets", dropZeroOffset},
+		{"push-offset-through-compose", "offsets", pushOffsetThroughCompose},
+		{"push-offset-through-agg", "offsets", pushOffsetThroughAgg},
+		{"push-offset-through-voffset", "offsets", pushOffsetThroughVOffset},
+	}
+}
+
+// RulesExcept returns the default rules minus the named groups — the
+// ablation knob of experiment E8.
+func RulesExcept(groups ...string) []Rule {
+	skip := make(map[string]bool, len(groups))
+	for _, g := range groups {
+		skip[g] = true
+	}
+	var out []Rule
+	for _, r := range DefaultRules() {
+		if !skip[r.Group] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Rewrite applies the rules bottom-up to a fixpoint and returns the
+// transformed tree along with the number of rule firings.
+func Rewrite(root *algebra.Node, rules []Rule) (*algebra.Node, int, error) {
+	total := 0
+	for pass := 0; pass < 64; pass++ {
+		n, fired, err := rewritePass(root, rules)
+		if err != nil {
+			return nil, total, err
+		}
+		total += fired
+		root = n
+		if fired == 0 {
+			return root, total, nil
+		}
+	}
+	return nil, total, fmt.Errorf("rewrite: no fixpoint after 64 passes (rule cycle?)")
+}
+
+func rewritePass(n *algebra.Node, rules []Rule) (*algebra.Node, int, error) {
+	fired := 0
+	// Children first.
+	if len(n.Inputs) > 0 {
+		newInputs := make([]*algebra.Node, len(n.Inputs))
+		changed := false
+		for i, in := range n.Inputs {
+			ni, f, err := rewritePass(in, rules)
+			if err != nil {
+				return nil, fired, err
+			}
+			fired += f
+			newInputs[i] = ni
+			if ni != in {
+				changed = true
+			}
+		}
+		if changed {
+			var err error
+			n, err = rebuild(n, newInputs)
+			if err != nil {
+				return nil, fired, err
+			}
+		}
+	}
+	// Then rules at this node, until none fires.
+	for budget := 0; budget < 32; budget++ {
+		applied := false
+		for _, r := range rules {
+			nn, ok, err := r.Apply(n)
+			if err != nil {
+				return nil, fired, fmt.Errorf("rewrite: rule %s: %w", r.Name, err)
+			}
+			if ok {
+				n = nn
+				fired++
+				applied = true
+				break
+			}
+		}
+		if !applied {
+			return n, fired, nil
+		}
+	}
+	return nil, fired, fmt.Errorf("rewrite: rule loop at %s", n.Kind)
+}
+
+// rebuild reconstructs a node over new inputs, revalidating through the
+// algebra constructors.
+func rebuild(n *algebra.Node, inputs []*algebra.Node) (*algebra.Node, error) {
+	switch n.Kind {
+	case algebra.KindSelect:
+		return algebra.Select(inputs[0], n.Pred)
+	case algebra.KindProject:
+		return algebra.Project(inputs[0], cloneItems(n.Items))
+	case algebra.KindPosOffset:
+		return algebra.PosOffset(inputs[0], n.Offset)
+	case algebra.KindValueOffset:
+		return algebra.ValueOffset(inputs[0], n.Offset)
+	case algebra.KindAgg:
+		return algebra.Agg(inputs[0], *n.Agg)
+	case algebra.KindCompose:
+		return algebra.Compose(inputs[0], inputs[1], n.Pred, n.LeftQual, n.RightQual)
+	case algebra.KindCollapse:
+		return algebra.Collapse(inputs[0], n.Factor, *n.Agg)
+	case algebra.KindExpand:
+		return algebra.Expand(inputs[0], n.Factor)
+	default:
+		return n, nil
+	}
+}
+
+func cloneItems(items []algebra.ProjItem) []algebra.ProjItem {
+	return append([]algebra.ProjItem(nil), items...)
+}
+
+// --- Selection rules -------------------------------------------------
+
+// mergeSelects: σp(σq(S)) = σ(q∧p)(S).
+func mergeSelects(n *algebra.Node) (*algebra.Node, bool, error) {
+	if n.Kind != algebra.KindSelect || n.Inputs[0].Kind != algebra.KindSelect {
+		return n, false, nil
+	}
+	child := n.Inputs[0]
+	pred, err := expr.And(child.Pred, n.Pred)
+	if err != nil {
+		return nil, false, err
+	}
+	out, err := algebra.Select(child.Inputs[0], pred)
+	return out, err == nil, err
+}
+
+// pushSelectThroughProject: σp(π(S)) = π(σ(p∘π)(S)). Always legal
+// because the substituted predicate reads exactly the attributes the
+// projection computes from.
+func pushSelectThroughProject(n *algebra.Node) (*algebra.Node, bool, error) {
+	if n.Kind != algebra.KindSelect || n.Inputs[0].Kind != algebra.KindProject {
+		return n, false, nil
+	}
+	child := n.Inputs[0]
+	pred, err := subst(n.Pred, child.Items)
+	if err != nil {
+		return nil, false, err
+	}
+	sel, err := algebra.Select(child.Inputs[0], pred)
+	if err != nil {
+		return nil, false, err
+	}
+	out, err := algebra.Project(sel, cloneItems(child.Items))
+	return out, err == nil, err
+}
+
+// pushSelectThroughOffset: σp(offset(S, l)) = offset(σp(S), l). Legal
+// because offsets have unit relative scope (§3.1).
+func pushSelectThroughOffset(n *algebra.Node) (*algebra.Node, bool, error) {
+	if n.Kind != algebra.KindSelect || n.Inputs[0].Kind != algebra.KindPosOffset {
+		return n, false, nil
+	}
+	child := n.Inputs[0]
+	sel, err := algebra.Select(child.Inputs[0], n.Pred)
+	if err != nil {
+		return nil, false, err
+	}
+	out, err := algebra.PosOffset(sel, child.Offset)
+	return out, err == nil, err
+}
+
+// pushSelectThroughCompose pushes one-sided conjuncts of a selection
+// above a compose into the corresponding input; multi-sided conjuncts
+// merge into the compose's join predicate.
+func pushSelectThroughCompose(n *algebra.Node) (*algebra.Node, bool, error) {
+	if n.Kind != algebra.KindSelect || n.Inputs[0].Kind != algebra.KindCompose {
+		return n, false, nil
+	}
+	child := n.Inputs[0]
+	newL, newR, rest, pushed, err := distributeFactors(child, splitConjuncts(n.Pred))
+	if err != nil {
+		return nil, false, err
+	}
+	if !pushed {
+		// Nothing one-sided: merge the selection into the join predicate
+		// so the block optimizer sees a single predicate set.
+		pred, err := expr.And(child.Pred, n.Pred)
+		if err != nil {
+			return nil, false, err
+		}
+		out, err := algebra.Compose(child.Inputs[0], child.Inputs[1], pred, child.LeftQual, child.RightQual)
+		return out, err == nil, err
+	}
+	restPred, err := conjoin(rest)
+	if err != nil {
+		return nil, false, err
+	}
+	pred, err := expr.And(child.Pred, restPred)
+	if err != nil {
+		return nil, false, err
+	}
+	out, err := algebra.Compose(newL, newR, pred, child.LeftQual, child.RightQual)
+	return out, err == nil, err
+}
+
+// pushComposePred pushes one-sided conjuncts of a compose's own join
+// predicate into the inputs.
+func pushComposePred(n *algebra.Node) (*algebra.Node, bool, error) {
+	if n.Kind != algebra.KindCompose || n.Pred == nil {
+		return n, false, nil
+	}
+	newL, newR, rest, pushed, err := distributeFactors(n, splitConjuncts(n.Pred))
+	if err != nil {
+		return nil, false, err
+	}
+	if !pushed {
+		return n, false, nil
+	}
+	restPred, err := conjoin(rest)
+	if err != nil {
+		return nil, false, err
+	}
+	out, err := algebra.Compose(newL, newR, restPred, n.LeftQual, n.RightQual)
+	return out, err == nil, err
+}
+
+// distributeFactors sorts predicate factors over a compose node into
+// selections on the left input, the right input, or a remainder. It
+// returns the (possibly wrapped) inputs and whether anything moved.
+func distributeFactors(compose *algebra.Node, factors []expr.Expr) (l, r *algebra.Node, rest []expr.Expr, pushed bool, err error) {
+	l, r = compose.Inputs[0], compose.Inputs[1]
+	leftN := l.Schema.NumFields()
+	total := compose.Schema.NumFields()
+	var leftF, rightF []expr.Expr
+	for _, f := range factors {
+		switch {
+		case colsWithin(f, 0, leftN):
+			leftF = append(leftF, f)
+		case colsWithin(f, leftN, total):
+			shifted, serr := shiftCols(f, -leftN)
+			if serr != nil {
+				return nil, nil, nil, false, serr
+			}
+			rightF = append(rightF, shifted)
+		default:
+			rest = append(rest, f)
+		}
+	}
+	if len(leftF) > 0 {
+		pred, cerr := conjoin(leftF)
+		if cerr != nil {
+			return nil, nil, nil, false, cerr
+		}
+		l, err = algebra.Select(l, pred)
+		if err != nil {
+			return nil, nil, nil, false, err
+		}
+		pushed = true
+	}
+	if len(rightF) > 0 {
+		pred, cerr := conjoin(rightF)
+		if cerr != nil {
+			return nil, nil, nil, false, cerr
+		}
+		r, err = algebra.Select(r, pred)
+		if err != nil {
+			return nil, nil, nil, false, err
+		}
+		pushed = true
+	}
+	return l, r, rest, pushed, nil
+}
+
+// --- Projection rules ------------------------------------------------
+
+// mergeProjects: π2(π1(S)) = (π2∘π1)(S).
+func mergeProjects(n *algebra.Node) (*algebra.Node, bool, error) {
+	if n.Kind != algebra.KindProject || n.Inputs[0].Kind != algebra.KindProject {
+		return n, false, nil
+	}
+	child := n.Inputs[0]
+	items := make([]algebra.ProjItem, len(n.Items))
+	for i, it := range n.Items {
+		e, err := subst(it.Expr, child.Items)
+		if err != nil {
+			return nil, false, err
+		}
+		items[i] = algebra.ProjItem{Expr: e, Name: it.Name}
+	}
+	out, err := algebra.Project(child.Inputs[0], items)
+	return out, err == nil, err
+}
+
+// pushProjectThroughOffset: π(offset(S, l)) = offset(π(S), l).
+func pushProjectThroughOffset(n *algebra.Node) (*algebra.Node, bool, error) {
+	if n.Kind != algebra.KindProject || n.Inputs[0].Kind != algebra.KindPosOffset {
+		return n, false, nil
+	}
+	child := n.Inputs[0]
+	proj, err := algebra.Project(child.Inputs[0], cloneItems(n.Items))
+	if err != nil {
+		return nil, false, err
+	}
+	out, err := algebra.PosOffset(proj, child.Offset)
+	return out, err == nil, err
+}
+
+// pushProjectThroughCompose narrows the inputs of a compose to the
+// attributes that participate in the projection or the join predicate
+// (§3.1: "a projection can be pushed through ... iff all the attributes
+// that participate in O are among the projected attributes" — we keep
+// the join attributes below, so the condition always holds).
+func pushProjectThroughCompose(n *algebra.Node) (*algebra.Node, bool, error) {
+	if n.Kind != algebra.KindProject || n.Inputs[0].Kind != algebra.KindCompose {
+		return n, false, nil
+	}
+	child := n.Inputs[0]
+	l, r := child.Inputs[0], child.Inputs[1]
+	leftN := l.Schema.NumFields()
+
+	needed := make(map[int]bool)
+	for _, it := range n.Items {
+		for _, c := range expr.Columns(it.Expr) {
+			needed[c] = true
+		}
+	}
+	if child.Pred != nil {
+		for _, c := range expr.Columns(child.Pred) {
+			needed[c] = true
+		}
+	}
+	var neededL, neededR []int
+	for c := 0; c < child.Schema.NumFields(); c++ {
+		if !needed[c] {
+			continue
+		}
+		if c < leftN {
+			neededL = append(neededL, c)
+		} else {
+			neededR = append(neededR, c-leftN)
+		}
+	}
+	// A side contributing no attributes still matters for the compose's
+	// Null pattern: keep one attribute as an existence witness.
+	keptL := neededL
+	if len(keptL) == 0 {
+		keptL = []int{0}
+	}
+	keptR := neededR
+	if len(keptR) == 0 {
+		keptR = []int{0}
+	}
+	// Fire only on a strict reduction of some side, or the rule loops.
+	if len(keptL) == leftN && len(keptR) == r.Schema.NumFields() {
+		return n, false, nil
+	}
+	projSide := func(side *algebra.Node, cols []int) (*algebra.Node, error) {
+		if len(cols) == side.Schema.NumFields() {
+			return side, nil
+		}
+		items := make([]algebra.ProjItem, len(cols))
+		for k, c := range cols {
+			col, err := expr.ColAt(side.Schema, c)
+			if err != nil {
+				return nil, err
+			}
+			items[k] = algebra.ProjItem{Expr: col, Name: side.Schema.Field(c).Name}
+		}
+		return algebra.Project(side, items)
+	}
+	newL, err := projSide(l, keptL)
+	if err != nil {
+		return nil, false, err
+	}
+	newR, err := projSide(r, keptR)
+	if err != nil {
+		return nil, false, err
+	}
+	// Old composed index -> new composed index.
+	mapping := make(map[int]int)
+	for k, c := range keptL {
+		mapping[c] = k
+	}
+	for k, c := range keptR {
+		mapping[leftN+c] = len(keptL) + k
+	}
+	var newPred expr.Expr
+	if child.Pred != nil {
+		newPred, err = expr.Remap(child.Pred, mapping)
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	newCompose, err := algebra.Compose(newL, newR, newPred, child.LeftQual, child.RightQual)
+	if err != nil {
+		return nil, false, err
+	}
+	items := make([]algebra.ProjItem, len(n.Items))
+	for i, it := range n.Items {
+		e, err := expr.Remap(it.Expr, mapping)
+		if err != nil {
+			return nil, false, err
+		}
+		items[i] = algebra.ProjItem{Expr: e, Name: it.Name}
+	}
+	out, err := algebra.Project(newCompose, items)
+	return out, err == nil, err
+}
+
+// dropTrivialProject removes identity projections.
+func dropTrivialProject(n *algebra.Node) (*algebra.Node, bool, error) {
+	if n.Kind != algebra.KindProject {
+		return n, false, nil
+	}
+	child := n.Inputs[0]
+	if len(n.Items) != child.Schema.NumFields() {
+		return n, false, nil
+	}
+	for i, it := range n.Items {
+		c, ok := it.Expr.(*expr.Col)
+		if !ok || c.Index != i || it.Name != child.Schema.Field(i).Name {
+			return n, false, nil
+		}
+	}
+	return child, true, nil
+}
+
+// --- Offset rules ----------------------------------------------------
+
+// fuseOffsets: offset(offset(S, l1), l2) = offset(S, l1+l2).
+func fuseOffsets(n *algebra.Node) (*algebra.Node, bool, error) {
+	if n.Kind != algebra.KindPosOffset || n.Inputs[0].Kind != algebra.KindPosOffset {
+		return n, false, nil
+	}
+	child := n.Inputs[0]
+	out, err := algebra.PosOffset(child.Inputs[0], n.Offset+child.Offset)
+	return out, err == nil, err
+}
+
+// dropZeroOffset: offset(S, 0) = S.
+func dropZeroOffset(n *algebra.Node) (*algebra.Node, bool, error) {
+	if n.Kind != algebra.KindPosOffset || n.Offset != 0 {
+		return n, false, nil
+	}
+	return n.Inputs[0], true, nil
+}
+
+// pushOffsetThroughCompose: offset(compose(L, R), l) =
+// compose(offset(L, l), offset(R, l)) — offsets push through any
+// operator of relative scope on all its inputs (§3.1).
+func pushOffsetThroughCompose(n *algebra.Node) (*algebra.Node, bool, error) {
+	if n.Kind != algebra.KindPosOffset || n.Inputs[0].Kind != algebra.KindCompose {
+		return n, false, nil
+	}
+	child := n.Inputs[0]
+	l, err := algebra.PosOffset(child.Inputs[0], n.Offset)
+	if err != nil {
+		return nil, false, err
+	}
+	r, err := algebra.PosOffset(child.Inputs[1], n.Offset)
+	if err != nil {
+		return nil, false, err
+	}
+	out, err := algebra.Compose(l, r, child.Pred, child.LeftQual, child.RightQual)
+	return out, err == nil, err
+}
+
+// pushOffsetThroughAgg: offset(agg(S, w), l) = agg(offset(S, l), w) —
+// aggregates have relative scope.
+func pushOffsetThroughAgg(n *algebra.Node) (*algebra.Node, bool, error) {
+	if n.Kind != algebra.KindPosOffset || n.Inputs[0].Kind != algebra.KindAgg {
+		return n, false, nil
+	}
+	child := n.Inputs[0]
+	in, err := algebra.PosOffset(child.Inputs[0], n.Offset)
+	if err != nil {
+		return nil, false, err
+	}
+	out, err := algebra.Agg(in, *child.Agg)
+	return out, err == nil, err
+}
+
+// pushOffsetThroughVOffset: offset(voffset(S, k), l) =
+// voffset(offset(S, l), k). Value offsets are not relative-scope, but
+// they are shift-equivariant — translating the whole input translates
+// the positions of its non-Null records uniformly, so "the k-th non-Null
+// neighbor of i+l in S" is "the k-th non-Null neighbor of i in
+// offset(S, l)". This slightly extends the paper's push-through rule;
+// the equivalence is property-tested against the reference interpreter.
+func pushOffsetThroughVOffset(n *algebra.Node) (*algebra.Node, bool, error) {
+	if n.Kind != algebra.KindPosOffset || n.Inputs[0].Kind != algebra.KindValueOffset {
+		return n, false, nil
+	}
+	child := n.Inputs[0]
+	in, err := algebra.PosOffset(child.Inputs[0], n.Offset)
+	if err != nil {
+		return nil, false, err
+	}
+	out, err := algebra.ValueOffset(in, child.Offset)
+	return out, err == nil, err
+}

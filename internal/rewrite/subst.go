@@ -1,0 +1,107 @@
+// Package rewrite implements the query transformations of §3.1: merging
+// and pushing down selections, projections and positional offsets, offset
+// fusion, and the identification of query blocks delimited by non-unit-
+// scope operators. Every transformation produces an equivalent query
+// (Definition 3.1 / Proposition 3.1): same input sequences, same scopes,
+// same operator function — which the package's tests check against the
+// reference interpreter on randomized inputs.
+package rewrite
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+)
+
+// subst replaces every column reference Col(i) in e by items[i].Expr,
+// yielding an expression over the projection's *input* schema. It is the
+// workhorse of pushing selections through projections and of merging
+// adjacent projections.
+func subst(e expr.Expr, items []algebra.ProjItem) (expr.Expr, error) {
+	switch v := e.(type) {
+	case *expr.Col:
+		if v.Index < 0 || v.Index >= len(items) {
+			return nil, fmt.Errorf("rewrite: column %d outside projection of arity %d", v.Index, len(items))
+		}
+		return items[v.Index].Expr, nil
+	case *expr.Lit:
+		return v, nil
+	case *expr.Bin:
+		l, err := subst(v.L, items)
+		if err != nil {
+			return nil, err
+		}
+		r, err := subst(v.R, items)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewBin(v.Op, l, r)
+	case *expr.Not:
+		inner, err := subst(v.E, items)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewNot(inner)
+	case *expr.Neg:
+		inner, err := subst(v.E, items)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewNeg(inner)
+	case *expr.Call:
+		args := make([]expr.Expr, len(v.Args))
+		for i, a := range v.Args {
+			na, err := subst(a, items)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = na
+		}
+		return expr.NewCall(v.Fn, args)
+	default:
+		return nil, fmt.Errorf("rewrite: unknown expression node %T", e)
+	}
+}
+
+// splitConjuncts flattens a conjunction into its top-level factors.
+func splitConjuncts(e expr.Expr) []expr.Expr {
+	if b, ok := e.(*expr.Bin); ok && b.Op == expr.OpAnd {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []expr.Expr{e}
+}
+
+// conjoin rebuilds a conjunction from factors (nil for an empty list).
+func conjoin(factors []expr.Expr) (expr.Expr, error) {
+	var out expr.Expr
+	for _, f := range factors {
+		var err error
+		out, err = expr.And(out, f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// colsWithin reports whether every column referenced by e lies in
+// [lo, hi).
+func colsWithin(e expr.Expr, lo, hi int) bool {
+	for _, c := range expr.Columns(e) {
+		if c < lo || c >= hi {
+			return false
+		}
+	}
+	return true
+}
+
+// shiftCols remaps the columns of e by delta (used when moving an
+// expression from a composed schema onto one side of the compose).
+func shiftCols(e expr.Expr, delta int) (expr.Expr, error) {
+	mapping := make(map[int]int)
+	for _, c := range expr.Columns(e) {
+		mapping[c] = c + delta
+	}
+	return expr.Remap(e, mapping)
+}

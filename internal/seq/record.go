@@ -1,0 +1,97 @@
+package seq
+
+import "strings"
+
+// Record is a tuple of atomic values conforming to some schema. The nil
+// Record is the distinguished Null record of the model (paper §2): every
+// position of a sequence that carries no data maps to it. Code must treat
+// a nil Record as Null and must never index into one.
+type Record []Value
+
+// IsNull reports whether the record is the Null record.
+func (r Record) IsNull() bool { return r == nil }
+
+// Equal reports whether two records have identical values (or are both
+// Null).
+func (r Record) Equal(o Record) bool {
+	if r.IsNull() || o.IsNull() {
+		return r.IsNull() && o.IsNull()
+	}
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if !r[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the record (nil for Null).
+func (r Record) Clone() Record {
+	if r.IsNull() {
+		return nil
+	}
+	return append(Record(nil), r...)
+}
+
+// Concat returns the composition of two records, as produced by the
+// Compose operator: the values of r followed by the values of o. If either
+// record is Null the result is Null (paper §2.1).
+func (r Record) Concat(o Record) Record {
+	if r.IsNull() || o.IsNull() {
+		return nil
+	}
+	out := make(Record, 0, len(r)+len(o))
+	out = append(out, r...)
+	return append(out, o...)
+}
+
+// Project returns the record restricted to the attributes at the given
+// indexes. Projecting the Null record yields the Null record.
+func (r Record) Project(idx []int) Record {
+	if r.IsNull() {
+		return nil
+	}
+	out := make(Record, len(idx))
+	for k, i := range idx {
+		out[k] = r[i]
+	}
+	return out
+}
+
+// Conforms reports whether the record's arity and value types match the
+// schema. The Null record conforms to every schema.
+func (r Record) Conforms(s *Schema) bool {
+	if r.IsNull() {
+		return true
+	}
+	if len(r) != s.NumFields() {
+		return false
+	}
+	for i := range r {
+		if r[i].T != s.Field(i).Type {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the record as "<v1, v2, ...>", or "NULL" for the Null
+// record.
+func (r Record) String() string {
+	if r.IsNull() {
+		return "NULL"
+	}
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, v := range r {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte('>')
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package seq
+
+import "testing"
+
+func TestRecordNullSemantics(t *testing.T) {
+	var null Record
+	if !null.IsNull() {
+		t.Error("nil record must be Null")
+	}
+	r := Record{Int(1)}
+	if r.IsNull() {
+		t.Error("non-nil record must not be Null")
+	}
+	if !null.Equal(nil) {
+		t.Error("Null == Null")
+	}
+	if r.Equal(nil) || null.Equal(r) {
+		t.Error("Null != non-Null")
+	}
+}
+
+func TestRecordEqual(t *testing.T) {
+	a := Record{Int(1), Str("x")}
+	b := Record{Int(1), Str("x")}
+	c := Record{Int(1), Str("y")}
+	d := Record{Int(1)}
+	if !a.Equal(b) {
+		t.Error("identical records must be equal")
+	}
+	if a.Equal(c) || a.Equal(d) {
+		t.Error("different records must not be equal")
+	}
+}
+
+func TestRecordClone(t *testing.T) {
+	if Record(nil).Clone() != nil {
+		t.Error("cloning Null must give Null")
+	}
+	a := Record{Int(1)}
+	b := a.Clone()
+	b[0] = Int(2)
+	if a[0].AsInt() != 1 {
+		t.Error("clone must not alias the original")
+	}
+}
+
+func TestRecordConcat(t *testing.T) {
+	a := Record{Int(1)}
+	b := Record{Str("x")}
+	c := a.Concat(b)
+	if len(c) != 2 || !c[0].Equal(Int(1)) || !c[1].Equal(Str("x")) {
+		t.Errorf("unexpected concat %v", c)
+	}
+	if a.Concat(nil) != nil || Record(nil).Concat(b) != nil {
+		t.Error("composing with Null must give Null (paper §2.1)")
+	}
+}
+
+func TestRecordConcatDoesNotAliasLeft(t *testing.T) {
+	a := make(Record, 1, 4) // spare capacity would let append scribble on a
+	a[0] = Int(1)
+	c := a.Concat(Record{Int(2)})
+	c[0] = Int(9)
+	if a[0].AsInt() != 1 {
+		t.Error("Concat must copy, not alias, the left record")
+	}
+}
+
+func TestRecordProject(t *testing.T) {
+	r := Record{Int(1), Str("x"), Float(2.5)}
+	p := r.Project([]int{2, 0})
+	if len(p) != 2 || !p[0].Equal(Float(2.5)) || !p[1].Equal(Int(1)) {
+		t.Errorf("unexpected projection %v", p)
+	}
+	if Record(nil).Project([]int{0}) != nil {
+		t.Error("projecting Null must give Null (paper §2.1)")
+	}
+}
+
+func TestRecordConforms(t *testing.T) {
+	s := MustSchema(Field{Name: "a", Type: TInt}, Field{Name: "b", Type: TString})
+	if !(Record{Int(1), Str("x")}).Conforms(s) {
+		t.Error("conforming record rejected")
+	}
+	if (Record{Int(1)}).Conforms(s) {
+		t.Error("wrong arity accepted")
+	}
+	if (Record{Str("x"), Str("y")}).Conforms(s) {
+		t.Error("wrong type accepted")
+	}
+	if !Record(nil).Conforms(s) {
+		t.Error("Null conforms to every schema")
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	if got := Record(nil).String(); got != "NULL" {
+		t.Errorf("Null String() = %q", got)
+	}
+	if got := (Record{Int(1), Str("x")}).String(); got != `<1, "x">` {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,181 @@
+package seq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Field is a single named, typed attribute of a record schema.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// Schema describes the record type of a sequence: an ordered list of named
+// attributes of atomic type (paper §2: R = <A1:T1, ..., AN:TN>).
+// Schemas are immutable after construction.
+type Schema struct {
+	fields []Field
+	byName map[string]int
+}
+
+// NewSchema builds a schema from the given fields. Duplicate attribute
+// names are rejected so that name resolution is unambiguous.
+func NewSchema(fields ...Field) (*Schema, error) {
+	s := &Schema{
+		fields: append([]Field(nil), fields...),
+		byName: make(map[string]int, len(fields)),
+	}
+	for i, f := range fields {
+		if f.Name == "" {
+			return nil, fmt.Errorf("seq: field %d has empty name", i)
+		}
+		if f.Type == TInvalid {
+			return nil, fmt.Errorf("seq: field %q has invalid type", f.Name)
+		}
+		if _, dup := s.byName[f.Name]; dup {
+			return nil, fmt.Errorf("seq: duplicate field name %q", f.Name)
+		}
+		s.byName[f.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is like NewSchema but panics on error. It is intended for
+// statically known schemas in tests and examples.
+func MustSchema(fields ...Field) *Schema {
+	s, err := NewSchema(fields...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumFields returns the number of attributes in the schema.
+func (s *Schema) NumFields() int { return len(s.fields) }
+
+// Field returns the i-th attribute.
+func (s *Schema) Field(i int) Field { return s.fields[i] }
+
+// Fields returns a copy of the attribute list.
+func (s *Schema) Fields() []Field { return append([]Field(nil), s.fields...) }
+
+// Index returns the position of the named attribute, or -1 if absent.
+// Lookup first tries an exact match; if the name is unqualified (contains
+// no '.') it also matches a unique qualified attribute whose suffix after
+// the last '.' equals the name. An ambiguous unqualified name returns -1.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	if strings.Contains(name, ".") {
+		return -1
+	}
+	found := -1
+	for i, f := range s.fields {
+		if j := strings.LastIndexByte(f.Name, '.'); j >= 0 && f.Name[j+1:] == name {
+			if found >= 0 {
+				return -1 // ambiguous
+			}
+			found = i
+		}
+	}
+	return found
+}
+
+// Concat builds the schema of a composed record: the attributes of s
+// followed by those of o. Name collisions are disambiguated by prefixing
+// the colliding attributes with the given qualifiers (e.g. "ibm.close").
+// Empty qualifiers fall back to "l" and "r".
+func (s *Schema) Concat(o *Schema, leftQual, rightQual string) (*Schema, error) {
+	if leftQual == "" {
+		leftQual = "l"
+	}
+	if rightQual == "" {
+		rightQual = "r"
+	}
+	fields := make([]Field, 0, len(s.fields)+len(o.fields))
+	collide := make(map[string]bool)
+	for _, f := range s.fields {
+		if o.Index(f.Name) >= 0 {
+			collide[f.Name] = true
+		}
+	}
+	used := make(map[string]bool, len(s.fields)+len(o.fields))
+	qualify := func(qual string, f Field) Field {
+		name := f.Name
+		if collide[name] {
+			name = qual + "." + name
+		}
+		// Qualification can itself collide with a pre-qualified name
+		// (e.g. a field literally named "l.volume"); keep qualifying
+		// until unique.
+		for used[name] {
+			name = qual + "." + name
+		}
+		used[name] = true
+		return Field{Name: name, Type: f.Type}
+	}
+	for _, f := range s.fields {
+		fields = append(fields, qualify(leftQual, f))
+	}
+	for _, f := range o.fields {
+		fields = append(fields, qualify(rightQual, f))
+	}
+	return NewSchema(fields...)
+}
+
+// Project builds the schema consisting of the attributes at the given
+// indexes, in order.
+func (s *Schema) Project(idx []int) (*Schema, error) {
+	fields := make([]Field, len(idx))
+	for k, i := range idx {
+		if i < 0 || i >= len(s.fields) {
+			return nil, fmt.Errorf("seq: projection index %d out of range", i)
+		}
+		fields[k] = s.fields[i]
+	}
+	return NewSchema(fields...)
+}
+
+// Rename returns a copy of the schema with the i-th attribute renamed.
+func (s *Schema) Rename(i int, name string) (*Schema, error) {
+	fields := s.Fields()
+	if i < 0 || i >= len(fields) {
+		return nil, fmt.Errorf("seq: rename index %d out of range", i)
+	}
+	fields[i].Name = name
+	return NewSchema(fields...)
+}
+
+// Equal reports whether two schemas have identical field lists.
+func (s *Schema) Equal(o *Schema) bool {
+	if s == o {
+		return true
+	}
+	if s == nil || o == nil || len(s.fields) != len(o.fields) {
+		return false
+	}
+	for i := range s.fields {
+		if s.fields[i] != o.fields[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "<name type, ...>".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, f := range s.fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		b.WriteString(f.Type.String())
+	}
+	b.WriteByte('>')
+	return b.String()
+}

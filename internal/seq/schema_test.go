@@ -1,0 +1,146 @@
+package seq
+
+import "testing"
+
+func stockSchema() *Schema {
+	return MustSchema(
+		Field{Name: "open", Type: TFloat},
+		Field{Name: "close", Type: TFloat},
+		Field{Name: "volume", Type: TInt},
+	)
+}
+
+func TestNewSchemaRejectsBadFields(t *testing.T) {
+	if _, err := NewSchema(Field{Name: "", Type: TInt}); err == nil {
+		t.Error("empty name must be rejected")
+	}
+	if _, err := NewSchema(Field{Name: "a", Type: TInvalid}); err == nil {
+		t.Error("invalid type must be rejected")
+	}
+	if _, err := NewSchema(Field{Name: "a", Type: TInt}, Field{Name: "a", Type: TInt}); err == nil {
+		t.Error("duplicate names must be rejected")
+	}
+}
+
+func TestSchemaIndex(t *testing.T) {
+	s := stockSchema()
+	if s.Index("close") != 1 {
+		t.Errorf("Index(close) = %d, want 1", s.Index("close"))
+	}
+	if s.Index("nope") != -1 {
+		t.Error("missing field must return -1")
+	}
+}
+
+func TestSchemaIndexQualifiedSuffix(t *testing.T) {
+	s := MustSchema(
+		Field{Name: "ibm.close", Type: TFloat},
+		Field{Name: "hp.close", Type: TFloat},
+		Field{Name: "hp.volume", Type: TInt},
+	)
+	if got := s.Index("volume"); got != 2 {
+		t.Errorf("unqualified unique suffix: got %d, want 2", got)
+	}
+	if got := s.Index("close"); got != -1 {
+		t.Errorf("ambiguous unqualified suffix must return -1, got %d", got)
+	}
+	if got := s.Index("hp.close"); got != 1 {
+		t.Errorf("qualified exact: got %d, want 1", got)
+	}
+	if got := s.Index("dec.close"); got != -1 {
+		t.Errorf("missing qualified name must return -1, got %d", got)
+	}
+}
+
+func TestSchemaConcatNoCollision(t *testing.T) {
+	a := MustSchema(Field{Name: "x", Type: TInt})
+	b := MustSchema(Field{Name: "y", Type: TFloat})
+	c, err := a.Concat(b, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumFields() != 2 || c.Field(0).Name != "x" || c.Field(1).Name != "y" {
+		t.Errorf("unexpected concat schema %v", c)
+	}
+}
+
+func TestSchemaConcatCollisionQualifies(t *testing.T) {
+	a := MustSchema(Field{Name: "close", Type: TFloat}, Field{Name: "x", Type: TInt})
+	b := MustSchema(Field{Name: "close", Type: TFloat})
+	c, err := a.Concat(b, "ibm", "hp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ibm.close", "x", "hp.close"}
+	for i, name := range want {
+		if c.Field(i).Name != name {
+			t.Errorf("field %d = %q, want %q", i, c.Field(i).Name, name)
+		}
+	}
+}
+
+func TestSchemaConcatDefaultQualifiers(t *testing.T) {
+	a := MustSchema(Field{Name: "v", Type: TInt})
+	b := MustSchema(Field{Name: "v", Type: TInt})
+	c, err := a.Concat(b, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Field(0).Name != "l.v" || c.Field(1).Name != "r.v" {
+		t.Errorf("default qualifiers wrong: %v", c)
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := stockSchema()
+	p, err := s.Project([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Field(0).Name != "volume" || p.Field(1).Name != "open" {
+		t.Errorf("unexpected projection %v", p)
+	}
+	if _, err := s.Project([]int{5}); err == nil {
+		t.Error("out-of-range projection must fail")
+	}
+}
+
+func TestSchemaRename(t *testing.T) {
+	s := stockSchema()
+	r, err := s.Rename(1, "last")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Index("last") != 1 || r.Index("close") != -1 {
+		t.Errorf("rename did not take: %v", r)
+	}
+	if _, err := s.Rename(9, "x"); err == nil {
+		t.Error("out-of-range rename must fail")
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a, b := stockSchema(), stockSchema()
+	if !a.Equal(b) {
+		t.Error("identical schemas must be equal")
+	}
+	c := MustSchema(Field{Name: "open", Type: TFloat})
+	if a.Equal(c) {
+		t.Error("different arities must not be equal")
+	}
+	var nilSchema *Schema
+	if a.Equal(nilSchema) || nilSchema.Equal(a) {
+		t.Error("nil schema comparisons must be false")
+	}
+	if !nilSchema.Equal(nilSchema) {
+		t.Error("nil == nil (same pointer) must be true")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	got := stockSchema().String()
+	want := "<open float, close float, volume int>"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,255 @@
+package seq
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Info carries the logical description and meta-data of a sequence: its
+// record schema, valid range (span) and density (paper §3). Density is the
+// fraction of positions inside the span that map to non-Null records.
+type Info struct {
+	Schema  *Schema
+	Span    Span
+	Density float64
+}
+
+// Cursor is a stream-access iterator over the non-Null records of a
+// sequence, in increasing positional order ("get the next non-Null
+// record", §3.3). Next reports false when the stream is exhausted or an
+// error occurred; Err distinguishes the two.
+type Cursor interface {
+	// Next returns the next non-Null record and its position. The
+	// returned record must not be retained across calls unless cloned.
+	Next() (Pos, Record, bool)
+	// Err returns the error that terminated iteration, if any.
+	Err() error
+	// Close releases resources. It is safe to call multiple times.
+	Close() error
+}
+
+// Sequence is the physical interface to a (base or derived) sequence.
+// It exposes both access modes of §3.3:
+//
+//   - Scan is the stream access: a single pass over the non-Null records
+//     whose positions lie inside the given span, in increasing order.
+//   - Probe is the probed access: the record at one specific position
+//     (the Null record is returned as a nil Record).
+type Sequence interface {
+	Info() Info
+	Scan(span Span) Cursor
+	Probe(pos Pos) (Record, error)
+}
+
+// Entry is a materialized (position, record) pair.
+type Entry struct {
+	Pos Pos
+	Rec Record
+}
+
+// Materialized is a simple in-memory sequence backed by a sorted slice of
+// entries. It is the reference implementation of Sequence: tests compare
+// engine outputs against it, operators use it to materialize intermediate
+// results, and the workload generators produce it.
+type Materialized struct {
+	schema  *Schema
+	entries []Entry // sorted by Pos, unique positions, non-nil records
+	span    Span
+}
+
+// NewMaterialized builds a materialized sequence from entries. Entries may
+// arrive unsorted; duplicate positions are rejected, and entries with Null
+// records are dropped (Null is implicit). The span defaults to the hull of
+// the entry positions; a wider explicit span may be set with WithSpan.
+func NewMaterialized(schema *Schema, entries []Entry) (*Materialized, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("seq: nil schema")
+	}
+	es := make([]Entry, 0, len(entries))
+	for _, e := range entries {
+		if e.Rec.IsNull() {
+			continue
+		}
+		if !e.Rec.Conforms(schema) {
+			return nil, fmt.Errorf("seq: record %v at position %d does not conform to %v", e.Rec, e.Pos, schema)
+		}
+		if e.Pos <= MinPos || e.Pos >= MaxPos {
+			return nil, fmt.Errorf("seq: position %d out of representable range", e.Pos)
+		}
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].Pos < es[j].Pos })
+	for i := 1; i < len(es); i++ {
+		if es[i].Pos == es[i-1].Pos {
+			return nil, fmt.Errorf("seq: duplicate position %d", es[i].Pos)
+		}
+	}
+	m := &Materialized{schema: schema, entries: es, span: EmptySpan}
+	if len(es) > 0 {
+		m.span = Span{Start: es[0].Pos, End: es[len(es)-1].Pos}
+	}
+	return m, nil
+}
+
+// MustMaterialized is like NewMaterialized but panics on error; intended
+// for tests and examples.
+func MustMaterialized(schema *Schema, entries []Entry) *Materialized {
+	m, err := NewMaterialized(schema, entries)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// WithSpan overrides the sequence's valid range. The new span must contain
+// all entry positions.
+func (m *Materialized) WithSpan(span Span) (*Materialized, error) {
+	if len(m.entries) > 0 {
+		hull := Span{Start: m.entries[0].Pos, End: m.entries[len(m.entries)-1].Pos}
+		if hull.Intersect(span) != hull {
+			return nil, fmt.Errorf("seq: span %v does not cover entries %v", span, hull)
+		}
+	}
+	cp := *m
+	cp.span = span
+	return &cp, nil
+}
+
+// Info implements Sequence.
+func (m *Materialized) Info() Info {
+	d := 0.0
+	if n := m.span.Len(); n > 0 && m.span.Bounded() {
+		d = float64(len(m.entries)) / float64(n)
+	}
+	return Info{Schema: m.schema, Span: m.span, Density: d}
+}
+
+// Count returns the number of non-Null records.
+func (m *Materialized) Count() int { return len(m.entries) }
+
+// Entries returns the underlying sorted entries. The caller must not
+// modify the returned slice.
+func (m *Materialized) Entries() []Entry { return m.entries }
+
+// Probe implements Sequence: the record at exactly pos, or nil.
+func (m *Materialized) Probe(pos Pos) (Record, error) {
+	i := sort.Search(len(m.entries), func(i int) bool { return m.entries[i].Pos >= pos })
+	if i < len(m.entries) && m.entries[i].Pos == pos {
+		return m.entries[i].Rec, nil
+	}
+	return nil, nil
+}
+
+// Scan implements Sequence: stream the entries with positions in span.
+func (m *Materialized) Scan(span Span) Cursor {
+	span = span.Intersect(m.span)
+	if span.IsEmpty() {
+		return &sliceCursor{}
+	}
+	lo := sort.Search(len(m.entries), func(i int) bool { return m.entries[i].Pos >= span.Start })
+	hi := sort.Search(len(m.entries), func(i int) bool { return m.entries[i].Pos > span.End })
+	return &sliceCursor{entries: m.entries[lo:hi]}
+}
+
+type sliceCursor struct {
+	entries []Entry
+	i       int
+}
+
+func (c *sliceCursor) Next() (Pos, Record, bool) {
+	if c.i >= len(c.entries) {
+		return 0, nil, false
+	}
+	e := c.entries[c.i]
+	c.i++
+	return e.Pos, e.Rec, true
+}
+
+func (c *sliceCursor) Err() error   { return nil }
+func (c *sliceCursor) Close() error { return nil }
+
+// Collect drains a cursor into a slice of entries, cloning records so the
+// result is safe to retain. It returns the cursor's error, if any.
+func Collect(c Cursor) ([]Entry, error) {
+	defer c.Close()
+	var out []Entry
+	for {
+		p, r, ok := c.Next()
+		if !ok {
+			break
+		}
+		out = append(out, Entry{Pos: p, Rec: r.Clone()})
+	}
+	return out, c.Err()
+}
+
+// Constant is a sequence in which every position maps to the same record
+// (paper §2: constant sequences let the model treat literals uniformly).
+// Its span is unbounded and its density is one; it has no access cost.
+type Constant struct {
+	schema *Schema
+	rec    Record
+}
+
+// NewConstant builds a constant sequence holding rec at every position.
+func NewConstant(schema *Schema, rec Record) (*Constant, error) {
+	if rec.IsNull() {
+		return nil, fmt.Errorf("seq: constant sequence record must be non-Null")
+	}
+	if !rec.Conforms(schema) {
+		return nil, fmt.Errorf("seq: constant record %v does not conform to %v", rec, schema)
+	}
+	return &Constant{schema: schema, rec: rec}, nil
+}
+
+// Info implements Sequence.
+func (c *Constant) Info() Info {
+	return Info{Schema: c.schema, Span: AllSpan, Density: 1}
+}
+
+// Probe implements Sequence.
+func (c *Constant) Probe(Pos) (Record, error) { return c.rec, nil }
+
+// Scan implements Sequence. Scanning a constant sequence requires a
+// bounded span; an unbounded scan is an error reported through the cursor.
+func (c *Constant) Scan(span Span) Cursor {
+	if span.IsEmpty() {
+		return &sliceCursor{}
+	}
+	if !span.Bounded() {
+		return &errCursor{err: fmt.Errorf("seq: unbounded scan of constant sequence")}
+	}
+	return &constCursor{rec: c.rec, pos: span.Start, end: span.End}
+}
+
+type constCursor struct {
+	rec  Record
+	pos  Pos
+	end  Pos
+	done bool
+}
+
+func (c *constCursor) Next() (Pos, Record, bool) {
+	if c.done || c.pos > c.end {
+		return 0, nil, false
+	}
+	p := c.pos
+	if c.pos == c.end {
+		c.done = true
+	} else {
+		c.pos++
+	}
+	return p, c.rec, true
+}
+
+func (c *constCursor) Err() error   { return nil }
+func (c *constCursor) Close() error { return nil }
+
+type errCursor struct{ err error }
+
+func (c *errCursor) Next() (Pos, Record, bool) { return 0, nil, false }
+func (c *errCursor) Err() error                { return c.err }
+func (c *errCursor) Close() error              { return nil }
+
+// ErrCursor returns a cursor that yields nothing and reports err.
+func ErrCursor(err error) Cursor { return &errCursor{err: err} }

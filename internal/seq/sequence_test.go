@@ -1,0 +1,235 @@
+package seq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func closeOnly() *Schema {
+	return MustSchema(Field{Name: "close", Type: TFloat})
+}
+
+func entriesFrom(positions []Pos, base float64) []Entry {
+	es := make([]Entry, len(positions))
+	for i, p := range positions {
+		es[i] = Entry{Pos: p, Rec: Record{Float(base + float64(p))}}
+	}
+	return es
+}
+
+func TestMaterializedBasics(t *testing.T) {
+	m := MustMaterialized(closeOnly(), entriesFrom([]Pos{5, 1, 3}, 0))
+	info := m.Info()
+	if info.Span != NewSpan(1, 5) {
+		t.Errorf("span = %v, want [1, 5]", info.Span)
+	}
+	if m.Count() != 3 {
+		t.Errorf("count = %d, want 3", m.Count())
+	}
+	if got := info.Density; got != 0.6 {
+		t.Errorf("density = %g, want 0.6", got)
+	}
+}
+
+func TestMaterializedRejectsDuplicatesAndBadRecords(t *testing.T) {
+	s := closeOnly()
+	if _, err := NewMaterialized(s, []Entry{
+		{Pos: 1, Rec: Record{Float(1)}},
+		{Pos: 1, Rec: Record{Float(2)}},
+	}); err == nil {
+		t.Error("duplicate positions must be rejected")
+	}
+	if _, err := NewMaterialized(s, []Entry{{Pos: 1, Rec: Record{Int(1)}}}); err == nil {
+		t.Error("non-conforming record must be rejected")
+	}
+	if _, err := NewMaterialized(nil, nil); err == nil {
+		t.Error("nil schema must be rejected")
+	}
+	if _, err := NewMaterialized(s, []Entry{{Pos: MaxPos, Rec: Record{Float(1)}}}); err == nil {
+		t.Error("sentinel position must be rejected")
+	}
+}
+
+func TestMaterializedDropsNullEntries(t *testing.T) {
+	m := MustMaterialized(closeOnly(), []Entry{
+		{Pos: 1, Rec: Record{Float(1)}},
+		{Pos: 2, Rec: nil},
+	})
+	if m.Count() != 1 {
+		t.Errorf("count = %d, want 1 (Null entries are implicit)", m.Count())
+	}
+}
+
+func TestMaterializedProbe(t *testing.T) {
+	m := MustMaterialized(closeOnly(), entriesFrom([]Pos{1, 3, 5}, 0))
+	r, err := m.Probe(3)
+	if err != nil || r.IsNull() || r[0].AsFloat() != 3 {
+		t.Errorf("Probe(3) = %v, %v", r, err)
+	}
+	r, err = m.Probe(2)
+	if err != nil || !r.IsNull() {
+		t.Errorf("Probe(2) must be Null, got %v", r)
+	}
+	r, err = m.Probe(99)
+	if err != nil || !r.IsNull() {
+		t.Errorf("Probe outside span must be Null, got %v", r)
+	}
+}
+
+func TestMaterializedScanRanges(t *testing.T) {
+	m := MustMaterialized(closeOnly(), entriesFrom([]Pos{1, 3, 5, 7}, 0))
+	cases := []struct {
+		span Span
+		want []Pos
+	}{
+		{AllSpan, []Pos{1, 3, 5, 7}},
+		{NewSpan(3, 5), []Pos{3, 5}},
+		{NewSpan(2, 2), nil},
+		{NewSpan(6, 100), []Pos{7}},
+		{EmptySpan, nil},
+	}
+	for _, c := range cases {
+		got, err := Collect(m.Scan(c.span))
+		if err != nil {
+			t.Fatalf("Scan(%v): %v", c.span, err)
+		}
+		var gotPos []Pos
+		for _, e := range got {
+			gotPos = append(gotPos, e.Pos)
+		}
+		if len(gotPos) != len(c.want) {
+			t.Errorf("Scan(%v) positions = %v, want %v", c.span, gotPos, c.want)
+			continue
+		}
+		for i := range gotPos {
+			if gotPos[i] != c.want[i] {
+				t.Errorf("Scan(%v) positions = %v, want %v", c.span, gotPos, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestMaterializedWithSpan(t *testing.T) {
+	m := MustMaterialized(closeOnly(), entriesFrom([]Pos{200, 500}, 0))
+	w, err := m.WithSpan(NewSpan(1, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Info().Span != NewSpan(1, 1000) {
+		t.Errorf("span override did not take: %v", w.Info().Span)
+	}
+	if w.Info().Density != 2.0/1000.0 {
+		t.Errorf("density with explicit span = %g", w.Info().Density)
+	}
+	if _, err := m.WithSpan(NewSpan(300, 400)); err == nil {
+		t.Error("span not covering entries must be rejected")
+	}
+}
+
+func TestConstantSequence(t *testing.T) {
+	s := closeOnly()
+	c, err := NewConstant(s, Record{Float(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Info().Span != AllSpan || c.Info().Density != 1 {
+		t.Error("constant sequence must have unbounded span and density 1")
+	}
+	r, err := c.Probe(-12345)
+	if err != nil || r[0].AsFloat() != 7 {
+		t.Errorf("Probe = %v, %v", r, err)
+	}
+	got, err := Collect(c.Scan(NewSpan(10, 12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Pos != 10 || got[2].Pos != 12 {
+		t.Errorf("constant scan = %v", got)
+	}
+	if err := c.Scan(AllSpan).Err(); err == nil {
+		t.Error("unbounded constant scan must error")
+	}
+	if _, err := NewConstant(s, nil); err == nil {
+		t.Error("Null constant must be rejected")
+	}
+	if _, err := NewConstant(s, Record{Int(1)}); err == nil {
+		t.Error("non-conforming constant must be rejected")
+	}
+}
+
+func TestCollectClonesRecords(t *testing.T) {
+	m := MustMaterialized(closeOnly(), entriesFrom([]Pos{1}, 0))
+	got, err := Collect(m.Scan(AllSpan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0].Rec[0] = Float(99)
+	r, _ := m.Probe(1)
+	if r[0].AsFloat() != 1 {
+		t.Error("Collect must clone records")
+	}
+}
+
+func TestErrCursor(t *testing.T) {
+	c := ErrCursor(errForTest)
+	if _, _, ok := c.Next(); ok {
+		t.Error("error cursor must yield nothing")
+	}
+	if c.Err() != errForTest {
+		t.Error("error cursor must report its error")
+	}
+	if c.Close() != nil {
+		t.Error("Close must succeed")
+	}
+}
+
+var errForTest = errTest{}
+
+type errTest struct{}
+
+func (errTest) Error() string { return "test error" }
+
+// Property: scanning a random materialized sequence over a random span
+// yields exactly the entries whose positions lie in the span, in order.
+func TestMaterializedScanProperty(t *testing.T) {
+	f := func(seed int64, lo, hi int8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40)
+		posSet := make(map[Pos]bool)
+		for i := 0; i < n; i++ {
+			posSet[Pos(rng.Intn(100))] = true
+		}
+		var positions []Pos
+		for p := range posSet {
+			positions = append(positions, p)
+		}
+		sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+		m := MustMaterialized(closeOnly(), entriesFrom(positions, 0))
+		span := Span{Start: Pos(lo), End: Pos(hi)}
+		got, err := Collect(m.Scan(span))
+		if err != nil {
+			return false
+		}
+		var want []Pos
+		for _, p := range positions {
+			if span.Contains(p) {
+				want = append(want, p)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Pos != want[i] || got[i].Rec[0].AsFloat() != float64(want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

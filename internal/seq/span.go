@@ -1,0 +1,188 @@
+package seq
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pos is a sequence position. The model defines positions over the
+// integers; implementations bound them by the sentinels below so that
+// offset arithmetic can never overflow.
+type Pos = int64
+
+// Position sentinels. MinPos/MaxPos stand in for -infinity/+infinity when
+// a span is unbounded on one side (e.g. the span of a constant sequence,
+// or of a value-offset output). They are kept far from the int64 limits so
+// that adding bounded offsets stays representable.
+const (
+	MinPos Pos = math.MinInt64 / 4
+	MaxPos Pos = math.MaxInt64 / 4
+)
+
+// ClampPos pins p into [MinPos, MaxPos].
+func ClampPos(p Pos) Pos {
+	if p < MinPos {
+		return MinPos
+	}
+	if p > MaxPos {
+		return MaxPos
+	}
+	return p
+}
+
+// Span is an inclusive range of positions [Start, End]; it is the "valid
+// range" meta-datum of §3. A span with Start > End is empty. Spans with
+// Start == MinPos or End == MaxPos are unbounded on that side.
+type Span struct {
+	Start, End Pos
+}
+
+// EmptySpan is a canonical empty span.
+var EmptySpan = Span{Start: 1, End: 0}
+
+// AllSpan is the unbounded span covering every representable position.
+var AllSpan = Span{Start: MinPos, End: MaxPos}
+
+// NewSpan returns the inclusive span [start, end].
+func NewSpan(start, end Pos) Span { return Span{Start: start, End: end} }
+
+// IsEmpty reports whether the span contains no positions.
+func (s Span) IsEmpty() bool { return s.Start > s.End }
+
+// Contains reports whether position p lies inside the span.
+func (s Span) Contains(p Pos) bool { return p >= s.Start && p <= s.End }
+
+// Len returns the number of positions in the span (0 for empty spans).
+// The length of an unbounded span saturates at MaxPos.
+func (s Span) Len() int64 {
+	if s.IsEmpty() {
+		return 0
+	}
+	n := s.End - s.Start + 1
+	if n <= 0 || s.Start <= MinPos || s.End >= MaxPos { // overflow or unbounded
+		return MaxPos
+	}
+	return n
+}
+
+// Bounded reports whether both endpoints are finite.
+func (s Span) Bounded() bool {
+	return !s.IsEmpty() && s.Start > MinPos && s.End < MaxPos
+}
+
+// Intersect returns the largest span contained in both s and o.
+func (s Span) Intersect(o Span) Span {
+	if s.IsEmpty() || o.IsEmpty() {
+		return EmptySpan
+	}
+	r := Span{Start: max64(s.Start, o.Start), End: min64(s.End, o.End)}
+	if r.IsEmpty() {
+		return EmptySpan
+	}
+	return r
+}
+
+// Union returns the smallest span containing both s and o (the convex
+// hull; any gap between them is included).
+func (s Span) Union(o Span) Span {
+	if s.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return s
+	}
+	return Span{Start: min64(s.Start, o.Start), End: max64(s.End, o.End)}
+}
+
+// Shift translates the span by delta positions, clamping at the
+// sentinels. Unbounded endpoints remain unbounded.
+func (s Span) Shift(delta Pos) Span {
+	if s.IsEmpty() {
+		return EmptySpan
+	}
+	r := s
+	if r.Start > MinPos {
+		r.Start = ClampPos(r.Start + delta)
+	}
+	if r.End < MaxPos {
+		r.End = ClampPos(r.End + delta)
+	}
+	return r
+}
+
+// Grow widens the span by lo positions on the left and hi on the right
+// (negative arguments shrink). Unbounded endpoints remain unbounded.
+func (s Span) Grow(lo, hi Pos) Span {
+	if s.IsEmpty() {
+		return EmptySpan
+	}
+	r := s
+	if r.Start > MinPos {
+		r.Start = ClampPos(r.Start - lo)
+	}
+	if r.End < MaxPos {
+		r.End = ClampPos(r.End + hi)
+	}
+	if r.IsEmpty() {
+		return EmptySpan
+	}
+	return r
+}
+
+// EffectivelyUnbounded reports whether a position is in the sentinel
+// region: not a real data position but the result of unbounded-span
+// arithmetic. Real positions are minuscule compared to the sentinels.
+func EffectivelyUnbounded(p Pos) bool {
+	return p <= MinPos/2 || p >= MaxPos/2
+}
+
+// ClampUnboundedTo replaces the span's effectively unbounded sides by
+// the corresponding side of u, leaving finite sides untouched. It is how
+// access spans are bounded: a finite side is an exact requirement that
+// must be preserved, while an unbounded side means "as far as data can
+// matter" — which is what u describes.
+func (s Span) ClampUnboundedTo(u Span) Span {
+	if s.IsEmpty() {
+		return EmptySpan
+	}
+	r := s
+	if EffectivelyUnbounded(r.Start) {
+		r.Start = u.Start
+	}
+	if EffectivelyUnbounded(r.End) {
+		r.End = u.End
+	}
+	if r.IsEmpty() {
+		return EmptySpan
+	}
+	return r
+}
+
+// String renders the span; unbounded endpoints print as -inf/+inf.
+func (s Span) String() string {
+	if s.IsEmpty() {
+		return "[empty]"
+	}
+	lo, hi := "-inf", "+inf"
+	if s.Start > MinPos {
+		lo = fmt.Sprintf("%d", s.Start)
+	}
+	if s.End < MaxPos {
+		hi = fmt.Sprintf("%d", s.End)
+	}
+	return "[" + lo + ", " + hi + "]"
+}
+
+func min64(a, b Pos) Pos {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b Pos) Pos {
+	if a > b {
+		return a
+	}
+	return b
+}

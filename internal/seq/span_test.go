@@ -1,0 +1,144 @@
+package seq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpanBasics(t *testing.T) {
+	s := NewSpan(200, 500)
+	if s.IsEmpty() {
+		t.Error("non-empty span reported empty")
+	}
+	if s.Len() != 301 {
+		t.Errorf("Len = %d, want 301", s.Len())
+	}
+	if !s.Contains(200) || !s.Contains(500) || s.Contains(199) || s.Contains(501) {
+		t.Error("Contains boundaries wrong")
+	}
+	if !EmptySpan.IsEmpty() || EmptySpan.Len() != 0 {
+		t.Error("EmptySpan must be empty with zero length")
+	}
+	if !s.Bounded() || AllSpan.Bounded() {
+		t.Error("boundedness wrong")
+	}
+}
+
+func TestSpanIntersect(t *testing.T) {
+	// Table 1 / Figure 3: DEC [1,350] ∩ IBM [200,500] ∩ HP [1,750] = [200,350].
+	dec, ibm, hp := NewSpan(1, 350), NewSpan(200, 500), NewSpan(1, 750)
+	got := dec.Intersect(ibm).Intersect(hp)
+	if got != NewSpan(200, 350) {
+		t.Errorf("intersection = %v, want [200, 350]", got)
+	}
+	if !NewSpan(1, 2).Intersect(NewSpan(5, 9)).IsEmpty() {
+		t.Error("disjoint intersection must be empty")
+	}
+	if !EmptySpan.Intersect(ibm).IsEmpty() || !ibm.Intersect(EmptySpan).IsEmpty() {
+		t.Error("intersection with empty must be empty")
+	}
+}
+
+func TestSpanUnion(t *testing.T) {
+	if got := NewSpan(1, 5).Union(NewSpan(10, 20)); got != NewSpan(1, 20) {
+		t.Errorf("union hull = %v, want [1, 20]", got)
+	}
+	s := NewSpan(3, 7)
+	if EmptySpan.Union(s) != s || s.Union(EmptySpan) != s {
+		t.Error("union with empty must be identity")
+	}
+}
+
+func TestSpanShift(t *testing.T) {
+	if got := NewSpan(10, 20).Shift(-5); got != NewSpan(5, 15) {
+		t.Errorf("shift = %v, want [5, 15]", got)
+	}
+	// Unbounded endpoints stay unbounded.
+	s := Span{Start: MinPos, End: 100}
+	if got := s.Shift(10); got.Start != MinPos || got.End != 110 {
+		t.Errorf("unbounded shift = %v", got)
+	}
+	if !EmptySpan.Shift(3).IsEmpty() {
+		t.Error("shifting empty must stay empty")
+	}
+	// Clamping at sentinels.
+	if got := NewSpan(MaxPos-1, MaxPos-1).Shift(100); got.End != MaxPos {
+		t.Errorf("shift must clamp at MaxPos, got %v", got)
+	}
+}
+
+func TestSpanGrow(t *testing.T) {
+	if got := NewSpan(10, 20).Grow(2, 3); got != NewSpan(8, 23) {
+		t.Errorf("grow = %v, want [8, 23]", got)
+	}
+	if got := NewSpan(10, 20).Grow(-4, -4); got != NewSpan(14, 16) {
+		t.Errorf("negative grow = %v, want [14, 16]", got)
+	}
+	if !NewSpan(10, 12).Grow(-5, -5).IsEmpty() {
+		t.Error("over-shrunk span must be empty")
+	}
+}
+
+func TestSpanString(t *testing.T) {
+	if got := NewSpan(1, 2).String(); got != "[1, 2]" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := AllSpan.String(); got != "[-inf, +inf]" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := EmptySpan.String(); got != "[empty]" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSpanLenUnboundedSaturates(t *testing.T) {
+	if AllSpan.Len() != MaxPos {
+		t.Error("unbounded span length must saturate")
+	}
+	if (Span{Start: 0, End: MaxPos}).Len() != MaxPos {
+		t.Error("half-unbounded span length must saturate")
+	}
+}
+
+func TestClampPos(t *testing.T) {
+	if ClampPos(MinPos-1) != MinPos || ClampPos(MaxPos+1) != MaxPos || ClampPos(42) != 42 {
+		t.Error("ClampPos wrong")
+	}
+}
+
+// Intersection is idempotent, commutative and contained in both operands.
+func TestSpanIntersectProperties(t *testing.T) {
+	gen := func(a, b int16) Span { return Span{Start: Pos(a), End: Pos(b)} }
+	f := func(a1, a2, b1, b2 int16) bool {
+		s, o := gen(a1, a2), gen(b1, b2)
+		r := s.Intersect(o)
+		if r != o.Intersect(s) {
+			return false
+		}
+		if r != r.Intersect(s) || r != r.Intersect(o) {
+			return false
+		}
+		if !r.IsEmpty() && (!s.Contains(r.Start) || !o.Contains(r.Start) || !s.Contains(r.End) || !o.Contains(r.End)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Shifting by d then by -d is the identity on bounded spans.
+func TestSpanShiftRoundTrip(t *testing.T) {
+	f := func(a, b int16, d int16) bool {
+		s := Span{Start: Pos(a), End: Pos(b)}
+		r := s.Shift(Pos(d)).Shift(-Pos(d))
+		if s.IsEmpty() {
+			return r.IsEmpty()
+		}
+		return r == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

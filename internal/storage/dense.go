@@ -1,0 +1,152 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/seq"
+)
+
+// Dense stores a base sequence as an array over its valid range: position
+// p lives at slot p-span.Start. Pages cover recordsPerPage consecutive
+// positions. Empty positions cost storage but make probing O(1): one page
+// touch per probe. This models the "physically organized to favor stream
+// access" layout of §3.4 with a clustered positional index.
+type Dense struct {
+	schema *seq.Schema
+	span   seq.Span
+	recs   []seq.Record // index = pos - span.Start; nil = Null
+	count  int          // non-Null records
+	rpp    int
+	stats  *Stats
+}
+
+// NewDense builds a dense store over the hull of the given entries, or
+// over the explicit span if non-empty. recordsPerPage <= 0 selects
+// DefaultRecordsPerPage.
+func NewDense(schema *seq.Schema, entries []seq.Entry, span seq.Span, recordsPerPage int) (*Dense, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("storage: nil schema")
+	}
+	if recordsPerPage <= 0 {
+		recordsPerPage = DefaultRecordsPerPage
+	}
+	hull := seq.EmptySpan
+	for _, e := range entries {
+		if e.Rec.IsNull() {
+			continue
+		}
+		hull = hull.Union(seq.NewSpan(e.Pos, e.Pos))
+	}
+	if span.IsEmpty() {
+		span = hull
+	} else if !hull.IsEmpty() && span.Intersect(hull) != hull {
+		return nil, fmt.Errorf("storage: span %v does not cover entries %v", span, hull)
+	}
+	d := &Dense{schema: schema, span: span, rpp: recordsPerPage, stats: &Stats{}}
+	if span.IsEmpty() {
+		return d, nil
+	}
+	if !span.Bounded() {
+		return nil, fmt.Errorf("storage: dense store requires a bounded span, got %v", span)
+	}
+	n := span.Len()
+	const maxSlots = 1 << 28
+	if n > maxSlots {
+		return nil, fmt.Errorf("storage: dense span of %d positions too large", n)
+	}
+	d.recs = make([]seq.Record, n)
+	for _, e := range entries {
+		if e.Rec.IsNull() {
+			continue
+		}
+		if !e.Rec.Conforms(schema) {
+			return nil, fmt.Errorf("storage: record %v at %d does not conform to %v", e.Rec, e.Pos, schema)
+		}
+		slot := e.Pos - span.Start
+		if d.recs[slot] != nil {
+			return nil, fmt.Errorf("storage: duplicate position %d", e.Pos)
+		}
+		d.recs[slot] = e.Rec
+		d.count++
+	}
+	return d, nil
+}
+
+// Info implements seq.Sequence.
+func (d *Dense) Info() seq.Info {
+	den := 0.0
+	if n := d.span.Len(); n > 0 {
+		den = float64(d.count) / float64(n)
+	}
+	return seq.Info{Schema: d.schema, Span: d.span, Density: den}
+}
+
+// Stats implements Store.
+func (d *Dense) Stats() *Stats { return d.stats }
+
+// Count returns the number of non-Null records.
+func (d *Dense) Count() int { return d.count }
+
+// AccessCosts implements Store: a full scan touches every page of the
+// valid range (empty positions still occupy slots); a probe touches
+// exactly one page.
+func (d *Dense) AccessCosts() AccessCosts {
+	pages := (d.span.Len() + int64(d.rpp) - 1) / int64(d.rpp)
+	return AccessCosts{StreamPages: pages, ProbePages: 1, RecordsPerPage: d.rpp}
+}
+
+// Probe implements seq.Sequence: one random page touch.
+func (d *Dense) Probe(pos seq.Pos) (seq.Record, error) {
+	d.stats.ProbeRecords.Add(1)
+	if !d.span.Contains(pos) {
+		return nil, nil // outside the valid range: Null, no page touched
+	}
+	d.stats.RandPages.Add(1)
+	return d.recs[pos-d.span.Start], nil
+}
+
+// Scan implements seq.Sequence: sequential page touches over the
+// intersection of the requested span with the valid range.
+func (d *Dense) Scan(span seq.Span) seq.Cursor {
+	span = span.Intersect(d.span)
+	if span.IsEmpty() {
+		return emptyCursor{}
+	}
+	return &denseCursor{d: d, pos: span.Start, end: span.End, page: -1}
+}
+
+type denseCursor struct {
+	d    *Dense
+	pos  seq.Pos
+	end  seq.Pos
+	page int64 // last page charged; -1 before the first touch
+}
+
+func (c *denseCursor) Next() (seq.Pos, seq.Record, bool) {
+	for c.pos <= c.end {
+		p := c.pos
+		c.pos++
+		// Charge each page the first time the scan enters it, whether or
+		// not it holds any non-Null record: empty slots still occupy
+		// space in a dense layout.
+		pg := (p - c.d.span.Start) / int64(c.d.rpp)
+		if pg != c.page {
+			c.page = pg
+			c.d.stats.SeqPages.Add(1)
+		}
+		if r := c.d.recs[p-c.d.span.Start]; r != nil {
+			c.d.stats.SeqRecords.Add(1)
+			return p, r, true
+		}
+	}
+	return 0, nil, false
+}
+
+func (c *denseCursor) Err() error   { return nil }
+func (c *denseCursor) Close() error { return nil }
+
+type emptyCursor struct{}
+
+func (emptyCursor) Next() (seq.Pos, seq.Record, bool) { return 0, nil, false }
+func (emptyCursor) Err() error                        { return nil }
+func (emptyCursor) Close() error                      { return nil }

@@ -1,0 +1,219 @@
+package storage
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/seq"
+)
+
+// Sparse stores a base sequence as sorted (position, record) entries
+// packed into pages of recordsPerPage entries each. Only non-Null records
+// occupy space, so low-density sequences scan cheaply, but probing a
+// position requires a binary-search descent that touches ~log2(pages)
+// pages — the model of an index lookup (§3.4 footnote: "a relation with an
+// unclustered index on a position attribute does not particularly favor
+// stream access" is the inverse trade-off; Sparse favors stream access and
+// penalizes probes).
+type Sparse struct {
+	schema  *seq.Schema
+	span    seq.Span
+	entries []seq.Entry
+	rpp     int
+	stats   *Stats
+}
+
+// NewSparse builds a sparse store from entries (unsorted accepted,
+// duplicates rejected, Null records dropped). A non-empty span widens the
+// valid range beyond the entry hull.
+func NewSparse(schema *seq.Schema, entries []seq.Entry, span seq.Span, recordsPerPage int) (*Sparse, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("storage: nil schema")
+	}
+	if recordsPerPage <= 0 {
+		recordsPerPage = DefaultRecordsPerPage
+	}
+	es := make([]seq.Entry, 0, len(entries))
+	for _, e := range entries {
+		if e.Rec.IsNull() {
+			continue
+		}
+		if !e.Rec.Conforms(schema) {
+			return nil, fmt.Errorf("storage: record %v at %d does not conform to %v", e.Rec, e.Pos, schema)
+		}
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].Pos < es[j].Pos })
+	for i := 1; i < len(es); i++ {
+		if es[i].Pos == es[i-1].Pos {
+			return nil, fmt.Errorf("storage: duplicate position %d", es[i].Pos)
+		}
+	}
+	hull := seq.EmptySpan
+	if len(es) > 0 {
+		hull = seq.NewSpan(es[0].Pos, es[len(es)-1].Pos)
+	}
+	if span.IsEmpty() {
+		span = hull
+	} else if !hull.IsEmpty() && span.Intersect(hull) != hull {
+		return nil, fmt.Errorf("storage: span %v does not cover entries %v", span, hull)
+	}
+	return &Sparse{schema: schema, span: span, entries: es, rpp: recordsPerPage, stats: &Stats{}}, nil
+}
+
+// Append adds a record at a position beyond the current valid range,
+// extending the span. It supports the dynamic-arrival workloads of the
+// trigger-mode extension (§5.3): monitored sequences grow at the end.
+func (s *Sparse) Append(e seq.Entry) error {
+	if e.Rec.IsNull() {
+		return fmt.Errorf("storage: cannot append a Null record")
+	}
+	if !e.Rec.Conforms(s.schema) {
+		return fmt.Errorf("storage: record %v does not conform to %v", e.Rec, s.schema)
+	}
+	if len(s.entries) > 0 && e.Pos <= s.entries[len(s.entries)-1].Pos {
+		return fmt.Errorf("storage: append position %d not beyond last record %d",
+			e.Pos, s.entries[len(s.entries)-1].Pos)
+	}
+	if !s.span.IsEmpty() && e.Pos <= s.span.End {
+		return fmt.Errorf("storage: append position %d inside the valid range %v", e.Pos, s.span)
+	}
+	s.entries = append(s.entries, e)
+	if s.span.IsEmpty() {
+		s.span = seq.NewSpan(e.Pos, e.Pos)
+	} else {
+		s.span.End = e.Pos
+	}
+	return nil
+}
+
+// Info implements seq.Sequence.
+func (s *Sparse) Info() seq.Info {
+	den := 0.0
+	if n := s.span.Len(); n > 0 && s.span.Bounded() {
+		den = float64(len(s.entries)) / float64(n)
+	}
+	return seq.Info{Schema: s.schema, Span: s.span, Density: den}
+}
+
+// Stats implements Store.
+func (s *Sparse) Stats() *Stats { return s.stats }
+
+// Count returns the number of non-Null records.
+func (s *Sparse) Count() int { return len(s.entries) }
+
+func (s *Sparse) numPages() int64 {
+	return (int64(len(s.entries)) + int64(s.rpp) - 1) / int64(s.rpp)
+}
+
+// probeDepth is the page touches charged per probe: the height of a
+// binary-search descent over the pages, at least 1 when any page exists.
+func (s *Sparse) probeDepth() int64 {
+	n := s.numPages()
+	if n <= 1 {
+		return n
+	}
+	return int64(bits.Len64(uint64(n - 1))) // ceil(log2(n))
+}
+
+// AccessCosts implements Store.
+func (s *Sparse) AccessCosts() AccessCosts {
+	d := s.probeDepth()
+	if d == 0 {
+		d = 1
+	}
+	return AccessCosts{StreamPages: s.numPages(), ProbePages: d, RecordsPerPage: s.rpp}
+}
+
+// Probe implements seq.Sequence: a binary-search descent costing
+// probeDepth page touches.
+func (s *Sparse) Probe(pos seq.Pos) (seq.Record, error) {
+	s.stats.ProbeRecords.Add(1)
+	if !s.span.Contains(pos) || len(s.entries) == 0 {
+		return nil, nil
+	}
+	s.stats.RandPages.Add(s.probeDepth())
+	i := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].Pos >= pos })
+	if i < len(s.entries) && s.entries[i].Pos == pos {
+		return s.entries[i].Rec, nil
+	}
+	return nil, nil
+}
+
+// Scan implements seq.Sequence: sequential page touches over the entry
+// range intersecting the span. (Positioning the scan start uses the same
+// index descent as a probe.)
+func (s *Sparse) Scan(span seq.Span) seq.Cursor {
+	span = span.Intersect(s.span)
+	if span.IsEmpty() || len(s.entries) == 0 {
+		return emptyCursor{}
+	}
+	lo := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].Pos >= span.Start })
+	hi := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].Pos > span.End })
+	if lo > 0 {
+		// Entering the middle of the file requires an index descent.
+		s.stats.RandPages.Add(s.probeDepth())
+	}
+	return &sparseCursor{s: s, entries: s.entries[lo:hi], base: lo, page: -1}
+}
+
+type sparseCursor struct {
+	s       *Sparse
+	entries []seq.Entry
+	base    int // index of entries[0] in s.entries, for page math
+	i       int
+	page    int64
+}
+
+func (c *sparseCursor) Next() (seq.Pos, seq.Record, bool) {
+	if c.i >= len(c.entries) {
+		return 0, nil, false
+	}
+	e := c.entries[c.i]
+	pg := int64(c.base+c.i) / int64(c.s.rpp)
+	if pg != c.page {
+		c.page = pg
+		c.s.stats.SeqPages.Add(1)
+	}
+	c.i++
+	c.s.stats.SeqRecords.Add(1)
+	return e.Pos, e.Rec, true
+}
+
+func (c *sparseCursor) Err() error   { return nil }
+func (c *sparseCursor) Close() error { return nil }
+
+// FromMaterialized packs a materialized sequence into a store of the given
+// kind.
+func FromMaterialized(m *seq.Materialized, kind Kind, recordsPerPage int) (Store, error) {
+	switch kind {
+	case KindDense:
+		return NewDense(m.Info().Schema, m.Entries(), m.Info().Span, recordsPerPage)
+	case KindSparse:
+		return NewSparse(m.Info().Schema, m.Entries(), m.Info().Span, recordsPerPage)
+	default:
+		return nil, fmt.Errorf("storage: unknown kind %v", kind)
+	}
+}
+
+// Kind selects a physical representation.
+type Kind int
+
+// The available physical representations.
+const (
+	KindDense Kind = iota
+	KindSparse
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindDense:
+		return "dense"
+	case KindSparse:
+		return "sparse"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}

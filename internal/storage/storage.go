@@ -1,0 +1,117 @@
+// Package storage implements the physical representations of base
+// sequences together with explicit access-cost accounting.
+//
+// The paper's cost model (§4.1.1) prices a base sequence by the number of
+// pages touched and the kind of access: a *stream* access reads pages
+// sequentially, a *probed* access fetches the page holding one position
+// (random I/O). This package keeps everything in memory — the substitution
+// for disk I/O documented in DESIGN.md — but counts page touches exactly
+// as a disk-resident store would incur them, so the optimizer's stream
+// vs. probe trade-offs and the span-restriction savings remain observable.
+//
+// Two representations are provided:
+//
+//   - Dense: an array of pages over the valid range with a validity
+//     bitmap; probing is a single page touch (records are addressable by
+//     position directly).
+//   - Sparse: sorted runs of (position, record) entries packed into pages,
+//     with a binary-search index; probing touches ~log2(pages) pages,
+//     modeling a B-tree descent on an unclustered position index.
+package storage
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/seq"
+)
+
+// Stats counts page and record accesses, split by access mode. All
+// counters are cumulative; use Snapshot/Reset around a measured region.
+// Counters are updated atomically so concurrent scans may share a Stats.
+type Stats struct {
+	SeqPages     atomic.Int64 // pages touched by stream (sequential) access
+	RandPages    atomic.Int64 // pages touched by probed (random) access
+	SeqRecords   atomic.Int64 // records delivered by stream access
+	ProbeRecords atomic.Int64 // probe operations performed
+}
+
+// Snapshot returns the current counter values.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		SeqPages:     s.SeqPages.Load(),
+		RandPages:    s.RandPages.Load(),
+		SeqRecords:   s.SeqRecords.Load(),
+		ProbeRecords: s.ProbeRecords.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	s.SeqPages.Store(0)
+	s.RandPages.Store(0)
+	s.SeqRecords.Store(0)
+	s.ProbeRecords.Store(0)
+}
+
+// StatsSnapshot is an immutable copy of Stats counters.
+type StatsSnapshot struct {
+	SeqPages     int64
+	RandPages    int64
+	SeqRecords   int64
+	ProbeRecords int64
+}
+
+// Sub returns the counter deltas s - o.
+func (s StatsSnapshot) Sub(o StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		SeqPages:     s.SeqPages - o.SeqPages,
+		RandPages:    s.RandPages - o.RandPages,
+		SeqRecords:   s.SeqRecords - o.SeqRecords,
+		ProbeRecords: s.ProbeRecords - o.ProbeRecords,
+	}
+}
+
+// Add returns the element-wise sum s + o.
+func (s StatsSnapshot) Add(o StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		SeqPages:     s.SeqPages + o.SeqPages,
+		RandPages:    s.RandPages + o.RandPages,
+		SeqRecords:   s.SeqRecords + o.SeqRecords,
+		ProbeRecords: s.ProbeRecords + o.ProbeRecords,
+	}
+}
+
+// Pages returns the total pages touched in either mode.
+func (s StatsSnapshot) Pages() int64 { return s.SeqPages + s.RandPages }
+
+// String renders the snapshot compactly.
+func (s StatsSnapshot) String() string {
+	return fmt.Sprintf("seqPages=%d randPages=%d seqRecs=%d probes=%d",
+		s.SeqPages, s.RandPages, s.SeqRecords, s.ProbeRecords)
+}
+
+// Store is a base-sequence store: a Sequence whose accesses are metered.
+type Store interface {
+	seq.Sequence
+	// Stats returns the store's counter block (shared, live).
+	Stats() *Stats
+	// AccessCosts describes the store to the optimizer: the number of
+	// pages a full stream scan of the valid range touches, and the number
+	// of page touches a single probe costs.
+	AccessCosts() AccessCosts
+}
+
+// AccessCosts is the per-store input to the optimizer's cost model
+// (§4.1.1). StreamPages is the page count of a full scan of the valid
+// range; ProbePages is the pages touched per single-position probe.
+type AccessCosts struct {
+	StreamPages    int64
+	ProbePages     int64
+	RecordsPerPage int
+}
+
+// DefaultRecordsPerPage is used when a store is built without an explicit
+// page capacity. It corresponds loosely to 8 KiB pages of ~100-byte
+// records.
+const DefaultRecordsPerPage = 64

@@ -1,0 +1,337 @@
+// Package testgen generates random sequence queries and random base data
+// for property-based testing. The rewriter and the optimizer are both
+// checked by the same invariant: whatever the random query and data,
+// transformed/optimized evaluation must agree with the reference
+// interpreter.
+package testgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/seq"
+)
+
+// Config bounds the generated queries.
+type Config struct {
+	MaxDepth    int     // operator nesting depth
+	MaxPos      int64   // base records live in [0, MaxPos]
+	BaseDensity float64 // probability a position holds a record
+}
+
+// DefaultConfig returns sensible bounds for fast property tests.
+func DefaultConfig() Config {
+	return Config{MaxDepth: 4, MaxPos: 30, BaseDensity: 0.5}
+}
+
+var twoColSchema = seq.MustSchema(
+	seq.Field{Name: "close", Type: seq.TFloat},
+	seq.Field{Name: "volume", Type: seq.TInt},
+)
+
+// RandomBase builds a random materialized base sequence.
+func RandomBase(rng *rand.Rand, cfg Config, name string) *algebra.Node {
+	var entries []seq.Entry
+	for p := int64(0); p <= cfg.MaxPos; p++ {
+		if rng.Float64() < cfg.BaseDensity {
+			entries = append(entries, seq.Entry{
+				Pos: p,
+				Rec: seq.Record{
+					seq.Float(float64(rng.Intn(100)) / 4),
+					seq.Int(int64(rng.Intn(50))),
+				},
+			})
+		}
+	}
+	m, err := seq.NewMaterialized(twoColSchema, entries)
+	if err != nil {
+		panic(err) // schema is static; cannot happen
+	}
+	return algebra.Base(name, m)
+}
+
+// RandomQuery builds a random query of at most cfg.MaxDepth operators
+// over freshly generated base sequences.
+func RandomQuery(rng *rand.Rand, cfg Config) (*algebra.Node, error) {
+	g := &gen{rng: rng, cfg: cfg}
+	return g.node(cfg.MaxDepth)
+}
+
+type gen struct {
+	rng    *rand.Rand
+	cfg    Config
+	nbases int
+}
+
+func (g *gen) leaf() (*algebra.Node, error) {
+	g.nbases++
+	if g.rng.Intn(8) == 0 {
+		return algebra.Const(twoColSchema, seq.Record{
+			seq.Float(float64(g.rng.Intn(40))),
+			seq.Int(int64(g.rng.Intn(40))),
+		})
+	}
+	return RandomBase(g.rng, g.cfg, fmt.Sprintf("b%d", g.nbases)), nil
+}
+
+func (g *gen) node(depth int) (*algebra.Node, error) {
+	if depth <= 0 || g.rng.Intn(4) == 0 {
+		return g.leaf()
+	}
+	switch g.rng.Intn(9) {
+	case 7: // collapse (§5.1 extension)
+		in, err := g.node(depth - 1)
+		if err != nil {
+			return nil, err
+		}
+		cols := numericCols(in.Schema)
+		if len(cols) == 0 {
+			return in, nil
+		}
+		funcs := []algebra.AggFunc{algebra.AggSum, algebra.AggAvg, algebra.AggMin, algebra.AggMax, algebra.AggCount}
+		return algebra.Collapse(in, int64(g.rng.Intn(3)+2), algebra.AggSpec{
+			Func: funcs[g.rng.Intn(len(funcs))],
+			Arg:  cols[g.rng.Intn(len(cols))],
+			As:   "g",
+		})
+	case 8: // expand (§5.1 extension)
+		in, err := g.node(depth - 1)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Expand(in, int64(g.rng.Intn(3)+2))
+	case 0: // select
+		in, err := g.node(depth - 1)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := g.pred(in.Schema)
+		if err != nil || pred == nil {
+			return in, err
+		}
+		return algebra.Select(in, pred)
+	case 1: // project
+		in, err := g.node(depth - 1)
+		if err != nil {
+			return nil, err
+		}
+		return g.project(in)
+	case 2: // positional offset
+		in, err := g.node(depth - 1)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.PosOffset(in, int64(g.rng.Intn(7)-3))
+	case 3: // value offset
+		in, err := g.node(depth - 1)
+		if err != nil {
+			return nil, err
+		}
+		offsets := []int64{-2, -1, 1, 2}
+		return algebra.ValueOffset(in, offsets[g.rng.Intn(len(offsets))])
+	case 4: // aggregate
+		in, err := g.node(depth - 1)
+		if err != nil {
+			return nil, err
+		}
+		return g.agg(in)
+	default: // compose
+		l, err := g.node(depth - 1)
+		if err != nil {
+			return nil, err
+		}
+		r, err := g.node(depth - 1)
+		if err != nil {
+			return nil, err
+		}
+		schema, err := algebra.ComposeSchema(l, r, "l", "r")
+		if err != nil {
+			return nil, err
+		}
+		var pred expr.Expr
+		if g.rng.Intn(2) == 0 {
+			pred, err = g.pred(schema)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return algebra.Compose(l, r, pred, "l", "r")
+	}
+}
+
+// numericCols returns the indexes of numeric attributes.
+func numericCols(schema *seq.Schema) []int {
+	var out []int
+	for i := 0; i < schema.NumFields(); i++ {
+		if schema.Field(i).Type.Numeric() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// pred builds a random comparison (possibly conjunctive) over the schema,
+// or nil if no numeric attribute exists.
+func (g *gen) pred(schema *seq.Schema) (expr.Expr, error) {
+	cols := numericCols(schema)
+	if len(cols) == 0 {
+		return nil, nil
+	}
+	one := func() (expr.Expr, error) {
+		ops := []expr.BinOp{expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe, expr.OpEq, expr.OpNe}
+		op := ops[g.rng.Intn(len(ops))]
+		ci := cols[g.rng.Intn(len(cols))]
+		c, err := expr.ColAt(schema, ci)
+		if err != nil {
+			return nil, err
+		}
+		if g.rng.Intn(4) == 0 { // wrap in a scalar function sometimes
+			wrapped, err := expr.NewCall(expr.FnAbs, []expr.Expr{c})
+			if err != nil {
+				return nil, err
+			}
+			return expr.NewBin(op, wrapped, expr.Literal(seq.Float(float64(g.rng.Intn(30)))))
+		}
+		if len(cols) > 1 && g.rng.Intn(3) == 0 {
+			cj := cols[g.rng.Intn(len(cols))]
+			c2, err := expr.ColAt(schema, cj)
+			if err != nil {
+				return nil, err
+			}
+			return expr.NewBin(op, c, c2)
+		}
+		return expr.NewBin(op, c, expr.Literal(seq.Float(float64(g.rng.Intn(30)))))
+	}
+	p, err := one()
+	if err != nil {
+		return nil, err
+	}
+	if g.rng.Intn(3) == 0 {
+		q, err := one()
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewBin(expr.OpAnd, p, q)
+	}
+	return p, nil
+}
+
+// project builds a random projection: a column subset, sometimes with a
+// computed attribute.
+func (g *gen) project(in *algebra.Node) (*algebra.Node, error) {
+	n := in.Schema.NumFields()
+	k := g.rng.Intn(n) + 1
+	perm := g.rng.Perm(n)[:k]
+	items := make([]algebra.ProjItem, 0, k+1)
+	used := make(map[string]bool)
+	for _, ci := range perm {
+		c, err := expr.ColAt(in.Schema, ci)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("c%d", ci)
+		if used[name] {
+			continue
+		}
+		used[name] = true
+		items = append(items, algebra.ProjItem{Expr: c, Name: name})
+	}
+	if cols := numericCols(in.Schema); len(cols) > 0 && g.rng.Intn(3) == 0 {
+		c, err := expr.ColAt(in.Schema, cols[g.rng.Intn(len(cols))])
+		if err != nil {
+			return nil, err
+		}
+		dbl, err := expr.NewBin(expr.OpAdd, c, c)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, algebra.ProjItem{Expr: dbl, Name: "computed"})
+	}
+	return algebra.Project(in, items)
+}
+
+// agg builds a random windowed aggregate over a numeric attribute.
+func (g *gen) agg(in *algebra.Node) (*algebra.Node, error) {
+	cols := numericCols(in.Schema)
+	if len(cols) == 0 {
+		return in, nil
+	}
+	funcs := []algebra.AggFunc{algebra.AggSum, algebra.AggAvg, algebra.AggMin, algebra.AggMax, algebra.AggCount}
+	windows := []algebra.Window{
+		algebra.Trailing(int64(g.rng.Intn(4) + 1)),
+		algebra.Range(-2, 1),
+		algebra.Range(int64(-1-g.rng.Intn(2)), int64(g.rng.Intn(2))),
+		algebra.Cumulative(),
+	}
+	return algebra.Agg(in, algebra.AggSpec{
+		Func:   funcs[g.rng.Intn(len(funcs))],
+		Arg:    cols[g.rng.Intn(len(cols))],
+		Window: windows[g.rng.Intn(len(windows))],
+		As:     "a",
+	})
+}
+
+// EntriesEqual compares two evaluation results.
+func EntriesEqual(a, b []seq.Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Pos != b[i].Pos || !a[i].Rec.Equal(b[i].Rec) {
+			return false
+		}
+	}
+	return true
+}
+
+// EntriesApproxEqual compares evaluation results with a relative
+// tolerance on floating-point attributes. Incremental aggregate
+// strategies (subtractable sliding sums) legitimately accumulate
+// rounding differently from per-window recomputation; positions and
+// non-float values must still match exactly.
+func EntriesApproxEqual(a, b []seq.Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Pos != b[i].Pos || !recordApproxEqual(a[i].Rec, b[i].Rec) {
+			return false
+		}
+	}
+	return true
+}
+
+func recordApproxEqual(a, b seq.Record) bool {
+	if a.IsNull() || b.IsNull() {
+		return a.IsNull() == b.IsNull()
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].T == seq.TFloat && b[i].T == seq.TFloat {
+			if !floatApproxEqual(a[i].AsFloat(), b[i].AsFloat()) {
+				return false
+			}
+			continue
+		}
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func floatApproxEqual(x, y float64) bool {
+	if x == y {
+		return true
+	}
+	d := math.Abs(x - y)
+	if d < 1e-9 {
+		return true
+	}
+	return d <= 1e-9*math.Max(math.Abs(x), math.Abs(y))
+}

@@ -1,0 +1,211 @@
+// Package workload generates the synthetic datasets the experiments run
+// on: random-walk stock series with controlled spans and densities
+// (shaped after Table 1 of the paper), Poisson event sequences, and the
+// volcano/earthquake monitoring data of Example 1.1 (with a conversion
+// into relations for the relational baseline).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relational"
+	"repro/internal/seq"
+)
+
+// StockSchema is the record type of generated stock series.
+var StockSchema = seq.MustSchema(
+	seq.Field{Name: "open", Type: seq.TFloat},
+	seq.Field{Name: "close", Type: seq.TFloat},
+	seq.Field{Name: "volume", Type: seq.TInt},
+)
+
+// StockConfig parameterizes a stock series.
+type StockConfig struct {
+	Name       string
+	Span       seq.Span // valid range
+	Density    float64  // fraction of positions with a record
+	StartPrice float64  // initial price (default 100)
+	Volatility float64  // per-step random-walk step size (default 1)
+	Seed       int64
+}
+
+// Stock generates a random-walk daily series: each non-empty position
+// carries open/close prices and a volume.
+func Stock(cfg StockConfig) (*seq.Materialized, error) {
+	if cfg.Span.IsEmpty() || !cfg.Span.Bounded() {
+		return nil, fmt.Errorf("workload: stock series needs a bounded span, got %v", cfg.Span)
+	}
+	if cfg.Density <= 0 || cfg.Density > 1 {
+		return nil, fmt.Errorf("workload: density %g out of (0, 1]", cfg.Density)
+	}
+	if cfg.StartPrice == 0 {
+		cfg.StartPrice = 100
+	}
+	if cfg.Volatility == 0 {
+		cfg.Volatility = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	price := cfg.StartPrice
+	var entries []seq.Entry
+	for p := cfg.Span.Start; p <= cfg.Span.End; p++ {
+		open := price
+		// A mean-reverting walk (Ornstein-Uhlenbeck-like): prices wander
+		// but stay near the start price, so independently generated
+		// series keep crossing each other — queries comparing two
+		// series have non-degenerate answers at every scale.
+		price += (cfg.StartPrice-price)*0.02 + (rng.Float64()*2-1)*cfg.Volatility
+		if price < 1 {
+			price = 1
+		}
+		if rng.Float64() >= cfg.Density {
+			continue // empty position (holiday, halt)
+		}
+		entries = append(entries, seq.Entry{
+			Pos: p,
+			Rec: seq.Record{
+				seq.Float(open),
+				seq.Float(price),
+				seq.Int(int64(rng.Intn(9000) + 1000)),
+			},
+		})
+	}
+	m, err := seq.NewMaterialized(StockSchema, entries)
+	if err != nil {
+		return nil, err
+	}
+	return m.WithSpan(cfg.Span)
+}
+
+// Table1 generates the three sequences of the paper's Table 1, with the
+// spans scaled by the given factor:
+//
+//	IBM  [200k, 500k]  density 0.95
+//	DEC  [1k,   350k]  density 0.70
+//	HP   [1k,   750k]  density 1.00
+func Table1(scale int64) (ibm, dec, hp *seq.Materialized, err error) {
+	if scale <= 0 {
+		return nil, nil, nil, fmt.Errorf("workload: scale must be positive, got %d", scale)
+	}
+	mk := func(name string, lo, hi int64, density float64, seed int64) (*seq.Materialized, error) {
+		return Stock(StockConfig{
+			Name: name, Span: seq.NewSpan(lo*scale, hi*scale),
+			Density: density, Seed: seed,
+		})
+	}
+	if ibm, err = mk("ibm", 200, 500, 0.95, 1); err != nil {
+		return nil, nil, nil, err
+	}
+	if dec, err = mk("dec", 1, 350, 0.70, 2); err != nil {
+		return nil, nil, nil, err
+	}
+	if hp, err = mk("hp", 1, 750, 1.00, 3); err != nil {
+		return nil, nil, nil, err
+	}
+	return ibm, dec, hp, nil
+}
+
+// EventSchema is the record type of generated event sequences.
+var EventSchema = seq.MustSchema(
+	seq.Field{Name: "kind", Type: seq.TString},
+	seq.Field{Name: "value", Type: seq.TFloat},
+)
+
+// Events generates a sparse event sequence: events arrive with the given
+// per-position probability (a discretized Poisson process), carrying a
+// kind drawn from kinds and a value in [0, 100).
+func Events(span seq.Span, rate float64, kinds []string, seed int64) (*seq.Materialized, error) {
+	if span.IsEmpty() || !span.Bounded() {
+		return nil, fmt.Errorf("workload: events need a bounded span, got %v", span)
+	}
+	if rate <= 0 || rate > 1 {
+		return nil, fmt.Errorf("workload: rate %g out of (0, 1]", rate)
+	}
+	if len(kinds) == 0 {
+		kinds = []string{"event"}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var entries []seq.Entry
+	for p := span.Start; p <= span.End; p++ {
+		if rng.Float64() >= rate {
+			continue
+		}
+		entries = append(entries, seq.Entry{
+			Pos: p,
+			Rec: seq.Record{
+				seq.Str(kinds[rng.Intn(len(kinds))]),
+				seq.Float(rng.Float64() * 100),
+			},
+		})
+	}
+	m, err := seq.NewMaterialized(EventSchema, entries)
+	if err != nil {
+		return nil, err
+	}
+	return m.WithSpan(span)
+}
+
+// Schemas of the Example 1.1 monitoring sequences.
+var (
+	QuakeSchema = seq.MustSchema(seq.Field{Name: "strength", Type: seq.TFloat})
+	VolcSchema  = seq.MustSchema(seq.Field{Name: "name", Type: seq.TString})
+)
+
+// Monitoring generates the weather-monitoring data of Example 1.1:
+// nQuakes earthquakes (strengths in [4, 9]) and nVolcanos volcano
+// eruptions, interleaved at distinct positions of the span.
+func Monitoring(span seq.Span, nQuakes, nVolcanos int, seed int64) (quakes, volcanos *seq.Materialized, err error) {
+	if !span.Bounded() || span.Len() < int64(nQuakes+nVolcanos) {
+		return nil, nil, fmt.Errorf("workload: span %v too small for %d events", span, nQuakes+nVolcanos)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	positions := rng.Perm(int(span.Len()))[:nQuakes+nVolcanos]
+	var qe, ve []seq.Entry
+	for i, off := range positions {
+		pos := span.Start + seq.Pos(off)
+		if i < nQuakes {
+			qe = append(qe, seq.Entry{
+				Pos: pos,
+				Rec: seq.Record{seq.Float(4 + rng.Float64()*5)},
+			})
+		} else {
+			ve = append(ve, seq.Entry{
+				Pos: pos,
+				Rec: seq.Record{seq.Str(fmt.Sprintf("volcano-%d", i-nQuakes))},
+			})
+		}
+	}
+	if quakes, err = seq.NewMaterialized(QuakeSchema, qe); err != nil {
+		return nil, nil, err
+	}
+	if quakes, err = quakes.WithSpan(span); err != nil {
+		return nil, nil, err
+	}
+	if volcanos, err = seq.NewMaterialized(VolcSchema, ve); err != nil {
+		return nil, nil, err
+	}
+	if volcanos, err = volcanos.WithSpan(span); err != nil {
+		return nil, nil, err
+	}
+	return quakes, volcanos, nil
+}
+
+// ToRelations converts monitoring sequences into the relational
+// baseline's relations, materializing the position as a "time" column.
+func ToRelations(quakes, volcanos *seq.Materialized) (q, v *relational.Relation, err error) {
+	qt := make([]relational.Tuple, 0, quakes.Count())
+	for _, e := range quakes.Entries() {
+		qt = append(qt, relational.Tuple{seq.Int(e.Pos), e.Rec[0]})
+	}
+	if q, err = relational.NewRelation("earthquakes", relational.QuakeSchema, qt); err != nil {
+		return nil, nil, err
+	}
+	vt := make([]relational.Tuple, 0, volcanos.Count())
+	for _, e := range volcanos.Entries() {
+		vt = append(vt, relational.Tuple{seq.Int(e.Pos), e.Rec[0]})
+	}
+	if v, err = relational.NewRelation("volcanos", relational.VolcanoSchema, vt); err != nil {
+		return nil, nil, err
+	}
+	return q, v, nil
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/relational"
+	"repro/internal/seq"
+)
+
+func TestStockBasics(t *testing.T) {
+	m, err := Stock(StockConfig{Name: "x", Span: seq.NewSpan(1, 1000), Density: 0.8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := m.Info()
+	if info.Span != seq.NewSpan(1, 1000) {
+		t.Errorf("span = %v", info.Span)
+	}
+	if math.Abs(info.Density-0.8) > 0.05 {
+		t.Errorf("density = %g, want about 0.8", info.Density)
+	}
+	for _, e := range m.Entries() {
+		if e.Rec[1].AsFloat() < 1 {
+			t.Fatalf("price below floor at %d: %v", e.Pos, e.Rec)
+		}
+		if v := e.Rec[2].AsInt(); v < 1000 || v > 10000 {
+			t.Fatalf("volume out of range at %d: %v", e.Pos, e.Rec)
+		}
+	}
+}
+
+func TestStockDeterministic(t *testing.T) {
+	cfg := StockConfig{Name: "x", Span: seq.NewSpan(1, 100), Density: 0.5, Seed: 42}
+	a, _ := Stock(cfg)
+	b, _ := Stock(cfg)
+	if a.Count() != b.Count() {
+		t.Fatal("same seed must give same data")
+	}
+	for i, e := range a.Entries() {
+		if !e.Rec.Equal(b.Entries()[i].Rec) {
+			t.Fatal("same seed must give same records")
+		}
+	}
+}
+
+func TestStockValidation(t *testing.T) {
+	if _, err := Stock(StockConfig{Span: seq.AllSpan, Density: 0.5}); err == nil {
+		t.Error("unbounded span must be rejected")
+	}
+	if _, err := Stock(StockConfig{Span: seq.NewSpan(1, 10), Density: 0}); err == nil {
+		t.Error("zero density must be rejected")
+	}
+	if _, err := Stock(StockConfig{Span: seq.NewSpan(1, 10), Density: 1.5}); err == nil {
+		t.Error("density > 1 must be rejected")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	ibm, dec, hp, err := Table1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ibm.Info().Span != seq.NewSpan(200, 500) {
+		t.Errorf("ibm span = %v", ibm.Info().Span)
+	}
+	if dec.Info().Span != seq.NewSpan(1, 350) {
+		t.Errorf("dec span = %v", dec.Info().Span)
+	}
+	if hp.Info().Span != seq.NewSpan(1, 750) {
+		t.Errorf("hp span = %v", hp.Info().Span)
+	}
+	if math.Abs(hp.Info().Density-1.0) > 0.001 {
+		t.Errorf("hp density = %g, want 1.0", hp.Info().Density)
+	}
+	if math.Abs(dec.Info().Density-0.7) > 0.06 {
+		t.Errorf("dec density = %g, want about 0.7", dec.Info().Density)
+	}
+	if _, _, _, err := Table1(0); err == nil {
+		t.Error("zero scale must be rejected")
+	}
+	// Scaled spans.
+	ibm10, _, _, err := Table1(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ibm10.Info().Span != seq.NewSpan(2000, 5000) {
+		t.Errorf("scaled ibm span = %v", ibm10.Info().Span)
+	}
+}
+
+func TestEvents(t *testing.T) {
+	m, err := Events(seq.NewSpan(1, 2000), 0.1, []string{"a", "b"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Info().Density-0.1) > 0.03 {
+		t.Errorf("density = %g, want about 0.1", m.Info().Density)
+	}
+	kinds := map[string]bool{}
+	for _, e := range m.Entries() {
+		kinds[e.Rec[0].AsStr()] = true
+	}
+	if !kinds["a"] || !kinds["b"] {
+		t.Error("both kinds must appear")
+	}
+	if _, err := Events(seq.AllSpan, 0.1, nil, 0); err == nil {
+		t.Error("unbounded span must be rejected")
+	}
+	if _, err := Events(seq.NewSpan(1, 10), 0, nil, 0); err == nil {
+		t.Error("zero rate must be rejected")
+	}
+	// Default kind.
+	m, err = Events(seq.NewSpan(1, 100), 0.5, nil, 1)
+	if err != nil || m.Count() == 0 {
+		t.Fatal("default kinds failed")
+	}
+}
+
+func TestMonitoring(t *testing.T) {
+	quakes, volcanos, err := Monitoring(seq.NewSpan(1, 1000), 100, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quakes.Count() != 100 || volcanos.Count() != 10 {
+		t.Errorf("counts = %d, %d", quakes.Count(), volcanos.Count())
+	}
+	// Positions are distinct across both sequences.
+	seen := map[seq.Pos]bool{}
+	for _, e := range quakes.Entries() {
+		seen[e.Pos] = true
+	}
+	for _, e := range volcanos.Entries() {
+		if seen[e.Pos] {
+			t.Fatalf("volcano collides with quake at %d", e.Pos)
+		}
+	}
+	for _, e := range quakes.Entries() {
+		s := e.Rec[0].AsFloat()
+		if s < 4 || s > 9 {
+			t.Fatalf("strength %g out of range", s)
+		}
+	}
+	if _, _, err := Monitoring(seq.NewSpan(1, 5), 10, 10, 0); err == nil {
+		t.Error("overfull span must be rejected")
+	}
+}
+
+func TestToRelations(t *testing.T) {
+	quakes, volcanos, err := Monitoring(seq.NewSpan(1, 500), 50, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, v, err := ToRelations(quakes, volcanos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Cardinality() != 50 || v.Cardinality() != 5 {
+		t.Errorf("cardinalities = %d, %d", q.Cardinality(), v.Cardinality())
+	}
+	// The nested and merge baselines run on the converted relations.
+	nested, err := relational.VolcanoQueryNested(v, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := relational.VolcanoQueryMerge(v, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nested) != len(merged) {
+		t.Errorf("plans disagree: nested %v, merge %v", nested, merged)
+	}
+}

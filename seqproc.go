@@ -1,0 +1,405 @@
+// Package seqproc is a sequence database engine: the public API of this
+// reproduction of "Sequence Query Processing" (Seshadri, Livny,
+// Ramakrishnan, SIGMOD 1994).
+//
+// A DB holds named base sequences (positionally ordered records stored
+// in paged dense or sparse representations). Queries are written in
+// SEQL, a small functional language over the paper's operators —
+// selection, projection, positional and value offsets, windowed and
+// cumulative aggregates, and compose (positional join):
+//
+//	db := seqproc.New()
+//	db.CreateSequence("ibm", ibmData, seqproc.Sparse)
+//	db.CreateSequence("hp", hpData, seqproc.Sparse)
+//	q, err := db.Query("select(compose(ibm, hp), ibm.close > hp.close)")
+//	res, err := q.Run(seqproc.NewSpan(1, 750))
+//
+// Each Run optimizes the query with the paper's full pipeline: rewrite
+// transformations (§3.1), bidirectional span and density propagation
+// (§3.2), cost-based choice of access modes and join strategies per
+// block via a Selinger-style dynamic program (§4), and cache-strategy
+// selection for non-unit-scope operators (§3.5). Explain shows the
+// chosen physical plan.
+package seqproc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/grouping"
+	"repro/internal/meta"
+	"repro/internal/parser"
+	"repro/internal/seq"
+	"repro/internal/storage"
+)
+
+// Re-exported core types, so API users need no internal imports.
+type (
+	// Span is an inclusive range of positions.
+	Span = seq.Span
+	// Pos is a sequence position.
+	Pos = seq.Pos
+	// Record is a tuple of values; nil is the Null record.
+	Record = seq.Record
+	// Value is one atomic value.
+	Value = seq.Value
+	// Field is a named, typed attribute.
+	Field = seq.Field
+	// Schema is a record type.
+	Schema = seq.Schema
+	// Entry is a (position, record) pair.
+	Entry = seq.Entry
+	// Options tune the optimizer (ablation and strategy knobs).
+	Options = core.Options
+	// OptStats reports optimizer counters (Property 4.1).
+	OptStats = core.Stats
+	// StorageKind selects a physical representation.
+	StorageKind = storage.Kind
+	// Type is an atomic value type.
+	Type = seq.Type
+	// SequenceData is in-memory sequence content, the input to
+	// CreateSequence.
+	SequenceData = seq.Materialized
+	// Grouping is a collection of same-schema sequences queried
+	// collectively (the §5.1 sequence-groupings extension).
+	Grouping = grouping.Grouping
+	// GroupTemplate instantiates a query for one grouping member.
+	GroupTemplate = grouping.Template
+)
+
+// NewGrouping creates a sequence grouping over the schema.
+var NewGrouping = grouping.New
+
+// The atomic types.
+const (
+	TInt    = seq.TInt
+	TFloat  = seq.TFloat
+	TString = seq.TString
+	TBool   = seq.TBool
+)
+
+// Storage kinds.
+const (
+	// Dense stores every position of the valid range; probes are O(1).
+	Dense = storage.KindDense
+	// Sparse stores only non-Null records; probes descend an index.
+	Sparse = storage.KindSparse
+)
+
+// Value constructors and span helpers, re-exported.
+var (
+	Int         = seq.Int
+	Float       = seq.Float
+	Str         = seq.Str
+	Bool        = seq.Bool
+	NewSpan     = seq.NewSpan
+	NewSchema   = seq.NewSchema
+	MustSchema  = seq.MustSchema
+	NewData     = seq.NewMaterialized
+	MustData    = seq.MustMaterialized
+	NewConstant = seq.NewConstant
+	AllSpan     = seq.AllSpan
+)
+
+// DB is a catalog of base sequences plus optimizer configuration.
+//
+// A DB is not safe for concurrent mutation: CreateSequence, Drop,
+// Append, SetOptions and Reorganize must be externally synchronized.
+// Read-side operations (Query building, Run, Probe, Explain) may run
+// concurrently with each other; page-access counters are atomic.
+type DB struct {
+	seqs map[string]*dbSeq
+	opts Options
+}
+
+type dbSeq struct {
+	name  string
+	store storage.Store
+	stats map[int]expr.ColStats
+}
+
+// node mints a fresh algebra leaf over the stored sequence. Every
+// mention of a sequence gets its own node so query graphs stay trees
+// (the paper's §2.2 restriction): the top-down span pass assigns each
+// occurrence its own access span, which would be wrong for a shared
+// node (e.g. compose(ibm, offset(ibm, 100)) needs different ranges of
+// ibm on the two paths).
+func (s *dbSeq) node() *algebra.Node {
+	return algebra.BaseWithStats(s.name, s.store, s.stats)
+}
+
+// New creates an empty database with default optimizer options.
+func New() *DB {
+	return &DB{seqs: make(map[string]*dbSeq)}
+}
+
+// SetOptions replaces the optimizer options used by subsequent queries.
+func (db *DB) SetOptions(opts Options) { db.opts = opts }
+
+// CreateSequence registers a base sequence under the given name, packing
+// the materialized data into the chosen storage representation and
+// computing column statistics for the optimizer.
+func (db *DB) CreateSequence(name string, data *seq.Materialized, kind StorageKind) error {
+	if name == "" {
+		return fmt.Errorf("seqproc: empty sequence name")
+	}
+	if _, dup := db.seqs[name]; dup {
+		return fmt.Errorf("seqproc: sequence %q already exists", name)
+	}
+	store, err := storage.FromMaterialized(data, kind, 0)
+	if err != nil {
+		return err
+	}
+	db.seqs[name] = &dbSeq{
+		name:  name,
+		store: store,
+		stats: meta.StatsFromMaterialized(data),
+	}
+	return nil
+}
+
+// MustCreateSequence is CreateSequence panicking on error, for examples
+// and tests.
+func (db *DB) MustCreateSequence(name string, data *seq.Materialized, kind StorageKind) {
+	if err := db.CreateSequence(name, data, kind); err != nil {
+		panic(err)
+	}
+}
+
+// DropSequence removes a base sequence.
+func (db *DB) DropSequence(name string) error {
+	if _, ok := db.seqs[name]; !ok {
+		return fmt.Errorf("seqproc: unknown sequence %q", name)
+	}
+	delete(db.seqs, name)
+	return nil
+}
+
+// Sequences lists the registered sequence names, sorted.
+func (db *DB) Sequences() []string {
+	out := make([]string, 0, len(db.seqs))
+	for name := range db.seqs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns the schema, span and density of a base sequence.
+func (db *DB) Describe(name string) (seq.Info, error) {
+	s, ok := db.seqs[name]
+	if !ok {
+		return seq.Info{}, fmt.Errorf("seqproc: unknown sequence %q", name)
+	}
+	return s.store.Info(), nil
+}
+
+// Append adds a record beyond the end of a sparse base sequence (the
+// dynamic-arrival path of the §5.3 trigger-mode extension).
+func (db *DB) Append(name string, pos Pos, rec Record) error {
+	s, ok := db.seqs[name]
+	if !ok {
+		return fmt.Errorf("seqproc: unknown sequence %q", name)
+	}
+	sp, ok := s.store.(*storage.Sparse)
+	if !ok {
+		return fmt.Errorf("seqproc: sequence %q is not appendable (use Sparse storage)", name)
+	}
+	return sp.Append(seq.Entry{Pos: pos, Rec: rec})
+}
+
+// Reorganize repacks a base sequence into a different physical
+// representation — the §5.3 suggestion that "it might be efficient to
+// first reorganize their physical representations before running the
+// query". Dense favors probing (O(1) page per probe); Sparse favors
+// scanning at low density and supports Append.
+func (db *DB) Reorganize(name string, kind StorageKind) error {
+	s, ok := db.seqs[name]
+	if !ok {
+		return fmt.Errorf("seqproc: unknown sequence %q", name)
+	}
+	info := s.store.Info()
+	entries, err := seq.Collect(s.store.Scan(seq.AllSpan))
+	if err != nil {
+		return err
+	}
+	data, err := seq.NewMaterialized(info.Schema, entries)
+	if err != nil {
+		return err
+	}
+	if info.Span.Bounded() {
+		if data, err = data.WithSpan(info.Span); err != nil {
+			return err
+		}
+	}
+	store, err := storage.FromMaterialized(data, kind, 0)
+	if err != nil {
+		return err
+	}
+	s.store = store
+	return nil
+}
+
+// PageStats returns the cumulative page-access counters of a base
+// sequence — the experiments' cost ground truth.
+func (db *DB) PageStats(name string) (storage.StatsSnapshot, error) {
+	s, ok := db.seqs[name]
+	if !ok {
+		return storage.StatsSnapshot{}, fmt.Errorf("seqproc: unknown sequence %q", name)
+	}
+	return s.store.Stats().Snapshot(), nil
+}
+
+// ResetPageStats zeroes the page-access counters of every sequence.
+func (db *DB) ResetPageStats() {
+	for _, s := range db.seqs {
+		s.store.Stats().Reset()
+	}
+}
+
+// catalog adapts the DB to the parser's catalog interface.
+func (db *DB) catalog() parser.Catalog {
+	return parser.CatalogFunc(func(name string) (*algebra.Node, bool) {
+		s, ok := db.seqs[name]
+		if !ok {
+			return nil, false
+		}
+		return s.node(), true
+	})
+}
+
+// Query parses a SEQL query against the catalog. The query is not yet
+// optimized; optimization happens per Run/Probe/ExplainSpan, because the
+// chosen plan depends on the requested range.
+func (db *DB) Query(seql string) (*Query, error) {
+	root, err := parser.Bind(seql, db.catalog())
+	if err != nil {
+		return nil, err
+	}
+	return &Query{db: db, root: root, src: seql}, nil
+}
+
+// QueryNode wraps an already built algebra graph as a query. It is the
+// programmatic alternative to SEQL for embedders that construct algebra
+// trees directly.
+func (db *DB) QueryNode(root *algebra.Node) *Query {
+	return &Query{db: db, root: root}
+}
+
+// Base returns a fresh algebra leaf for a registered sequence, for
+// programmatic graph construction. Each call returns a new node: use a
+// separate leaf per occurrence so the query graph remains a tree.
+func (db *DB) Base(name string) (*algebra.Node, error) {
+	s, ok := db.seqs[name]
+	if !ok {
+		return nil, fmt.Errorf("seqproc: unknown sequence %q", name)
+	}
+	return s.node(), nil
+}
+
+// Query is a parsed, bound query.
+type Query struct {
+	db   *DB
+	root *algebra.Node
+	src  string
+}
+
+// Node returns the query's logical algebra graph.
+func (q *Query) Node() *algebra.Node { return q.root }
+
+// String renders the logical operator tree.
+func (q *Query) String() string { return q.root.String() }
+
+// optimize runs the §4 pipeline for the given range.
+func (q *Query) optimize(span Span) (*core.Result, error) {
+	return core.Optimize(q.root, span, q.db.opts)
+}
+
+// Run optimizes and evaluates the query over the requested range in
+// stream mode, returning the materialized result.
+func (q *Query) Run(span Span) (*ResultSet, error) {
+	res, err := q.optimize(span)
+	if err != nil {
+		return nil, err
+	}
+	m, err := res.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &ResultSet{mat: m, opt: res}, nil
+}
+
+// Probe optimizes for probed access and evaluates the query at the given
+// positions.
+func (q *Query) Probe(span Span, positions []Pos) ([]Entry, error) {
+	res, err := q.optimize(span)
+	if err != nil {
+		return nil, err
+	}
+	return res.Probe(positions)
+}
+
+// Explain returns the physical plan chosen for the given range, with
+// estimated cost and optimizer statistics.
+func (q *Query) Explain(span Span) (string, error) {
+	res, err := q.optimize(span)
+	if err != nil {
+		return "", err
+	}
+	mode := "stream-access (single scan, cache-finite)"
+	if !res.StreamAccess {
+		mode = "not stream-access (unbounded forward scope)"
+	}
+	return fmt.Sprintf("plan (stream cost %.2f, per-probe cost %.2f, %s, cache budget %d records):\n%s\nannotated query (span/density propagation):\n%s",
+		res.Cost.Stream, res.Cost.ProbePer, mode, res.CacheBudget, res.Explain(), res.ExplainMeta()), nil
+}
+
+// EstimatedCost optimizes for the range and returns the cost model's
+// estimates: the total stream-evaluation cost and the per-probe cost,
+// in sequential-page-read units.
+func (q *Query) EstimatedCost(span Span) (stream, probePer float64, err error) {
+	res, err := q.optimize(span)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Cost.Stream, res.Cost.ProbePer, nil
+}
+
+// Stats optimizes the query for the range and returns the optimizer
+// counters (rules fired, blocks, DP plans evaluated/stored).
+func (q *Query) Stats(span Span) (OptStats, error) {
+	res, err := q.optimize(span)
+	if err != nil {
+		return OptStats{}, err
+	}
+	return res.Stats, nil
+}
+
+// ResultSet is a materialized query result.
+type ResultSet struct {
+	mat *seq.Materialized
+	opt *core.Result
+}
+
+// Schema returns the result record type.
+func (r *ResultSet) Schema() *Schema { return r.mat.Info().Schema }
+
+// Entries returns the (position, record) pairs in positional order.
+func (r *ResultSet) Entries() []Entry { return r.mat.Entries() }
+
+// Count returns the number of non-Null result records.
+func (r *ResultSet) Count() int { return r.mat.Count() }
+
+// Materialized exposes the result as a sequence, so it can be registered
+// back into a DB (view materialization).
+func (r *ResultSet) Materialized() *seq.Materialized { return r.mat }
+
+// Plan returns the executed physical plan rendering.
+func (r *ResultSet) Plan() string { return r.opt.Explain() }
+
+// OptimizerStats returns the counters from the optimization that
+// produced this result.
+func (r *ResultSet) OptimizerStats() OptStats { return r.opt.Stats }
