@@ -22,8 +22,9 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run reduced-size sweeps")
 	list := flag.Bool("list", false, "list experiments and exit")
+	analyze := flag.Bool("analyze", false, "EXPLAIN ANALYZE a representative query per experiment (per-node metrics)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: seqbench [-quick] [-list] [experiment ids...]\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: seqbench [-quick] [-analyze] [-list] [experiment ids...]\n\nexperiments:\n")
 		for _, e := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %s  %s\n", e.ID, e.Name)
 		}
@@ -54,6 +55,16 @@ func main() {
 
 	failed := 0
 	for _, e := range selected {
+		if *analyze {
+			text, err := experiments.Analyze(e.ID, *quick)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "seqbench: %s analyze failed: %v\n", e.ID, err)
+				failed++
+				continue
+			}
+			fmt.Printf("== %s: %s — EXPLAIN ANALYZE ==\n%s", e.ID, e.Name, text)
+			continue
+		}
 		run := e.Run
 		if *quick {
 			run = e.Quick

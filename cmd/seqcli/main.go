@@ -84,7 +84,13 @@ func (c *cli) exec(line string) error {
 	case "save":
 		return c.save(fields[1:])
 	case "explain":
-		src, span, err := splitOver(strings.TrimPrefix(line, "explain"))
+		rest := strings.TrimSpace(strings.TrimPrefix(line, "explain"))
+		analyze := false
+		if strings.HasPrefix(rest, "analyze ") {
+			analyze = true
+			rest = strings.TrimSpace(strings.TrimPrefix(rest, "analyze"))
+		}
+		src, span, err := splitOver(rest)
 		if err != nil {
 			return err
 		}
@@ -92,7 +98,12 @@ func (c *cli) exec(line string) error {
 		if err != nil {
 			return err
 		}
-		text, err := q.Explain(span)
+		var text string
+		if analyze {
+			text, err = q.ExplainAnalyze(span)
+		} else {
+			text, err = q.Explain(span)
+		}
 		if err != nil {
 			return err
 		}
@@ -118,6 +129,7 @@ func (c *cli) help() {
   describe <name>                                   show schema and meta-data
   <seql> over <start> <end>                         run a query
   explain <seql> over <start> <end>                 show the chosen plan
+  explain analyze <seql> over <start> <end>         run with per-operator metrics (see OBSERVABILITY.md)
   quit
 
 SEQL operators:

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/seq"
+	"repro/internal/storage"
+)
+
+// Analysis is the outcome of an EXPLAIN ANALYZE run: the query output
+// together with the per-node execution metrics of the instrumented plan
+// and the global page-access deltas of the run, next to the optimizer's
+// predictions. See OBSERVABILITY.md for how to read it.
+type Analysis struct {
+	// Output is the materialized query result (analysis runs the real
+	// query, it does not simulate it).
+	Output *seq.Materialized
+	// Root is the metrics tree mirroring the executed plan.
+	Root *exec.NodeMetrics
+	// Span is the evaluated position range.
+	Span seq.Span
+	// Elapsed is the wall-clock time of the run (instrumented; per-node
+	// timers add overhead, so compare against predictions, not against
+	// uninstrumented runs).
+	Elapsed time.Duration
+	// Predicted is the optimizer's root estimate for the plan.
+	Predicted Cost
+	// GlobalPages is the movement of the shared storage counters over
+	// the run, summed across the plan's base stores. By construction it
+	// equals Root.TotalPages() when nothing else touches the stores
+	// concurrently.
+	GlobalPages storage.StatsSnapshot
+	// Params are the cost-model weights, used to convert page counters
+	// into cost units for the predicted-vs-actual comparison.
+	Params CostParams
+}
+
+// RunAnalyze executes the stream plan with per-node instrumentation and
+// returns the output together with the metrics. The plan is deep-copied
+// before wrapping, so the Result stays reusable; operator caches in the
+// instrumented copy are fresh, so cache counters describe this run only.
+func (r *Result) RunAnalyze() (*Analysis, error) {
+	if !r.RunSpan.Bounded() && !r.RunSpan.IsEmpty() {
+		return nil, fmt.Errorf("core: query output span %v is unbounded; request a bounded range", r.RunSpan)
+	}
+	pred := func(p exec.Plan) exec.PredictedCost {
+		c, ok := r.PlanCosts[p]
+		if !ok {
+			return exec.PredictedCost{}
+		}
+		return exec.PredictedCost{Stream: c.Stream, ProbePer: c.ProbePer, Known: true}
+	}
+	instr, root := exec.Instrument(r.Plan, pred)
+	stores := exec.PlanStores(r.Plan)
+	before := make([]storage.StatsSnapshot, len(stores))
+	for i, st := range stores {
+		before[i] = st.Stats().Snapshot()
+	}
+	start := time.Now()
+	out, err := exec.Run(instr, r.RunSpan)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	root.Finalize()
+	var global storage.StatsSnapshot
+	for i, st := range stores {
+		global = global.Add(st.Stats().Snapshot().Sub(before[i]))
+	}
+	return &Analysis{
+		Output:      out,
+		Root:        root,
+		Span:        r.RunSpan,
+		Elapsed:     elapsed,
+		Predicted:   r.Cost,
+		GlobalPages: global,
+		Params:      r.Params,
+	}, nil
+}
+
+// PageCost converts a page-access snapshot into cost-model units
+// (sequential-page reads), weighting random accesses by the configured
+// random-vs-sequential gap. This is the actual-side number directly
+// comparable to a predicted stream cost's I/O component.
+func (a *Analysis) PageCost(s storage.StatsSnapshot) float64 {
+	return float64(s.SeqPages)*a.Params.SeqPage + float64(s.RandPages)*a.Params.RandPage
+}
+
+// Render returns the EXPLAIN ANALYZE report: a two-line summary followed
+// by the plan tree, one operator per line, each carrying the optimizer's
+// prediction and the node's actual counters.
+func (a *Analysis) Render() string { return a.render(true) }
+
+// RenderStable is Render without wall-clock times — byte-stable across
+// runs, for golden tests and diffing.
+func (a *Analysis) RenderStable() string { return a.render(false) }
+
+func (a *Analysis) render(times bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "analyze span=%s rows=%d", a.Span, a.Output.Count())
+	if times {
+		fmt.Fprintf(&b, " elapsed=%s", a.Elapsed.Round(time.Microsecond))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "predicted stream cost %.2f | actual page cost %.2f (%s)\n",
+		a.Predicted.Stream, a.PageCost(a.GlobalPages), a.GlobalPages)
+	a.Root.Walk(func(n *exec.NodeMetrics, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.Label)
+		b.WriteString("  pred[")
+		if n.Predicted.Known {
+			first := true
+			if n.Predicted.Stream != 0 || n.Predicted.ProbePer == 0 {
+				fmt.Fprintf(&b, "stream=%.2f", n.Predicted.Stream)
+				first = false
+			}
+			if n.Predicted.ProbePer != 0 {
+				if !first {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "probe/=%.2f", n.Predicted.ProbePer)
+			}
+		} else {
+			b.WriteByte('-')
+		}
+		fmt.Fprintf(&b, "] act[rows=%d", n.Rows())
+		if n.ScanCalls > 0 {
+			fmt.Fprintf(&b, " scans=%d", n.ScanCalls)
+		}
+		if n.ProbeCalls > 0 {
+			fmt.Fprintf(&b, " probes=%d nulls=%d", n.ProbeCalls, n.ProbeNulls)
+		}
+		if n.HasPages {
+			fmt.Fprintf(&b, " pages=%dseq+%drand cost=%.2f",
+				n.Pages.SeqPages, n.Pages.RandPages, a.PageCost(n.Pages))
+		}
+		b.WriteByte(']')
+		if n.HasCache {
+			fmt.Fprintf(&b, " cache[cap=%d peak=%d puts=%d evict=%d",
+				n.CacheCap, n.CachePeak, n.CachePuts, n.CacheEvictions)
+			if n.CacheHits+n.CacheMisses > 0 {
+				fmt.Fprintf(&b, " hits=%d misses=%d", n.CacheHits, n.CacheMisses)
+			}
+			b.WriteByte(']')
+		}
+		if times {
+			fmt.Fprintf(&b, " time=%s", (n.ScanTime + n.ProbeTime).Round(time.Microsecond))
+		}
+		b.WriteByte('\n')
+	})
+	return strings.TrimRight(b.String(), "\n")
+}

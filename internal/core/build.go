@@ -42,6 +42,37 @@ type builder struct {
 	params CostParams
 	ann    *meta.Annotation
 	stats  *Stats
+	// costs records the optimizer's estimate for every physical node it
+	// creates, keyed by node identity — the predicted side of EXPLAIN
+	// ANALYZE. Entries for candidates the DP later discards are simply
+	// never looked up.
+	costs map[exec.Plan]Cost
+}
+
+// note records the estimate for a created plan node, merging with any
+// earlier note: when the same physical node serves both access modes
+// (e.g. a Leaf used as stream and probed plan), a later note for one
+// role must not erase the other role's component.
+func (b *builder) note(p exec.Plan, c Cost) {
+	if b.costs == nil || p == nil {
+		return
+	}
+	if prev, ok := b.costs[p]; ok {
+		if c.Stream == 0 {
+			c.Stream = prev.Stream
+		}
+		if c.ProbePer == 0 {
+			c.ProbePer = prev.ProbePer
+		}
+	}
+	b.costs[p] = c
+}
+
+// noteCand records the estimates for a candidate's plans.
+func (b *builder) noteCand(c *candidate) (*candidate, error) {
+	b.note(c.stream, c.cost)
+	b.note(c.probed, c.cost)
+	return c, nil
 }
 
 // build produces a candidate for the node (Steps 4–5, recursively).
@@ -50,37 +81,43 @@ func (b *builder) build(n *algebra.Node) (*candidate, error) {
 	if m == nil {
 		return nil, fmt.Errorf("core: node %s not annotated", n.Kind)
 	}
+	var cand *candidate
+	var err error
 	switch n.Kind {
 	case algebra.KindBase:
-		return b.buildBase(n, m)
+		cand, err = b.buildBase(n, m)
 	case algebra.KindConst:
 		// The access span (clamped to the bounded universe) keeps scans
 		// of the unbounded constant sequence finite.
 		plan := exec.NewLeaf("const", n.Seq, m.AccessSpan)
-		return &candidate{
+		cand = &candidate{
 			stream: plan, probed: plan, schema: n.Schema,
 			span: m.AccessSpan, density: 1,
 			cost: Cost{Stream: 0, ProbePer: 0},
-		}, nil
+		}
 	case algebra.KindSelect:
-		return b.buildSelect(n, m)
+		cand, err = b.buildSelect(n, m)
 	case algebra.KindProject:
-		return b.buildProject(n, m)
+		cand, err = b.buildProject(n, m)
 	case algebra.KindPosOffset:
-		return b.buildPosOffset(n, m)
+		cand, err = b.buildPosOffset(n, m)
 	case algebra.KindValueOffset:
-		return b.buildValueOffset(n, m)
+		cand, err = b.buildValueOffset(n, m)
 	case algebra.KindAgg:
-		return b.buildAgg(n, m)
+		cand, err = b.buildAgg(n, m)
 	case algebra.KindCompose:
-		return b.buildBlock(n, m)
+		cand, err = b.buildBlock(n, m)
 	case algebra.KindCollapse:
-		return b.buildCollapse(n, m)
+		cand, err = b.buildCollapse(n, m)
 	case algebra.KindExpand:
-		return b.buildExpand(n, m)
+		cand, err = b.buildExpand(n, m)
 	default:
 		return nil, fmt.Errorf("core: cannot build %s", n.Kind)
 	}
+	if err != nil {
+		return nil, err
+	}
+	return b.noteCand(cand)
 }
 
 // buildCollapse prices the §5.1 domain-coarsening operator: stream
@@ -254,6 +291,7 @@ func (b *builder) probeSide(inNode *algebra.Node, in *candidate) (exec.Plan, flo
 	if err != nil {
 		return nil, 0, 0, err
 	}
+	b.note(mat, Cost{Stream: in.cost.Stream, ProbePer: b.params.CacheAccess})
 	return mat, b.params.CacheAccess, in.cost.Stream, nil
 }
 

@@ -91,6 +91,14 @@ type Result struct {
 	// CacheBudget is the total configured operator-cache capacity of the
 	// stream plan — the constant memory bound of Definition 3.2.
 	CacheBudget int
+	// PlanCosts maps every physical node the builder created (including
+	// candidates the DP discarded) to its estimate, keyed by node
+	// identity. EXPLAIN ANALYZE joins it against the executed tree to
+	// print predicted next to actual.
+	PlanCosts map[exec.Plan]Cost
+	// Params are the cost-model weights the estimates were computed with,
+	// kept so predictions can be converted back to page units.
+	Params CostParams
 }
 
 // Run executes the stream plan over the run span and materializes the
@@ -179,7 +187,10 @@ func Optimize(root *algebra.Node, requested seq.Span, opts Options) (*Result, er
 	// Steps 4–5: block identification and block-wise plan generation,
 	// performed by the recursive builder (blocks are rooted at compose
 	// regions; non-unit operators delimit them).
-	b := &builder{opts: opts, params: opts.params(), ann: ann, stats: &stats}
+	b := &builder{
+		opts: opts, params: opts.params(), ann: ann, stats: &stats,
+		costs: make(map[exec.Plan]Cost),
+	}
 	cand, err := b.build(rewritten)
 	if err != nil {
 		return nil, err
@@ -205,6 +216,8 @@ func Optimize(root *algebra.Node, requested seq.Span, opts Options) (*Result, er
 		Stats:        stats,
 		StreamAccess: algebra.StreamEvaluable(rewritten),
 		CacheBudget:  exec.CacheBudget(cand.stream),
+		PlanCosts:    b.costs,
+		Params:       b.params,
 	}, nil
 }
 

@@ -84,10 +84,12 @@ func (b *builder) buildBlock(root *algebra.Node, m *meta.NodeMeta) (*candidate, 
 	if err != nil {
 		return nil, err
 	}
+	b.note(streamPlan, Cost{Stream: streamCost})
 	probedPlan, probeCost, err := dp.restore(full.probed, root)
 	if err != nil {
 		return nil, err
 	}
+	b.note(probedPlan, Cost{ProbePer: probeCost})
 	return &candidate{
 		stream: streamPlan, probed: probedPlan, schema: root.Schema,
 		span: m.AccessSpan, density: m.Density,
@@ -189,6 +191,11 @@ func (dp *blockDP) singleton(i int) (*dpEntry, error) {
 				cost += src.records() * float64(len(idxs)) * dp.b.params.Pred
 			}
 			plan = exec.NewSelect(plan, pred)
+			if perProbe {
+				dp.b.note(plan, Cost{ProbePer: finite(cost)})
+			} else {
+				dp.b.note(plan, Cost{Stream: finite(cost)})
+			}
 		}
 		return &dpCand{
 			plan: plan, order: order, schema: src.schema,
@@ -216,10 +223,13 @@ func (dp *blockDP) run() (*dpEntry, error) {
 	if n == 1 {
 		return dp.table[fullMask], nil
 	}
-	// Group masks by popcount for the bottom-up sweep.
+	// Group masks by popcount for the bottom-up sweep. Seed size 1 in
+	// source order (not map order) so cost ties between equal plans
+	// resolve the same way on every run — plans and EXPLAIN output stay
+	// deterministic.
 	bySize := make([][]uint64, n+1)
-	for mask := range dp.table {
-		bySize[1] = append(bySize[1], mask)
+	for i := 0; i < n; i++ {
+		bySize[1] = append(bySize[1], rewrite.SourceMask(i))
 	}
 	for k := 1; k < n; k++ {
 		for _, mask := range bySize[k] {
@@ -354,6 +364,7 @@ func (dp *blockDP) extend(composite, single *dpEntry, cmask, jmask uint64) (*dpE
 				if err != nil {
 					return nil, err
 				}
+				dp.b.note(cand.plan, Cost{Stream: cand.cost})
 				out.stream = cand
 			}
 		}
@@ -368,6 +379,7 @@ func (dp *blockDP) extend(composite, single *dpEntry, cmask, jmask uint64) (*dpE
 			if err != nil {
 				return nil, err
 			}
+			dp.b.note(cand.plan, Cost{ProbePer: cand.cost})
 			out.probed = cand
 		}
 	}

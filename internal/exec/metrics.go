@@ -1,0 +1,329 @@
+// EXPLAIN ANALYZE instrumentation: a metering layer that wraps every
+// node of a physical plan with per-operator execution counters — rows,
+// Null probe answers, stream vs probed call counts, cache activity,
+// page accesses attributed to the node, and wall-clock time — next to
+// the optimizer's predicted cost for the node. The layer is strictly
+// additive: uninstrumented plans run the exact same code they always
+// did (zero overhead when analysis is off), and Instrument deep-copies
+// the operator tree, so the original plan is never mutated.
+//
+// See OBSERVABILITY.md for the meaning of every counter and how to read
+// the rendered output.
+package exec
+
+import (
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/seq"
+	"repro/internal/storage"
+)
+
+// PredictedCost is the optimizer's estimate for one plan node, carried
+// into the physical plan so EXPLAIN ANALYZE can print predicted vs
+// actual side by side. Stream is the cumulative cost (in
+// sequential-page units) of one full stream pass over the node's access
+// span, including its inputs; ProbePer is the expected cost of one
+// probed access. Known distinguishes "estimated as zero" from "the
+// optimizer produced no estimate for this node" (e.g. rename wrappers).
+type PredictedCost struct {
+	Stream   float64
+	ProbePer float64
+	Known    bool
+}
+
+// NodeMetrics is the execution record of one plan node. Counters are
+// inclusive of the node's own work but exclusive of its children's
+// (children have their own NodeMetrics); wall-clock times are inclusive
+// of children, like the per-node times of other engines' EXPLAIN
+// ANALYZE, because a pull pipeline spends child time inside the
+// parent's Next.
+type NodeMetrics struct {
+	// Label is the operator's Label() at instrumentation time.
+	Label string
+	// Predicted is the optimizer's estimate for this node.
+	Predicted PredictedCost
+	// Children mirror the plan tree.
+	Children []*NodeMetrics
+
+	// ScanCalls counts cursors opened on the node (stream accesses);
+	// ScanRows the records those cursors emitted.
+	ScanCalls int64
+	ScanRows  int64
+	// ProbeCalls counts probed accesses; ProbeRows the non-Null
+	// answers, ProbeNulls the Null records produced.
+	ProbeCalls int64
+	ProbeRows  int64
+	ProbeNulls int64
+	// ScanTime/ProbeTime are inclusive wall-clock times spent inside
+	// the node's Scan cursors and Probe calls.
+	ScanTime  time.Duration
+	ProbeTime time.Duration
+
+	// Pages holds the base-store accesses attributed to this node.
+	// Only leaves over metered stores set HasPages; by construction the
+	// leaf-attributed counters sum exactly to the global storage.Stats
+	// deltas of the run.
+	Pages    storage.StatsSnapshot
+	HasPages bool
+
+	// Cache counters, copied from the node's operator caches after the
+	// run (HasCache reports the node owns at least one).
+	HasCache       bool
+	CacheCap       int
+	CachePeak      int
+	CacheHits      int64
+	CacheMisses    int64
+	CachePuts      int64
+	CacheEvictions int64
+
+	pageStats *storage.Stats
+	caches    []*cache.FIFO
+}
+
+// Finalize copies the deferred counters (page attribution, cache
+// activity) into the exported fields, recursively. Call it once after
+// the instrumented plan has been drained.
+func (m *NodeMetrics) Finalize() {
+	if m.pageStats != nil {
+		m.Pages = m.pageStats.Snapshot()
+	}
+	for _, c := range m.caches {
+		m.CacheCap += c.Cap()
+		m.CachePeak += c.Peak()
+		m.CacheHits += c.Hits()
+		m.CacheMisses += c.Misses()
+		m.CachePuts += c.Puts()
+		m.CacheEvictions += c.Evictions()
+	}
+	for _, c := range m.Children {
+		c.Finalize()
+	}
+}
+
+// TotalPages sums the attributed page accesses over the subtree.
+func (m *NodeMetrics) TotalPages() storage.StatsSnapshot {
+	total := m.Pages
+	for _, c := range m.Children {
+		total = total.Add(c.TotalPages())
+	}
+	return total
+}
+
+// Rows returns the records the node delivered to its consumer: stream
+// emissions plus non-Null probe answers.
+func (m *NodeMetrics) Rows() int64 { return m.ScanRows + m.ProbeRows }
+
+// RowsIn returns the records the node pulled from its children.
+func (m *NodeMetrics) RowsIn() int64 {
+	var total int64
+	for _, c := range m.Children {
+		total += c.Rows()
+	}
+	return total
+}
+
+// Walk visits the metrics tree depth-first, parent before children.
+func (m *NodeMetrics) Walk(f func(n *NodeMetrics, depth int)) {
+	var walk func(n *NodeMetrics, depth int)
+	walk = func(n *NodeMetrics, depth int) {
+		f(n, depth)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(m, 0)
+}
+
+// Instrument deep-copies the plan with a metering wrapper around every
+// node and returns the wrapped plan together with the metrics tree that
+// mirrors it. pred supplies the optimizer's estimate for each original
+// node (nil means no estimates). Leaves over storage.Store sequences
+// additionally get per-consumer page attribution via storage.Metered.
+// Operators owning caches get fresh caches so their counters describe
+// this run only; the original plan is left untouched.
+func Instrument(p Plan, pred func(Plan) PredictedCost) (Plan, *NodeMetrics) {
+	if pred == nil {
+		pred = func(Plan) PredictedCost { return PredictedCost{} }
+	}
+	return instrument(p, pred)
+}
+
+func instrument(p Plan, pred func(Plan) PredictedCost) (Plan, *NodeMetrics) {
+	m := &NodeMetrics{Label: p.Label(), Predicted: pred(p)}
+	child := func(c Plan) Plan {
+		w, cm := instrument(c, pred)
+		m.Children = append(m.Children, cm)
+		return w
+	}
+	var inner Plan
+	switch op := p.(type) {
+	case *Leaf:
+		cp := *op
+		if st, ok := cp.Seq.(storage.Store); ok {
+			m.pageStats = &storage.Stats{}
+			m.HasPages = true
+			cp.Seq = storage.Metered(st, m.pageStats)
+		}
+		inner = &cp
+	case *Rename:
+		cp := *op
+		cp.In = child(op.In)
+		inner = &cp
+	case *SelectOp:
+		cp := *op
+		cp.In = child(op.In)
+		inner = &cp
+	case *ProjectOp:
+		cp := *op
+		cp.In = child(op.In)
+		inner = &cp
+	case *PosOffsetOp:
+		cp := *op
+		cp.In = child(op.In)
+		inner = &cp
+	case *ComposeOp:
+		cp := *op
+		cp.L = child(op.L)
+		cp.R = child(op.R)
+		inner = &cp
+	case *Materialize:
+		cp := *op
+		cp.In = child(op.In)
+		cp.mat = nil // re-materialize through the metered input
+		inner = &cp
+	case *AggNaive:
+		cp := *op
+		cp.In = child(op.In)
+		inner = &cp
+	case *AggCached:
+		cp := *op
+		cp.In = child(op.In)
+		cp.cache = cache.NewFIFO(op.cache.Cap())
+		inner = &cp
+	case *AggSliding:
+		cp := *op
+		cp.In = child(op.In)
+		inner = &cp
+	case *AggCumulative:
+		cp := *op
+		cp.In = child(op.In)
+		inner = &cp
+	case *ValueOffsetNaive:
+		cp := *op
+		cp.In = child(op.In)
+		inner = &cp
+	case *ValueOffsetIncremental:
+		cp := *op
+		cp.In = child(op.In)
+		cp.cache = cache.NewFIFO(op.cache.Cap())
+		inner = &cp
+	case *CollapseOp:
+		cp := *op
+		cp.In = child(op.In)
+		inner = &cp
+	case *ExpandOp:
+		cp := *op
+		cp.In = child(op.In)
+		inner = &cp
+	default:
+		// Unknown operator: meter the node itself; its subtree runs
+		// unmetered (no counters are invented for children we cannot
+		// splice into).
+		inner = p
+	}
+	if cs := inner.Caches(); len(cs) > 0 {
+		m.HasCache = true
+		m.caches = cs
+	}
+	return &Metered{Inner: inner, M: m}, m
+}
+
+// Metered is the per-node metering wrapper Instrument installs. It is a
+// transparent Plan: Label, Children, Caches and Info all delegate to
+// the wrapped operator (whose own child links point at the metered
+// children).
+type Metered struct {
+	Inner Plan
+	M     *NodeMetrics
+}
+
+// Info implements seq.Sequence.
+func (w *Metered) Info() seq.Info { return w.Inner.Info() }
+
+// Probe implements seq.Sequence, counting the call, its Null-ness and
+// its inclusive wall time.
+func (w *Metered) Probe(pos seq.Pos) (seq.Record, error) {
+	start := time.Now()
+	r, err := w.Inner.Probe(pos)
+	w.M.ProbeTime += time.Since(start)
+	w.M.ProbeCalls++
+	if r.IsNull() {
+		w.M.ProbeNulls++
+	} else {
+		w.M.ProbeRows++
+	}
+	return r, err
+}
+
+// Scan implements seq.Sequence.
+func (w *Metered) Scan(span seq.Span) seq.Cursor {
+	w.M.ScanCalls++
+	start := time.Now()
+	cur := w.Inner.Scan(span)
+	w.M.ScanTime += time.Since(start)
+	return &meteredPlanCursor{in: cur, m: w.M}
+}
+
+// Label implements Plan.
+func (w *Metered) Label() string { return w.Inner.Label() }
+
+// Children implements Plan.
+func (w *Metered) Children() []Plan { return w.Inner.Children() }
+
+// Caches implements Plan.
+func (w *Metered) Caches() []*cache.FIFO { return w.Inner.Caches() }
+
+type meteredPlanCursor struct {
+	in seq.Cursor
+	m  *NodeMetrics
+}
+
+func (c *meteredPlanCursor) Next() (seq.Pos, seq.Record, bool) {
+	start := time.Now()
+	p, r, ok := c.in.Next()
+	c.m.ScanTime += time.Since(start)
+	if ok {
+		c.m.ScanRows++
+	}
+	return p, r, ok
+}
+
+func (c *meteredPlanCursor) Err() error   { return c.in.Err() }
+func (c *meteredPlanCursor) Close() error { return c.in.Close() }
+
+// PlanStores collects the distinct base-sequence stores reachable from
+// the plan's leaves (distinct by shared Stats block), for global
+// counter deltas around a measured run.
+func PlanStores(p Plan) []storage.Store {
+	seen := make(map[*storage.Stats]bool)
+	var out []storage.Store
+	var walk func(n Plan)
+	walk = func(n Plan) {
+		if w, ok := n.(*Metered); ok {
+			walk(w.Inner)
+			return
+		}
+		if l, ok := n.(*Leaf); ok {
+			if st, ok := l.Seq.(storage.Store); ok && !seen[st.Stats()] {
+				seen[st.Stats()] = true
+				out = append(out, st)
+			}
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(p)
+	return out
+}

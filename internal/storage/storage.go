@@ -29,6 +29,12 @@ import (
 // Stats counts page and record accesses, split by access mode. All
 // counters are cumulative; use Snapshot/Reset around a measured region.
 // Counters are updated atomically so concurrent scans may share a Stats.
+//
+// Snapshot and Reset are atomic per counter but not atomic as a unit: a
+// Snapshot concurrent with a Reset (or with in-flight accesses) may
+// observe some counters already zeroed and others not. Callers that need
+// a consistent measured region must quiesce accessors around the
+// Reset/Snapshot pair; the individual counters never tear.
 type Stats struct {
 	SeqPages     atomic.Int64 // pages touched by stream (sequential) access
 	RandPages    atomic.Int64 // pages touched by probed (random) access
@@ -46,7 +52,10 @@ func (s *Stats) Snapshot() StatsSnapshot {
 	}
 }
 
-// Reset zeroes all counters.
+// Reset zeroes all counters. Each store is an atomic write, so Reset is
+// safe to call while scans run, but counters accumulated by accesses
+// that race with the Reset may land on either side of it; see the Stats
+// comment for the consistency contract.
 func (s *Stats) Reset() {
 	s.SeqPages.Store(0)
 	s.RandPages.Store(0)

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/grouping"
 	"repro/internal/meta"
@@ -56,6 +57,13 @@ type (
 	Options = core.Options
 	// OptStats reports optimizer counters (Property 4.1).
 	OptStats = core.Stats
+	// Analysis is an EXPLAIN ANALYZE result: per-node execution metrics
+	// next to the optimizer's predictions (see OBSERVABILITY.md).
+	Analysis = core.Analysis
+	// NodeMetrics is the per-operator counter block of an Analysis tree.
+	NodeMetrics = exec.NodeMetrics
+	// PageStatsSnapshot is an immutable copy of page-access counters.
+	PageStatsSnapshot = storage.StatsSnapshot
 	// StorageKind selects a physical representation.
 	StorageKind = storage.Kind
 	// Type is an atomic value type.
@@ -355,6 +363,31 @@ func (q *Query) Explain(span Span) (string, error) {
 	}
 	return fmt.Sprintf("plan (stream cost %.2f, per-probe cost %.2f, %s, cache budget %d records):\n%s\nannotated query (span/density propagation):\n%s",
 		res.Cost.Stream, res.Cost.ProbePer, mode, res.CacheBudget, res.Explain(), res.ExplainMeta()), nil
+}
+
+// RunAnalyze optimizes and evaluates the query over the requested range
+// with per-operator instrumentation, returning the execution metrics
+// together with the output. The instrumented run produces the same
+// result as Run (same plan, fresh operator caches); the metrics add
+// per-record overhead, so use Run for timing-sensitive evaluation.
+func (q *Query) RunAnalyze(span Span) (*Analysis, error) {
+	res, err := q.optimize(span)
+	if err != nil {
+		return nil, err
+	}
+	return res.RunAnalyze()
+}
+
+// ExplainAnalyze runs the query over the given range with per-operator
+// instrumentation and renders predicted-vs-actual metrics for every plan
+// node — rows, probe Nulls, attributed page accesses, cache activity and
+// wall time. See OBSERVABILITY.md for how to read the output.
+func (q *Query) ExplainAnalyze(span Span) (string, error) {
+	a, err := q.RunAnalyze(span)
+	if err != nil {
+		return "", err
+	}
+	return a.Render(), nil
 }
 
 // EstimatedCost optimizes for the range and returns the cost model's
