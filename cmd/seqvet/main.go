@@ -1,0 +1,209 @@
+// Command seqvet runs the project's custom static analyzers (package
+// internal/analyzers) as a `go vet` tool:
+//
+//	go build -o bin/seqvet ./cmd/seqvet
+//	go vet -vettool=$(pwd)/bin/seqvet ./...
+//
+// Invoked with package patterns it drives `go vet` itself, so
+//
+//	go run ./cmd/seqvet ./...
+//
+// also works. The container this project builds in has no module proxy,
+// so the golang.org/x/tools unitchecker is not available; this file
+// implements the small vettool protocol cmd/go speaks directly:
+//
+//   - `seqvet -V=full` prints a version line fingerprinting the binary
+//     (cmd/go keys its action cache on it);
+//   - `seqvet -flags` prints the tool's analyzer flags as JSON;
+//   - `seqvet <dir>/vet.cfg` analyzes one type-checked package described
+//     by the JSON config, writes the (empty) facts file cmd/go expects,
+//     prints findings to stderr, and exits 2 when there are any.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"repro/internal/analyzers"
+)
+
+func main() {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && args[0] == "-V=full":
+		printVersion()
+	case len(args) == 1 && args[0] == "-flags":
+		// No analyzer flags: an empty JSON list tells cmd/go not to
+		// forward any.
+		fmt.Println("[]")
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		if err := analyzeUnit(args[0]); err != nil {
+			fmt.Fprintf(os.Stderr, "seqvet: %v\n", err)
+			os.Exit(1)
+		}
+	case len(args) > 0:
+		runGoVet(args)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: seqvet ./... | go vet -vettool=seqvet ./...")
+		os.Exit(2)
+	}
+}
+
+// printVersion emulates the x/tools version stamp: the content hash of
+// the executable serves as the build ID cmd/go caches against.
+func printVersion() {
+	progname := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%02x\n", progname, h.Sum(nil))
+}
+
+// runGoVet re-invokes the toolchain with this binary as the vettool, so
+// `go run ./cmd/seqvet ./...` works without ceremony.
+func runGoVet(patterns []string) {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seqvet: cannot locate own executable: %v\n", err)
+		os.Exit(1)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "seqvet: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// vetConfig is the JSON package description cmd/go hands to vet tools
+// (the unitchecker.Config wire format).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func analyzeUnit(cfgPath string) error {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+
+	// cmd/go always expects the facts file. The analyzers are fact-free,
+	// so dependencies (VetxOnly units) need nothing else.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil
+	}
+	// Only project packages are subject to the project's conventions;
+	// skip typechecking everything else (stdlib, when vet is invoked on
+	// it explicitly).
+	if cfg.ImportPath != "repro" && !strings.HasPrefix(cfg.ImportPath, "repro/") {
+		return nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil
+			}
+			return err
+		}
+		files = append(files, f)
+	}
+
+	// Type-check against the export data of the already-compiled
+	// dependencies, resolving import paths the way the build did.
+	compImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compImp.(types.ImporterFrom).ImportFrom(importPath, cfg.Dir, 0)
+	})
+	tcfg := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(cfg.Compiler, runtime.GOARCH),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil
+		}
+		return fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	pass := &analyzers.Pass{Fset: fset, Files: files, Pkg: pkg, Info: info}
+	diags := analyzers.Run(pass, analyzers.All())
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	return nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

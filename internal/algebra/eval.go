@@ -78,6 +78,15 @@ func AllFramesHull(n *Node) seq.Span {
 // expressed in the node's own coordinate frame.
 func TransformedHull(n *Node) seq.Span {
 	switch n.Kind {
+	case KindSelect, KindProject, KindCompose, KindValueOffset:
+		// Position-preserving operators (a value offset moves records'
+		// *values*, not the positions they land on): the hull is the
+		// union of the inputs' hulls.
+		out := seq.EmptySpan
+		for _, in := range n.Inputs {
+			out = out.Union(TransformedHull(in))
+		}
+		return out
 	case KindBase:
 		return n.Seq.Info().Span
 	case KindConst:
@@ -126,6 +135,8 @@ func TransformedHull(n *Node) seq.Span {
 func Reach(n *Node) int64 {
 	var own int64
 	switch n.Kind {
+	case KindBase, KindConst, KindSelect, KindProject, KindCompose:
+		// No positional displacement of their own.
 	case KindPosOffset:
 		own = abs64(n.Offset)
 	case KindValueOffset:

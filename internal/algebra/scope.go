@@ -36,6 +36,10 @@ func (n *Node) Scope(input int) (ScopeProps, error) {
 		return ScopeProps{}, fmt.Errorf("algebra: %s has no input %d", n.Kind, input)
 	}
 	switch n.Kind {
+	case KindBase, KindConst:
+		// Unreachable: leaves have no inputs, so the bounds check above
+		// already rejected the call.
+		return ScopeProps{}, fmt.Errorf("algebra: %s is a leaf and has no input scope", n.Kind)
 	case KindSelect, KindProject, KindCompose:
 		return UnitScope(), nil
 	case KindPosOffset:
@@ -163,11 +167,8 @@ func StreamEvaluable(root *Node) bool {
 	ok := true
 	var walk func(n *Node)
 	walk = func(n *Node) {
-		switch n.Kind {
-		case KindAgg:
-			if n.Agg.Window.HiUnbounded {
-				ok = false
-			}
+		if n.Kind == KindAgg && n.Agg.Window.HiUnbounded {
+			ok = false
 		}
 		for _, in := range n.Inputs {
 			walk(in)

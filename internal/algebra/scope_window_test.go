@@ -1,0 +1,132 @@
+package algebra
+
+import (
+	"testing"
+)
+
+// TestScopeWindowsPerOperator pins the Win component of every
+// operator's scope — the relative window Proposition 2.1(c) sums along
+// paths — including the Definition 3.3 effective-scope windows of value
+// offsets on both sides.
+func TestScopeWindowsPerOperator(t *testing.T) {
+	b := mkBase(t, "s", 1, 2, 3)
+	sel, _ := Select(b, gtConst(t, b, "close", 0))
+	po, _ := PosOffset(b, -5)
+	fwd, _ := PosOffset(b, 3)
+	ag, _ := AggCol(b, AggSum, "close", Range(-2, 4), "")
+	cum, _ := AggCol(b, AggSum, "close", Cumulative(), "")
+	all, _ := AggCol(b, AggSum, "close", All(), "")
+
+	cases := []struct {
+		name string
+		node *Node
+		want Window
+	}{
+		{"select", sel, Range(0, 0)},
+		{"offset-back", po, Range(-5, -5)},
+		{"offset-fwd", fwd, Range(3, 3)},
+		{"agg-range", ag, Range(-2, 4)},
+		{"agg-cumulative", cum, Window{LoUnbounded: true, Hi: 0}},
+		{"agg-all", all, Window{LoUnbounded: true, HiUnbounded: true}},
+	}
+	for _, c := range cases {
+		p, err := c.node.Scope(0)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if p.Win != c.want {
+			t.Errorf("%s: window = %v, want %v", c.name, p.Win, c.want)
+		}
+	}
+}
+
+// TestValueOffsetEffectiveScope checks Definition 3.3: the true scope of
+// a value offset is data-dependent, so its effective scope is the
+// open-ended hull on the side the offset reads — (-inf, -1] for any
+// backward offset, [+1, +inf) for any forward one, with magnitude
+// deliberately absent (the l-th non-Null neighbor can be arbitrarily
+// far).
+func TestValueOffsetEffectiveScope(t *testing.T) {
+	b := mkBase(t, "s", 1, 2, 3)
+	for _, off := range []int64{-4, -1, 1, 7} {
+		vo, err := ValueOffset(b, off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := vo.Scope(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Window{LoUnbounded: true, Hi: -1}
+		if off > 0 {
+			want = Window{Lo: 1, HiUnbounded: true}
+		}
+		if p.Win != want {
+			t.Errorf("voffset(%d): effective window = %v, want %v", off, p.Win, want)
+		}
+		if p.FixedSize || p.Sequential || p.Relative {
+			t.Errorf("voffset(%d): scope %+v claims properties a data-dependent scope cannot have", off, p)
+		}
+	}
+}
+
+// TestCompositionWindowsAcrossKinds sums windows along mixed paths and
+// compares with QueryScopes — Prop. 2.1(c) end to end, including the
+// saturation of unbounded effective-scope sides.
+func TestCompositionWindowsAcrossKinds(t *testing.T) {
+	b := mkBase(t, "s", 1, 2, 3)
+
+	// offset(+3) over agg[-2,4] over offset(-5): windows add.
+	inner, _ := PosOffset(b, -5)
+	ag, _ := AggCol(inner, AggSum, "close", Range(-2, 4), "")
+	outer, _ := PosOffset(ag, 3)
+	got := QueryScopes(outer)[b]
+	if want := Range(-4, 2); got.Win != want {
+		t.Errorf("summed window = %v, want %v", got.Win, want)
+	}
+	if !got.Relative || !got.FixedSize {
+		t.Errorf("composed scope %+v lost relativity/fixedness", got)
+	}
+
+	// A backward value offset anywhere on the path makes the composed
+	// window open below and poisons fixedness, but arithmetic on the
+	// bounded side still applies.
+	vo, _ := Previous(b)
+	shifted, _ := PosOffset(vo, 2)
+	got = QueryScopes(shifted)[b]
+	if !got.Win.LoUnbounded || got.Win.HiUnbounded {
+		t.Errorf("voffset path window = %v, want open below, closed above", got.Win)
+	}
+	if got.Win.Hi != 1 {
+		t.Errorf("voffset path window hi = %d, want -1+2 = 1", got.Win.Hi)
+	}
+	if got.FixedSize || got.Sequential || got.Relative {
+		t.Errorf("voffset path scope %+v retains properties the offset destroyed", got)
+	}
+
+	// Forward value offset: open above.
+	nx, _ := Next(b)
+	lag, _ := AggCol(nx, AggSum, "close", Trailing(3), "")
+	got = QueryScopes(lag)[b]
+	if got.Win.LoUnbounded || !got.Win.HiUnbounded {
+		t.Errorf("forward voffset path window = %v, want open above, closed below", got.Win)
+	}
+	if got.Win.Lo != -1 {
+		t.Errorf("forward voffset path window lo = %d, want 1+(-2) = -1", got.Win.Lo)
+	}
+
+	// Collapse and Expand are not relative nor sequential: composition
+	// through them drops both properties (their group-based scope cannot
+	// be expressed as a window around the current position, so the
+	// composed size comes from the summed windows alone).
+	col, _ := Collapse(b, 4, AggSpec{Func: AggSum, Arg: 0})
+	got = QueryScopes(col)[b]
+	if got.Relative || got.Sequential {
+		t.Errorf("collapse path scope %+v should be neither relative nor sequential", got)
+	}
+	ex, _ := Expand(b, 4)
+	got = QueryScopes(ex)[b]
+	if got.Relative {
+		t.Errorf("expand path scope %+v should not be relative", got)
+	}
+}

@@ -1,0 +1,99 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+const algebraPath = "repro/internal/algebra"
+
+// KindSwitch reports switch statements over algebra.Kind that do not
+// handle every operator kind. The operator enum is the spine of the
+// system — scope derivation, annotation, costing, plan building and
+// rewriting all dispatch on it — so a newly added Kind must surface
+// every place that needs a decision, not fall into a default arm
+// silently. A default case does NOT exempt a switch: either list every
+// kind or annotate the switch with //seqvet:ignore kindswitch <reason>.
+var KindSwitch = &Analyzer{
+	Name: "kindswitch",
+	Doc:  "switches over algebra.Kind must handle every operator kind",
+	Run:  runKindSwitch,
+}
+
+func runKindSwitch(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.Info.Types[sw.Tag]
+			if !ok || !namedFrom(tv.Type, algebraPath, "Kind") {
+				return true
+			}
+			all := kindConstants(tv.Type)
+			if len(all) == 0 {
+				return true
+			}
+			covered := make(map[string]bool)
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if obj := usedObject(pass, e); obj != nil {
+						covered[obj.Name()] = true
+					}
+				}
+			}
+			var missing []string
+			for name := range all {
+				if !covered[name] {
+					missing = append(missing, name)
+				}
+			}
+			if len(missing) > 0 {
+				sort.Strings(missing)
+				pass.report(sw.Pos(), "switch on algebra.Kind does not handle %s",
+					strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// kindConstants enumerates every constant of the Kind type declared in
+// the algebra package, via the type-checked import — the set stays
+// current when operators are added.
+func kindConstants(kind types.Type) map[string]bool {
+	if ptr, ok := kind.(*types.Pointer); ok {
+		kind = ptr.Elem()
+	}
+	named, ok := kind.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	scope := named.Obj().Pkg().Scope()
+	out := make(map[string]bool)
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), named) {
+			out[name] = true
+		}
+	}
+	return out
+}
+
+// usedObject resolves a case expression to the object it names (an
+// identifier or a package-qualified selector).
+func usedObject(pass *Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[e]
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[e.Sel]
+	}
+	return nil
+}

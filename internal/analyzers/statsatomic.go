@@ -1,0 +1,71 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// StatsAtomic reports uses of storage.Stats counter fields that are not
+// immediate atomic method calls. The counters are shared between
+// concurrent scans (storage.Stats documents this contract), so every
+// access must go through the atomic.Int64 API — taking a field's
+// address, copying it, or passing it along lets a caller hold the
+// counter outside the atomic discipline.
+var StatsAtomic = &Analyzer{
+	Name: "statsatomic",
+	Doc:  "storage.Stats counters may only be used via atomic method calls",
+	Run:  runStatsAtomic,
+}
+
+var atomicMethods = map[string]bool{
+	"Load": true, "Store": true, "Add": true,
+	"Swap": true, "CompareAndSwap": true,
+}
+
+func runStatsAtomic(pass *Pass) {
+	// First pass: mark every Stats field selector that is the receiver of
+	// an immediate atomic method call (stats.SeqPages.Add(1)).
+	sanctioned := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			method, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !atomicMethods[method.Sel.Name] {
+				return true
+			}
+			if field, ok := method.X.(*ast.SelectorExpr); ok && isStatsCounter(pass, field) {
+				sanctioned[field.Pos()] = true
+			}
+			return true
+		})
+	}
+	// Second pass: every other appearance of a counter field is a
+	// violation.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			field, ok := n.(*ast.SelectorExpr)
+			if !ok || !isStatsCounter(pass, field) {
+				return true
+			}
+			if !sanctioned[field.Pos()] {
+				pass.report(field.Pos(),
+					"storage.Stats.%s used outside an atomic method call (Load/Store/Add/Swap/CompareAndSwap)",
+					field.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// isStatsCounter reports whether sel selects a field of storage.Stats.
+func isStatsCounter(pass *Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	return namedFrom(s.Recv(), storagePath, "Stats")
+}

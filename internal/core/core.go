@@ -7,6 +7,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/exec"
 	"repro/internal/meta"
+	"repro/internal/planlint"
 	"repro/internal/rewrite"
 	"repro/internal/seq"
 )
@@ -39,6 +40,11 @@ type Options struct {
 	// accumulator from consideration, leaving Cache-Strategy-A as the
 	// best bounded-window strategy (the paper's configuration).
 	DisableSlidingAggregates bool
+	// Verify runs the planlint invariant verifier after every rewrite
+	// rule firing and on the final result (see Result.Verify); an
+	// invariant violation fails the Optimize call. The package-wide
+	// VerifyAll switch turns this on for every call.
+	Verify bool
 }
 
 func (o Options) params() CostParams {
@@ -163,15 +169,20 @@ func Optimize(root *algebra.Node, requested seq.Span, opts Options) (*Result, er
 	// orders annotation first, but transformations preserve spans and
 	// densities, so annotating the rewritten tree is equivalent and
 	// avoids re-annotation.)
+	verify := opts.Verify || VerifyAll
 	rewritten := root
 	if !opts.DisableRewrites {
 		rules := opts.Rules
 		if rules == nil {
 			rules = rewrite.DefaultRules()
 		}
+		var hook rewrite.Hook
+		if verify {
+			hook = planlint.CheckRule
+		}
 		var fired int
 		var err error
-		rewritten, fired, err = rewrite.Rewrite(root, rules)
+		rewritten, fired, err = rewrite.RewriteWithHook(root, rules, hook)
 		if err != nil {
 			return nil, err
 		}
@@ -206,7 +217,7 @@ func Optimize(root *algebra.Node, requested seq.Span, opts Options) (*Result, er
 		// evaluation terminates.
 		runSpan = requested.Intersect(ann.Universe)
 	}
-	return &Result{
+	res := &Result{
 		Plan:         cand.stream,
 		ProbedPlan:   cand.probed,
 		Cost:         cand.cost,
@@ -218,7 +229,13 @@ func Optimize(root *algebra.Node, requested seq.Span, opts Options) (*Result, er
 		CacheBudget:  exec.CacheBudget(cand.stream),
 		PlanCosts:    b.costs,
 		Params:       b.params,
-	}, nil
+	}
+	if verify {
+		if err := res.Verify(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
 }
 
 // ExplainMeta renders the rewritten logical tree annotated with the

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"repro/internal/exec"
+	"repro/internal/planlint"
+)
+
+// VerifyAll, when set, makes every Optimize call run the planlint
+// invariant verifier: after each rewrite-rule firing, on the Step-2
+// annotation, and on the final physical plans. It is a process-wide
+// debug switch for tests and fuzz harnesses (set it once before running;
+// it is not synchronized for concurrent toggling). Per-call verification
+// is available through Options.Verify.
+var VerifyAll bool
+
+// Verify runs the planlint invariant checks over everything the
+// optimizer produced: the rewritten logical tree (scope composition,
+// Prop. 2.1; block delimitation, §3.1), the Step-2 annotation (span and
+// density propagation, §3.2–3.3), both physical plans (cache
+// finiteness, Thm. 3.1), and the recorded per-node cost estimates. It
+// returns an error describing every violation, or nil when the result
+// is invariant-clean.
+func (r *Result) Verify() error {
+	var issues []planlint.Issue
+	issues = append(issues, planlint.Verify(r.Rewritten)...)
+	issues = append(issues, planlint.VerifyAnnotation(r.Rewritten, r.Annotation)...)
+	lookup := func(p exec.Plan) (float64, float64, bool) {
+		c, ok := r.PlanCosts[p]
+		return c.Stream, c.ProbePer, ok
+	}
+	for _, p := range []exec.Plan{r.Plan, r.ProbedPlan} {
+		issues = append(issues, planlint.VerifyPhysical(p)...)
+		issues = append(issues, planlint.VerifyCosts(p, lookup)...)
+	}
+	return planlint.Error(issues)
+}

@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestExperimentsUnderVerifyAll reruns every experiment's quick
+// configuration with the planlint invariant verifier enabled on every
+// Optimize call: each rewrite-rule firing, each Step-2 annotation, and
+// every final physical plan produced for E1–E8 must be invariant-clean.
+func TestExperimentsUnderVerifyAll(t *testing.T) {
+	core.VerifyAll = true
+	defer func() { core.VerifyAll = false }()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			if _, err := e.Quick(); err != nil {
+				t.Fatalf("%s under planlint verification: %v", e.ID, err)
+			}
+		})
+	}
+}

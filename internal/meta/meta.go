@@ -299,6 +299,9 @@ func inputAccessSpan(n *algebra.Node, idx int, access, childSpan seq.Span) (seq.
 		return seq.EmptySpan, nil
 	}
 	switch n.Kind {
+	case algebra.KindBase, algebra.KindConst:
+		return seq.EmptySpan, fmt.Errorf("meta: %s is a leaf and has no input %d", n.Kind, idx)
+
 	case algebra.KindSelect, algebra.KindProject, algebra.KindCompose:
 		return access, nil
 

@@ -1,0 +1,146 @@
+package planlint
+
+import (
+	"math"
+
+	"repro/internal/algebra"
+	"repro/internal/meta"
+)
+
+// VerifyAnnotation checks the Step-2 meta-information (§3.2–3.3, §4
+// Step 2) attached to a query tree:
+//
+//   - every node carries meta; densities lie in [0, 1];
+//   - access spans are contained in the valid span and (when the
+//     universe is bounded) are themselves bounded — the §3.2 guarantee
+//     that every physical scan stays inside a finite window;
+//   - unit-scope operators propagate density monotonically (a selection
+//     can only thin its input, a projection and a positional offset
+//     preserve it, a compose is at most as dense as either input);
+//   - re-running the bottom-up and top-down passes on the same tree
+//     reproduces the annotation exactly (catches stale annotations after
+//     a tree was mutated instead of rebuilt).
+func VerifyAnnotation(root *algebra.Node, ann *meta.Annotation) []Issue {
+	c := &checker{}
+	if root == nil || ann == nil {
+		c.report("meta/present", "§4 Step 2", nil, "nil tree or annotation")
+		return c.issues
+	}
+
+	var walk func(n *algebra.Node)
+	walk = func(n *algebra.Node) {
+		m := ann.Get(n)
+		if m == nil {
+			c.report("meta/present", "§4 Step 2", n, "node has no meta-information")
+			return
+		}
+		if math.IsNaN(m.Density) || m.Density < 0 || m.Density > 1 {
+			c.report("meta/density-range", "Def. 3.2 (density)", n,
+				"density %v outside [0, 1]", m.Density)
+		}
+		if !m.AccessSpan.IsEmpty() {
+			if m.AccessSpan.Intersect(m.Span) != m.AccessSpan {
+				c.report("meta/access-in-span", "§3.2", n,
+					"access span %s escapes valid span %s", m.AccessSpan, m.Span)
+			}
+			if ann.Universe.Bounded() && !m.AccessSpan.Bounded() {
+				c.report("meta/access-bounded", "§3.2", n,
+					"unbounded access span %s under bounded universe %s", m.AccessSpan, ann.Universe)
+			}
+		}
+		c.checkDensityMonotone(n, m, ann)
+		for _, in := range n.Inputs {
+			walk(in)
+		}
+	}
+	walk(root)
+
+	// Root access span: what Run evaluates must lie inside the requested
+	// range (§4 Step 2.b starts the top-down pass from it).
+	if rm := ann.Get(root); rm != nil && !rm.AccessSpan.IsEmpty() {
+		if rm.AccessSpan.Intersect(ann.Requested) != rm.AccessSpan {
+			c.report("meta/root-access", "§4 Step 2.b", root,
+				"root access span %s escapes requested range %s", rm.AccessSpan, ann.Requested)
+		}
+	}
+
+	// Recompute both passes and compare node-for-node: the propagation is
+	// deterministic, so any mismatch means the annotation went stale.
+	fresh, err := meta.Annotate(root, ann.Requested)
+	if err != nil {
+		c.report("meta/recompute", "§4 Step 2", root, "re-annotation failed: %v", err)
+		return c.issues
+	}
+	var compare func(n *algebra.Node)
+	compare = func(n *algebra.Node) {
+		a, b := ann.Get(n), fresh.Get(n)
+		if a == nil || b == nil {
+			return // meta/present already reported
+		}
+		if a.Span != b.Span {
+			c.report("meta/span-agree", "§3.2", n,
+				"annotated span %s, recomputed bottom-up span %s", a.Span, b.Span)
+		}
+		if a.AccessSpan != b.AccessSpan {
+			c.report("meta/span-agree", "§3.2", n,
+				"annotated access span %s, recomputed top-down span %s", a.AccessSpan, b.AccessSpan)
+		}
+		if !floatsClose(a.Density, b.Density) {
+			c.report("meta/density-agree", "§3.3", n,
+				"annotated density %v, recomputed %v", a.Density, b.Density)
+		}
+		for _, in := range n.Inputs {
+			compare(in)
+		}
+	}
+	compare(root)
+	return c.issues
+}
+
+// checkDensityMonotone enforces the unit-scope density laws (§3.3):
+// operators that read exactly the current position cannot create
+// records, so their output density never exceeds their input's. Non-unit
+// operators (aggregates, value offsets, collapse) legitimately densify.
+func (c *checker) checkDensityMonotone(n *algebra.Node, m *meta.NodeMeta, ann *meta.Annotation) {
+	const eps = 1e-9
+	in := func(i int) *meta.NodeMeta {
+		if i < len(n.Inputs) {
+			return ann.Get(n.Inputs[i])
+		}
+		return nil
+	}
+	switch n.Kind {
+	case algebra.KindBase, algebra.KindConst, algebra.KindAgg,
+		algebra.KindValueOffset, algebra.KindCollapse, algebra.KindExpand:
+		// Leaves have no input to compare with; non-unit operators
+		// legitimately densify (an aggregate or value offset is non-Null
+		// wherever its window finds records).
+	case algebra.KindSelect:
+		if im := in(0); im != nil && m.Density > im.Density+eps {
+			c.report("meta/density-monotone", "§3.3", n,
+				"selection density %v exceeds input density %v", m.Density, im.Density)
+		}
+	case algebra.KindProject, algebra.KindPosOffset:
+		if im := in(0); im != nil && !floatsClose(m.Density, im.Density) {
+			c.report("meta/density-monotone", "§3.3", n,
+				"density-preserving operator has density %v, input %v", m.Density, im.Density)
+		}
+	case algebra.KindCompose:
+		l, r := in(0), in(1)
+		if l != nil && r != nil {
+			bound := math.Min(l.Density, r.Density)
+			if m.Density > bound+eps {
+				c.report("meta/density-monotone", "§3.3", n,
+					"compose density %v exceeds min input density %v", m.Density, bound)
+			}
+		}
+	}
+}
+
+func floatsClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	return d <= 1e-9 || d <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}

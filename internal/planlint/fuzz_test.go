@@ -1,0 +1,96 @@
+package planlint_test
+
+import (
+	"flag"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/planlint"
+	"repro/internal/seq"
+	"repro/internal/testgen"
+)
+
+var fuzzPlans = flag.Int("planlint.plans", 1200, "number of random plans for the differential fuzz harness")
+
+// TestDifferentialFuzz is the planlint fuzz harness: it generates random
+// queries, asserts every one is verifier-clean as a logical tree, runs
+// the optimizer in verify mode (which re-checks invariants after every
+// rewrite-rule firing, on the Step-2 annotation, and on both physical
+// plans), and cross-checks the optimized plan's evaluation against the
+// reference interpreter. Any invariant violation or evaluation
+// disagreement pinpoints the seed and the offending query.
+func TestDifferentialFuzz(t *testing.T) {
+	span := seq.NewSpan(-10, 50)
+	cfg := testgen.Config{MaxDepth: 5, MaxPos: 32, BaseDensity: 0.5}
+	optionSets := []core.Options{
+		{},
+		{DisableRewrites: true},
+		{DisableSpanPropagation: true},
+		{ForceNaiveAggregates: true, ForceNaiveValueOffsets: true},
+		{DisableSlidingAggregates: true},
+	}
+	verified := 0
+	for seed := int64(1); verified < *fuzzPlans; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q, err := testgen.RandomQuery(rng, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		if algebra.Divergent(q) {
+			continue // the optimizer rejects these up front
+		}
+		// Every generated tree must be invariant-clean on its own.
+		if issues := planlint.Verify(q); len(issues) != 0 {
+			t.Fatalf("seed %d: generated query fails verification:\n%v\nquery:\n%s",
+				seed, planlint.Error(issues), q)
+		}
+		opts := optionSets[seed%int64(len(optionSets))]
+		opts.Verify = true
+		res, err := core.Optimize(q, span, opts)
+		if err != nil {
+			t.Fatalf("seed %d: optimize (verify mode): %v\nquery:\n%s", seed, err, q)
+		}
+		want, err := algebra.EvalRange(q, span)
+		if err != nil {
+			t.Fatalf("seed %d: reference interpreter: %v\nquery:\n%s", seed, err, q)
+		}
+		got, err := res.Run()
+		if err != nil {
+			t.Fatalf("seed %d: run: %v\nquery:\n%s\nplan:\n%s", seed, err, q, res.Explain())
+		}
+		if !testgen.EntriesApproxEqual(got.Entries(), want) {
+			t.Fatalf("seed %d: optimized evaluation disagrees with the reference\nquery:\n%s\nplan:\n%s",
+				seed, q, res.Explain())
+		}
+		// Post-run: caches must never have exceeded their configured
+		// capacity (the runtime side of Definition 3.2).
+		if issues := planlint.VerifyPhysical(res.Plan); len(issues) != 0 {
+			t.Fatalf("seed %d: post-run physical verification:\n%v", seed, planlint.Error(issues))
+		}
+		verified++
+	}
+	t.Logf("verified %d random plans differentially", verified)
+}
+
+// TestVerifyAllSwitch covers the process-wide debug switch used by other
+// packages' tests.
+func TestVerifyAllSwitch(t *testing.T) {
+	core.VerifyAll = true
+	defer func() { core.VerifyAll = false }()
+	rng := rand.New(rand.NewSource(42))
+	cfg := testgen.DefaultConfig()
+	for i := 0; i < 25; i++ {
+		q, err := testgen.RandomQuery(rng, cfg)
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
+		if algebra.Divergent(q) {
+			continue
+		}
+		if _, err := core.Optimize(q, seq.NewSpan(0, 20), core.Options{}); err != nil {
+			t.Fatalf("optimize under VerifyAll: %v\nquery:\n%s", err, q)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package planlint
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/exec"
+)
+
+// VerifyPhysical checks the structural invariants of a physical plan,
+// chiefly the cache-finiteness side of Theorem 3.1: every operator cache
+// must have a positive, data-independent capacity fixed at plan time
+// (Definition 3.2), and the capacity must match the bound the paper
+// derives for the strategy — |l| retained records for Cache-Strategy-B
+// on a value offset of l, the window size for Cache-Strategy-A. It also
+// rechecks per-operator shape constraints the constructors enforce, and
+// that no cache ever held more than its configured capacity (Peak ≤ Cap,
+// meaningful after a run).
+func VerifyPhysical(p exec.Plan) []Issue {
+	c := &checker{}
+	if p == nil {
+		c.issues = append(c.issues, Issue{
+			Invariant: "phys/nil", Ref: "Thm. 3.1", Node: "<nil>", Detail: "nil plan",
+		})
+		return c.issues
+	}
+	var walk func(n exec.Plan)
+	walk = func(n exec.Plan) {
+		c.checkPhysicalNode(n)
+		for _, ch := range n.Children() {
+			walk(ch)
+		}
+	}
+	walk(p)
+	return c.issues
+}
+
+func (c *checker) reportPlan(invariant, ref string, p exec.Plan, format string, args ...any) {
+	c.issues = append(c.issues, Issue{
+		Invariant: invariant,
+		Ref:       ref,
+		Node:      p.Label(),
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *checker) checkPhysicalNode(n exec.Plan) {
+	// Definition 3.2: cache sizes are constants fixed at plan time.
+	for _, fifo := range n.Caches() {
+		if fifo == nil {
+			c.reportPlan("phys/cache-bound", "Def. 3.2", n, "nil operator cache")
+			continue
+		}
+		if fifo.Cap() < 1 {
+			c.reportPlan("phys/cache-bound", "Def. 3.2", n,
+				"cache capacity %d is not a positive constant", fifo.Cap())
+		}
+		if fifo.Peak() > fifo.Cap() {
+			c.reportPlan("phys/cache-bound", "Def. 3.2", n,
+				"cache peak residency %d exceeded capacity %d", fifo.Peak(), fifo.Cap())
+		}
+	}
+
+	inner := n
+	if w, ok := n.(*exec.Metered); ok {
+		inner = w.Inner
+	}
+	switch op := inner.(type) {
+	case *exec.ValueOffsetIncremental:
+		// Theorem 3.1 / §3.5: Cache-Strategy-B retains exactly the last
+		// (or next) |l| non-Null records.
+		want := op.Offset
+		if want < 0 {
+			want = -want
+		}
+		total := 0
+		for _, fifo := range op.Caches() {
+			total += fifo.Cap()
+		}
+		if int64(total) != want {
+			c.reportPlan("phys/cache-bound", "Thm. 3.1", n,
+				"Cache-Strategy-B capacity %d, want |l| = %d", total, want)
+		}
+		if op.Offset == 0 {
+			c.reportPlan("phys/shape", "§2.1", n, "value offset of 0")
+		}
+	case *exec.ValueOffsetNaive:
+		if op.Offset == 0 {
+			c.reportPlan("phys/shape", "§2.1", n, "value offset of 0")
+		}
+	case *exec.AggCached:
+		// Cache-Strategy-A holds one window's worth of records (§3.5,
+		// Figure 5.A) — only defined for bounded windows.
+		size, fixed := op.Spec.Window.Size()
+		if !fixed {
+			c.reportPlan("phys/shape", "§3.5", n, "Cache-Strategy-A over unbounded window %s", op.Spec.Window)
+			break
+		}
+		total := 0
+		for _, fifo := range op.Caches() {
+			total += fifo.Cap()
+		}
+		if int64(total) != size {
+			c.reportPlan("phys/cache-bound", "§3.5", n,
+				"Cache-Strategy-A capacity %d, want window size %d", total, size)
+		}
+	case *exec.AggSliding:
+		if _, fixed := op.Spec.Window.Size(); !fixed {
+			c.reportPlan("phys/shape", "§3.5", n, "sliding accumulator over unbounded window %s", op.Spec.Window)
+		}
+	case *exec.Materialize:
+		// Materialization must cover a bounded span, or the "cache" grows
+		// with the data and the memory bound of Definition 3.2 is lost.
+		if !op.Span.Bounded() {
+			c.reportPlan("phys/materialize-bounded", "§5.3", n, "unbounded materialization span %s", op.Span)
+		}
+	case *exec.ComposeOp:
+		ls := op.L.Info().Schema.NumFields()
+		rs := op.R.Info().Schema.NumFields()
+		if got := op.Info().Schema.NumFields(); got != ls+rs {
+			c.reportPlan("phys/shape", "§2.1", n, "composed arity %d, want %d+%d", got, ls, rs)
+		}
+	case *exec.CollapseOp:
+		if op.Factor <= 1 {
+			c.reportPlan("phys/shape", "§5.1", n, "collapse factor %d, want > 1", op.Factor)
+		}
+	case *exec.ExpandOp:
+		if op.Factor <= 1 {
+			c.reportPlan("phys/shape", "§5.1", n, "expand factor %d, want > 1", op.Factor)
+		}
+	}
+}
+
+// VerifyCosts checks the optimizer's recorded per-node estimates against
+// the cost-model ground rules (§4.1): every recorded cost must be
+// non-negative and finite, and the root of the plan must have been
+// priced. lookup returns the recorded (stream, perProbe) estimate for a
+// node and whether one exists.
+func VerifyCosts(p exec.Plan, lookup func(exec.Plan) (stream, probe float64, ok bool)) []Issue {
+	c := &checker{}
+	if p == nil || lookup == nil {
+		return c.issues
+	}
+	if _, _, ok := lookup(p); !ok {
+		c.reportPlan("cost/root-priced", "§4.1", p, "no recorded estimate for the plan root")
+	}
+	var walk func(n exec.Plan)
+	walk = func(n exec.Plan) {
+		if stream, probe, ok := lookup(n); ok {
+			if stream < 0 || math.IsNaN(stream) || math.IsInf(stream, 0) {
+				c.reportPlan("cost/finite", "§4.1", n, "stream cost %v is not a finite non-negative number", stream)
+			}
+			if probe < 0 || math.IsNaN(probe) || math.IsInf(probe, 0) {
+				c.reportPlan("cost/finite", "§4.1", n, "per-probe cost %v is not a finite non-negative number", probe)
+			}
+		}
+		for _, ch := range n.Children() {
+			walk(ch)
+		}
+	}
+	walk(p)
+	return c.issues
+}

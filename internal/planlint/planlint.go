@@ -1,0 +1,591 @@
+// Package planlint is a static verifier for query plans: it walks a
+// logical or physical plan and checks the algebraic invariants the
+// paper's correctness story rests on — scope-property composition
+// (Proposition 2.1), span and density propagation (§3.2–3.3, Defs.
+// 3.1–3.3), block delimitation at non-unit-scope operators (§3.1), and
+// the stream-access/cache-finiteness theorem (Theorem 3.1). A bad
+// rewrite rule, a stale annotation, or a half-plumbed operator Kind
+// turns into a diagnostic here instead of a silently wrong answer at
+// runtime.
+//
+// The verifier is deliberately a second implementation: wherever the
+// engine derives a property (operator scopes, spans, densities, cache
+// bounds), planlint re-derives it independently from the paper's
+// definitions and compares. See docs/INVARIANTS.md for the full list of
+// checked invariants with their paper references.
+//
+// Entry points:
+//
+//   - Verify checks a logical tree (structure, schemas, scopes, blocks).
+//   - VerifyAnnotation checks Step-2 meta-information against the tree.
+//   - VerifyPhysical checks a physical plan's cache bounds and shapes.
+//   - VerifyCosts checks recorded per-node cost estimates.
+//   - CheckRule is the rewrite-time hook: it verifies one rule firing
+//     preserved the whole-query scope properties.
+package planlint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/seq"
+)
+
+// Issue is one invariant violation found in a plan.
+type Issue struct {
+	// Invariant is the short identifier of the violated invariant, e.g.
+	// "scope/unit" or "meta/density-range" (the ids index into
+	// docs/INVARIANTS.md).
+	Invariant string
+	// Ref is the paper reference backing the invariant.
+	Ref string
+	// Node locates the offending operator (its label or kind).
+	Node string
+	// Detail explains the violation.
+	Detail string
+}
+
+// String renders the issue on one line.
+func (i Issue) String() string {
+	return fmt.Sprintf("%s [%s] at %s: %s", i.Invariant, i.Ref, i.Node, i.Detail)
+}
+
+// Error folds a list of issues into a single error (nil when empty).
+func Error(issues []Issue) error {
+	if len(issues) == 0 {
+		return nil
+	}
+	lines := make([]string, len(issues))
+	for i, is := range issues {
+		lines[i] = "  " + is.String()
+	}
+	return fmt.Errorf("planlint: %d invariant violation(s):\n%s", len(issues), strings.Join(lines, "\n"))
+}
+
+// checker accumulates issues during a walk.
+type checker struct {
+	issues []Issue
+}
+
+func (c *checker) report(invariant, ref string, n *algebra.Node, format string, args ...any) {
+	node := "<nil>"
+	if n != nil {
+		node = n.Kind.String()
+		if n.Kind == algebra.KindBase {
+			node = "base(" + n.Name + ")"
+		}
+	}
+	c.issues = append(c.issues, Issue{
+		Invariant: invariant,
+		Ref:       ref,
+		Node:      node,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// Verify checks the logical invariants of a query tree and returns every
+// violation found. A nil or empty result means the tree is clean.
+func Verify(root *algebra.Node) []Issue {
+	c := &checker{}
+	if root == nil {
+		c.report("tree/nil", "§2.2", nil, "nil query root")
+		return c.issues
+	}
+	// §2.2: query graphs are hierarchical — each node feeds exactly one
+	// consumer. Shared nodes also break per-node annotations.
+	seen := make(map[*algebra.Node]bool)
+	var shared *algebra.Node
+	var walkShared func(n *algebra.Node)
+	walkShared = func(n *algebra.Node) {
+		if shared != nil {
+			return
+		}
+		if seen[n] {
+			shared = n
+			return
+		}
+		seen[n] = true
+		for _, in := range n.Inputs {
+			walkShared(in)
+		}
+	}
+	walkShared(root)
+	if shared != nil {
+		c.report("tree/shared-node", "§2.2", shared, "node feeds more than one operator")
+		return c.issues // downstream checks assume a tree
+	}
+
+	var walk func(n *algebra.Node)
+	walk = func(n *algebra.Node) {
+		c.checkStructure(n)
+		c.checkScope(n)
+		for _, in := range n.Inputs {
+			walk(in)
+		}
+	}
+	walk(root)
+	c.checkPathScopes(root)
+	c.checkBlocks(root)
+	c.checkStreamability(root)
+	return c.issues
+}
+
+// arity is the expected input count per Kind (-1 means leaf).
+func arity(k algebra.Kind) int {
+	switch k {
+	case algebra.KindBase, algebra.KindConst:
+		return 0
+	case algebra.KindSelect, algebra.KindProject, algebra.KindPosOffset,
+		algebra.KindValueOffset, algebra.KindAgg, algebra.KindCollapse, algebra.KindExpand:
+		return 1
+	case algebra.KindCompose:
+		return 2
+	default:
+		return -1
+	}
+}
+
+// checkStructure validates the node's shape: input arity, payloads,
+// schema derivation, and predicate well-formedness — everything the
+// algebra constructors enforce, rechecked because rewrites may assemble
+// nodes by other means.
+func (c *checker) checkStructure(n *algebra.Node) {
+	want := arity(n.Kind)
+	if want < 0 {
+		c.report("node/kind", "§2.1", n, "unknown operator kind %d", int(n.Kind))
+		return
+	}
+	if len(n.Inputs) != want {
+		c.report("node/arity", "§2.1", n, "has %d inputs, want %d", len(n.Inputs), want)
+		return
+	}
+	if n.Schema == nil {
+		c.report("node/schema", "§2.1", n, "nil output schema")
+		return
+	}
+	for i, in := range n.Inputs {
+		if in == nil {
+			c.report("node/arity", "§2.1", n, "input %d is nil", i)
+			return
+		}
+	}
+	switch n.Kind {
+	case algebra.KindBase:
+		if n.Seq == nil {
+			c.report("node/payload", "§2.1", n, "base without a physical sequence")
+		} else if !n.Schema.Equal(n.Seq.Info().Schema) {
+			c.report("node/schema", "§2.1", n, "schema %v differs from stored sequence schema %v",
+				n.Schema, n.Seq.Info().Schema)
+		}
+	case algebra.KindConst:
+		if n.Seq == nil {
+			c.report("node/payload", "§2.1", n, "const without a backing sequence")
+		}
+		if len(n.Rec) != n.Schema.NumFields() {
+			c.report("node/schema", "§2.1", n, "const record arity %d vs schema arity %d",
+				len(n.Rec), n.Schema.NumFields())
+		}
+	case algebra.KindSelect:
+		c.checkPred("node/pred", n, n.Pred, n.Inputs[0].Schema, false)
+		if !n.Schema.Equal(n.Inputs[0].Schema) {
+			c.report("node/schema", "§2.1", n, "selection must preserve the input schema")
+		}
+	case algebra.KindProject:
+		if len(n.Items) == 0 {
+			c.report("node/payload", "§2.1", n, "projection with no output items")
+			break
+		}
+		if n.Schema.NumFields() != len(n.Items) {
+			c.report("node/schema", "§2.1", n, "schema arity %d vs %d projection items",
+				n.Schema.NumFields(), len(n.Items))
+			break
+		}
+		for i, it := range n.Items {
+			if it.Expr == nil {
+				c.report("node/payload", "§2.1", n, "projection item %d has nil expression", i)
+				continue
+			}
+			c.checkCols("node/pred", n, it.Expr, n.Inputs[0].Schema)
+			if n.Schema.Field(i).Type != it.Expr.Type() {
+				c.report("node/schema", "§2.1", n, "item %d has type %s but schema says %s",
+					i, it.Expr.Type(), n.Schema.Field(i).Type)
+			}
+		}
+	case algebra.KindPosOffset:
+		if !n.Schema.Equal(n.Inputs[0].Schema) {
+			c.report("node/schema", "§2.1", n, "positional offset must preserve the input schema")
+		}
+	case algebra.KindValueOffset:
+		if n.Offset == 0 {
+			c.report("node/payload", "§2.1", n, "value offset of 0 is not an operator")
+		}
+		if !n.Schema.Equal(n.Inputs[0].Schema) {
+			c.report("node/schema", "§2.1", n, "value offset must preserve the input schema")
+		}
+	case algebra.KindAgg:
+		c.checkAggSpec(n, n.Agg, false)
+	case algebra.KindCompose:
+		wantArity := n.Inputs[0].Schema.NumFields() + n.Inputs[1].Schema.NumFields()
+		if n.Schema.NumFields() != wantArity {
+			c.report("node/schema", "§2.1", n, "composed schema arity %d, want %d",
+				n.Schema.NumFields(), wantArity)
+		}
+		if n.Pred != nil {
+			c.checkPred("node/pred", n, n.Pred, n.Schema, false)
+		}
+	case algebra.KindCollapse:
+		if n.Factor <= 1 {
+			c.report("node/payload", "§5.1", n, "collapse factor %d, want > 1", n.Factor)
+		}
+		c.checkAggSpec(n, n.Agg, true)
+	case algebra.KindExpand:
+		if n.Factor <= 1 {
+			c.report("node/payload", "§5.1", n, "expand factor %d, want > 1", n.Factor)
+		}
+		if !n.Schema.Equal(n.Inputs[0].Schema) {
+			c.report("node/schema", "§5.1", n, "expand must preserve the input schema")
+		}
+	}
+}
+
+func (c *checker) checkAggSpec(n *algebra.Node, spec *algebra.AggSpec, collapse bool) {
+	if spec == nil {
+		c.report("node/payload", "§2.1", n, "aggregate without a spec")
+		return
+	}
+	if !collapse {
+		if err := spec.Window.Validate(); err != nil {
+			c.report("node/payload", "§2.1", n, "invalid window: %v", err)
+		}
+	}
+	in := n.Inputs[0].Schema
+	switch {
+	case spec.Arg == -1:
+		if spec.Func != algebra.AggCount {
+			c.report("node/payload", "§2.1", n, "%s requires an input attribute", spec.Func)
+		}
+	case spec.Arg < 0 || spec.Arg >= in.NumFields():
+		c.report("node/payload", "§2.1", n, "aggregate attribute %d out of range for %v", spec.Arg, in)
+	}
+	if n.Schema.NumFields() != 1 {
+		c.report("node/schema", "§2.1", n, "aggregate output must be a single attribute, got %d",
+			n.Schema.NumFields())
+	}
+}
+
+func (c *checker) checkPred(invariant string, n *algebra.Node, pred expr.Expr, schema *seq.Schema, optional bool) {
+	if pred == nil {
+		if !optional {
+			c.report(invariant, "§2.1", n, "missing predicate")
+		}
+		return
+	}
+	if pred.Type() != seq.TBool {
+		c.report(invariant, "§2.1", n, "predicate has type %s, want bool", pred.Type())
+	}
+	c.checkCols(invariant, n, pred, schema)
+}
+
+func (c *checker) checkCols(invariant string, n *algebra.Node, e expr.Expr, schema *seq.Schema) {
+	for _, i := range expr.Columns(e) {
+		if i < 0 || i >= schema.NumFields() {
+			c.report(invariant, "§2.1", n, "expression %s references column %d outside %v", e, i, schema)
+		}
+	}
+}
+
+// checkScope re-derives the scope properties each operator must report on
+// each input — straight from the §2.3 definitions — and compares them
+// with what Node.Scope returns.
+func (c *checker) checkScope(n *algebra.Node) {
+	if arity(n.Kind) < 0 || len(n.Inputs) != arity(n.Kind) {
+		return // structure check already reported
+	}
+	for i := range n.Inputs {
+		got, err := n.Scope(i)
+		if err != nil {
+			c.report("scope/defined", "§2.3", n, "Scope(%d): %v", i, err)
+			continue
+		}
+		want, ok := expectedScope(n)
+		if !ok {
+			continue
+		}
+		if got != want {
+			c.report("scope/derivation", "§2.3", n, "Scope(%d) = %+v, definition gives %+v", i, got, want)
+		}
+		// Unit-scope operators (§2.3): selections, projections, compose.
+		switch n.Kind {
+		case algebra.KindSelect, algebra.KindProject, algebra.KindCompose:
+			if !got.Unit() || !got.Sequential || !got.Relative {
+				c.report("scope/unit", "Prop. 2.1", n, "unit-scope operator reports %+v", got)
+			}
+		case algebra.KindBase, algebra.KindConst, algebra.KindPosOffset,
+			algebra.KindValueOffset, algebra.KindAgg, algebra.KindCollapse,
+			algebra.KindExpand:
+			// No unit-scope law for leaves and non-unit operators.
+		}
+		// Soundness of block delimitation: an input scope that is not a
+		// fixed single position must come from a NonUnitScope operator,
+		// or the block optimizer would reorder across it (§3.1).
+		// Positional offsets are the sanctioned exception: their scope is
+		// a single relative position, so they stay inside blocks.
+		unitSize := got.FixedSize && got.Size == 1
+		if !unitSize && !n.NonUnitScope() {
+			c.report("scope/block-soundness", "§3.1", n,
+				"non-unit scope %+v on an operator the block pass treats as unit", got)
+		}
+	}
+	// Non-unit markers must be exactly the paper's block breakers.
+	wantNonUnit := n.Kind == algebra.KindAgg || n.Kind == algebra.KindValueOffset || n.Kind == algebra.KindCollapse
+	if n.NonUnitScope() != wantNonUnit {
+		c.report("scope/block-markers", "§3.1", n, "NonUnitScope() = %v, want %v",
+			n.NonUnitScope(), wantNonUnit)
+	}
+}
+
+// expectedScope is the independent scope derivation (§2.3, Def. 3.3 for
+// value offsets). ok=false for leaves.
+func expectedScope(n *algebra.Node) (algebra.ScopeProps, bool) {
+	switch n.Kind {
+	case algebra.KindBase, algebra.KindConst:
+		return algebra.ScopeProps{}, false // leaves have no input scope
+	case algebra.KindSelect, algebra.KindProject, algebra.KindCompose:
+		return algebra.UnitScope(), true
+	case algebra.KindPosOffset:
+		return algebra.ScopeProps{
+			FixedSize: true, Size: 1,
+			Sequential: n.Offset == 0,
+			Relative:   true,
+			Win:        algebra.Range(n.Offset, n.Offset),
+		}, true
+	case algebra.KindValueOffset:
+		// Effective scope (Def. 3.3): the relative hull of the true,
+		// data-dependent scope — open-ended on the side the offset reads.
+		w := algebra.Window{LoUnbounded: true, Hi: -1}
+		if n.Offset > 0 {
+			w = algebra.Window{Lo: 1, HiUnbounded: true}
+		}
+		return algebra.ScopeProps{Win: w}, true
+	case algebra.KindAgg:
+		if n.Agg == nil {
+			return algebra.ScopeProps{}, false
+		}
+		w := n.Agg.Window
+		size, fixed := w.Size()
+		return algebra.ScopeProps{
+			FixedSize: fixed, Size: size,
+			Sequential: w.Sequential(),
+			Relative:   true,
+			Win:        w,
+		}, true
+	case algebra.KindCollapse:
+		return algebra.ScopeProps{FixedSize: true, Size: n.Factor}, true
+	case algebra.KindExpand:
+		return algebra.ScopeProps{FixedSize: true, Size: 1}, true
+	default:
+		return algebra.ScopeProps{}, false
+	}
+}
+
+// checkPathScopes verifies Proposition 2.1 on every root-to-leaf path:
+// the composed scope of the whole query on a leaf must (a) be fixed-size
+// when every operator on the path has fixed-size scope and the summed
+// window is bounded, (b) be sequential when every operator is
+// sequential, and (c) be relative with the summed window when every
+// operator is relative. QueryScopes computes the left side; the fold
+// here recomputes the right side independently.
+func (c *checker) checkPathScopes(root *algebra.Node) {
+	composed := algebra.QueryScopes(root)
+
+	type fold struct {
+		allFixed, allSeq, allRel bool
+		win                      algebra.Window
+	}
+	var walk func(n *algebra.Node, acc fold)
+	walk = func(n *algebra.Node, acc fold) {
+		if n.IsLeaf() {
+			got, ok := composed[n]
+			if !ok {
+				c.report("scope/compose", "Prop. 2.1", n, "leaf missing from QueryScopes")
+				return
+			}
+			if got.Sequential != acc.allSeq {
+				c.report("scope/compose", "Prop. 2.1(b)", n,
+					"composed Sequential=%v, path fold gives %v", got.Sequential, acc.allSeq)
+			}
+			if got.Relative != acc.allRel {
+				c.report("scope/compose", "Prop. 2.1(c)", n,
+					"composed Relative=%v, path fold gives %v", got.Relative, acc.allRel)
+			}
+			if acc.allRel && got.Win != acc.win {
+				c.report("scope/compose", "Prop. 2.1(c)", n,
+					"composed window %s, summed path windows %s", got.Win, acc.win)
+			}
+			_, bounded := acc.win.Size()
+			wantFixed := acc.allFixed && bounded
+			if got.FixedSize != wantFixed {
+				c.report("scope/compose", "Prop. 2.1(a)", n,
+					"composed FixedSize=%v, path fold gives %v", got.FixedSize, wantFixed)
+			}
+			return
+		}
+		for i, in := range n.Inputs {
+			s, err := n.Scope(i)
+			if err != nil {
+				continue // scope/defined already reported
+			}
+			next := fold{
+				allFixed: acc.allFixed && s.FixedSize,
+				allSeq:   acc.allSeq && s.Sequential,
+				allRel:   acc.allRel && s.Relative,
+				win:      sumWindows(acc.win, s.Win),
+			}
+			walk(in, next)
+		}
+	}
+	walk(root, fold{allFixed: true, allSeq: true, allRel: true, win: algebra.Range(0, 0)})
+}
+
+// sumWindows adds two relative windows, saturating unbounded sides — the
+// window arithmetic of Proposition 2.1(c), reimplemented for the check.
+func sumWindows(a, b algebra.Window) algebra.Window {
+	out := algebra.Window{
+		LoUnbounded: a.LoUnbounded || b.LoUnbounded,
+		HiUnbounded: a.HiUnbounded || b.HiUnbounded,
+	}
+	if !out.LoUnbounded {
+		out.Lo = a.Lo + b.Lo
+	}
+	if !out.HiUnbounded {
+		out.Hi = a.Hi + b.Hi
+	}
+	return out
+}
+
+// checkBlocks verifies that query blocks are delimited exactly at the
+// non-unit-scope operators (§3.1): peeling unit-scope unary operators
+// from any region root must bottom out at a leaf, at a compose region,
+// or at a non-unit operator — never skip past one.
+func (c *checker) checkBlocks(root *algebra.Node) {
+	var regionRoots []*algebra.Node
+	regionRoots = append(regionRoots, root)
+	var collect func(n *algebra.Node)
+	collect = func(n *algebra.Node) {
+		if n.NonUnitScope() {
+			regionRoots = append(regionRoots, n.Inputs...)
+		}
+		for _, in := range n.Inputs {
+			collect(in)
+		}
+	}
+	collect(root)
+
+	var peel func(n *algebra.Node)
+	peel = func(n *algebra.Node) {
+		if n.IsLeaf() || n.NonUnitScope() {
+			return // block boundary: a source or a lower block's output
+		}
+		if n.Kind == algebra.KindCompose {
+			// Compose stays inside the block; its inputs are sources or
+			// further unit-scope chains of the same block.
+			peel(n.Inputs[0])
+			peel(n.Inputs[1])
+			return
+		}
+		if len(n.Inputs) != 1 {
+			c.report("block/delimitation", "§3.1", n,
+				"unit-scope region contains a non-unary, non-compose operator")
+			return
+		}
+		// The operator stays inside the block only if its scope on its
+		// input is a single fixed position.
+		s, err := n.Scope(0)
+		if err != nil || !s.FixedSize || s.Size != 1 {
+			c.report("block/delimitation", "§3.1", n,
+				"operator with scope %+v sits inside a block (must delimit it)", s)
+			return
+		}
+		peel(n.Inputs[0])
+	}
+	for _, r := range regionRoots {
+		peel(r)
+	}
+}
+
+// checkStreamability re-derives the single-scan evaluability rule the
+// engine uses (Theorem 3.1 plus the §3.4–3.5 broadenings): only
+// unbounded *future* references defeat a bounded-cache stream plan.
+func (c *checker) checkStreamability(root *algebra.Node) {
+	defeated := false
+	var walk func(n *algebra.Node)
+	walk = func(n *algebra.Node) {
+		if n.Kind == algebra.KindAgg && n.Agg != nil && n.Agg.Window.HiUnbounded {
+			defeated = true
+		}
+		for _, in := range n.Inputs {
+			walk(in)
+		}
+	}
+	walk(root)
+	if got := algebra.StreamEvaluable(root); got != !defeated {
+		c.report("stream/evaluable", "Thm. 3.1", root,
+			"StreamEvaluable=%v but unbounded-future analysis gives %v", got, !defeated)
+	}
+}
+
+// LeafScopes returns the whole-query scope properties per base-sequence
+// name (Prop. 2.1 composition along each path). Names mapping to more
+// than one leaf are dropped — the comparison in CheckRule is only sound
+// for uniquely named bases.
+func LeafScopes(root *algebra.Node) map[string]algebra.ScopeProps {
+	scopes := algebra.QueryScopes(root)
+	out := make(map[string]algebra.ScopeProps)
+	dup := make(map[string]bool)
+	for n, s := range scopes {
+		if n.Kind != algebra.KindBase {
+			continue
+		}
+		if _, seen := out[n.Name]; seen {
+			dup[n.Name] = true
+			continue
+		}
+		out[n.Name] = s
+	}
+	for name := range dup {
+		delete(out, name)
+	}
+	return out
+}
+
+// sortIssues orders issues deterministically for golden-file rendering.
+func sortIssues(issues []Issue) {
+	sort.Slice(issues, func(i, j int) bool {
+		a, b := issues[i], issues[j]
+		if a.Invariant != b.Invariant {
+			return a.Invariant < b.Invariant
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Detail < b.Detail
+	})
+}
+
+// Render formats issues one per line, sorted, for golden-file tests.
+func Render(issues []Issue) string {
+	cp := append([]Issue(nil), issues...)
+	sortIssues(cp)
+	var b strings.Builder
+	for _, is := range cp {
+		b.WriteString(is.String())
+		b.WriteByte('\n')
+	}
+	if b.Len() == 0 {
+		return "clean\n"
+	}
+	return b.String()
+}

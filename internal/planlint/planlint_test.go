@@ -1,0 +1,313 @@
+package planlint_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/meta"
+	"repro/internal/planlint"
+	"repro/internal/seq"
+)
+
+var update = flag.Bool("update", false, "rewrite the planlint golden files")
+
+func intSchema(t *testing.T, names ...string) *seq.Schema {
+	t.Helper()
+	fields := make([]seq.Field, len(names))
+	for i, n := range names {
+		fields[i] = seq.Field{Name: n, Type: seq.TInt}
+	}
+	s, err := seq.NewSchema(fields...)
+	if err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	return s
+}
+
+func intBase(t *testing.T, name string, positions ...seq.Pos) *algebra.Node {
+	t.Helper()
+	schema := intSchema(t, "v")
+	entries := make([]seq.Entry, len(positions))
+	for i, p := range positions {
+		entries[i] = seq.Entry{Pos: p, Rec: seq.Record{seq.Int(int64(p) * 10)}}
+	}
+	return algebra.Base(name, seq.MustMaterialized(schema, entries))
+}
+
+func mustSelect(t *testing.T, in *algebra.Node) *algebra.Node {
+	t.Helper()
+	col, err := expr.NewCol(in.Schema, in.Schema.Field(0).Name)
+	if err != nil {
+		t.Fatalf("col: %v", err)
+	}
+	pred, err := expr.NewBin(expr.OpGt, col, expr.Literal(seq.Int(0)))
+	if err != nil {
+		t.Fatalf("pred: %v", err)
+	}
+	sel, err := algebra.Select(in, pred)
+	if err != nil {
+		t.Fatalf("select: %v", err)
+	}
+	return sel
+}
+
+func builder(t *testing.T) func(*algebra.Node, error) *algebra.Node {
+	t.Helper()
+	return func(n *algebra.Node, err error) *algebra.Node {
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		return n
+	}
+}
+
+// cleanQueries builds well-formed trees covering every operator kind and
+// the scope compositions of Proposition 2.1.
+func cleanQueries(t *testing.T) map[string]*algebra.Node {
+	t.Helper()
+	must := builder(t)
+	base := func() *algebra.Node { return intBase(t, "a", 0, 1, 2, 3, 5, 8) }
+	other := func() *algebra.Node { return intBase(t, "b", 1, 2, 4, 8) }
+	q := map[string]*algebra.Node{
+		"base":        base(),
+		"select":      mustSelect(t, base()),
+		"project":     must(algebra.ProjectCols(base(), "v")),
+		"pos-offset":  must(algebra.PosOffset(base(), -3)),
+		"voffset-pos": must(algebra.Next(base())),
+		"voffset-neg": must(algebra.Previous(base())),
+		"agg-trailing": must(algebra.AggCol(base(), algebra.AggSum, "v",
+			algebra.Trailing(4), "s")),
+		"agg-cumulative": must(algebra.AggCol(base(), algebra.AggAvg, "v",
+			algebra.Cumulative(), "m")),
+		"compose": must(algebra.Compose(base(), other(), nil, "l", "r")),
+		"expand":  must(algebra.Expand(base(), 3)),
+		"collapse": must(algebra.Collapse(base(), 4,
+			algebra.AggSpec{Func: algebra.AggMax, Arg: 0, As: "mx"})),
+	}
+	// A deep mixed tree: select over agg over voffset over compose.
+	deep := must(algebra.Compose(base(), other(), nil, "l", "r"))
+	deep = must(algebra.ProjectCols(deep, "l.v"))
+	deep = must(algebra.Previous(deep))
+	deep = must(algebra.AggCol(deep, algebra.AggMin, "l.v", algebra.Trailing(3), "w"))
+	q["deep"] = mustSelect(t, deep)
+	return q
+}
+
+func TestVerifyCleanQueries(t *testing.T) {
+	for name, q := range cleanQueries(t) {
+		if issues := planlint.Verify(q); len(issues) != 0 {
+			t.Errorf("%s: %v", name, planlint.Error(issues))
+		}
+	}
+}
+
+func TestVerifyAnnotationCleanQueries(t *testing.T) {
+	for name, q := range cleanQueries(t) {
+		ann, err := meta.Annotate(q, seq.NewSpan(-5, 20))
+		if err != nil {
+			t.Fatalf("%s: annotate: %v", name, err)
+		}
+		if issues := planlint.VerifyAnnotation(q, ann); len(issues) != 0 {
+			t.Errorf("%s: %v", name, planlint.Error(issues))
+		}
+	}
+}
+
+// brokenQueries assembles invalid trees by struct literal — the way a
+// buggy rewrite rule would, bypassing the checked constructors. Each maps
+// to a golden file of expected diagnostics.
+func brokenQueries(t *testing.T) map[string]*algebra.Node {
+	t.Helper()
+	base := intBase(t, "a", 0, 1, 2)
+	schema := base.Schema
+	shared := intBase(t, "s", 0, 1)
+	badPred, err := expr.NewCol(intSchema(t, "x", "y", "z"), "z")
+	if err != nil {
+		t.Fatalf("col: %v", err)
+	}
+	return map[string]*algebra.Node{
+		"clean": mustSelect(t, intBase(t, "a", 0, 1, 2)),
+		"unknown-kind": {
+			Kind: algebra.Kind(99), Schema: schema,
+		},
+		"select-arity": {
+			Kind: algebra.KindSelect, Schema: schema,
+		},
+		"select-schema-drift": {
+			Kind:   algebra.KindSelect,
+			Inputs: []*algebra.Node{intBase(t, "a", 0)},
+			Schema: intSchema(t, "other"),
+			Pred:   expr.Literal(seq.Bool(true)),
+		},
+		"pred-out-of-range": {
+			Kind:   algebra.KindSelect,
+			Inputs: []*algebra.Node{intBase(t, "a", 0)},
+			Schema: schema,
+			Pred:   badPred, // references column 2 of a 1-column input; also non-bool
+		},
+		"voffset-zero": {
+			Kind:   algebra.KindValueOffset,
+			Inputs: []*algebra.Node{intBase(t, "a", 0)},
+			Schema: schema,
+			Offset: 0,
+		},
+		"collapse-factor": {
+			Kind:   algebra.KindCollapse,
+			Inputs: []*algebra.Node{intBase(t, "a", 0)},
+			Schema: intSchema(t, "mx"),
+			Factor: 1,
+			Agg:    &algebra.AggSpec{Func: algebra.AggMax, Arg: 0, As: "mx"},
+		},
+		"agg-bad-arg": {
+			Kind:   algebra.KindAgg,
+			Inputs: []*algebra.Node{intBase(t, "a", 0)},
+			Schema: intSchema(t, "s"),
+			Agg:    &algebra.AggSpec{Func: algebra.AggSum, Arg: 7, Window: algebra.Trailing(2), As: "s"},
+		},
+		"shared-node": {
+			Kind:      algebra.KindCompose,
+			Inputs:    []*algebra.Node{shared, shared},
+			Schema:    intSchema(t, "l.v", "r.v"),
+			LeftQual:  "l",
+			RightQual: "r",
+		},
+	}
+}
+
+func TestVerifyGolden(t *testing.T) {
+	for name, q := range brokenQueries(t) {
+		got := planlint.Render(planlint.Verify(q))
+		path := filepath.Join("testdata", name+".golden")
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to regenerate)", name, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: diagnostics changed\n--- got ---\n%s--- want ---\n%s", name, got, want)
+		}
+	}
+}
+
+// TestVerifyAnnotationStale mutates an annotation after the fact — the
+// failure mode of rewriting a tree without re-annotating it.
+func TestVerifyAnnotationStale(t *testing.T) {
+	q := mustSelect(t, intBase(t, "a", 0, 1, 2, 3))
+	ann, err := meta.Annotate(q, seq.NewSpan(0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ann.Get(q)
+	m.Density = 1.5               // out of range and disagreeing with recompute
+	m.Span = m.Span.Grow(0, 1000) // stale span
+	issues := planlint.Verify(q)  // tree itself is still fine
+	if len(issues) != 0 {
+		t.Fatalf("tree unexpectedly dirty: %v", planlint.Error(issues))
+	}
+	issues = planlint.VerifyAnnotation(q, ann)
+	rendered := planlint.Render(issues)
+	for _, want := range []string{"meta/density-range", "meta/density-agree", "meta/span-agree", "meta/density-monotone"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("stale annotation: missing %s in:\n%s", want, rendered)
+		}
+	}
+}
+
+// TestVerifyPhysicalBroken builds malformed physical nodes by struct
+// literal, bypassing the checked constructors.
+func TestVerifyPhysicalBroken(t *testing.T) {
+	leaf := exec.NewLeaf("a", intBase(t, "a", 0, 1, 2).Seq, seq.NewSpan(0, 2))
+
+	unboundedMat := &exec.Materialize{In: leaf, Span: seq.AllSpan}
+	if got := planlint.Render(planlint.VerifyPhysical(unboundedMat)); !strings.Contains(got, "phys/materialize-bounded") {
+		t.Errorf("unbounded materialize not flagged:\n%s", got)
+	}
+
+	zeroOffset := &exec.ValueOffsetNaive{In: leaf, Offset: 0, OutSpan: seq.NewSpan(0, 2)}
+	if got := planlint.Render(planlint.VerifyPhysical(zeroOffset)); !strings.Contains(got, "phys/shape") {
+		t.Errorf("zero-offset naive voffset not flagged:\n%s", got)
+	}
+
+	goodMat, err := exec.NewMaterialize(leaf, seq.NewSpan(0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := planlint.VerifyPhysical(goodMat); len(issues) != 0 {
+		t.Errorf("well-formed materialize flagged: %v", planlint.Error(issues))
+	}
+}
+
+// TestCheckRule exercises the rewrite-time hook directly.
+func TestCheckRule(t *testing.T) {
+	must := builder(t)
+	base := func() *algebra.Node { return intBase(t, "a", 0, 1, 2, 3) }
+
+	// A "rule" that replaces offset(+2) with offset(+1) changes the
+	// composed window on base a: Proposition 2.1 violated.
+	before := must(algebra.PosOffset(base(), 2))
+	after := must(algebra.PosOffset(base(), 1))
+	if err := planlint.CheckRule("bad-shift", before, after); err == nil {
+		t.Error("scope-changing rule not rejected")
+	} else if !strings.Contains(err.Error(), "Prop. 2.1") {
+		t.Errorf("unexpected error: %v", err)
+	}
+
+	// Dropping a base from the tree is a violation.
+	composed := must(algebra.Compose(base(), intBase(t, "b", 1, 2), nil, "l", "r"))
+	if err := planlint.CheckRule("drop-branch", composed, base()); err == nil {
+		t.Error("base-dropping rule not rejected")
+	} else if !strings.Contains(err.Error(), "dropped base") {
+		t.Errorf("unexpected error: %v", err)
+	}
+
+	// Cancelling offsets (+1 then -1 -> identity) legitimately *gains*
+	// sequentiality; the hook must accept the improvement.
+	cancelled := must(algebra.PosOffset(must(algebra.PosOffset(base(), 1)), -1))
+	if err := planlint.CheckRule("fuse-offsets", cancelled, base()); err != nil {
+		t.Errorf("sequentiality-improving rule rejected: %v", err)
+	}
+
+	// A rule producing an invalid tree is rejected with the diagnostics.
+	broken := &algebra.Node{Kind: algebra.KindSelect, Schema: base().Schema}
+	if err := planlint.CheckRule("breaks-tree", base(), broken); err == nil {
+		t.Error("invalid-tree rule not rejected")
+	} else if !strings.Contains(err.Error(), "node/arity") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// TestVerifyCosts checks the cost-record invariants against a hand-built
+// lookup.
+func TestVerifyCosts(t *testing.T) {
+	leaf := exec.NewLeaf("a", intBase(t, "a", 0, 1, 2).Seq, seq.NewSpan(0, 2))
+	sel := exec.NewSelect(leaf, expr.Literal(seq.Bool(true)))
+
+	priced := func(p exec.Plan) (float64, float64, bool) { return 1, 0.5, true }
+	if issues := planlint.VerifyCosts(sel, priced); len(issues) != 0 {
+		t.Errorf("priced plan flagged: %v", planlint.Error(issues))
+	}
+
+	unpriced := func(p exec.Plan) (float64, float64, bool) { return 0, 0, false }
+	if got := planlint.Render(planlint.VerifyCosts(sel, unpriced)); !strings.Contains(got, "cost/root-priced") {
+		t.Errorf("unpriced root not flagged:\n%s", got)
+	}
+
+	negative := func(p exec.Plan) (float64, float64, bool) { return -1, 0, true }
+	if got := planlint.Render(planlint.VerifyCosts(sel, negative)); !strings.Contains(got, "cost/finite") {
+		t.Errorf("negative cost not flagged:\n%s", got)
+	}
+}

@@ -1,0 +1,47 @@
+package planlint
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+)
+
+// CheckRule verifies one rewrite-rule firing: the transformed subtree
+// must itself pass Verify, and the firing must preserve the whole-query
+// scope properties — the composed scope of the (sub)query on every
+// uniquely named base sequence is the same before and after (§3.1: the
+// legality of every push-through rule is an instance of Proposition 2.1,
+// so a legal rule can reassociate scopes but never change their
+// composition). It is installed as the rewrite engine's per-rule hook in
+// verify mode and returns a descriptive error on the first violation.
+func CheckRule(rule string, before, after *algebra.Node) error {
+	if issues := Verify(after); len(issues) != 0 {
+		return fmt.Errorf("rule %s produced an invalid tree: %w", rule, Error(issues))
+	}
+	pre := LeafScopes(before)
+	post := LeafScopes(after)
+	for name, want := range pre {
+		got, ok := post[name]
+		if !ok {
+			// A rule may drop a base only by eliminating a dead branch;
+			// none of the §3.1 rules do, so treat it as a violation.
+			return fmt.Errorf("rule %s dropped base %q from the query", rule, name)
+		}
+		// The window, relativity and fixedness of the composed scope must
+		// be preserved exactly. Sequentiality is derived conservatively
+		// (an AND-fold along the path), so a rule that cancels offsets may
+		// *gain* sequentiality — the scope set itself is unchanged — but a
+		// rule must never lose it.
+		same := got.Win == want.Win &&
+			got.Relative == want.Relative &&
+			got.FixedSize == want.FixedSize &&
+			got.Size == want.Size &&
+			(got.Sequential == want.Sequential || (got.Sequential && !want.Sequential))
+		if !same {
+			return fmt.Errorf(
+				"rule %s changed the query scope on base %q: %+v -> %+v (Prop. 2.1 violated)",
+				rule, name, want, got)
+		}
+	}
+	return nil
+}

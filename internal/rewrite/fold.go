@@ -150,6 +150,10 @@ func foldLogical(op expr.BinOp, l, r expr.Expr) (expr.Expr, bool) {
 // whose predicate folds to literal true is removed entirely.
 func foldPredicates(n *algebra.Node) (*algebra.Node, bool, error) {
 	switch n.Kind {
+	case algebra.KindBase, algebra.KindConst, algebra.KindPosOffset,
+		algebra.KindValueOffset, algebra.KindAgg, algebra.KindCollapse,
+		algebra.KindExpand:
+		return n, false, nil // no foldable expressions
 	case algebra.KindSelect:
 		pred, changed, err := foldExpr(n.Pred)
 		if err != nil || !changed {

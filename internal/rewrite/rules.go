@@ -52,12 +52,25 @@ func RulesExcept(groups ...string) []Rule {
 	return out
 }
 
+// Hook observes one successful rule application: the rule's name, the
+// subtree it matched, and the subtree it produced. A non-nil error
+// aborts the rewrite. Hooks exist for verification (the optimizer's
+// debug mode installs planlint's per-rule invariant check) and must not
+// mutate either tree.
+type Hook func(rule string, before, after *algebra.Node) error
+
 // Rewrite applies the rules bottom-up to a fixpoint and returns the
 // transformed tree along with the number of rule firings.
 func Rewrite(root *algebra.Node, rules []Rule) (*algebra.Node, int, error) {
+	return RewriteWithHook(root, rules, nil)
+}
+
+// RewriteWithHook is Rewrite with a per-rule-firing observer. A nil hook
+// is equivalent to Rewrite.
+func RewriteWithHook(root *algebra.Node, rules []Rule, hook Hook) (*algebra.Node, int, error) {
 	total := 0
 	for pass := 0; pass < 64; pass++ {
-		n, fired, err := rewritePass(root, rules)
+		n, fired, err := rewritePass(root, rules, hook)
 		if err != nil {
 			return nil, total, err
 		}
@@ -70,14 +83,14 @@ func Rewrite(root *algebra.Node, rules []Rule) (*algebra.Node, int, error) {
 	return nil, total, fmt.Errorf("rewrite: no fixpoint after 64 passes (rule cycle?)")
 }
 
-func rewritePass(n *algebra.Node, rules []Rule) (*algebra.Node, int, error) {
+func rewritePass(n *algebra.Node, rules []Rule, hook Hook) (*algebra.Node, int, error) {
 	fired := 0
 	// Children first.
 	if len(n.Inputs) > 0 {
 		newInputs := make([]*algebra.Node, len(n.Inputs))
 		changed := false
 		for i, in := range n.Inputs {
-			ni, f, err := rewritePass(in, rules)
+			ni, f, err := rewritePass(in, rules, hook)
 			if err != nil {
 				return nil, fired, err
 			}
@@ -104,6 +117,11 @@ func rewritePass(n *algebra.Node, rules []Rule) (*algebra.Node, int, error) {
 				return nil, fired, fmt.Errorf("rewrite: rule %s: %w", r.Name, err)
 			}
 			if ok {
+				if hook != nil {
+					if herr := hook(r.Name, n, nn); herr != nil {
+						return nil, fired, fmt.Errorf("rewrite: rule %s: %w", r.Name, herr)
+					}
+				}
 				n = nn
 				fired++
 				applied = true
@@ -121,6 +139,8 @@ func rewritePass(n *algebra.Node, rules []Rule) (*algebra.Node, int, error) {
 // algebra constructors.
 func rebuild(n *algebra.Node, inputs []*algebra.Node) (*algebra.Node, error) {
 	switch n.Kind {
+	case algebra.KindBase, algebra.KindConst:
+		return n, nil // leaves have no inputs to rebuild over
 	case algebra.KindSelect:
 		return algebra.Select(inputs[0], n.Pred)
 	case algebra.KindProject:

@@ -1,0 +1,230 @@
+package rewrite_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/planlint"
+	"repro/internal/rewrite"
+	"repro/internal/seq"
+	"repro/internal/testgen"
+)
+
+func auditBase(t *testing.T, name string) *algebra.Node {
+	t.Helper()
+	schema, err := seq.NewSchema(
+		seq.Field{Name: "v", Type: seq.TInt},
+		seq.Field{Name: "w", Type: seq.TInt},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []seq.Entry
+	for p := seq.Pos(0); p <= 24; p += 2 {
+		entries = append(entries, seq.Entry{Pos: p, Rec: seq.Record{seq.Int(int64(p)), seq.Int(-int64(p))}})
+	}
+	return algebra.Base(name, seq.MustMaterialized(schema, entries))
+}
+
+func vGt(t *testing.T, schema *seq.Schema, col string, lit int64) expr.Expr {
+	t.Helper()
+	c, err := expr.NewCol(schema, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := expr.NewBin(expr.OpGt, c, expr.Literal(seq.Int(lit)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// auditCorpus builds one query per rewrite rule shaped to make that rule
+// fire, plus compound trees with block-delimiting operators.
+func auditCorpus(t *testing.T) map[string]*algebra.Node {
+	t.Helper()
+	must := func(n *algebra.Node, err error) *algebra.Node {
+		if err != nil {
+			t.Fatalf("corpus: %v", err)
+		}
+		return n
+	}
+	a := func() *algebra.Node { return auditBase(t, "a") }
+	b := func() *algebra.Node { return auditBase(t, "b") }
+	sel := func(n *algebra.Node, col string, lit int64) *algebra.Node {
+		return must(algebra.Select(n, vGt(t, n.Schema, col, lit)))
+	}
+	agg := func(n *algebra.Node) *algebra.Node {
+		return must(algebra.AggCol(n, algebra.AggSum, "v", algebra.Trailing(3), "s"))
+	}
+
+	corpus := map[string]*algebra.Node{
+		"merge-selects":              sel(sel(a(), "v", 2), "w", -20),
+		"push-select-through-offset": sel(must(algebra.PosOffset(a(), 2)), "v", 4),
+		"merge-projects": must(algebra.ProjectCols(
+			must(algebra.ProjectCols(a(), "v", "w")), "v")),
+		"push-project-through-offset": must(algebra.ProjectCols(
+			must(algebra.PosOffset(a(), 1)), "v")),
+		"drop-trivial-project": must(algebra.ProjectCols(a(), "v", "w")),
+		"fuse-offsets": must(algebra.PosOffset(
+			must(algebra.PosOffset(a(), 1)), 2)),
+		"drop-zero-offset":        must(algebra.PosOffset(a(), 0)),
+		"push-offset-through-agg": must(algebra.PosOffset(agg(a()), 1)),
+		"push-offset-through-voffset": must(algebra.PosOffset(
+			must(algebra.Previous(a())), 2)),
+	}
+
+	// fold-constants: true AND (v > 2) folds to v > 2.
+	base := a()
+	folded, err := expr.NewBin(expr.OpAnd, expr.Literal(seq.Bool(true)),
+		vGt(t, base.Schema, "v", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus["fold-constants"] = must(algebra.Select(base, folded))
+
+	// Compose-based shapes: predicates and projections referencing one
+	// side only, so the push-through-compose family fires.
+	composed := func() *algebra.Node {
+		return must(algebra.Compose(a(), b(), nil, "l", "r"))
+	}
+	corpus["push-select-through-compose"] = sel(composed(), "l.v", 2)
+	corpus["push-select-through-project"] = sel(
+		must(algebra.ProjectCols(composed(), "l.v", "r.w")), "l.v", 2)
+	corpus["push-project-through-compose"] = must(algebra.ProjectCols(composed(), "l.v"))
+	corpus["push-offset-through-compose"] = must(algebra.PosOffset(composed(), 1))
+	withPred := must(algebra.Compose(a(), b(),
+		vGt(t, composed().Schema, "l.v", 2), "l", "r"))
+	corpus["push-compose-pred"] = withPred
+
+	// Deep trees mixing unit chains with the block-delimiting operators
+	// (Agg, ValueOffset, Collapse), so pushes run up against block
+	// boundaries.
+	deep := sel(must(algebra.PosOffset(agg(sel(a(), "v", 0)), 1)), "s", 1)
+	corpus["deep-agg-block"] = deep
+	corpus["deep-voffset-block"] = sel(must(algebra.PosOffset(
+		must(algebra.Previous(sel(a(), "v", 2))), -1)), "v", 0)
+	corpus["deep-collapse-block"] = must(algebra.PosOffset(
+		must(algebra.Collapse(a(), 4, algebra.AggSpec{Func: algebra.AggMax, Arg: 0, As: "m"})), 1))
+	return corpus
+}
+
+// blockSignature fingerprints the block-delimiting operators of a tree:
+// a legal rewrite pushes unit-scope operators around but never creates,
+// destroys or alters an aggregate, value offset or collapse (§3.1 — the
+// rules operate within blocks).
+func blockSignature(root *algebra.Node) []string {
+	var sig []string
+	var walk func(n *algebra.Node)
+	walk = func(n *algebra.Node) {
+		switch n.Kind {
+		case algebra.KindAgg:
+			sig = append(sig, fmt.Sprintf("agg/%s/%s", n.Agg.Func, n.Agg.Window))
+		case algebra.KindValueOffset:
+			sig = append(sig, fmt.Sprintf("voffset/%d", n.Offset))
+		case algebra.KindCollapse:
+			sig = append(sig, fmt.Sprintf("collapse/%d/%s", n.Factor, n.Agg.Func))
+		case algebra.KindBase, algebra.KindConst, algebra.KindSelect,
+			algebra.KindProject, algebra.KindPosOffset, algebra.KindCompose,
+			algebra.KindExpand:
+			// unit-scope (or leaf): not part of the signature
+		}
+		for _, in := range n.Inputs {
+			walk(in)
+		}
+	}
+	walk(root)
+	sort.Strings(sig)
+	return sig
+}
+
+func sameSignature(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEveryRulePreservesScopes runs each rule in isolation over the
+// whole corpus with planlint's per-firing hook installed: every firing
+// must preserve the composed scope properties (Prop. 2.1) and leave the
+// block-delimiting operators untouched, and the rewritten query must
+// still evaluate identically to the original. Each rule must fire on at
+// least one corpus query, so no rule goes unaudited.
+func TestEveryRulePreservesScopes(t *testing.T) {
+	corpus := auditCorpus(t)
+	span := seq.NewSpan(-5, 30)
+	for _, rule := range rewrite.DefaultRules() {
+		rule := rule
+		t.Run(rule.Name, func(t *testing.T) {
+			fired := 0
+			for name, q := range corpus {
+				before := blockSignature(q)
+				out, n, err := rewrite.RewriteWithHook(q, []rewrite.Rule{rule}, planlint.CheckRule)
+				if err != nil {
+					t.Fatalf("%s on %s: %v", rule.Name, name, err)
+				}
+				if n == 0 {
+					continue
+				}
+				fired += n
+				if !sameSignature(before, blockSignature(out)) {
+					t.Errorf("%s on %s: rule crossed a block boundary:\nbefore %v\nafter  %v",
+						rule.Name, name, before, blockSignature(out))
+				}
+				if issues := planlint.Verify(out); len(issues) != 0 {
+					t.Errorf("%s on %s: %v", rule.Name, name, planlint.Error(issues))
+				}
+				want, err := algebra.EvalRange(q, span)
+				if err != nil {
+					t.Fatalf("%s on %s: reference eval: %v", rule.Name, name, err)
+				}
+				got, err := algebra.EvalRange(out, span)
+				if err != nil {
+					t.Fatalf("%s on %s: rewritten eval: %v", rule.Name, name, err)
+				}
+				if !testgen.EntriesApproxEqual(got, want) {
+					t.Errorf("%s on %s: rewritten query evaluates differently\nbefore:\n%s\nafter:\n%s",
+						rule.Name, name, q, out)
+				}
+			}
+			if fired == 0 {
+				t.Errorf("rule %s never fired on the audit corpus", rule.Name)
+			}
+		})
+	}
+}
+
+// TestFullRuleSetPreservesScopesRandom sweeps random queries through the
+// complete rule set under the scope-preservation hook.
+func TestFullRuleSetPreservesScopesRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := testgen.Config{MaxDepth: 5, MaxPos: 24, BaseDensity: 0.6}
+	rules := rewrite.DefaultRules()
+	for i := 0; i < 300; i++ {
+		q, err := testgen.RandomQuery(rng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if algebra.Divergent(q) {
+			continue
+		}
+		before := blockSignature(q)
+		out, _, err := rewrite.RewriteWithHook(q, rules, planlint.CheckRule)
+		if err != nil {
+			t.Fatalf("query %d: %v\n%s", i, err, q)
+		}
+		if !sameSignature(before, blockSignature(out)) {
+			t.Errorf("query %d: full rule set crossed a block boundary\n%s", i, q)
+		}
+	}
+}
