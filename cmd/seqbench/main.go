@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,8 +24,11 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced-size sweeps")
 	list := flag.Bool("list", false, "list experiments and exit")
 	analyze := flag.Bool("analyze", false, "EXPLAIN ANALYZE a representative query per experiment (per-node metrics)")
+	par := flag.Bool("parallel", false, "sweep span-partitioned worker counts per experiment, writing BENCH_parallel.json")
+	parOut := flag.String("parallel-out", "BENCH_parallel.json", "output path of the -parallel sweep")
+	parWorkers := flag.Int("parallel-workers", 0, "max workers of the -parallel sweep (0 = GOMAXPROCS)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: seqbench [-quick] [-analyze] [-list] [experiment ids...]\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: seqbench [-quick] [-analyze] [-parallel] [-list] [experiment ids...]\n\nexperiments:\n")
 		for _, e := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %s  %s\n", e.ID, e.Name)
 		}
@@ -51,6 +55,26 @@ func main() {
 			}
 			selected = append(selected, e)
 		}
+	}
+
+	if *par {
+		points, err := experiments.ParallelSweep(flag.Args(), *quick, *parWorkers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seqbench: parallel sweep failed: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(points, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seqbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*parOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "seqbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.RenderParallel(points))
+		fmt.Printf("(wrote %d sweep points to %s)\n", len(points), *parOut)
+		return
 	}
 
 	failed := 0

@@ -49,8 +49,9 @@ func main() {
 }
 
 type cli struct {
-	db  *seqproc.DB
-	out io.Writer
+	db   *seqproc.DB
+	out  io.Writer
+	opts seqproc.Options
 }
 
 func (c *cli) exec(line string) error {
@@ -77,6 +78,8 @@ func (c *cli) exec(line string) error {
 		fmt.Fprintf(c.out, "%s: schema=%v span=%v density=%.3f\n",
 			fields[1], info.Schema, info.Span, info.Density)
 		return nil
+	case "set":
+		return c.set(fields[1:])
 	case "gen":
 		return c.gen(fields[1:])
 	case "load":
@@ -125,6 +128,7 @@ func (c *cli) help() {
   gen table1 <scale>                                load the paper's Table 1 data
   load <name> <file.csv>                            load a sequence from CSV (needs a "pos" column)
   save <name> <file.csv>                            write a sequence to CSV
+  set parallelism <n>                               bound span-partitioned workers (0 = auto, 1 = serial)
   list                                              list sequences
   describe <name>                                   show schema and meta-data
   <seql> over <start> <end>                         run a query
@@ -140,6 +144,29 @@ SEQL operators:
   collapse(S, avg(col), k)  expand(S, k)       (ordering domains)
   scalar functions: abs, min, max, floor, ceil, round
 `)
+}
+
+// set adjusts session options; currently only the worker bound of the
+// span-partitioned executor.
+func (c *cli) set(args []string) error {
+	if len(args) != 2 || args[0] != "parallelism" {
+		return fmt.Errorf("usage: set parallelism <n>")
+	}
+	n, err := strconv.Atoi(args[1])
+	if err != nil || n < 0 {
+		return fmt.Errorf("parallelism must be a non-negative integer, got %q", args[1])
+	}
+	c.opts.Parallelism = n
+	c.db.SetOptions(c.opts)
+	switch n {
+	case 0:
+		fmt.Fprintln(c.out, "parallelism: automatic (bounded by GOMAXPROCS)")
+	case 1:
+		fmt.Fprintln(c.out, "parallelism: serial")
+	default:
+		fmt.Fprintf(c.out, "parallelism: up to %d workers (cost model decides)\n", n)
+	}
+	return nil
 }
 
 func (c *cli) gen(args []string) error {

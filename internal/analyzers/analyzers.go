@@ -61,7 +61,7 @@ type Analyzer struct {
 
 // All returns every analyzer, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{KindSwitch, RawStore, StatsAtomic}
+	return []*Analyzer{KindSwitch, RawStore, StatsAtomic, SpanArith}
 }
 
 // Run executes the given analyzers over the pass and returns the

@@ -52,6 +52,27 @@ func (d *Dense) Probe(pos int) int { return pos }
 func (d *Dense) Stats() *Stats     { return &d.S }
 `
 
+const fakeSeq = `package seq
+type Pos = int64
+const (
+	MinPos Pos = (-1 << 62) / 4
+	MaxPos Pos = (1 << 62) / 4
+)
+func ClampPos(p Pos) Pos {
+	if p < MinPos {
+		return MinPos
+	}
+	if p > MaxPos {
+		return MaxPos
+	}
+	return p
+}
+func EffectivelyUnbounded(p Pos) bool { return p <= MinPos/2 || p >= MaxPos/2 }
+type Span struct{ Start, End Pos }
+func (s Span) Bounded() bool          { return s.Start > MinPos && s.End < MaxPos }
+func (s Span) Contains(p Pos) bool    { return p >= s.Start && p <= s.End }
+`
+
 // check type-checks src as a package with the given import path and runs
 // all analyzers over it, returning rendered "line: analyzer: message"
 // strings.
@@ -61,6 +82,7 @@ func check(t *testing.T, importPath, src string) []string {
 	deps := map[string]string{
 		"repro/internal/algebra": fakeAlgebra,
 		"repro/internal/storage": fakeStorage,
+		"repro/internal/seq":     fakeSeq,
 	}
 	pkgs := make(map[string]*types.Package)
 	imp := importerFn(func(path string) (*types.Package, error) {
@@ -271,4 +293,61 @@ func TestSeqvetOnRepository(t *testing.T) {
 	if out, err := vet.CombinedOutput(); err != nil {
 		t.Fatalf("go vet -vettool=seqvet ./... failed: %v\n%s", err, out)
 	}
+}
+
+func TestSpanArithUnclamped(t *testing.T) {
+	got := check(t, "repro/internal/demo", `package demo
+import "repro/internal/seq"
+func shift(s seq.Span, d seq.Pos) seq.Pos {
+	return s.Start + d
+}
+func probeNearEnd() seq.Pos {
+	return seq.MaxPos - 1
+}
+`)
+	wantDiags(t, got,
+		"spanarith: unclamped + on a span endpoint",
+		"spanarith: unclamped - on a span endpoint")
+}
+
+func TestSpanArithSanctioned(t *testing.T) {
+	// Clamped results, comparisons, sentinel-guarded functions,
+	// Contains-guarded functions, and arithmetic on plain positions are
+	// all allowed.
+	got := check(t, "repro/internal/demo", `package demo
+import "repro/internal/seq"
+func clamped(s seq.Span, d seq.Pos) seq.Pos { return seq.ClampPos(s.Start + d) }
+func compared(s seq.Span, d seq.Pos) bool   { return s.Start+d < s.End }
+func guarded(s seq.Span, d seq.Pos) seq.Pos {
+	if !s.Bounded() {
+		return 0
+	}
+	return s.End + d
+}
+func contained(s seq.Span, p seq.Pos) seq.Pos {
+	if !s.Contains(p) {
+		return 0
+	}
+	return p - s.Start
+}
+func sentinelChecked(s seq.Span) seq.Pos {
+	if s.Start <= seq.MinPos {
+		return 0
+	}
+	return s.Start - 1
+}
+func plain(a, b seq.Pos) seq.Pos { return a + b }
+`)
+	wantDiags(t, got)
+}
+
+func TestSpanArithSuppression(t *testing.T) {
+	got := check(t, "repro/internal/demo", `package demo
+import "repro/internal/seq"
+func boundary(s seq.Span) seq.Pos {
+	//seqvet:ignore spanarith deliberately walking past the end
+	return s.End + 1
+}
+`)
+	wantDiags(t, got)
 }

@@ -1,0 +1,202 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanArith reports unchecked `+`/`-` arithmetic on position values that
+// can sit at (or near) the MinPos/MaxPos sentinels: the Start/End bounds
+// of a seq.Span, and the sentinel constants themselves. The sentinels
+// stand in for ±infinity (seq.Pos documents this), so offsetting an
+// unbounded endpoint without clamping silently produces positions in the
+// sentinel region — or, combined far enough, overflows int64.
+//
+// An expression is sanctioned when the overflow cannot escape:
+//
+//   - it feeds (directly or through nesting) a seq.ClampPos call, which
+//     pins the result back into the representable range;
+//   - it appears under a comparison operator, where the sentinel margin
+//     (the sentinels sit at one quarter of the int64 range) keeps the
+//     comparison exact;
+//   - the enclosing function guards against the sentinel region itself:
+//     it compares a position against seq.MinPos/MaxPos, calls
+//     seq.Span.Bounded or seq.Span.Contains (which pins the position
+//     between the endpoints, so differences stay representable), or
+//     calls seq.EffectivelyUnbounded — the repository conventions for
+//     "this code has checked its positions".
+//
+// Residual intentional arithmetic is suppressed per line with
+// `//seqvet:ignore spanarith <reason>`.
+var SpanArith = &Analyzer{
+	Name: "spanarith",
+	Doc:  "span endpoint arithmetic must be clamped, compared, or sentinel-guarded",
+	Run:  runSpanArith,
+}
+
+const seqPath = "repro/internal/seq"
+
+func runSpanArith(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if funcGuardsSentinels(pass, fd.Body) {
+				continue
+			}
+			checkSpanArith(pass, fd.Body)
+		}
+	}
+}
+
+// checkSpanArith walks one unguarded function body tracking whether the
+// current node sits inside a sanctioning context (a seq.ClampPos
+// argument or a comparison).
+func checkSpanArith(pass *Pass, body *ast.BlockStmt) {
+	var visit func(n ast.Node, sanctioned bool)
+	visit = func(n ast.Node, sanctioned bool) {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if isClampPosCall(pass, e) {
+				sanctioned = true
+			}
+		case *ast.BinaryExpr:
+			switch e.Op {
+			case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+				sanctioned = true
+			case token.ADD, token.SUB:
+				if !sanctioned && (isSentinelBound(pass, e.X) || isSentinelBound(pass, e.Y)) {
+					pass.report(e.Pos(),
+						"unclamped %s on a span endpoint near the MinPos/MaxPos sentinels; wrap in seq.ClampPos or guard the endpoint first",
+						e.Op)
+				}
+			}
+		}
+		local := sanctioned
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == nil || c == n {
+				return true
+			}
+			visit(c, local)
+			return false // visit recurses itself
+		})
+	}
+	visit(body, false)
+}
+
+// funcGuardsSentinels reports whether the function body contains a
+// sentinel guard: a comparison against seq.MinPos/MaxPos, a
+// seq.Span.Bounded call, or a seq.EffectivelyUnbounded call.
+func funcGuardsSentinels(pass *Pass, body *ast.BlockStmt) bool {
+	guarded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if guarded {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			switch e.Op {
+			case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+				if isSentinelConst(pass, e.X) || isSentinelConst(pass, e.Y) {
+					guarded = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+				if (sel.Sel.Name == "Bounded" || sel.Sel.Name == "Contains") && isSpanMethod(pass, sel) {
+					guarded = true
+				}
+			}
+			if isSeqFuncCall(pass, e, "EffectivelyUnbounded") {
+				guarded = true
+			}
+		}
+		return true
+	})
+	return guarded
+}
+
+// isSentinelBound reports whether the expression (modulo parentheses)
+// reads a value that can carry a sentinel: a Start/End field of a
+// seq.Span, or the seq.MinPos/MaxPos constants themselves.
+func isSentinelBound(pass *Pass, e ast.Expr) bool {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	if isSentinelConst(pass, e) {
+		return true
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Start" && sel.Sel.Name != "End") {
+		return false
+	}
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	return namedFrom(s.Recv(), seqPath, "Span")
+}
+
+// isSentinelConst reports whether the expression resolves to the
+// seq.MinPos or seq.MaxPos constant.
+func isSentinelConst(pass *Pass, e ast.Expr) bool {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != seqPath {
+		return false
+	}
+	return obj.Name() == "MinPos" || obj.Name() == "MaxPos"
+}
+
+// isClampPosCall reports whether the call is seq.ClampPos (or ClampPos
+// within package seq itself).
+func isClampPosCall(pass *Pass, call *ast.CallExpr) bool {
+	return isSeqFuncCall(pass, call, "ClampPos")
+}
+
+func isSeqFuncCall(pass *Pass, call *ast.CallExpr, name string) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == seqPath && obj.Name() == name
+}
+
+// isSpanMethod reports whether the selector invokes a method with
+// seq.Span (or *seq.Span) receiver.
+func isSpanMethod(pass *Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	return namedFrom(s.Recv(), seqPath, "Span")
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/parallel"
 	"repro/internal/seq"
 	"repro/internal/storage"
 )
@@ -36,6 +37,14 @@ type Analysis struct {
 	// Params are the cost-model weights, used to convert page counters
 	// into cost units for the predicted-vs-actual comparison.
 	Params CostParams
+	// Decision is the partition planner's choice the run executed under
+	// (nil or serial for single-worker runs).
+	Decision *parallel.Decision
+	// Partitions holds the per-worker execution records of a partitioned
+	// run: sub-span, rows emitted, exact page attribution, wall time.
+	// Empty for serial runs. The merged Root sums these workers' metric
+	// shards.
+	Partitions []parallel.PartitionMetrics
 }
 
 // RunAnalyze executes the stream plan with per-node instrumentation and
@@ -52,6 +61,32 @@ func (r *Result) RunAnalyze() (*Analysis, error) {
 			return exec.PredictedCost{}
 		}
 		return exec.PredictedCost{Stream: c.Stream, ProbePer: c.ProbePer, Known: true}
+	}
+	if r.Parallel.Parallel() {
+		start := time.Now()
+		out, root, parts, err := parallel.RunAnalyze(r.Plan, r.RunSpan, r.Parallel, pred)
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		// Each worker metered private store forks, so the per-partition
+		// page counters are exact and their sum is the run's global page
+		// movement.
+		var global storage.StatsSnapshot
+		for _, pm := range parts {
+			global = global.Add(pm.Pages)
+		}
+		return &Analysis{
+			Output:      out,
+			Root:        root,
+			Span:        r.RunSpan,
+			Elapsed:     elapsed,
+			Predicted:   r.Cost,
+			GlobalPages: global,
+			Params:      r.Params,
+			Decision:    r.Parallel,
+			Partitions:  parts,
+		}, nil
 	}
 	instr, root := exec.Instrument(r.Plan, pred)
 	stores := exec.PlanStores(r.Plan)
@@ -107,6 +142,19 @@ func (a *Analysis) render(times bool) string {
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "predicted stream cost %.2f | actual page cost %.2f (%s)\n",
 		a.Predicted.Stream, a.PageCost(a.GlobalPages), a.GlobalPages)
+	if len(a.Partitions) > 0 {
+		fmt.Fprintf(&b, "parallel K=%d halo=%s cost %.2f vs serial %.2f\n",
+			len(a.Partitions), a.Decision.Halo, a.Decision.ParallelCost, a.Decision.SerialCost)
+		for i, pm := range a.Partitions {
+			fmt.Fprintf(&b, "  partition %d/%d span=%s rows=%d pages=%dseq+%drand cost=%.2f",
+				i+1, len(a.Partitions), pm.Span, pm.Rows,
+				pm.Pages.SeqPages, pm.Pages.RandPages, a.PageCost(pm.Pages))
+			if times {
+				fmt.Fprintf(&b, " time=%s", pm.Elapsed.Round(time.Microsecond))
+			}
+			b.WriteByte('\n')
+		}
+	}
 	a.Root.Walk(func(n *exec.NodeMetrics, depth int) {
 		b.WriteString(strings.Repeat("  ", depth))
 		b.WriteString(n.Label)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/exec"
 	"repro/internal/meta"
+	"repro/internal/parallel"
 	"repro/internal/planlint"
 	"repro/internal/rewrite"
 	"repro/internal/seq"
@@ -45,6 +46,12 @@ type Options struct {
 	// invariant violation fails the Optimize call. The package-wide
 	// VerifyAll switch turns this on for every call.
 	Verify bool
+	// Parallelism bounds the worker count of span-partitioned parallel
+	// evaluation: 0 selects a GOMAXPROCS-derived default, 1 forces serial
+	// evaluation, N > 1 caps the partition count at N. Within the bound,
+	// the §4 cost model extended with the parallelism term picks the
+	// actual K per query — including K = 1 (see internal/parallel).
+	Parallelism int
 }
 
 func (o Options) params() CostParams {
@@ -97,6 +104,11 @@ type Result struct {
 	// CacheBudget is the total configured operator-cache capacity of the
 	// stream plan — the constant memory bound of Definition 3.2.
 	CacheBudget int
+	// Parallel is the partition planner's decision for Run: whether the
+	// run span splits into contiguous sub-spans evaluated by concurrent
+	// workers, at what K, and why (a serial decision records its reason).
+	// See internal/parallel.
+	Parallel *parallel.Decision
 	// PlanCosts maps every physical node the builder created (including
 	// candidates the DP discarded) to its estimate, keyed by node
 	// identity. EXPLAIN ANALYZE joins it against the executed tree to
@@ -113,6 +125,9 @@ func (r *Result) Run() (*seq.Materialized, error) {
 	if !r.RunSpan.Bounded() && !r.RunSpan.IsEmpty() {
 		return nil, fmt.Errorf("core: query output span %v is unbounded; request a bounded range", r.RunSpan)
 	}
+	if r.Parallel.Parallel() {
+		return parallel.Run(r.Plan, r.RunSpan, r.Parallel)
+	}
 	return exec.Run(r.Plan, r.RunSpan)
 }
 
@@ -122,8 +137,16 @@ func (r *Result) Probe(positions []seq.Pos) ([]seq.Entry, error) {
 	return exec.RunProbes(r.ProbedPlan, positions)
 }
 
-// Explain renders the chosen stream plan.
-func (r *Result) Explain() string { return exec.Explain(r.Plan) }
+// Explain renders the chosen stream plan; a partitioned run appends the
+// planner's decision line (serial decisions render nothing, keeping the
+// output identical to a build without the parallel subsystem).
+func (r *Result) Explain() string {
+	out := exec.Explain(r.Plan)
+	if r.Parallel.Parallel() {
+		out += "\n" + r.Parallel.String()
+	}
+	return out
+}
 
 // findSharedNode returns a node reachable through two different parents,
 // or nil when the graph is a tree.
@@ -230,6 +253,14 @@ func Optimize(root *algebra.Node, requested seq.Span, opts Options) (*Result, er
 		PlanCosts:    b.costs,
 		Params:       b.params,
 	}
+	// Partition planning: decide K for the run span under the extended
+	// cost model. A guard keeps pre-existing literal CostParams (zero
+	// ParallelStartup) from modeling worker startup as free.
+	pp := parallel.DefaultParams()
+	if b.params.ParallelStartup > 0 {
+		pp.Startup = b.params.ParallelStartup
+	}
+	res.Parallel = parallel.Plan(cand.stream, runSpan, cand.cost.Stream, opts.Parallelism, pp)
 	if verify {
 		if err := res.Verify(); err != nil {
 			return nil, err

@@ -26,6 +26,12 @@ type CostParams struct {
 	Pred        float64 // one predicate application (the paper's K)
 	CacheAccess float64 // one operator-cache put or get
 	PerRecord   float64 // per-record CPU (copy, compose, aggregate step)
+	// ParallelStartup is the fixed per-worker overhead of a partitioned
+	// parallel run (plan cloning, goroutine launch, result merging), the
+	// startup term of the parallelism extension. Values <= 0 select the
+	// default, so pre-existing literal CostParams keep serial behavior
+	// unchanged.
+	ParallelStartup float64
 }
 
 // DefaultCostParams returns the standard parameter set.
@@ -36,6 +42,8 @@ func DefaultCostParams() CostParams {
 		Pred:        0.01,
 		CacheAccess: 0.002,
 		PerRecord:   0.005,
+
+		ParallelStartup: 12.0,
 	}
 }
 

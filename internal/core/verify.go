@@ -17,9 +17,10 @@ var VerifyAll bool
 // optimizer produced: the rewritten logical tree (scope composition,
 // Prop. 2.1; block delimitation, §3.1), the Step-2 annotation (span and
 // density propagation, §3.2–3.3), both physical plans (cache
-// finiteness, Thm. 3.1), and the recorded per-node cost estimates. It
-// returns an error describing every violation, or nil when the result
-// is invariant-clean.
+// finiteness, Thm. 3.1), the recorded per-node cost estimates, and the
+// partition planner's decision (partition union, halo coverage, worker
+// cache isolation). It returns an error describing every violation, or
+// nil when the result is invariant-clean.
 func (r *Result) Verify() error {
 	var issues []planlint.Issue
 	issues = append(issues, planlint.Verify(r.Rewritten)...)
@@ -32,5 +33,6 @@ func (r *Result) Verify() error {
 		issues = append(issues, planlint.VerifyPhysical(p)...)
 		issues = append(issues, planlint.VerifyCosts(p, lookup)...)
 	}
+	issues = append(issues, planlint.VerifyPartitions(r.Plan, r.Parallel)...)
 	return planlint.Error(issues)
 }

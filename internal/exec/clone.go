@@ -1,0 +1,180 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// ClonePlan deep-copies a physical plan so the copy can run concurrently
+// with (or independently of) the original. Stateful operators get fresh
+// private state: cache-strategy operators receive new FIFO caches of the
+// same capacity, and materialization points drop their lazily built
+// result so the copy re-materializes through its own inputs. Leaves share
+// the underlying base sequence — base stores are safe for concurrent
+// scans (their Stats counters are atomic) — but every mutable operator
+// structure above them is duplicated.
+//
+// The returned mapping takes each node of the clone to the original node
+// it was copied from, so per-node metadata keyed by plan identity (e.g.
+// the optimizer's recorded cost estimates) can be carried over to the
+// copy.
+//
+// Plans containing operator types this function does not know (including
+// already-instrumented *Metered trees) cannot be safely cloned, because
+// unknown nodes may hold hidden mutable state; ClonePlan reports an error
+// rather than aliasing them.
+func ClonePlan(p Plan) (Plan, map[Plan]Plan, error) {
+	orig := make(map[Plan]Plan)
+	cp, err := clonePlan(p, orig)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cp, orig, nil
+}
+
+func clonePlan(p Plan, orig map[Plan]Plan) (Plan, error) {
+	var out Plan
+	switch op := p.(type) {
+	case *Leaf:
+		cp := *op
+		out = &cp
+	case *Rename:
+		cp := *op
+		in, err := clonePlan(op.In, orig)
+		if err != nil {
+			return nil, err
+		}
+		cp.In = in
+		out = &cp
+	case *SelectOp:
+		cp := *op
+		in, err := clonePlan(op.In, orig)
+		if err != nil {
+			return nil, err
+		}
+		cp.In = in
+		out = &cp
+	case *ProjectOp:
+		cp := *op
+		in, err := clonePlan(op.In, orig)
+		if err != nil {
+			return nil, err
+		}
+		cp.In = in
+		out = &cp
+	case *PosOffsetOp:
+		cp := *op
+		in, err := clonePlan(op.In, orig)
+		if err != nil {
+			return nil, err
+		}
+		cp.In = in
+		out = &cp
+	case *ComposeOp:
+		cp := *op
+		l, err := clonePlan(op.L, orig)
+		if err != nil {
+			return nil, err
+		}
+		r, err := clonePlan(op.R, orig)
+		if err != nil {
+			return nil, err
+		}
+		cp.L, cp.R = l, r
+		out = &cp
+	case *Materialize:
+		cp := *op
+		in, err := clonePlan(op.In, orig)
+		if err != nil {
+			return nil, err
+		}
+		cp.In = in
+		cp.mat = nil // each copy materializes through its own input
+		out = &cp
+	case *AggNaive:
+		cp := *op
+		in, err := clonePlan(op.In, orig)
+		if err != nil {
+			return nil, err
+		}
+		cp.In = in
+		out = &cp
+	case *AggCached:
+		cp := *op
+		in, err := clonePlan(op.In, orig)
+		if err != nil {
+			return nil, err
+		}
+		cp.In = in
+		cp.cache = cache.NewFIFO(op.cache.Cap())
+		out = &cp
+	case *AggSliding:
+		cp := *op
+		in, err := clonePlan(op.In, orig)
+		if err != nil {
+			return nil, err
+		}
+		cp.In = in
+		out = &cp
+	case *AggCumulative:
+		cp := *op
+		in, err := clonePlan(op.In, orig)
+		if err != nil {
+			return nil, err
+		}
+		cp.In = in
+		out = &cp
+	case *ValueOffsetNaive:
+		cp := *op
+		in, err := clonePlan(op.In, orig)
+		if err != nil {
+			return nil, err
+		}
+		cp.In = in
+		out = &cp
+	case *ValueOffsetIncremental:
+		cp := *op
+		in, err := clonePlan(op.In, orig)
+		if err != nil {
+			return nil, err
+		}
+		cp.In = in
+		cp.cache = cache.NewFIFO(op.cache.Cap())
+		out = &cp
+	case *CollapseOp:
+		cp := *op
+		in, err := clonePlan(op.In, orig)
+		if err != nil {
+			return nil, err
+		}
+		cp.In = in
+		out = &cp
+	case *ExpandOp:
+		cp := *op
+		in, err := clonePlan(op.In, orig)
+		if err != nil {
+			return nil, err
+		}
+		cp.In = in
+		out = &cp
+	default:
+		return nil, fmt.Errorf("exec: cannot clone unknown operator %T (%s)", p, p.Label())
+	}
+	orig[out] = p
+	return out, nil
+}
+
+// ReplaceLeafSeqs rewrites the Seq of every leaf in the plan through f,
+// in place. It exists for worker-local instrumentation: a parallel
+// analyze run swaps each base store for a fork counting into
+// worker-private statistics. Call it only on plans this process owns
+// exclusively (e.g. a fresh ClonePlan copy).
+func ReplaceLeafSeqs(p Plan, f func(l *Leaf)) {
+	if l, ok := p.(*Leaf); ok {
+		f(l)
+	}
+	for _, c := range p.Children() {
+		ReplaceLeafSeqs(c, f)
+	}
+}

@@ -12,6 +12,7 @@
 package exec
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/cache"
@@ -99,6 +100,46 @@ func (m *NodeMetrics) Finalize() {
 	for _, c := range m.Children {
 		c.Finalize()
 	}
+}
+
+// Merge folds another metrics tree into this one, summing every counter
+// recursively. Both trees must mirror the same plan shape (same labels,
+// same child structure) — as produced by instrumenting independent
+// clones of one plan, the per-worker shards of a partitioned run. Call
+// Finalize on both trees before merging, so the deferred page and cache
+// counters are in the exported fields. Capacities and peaks sum too:
+// K workers each own a full set of operator caches, so the merged
+// numbers report the actual total residency of the parallel run.
+func (m *NodeMetrics) Merge(o *NodeMetrics) error {
+	if m.Label != o.Label {
+		return fmt.Errorf("exec: merging metrics of different operators: %q vs %q", m.Label, o.Label)
+	}
+	if len(m.Children) != len(o.Children) {
+		return fmt.Errorf("exec: merging metrics with different shapes at %q: %d vs %d children",
+			m.Label, len(m.Children), len(o.Children))
+	}
+	m.ScanCalls += o.ScanCalls
+	m.ScanRows += o.ScanRows
+	m.ProbeCalls += o.ProbeCalls
+	m.ProbeRows += o.ProbeRows
+	m.ProbeNulls += o.ProbeNulls
+	m.ScanTime += o.ScanTime
+	m.ProbeTime += o.ProbeTime
+	m.Pages = m.Pages.Add(o.Pages)
+	m.HasPages = m.HasPages || o.HasPages
+	m.HasCache = m.HasCache || o.HasCache
+	m.CacheCap += o.CacheCap
+	m.CachePeak += o.CachePeak
+	m.CacheHits += o.CacheHits
+	m.CacheMisses += o.CacheMisses
+	m.CachePuts += o.CachePuts
+	m.CacheEvictions += o.CacheEvictions
+	for i, c := range m.Children {
+		if err := c.Merge(o.Children[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // TotalPages sums the attributed page accesses over the subtree.

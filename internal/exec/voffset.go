@@ -167,13 +167,18 @@ func (v *ValueOffsetIncremental) Scan(span seq.Span) seq.Cursor {
 	v.cache.Reset()
 	inSpan := v.In.Info().Span
 	if v.Offset < 0 {
-		// Scan the input from its start (history is needed) up to the
-		// last position that can influence the span.
+		// Scan the input from far enough back that the ring holds the
+		// correct history at the first output position, up to the last
+		// position that can influence the span.
 		end := span.End - 1
 		if end > inSpan.End {
 			end = inSpan.End
 		}
-		in := newPull(v.In.Scan(seq.Span{Start: inSpan.Start, End: end}))
+		start, err := v.historyStart(span.Start, inSpan)
+		if err != nil {
+			return seq.ErrCursor(err)
+		}
+		in := newPull(v.In.Scan(seq.Span{Start: start, End: end}))
 		need := int(-v.Offset)
 		p := span.Start
 		return &forwardCursor{
@@ -244,6 +249,58 @@ func (v *ValueOffsetIncremental) Scan(span seq.Span) seq.Cursor {
 			return 0, nil, false, nil
 		},
 	}
+}
+
+// historyStartGate is the minimum number of skipped prefix positions
+// before a backward-offset scan attempts the probing shortcut below.
+// Scans starting at (or near) the input's own start — the common serial
+// case — keep the exact page-access pattern they always had.
+const historyStartGate = 256
+
+// historyStart returns the position the input scan must begin at so the
+// ring holds the correct last-|l| non-Null records when the first output
+// position is produced. Scanning from the input's start is always
+// correct — the ring evicts all but the |l| most recent records — but a
+// scan that begins far into the sequence (a partition of a parallel run,
+// or a narrow requested range) would re-read the entire prefix for
+// nothing. When the skipped prefix is large, walk backward probing the
+// input until |l| non-Null records are found and start there instead:
+// the Definition 3.3 effective-scope broadening, realized exactly. The
+// walk is bounded by a density-derived budget so a pathologically empty
+// region cannot turn the shortcut into a probe storm; on exhaustion it
+// falls back to the full prefix.
+func (v *ValueOffsetIncremental) historyStart(first seq.Pos, inSpan seq.Span) (seq.Pos, error) {
+	start := inSpan.Start
+	if first-historyStartGate <= start {
+		return start, nil
+	}
+	need := -v.Offset
+	density := v.In.Info().Density
+	if density <= 0 {
+		return start, nil // unknown density: no bounded walk possible
+	}
+	budget := int64(float64(need)/density)*8 + 64
+	// The walk probes position by position; it only pays off when the
+	// prefix it skips is much longer than the walk itself (a probe costs
+	// roughly a page, a scanned position a fraction of one).
+	if first-start <= budget*64 {
+		return start, nil
+	}
+	lo := seq.ClampPos(first - budget)
+	var found int64
+	for p := first - 1; p >= lo; p-- {
+		r, err := v.In.Probe(p)
+		if err != nil {
+			return 0, err
+		}
+		if !r.IsNull() {
+			found++
+			if found == need {
+				return p, nil
+			}
+		}
+	}
+	return start, nil
 }
 
 // Label implements Plan.

@@ -49,7 +49,7 @@ func e4(n int64, windows []int64) (*Table, error) {
 	var firstRatio, lastRatio float64
 	for _, w := range windows {
 		spec := algebra.AggSpec{Func: algebra.AggSum, Arg: 1, Window: algebra.Trailing(w), As: "sum"}
-		outSpan := seq.NewSpan(span.Start, span.End+w-1)
+		outSpan := seq.NewSpan(span.Start, seq.ClampPos(span.End+w-1))
 
 		run := func(mk func(in exec.Plan) (exec.Plan, error)) (int64, time.Duration, int, error) {
 			store, err := storage.FromMaterialized(data, storage.KindDense, 0)

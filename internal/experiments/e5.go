@@ -83,7 +83,7 @@ func e5(n int64, matchProbs []float64) (*Table, error) {
 			if err != nil {
 				return 0, 0, 0, 0, err
 			}
-			outSpan := seq.NewSpan(span.Start+1, span.End)
+			outSpan := seq.NewSpan(seq.ClampPos(span.Start+1), span.End)
 			var prev exec.Plan
 			if incremental {
 				prev, err = exec.NewValueOffsetIncremental(join, -1, outSpan)

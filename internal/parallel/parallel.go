@@ -1,0 +1,364 @@
+// Package parallel implements span-partitioned parallel evaluation of
+// physical plans: the multi-worker execution subsystem layered on the
+// paper's operator-scope model.
+//
+// The legality argument comes straight from §2.3/§3: every physical
+// operator's stream output at a position is a deterministic function of
+// the base data within its composed effective scope around that position
+// (Proposition 2.1 bounds the composition; Definition 3.3 broadens
+// value offsets to an effective scope). Consequently Scan(sub-span)
+// equals the restriction of Scan(full-span) to that sub-span, and a
+// bounded span can be split into K contiguous partitions whose results,
+// concatenated in order, are exactly the serial result. Each worker's
+// operator scans internally widen into the neighboring partitions by at
+// most the composed effective scope — the partition's halo — which the
+// planner charges as re-read overhead when choosing K.
+//
+// Partition workers never share mutable operator state: each gets a
+// deep ClonePlan copy with private caches (Theorem 3.1's cache-finite
+// state, times K), and instrumented runs additionally fork the base
+// stores' statistics so per-worker page attribution stays exact under
+// concurrency. The planner falls back to serial (K=1) for plans whose
+// scopes it cannot bound usefully — left-unbounded cumulative windows,
+// value offsets over inputs of unknown density, probed-mode compose
+// legs, materialization points — and whenever the §4 cost model with
+// the parallelism term (startup plus halo re-reads versus divided
+// per-partition work) prefers it.
+package parallel
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/exec"
+	"repro/internal/seq"
+	"repro/internal/storage"
+)
+
+// Params weight the parallelism term of the cost model, in the same
+// sequential-page units as the rest of §4.1.
+type Params struct {
+	// Startup is the fixed per-worker overhead: goroutine launch, plan
+	// cloning, result merging.
+	Startup float64
+	// MinSpanPerWorker floors the partition length; spans shorter than
+	// 2× this never split.
+	MinSpanPerWorker int64
+}
+
+// DefaultParams returns the standard parallelism weights. Startup is
+// deliberately conservative: small interactive spans should never pay
+// cloning and merging overhead for a few pages of work.
+func DefaultParams() Params {
+	return Params{Startup: 12.0, MinSpanPerWorker: 512}
+}
+
+// Scope is the partitionability verdict for a plan: whether contiguous
+// span partitions are worth considering, the composed effective-scope
+// hull each partition must be able to re-read around its boundaries
+// (the halo), and the estimated cost of those boundary re-reads.
+type Scope struct {
+	// Partitionable reports that every operator's effective scope is
+	// usefully bounded, so partitioned evaluation does not degenerate
+	// into re-reading unbounded history per worker.
+	Partitionable bool
+	// Reason names the first disqualifying operator when not
+	// partitionable.
+	Reason string
+	// Halo is the hull of the composed per-leaf effective scopes: a
+	// partition evaluating [a, b] may read base positions within
+	// [a+Halo.Lo, b+Halo.Hi].
+	Halo algebra.Window
+	// HaloCost estimates the page cost one extra partition boundary adds
+	// (prefix re-reads, history-walk probes), in cost units.
+	HaloCost float64
+}
+
+// Analyze walks the physical plan composing per-node effective scopes
+// (Prop. 2.1: relative windows add along root-to-leaf paths) into the
+// partition halo, and classifies the plan as partitionable or
+// serial-only.
+func Analyze(p exec.Plan) Scope {
+	s := Scope{Partitionable: true}
+	analyzeNode(p, algebra.Range(0, 0), &s)
+	return s
+}
+
+func analyzeNode(p exec.Plan, acc algebra.Window, s *Scope) {
+	if !s.Partitionable {
+		return
+	}
+	switch op := p.(type) {
+	case *exec.Leaf:
+		s.Halo = haloHull(s.Halo, acc)
+		rpp := int64(storage.DefaultRecordsPerPage)
+		if st, ok := op.Seq.(storage.Store); ok {
+			if c := st.AccessCosts(); c.RecordsPerPage > 0 {
+				rpp = int64(c.RecordsPerPage)
+			}
+		}
+		// Each partition boundary re-reads the halo width once,
+		// sequentially.
+		s.HaloCost += float64(acc.Hi-acc.Lo) / float64(rpp)
+	case *exec.Rename:
+		analyzeNode(op.In, acc, s)
+	case *exec.SelectOp:
+		analyzeNode(op.In, acc, s)
+	case *exec.ProjectOp:
+		analyzeNode(op.In, acc, s)
+	case *exec.PosOffsetOp:
+		analyzeNode(op.In, addWin(acc, algebra.Range(op.Offset, op.Offset)), s)
+	case *exec.AggNaive:
+		analyzeAgg(op.In, op.Spec.Window, acc, s)
+	case *exec.AggCached:
+		analyzeAgg(op.In, op.Spec.Window, acc, s)
+	case *exec.AggSliding:
+		analyzeAgg(op.In, op.Spec.Window, acc, s)
+	case *exec.AggCumulative:
+		s.disqualify("cumulative aggregate has a left-unbounded scope")
+	case *exec.ValueOffsetNaive:
+		analyzeValueOffset(op.In, op.Offset, acc, s)
+	case *exec.ValueOffsetIncremental:
+		analyzeValueOffset(op.In, op.Offset, acc, s)
+	case *exec.ComposeOp:
+		if op.Strategy != exec.ComposeLockStep {
+			s.disqualify("compose with a probed-mode inner leg (" + op.Strategy.String() + ")")
+			return
+		}
+		analyzeNode(op.L, acc, s)
+		analyzeNode(op.R, acc, s)
+	case *exec.Materialize:
+		s.disqualify("materialization point (per-worker re-materialization)")
+	case *exec.CollapseOp:
+		// Affine scope: output j reads inputs {jk .. jk+k-1}, so a
+		// relative window [lo, hi] around the output maps to the input
+		// hull [lo·k, hi·k+k-1].
+		analyzeNode(op.In, algebra.Range(acc.Lo*op.Factor, acc.Hi*op.Factor+op.Factor-1), s)
+	case *exec.ExpandOp:
+		// Affine scope {floor(i/k)}: the input hull of a relative output
+		// window shrinks by the factor (one extra position covers the
+		// flooring).
+		analyzeNode(op.In, algebra.Range(algebra.FloorDiv(acc.Lo, op.Factor), algebra.FloorDiv(acc.Hi, op.Factor)+1), s)
+	default:
+		s.disqualify(fmt.Sprintf("unknown operator %s", p.Label()))
+	}
+}
+
+func analyzeAgg(in exec.Plan, w algebra.Window, acc algebra.Window, s *Scope) {
+	if w.LoUnbounded || w.HiUnbounded {
+		s.disqualify(fmt.Sprintf("aggregate over unbounded window %s", w))
+		return
+	}
+	analyzeNode(in, addWin(acc, w), s)
+}
+
+func analyzeValueOffset(in exec.Plan, offset int64, acc algebra.Window, s *Scope) {
+	density := in.Info().Density
+	if density <= 0 {
+		s.disqualify("value offset over input of unknown density")
+		return
+	}
+	// Definition 3.3 effective-scope broadening: the |l|-th non-Null
+	// neighbor lies an expected |l|/density positions away. Evaluation
+	// stays exact regardless (the operator walks or re-scans as far as
+	// the data requires); the estimate sizes the halo and prices the
+	// per-boundary history walk as probes.
+	need := offset
+	if need < 0 {
+		need = -need
+	}
+	est := int64(math.Ceil(float64(need) / density))
+	win := algebra.Range(-est, 0)
+	if offset > 0 {
+		win = algebra.Range(0, est)
+	}
+	// The history walk probes ~|l|/density positions per boundary; a
+	// probe costs roughly a random page (4 sequential-page units, the
+	// classical gap the cost model uses).
+	s.HaloCost += float64(need) / density * 4.0
+	analyzeNode(in, addWin(acc, win), s)
+}
+
+func (s *Scope) disqualify(reason string) {
+	if s.Partitionable {
+		s.Partitionable = false
+		s.Reason = reason
+	}
+}
+
+func haloHull(a, b algebra.Window) algebra.Window {
+	out := a
+	if b.Lo < out.Lo {
+		out.Lo = b.Lo
+	}
+	if b.Hi > out.Hi {
+		out.Hi = b.Hi
+	}
+	return out
+}
+
+func addWin(a, b algebra.Window) algebra.Window {
+	return algebra.Range(a.Lo+b.Lo, a.Hi+b.Hi)
+}
+
+// Decision is the partition planner's output for one evaluation: the
+// chosen degree of parallelism (K == 1 means serial, with Reason saying
+// why), the contiguous sub-spans, the halo, and the cost-model numbers
+// behind the choice.
+type Decision struct {
+	// K is the chosen number of partitions (and workers).
+	K int
+	// Partitions are the contiguous ascending sub-spans; their union is
+	// exactly Span. Empty when K == 1.
+	Partitions []seq.Span
+	// Span is the full evaluation span the decision covers.
+	Span seq.Span
+	// Halo is the composed effective-scope hull per partition.
+	Halo algebra.Window
+	// HaloCost is the estimated cost one partition boundary adds.
+	HaloCost float64
+	// SerialCost is the optimizer's stream-cost estimate for K=1;
+	// ParallelCost the modeled cost at the chosen K.
+	SerialCost   float64
+	ParallelCost float64
+	// MaxWorkers is the worker bound the decision was made under.
+	MaxWorkers int
+	// Reason explains a serial decision (unpartitionable operator, or
+	// "cost model" when splitting simply does not pay).
+	Reason string
+	// Forced marks decisions built by ForceK, which bypass the cost
+	// model (differential tests force specific partition counts).
+	Forced bool
+}
+
+// Parallel reports whether the decision actually splits the span.
+func (d *Decision) Parallel() bool {
+	return d != nil && d.K > 1 && len(d.Partitions) > 1
+}
+
+// String renders the decision for EXPLAIN output.
+func (d *Decision) String() string {
+	if d == nil {
+		return ""
+	}
+	if !d.Parallel() {
+		if d.Reason != "" {
+			return fmt.Sprintf("parallel: serial (%s)", d.Reason)
+		}
+		return "parallel: serial"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "parallel: K=%d halo=%s cost %.2f vs serial %.2f, partitions", d.K, d.Halo, d.ParallelCost, d.SerialCost)
+	for _, p := range d.Partitions {
+		b.WriteByte(' ')
+		b.WriteString(p.String())
+	}
+	return b.String()
+}
+
+// Plan decides the degree of parallelism for evaluating p over span:
+// it analyzes partitionability, then minimizes the §4 cost model
+// extended with the parallelism term
+//
+//	cost(K) = serial/K + K·startup + (K-1)·halo
+//
+// over K in [1, maxWorkers]. maxWorkers <= 0 selects GOMAXPROCS. The
+// returned decision always explains a serial outcome.
+func Plan(p exec.Plan, span seq.Span, serialCost float64, maxWorkers int, params Params) *Decision {
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	d := &Decision{K: 1, Span: span, SerialCost: serialCost, ParallelCost: serialCost, MaxWorkers: maxWorkers}
+	if !span.Bounded() {
+		d.Reason = "unbounded or empty span"
+		return d
+	}
+	sc := Analyze(p)
+	d.Halo = sc.Halo
+	if !sc.Partitionable {
+		d.Reason = sc.Reason
+		return d
+	}
+	if maxWorkers == 1 {
+		d.Reason = "parallelism disabled (max workers 1)"
+		return d
+	}
+	if params.MinSpanPerWorker <= 0 {
+		params.MinSpanPerWorker = DefaultParams().MinSpanPerWorker
+	}
+	halo := sc.HaloCost
+	d.HaloCost = halo
+	kMax := maxWorkers
+	if byLen := span.Len() / params.MinSpanPerWorker; byLen < int64(kMax) {
+		kMax = int(byLen)
+	}
+	bestK, bestCost := 1, serialCost
+	for k := 2; k <= kMax; k++ {
+		c := serialCost/float64(k) + float64(k)*params.Startup + float64(k-1)*halo
+		if c < bestCost {
+			bestK, bestCost = k, c
+		}
+	}
+	d.K = bestK
+	d.ParallelCost = bestCost
+	if bestK == 1 {
+		d.Reason = "cost model prefers serial"
+		return d
+	}
+	d.Partitions = SplitSpan(span, bestK)
+	d.K = len(d.Partitions)
+	return d
+}
+
+// ForceK builds a decision with exactly k partitions regardless of what
+// the cost model would choose, for differential testing: partitioned
+// evaluation must agree with serial evaluation record for record on any
+// clonable plan, including ones the planner would deem not worth (or
+// not advisable) to split. Plans that cannot be cloned (unknown
+// operator types with hidden state) are refused.
+func ForceK(p exec.Plan, span seq.Span, k int) (*Decision, error) {
+	if !span.Bounded() {
+		return nil, fmt.Errorf("parallel: cannot partition unbounded span %s", span)
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("parallel: forced K must be at least 2, got %d", k)
+	}
+	if _, _, err := exec.ClonePlan(p); err != nil {
+		return nil, fmt.Errorf("parallel: plan is not clonable: %w", err)
+	}
+	parts := SplitSpan(span, k)
+	sc := Analyze(p)
+	return &Decision{
+		K: len(parts), Partitions: parts, Span: span, Halo: sc.Halo,
+		MaxWorkers: k, Forced: true,
+	}, nil
+}
+
+// SplitSpan splits a bounded span into at most k contiguous ascending
+// sub-spans of near-equal length whose union is exactly the span.
+func SplitSpan(span seq.Span, k int) []seq.Span {
+	if !span.Bounded() || k < 1 {
+		return nil
+	}
+	n := span.Len()
+	if int64(k) > n {
+		k = int(n)
+	}
+	parts := make([]seq.Span, 0, k)
+	base := n / int64(k)
+	rem := n % int64(k)
+	start := span.Start
+	for i := 0; i < k; i++ {
+		length := base
+		if int64(i) < rem {
+			length++
+		}
+		end := start + length - 1
+		parts = append(parts, seq.Span{Start: start, End: end})
+		start = end + 1
+	}
+	return parts
+}

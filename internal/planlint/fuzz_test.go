@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/planlint"
 	"repro/internal/seq"
 	"repro/internal/testgen"
@@ -31,7 +32,7 @@ func TestDifferentialFuzz(t *testing.T) {
 		{ForceNaiveAggregates: true, ForceNaiveValueOffsets: true},
 		{DisableSlidingAggregates: true},
 	}
-	verified := 0
+	verified, partitioned := 0, 0
 	for seed := int64(1); verified < *fuzzPlans; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		q, err := testgen.RandomQuery(rng, cfg)
@@ -69,9 +70,38 @@ func TestDifferentialFuzz(t *testing.T) {
 		if issues := planlint.VerifyPhysical(res.Plan); len(issues) != 0 {
 			t.Fatalf("seed %d: post-run physical verification:\n%v", seed, planlint.Error(issues))
 		}
+		// Partitioned evaluation must agree with the serial stream record
+		// for record at any K on any clonable plan, including plans the
+		// cost model would never split (ForceK bypasses it). The forced
+		// decisions also go through the partition invariant verifier.
+		for _, k := range []int{2, 3, 7} {
+			dec, err := parallel.ForceK(res.Plan, res.RunSpan, k)
+			if err != nil {
+				break // unbounded span or unclonable plan: nothing to partition
+			}
+			if issues := planlint.VerifyPartitions(res.Plan, dec); len(issues) != 0 {
+				t.Fatalf("seed %d: K=%d partition verification:\n%v\nplan:\n%s",
+					seed, k, planlint.Error(issues), res.Explain())
+			}
+			pgot, err := parallel.Run(res.Plan, res.RunSpan, dec)
+			if err != nil {
+				t.Fatalf("seed %d: K=%d partitioned run: %v\nquery:\n%s\nplan:\n%s",
+					seed, k, err, q, res.Explain())
+			}
+			if !testgen.EntriesApproxEqual(pgot.Entries(), got.Entries()) {
+				t.Fatalf("seed %d: K=%d partitioned evaluation disagrees with serial\nquery:\n%s\nplan:\n%s",
+					seed, k, q, res.Explain())
+			}
+			if dec.Parallel() {
+				partitioned++
+			}
+		}
 		verified++
 	}
-	t.Logf("verified %d random plans differentially", verified)
+	t.Logf("verified %d random plans differentially (%d partitioned cross-checks)", verified, partitioned)
+	if partitioned == 0 {
+		t.Fatalf("no plan ever took the partitioned evaluation path; the parallel differential harness is dead")
+	}
 }
 
 // TestVerifyAllSwitch covers the process-wide debug switch used by other

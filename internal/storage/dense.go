@@ -126,15 +126,18 @@ func (c *denseCursor) Next() (seq.Pos, seq.Record, bool) {
 	for c.pos <= c.end {
 		p := c.pos
 		c.pos++
+		// Dense stores allocate their record array at construction, so
+		// the span is bounded and p lies inside it.
+		off := p - c.d.span.Start //seqvet:ignore spanarith dense spans are bounded at construction
 		// Charge each page the first time the scan enters it, whether or
 		// not it holds any non-Null record: empty slots still occupy
 		// space in a dense layout.
-		pg := (p - c.d.span.Start) / int64(c.d.rpp)
+		pg := off / int64(c.d.rpp)
 		if pg != c.page {
 			c.page = pg
 			c.d.stats.SeqPages.Add(1)
 		}
-		if r := c.d.recs[p-c.d.span.Start]; r != nil {
+		if r := c.d.recs[off]; r != nil {
 			c.d.stats.SeqRecords.Add(1)
 			return p, r, true
 		}

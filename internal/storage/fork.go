@@ -1,0 +1,54 @@
+package storage
+
+// StatsForker is implemented by stores that can produce a read view of
+// themselves whose accesses count into a private Stats block instead of
+// the shared one. Forks exist for concurrent attribution: the Metered
+// wrapper attributes pages by delta-snapshotting its store's counters
+// around each access, which is exact only while accesses through those
+// counters are serialized. A parallel run gives each worker a fork, so
+// every worker's deltas move over counters only that worker touches.
+//
+// A fork shares the underlying data (reads remain safe concurrently) but
+// none of the accesses it serves reach the shared counters; callers that
+// need the shared totals to stay authoritative must fold each fork's
+// Stats back into the shared block when the worker completes (see
+// Stats.AddSnapshot).
+type StatsForker interface {
+	Store
+	// Fork returns a view of the store counting into stats.
+	Fork(stats *Stats) Store
+}
+
+// AddSnapshot folds a snapshot's counts into the live counters — the
+// merge step that re-credits a completed worker fork's accesses to the
+// shared store statistics.
+func (s *Stats) AddSnapshot(d StatsSnapshot) {
+	if d.SeqPages != 0 {
+		s.SeqPages.Add(d.SeqPages)
+	}
+	if d.RandPages != 0 {
+		s.RandPages.Add(d.RandPages)
+	}
+	if d.SeqRecords != 0 {
+		s.SeqRecords.Add(d.SeqRecords)
+	}
+	if d.ProbeRecords != 0 {
+		s.ProbeRecords.Add(d.ProbeRecords)
+	}
+}
+
+// Fork implements StatsForker: a shallow view over the same pages and
+// records, counting into stats.
+func (d *Dense) Fork(stats *Stats) Store {
+	cp := *d
+	cp.stats = stats
+	return &cp
+}
+
+// Fork implements StatsForker: a shallow view over the same entries,
+// counting into stats.
+func (s *Sparse) Fork(stats *Stats) Store {
+	cp := *s
+	cp.stats = stats
+	return &cp
+}
