@@ -27,8 +27,10 @@ func main() {
 	par := flag.Bool("parallel", false, "sweep span-partitioned worker counts per experiment, writing BENCH_parallel.json")
 	parOut := flag.String("parallel-out", "BENCH_parallel.json", "output path of the -parallel sweep")
 	parWorkers := flag.Int("parallel-workers", 0, "max workers of the -parallel sweep (0 = GOMAXPROCS)")
+	mv := flag.Bool("matview", false, "measure repeated queries cold vs through a materialized view, writing BENCH_matview.json")
+	mvOut := flag.String("matview-out", "BENCH_matview.json", "output path of the -matview sweep")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: seqbench [-quick] [-analyze] [-parallel] [-list] [experiment ids...]\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: seqbench [-quick] [-analyze] [-parallel] [-matview] [-list] [experiment ids...]\n\nexperiments:\n")
 		for _, e := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %s  %s\n", e.ID, e.Name)
 		}
@@ -74,6 +76,26 @@ func main() {
 		}
 		fmt.Print(experiments.RenderParallel(points))
 		fmt.Printf("(wrote %d sweep points to %s)\n", len(points), *parOut)
+		return
+	}
+
+	if *mv {
+		points, err := experiments.MatviewSweep(flag.Args(), *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seqbench: matview sweep failed: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(points, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seqbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*mvOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "seqbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.RenderMatview(points))
+		fmt.Printf("(wrote %d sweep points to %s)\n", len(points), *mvOut)
 		return
 	}
 

@@ -78,6 +78,22 @@ func (c *cli) exec(line string) error {
 		fmt.Fprintf(c.out, "%s: schema=%v span=%v density=%.3f\n",
 			fields[1], info.Schema, info.Span, info.Density)
 		return nil
+	case "materialize":
+		return c.materialize(strings.TrimSpace(strings.TrimPrefix(line, "materialize")))
+	case "show":
+		if len(fields) == 2 && fields[1] == "views" {
+			return c.showViews()
+		}
+		return fmt.Errorf("usage: show views")
+	case "drop":
+		if len(fields) == 3 && fields[1] == "view" {
+			if err := c.db.DropView(fields[2]); err != nil {
+				return err
+			}
+			fmt.Fprintf(c.out, "dropped view %s\n", fields[2])
+			return nil
+		}
+		return fmt.Errorf("usage: drop view <name>")
 	case "set":
 		return c.set(fields[1:])
 	case "gen":
@@ -131,6 +147,9 @@ func (c *cli) help() {
   set parallelism <n>                               bound span-partitioned workers (0 = auto, 1 = serial)
   list                                              list sequences
   describe <name>                                   show schema and meta-data
+  materialize <name> as <seql> over <start> <end>   store a query result as a reusable view
+  show views                                        list materialized views with hit/miss counters
+  drop view <name>                                  remove a materialized view
   <seql> over <start> <end>                         run a query
   explain <seql> over <start> <end>                 show the chosen plan
   explain analyze <seql> over <start> <end>         run with per-operator metrics (see OBSERVABILITY.md)
@@ -165,6 +184,41 @@ func (c *cli) set(args []string) error {
 		fmt.Fprintln(c.out, "parallelism: serial")
 	default:
 		fmt.Fprintf(c.out, "parallelism: up to %d workers (cost model decides)\n", n)
+	}
+	return nil
+}
+
+// materialize parses "<name> as <seql> over <start> <end>" and registers
+// the query result as a view; later queries over covered ranges reuse it
+// when the cost model prefers the view to recomputation.
+func (c *cli) materialize(rest string) error {
+	name, q, ok := strings.Cut(rest, " as ")
+	name = strings.TrimSpace(name)
+	if !ok || name == "" || strings.ContainsAny(name, " \t") {
+		return fmt.Errorf("usage: materialize <name> as <seql> over <start> <end>")
+	}
+	src, span, err := splitOver(strings.TrimSpace(q))
+	if err != nil {
+		return err
+	}
+	vc, err := c.db.Materialize(name, src, span)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "materialized %s: %d records over %v (density %.3f)\n",
+		vc.Name, vc.Records, vc.Span, vc.Density)
+	return nil
+}
+
+func (c *cli) showViews() error {
+	views := c.db.ListViews()
+	if len(views) == 0 {
+		fmt.Fprintln(c.out, "no materialized views")
+		return nil
+	}
+	for _, v := range views {
+		fmt.Fprintf(c.out, "%-12s span=%v records=%d density=%.3f hits=%d misses=%d\n",
+			v.Name, v.Span, v.Records, v.Density, v.Hits, v.Misses)
 	}
 	return nil
 }

@@ -181,3 +181,59 @@ func TestCLILoadSave(t *testing.T) {
 		t.Error("save without args must fail")
 	}
 }
+
+func TestCLIMaterializedViews(t *testing.T) {
+	c, buf := newTestCLI()
+	if err := c.exec("gen table1 1"); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := c.exec("materialize crosses as select(compose(ibm, hp), ibm.close > hp.close) over 1 750"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "materialized crosses:") {
+		t.Errorf("materialize output = %q", buf.String())
+	}
+	buf.Reset()
+	// A repeated query is answered through the view; EXPLAIN shows it.
+	if err := c.exec("explain select(compose(ibm, hp), ibm.close > hp.close) over 1 750"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `scan "crosses"`) {
+		t.Errorf("explain does not use the view:\n%s", buf.String())
+	}
+	if err := c.exec("select(compose(ibm, hp), ibm.close > hp.close) over 1 750"); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := c.exec("show views"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "crosses") || !strings.Contains(out, "hits=") {
+		t.Errorf("show views = %q", out)
+	}
+	buf.Reset()
+	if err := c.exec("drop view crosses"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.exec("show views"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no materialized views") {
+		t.Errorf("after drop: %q", buf.String())
+	}
+	// Errors.
+	for _, bad := range []string{
+		"materialize v as ibm",         // missing range
+		"materialize as ibm over 1 10", // missing name
+		"materialize two words as ibm over 1 10",
+		"drop view ghost",
+		"drop view",
+		"show",
+	} {
+		if err := c.exec(bad); err == nil {
+			t.Errorf("%q must fail", bad)
+		}
+	}
+}

@@ -30,6 +30,7 @@ const (
 	KindCollapse
 	KindExpand
 )
+type Node struct{ Kind Kind }
 `
 
 const fakeStorage = `package storage

@@ -1,0 +1,183 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+const (
+	rewritePath      = "repro/internal/rewrite"
+	ruleCoverageFile = "scope_preserve_test.go"
+)
+
+// RuleReg checks the rewrite package's rule hygiene: every function with
+// the rule-apply signature func(*algebra.Node) (*algebra.Node, bool,
+// error) must be registered in DefaultRules, and every registered rule
+// name must be exercised by the scope-preservation audit
+// (scope_preserve_test.go) — a rule that exists but is not registered is
+// dead code, and a registered rule the audit never fires is unverified
+// against Prop. 2.1. The analyzer runs only on the rewrite package
+// itself.
+var RuleReg = &Analyzer{
+	Name: "rulereg",
+	Doc:  "rewrite rules must be registered in DefaultRules and exercised by the scope-preservation audit",
+	Run:  runRuleReg,
+}
+
+func runRuleReg(pass *Pass) {
+	// Only the plain rewrite package: the [pkg.test] variants re-check
+	// the same files and the external _test package has no rules.
+	if pass.Pkg.Path() != rewritePath {
+		return
+	}
+
+	// Collect top-level functions with the rule-apply signature.
+	applyFuncs := map[types.Object]*ast.FuncDecl{}
+	var defaultRules *ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil {
+				continue
+			}
+			if fd.Name.Name == "DefaultRules" {
+				defaultRules = fd
+				continue
+			}
+			obj := pass.Info.Defs[fd.Name]
+			if obj != nil && isRuleApplySig(obj.Type()) {
+				applyFuncs[obj] = fd
+			}
+		}
+	}
+	if defaultRules == nil {
+		if len(applyFuncs) > 0 {
+			var any *ast.FuncDecl
+			for _, fd := range applyFuncs {
+				any = fd
+				break
+			}
+			pass.report(any.Pos(), "package declares rewrite rules but no DefaultRules registry")
+		}
+		return
+	}
+
+	// What DefaultRules registers: referenced apply functions, and the
+	// Name field of every Rule literal.
+	registered := map[types.Object]bool{}
+	var ruleNames []string
+	ast.Inspect(defaultRules.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Uses[v]; obj != nil {
+				if _, ok := applyFuncs[obj]; ok {
+					registered[obj] = true
+				}
+			}
+		case *ast.CompositeLit:
+			tv, ok := pass.Info.Types[v]
+			if !ok || !namedFrom(tv.Type, rewritePath, "Rule") {
+				return true
+			}
+			if name, ok := ruleLitName(v); ok {
+				ruleNames = append(ruleNames, name)
+			}
+		}
+		return true
+	})
+
+	var unregistered []*ast.FuncDecl
+	for obj, fd := range applyFuncs {
+		if !registered[obj] {
+			unregistered = append(unregistered, fd)
+		}
+	}
+	sort.Slice(unregistered, func(i, j int) bool { return unregistered[i].Pos() < unregistered[j].Pos() })
+	for _, fd := range unregistered {
+		pass.report(fd.Pos(), "rewrite rule function %s is not registered in DefaultRules", fd.Name.Name)
+	}
+
+	// Coverage: every registered rule name must appear in the
+	// scope-preservation audit, which builds a corpus keyed by rule name
+	// and asserts each rule fires and preserves scopes.
+	dir := filepath.Dir(pass.Fset.Position(defaultRules.Pos()).Filename)
+	audited, ok := stringLiteralsInFile(filepath.Join(dir, ruleCoverageFile))
+	if !ok {
+		pass.report(defaultRules.Pos(), "cannot read %s next to DefaultRules; the rule audit is missing", ruleCoverageFile)
+		return
+	}
+	for _, name := range ruleNames {
+		if !audited[name] {
+			pass.report(defaultRules.Pos(), "rule %q is not exercised by %s", name, ruleCoverageFile)
+		}
+	}
+}
+
+// ruleLitName extracts the Name field of a Rule composite literal — the
+// first positional element, or the Name: keyed one.
+func ruleLitName(lit *ast.CompositeLit) (string, bool) {
+	var nameExpr ast.Expr
+	for i, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Name" {
+				nameExpr = kv.Value
+			}
+			continue
+		}
+		if i == 0 {
+			nameExpr = el
+		}
+	}
+	bl, ok := nameExpr.(*ast.BasicLit)
+	if !ok || bl.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(bl.Value)
+	return s, err == nil && s != ""
+}
+
+// isRuleApplySig reports whether t is func(*algebra.Node) (*algebra.Node, bool, error).
+func isRuleApplySig(t types.Type) bool {
+	sig, ok := t.(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 3 {
+		return false
+	}
+	if !namedFrom(sig.Params().At(0).Type(), algebraPath, "Node") {
+		return false
+	}
+	if !namedFrom(sig.Results().At(0).Type(), algebraPath, "Node") {
+		return false
+	}
+	if b, ok := sig.Results().At(1).Type().(*types.Basic); !ok || b.Kind() != types.Bool {
+		return false
+	}
+	named, ok := sig.Results().At(2).Type().(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// stringLiteralsInFile syntax-parses the file and returns the set of its
+// string literal values. The audit lives in the package's external test
+// package, which `go vet` analyzes separately, so the analyzer reads the
+// source directly rather than through the pass.
+func stringLiteralsInFile(path string) (map[string]bool, bool) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, false
+	}
+	out := map[string]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			if s, err := strconv.Unquote(lit.Value); err == nil {
+				out[s] = true
+			}
+		}
+		return true
+	})
+	return out, true
+}

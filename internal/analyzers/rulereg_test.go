@@ -1,0 +1,116 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// checkRuleReg type-checks src as the rewrite package with its file
+// placed in dir (so the analyzer can find the audit file next to it) and
+// runs only the rulereg analyzer.
+func checkRuleReg(t *testing.T, dir, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	depFile, err := parser.ParseFile(fset, "repro/internal/algebra/dep.go", fakeAlgebra, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algebraPkg, err := (&types.Config{}).Check("repro/internal/algebra", fset, []*ast.File{depFile}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := importerFn(func(path string) (*types.Package, error) {
+		if path == "repro/internal/algebra" {
+			return algebraPkg, nil
+		}
+		return nil, fmt.Errorf("unknown test import %q", path)
+	})
+	f, err := parser.ParseFile(fset, filepath.Join(dir, "rules.go"), src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := (&types.Config{Importer: imp}).Check("repro/internal/rewrite", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	pass := &Pass{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}
+	var out []string
+	for _, d := range Run(pass, []*Analyzer{RuleReg}) {
+		out = append(out, fmt.Sprintf("%d: %s: %s", fset.Position(d.Pos).Line, d.Analyzer, d.Message))
+	}
+	return out
+}
+
+const ruleRegSrc = `package rewrite
+import "repro/internal/algebra"
+type Rule struct {
+	Name  string
+	Group string
+	Apply func(n *algebra.Node) (*algebra.Node, bool, error)
+}
+func DefaultRules() []Rule {
+	return []Rule{
+		{"merge-selects", "selects", mergeSelects},
+	}
+}
+func mergeSelects(n *algebra.Node) (*algebra.Node, bool, error) { return n, false, nil }
+func orphanRule(n *algebra.Node) (*algebra.Node, bool, error)   { return n, false, nil }
+func notARule(n *algebra.Node) (*algebra.Node, error)           { return n, nil }
+`
+
+func writeAudit(t *testing.T, dir, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, ruleCoverageFile), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRuleRegUnregisteredRule(t *testing.T) {
+	dir := t.TempDir()
+	writeAudit(t, dir, `package rewrite_test
+var corpus = map[string]int{"merge-selects": 1}
+`)
+	got := checkRuleReg(t, dir, ruleRegSrc)
+	wantDiags(t, got, "rulereg: rewrite rule function orphanRule is not registered in DefaultRules")
+}
+
+func TestRuleRegUnauditedRule(t *testing.T) {
+	dir := t.TempDir()
+	writeAudit(t, dir, `package rewrite_test
+var corpus = map[string]int{"something-else": 1}
+`)
+	got := checkRuleReg(t, dir, ruleRegSrc)
+	wantDiags(t, got,
+		`rulereg: rule "merge-selects" is not exercised by scope_preserve_test.go`,
+		"rulereg: rewrite rule function orphanRule is not registered in DefaultRules")
+}
+
+func TestRuleRegMissingAudit(t *testing.T) {
+	dir := t.TempDir()
+	got := checkRuleReg(t, dir, ruleRegSrc)
+	wantDiags(t, got,
+		"rulereg: cannot read scope_preserve_test.go next to DefaultRules",
+		"rulereg: rewrite rule function orphanRule is not registered in DefaultRules")
+}
+
+func TestRuleRegSkipsOtherPackages(t *testing.T) {
+	// The same shapes under another import path are not checked: rule
+	// hygiene only applies to the rewrite package itself.
+	got := check(t, "repro/internal/other", `package other
+import "repro/internal/algebra"
+func looksLikeARule(n *algebra.Node) (*algebra.Node, bool, error) { return n, false, nil }
+`)
+	wantDiags(t, got)
+}

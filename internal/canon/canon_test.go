@@ -1,0 +1,247 @@
+package canon
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/seq"
+)
+
+func mustData(t *testing.T, schema *seq.Schema, entries []seq.Entry) *seq.Materialized {
+	t.Helper()
+	m, err := seq.NewMaterialized(schema, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func testBase(t *testing.T, name string) *algebra.Node {
+	t.Helper()
+	schema := seq.MustSchema(
+		seq.Field{Name: "v", Type: seq.TFloat},
+		seq.Field{Name: "w", Type: seq.TInt},
+	)
+	var entries []seq.Entry
+	for p := int64(1); p <= 20; p += 2 {
+		entries = append(entries, seq.Entry{Pos: p, Rec: seq.Record{seq.Float(float64(p) / 2), seq.Int(p)}})
+	}
+	return algebra.Base(name, mustData(t, schema, entries))
+}
+
+func col(t *testing.T, n *algebra.Node, name string) *expr.Col {
+	t.Helper()
+	c, err := expr.NewCol(n.Schema, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func bin(t *testing.T, op expr.BinOp, l, r expr.Expr) expr.Expr {
+	t.Helper()
+	e, err := expr.NewBin(op, l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func canonOf(t *testing.T, n *algebra.Node) *Canon {
+	t.Helper()
+	c, err := Canonicalize(n)
+	if err != nil {
+		t.Fatalf("Canonicalize: %v\n%s", err, n)
+	}
+	return c
+}
+
+// Conjunct order inside a selection predicate must not affect the key,
+// and neither must the a > b vs b < a spelling of a comparison.
+func TestSelectConjunctOrderInsensitive(t *testing.T) {
+	base := testBase(t, "s")
+	p1 := bin(t, expr.OpGt, col(t, base, "v"), expr.Literal(seq.Float(3)))
+	p2 := bin(t, expr.OpLt, col(t, base, "w"), expr.Literal(seq.Int(15)))
+	p1flip := bin(t, expr.OpLt, expr.Literal(seq.Float(3)), col(t, base, "v"))
+
+	a, err := algebra.Select(base, bin(t, expr.OpAnd, p1, p2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := algebra.Select(testBase(t, "s"), bin(t, expr.OpAnd, p2, p1flip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stacked select chain is the same block as one merged select.
+	c1, err := algebra.Select(testBase(t, "s"), p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := algebra.Select(c1, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ca, cb, cc := canonOf(t, a), canonOf(t, b), canonOf(t, c2)
+	if ca.Key != cb.Key || ca.Key != cc.Key {
+		t.Fatalf("keys differ:\n%q\n%q\n%q", ca.Key, cb.Key, cc.Key)
+	}
+	if ca.Fingerprint != cb.Fingerprint {
+		t.Fatalf("fingerprints differ: %s vs %s", ca.Fingerprint, cb.Fingerprint)
+	}
+}
+
+// Offset chains fold into one affine shift; a zero net shift vanishes.
+func TestOffsetFolding(t *testing.T) {
+	base := testBase(t, "s")
+	o1, _ := algebra.PosOffset(base, 2)
+	o2, _ := algebra.PosOffset(o1, 3)
+	direct, _ := algebra.PosOffset(testBase(t, "s"), 5)
+	if k1, k2 := canonOf(t, o2).Key, canonOf(t, direct).Key; k1 != k2 {
+		t.Fatalf("offset(offset(x,2),3) != offset(x,5): %q vs %q", k1, k2)
+	}
+	back, _ := algebra.PosOffset(o1, -2)
+	if k1, k2 := canonOf(t, back).Key, canonOf(t, testBase(t, "s")).Key; k1 != k2 {
+		t.Fatalf("net-zero offset chain did not vanish: %q vs %q", k1, k2)
+	}
+}
+
+// A pure column-permutation projection is elided and folded into ColMap.
+func TestProjectionElision(t *testing.T) {
+	base := testBase(t, "s")
+	perm, err := algebra.Project(base, []algebra.ProjItem{
+		{Expr: col(t, base, "w"), Name: "w2"},
+		{Expr: col(t, base, "v"), Name: "v2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := canonOf(t, perm)
+	if c.Node.Kind != algebra.KindBase {
+		t.Fatalf("permutation projection survived canonicalization:\n%s", c.Node)
+	}
+	// Output col 0 of the projection is base col 1 (w), col 1 is base col 0.
+	if c.ColMap[0] != 1 || c.ColMap[1] != 0 {
+		t.Fatalf("ColMap = %v, want [1 0]", c.ColMap)
+	}
+	if k := canonOf(t, testBase(t, "s")).Key; c.Key != k {
+		t.Fatalf("elided projection key %q != base key %q", c.Key, k)
+	}
+}
+
+// Compose legs sort canonically; the swap is tracked in ColMap.
+func TestComposeLegOrderInsensitive(t *testing.T) {
+	a1, b1 := testBase(t, "aa"), testBase(t, "zz")
+	ab, err := algebra.Compose(a1, b1, nil, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, b2 := testBase(t, "aa"), testBase(t, "zz")
+	ba, err := algebra.Compose(b2, a2, nil, "b", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := canonOf(t, ab), canonOf(t, ba)
+	if ca.Key != cb.Key {
+		t.Fatalf("leg order changed key:\n%q\n%q", ca.Key, cb.Key)
+	}
+	// Both orders must agree where each source column landed.
+	// ab columns: aa.v aa.w zz.v zz.w; ba columns: zz.v zz.w aa.v aa.w.
+	for i := 0; i < 2; i++ {
+		if ca.ColMap[i] != cb.ColMap[i+2] || ca.ColMap[i+2] != cb.ColMap[i] {
+			t.Fatalf("inconsistent colmaps: %v vs %v", ca.ColMap, cb.ColMap)
+		}
+	}
+}
+
+// Nested composes flatten: compose(compose(a,b),c) == compose(a,compose(b,c)),
+// with inner predicates hoisted to the top.
+func TestComposeFlattening(t *testing.T) {
+	mk := func(leftNested bool) *Canon {
+		a, b, c := testBase(t, "a"), testBase(t, "b"), testBase(t, "c")
+		if leftNested {
+			inner, err := algebra.Compose(a, b, nil, "a", "b")
+			if err != nil {
+				t.Fatal(err)
+			}
+			top, err := algebra.Compose(inner, c, nil, "", "c")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return canonOf(t, top)
+		}
+		inner, err := algebra.Compose(b, c, nil, "b", "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		top, err := algebra.Compose(a, inner, nil, "a", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return canonOf(t, top)
+	}
+	l, r := mk(true), mk(false)
+	if l.Key != r.Key {
+		t.Fatalf("association changed key:\n%q\n%q", l.Key, r.Key)
+	}
+}
+
+// Canonicalization is a fixpoint: canon(canon(x)) == canon(x) with an
+// identity column map.
+func TestIdempotent(t *testing.T) {
+	base := testBase(t, "s")
+	p := bin(t, expr.OpGt, col(t, base, "v"), expr.Literal(seq.Float(2)))
+	sel, err := algebra.Select(base, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := algebra.PosOffset(sel, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := canonOf(t, off)
+	c2 := canonOf(t, c1.Node)
+	if c1.Key != c2.Key {
+		t.Fatalf("not idempotent:\n%q\n%q", c1.Key, c2.Key)
+	}
+	for i, j := range c2.ColMap {
+		if i != j {
+			t.Fatalf("re-canonicalization permuted columns: %v", c2.ColMap)
+		}
+	}
+}
+
+// Attribute names are cosmetic: the same structure under different
+// names shares a key (column references render positionally).
+func TestNamesDoNotMatter(t *testing.T) {
+	mk := func(vname, wname string) *algebra.Node {
+		schema := seq.MustSchema(
+			seq.Field{Name: vname, Type: seq.TFloat},
+			seq.Field{Name: wname, Type: seq.TInt},
+		)
+		var entries []seq.Entry
+		for p := int64(1); p <= 9; p++ {
+			entries = append(entries, seq.Entry{Pos: p, Rec: seq.Record{seq.Float(1), seq.Int(p)}})
+		}
+		base := algebra.Base("s", mustData(t, schema, entries))
+		c, err := expr.NewCol(base.Schema, vname)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := expr.NewBin(expr.OpGt, c, expr.Literal(seq.Float(0)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel, err := algebra.Select(base, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sel
+	}
+	k1 := canonOf(t, mk("v", "w")).Key
+	k2 := canonOf(t, mk("price", "volume")).Key
+	if k1 != k2 {
+		t.Fatalf("names leaked into the key:\n%q\n%q", k1, k2)
+	}
+}

@@ -1,0 +1,27 @@
+package canon
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/expr"
+)
+
+// Render returns the key rendering of a node. On a canonical tree (one
+// produced by Canonicalize) the rendering is injective — it equals the
+// Canon.Key of that tree. Callers comparing sub-structures of canonical
+// trees (e.g. the matview subsumption test comparing select inputs) use
+// this instead of re-canonicalizing.
+func Render(n *algebra.Node) string { return renderNode(n) }
+
+// ExprKey returns the canonical rendering of an expression. On an
+// expression taken from a canonical tree it is injective up to
+// semantic equality of the canon's normalizations.
+func ExprKey(e expr.Expr) string { return renderExpr(e) }
+
+// Conjuncts flattens a predicate's top-level And spine into its
+// conjunct list. A nil predicate yields nil.
+func Conjuncts(e expr.Expr) []expr.Expr {
+	if e == nil {
+		return nil
+	}
+	return splitConjuncts(e)
+}

@@ -1,0 +1,181 @@
+package canon
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// canonExpr normalizes an expression: operands of commutative operators
+// are sorted by their canonical rendering, and strict/non-strict
+// comparisons are flipped into the Lt/Le direction (a > b becomes b < a),
+// so the two spellings of one comparison share a fingerprint. The
+// returned expression is semantically equal to the input on every record
+// (modulo And/Or short-circuit order, which the rewrite rules already
+// treat as reorderable).
+func canonExpr(e expr.Expr) (expr.Expr, error) {
+	switch v := e.(type) {
+	case *expr.Col, *expr.Lit:
+		return e, nil
+	case *expr.Bin:
+		l, err := canonExpr(v.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := canonExpr(v.R)
+		if err != nil {
+			return nil, err
+		}
+		op := v.Op
+		switch op {
+		case expr.OpGt:
+			op, l, r = expr.OpLt, r, l
+		case expr.OpGe:
+			op, l, r = expr.OpLe, r, l
+		}
+		if commutative(op) && renderExpr(r) < renderExpr(l) {
+			l, r = r, l
+		}
+		return expr.NewBin(op, l, r)
+	case *expr.Not:
+		inner, err := canonExpr(v.E)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewNot(inner)
+	case *expr.Neg:
+		inner, err := canonExpr(v.E)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewNeg(inner)
+	case *expr.Call:
+		args := make([]expr.Expr, len(v.Args))
+		for i, a := range v.Args {
+			ca, err := canonExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ca
+		}
+		if (v.Fn == expr.FnMin || v.Fn == expr.FnMax) && len(args) == 2 &&
+			renderExpr(args[1]) < renderExpr(args[0]) {
+			args[0], args[1] = args[1], args[0]
+		}
+		return expr.NewCall(v.Fn, args)
+	default:
+		return nil, fmt.Errorf("canon: unknown expression node %T", e)
+	}
+}
+
+// commutative reports whether swapping the operands preserves the value.
+// And/Or are included: the engine treats conjunct order as free (the
+// merge-select and push-down rewrite rules already reorder them).
+func commutative(op expr.BinOp) bool {
+	switch op {
+	case expr.OpAdd, expr.OpMul, expr.OpEq, expr.OpNe, expr.OpAnd, expr.OpOr:
+		return true
+	}
+	return false
+}
+
+// renderExpr renders an expression for fingerprinting. Column references
+// render positionally ($index:type) — attribute names are cosmetic and
+// must not distinguish structurally identical blocks.
+func renderExpr(e expr.Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	return b.String()
+}
+
+func writeExpr(b *strings.Builder, e expr.Expr) {
+	switch v := e.(type) {
+	case *expr.Col:
+		fmt.Fprintf(b, "$%d:%s", v.Index, v.Typ)
+	case *expr.Lit:
+		fmt.Fprintf(b, "%s:%s", v.Val.String(), v.Val.T)
+	case *expr.Bin:
+		b.WriteByte('(')
+		writeExpr(b, v.L)
+		b.WriteByte(' ')
+		b.WriteString(v.Op.String())
+		b.WriteByte(' ')
+		writeExpr(b, v.R)
+		b.WriteByte(')')
+	case *expr.Not:
+		b.WriteString("not(")
+		writeExpr(b, v.E)
+		b.WriteByte(')')
+	case *expr.Neg:
+		b.WriteString("neg(")
+		writeExpr(b, v.E)
+		b.WriteByte(')')
+	case *expr.Call:
+		fmt.Fprintf(b, "%s(", v.Fn)
+		for i, a := range v.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeExpr(b, a)
+		}
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "?%T", e)
+	}
+}
+
+// splitConjuncts flattens a predicate's top-level And spine.
+func splitConjuncts(e expr.Expr) []expr.Expr {
+	if b, ok := e.(*expr.Bin); ok && b.Op == expr.OpAnd {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []expr.Expr{e}
+}
+
+// sortConjuncts canonicalizes each conjunct, sorts by rendering and drops
+// exact duplicates (a AND a = a).
+func sortConjuncts(conjs []expr.Expr) ([]expr.Expr, error) {
+	out := make([]expr.Expr, 0, len(conjs))
+	for _, c := range conjs {
+		cc, err := canonExpr(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cc)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return renderExpr(out[i]) < renderExpr(out[j]) })
+	dedup := out[:0]
+	var prev string
+	for i, c := range out {
+		r := renderExpr(c)
+		if i > 0 && r == prev {
+			continue
+		}
+		dedup = append(dedup, c)
+		prev = r
+	}
+	return dedup, nil
+}
+
+// conjoin folds conjuncts into one left-deep And chain (nil when empty).
+func conjoin(conjs []expr.Expr) (expr.Expr, error) {
+	var acc expr.Expr
+	for _, c := range conjs {
+		var err error
+		if acc, err = expr.And(acc, c); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// remapThrough rewrites column references i -> mapping[i] (slice form).
+func remapThrough(e expr.Expr, mapping []int) (expr.Expr, error) {
+	m := make(map[int]int, len(mapping))
+	for i, j := range mapping {
+		m[i] = j
+	}
+	return expr.Remap(e, m)
+}

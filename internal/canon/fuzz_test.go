@@ -1,0 +1,356 @@
+package canon_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/canon"
+	"repro/internal/expr"
+	"repro/internal/rewrite"
+	"repro/internal/seq"
+	"repro/internal/testgen"
+)
+
+// TestCanonicalizeFuzz is the acceptance fuzz for the canonicalizer: for
+// random rewritten query blocks it asserts that
+//
+//  1. canonicalization is idempotent (canon(canon(x)) is a fixpoint with
+//     an identity column map),
+//  2. semantically-equal presentation variants — shuffled predicate
+//     conjuncts and commutative operands, swapped compose legs, offsets
+//     split into chains, inserted permutation projections — produce the
+//     identical key and fingerprint, and
+//  3. the canonical tree evaluates to the original's output modulo the
+//     reported ColMap permutation.
+func TestCanonicalizeFuzz(t *testing.T) {
+	span := seq.NewSpan(-10, 50)
+	cfg := testgen.Config{MaxDepth: 5, MaxPos: 32, BaseDensity: 0.5}
+	rules := rewrite.DefaultRules()
+	const plans = 400
+	checked := 0
+	for seed := int64(1); checked < plans; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q, err := testgen.RandomQuery(rng, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		if algebra.Divergent(q) {
+			continue
+		}
+		rewritten, _, err := rewrite.Rewrite(q, rules)
+		if err != nil {
+			t.Fatalf("seed %d: rewrite: %v", seed, err)
+		}
+		c1, err := canon.Canonicalize(rewritten)
+		if err != nil {
+			t.Fatalf("seed %d: canonicalize: %v\n%s", seed, err, rewritten)
+		}
+
+		// (1) Idempotence.
+		c2, err := canon.Canonicalize(c1.Node)
+		if err != nil {
+			t.Fatalf("seed %d: re-canonicalize: %v\n%s", seed, err, c1.Node)
+		}
+		if c2.Key != c1.Key {
+			t.Fatalf("seed %d: not idempotent\nfirst:  %q\nsecond: %q", seed, c1.Key, c2.Key)
+		}
+		for i, j := range c2.ColMap {
+			if i != j {
+				t.Fatalf("seed %d: fixpoint re-permuted columns: %v", seed, c2.ColMap)
+			}
+		}
+
+		// (2) Presentation variants share the key.
+		for v := 0; v < 3; v++ {
+			variant, err := shuffleNode(rng, rewritten)
+			if err != nil {
+				t.Fatalf("seed %d: shuffle: %v\n%s", seed, err, rewritten)
+			}
+			cv, err := canon.Canonicalize(variant)
+			if err != nil {
+				t.Fatalf("seed %d: canonicalize variant: %v\n%s", seed, err, variant)
+			}
+			if cv.Key != c1.Key {
+				t.Fatalf("seed %d: shuffled variant changed the key\noriginal:\n%s\nvariant:\n%s\nkey1: %q\nkey2: %q",
+					seed, rewritten, variant, c1.Key, cv.Key)
+			}
+			if cv.Fingerprint != c1.Fingerprint {
+				t.Fatalf("seed %d: fingerprints diverged", seed)
+			}
+		}
+
+		// (3) The canonical tree computes the same sequence modulo ColMap.
+		want, err := algebra.EvalRange(rewritten, span)
+		if err != nil {
+			continue // reference interpreter rejects; nothing to compare
+		}
+		got, err := algebra.EvalRange(c1.Node, span)
+		if err != nil {
+			t.Fatalf("seed %d: canonical tree evaluation: %v\n%s", seed, err, c1.Node)
+		}
+		permuted := make([]seq.Entry, len(got))
+		for i, e := range got {
+			if e.Rec.IsNull() {
+				permuted[i] = e
+				continue
+			}
+			rec := make(seq.Record, len(c1.ColMap))
+			for orig, canonCol := range c1.ColMap {
+				rec[orig] = e.Rec[canonCol]
+			}
+			permuted[i] = seq.Entry{Pos: e.Pos, Rec: rec}
+		}
+		if !testgen.EntriesApproxEqual(permuted, want) {
+			t.Fatalf("seed %d: canonical tree disagrees with original modulo ColMap %v\noriginal:\n%s\ncanonical:\n%s",
+				seed, c1.ColMap, rewritten, c1.Node)
+		}
+		checked++
+	}
+	t.Logf("canonicalized %d random rewritten blocks (idempotence, 3 shuffles each, eval cross-check)", checked)
+}
+
+// shuffleNode rebuilds the tree as a semantically-equal presentation
+// variant: conjuncts and commutative operands reorder, offsets split,
+// compose legs swap (wrapped in a column-restoring projection), and
+// identity projections appear. Output columns keep their order and
+// names, so the variant is a drop-in replacement for the original.
+func shuffleNode(rng *rand.Rand, n *algebra.Node) (*algebra.Node, error) {
+	switch n.Kind {
+	case algebra.KindBase, algebra.KindConst:
+		return n, nil
+	case algebra.KindSelect:
+		in, err := shuffleNode(rng, n.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		conjs := splitAnd(n.Pred)
+		rng.Shuffle(len(conjs), func(i, j int) { conjs[i], conjs[j] = conjs[j], conjs[i] })
+		for i, c := range conjs {
+			if conjs[i], err = shuffleExpr(rng, c); err != nil {
+				return nil, err
+			}
+		}
+		if len(conjs) > 1 && rng.Intn(2) == 0 {
+			// Split into a stacked select chain.
+			k := 1 + rng.Intn(len(conjs)-1)
+			lower, err := algebra.Select(in, andAll(conjs[:k]))
+			if err != nil {
+				return nil, err
+			}
+			return algebra.Select(lower, andAll(conjs[k:]))
+		}
+		return algebra.Select(in, andAll(conjs))
+	case algebra.KindProject:
+		in, err := shuffleNode(rng, n.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		items := make([]algebra.ProjItem, len(n.Items))
+		for i, it := range n.Items {
+			e, err := shuffleExpr(rng, it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = algebra.ProjItem{Expr: e, Name: it.Name}
+		}
+		return algebra.Project(in, items)
+	case algebra.KindPosOffset:
+		in, err := shuffleNode(rng, n.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		if rng.Intn(2) == 0 {
+			// Split the shift into a two-step chain.
+			a := rng.Int63n(5) - 2
+			lower, err := algebra.PosOffset(in, a)
+			if err != nil {
+				return nil, err
+			}
+			return algebra.PosOffset(lower, n.Offset-a)
+		}
+		return algebra.PosOffset(in, n.Offset)
+	case algebra.KindValueOffset:
+		in, err := shuffleNode(rng, n.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		return maybeIdentityProject(rng, mustNode(algebra.ValueOffset(in, n.Offset)))
+	case algebra.KindAgg:
+		in, err := shuffleNode(rng, n.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Agg(in, *n.Agg)
+	case algebra.KindCollapse:
+		in, err := shuffleNode(rng, n.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Collapse(in, n.Factor, *n.Agg)
+	case algebra.KindExpand:
+		in, err := shuffleNode(rng, n.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Expand(in, n.Factor)
+	case algebra.KindCompose:
+		l, err := shuffleNode(rng, n.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := shuffleNode(rng, n.Inputs[1])
+		if err != nil {
+			return nil, err
+		}
+		pred := n.Pred
+		if pred != nil {
+			if pred, err = shuffleExpr(rng, pred); err != nil {
+				return nil, err
+			}
+		}
+		if rng.Intn(2) == 0 {
+			return algebra.Compose(l, r, pred, n.LeftQual, n.RightQual)
+		}
+		// Swap the legs, remap the predicate, and restore the original
+		// column order (and names) with a permutation projection — a
+		// drop-in replacement parents can still reference by index.
+		nl, nr := l.Schema.NumFields(), r.Schema.NumFields()
+		var swappedPred expr.Expr
+		if pred != nil {
+			m := make(map[int]int, nl+nr)
+			for i := 0; i < nl; i++ {
+				m[i] = nr + i
+			}
+			for i := 0; i < nr; i++ {
+				m[nl+i] = i
+			}
+			if swappedPred, err = expr.Remap(pred, m); err != nil {
+				return nil, err
+			}
+		}
+		swapped, err := algebra.Compose(r, l, swappedPred, n.RightQual, n.LeftQual)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]algebra.ProjItem, nl+nr)
+		for i := 0; i < nl; i++ {
+			c, err := expr.ColAt(swapped.Schema, nr+i)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = algebra.ProjItem{Expr: c, Name: n.Schema.Field(i).Name}
+		}
+		for i := 0; i < nr; i++ {
+			c, err := expr.ColAt(swapped.Schema, i)
+			if err != nil {
+				return nil, err
+			}
+			items[nl+i] = algebra.ProjItem{Expr: c, Name: n.Schema.Field(nl + i).Name}
+		}
+		return algebra.Project(swapped, items)
+	default:
+		return n, nil
+	}
+}
+
+func mustNode(n *algebra.Node, err error) *algebra.Node {
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// maybeIdentityProject wraps the node in an identity projection half the
+// time — pure noise the canonicalizer must elide.
+func maybeIdentityProject(rng *rand.Rand, n *algebra.Node) (*algebra.Node, error) {
+	if rng.Intn(2) == 0 {
+		return n, nil
+	}
+	items := make([]algebra.ProjItem, n.Schema.NumFields())
+	for i := range items {
+		c, err := expr.ColAt(n.Schema, i)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = algebra.ProjItem{Expr: c, Name: n.Schema.Field(i).Name}
+	}
+	return algebra.Project(n, items)
+}
+
+// shuffleExpr produces an equal expression with commutative operands
+// randomly swapped and comparisons randomly flipped.
+func shuffleExpr(rng *rand.Rand, e expr.Expr) (expr.Expr, error) {
+	switch v := e.(type) {
+	case *expr.Col, *expr.Lit:
+		return e, nil
+	case *expr.Bin:
+		l, err := shuffleExpr(rng, v.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := shuffleExpr(rng, v.R)
+		if err != nil {
+			return nil, err
+		}
+		op := v.Op
+		if rng.Intn(2) == 0 {
+			switch op {
+			case expr.OpAdd, expr.OpMul, expr.OpEq, expr.OpNe, expr.OpAnd, expr.OpOr:
+				l, r = r, l
+			case expr.OpLt:
+				op, l, r = expr.OpGt, r, l
+			case expr.OpLe:
+				op, l, r = expr.OpGe, r, l
+			case expr.OpGt:
+				op, l, r = expr.OpLt, r, l
+			case expr.OpGe:
+				op, l, r = expr.OpLe, r, l
+			}
+		}
+		return expr.NewBin(op, l, r)
+	case *expr.Not:
+		inner, err := shuffleExpr(rng, v.E)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewNot(inner)
+	case *expr.Neg:
+		inner, err := shuffleExpr(rng, v.E)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewNeg(inner)
+	case *expr.Call:
+		args := make([]expr.Expr, len(v.Args))
+		for i, a := range v.Args {
+			sa, err := shuffleExpr(rng, a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = sa
+		}
+		return expr.NewCall(v.Fn, args)
+	default:
+		return e, nil
+	}
+}
+
+func splitAnd(e expr.Expr) []expr.Expr {
+	if b, ok := e.(*expr.Bin); ok && b.Op == expr.OpAnd {
+		return append(splitAnd(b.L), splitAnd(b.R)...)
+	}
+	return []expr.Expr{e}
+}
+
+func andAll(conjs []expr.Expr) expr.Expr {
+	var acc expr.Expr
+	for _, c := range conjs {
+		next, err := expr.And(acc, c)
+		if err != nil {
+			panic(err)
+		}
+		acc = next
+	}
+	return acc
+}

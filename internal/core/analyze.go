@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/matview"
 	"repro/internal/parallel"
 	"repro/internal/seq"
 	"repro/internal/storage"
@@ -45,6 +46,10 @@ type Analysis struct {
 	// Empty for serial runs. The merged Root sums these workers' metric
 	// shards.
 	Partitions []parallel.PartitionMetrics
+	// Views snapshots the materialized-view registry counters after the
+	// run — per-view hits, misses, and cumulative page accesses. Empty
+	// when the plan was built without a registry.
+	Views []matview.Counters
 }
 
 // RunAnalyze executes the stream plan with per-node instrumentation and
@@ -86,6 +91,7 @@ func (r *Result) RunAnalyze() (*Analysis, error) {
 			Params:      r.Params,
 			Decision:    r.Parallel,
 			Partitions:  parts,
+			Views:       r.viewCounters(),
 		}, nil
 	}
 	instr, root := exec.Instrument(r.Plan, pred)
@@ -113,7 +119,22 @@ func (r *Result) RunAnalyze() (*Analysis, error) {
 		Predicted:   r.Cost,
 		GlobalPages: global,
 		Params:      r.Params,
+		Views:       r.viewCounters(),
 	}, nil
+}
+
+// viewCounters snapshots the registry's per-view counters (nil when the
+// plan was built without a registry).
+func (r *Result) viewCounters() []matview.Counters {
+	if r.Views == nil {
+		return nil
+	}
+	views := r.Views.Views()
+	out := make([]matview.Counters, len(views))
+	for i, v := range views {
+		out[i] = v.Counters()
+	}
+	return out
 }
 
 // PageCost converts a page-access snapshot into cost-model units
@@ -199,5 +220,9 @@ func (a *Analysis) render(times bool) string {
 		}
 		b.WriteByte('\n')
 	})
+	for _, v := range a.Views {
+		fmt.Fprintf(&b, "view %q span=%s records=%d density=%.3f hits=%d misses=%d pages[%s]\n",
+			v.Name, v.Span, v.Records, v.Density, v.Hits, v.Misses, v.Pages)
+	}
 	return strings.TrimRight(b.String(), "\n")
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/exec"
+	"repro/internal/matview"
 	"repro/internal/meta"
 	"repro/internal/seq"
 	"repro/internal/storage"
@@ -47,6 +48,9 @@ type builder struct {
 	// ANALYZE. Entries for candidates the DP later discards are simply
 	// never looked up.
 	costs map[exec.Plan]Cost
+	// subs records the materialized-view substitutions adopted while
+	// building, in build order (see tryView).
+	subs []*matview.Substitution
 }
 
 // note records the estimate for a created plan node, merging with any
@@ -115,6 +119,12 @@ func (b *builder) build(n *algebra.Node) (*candidate, error) {
 		return nil, fmt.Errorf("core: cannot build %s", n.Kind)
 	}
 	if err != nil {
+		return nil, err
+	}
+	// A materialized view subsuming this block is an alternative access
+	// path; adopt it per access mode wherever it prices below
+	// recomputation (§3.4–3.5).
+	if cand, err = b.tryView(n, m, cand); err != nil {
 		return nil, err
 	}
 	return b.noteCand(cand)

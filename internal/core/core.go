@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/exec"
+	"repro/internal/matview"
 	"repro/internal/meta"
 	"repro/internal/parallel"
 	"repro/internal/planlint"
@@ -46,6 +47,12 @@ type Options struct {
 	// invariant violation fails the Optimize call. The package-wide
 	// VerifyAll switch turns this on for every call.
 	Verify bool
+	// Views is the materialized-view registry consulted during plan
+	// generation: every non-leaf block is canonicalized and matched
+	// against the registered views, and a "scan view + residual ops"
+	// candidate is costed against recomputation (§3.4–3.5). Nil disables
+	// view matching.
+	Views *matview.Registry
 	// Parallelism bounds the worker count of span-partitioned parallel
 	// evaluation: 0 selects a GOMAXPROCS-derived default, 1 forces serial
 	// evaluation, N > 1 caps the partition count at N. Within the bound,
@@ -109,6 +116,13 @@ type Result struct {
 	// workers, at what K, and why (a serial decision records its reason).
 	// See internal/parallel.
 	Parallel *parallel.Decision
+	// Substitutions lists the materialized-view substitutions the builder
+	// adopted, in build order. Empty when no registry was configured or
+	// no view won.
+	Substitutions []*matview.Substitution
+	// Views is the registry the plan was built against (nil when view
+	// matching was disabled); EXPLAIN ANALYZE reads its counters.
+	Views *matview.Registry
 	// PlanCosts maps every physical node the builder created (including
 	// candidates the DP discarded) to its estimate, keyed by node
 	// identity. EXPLAIN ANALYZE joins it against the executed tree to
@@ -139,11 +153,25 @@ func (r *Result) Probe(positions []seq.Pos) ([]seq.Entry, error) {
 
 // Explain renders the chosen stream plan; a partitioned run appends the
 // planner's decision line (serial decisions render nothing, keeping the
-// output identical to a build without the parallel subsystem).
+// output identical to a build without the parallel subsystem), and each
+// adopted materialized-view substitution appends a line describing the
+// replaced block, the residual work, and the cost comparison that chose
+// the view.
 func (r *Result) Explain() string {
 	out := exec.Explain(r.Plan)
 	if r.Parallel.Parallel() {
 		out += "\n" + r.Parallel.String()
+	}
+	for _, s := range r.Substitutions {
+		modes := "stream"
+		switch {
+		case s.Stream && s.Probed:
+			modes = "stream+probed"
+		case s.Probed && !s.Stream:
+			modes = "probed"
+		}
+		out += fmt.Sprintf("\nmatview: %s block ← scan %q span=%s residual=%d conjunct(s) [%s] cost %.2f vs recompute %.2f",
+			s.Block.Kind, s.View.Name, s.Need, len(s.Residual), modes, s.ViewCost, s.RecomputeCost)
 	}
 	return out
 }
@@ -241,17 +269,19 @@ func Optimize(root *algebra.Node, requested seq.Span, opts Options) (*Result, er
 		runSpan = requested.Intersect(ann.Universe)
 	}
 	res := &Result{
-		Plan:         cand.stream,
-		ProbedPlan:   cand.probed,
-		Cost:         cand.cost,
-		RunSpan:      runSpan,
-		Rewritten:    rewritten,
-		Annotation:   ann,
-		Stats:        stats,
-		StreamAccess: algebra.StreamEvaluable(rewritten),
-		CacheBudget:  exec.CacheBudget(cand.stream),
-		PlanCosts:    b.costs,
-		Params:       b.params,
+		Plan:          cand.stream,
+		ProbedPlan:    cand.probed,
+		Cost:          cand.cost,
+		RunSpan:       runSpan,
+		Rewritten:     rewritten,
+		Annotation:    ann,
+		Stats:         stats,
+		StreamAccess:  algebra.StreamEvaluable(rewritten),
+		CacheBudget:   exec.CacheBudget(cand.stream),
+		Substitutions: b.subs,
+		Views:         opts.Views,
+		PlanCosts:     b.costs,
+		Params:        b.params,
 	}
 	// Partition planning: decide K for the run span under the extended
 	// cost model. A guard keeps pre-existing literal CostParams (zero

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/canon"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/matview"
+	"repro/internal/meta"
+	"repro/internal/seq"
+)
+
+// tryView gives the materialized-view registry a chance to answer the
+// block rooted at n (§3.4–3.5: a materialized derived sequence is just
+// another cached access path). When a registered view subsumes the block
+// — equal canonical form modulo a residual select and a column
+// permutation, span covering the block's access span — the builder
+// prices "scan view + residual ops" like any other candidate and adopts
+// it per access mode wherever it beats recomputation. Adopted
+// substitutions are recorded for EXPLAIN and the matview/* planlint
+// invariants; a view that matched but lost on cost (or span) records a
+// miss on its counters.
+func (b *builder) tryView(n *algebra.Node, m *meta.NodeMeta, cand *candidate) (*candidate, error) {
+	reg := b.opts.Views
+	if reg == nil || reg.Len() == 0 {
+		return cand, nil
+	}
+	// Substitution slots a span-restricted scan in for recomputation, so
+	// it is sound only under span propagation; a bare base scan is
+	// already an access path.
+	if b.opts.DisableSpanPropagation {
+		return cand, nil
+	}
+	if n.Kind == algebra.KindBase || n.Kind == algebra.KindConst {
+		return cand, nil
+	}
+	c, err := canon.Canonicalize(n)
+	if err != nil {
+		// A block shape the canon does not cover is simply not matchable.
+		return cand, nil
+	}
+	match, ok := reg.Match(c, m.AccessSpan)
+	if !ok {
+		return cand, nil
+	}
+	v := match.View
+	access := m.AccessSpan
+
+	// Price the view scan like a base store (§4.1.1): a restricted scan
+	// touches the restricted fraction of the pages.
+	plan := exec.Plan(exec.NewLeaf("matview:"+v.Name, v.Store, access))
+	info := v.Store.Info()
+	ac := v.Store.AccessCosts()
+	frac := 1.0
+	if full := info.Span.Len(); full > 0 && info.Span.Bounded() && access.Bounded() {
+		frac = float64(access.Len()) / float64(full)
+		if frac > 1 {
+			frac = 1
+		}
+	}
+	records := 0.0
+	if access.Bounded() && access.Len() > 0 {
+		records = info.Density * float64(access.Len())
+	}
+	cost := Cost{
+		Stream:   finite(float64(ac.StreamPages) * frac * b.params.SeqPage),
+		ProbePer: finite(float64(ac.ProbePages) * b.params.RandPage),
+	}
+	b.note(plan, cost)
+
+	if len(match.Residual) > 0 {
+		var pred expr.Expr
+		for _, e := range match.Residual {
+			if pred, err = expr.And(pred, e); err != nil {
+				return nil, err
+			}
+		}
+		plan = exec.NewSelect(plan, pred)
+		cost = Cost{
+			Stream:   finite(cost.Stream + records*b.params.Pred),
+			ProbePer: finite(cost.ProbePer + b.params.Pred),
+		}
+		b.note(plan, cost)
+	}
+
+	if restore, err2 := restoreColumns(plan, match.ColMap, n.Schema); err2 != nil {
+		return nil, err2
+	} else if restore != nil {
+		plan = restore
+		cost = Cost{
+			Stream:   finite(cost.Stream + records*b.params.PerRecord),
+			ProbePer: finite(cost.ProbePer + b.params.PerRecord),
+		}
+		b.note(plan, cost)
+	}
+
+	sub := &matview.Substitution{
+		View: v, Block: n, Need: access,
+		Residual: match.Residual, ColMap: match.ColMap,
+		ViewCost: cost.Stream, RecomputeCost: cand.cost.Stream,
+	}
+	if cost.Stream < cand.cost.Stream {
+		sub.Stream = true
+		cand.stream = plan
+		cand.cost.Stream = cost.Stream
+	}
+	if cost.ProbePer < cand.cost.ProbePer {
+		sub.Probed = true
+		cand.probed = plan
+		cand.cost.ProbePer = cost.ProbePer
+	}
+	if sub.Stream || sub.Probed {
+		v.Hit()
+		b.subs = append(b.subs, sub)
+	} else {
+		v.Miss()
+	}
+	return cand, nil
+}
+
+// restoreColumns wraps the view-scan plan in a projection restoring the
+// block's column order and names (block column i is stored column
+// colMap[i]). It returns nil when the stored layout already matches.
+func restoreColumns(plan exec.Plan, colMap []int, want *seq.Schema) (exec.Plan, error) {
+	have := plan.Info().Schema
+	identity := true
+	for i, j := range colMap {
+		if i != j || have.Field(i).Name != want.Field(i).Name {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		return nil, nil
+	}
+	items := make([]exec.ProjExpr, len(colMap))
+	for i, j := range colMap {
+		c, err := expr.ColAt(have, j)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = exec.ProjExpr{Expr: c, Name: want.Field(i).Name}
+	}
+	return exec.NewProject(plan, items)
+}

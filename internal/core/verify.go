@@ -34,5 +34,6 @@ func (r *Result) Verify() error {
 		issues = append(issues, planlint.VerifyCosts(p, lookup)...)
 	}
 	issues = append(issues, planlint.VerifyPartitions(r.Plan, r.Parallel)...)
+	issues = append(issues, planlint.VerifyMatviews(r.Substitutions)...)
 	return planlint.Error(issues)
 }

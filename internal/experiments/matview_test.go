@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The matview sweep's deterministic shape: every experiment yields a
+// cold and a warm point, the warm plan substitutes the view, the cost
+// model predicts the view as the winner, and the view-backed run never
+// touches more pages than recomputation. Wall-clock speedups are
+// reported but not asserted — CI machines are too noisy for that.
+func TestMatviewSweepQuick(t *testing.T) {
+	points, err := MatviewSweep(nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2*len(matviewIDs) {
+		t.Fatalf("got %d points, want %d", len(points), 2*len(matviewIDs))
+	}
+	for i := 0; i < len(points); i += 2 {
+		cold, warm := points[i], points[i+1]
+		if cold.Phase != "cold" || warm.Phase != "warm" || cold.Experiment != warm.Experiment {
+			t.Fatalf("points not paired cold/warm per experiment: %+v / %+v", cold, warm)
+		}
+		if warm.Substitutions == 0 {
+			t.Errorf("%s: warm plan adopted no view substitution", warm.Experiment)
+		}
+		if warm.PredictedWinner != "view" || warm.ViewCost >= warm.RecomputeCost {
+			t.Errorf("%s: cost model did not predict the view as winner (view %.2f vs recompute %.2f)",
+				warm.Experiment, warm.ViewCost, warm.RecomputeCost)
+		}
+		if warm.Rows != cold.Rows {
+			t.Errorf("%s: warm rows %d != cold rows %d", warm.Experiment, warm.Rows, cold.Rows)
+		}
+		if warm.PagesTotal > cold.PagesTotal {
+			t.Errorf("%s: warm run touched more pages (%d) than cold (%d)",
+				warm.Experiment, warm.PagesTotal, cold.PagesTotal)
+		}
+		if warm.ViewHits == 0 {
+			t.Errorf("%s: view recorded no hits", warm.Experiment)
+		}
+	}
+	table := RenderMatview(points)
+	for _, id := range matviewIDs {
+		if !strings.Contains(table, id) {
+			t.Errorf("render lacks %s:\n%s", id, table)
+		}
+	}
+}

@@ -34,9 +34,9 @@ type ParallelPoint struct {
 	Rows            int     `json:"rows"`
 	// PagesTotal counts page touches of one run (seq + random); the halo
 	// overhead is this row's pages minus the serial row's.
-	PagesTotal        int64  `json:"pages_total"`
-	HaloPagesOverhead int64  `json:"halo_pages_overhead"`
-	Halo              string `json:"halo"`
+	PagesTotal        int64   `json:"pages_total"`
+	HaloPagesOverhead int64   `json:"halo_pages_overhead"`
+	Halo              string  `json:"halo"`
 	HaloCostEst       float64 `json:"halo_cost_est"`
 	// SerialOnlyReason is set (on the baseline row) when the partition
 	// planner classifies the plan as not advisable to split.

@@ -5,8 +5,11 @@ import (
 	"math/rand"
 	"testing"
 
+	"fmt"
+
 	"repro/internal/algebra"
 	"repro/internal/core"
+	"repro/internal/matview"
 	"repro/internal/parallel"
 	"repro/internal/planlint"
 	"repro/internal/seq"
@@ -32,7 +35,7 @@ func TestDifferentialFuzz(t *testing.T) {
 		{ForceNaiveAggregates: true, ForceNaiveValueOffsets: true},
 		{DisableSlidingAggregates: true},
 	}
-	verified, partitioned := 0, 0
+	verified, partitioned, substituted := 0, 0, 0
 	for seed := int64(1); verified < *fuzzPlans; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		q, err := testgen.RandomQuery(rng, cfg)
@@ -96,12 +99,77 @@ func TestDifferentialFuzz(t *testing.T) {
 				partitioned++
 			}
 		}
+		// Materialized-view differential: pre-materialize a random
+		// sub-block of the rewritten tree as a view, re-optimize with the
+		// registry (verify mode re-checks the matview/* invariants), and
+		// the answer must match the no-view evaluation record for record.
+		if node, nspan, ok := randomSubBlock(rng, res); ok {
+			entries, evalErr := algebra.EvalRange(node, nspan)
+			if evalErr == nil {
+				kept := entries[:0]
+				for _, e := range entries {
+					if !e.Rec.IsNull() {
+						kept = append(kept, e)
+					}
+				}
+				data, err := seq.NewMaterialized(node.Schema, kept)
+				if err != nil {
+					t.Fatalf("seed %d: materialize sub-block: %v\n%s", seed, err, node)
+				}
+				reg := matview.New()
+				if _, err := reg.Register(fmt.Sprintf("fuzz-%d", seed), node, data, nspan); err != nil {
+					t.Fatalf("seed %d: register sub-block view: %v\n%s", seed, err, node)
+				}
+				opts.Views = reg
+				vres, err := core.Optimize(q, span, opts)
+				if err != nil {
+					t.Fatalf("seed %d: optimize with view (verify mode): %v\nquery:\n%s", seed, err, q)
+				}
+				vgot, err := vres.Run()
+				if err != nil {
+					t.Fatalf("seed %d: view-backed run: %v\nquery:\n%s\nplan:\n%s", seed, err, q, vres.Explain())
+				}
+				if !testgen.EntriesApproxEqual(vgot.Entries(), want) {
+					t.Fatalf("seed %d: view-backed evaluation disagrees with the no-view reference\nquery:\n%s\nview block:\n%s\nplan:\n%s",
+						seed, q, node, vres.Explain())
+				}
+				substituted += len(vres.Substitutions)
+			}
+		}
 		verified++
 	}
-	t.Logf("verified %d random plans differentially (%d partitioned cross-checks)", verified, partitioned)
+	t.Logf("verified %d random plans differentially (%d partitioned cross-checks, %d view substitutions)",
+		verified, partitioned, substituted)
 	if partitioned == 0 {
 		t.Fatalf("no plan ever took the partitioned evaluation path; the parallel differential harness is dead")
 	}
+	if substituted == 0 {
+		t.Fatalf("no plan ever substituted a pre-materialized view; the matview differential harness is dead")
+	}
+}
+
+// randomSubBlock picks a random non-leaf node of the rewritten tree
+// whose access span is bounded and non-empty — a block that can be
+// materialized as a view.
+func randomSubBlock(rng *rand.Rand, res *core.Result) (*algebra.Node, seq.Span, bool) {
+	var nodes []*algebra.Node
+	var walk func(n *algebra.Node)
+	walk = func(n *algebra.Node) {
+		if n.Kind != algebra.KindBase && n.Kind != algebra.KindConst {
+			if m := res.Annotation.Get(n); m != nil && m.AccessSpan.Bounded() && !m.AccessSpan.IsEmpty() {
+				nodes = append(nodes, n)
+			}
+		}
+		for _, in := range n.Inputs {
+			walk(in)
+		}
+	}
+	walk(res.Rewritten)
+	if len(nodes) == 0 {
+		return nil, seq.EmptySpan, false
+	}
+	n := nodes[rng.Intn(len(nodes))]
+	return n, res.Annotation.Get(n).AccessSpan, true
 }
 
 // TestVerifyAllSwitch covers the process-wide debug switch used by other

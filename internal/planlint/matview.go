@@ -1,0 +1,148 @@
+package planlint
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/canon"
+	"repro/internal/expr"
+	"repro/internal/matview"
+)
+
+// VerifyMatviews re-derives the correctness of every materialized-view
+// substitution the optimizer performed (the matview/* invariant family;
+// see docs/INVARIANTS.md):
+//
+//   - matview/span-covers (§3.2): the view's valid span covers the
+//     access span the block is evaluated over, so every position the
+//     query needs is stored.
+//   - matview/residual-scope (Prop. 2.1): the residual operators layered
+//     on the view scan — a conjunct filter and a column permutation —
+//     are unit-scope, so the substitution cannot change the block's
+//     scope properties.
+//   - matview/canonical-equal (§3.4–3.5): rebuilding the block as
+//     residual-select + permutation over the view's registered block and
+//     canonicalizing yields exactly the replaced block's canonical form
+//     (same key, same column map) — the substitution computes the same
+//     sequence, independently of how the optimizer matched it.
+func VerifyMatviews(subs []*matview.Substitution) []Issue {
+	c := &checker{}
+	for _, s := range subs {
+		verifyMatview(c, s)
+	}
+	return c.issues
+}
+
+func verifyMatview(c *checker, s *matview.Substitution) {
+	if s == nil || s.View == nil || s.Block == nil {
+		c.report("matview/canonical-equal", "§3.4", nil, "incomplete substitution record")
+		return
+	}
+
+	if !s.Need.IsEmpty() && s.View.Span.Intersect(s.Need) != s.Need {
+		c.report("matview/span-covers", "§3.2", s.Block,
+			"view %q span %v does not cover the block's access span %v",
+			s.View.Name, s.View.Span, s.Need)
+	}
+
+	arity := s.Block.Schema.NumFields()
+	stored := s.View.Node.Schema.NumFields()
+	if len(s.ColMap) != arity || !isPermutation(s.ColMap, stored) {
+		c.report("matview/canonical-equal", "§3.4", s.Block,
+			"substitution column map %v is not a permutation of the view's %d stored columns onto the block's %d outputs",
+			s.ColMap, stored, arity)
+		return
+	}
+
+	// Rebuild the block the substituted plan computes: the view's
+	// registered block, the residual filter (residual conjuncts live in
+	// the stored column space, which is the registered block's output
+	// space), and the column permutation restoring block column order.
+	reconstructed := s.View.Node
+	if len(s.Residual) > 0 {
+		pred, err := conjoinExprs(s.Residual)
+		if err != nil {
+			c.report("matview/residual-scope", "Prop. 2.1", s.Block, "residual conjuncts do not conjoin: %v", err)
+			return
+		}
+		sel, err := algebra.Select(reconstructed, pred)
+		if err != nil {
+			c.report("matview/residual-scope", "Prop. 2.1", s.Block,
+				"residual filter is not a valid selection over the view's stored schema: %v", err)
+			return
+		}
+		reconstructed = sel
+	}
+	items := make([]algebra.ProjItem, arity)
+	for i := 0; i < arity; i++ {
+		col, err := expr.ColAt(reconstructed.Schema, s.ColMap[i])
+		if err != nil {
+			c.report("matview/canonical-equal", "§3.4", s.Block, "column map entry %d: %v", s.ColMap[i], err)
+			return
+		}
+		items[i] = algebra.ProjItem{Expr: col, Name: s.Block.Schema.Field(i).Name}
+	}
+	proj, err := algebra.Project(reconstructed, items)
+	if err != nil {
+		c.report("matview/canonical-equal", "§3.4", s.Block, "restoring projection is invalid: %v", err)
+		return
+	}
+
+	// The residual chain must not widen scope: every operator layered on
+	// the view scan has to be unit-scope (Prop. 2.1 composition would
+	// otherwise change the block's effective scope).
+	for n := proj; n != s.View.Node; n = n.Inputs[0] {
+		if n.NonUnitScope() {
+			c.report("matview/residual-scope", "Prop. 2.1", n, "residual operator %s is not unit-scope", n.Kind)
+			return
+		}
+	}
+
+	want, err := canon.Canonicalize(s.Block)
+	if err != nil {
+		c.report("matview/canonical-equal", "§3.4", s.Block, "block does not canonicalize: %v", err)
+		return
+	}
+	got, err := canon.Canonicalize(proj)
+	if err != nil {
+		c.report("matview/canonical-equal", "§3.4", s.Block, "reconstructed block does not canonicalize: %v", err)
+		return
+	}
+	if got.Key != want.Key {
+		c.report("matview/canonical-equal", "§3.4", s.Block,
+			"view %q plus residual computes a different block\nblock key:         %q\nreconstructed key: %q",
+			s.View.Name, want.Key, got.Key)
+		return
+	}
+	for i := range want.ColMap {
+		if got.ColMap[i] != want.ColMap[i] {
+			c.report("matview/canonical-equal", "§3.4", s.Block,
+				"view %q plus residual permutes columns differently: block %v, reconstructed %v",
+				s.View.Name, want.ColMap, got.ColMap)
+			return
+		}
+	}
+}
+
+func isPermutation(m []int, n int) bool {
+	if len(m) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, j := range m {
+		if j < 0 || j >= n || seen[j] {
+			return false
+		}
+		seen[j] = true
+	}
+	return true
+}
+
+func conjoinExprs(conjs []expr.Expr) (expr.Expr, error) {
+	var acc expr.Expr
+	for _, e := range conjs {
+		var err error
+		if acc, err = expr.And(acc, e); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}

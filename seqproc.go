@@ -31,6 +31,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/grouping"
+	"repro/internal/matview"
 	"repro/internal/meta"
 	"repro/internal/parser"
 	"repro/internal/seq"
@@ -71,6 +72,9 @@ type (
 	// SequenceData is in-memory sequence content, the input to
 	// CreateSequence.
 	SequenceData = seq.Materialized
+	// ViewCounters is the usage summary of one materialized view
+	// (records, hits, misses, page accesses).
+	ViewCounters = matview.Counters
 	// Grouping is a collection of same-schema sequences queried
 	// collectively (the §5.1 sequence-groupings extension).
 	Grouping = grouping.Grouping
@@ -119,8 +123,9 @@ var (
 // Read-side operations (Query building, Run, Probe, Explain) may run
 // concurrently with each other; page-access counters are atomic.
 type DB struct {
-	seqs map[string]*dbSeq
-	opts Options
+	seqs  map[string]*dbSeq
+	opts  Options
+	views *matview.Registry
 }
 
 type dbSeq struct {
@@ -141,7 +146,7 @@ func (s *dbSeq) node() *algebra.Node {
 
 // New creates an empty database with default optimizer options.
 func New() *DB {
-	return &DB{seqs: make(map[string]*dbSeq)}
+	return &DB{seqs: make(map[string]*dbSeq), views: matview.New()}
 }
 
 // SetOptions replaces the optimizer options used by subsequent queries.
@@ -177,12 +182,14 @@ func (db *DB) MustCreateSequence(name string, data *seq.Materialized, kind Stora
 	}
 }
 
-// DropSequence removes a base sequence.
+// DropSequence removes a base sequence, invalidating every view whose
+// block reads it.
 func (db *DB) DropSequence(name string) error {
 	if _, ok := db.seqs[name]; !ok {
 		return fmt.Errorf("seqproc: unknown sequence %q", name)
 	}
 	delete(db.seqs, name)
+	db.views.InvalidateBase(name)
 	return nil
 }
 
@@ -216,7 +223,13 @@ func (db *DB) Append(name string, pos Pos, rec Record) error {
 	if !ok {
 		return fmt.Errorf("seqproc: sequence %q is not appendable (use Sparse storage)", name)
 	}
-	return sp.Append(seq.Entry{Pos: pos, Rec: rec})
+	if err := sp.Append(seq.Entry{Pos: pos, Rec: rec}); err != nil {
+		return err
+	}
+	// A view over this base may now be stale beyond its span; drop it
+	// rather than serve frozen data.
+	db.views.InvalidateBase(name)
+	return nil
 }
 
 // Reorganize repacks a base sequence into a different physical
@@ -248,6 +261,9 @@ func (db *DB) Reorganize(name string, kind StorageKind) error {
 		return err
 	}
 	s.store = store
+	// Registered views hold leaves of the old store; their blocks no
+	// longer describe the catalog, so drop them.
+	db.views.InvalidateBase(name)
 	return nil
 }
 
@@ -277,6 +293,54 @@ func (db *DB) catalog() parser.Catalog {
 		}
 		return s.node(), true
 	})
+}
+
+// Materialize evaluates a SEQL query over a bounded span and registers
+// the result as a named materialized view. Later queries whose blocks
+// are canonically equal to (or subsume, for selections) the view's
+// block over a covered span are answered from the view when the cost
+// model prefers it. Views are frozen copies: Append, Reorganize and
+// DropSequence on a base the view reads invalidate it.
+func (db *DB) Materialize(name, seql string, span Span) (ViewCounters, error) {
+	if !span.Bounded() {
+		return ViewCounters{}, fmt.Errorf("seqproc: materialize %q needs a bounded span, got %s", name, span)
+	}
+	q, err := db.Query(seql)
+	if err != nil {
+		return ViewCounters{}, err
+	}
+	res, err := q.optimize(span)
+	if err != nil {
+		return ViewCounters{}, err
+	}
+	out, err := res.Run()
+	if err != nil {
+		return ViewCounters{}, err
+	}
+	v, err := db.views.Register(name, res.Rewritten, out, res.RunSpan)
+	if err != nil {
+		return ViewCounters{}, err
+	}
+	return v.Counters(), nil
+}
+
+// ListViews returns the usage counters of every registered view, sorted
+// by name.
+func (db *DB) ListViews() []ViewCounters {
+	views := db.views.Views()
+	out := make([]ViewCounters, 0, len(views))
+	for _, v := range views {
+		out = append(out, v.Counters())
+	}
+	return out
+}
+
+// DropView removes a materialized view.
+func (db *DB) DropView(name string) error {
+	if !db.views.Drop(name) {
+		return fmt.Errorf("seqproc: unknown view %q", name)
+	}
+	return nil
 }
 
 // Query parses a SEQL query against the catalog. The query is not yet
@@ -321,9 +385,15 @@ func (q *Query) Node() *algebra.Node { return q.root }
 // String renders the logical operator tree.
 func (q *Query) String() string { return q.root.String() }
 
-// optimize runs the §4 pipeline for the given range.
+// optimize runs the §4 pipeline for the given range, matching the
+// query's blocks against the DB's materialized views (§3.4–3.5 of
+// DESIGN.md) unless the options name a registry of their own.
 func (q *Query) optimize(span Span) (*core.Result, error) {
-	return core.Optimize(q.root, span, q.db.opts)
+	opts := q.db.opts
+	if opts.Views == nil {
+		opts.Views = q.db.views
+	}
+	return core.Optimize(q.root, span, opts)
 }
 
 // Run optimizes and evaluates the query over the requested range in

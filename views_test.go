@@ -1,0 +1,93 @@
+package seqproc
+
+import (
+	"strings"
+	"testing"
+)
+
+// Materialize registers a view the DB answers repeated queries from:
+// the warm plan shows the substitution, the output matches
+// recomputation, and hit counters move.
+func TestMaterializeAndReuse(t *testing.T) {
+	db := stockDB(t)
+	const query = "select(compose(ibm, hp), ibm.close > hp.close)"
+	span := NewSpan(1, 750)
+
+	q, err := db.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := q.Run(span)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vc, err := db.Materialize("crosses", query, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.Name != "crosses" || vc.Records != cold.Count() {
+		t.Fatalf("view counters = %+v, want %d records", vc, cold.Count())
+	}
+
+	warm, err := q.Run(span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm.Plan(), `scan "crosses"`) {
+		t.Fatalf("warm plan does not scan the view:\n%s", warm.Plan())
+	}
+	if warm.Count() != cold.Count() {
+		t.Fatalf("warm count %d != cold count %d", warm.Count(), cold.Count())
+	}
+	views := db.ListViews()
+	if len(views) != 1 || views[0].Hits == 0 {
+		t.Fatalf("view not hit: %+v", views)
+	}
+
+	if err := db.DropView("crosses"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropView("crosses"); err == nil {
+		t.Fatal("double drop must fail")
+	}
+	if len(db.ListViews()) != 0 {
+		t.Fatal("drop did not take")
+	}
+}
+
+func TestMaterializeRejectsUnboundedSpan(t *testing.T) {
+	db := stockDB(t)
+	if _, err := db.Materialize("v", "select(ibm, ibm.close > 100.0)", AllSpan); err == nil {
+		t.Fatal("unbounded materialize must fail")
+	}
+}
+
+// Mutating a base a view reads invalidates the view; untouched views
+// survive.
+func TestViewInvalidation(t *testing.T) {
+	db := stockDB(t)
+	span := NewSpan(1, 750)
+	if _, err := db.Materialize("ibm-high", "select(ibm, ibm.close > 100.0)", span); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Materialize("hp-high", "select(hp, hp.close > 100.0)", span); err != nil {
+		t.Fatal(err)
+	}
+
+	// ibm is sparse, so Append works and must drop only the ibm view.
+	if err := db.Append("ibm", 900, Record{Float(1), Float(1), Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	views := db.ListViews()
+	if len(views) != 1 || views[0].Name != "hp-high" {
+		t.Fatalf("after append views = %+v, want only hp-high", views)
+	}
+
+	if err := db.Reorganize("hp", Sparse); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.ListViews()) != 0 {
+		t.Fatalf("reorganize did not invalidate: %+v", db.ListViews())
+	}
+}
