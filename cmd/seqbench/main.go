@@ -29,8 +29,10 @@ func main() {
 	parWorkers := flag.Int("parallel-workers", 0, "max workers of the -parallel sweep (0 = GOMAXPROCS)")
 	mv := flag.Bool("matview", false, "measure repeated queries cold vs through a materialized view, writing BENCH_matview.json")
 	mvOut := flag.String("matview-out", "BENCH_matview.json", "output path of the -matview sweep")
+	ro := flag.Bool("reopt", false, "measure mid-run reoptimization on skewed estimates plus a calibration round, writing BENCH_reopt.json")
+	roOut := flag.String("reopt-out", "BENCH_reopt.json", "output path of the -reopt benchmark")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: seqbench [-quick] [-analyze] [-parallel] [-matview] [-list] [experiment ids...]\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: seqbench [-quick] [-analyze] [-parallel] [-matview] [-reopt] [-list] [experiment ids...]\n\nexperiments:\n")
 		for _, e := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %s  %s\n", e.ID, e.Name)
 		}
@@ -96,6 +98,26 @@ func main() {
 		}
 		fmt.Print(experiments.RenderMatview(points))
 		fmt.Printf("(wrote %d sweep points to %s)\n", len(points), *mvOut)
+		return
+	}
+
+	if *ro {
+		bench, err := experiments.ReoptBenchmark(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seqbench: reopt benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seqbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*roOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "seqbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.RenderReopt(bench))
+		fmt.Printf("(wrote reopt benchmark to %s)\n", *roOut)
 		return
 	}
 

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	seqproc "repro"
+	"repro/internal/reopt"
 	"repro/internal/seq"
 	"repro/internal/workload"
 )
@@ -52,6 +53,9 @@ type cli struct {
 	db   *seqproc.DB
 	out  io.Writer
 	opts seqproc.Options
+	// reoptThresholdSet distinguishes an explicit "set reopt threshold 0"
+	// (replan at every checkpoint) from the unset zero value.
+	reoptThresholdSet bool
 }
 
 func (c *cli) exec(line string) error {
@@ -145,6 +149,9 @@ func (c *cli) help() {
   load <name> <file.csv>                            load a sequence from CSV (needs a "pos" column)
   save <name> <file.csv>                            write a sequence to CSV
   set parallelism <n>                               bound span-partitioned workers (0 = auto, 1 = serial)
+  set reopt on|off                                  monitor runs and replan mid-stream on cost divergence
+  set reopt interval <n>                            positions between reoptimization checkpoints
+  set reopt threshold <x>                           relative cost error that triggers a replan (0 = every checkpoint)
   list                                              list sequences
   describe <name>                                   show schema and meta-data
   materialize <name> as <seql> over <start> <end>   store a query result as a reusable view
@@ -165,11 +172,14 @@ SEQL operators:
 `)
 }
 
-// set adjusts session options; currently only the worker bound of the
-// span-partitioned executor.
+// set adjusts session options: the worker bound of the span-partitioned
+// executor and the mid-run reoptimizer's knobs.
 func (c *cli) set(args []string) error {
+	if len(args) >= 1 && args[0] == "reopt" {
+		return c.setReopt(args[1:])
+	}
 	if len(args) != 2 || args[0] != "parallelism" {
-		return fmt.Errorf("usage: set parallelism <n>")
+		return fmt.Errorf("usage: set parallelism <n> | set reopt on|off|interval <n>|threshold <x>")
 	}
 	n, err := strconv.Atoi(args[1])
 	if err != nil || n < 0 {
@@ -186,6 +196,58 @@ func (c *cli) set(args []string) error {
 		fmt.Fprintf(c.out, "parallelism: up to %d workers (cost model decides)\n", n)
 	}
 	return nil
+}
+
+// setReopt toggles and tunes mid-run adaptive reoptimization; runs
+// under "reopt on" are monitored and may splice in a replanned tail
+// when predicted-vs-actual costs diverge at a checkpoint.
+func (c *cli) setReopt(args []string) error {
+	usage := fmt.Errorf("usage: set reopt on|off | set reopt interval <n> | set reopt threshold <x>")
+	switch {
+	case len(args) == 1 && (args[0] == "on" || args[0] == "off"):
+		c.opts.Reopt.Enabled = args[0] == "on"
+		// A zero threshold means "replan at every checkpoint" (the fuzz
+		// mode), so enabling defaults it unless the user set one.
+		if c.opts.Reopt.Enabled && !c.reoptThresholdSet {
+			c.opts.Reopt.Threshold = reopt.DefaultThreshold
+		}
+		if c.opts.Reopt.Enabled {
+			fmt.Fprintf(c.out, "reopt: on (checkpoint every %d positions, threshold %g)\n",
+				c.reoptInterval(), c.opts.Reopt.Threshold)
+		} else {
+			fmt.Fprintln(c.out, "reopt: off")
+		}
+	case len(args) == 2 && args[0] == "interval":
+		n, err := strconv.Atoi(args[1])
+		if err != nil || n < 1 {
+			return fmt.Errorf("reopt interval must be a positive integer, got %q", args[1])
+		}
+		c.opts.Reopt.CheckEvery = int64(n)
+		fmt.Fprintf(c.out, "reopt: checkpoint every %d positions\n", n)
+	case len(args) == 2 && args[0] == "threshold":
+		x, err := strconv.ParseFloat(args[1], 64)
+		if err != nil || x < 0 {
+			return fmt.Errorf("reopt threshold must be a non-negative number, got %q", args[1])
+		}
+		c.opts.Reopt.Threshold = x
+		c.reoptThresholdSet = true
+		if x == 0 {
+			fmt.Fprintln(c.out, "reopt: replan at every checkpoint")
+		} else {
+			fmt.Fprintf(c.out, "reopt: replan when relative cost error exceeds %g\n", x)
+		}
+	default:
+		return usage
+	}
+	c.db.SetOptions(c.opts)
+	return nil
+}
+
+func (c *cli) reoptInterval() int64 {
+	if c.opts.Reopt.CheckEvery > 0 {
+		return c.opts.Reopt.CheckEvery
+	}
+	return reopt.DefaultCheckEvery
 }
 
 // materialize parses "<name> as <seql> over <start> <end>" and registers

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/reopt"
+)
+
+func TestCLISetReopt(t *testing.T) {
+	c, buf := newTestCLI()
+	if err := c.exec("set reopt on"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.opts.Reopt.Enabled {
+		t.Error("reopt not enabled")
+	}
+	// Enabling without an explicit threshold must not leave the zero
+	// value, which would replan at every checkpoint.
+	if c.opts.Reopt.Threshold != reopt.DefaultThreshold {
+		t.Errorf("threshold defaulted to %g, want %g", c.opts.Reopt.Threshold, reopt.DefaultThreshold)
+	}
+	if !strings.Contains(buf.String(), "reopt: on") {
+		t.Errorf("output = %q", buf.String())
+	}
+	buf.Reset()
+	if err := c.exec("set reopt interval 128"); err != nil {
+		t.Fatal(err)
+	}
+	if c.opts.Reopt.CheckEvery != 128 {
+		t.Errorf("interval = %d, want 128", c.opts.Reopt.CheckEvery)
+	}
+	if err := c.exec("set reopt threshold 0.25"); err != nil {
+		t.Fatal(err)
+	}
+	if c.opts.Reopt.Threshold != 0.25 {
+		t.Errorf("threshold = %g, want 0.25", c.opts.Reopt.Threshold)
+	}
+	// An explicit zero threshold survives re-enabling.
+	if err := c.exec("set reopt threshold 0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.exec("set reopt on"); err != nil {
+		t.Fatal(err)
+	}
+	if c.opts.Reopt.Threshold != 0 {
+		t.Errorf("explicit zero threshold overwritten to %g", c.opts.Reopt.Threshold)
+	}
+	buf.Reset()
+	if err := c.exec("set reopt off"); err != nil {
+		t.Fatal(err)
+	}
+	if c.opts.Reopt.Enabled {
+		t.Error("reopt still enabled")
+	}
+	if !strings.Contains(buf.String(), "reopt: off") {
+		t.Errorf("output = %q", buf.String())
+	}
+	// Errors.
+	for _, bad := range []string{
+		"set reopt", "set reopt maybe", "set reopt interval 0",
+		"set reopt interval x", "set reopt threshold -1", "set reopt threshold x",
+		"set", "set parallelism -1",
+	} {
+		if err := c.exec(bad); err == nil {
+			t.Errorf("%q must fail", bad)
+		}
+	}
+}
+
+// A reopt-enabled session runs queries through the monitored executor
+// and EXPLAIN ANALYZE reports the reoptimization record.
+func TestCLIReoptRun(t *testing.T) {
+	c, buf := newTestCLI()
+	if err := c.exec("gen table1 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.exec("set reopt on"); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := c.exec("select(compose(ibm, hp), ibm.close > hp.close) over 1 750"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "rows)") {
+		t.Errorf("query output = %q", buf.String())
+	}
+	buf.Reset()
+	if err := c.exec("explain analyze sum(ibm, close, 6) over 200 500"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "reopt:") {
+		t.Errorf("explain analyze under reopt lacks the reopt record:\n%s", buf.String())
+	}
+}

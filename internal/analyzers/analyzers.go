@@ -61,7 +61,7 @@ type Analyzer struct {
 
 // All returns every analyzer, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{KindSwitch, RawStore, StatsAtomic, SpanArith, RuleReg}
+	return []*Analyzer{KindSwitch, RawStore, StatsAtomic, SpanArith, RuleReg, ReoptCov}
 }
 
 // Run executes the given analyzers over the pass and returns the

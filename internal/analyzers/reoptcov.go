@@ -1,0 +1,92 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	planlintPath    = "repro/internal/planlint"
+	reoptInvariants = "reopt/"
+)
+
+// ReoptCov checks the planlint package's reopt invariant coverage:
+// every splice invariant it can report (a string literal with the
+// "reopt/" id prefix in non-test source) must be exercised by a test in
+// the same directory — an invariant the linter enforces but no test
+// ever triggers is unverified, and a typo in an id would otherwise pass
+// silently. The analyzer runs only on the planlint package itself.
+var ReoptCov = &Analyzer{
+	Name: "reoptcov",
+	Doc:  "every reopt/* invariant id reportable by planlint must be exercised by a test",
+	Run:  runReoptCov,
+}
+
+func runReoptCov(pass *Pass) {
+	if pass.Pkg.Path() != planlintPath {
+		return
+	}
+	// Invariant ids declared in non-test files, keyed by first position.
+	ids := map[string]token.Pos{}
+	var dir string
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if dir == "" {
+			dir = filepath.Dir(name)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			s, err := strconv.Unquote(lit.Value)
+			if err != nil || !strings.HasPrefix(s, reoptInvariants) || s == reoptInvariants {
+				return true
+			}
+			if _, seen := ids[s]; !seen {
+				ids[s] = lit.Pos()
+			}
+			return true
+		})
+	}
+	if len(ids) == 0 || dir == "" {
+		return
+	}
+	// Tests live both in the internal and the external test package, and
+	// `go vet` analyzes those as separate passes — read every _test.go in
+	// the directory straight from source instead.
+	tests, err := filepath.Glob(filepath.Join(dir, "*_test.go"))
+	if err != nil || len(tests) == 0 {
+		for id, pos := range ids {
+			pass.report(pos, "invariant %q has no _test.go files next to it", id)
+		}
+		return
+	}
+	exercised := map[string]bool{}
+	for _, path := range tests {
+		lits, ok := stringLiteralsInFile(path)
+		if !ok {
+			continue
+		}
+		for s := range lits {
+			exercised[s] = true
+		}
+	}
+	names := make([]string, 0, len(ids))
+	for id := range ids {
+		names = append(names, id)
+	}
+	sort.Strings(names)
+	for _, id := range names {
+		if !exercised[id] {
+			pass.report(ids[id], "invariant %q is not exercised by any test in %s", id, dir)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// checkReoptCov type-checks src as the planlint package with its file
+// placed in dir (so the analyzer can glob the _test.go files next to
+// it) and runs only the reoptcov analyzer.
+func checkReoptCov(t *testing.T, dir, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filepath.Join(dir, "reopt.go"), src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := (&types.Config{}).Check(planlintPath, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	pass := &Pass{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}
+	var out []string
+	for _, d := range Run(pass, []*Analyzer{ReoptCov}) {
+		out = append(out, fmt.Sprintf("%d: %s: %s", fset.Position(d.Pos).Line, d.Analyzer, d.Message))
+	}
+	return out
+}
+
+const reoptCovSrc = `package planlint
+func verify() []string {
+	return []string{"reopt/span-cover", "reopt/cache-isolation", "not-an-invariant"}
+}
+`
+
+func writeReoptTests(t *testing.T, dir, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, "reopt_test.go"), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReoptCovAllExercised(t *testing.T) {
+	dir := t.TempDir()
+	writeReoptTests(t, dir, `package planlint_test
+var cases = []string{"reopt/span-cover", "reopt/cache-isolation"}
+`)
+	wantDiags(t, checkReoptCov(t, dir, reoptCovSrc))
+}
+
+func TestReoptCovMissingInvariant(t *testing.T) {
+	dir := t.TempDir()
+	writeReoptTests(t, dir, `package planlint_test
+var cases = []string{"reopt/span-cover"}
+`)
+	wantDiags(t, checkReoptCov(t, dir, reoptCovSrc),
+		`reoptcov: invariant "reopt/cache-isolation" is not exercised by any test`)
+}
+
+func TestReoptCovNoTests(t *testing.T) {
+	dir := t.TempDir()
+	got := checkReoptCov(t, dir, reoptCovSrc)
+	wantDiags(t, got,
+		`reoptcov: invariant "reopt/span-cover" has no _test.go files`,
+		`reoptcov: invariant "reopt/cache-isolation" has no _test.go files`)
+}
+
+func TestReoptCovSkipsOtherPackages(t *testing.T) {
+	// The same literals in another package are not planlint invariants.
+	got := check(t, "repro/internal/other", `package other
+var ids = []string{"reopt/span-cover"}
+`)
+	wantDiags(t, got)
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/matview"
 	"repro/internal/parallel"
+	"repro/internal/reopt"
 	"repro/internal/seq"
 	"repro/internal/storage"
 )
@@ -50,6 +51,11 @@ type Analysis struct {
 	// run — per-view hits, misses, and cumulative page accesses. Empty
 	// when the plan was built without a registry.
 	Views []matview.Counters
+	// Reopt is the mid-run reoptimization record of the run: checkpoint
+	// count, splice decisions (trigger node, observed vs. predicted,
+	// old→new mode) and executed segments. Nil for unmonitored runs
+	// (see Result.RunAnalyzeReopt).
+	Reopt *reopt.Report
 }
 
 // RunAnalyze executes the stream plan with per-node instrumentation and
@@ -60,13 +66,10 @@ func (r *Result) RunAnalyze() (*Analysis, error) {
 	if !r.RunSpan.Bounded() && !r.RunSpan.IsEmpty() {
 		return nil, fmt.Errorf("core: query output span %v is unbounded; request a bounded range", r.RunSpan)
 	}
-	pred := func(p exec.Plan) exec.PredictedCost {
-		c, ok := r.PlanCosts[p]
-		if !ok {
-			return exec.PredictedCost{}
-		}
-		return exec.PredictedCost{Stream: c.Stream, ProbePer: c.ProbePer, Known: true}
+	if r.opts.Reopt.Enabled {
+		return r.RunAnalyzeReopt()
 	}
+	pred := r.predFn()
 	if r.Parallel.Parallel() {
 		start := time.Now()
 		out, root, parts, err := parallel.RunAnalyze(r.Plan, r.RunSpan, r.Parallel, pred)
@@ -175,6 +178,12 @@ func (a *Analysis) render(times bool) string {
 			}
 			b.WriteByte('\n')
 		}
+	}
+	if a.Reopt != nil {
+		b.WriteString(a.Reopt.Render())
+	}
+	if a.Root == nil {
+		return strings.TrimRight(b.String(), "\n")
 	}
 	a.Root.Walk(func(n *exec.NodeMetrics, depth int) {
 		b.WriteString(strings.Repeat("  ", depth))

@@ -51,6 +51,10 @@ type builder struct {
 	// subs records the materialized-view substitutions adopted while
 	// building, in build order (see tryView).
 	subs []*matview.Substitution
+	// nodes maps each created physical node back to the algebra node it
+	// evaluates (the reoptimization layer's plan→query join); nil
+	// disables recording.
+	nodes map[exec.Plan]*algebra.Node
 }
 
 // note records the estimate for a created plan node, merging with any
@@ -72,10 +76,19 @@ func (b *builder) note(p exec.Plan, c Cost) {
 	b.costs[p] = c
 }
 
-// noteCand records the estimates for a candidate's plans.
-func (b *builder) noteCand(c *candidate) (*candidate, error) {
+// noteCand records the estimates for a candidate's plans, and which
+// algebra node they evaluate.
+func (b *builder) noteCand(n *algebra.Node, c *candidate) (*candidate, error) {
 	b.note(c.stream, c.cost)
 	b.note(c.probed, c.cost)
+	if b.nodes != nil {
+		if c.stream != nil {
+			b.nodes[c.stream] = n
+		}
+		if c.probed != nil {
+			b.nodes[c.probed] = n
+		}
+	}
 	return c, nil
 }
 
@@ -127,7 +140,7 @@ func (b *builder) build(n *algebra.Node) (*candidate, error) {
 	if cand, err = b.tryView(n, m, cand); err != nil {
 		return nil, err
 	}
-	return b.noteCand(cand)
+	return b.noteCand(n, cand)
 }
 
 // buildCollapse prices the §5.1 domain-coarsening operator: stream

@@ -10,6 +10,7 @@ import (
 	"repro/internal/meta"
 	"repro/internal/parallel"
 	"repro/internal/planlint"
+	"repro/internal/reopt"
 	"repro/internal/rewrite"
 	"repro/internal/seq"
 )
@@ -59,13 +60,34 @@ type Options struct {
 	// the §4 cost model extended with the parallelism term picks the
 	// actual K per query — including K = 1 (see internal/parallel).
 	Parallelism int
+	// Reopt configures mid-run adaptive reoptimization: when Enabled,
+	// Run monitors predicted-vs-actual per-node costs at checkpoint
+	// intervals and replans the remaining span on divergence (see
+	// internal/reopt and Result.RunReopt).
+	Reopt reopt.Config
+	// Calibration, when non-nil and Params is nil, supplies cost
+	// constants regressed from completed runs' EXPLAIN ANALYZE traces
+	// (reopt.Calibration). Until it has enough observations the defaults
+	// apply unchanged.
+	Calibration *reopt.Calibration
 }
 
 func (o Options) params() CostParams {
 	if o.Params != nil {
 		return *o.Params
 	}
-	return DefaultCostParams()
+	p := DefaultCostParams()
+	if o.Calibration != nil {
+		if k, ok := o.Calibration.Constants(); ok {
+			// The regression is relative to the sequential-page unit
+			// (SeqPage stays 1); constants without a counterpart in the
+			// observed counters (Pred, ParallelStartup) keep defaults.
+			p.RandPage = k.RandPage
+			p.PerRecord = k.PerRecord
+			p.CacheAccess = k.CacheAccess
+		}
+	}
+	return p
 }
 
 // Stats reports what the optimizer did — including the Property 4.1
@@ -131,13 +153,27 @@ type Result struct {
 	// Params are the cost-model weights the estimates were computed with,
 	// kept so predictions can be converted back to page units.
 	Params CostParams
+
+	// nodes maps every physical node the builder created back to the
+	// algebra node it evaluates. The reoptimization layer walks it in
+	// lockstep with the metrics tree to turn observed row counts into
+	// density overrides for replanning.
+	nodes map[exec.Plan]*algebra.Node
+	// opts are the options this result was optimized under, kept so
+	// mid-run replans rebuild with the same configuration.
+	opts Options
 }
 
 // Run executes the stream plan over the run span and materializes the
-// output (the Start operator of Figure 6).
+// output (the Start operator of Figure 6). With Options.Reopt enabled
+// the run is monitored and may splice in a replanned tail (RunReopt).
 func (r *Result) Run() (*seq.Materialized, error) {
 	if !r.RunSpan.Bounded() && !r.RunSpan.IsEmpty() {
 		return nil, fmt.Errorf("core: query output span %v is unbounded; request a bounded range", r.RunSpan)
+	}
+	if r.opts.Reopt.Enabled {
+		out, _, err := r.RunReoptWith(r.opts.Reopt)
+		return out, err
 	}
 	if r.Parallel.Parallel() {
 		return parallel.Run(r.Plan, r.RunSpan, r.Parallel)
@@ -252,6 +288,7 @@ func Optimize(root *algebra.Node, requested seq.Span, opts Options) (*Result, er
 	b := &builder{
 		opts: opts, params: opts.params(), ann: ann, stats: &stats,
 		costs: make(map[exec.Plan]Cost),
+		nodes: make(map[exec.Plan]*algebra.Node),
 	}
 	cand, err := b.build(rewritten)
 	if err != nil {
@@ -282,6 +319,8 @@ func Optimize(root *algebra.Node, requested seq.Span, opts Options) (*Result, er
 		Views:         opts.Views,
 		PlanCosts:     b.costs,
 		Params:        b.params,
+		nodes:         b.nodes,
+		opts:          opts,
 	}
 	// Partition planning: decide K for the run span under the extended
 	// cost model. A guard keeps pre-existing literal CostParams (zero

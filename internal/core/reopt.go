@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/exec"
+	"repro/internal/meta"
+	"repro/internal/parallel"
+	"repro/internal/planlint"
+	"repro/internal/reopt"
+	"repro/internal/seq"
+	"repro/internal/storage"
+)
+
+// predFn returns the PlanCosts lookup as the instrumentation-layer
+// prediction function.
+func (r *Result) predFn() func(exec.Plan) exec.PredictedCost {
+	return func(p exec.Plan) exec.PredictedCost {
+		c, ok := r.PlanCosts[p]
+		if !ok {
+			return exec.PredictedCost{}
+		}
+		return exec.PredictedCost{Stream: c.Stream, ProbePer: c.ProbePer, Known: true}
+	}
+}
+
+// costWeights converts the result's cost params into the live-pricing
+// weights the checkpoint comparison uses.
+func (r *Result) costWeights() exec.CostWeights {
+	return exec.CostWeights{
+		SeqPage:     r.Params.SeqPage,
+		RandPage:    r.Params.RandPage,
+		CacheAccess: r.Params.CacheAccess,
+		PerRecord:   r.Params.PerRecord,
+	}
+}
+
+func (r *Result) verifyOn() bool { return r.opts.Verify || VerifyAll }
+
+// RunReopt executes the stream plan under mid-run adaptive
+// reoptimization with the configuration of Options.Reopt (Enabled is
+// implied by calling it directly) and returns the output together with
+// the reoptimization report.
+func (r *Result) RunReopt() (*seq.Materialized, *reopt.Report, error) {
+	return r.RunReoptWith(r.opts.Reopt)
+}
+
+// RunReoptWith is RunReopt under an explicit configuration — the test
+// and fuzz entry point (forced checkpoints, adversarial midpoints,
+// forced tail parallelism). The monitored head segments run serially;
+// a replanned tail may still run span-partitioned per its decision. In
+// verify mode every spliced plan passes the planlint physical and cost
+// checks at splice time, and the executed segments pass the reopt/*
+// splice invariants afterwards.
+func (r *Result) RunReoptWith(cfg reopt.Config) (*seq.Materialized, *reopt.Report, error) {
+	if !r.RunSpan.Bounded() && !r.RunSpan.IsEmpty() {
+		return nil, nil, fmt.Errorf("core: query output span %v is unbounded; request a bounded range", r.RunSpan)
+	}
+	rp := &replanner{
+		res:       r,
+		plan:      r.Plan,
+		span:      r.RunSpan,
+		nodes:     r.nodes,
+		ann:       r.Annotation,
+		overrides: make(map[*algebra.Node]float64),
+		tailK:     cfg.TailK,
+		verify:    r.verifyOn(),
+	}
+	out, rep, err := reopt.Run(r.Plan, r.RunSpan, cfg, r.predFn(), r.costWeights(), rp)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rp.verify {
+		segs := make([]planlint.ReoptSegment, len(rep.Segments))
+		for i, s := range rep.Segments {
+			segs[i] = planlint.ReoptSegment{Span: s.Span, Plan: s.Plan}
+		}
+		if err := planlint.Error(planlint.VerifyReopt(r.RunSpan, segs)); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, rep, nil
+}
+
+// replanner implements reopt.Planner over the per-block plan generator:
+// on a trigger it derives observed densities from the current segment's
+// metrics, re-annotates the rewritten tree for the remaining span with
+// those densities substituted (meta.AnnotateWithOverrides), rebuilds,
+// and decides tail parallelism.
+type replanner struct {
+	res  *Result
+	plan exec.Plan // current segment's plan
+	span seq.Span  // current segment's span
+	// nodes/ann describe the current segment's plan (they start as the
+	// static result's and are replaced on each replan).
+	nodes map[exec.Plan]*algebra.Node
+	ann   *meta.Annotation
+	// overrides accumulate observed densities across replans, keyed by
+	// algebra node (stable across rebuilds): a later splice must not
+	// forget the observation that caused an earlier one, or the plan
+	// would flip back.
+	overrides map[*algebra.Node]float64
+	tailK     int
+	verify    bool
+}
+
+// Replan implements reopt.Planner.
+func (rp *replanner) Replan(remaining, consumed seq.Span, metrics *exec.NodeMetrics, force bool) (*reopt.Segment, error) {
+	rp.observe(consumed, metrics)
+	// The rebuild keeps the original request's universe: it is part of
+	// the query's semantics (degenerate operators are confined to it),
+	// so a spliced plan must compute the same function over the
+	// remaining span as the plan it replaces.
+	ann, err := meta.AnnotateSubSpan(rp.res.Rewritten, remaining, rp.res.Annotation.Universe, rp.overrides)
+	if err != nil {
+		return nil, err
+	}
+	stats := Stats{}
+	b := &builder{
+		opts: rp.res.opts, params: rp.res.Params, ann: ann, stats: &stats,
+		costs: make(map[exec.Plan]Cost),
+		nodes: make(map[exec.Plan]*algebra.Node),
+	}
+	cand, err := b.build(rp.res.Rewritten)
+	if err != nil {
+		return nil, err
+	}
+	// The segment covers exactly the remaining span (the reopt/span-cover
+	// invariant); the plan's access spans restrict the scan internally.
+	var d *parallel.Decision
+	if rp.tailK >= 2 {
+		if fd, err := parallel.ForceK(cand.stream, remaining, rp.tailK); err == nil {
+			d = fd
+		}
+	}
+	if d == nil {
+		pp := parallel.DefaultParams()
+		if b.params.ParallelStartup > 0 {
+			pp.Startup = b.params.ParallelStartup
+		}
+		d = parallel.Plan(cand.stream, remaining, cand.cost.Stream, rp.res.opts.Parallelism, pp)
+	}
+	// A rebuild that lands on the same strategies and the same (serial)
+	// parallelism is not worth a splice: the trigger reflects cost-model
+	// noise, not a better plan. Decline and keep the current segment
+	// streaming — unless the caller demands the splice (ForceAt or the
+	// threshold-0 fuzz mode).
+	mode := reopt.StrategySignature(cand.stream)
+	if !force && mode == reopt.StrategySignature(rp.plan) && !d.Parallel() {
+		return nil, nil
+	}
+	if rp.verify {
+		var issues []planlint.Issue
+		issues = append(issues, planlint.VerifyPhysical(cand.stream)...)
+		lookup := func(p exec.Plan) (float64, float64, bool) {
+			c, ok := b.costs[p]
+			return c.Stream, c.ProbePer, ok
+		}
+		issues = append(issues, planlint.VerifyCosts(cand.stream, lookup)...)
+		issues = append(issues, planlint.VerifyPartitions(cand.stream, d)...)
+		if err := planlint.Error(issues); err != nil {
+			return nil, err
+		}
+	}
+	costs := b.costs
+	pred := func(p exec.Plan) exec.PredictedCost {
+		c, ok := costs[p]
+		if !ok {
+			return exec.PredictedCost{}
+		}
+		return exec.PredictedCost{Stream: c.Stream, ProbePer: c.ProbePer, Known: true}
+	}
+	rp.plan, rp.span, rp.nodes, rp.ann = cand.stream, remaining, b.nodes, ann
+	return &reopt.Segment{
+		Plan:     cand.stream,
+		Span:     remaining,
+		Pred:     pred,
+		Decision: d,
+		Mode:     mode,
+	}, nil
+}
+
+// observe walks the current segment's plan and metrics trees in
+// lockstep (Instrument mirrors the plan shape one NodeMetrics per
+// node) and records an observed output density per algebra node where
+// the counters carry enough evidence.
+func (rp *replanner) observe(consumed seq.Span, metrics *exec.NodeMetrics) {
+	total := rp.span.Len()
+	if total <= 0 {
+		return
+	}
+	frac := float64(consumed.Len()) / float64(total)
+	if frac <= 0 {
+		return
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	var walk func(p exec.Plan, m *exec.NodeMetrics)
+	walk = func(p exec.Plan, m *exec.NodeMetrics) {
+		if n, ok := rp.nodes[p]; ok {
+			if nm := rp.ann.Get(n); nm != nil {
+				if d, ok := observedDensity(nm.AccessSpan, m, frac); ok {
+					rp.overrides[n] = d
+				}
+			}
+		}
+		pc := p.Children()
+		for i := 0; i < len(pc) && i < len(m.Children); i++ {
+			walk(pc[i], m.Children[i])
+		}
+	}
+	walk(rp.plan, metrics)
+}
+
+// minEvidence is the observation count below which a density estimate
+// is noise, not signal.
+const minEvidence = 4
+
+// observedDensity derives a node's output density from its live
+// counters: probed nodes report the non-Null fraction of their
+// answers; streamed nodes report rows emitted over the consumed
+// fraction of their access span.
+func observedDensity(access seq.Span, m *exec.NodeMetrics, frac float64) (float64, bool) {
+	if m.ProbeCalls >= minEvidence && m.ScanCalls == 0 {
+		return float64(m.ProbeRows) / float64(m.ProbeCalls), true
+	}
+	if m.ScanCalls > 0 && access.Bounded() && access.Len() > 0 {
+		expect := frac * float64(access.Len())
+		if expect >= minEvidence {
+			return float64(m.ScanRows) / expect, true
+		}
+	}
+	return 0, false
+}
+
+// RunAnalyzeReopt is RunAnalyze under mid-run reoptimization: the
+// monitored run's instrumentation doubles as the analysis, the
+// Analysis carries the reoptimization report, and Root is the metrics
+// tree of the last monitored segment (a parallel tail contributes its
+// partition decision through the report, not a merged tree).
+func (r *Result) RunAnalyzeReopt() (*Analysis, error) {
+	cfg := r.opts.Reopt
+	cfg.Enabled = true
+	stores := exec.PlanStores(r.Plan)
+	before := make([]storage.StatsSnapshot, len(stores))
+	for i, st := range stores {
+		before[i] = st.Stats().Snapshot()
+	}
+	start := time.Now()
+	out, rep, err := r.RunReoptWith(cfg)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	var global storage.StatsSnapshot
+	for i, st := range stores {
+		global = global.Add(st.Stats().Snapshot().Sub(before[i]))
+	}
+	var root *exec.NodeMetrics
+	for _, s := range rep.Segments {
+		if s.Metrics != nil {
+			root = s.Metrics
+		}
+	}
+	return &Analysis{
+		Output:      out,
+		Root:        root,
+		Span:        r.RunSpan,
+		Elapsed:     elapsed,
+		Predicted:   r.Cost,
+		GlobalPages: global,
+		Params:      r.Params,
+		Views:       r.viewCounters(),
+		Reopt:       rep,
+	}, nil
+}

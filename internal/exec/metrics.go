@@ -142,6 +142,72 @@ func (m *NodeMetrics) Merge(o *NodeMetrics) error {
 	return nil
 }
 
+// CostWeights are the cost-model weights needed to price observed
+// execution counters in the optimizer's cost units (sequential-page
+// reads). The reoptimization layer uses them to compare a node's
+// accumulated actual cost against its pro-rated prediction mid-run.
+type CostWeights struct {
+	SeqPage     float64
+	RandPage    float64
+	CacheAccess float64
+	PerRecord   float64
+}
+
+// LivePages returns the node's attributed page counters, readable at any
+// point during a run (unlike Finalize, which copies them once at the
+// end and mutates the tree).
+func (m *NodeMetrics) LivePages() storage.StatsSnapshot {
+	if m.pageStats != nil {
+		return m.pageStats.Snapshot()
+	}
+	return m.Pages
+}
+
+// LiveCacheOps returns the node's accumulated cache operations (puts +
+// hits + misses), readable mid-run without finalizing.
+func (m *NodeMetrics) LiveCacheOps() int64 {
+	if len(m.caches) > 0 {
+		var ops int64
+		for _, c := range m.caches {
+			ops += c.Puts() + c.Hits() + c.Misses()
+		}
+		return ops
+	}
+	return m.CachePuts + m.CacheHits + m.CacheMisses
+}
+
+// ActualCost prices the subtree's accumulated work in cost units: page
+// accesses at the sequential/random weights, cache operations, and
+// records moved. It reads the deferred counters live, so it is valid
+// both mid-run (at a reoptimization checkpoint) and after Finalize, and
+// it never mutates the tree. The result is directly comparable to a
+// cumulative predicted stream cost pro-rated to the consumed span.
+func (m *NodeMetrics) ActualCost(w CostWeights) float64 {
+	pages := m.LivePages()
+	total := float64(pages.SeqPages)*w.SeqPage + float64(pages.RandPages)*w.RandPage
+	total += float64(m.LiveCacheOps()) * w.CacheAccess
+	total += float64(m.ScanRows+m.ProbeRows) * w.PerRecord
+	for _, c := range m.Children {
+		total += c.ActualCost(w)
+	}
+	return total
+}
+
+// ExclusiveTime returns the wall-clock time spent in this node alone:
+// its inclusive time minus its direct children's inclusive times,
+// clamped at zero (timer granularity can make the difference slightly
+// negative). Calibration regresses cost constants against it.
+func (m *NodeMetrics) ExclusiveTime() time.Duration {
+	t := m.ScanTime + m.ProbeTime
+	for _, c := range m.Children {
+		t -= c.ScanTime + c.ProbeTime
+	}
+	if t < 0 {
+		t = 0
+	}
+	return t
+}
+
 // TotalPages sums the attributed page accesses over the subtree.
 func (m *NodeMetrics) TotalPages() storage.StatsSnapshot {
 	total := m.Pages

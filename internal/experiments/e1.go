@@ -5,6 +5,7 @@ import (
 	"time"
 
 	seqproc "repro"
+	"repro/internal/planlint"
 	"repro/internal/relational"
 	"repro/internal/seq"
 	"repro/internal/workload"
@@ -42,10 +43,20 @@ func e1(sizes []int) (*Table, error) {
 			return nil, err
 		}
 
-		// Relational baseline: the nested-subquery plan.
+		// Relational baseline: the nested-subquery plan. Both strategy
+		// descriptors pass the rel/* invariants before anything runs, so
+		// the E1 comparison is between two verified engines.
 		qRel, vRel, err := workload.ToRelations(quakes, volcanos)
 		if err != nil {
 			return nil, err
+		}
+		for _, plan := range []*relational.PlanNode{
+			relational.NestedPlan(vRel, qRel),
+			relational.MergePlan(vRel, qRel),
+		} {
+			if err := planlint.Error(planlint.VerifyRelational(plan)); err != nil {
+				return nil, fmt.Errorf("e1: relational baseline plan: %w", err)
+			}
 		}
 		startRel := time.Now()
 		relNames, err := relational.VolcanoQueryNested(vRel, qRel)
@@ -55,8 +66,10 @@ func e1(sizes []int) (*Table, error) {
 		relTime := time.Since(startRel)
 		relTuples := qRel.TuplesRead + vRel.TuplesRead
 
-		// Sequence engine: optimizer-chosen plan.
+		// Sequence engine: optimizer-chosen plan, with the planlint
+		// invariant verifier on.
 		db := seqproc.New()
+		db.SetOptions(seqproc.Options{Verify: true})
 		db.MustCreateSequence("quakes", quakes, seqproc.Sparse)
 		db.MustCreateSequence("volcanos", volcanos, seqproc.Sparse)
 		q, err := db.Query("project(select(compose(volcanos, prev(quakes)), strength > 7.0), name)")

@@ -59,6 +59,12 @@ type Annotation struct {
 	// operators whose logical spans are unbounded (value offsets,
 	// constants).
 	Universe seq.Span
+
+	// overrides substitutes observed densities for the derived estimates
+	// at specific nodes (AnnotateWithOverrides): the reoptimization layer
+	// feeds runtime observations back into Step 2 when replanning the
+	// remaining span.
+	overrides map[*algebra.Node]float64
 }
 
 // Get returns the meta for a node (nil if the node is not part of the
@@ -68,11 +74,35 @@ func (a *Annotation) Get(n *algebra.Node) *NodeMeta { return a.ByNode[n] }
 // Annotate runs both propagation passes over the query tree for the
 // requested output range and returns the resulting annotation.
 func Annotate(root *algebra.Node, requested seq.Span) (*Annotation, error) {
-	universe := algebra.Universe(root, requested)
+	return AnnotateWithOverrides(root, requested, nil)
+}
+
+// AnnotateWithOverrides is Annotate with observed densities substituted
+// for the derived estimates at the given nodes (§4 Step 2.a with
+// runtime feedback). An override replaces the node's bottom-up density
+// before its parent consumes it, so the substitution propagates upward
+// through the usual derivation; spans are unaffected. Nil or empty
+// overrides reduce to Annotate.
+func AnnotateWithOverrides(root *algebra.Node, requested seq.Span, overrides map[*algebra.Node]float64) (*Annotation, error) {
+	return annotateUniverse(root, requested, algebra.Universe(root, requested), overrides)
+}
+
+// AnnotateSubSpan annotates root for a sub-range of an earlier request
+// while keeping that request's universe. The universe is part of the
+// query's semantics — degenerate operators (value offsets over constant
+// sequences) are confined to it — so a mid-run replan of the remaining
+// span must reuse the original universe, or the spliced plan would
+// compute a different function than the plan it replaces.
+func AnnotateSubSpan(root *algebra.Node, requested, universe seq.Span, overrides map[*algebra.Node]float64) (*Annotation, error) {
+	return annotateUniverse(root, requested, universe, overrides)
+}
+
+func annotateUniverse(root *algebra.Node, requested, universe seq.Span, overrides map[*algebra.Node]float64) (*Annotation, error) {
 	a := &Annotation{
 		ByNode:    make(map[*algebra.Node]*NodeMeta),
 		Requested: requested,
 		Universe:  universe,
+		overrides: overrides,
 	}
 	if _, err := a.bottomUp(root); err != nil {
 		return nil, err
@@ -97,6 +127,9 @@ func (a *Annotation) bottomUp(n *algebra.Node) (*NodeMeta, error) {
 	m, err := deriveMeta(n, ins)
 	if err != nil {
 		return nil, err
+	}
+	if d, ok := a.overrides[n]; ok {
+		m.Density = clamp01(d)
 	}
 	a.ByNode[n] = m
 	return m, nil

@@ -12,6 +12,7 @@ import (
 	"repro/internal/matview"
 	"repro/internal/parallel"
 	"repro/internal/planlint"
+	"repro/internal/reopt"
 	"repro/internal/seq"
 	"repro/internal/testgen"
 )
@@ -36,6 +37,7 @@ func TestDifferentialFuzz(t *testing.T) {
 		{DisableSlidingAggregates: true},
 	}
 	verified, partitioned, substituted := 0, 0, 0
+	respliced, reoptTails := 0, 0
 	for seed := int64(1); verified < *fuzzPlans; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		q, err := testgen.RandomQuery(rng, cfg)
@@ -99,6 +101,45 @@ func TestDifferentialFuzz(t *testing.T) {
 				partitioned++
 			}
 		}
+		// Mid-run reoptimization differential: splice forcibly at every
+		// checkpoint (threshold 0), at an adversarial single midpoint,
+		// and with forced tail parallelism at K in {2,3,7}. Verify mode
+		// re-runs the planlint physical/cost/partition checks on every
+		// spliced plan and the reopt/* splice invariants on the executed
+		// segments; the output must match the static plan and the
+		// reference record for record regardless.
+		if res.RunSpan.Bounded() && !res.RunSpan.IsEmpty() {
+			mid := res.RunSpan.Start + res.RunSpan.Len()/2
+			reoptCfgs := []reopt.Config{
+				{Enabled: true, CheckEvery: 16, Threshold: 0},
+				{Enabled: true, CheckEvery: 1 << 30, Threshold: 8, ForceAt: &mid},
+			}
+			for _, k := range []int{2, 3, 7} {
+				reoptCfgs = append(reoptCfgs,
+					reopt.Config{Enabled: true, CheckEvery: 16, Threshold: 0, TailK: k})
+			}
+			for ci, rcfg := range reoptCfgs {
+				rgot, rep, err := res.RunReoptWith(rcfg)
+				if err != nil {
+					t.Fatalf("seed %d: reopt cfg %d: %v\nquery:\n%s\nplan:\n%s",
+						seed, ci, err, q, res.Explain())
+				}
+				if !testgen.EntriesApproxEqual(rgot.Entries(), got.Entries()) {
+					t.Fatalf("seed %d: reopt cfg %d disagrees with the static plan\nquery:\n%s\nplan:\n%s\nreport:\n%s",
+						seed, ci, q, res.Explain(), rep.Render())
+				}
+				if !testgen.EntriesApproxEqual(rgot.Entries(), want) {
+					t.Fatalf("seed %d: reopt cfg %d disagrees with the reference\nquery:\n%s\nplan:\n%s\nreport:\n%s",
+						seed, ci, q, res.Explain(), rep.Render())
+				}
+				respliced += len(rep.Switches)
+				for _, s := range rep.Segments {
+					if s.K > 1 {
+						reoptTails++
+					}
+				}
+			}
+		}
 		// Materialized-view differential: pre-materialize a random
 		// sub-block of the rewritten tree as a view, re-optimize with the
 		// registry (verify mode re-checks the matview/* invariants), and
@@ -138,13 +179,19 @@ func TestDifferentialFuzz(t *testing.T) {
 		}
 		verified++
 	}
-	t.Logf("verified %d random plans differentially (%d partitioned cross-checks, %d view substitutions)",
-		verified, partitioned, substituted)
+	t.Logf("verified %d random plans differentially (%d partitioned cross-checks, %d view substitutions, %d reopt splices, %d reopt parallel tails)",
+		verified, partitioned, substituted, respliced, reoptTails)
 	if partitioned == 0 {
 		t.Fatalf("no plan ever took the partitioned evaluation path; the parallel differential harness is dead")
 	}
 	if substituted == 0 {
 		t.Fatalf("no plan ever substituted a pre-materialized view; the matview differential harness is dead")
+	}
+	if respliced == 0 {
+		t.Fatalf("no run ever spliced a replanned segment; the reopt differential harness is dead")
+	}
+	if reoptTails == 0 {
+		t.Fatalf("no replanned tail ever ran span-partitioned; the reopt TailK harness is dead")
 	}
 }
 

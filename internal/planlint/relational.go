@@ -1,0 +1,140 @@
+package planlint
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/relational"
+)
+
+// VerifyRelational checks the rel/* invariant family over a relational
+// plan descriptor (relational.PlanNode) — the ROADMAP item "extend
+// planlint to the relational baseline engine", so the E1 comparison
+// runs two verified engines, not one verified engine against an
+// unchecked loop:
+//
+//	rel/arity        each operator has the child count and payload its
+//	                 Op demands (scans carry a relation and nothing
+//	                 else; unary and binary operators carry children).
+//	rel/schema       tuple widths derive consistently: projection
+//	                 columns index into the child's width, every
+//	                 operator's width is well-defined.
+//	rel/cardinality  estimates are finite and non-negative, a scan
+//	                 states the exact relation cardinality (the
+//	                 baseline has perfect table statistics), and no
+//	                 unary operator claims more output tuples than its
+//	                 input.
+func VerifyRelational(root *relational.PlanNode) []Issue {
+	c := &checker{}
+	if root == nil {
+		c.reportRel("rel/arity", nil, "nil plan root")
+		return c.issues
+	}
+	var walk func(n *relational.PlanNode)
+	walk = func(n *relational.PlanNode) {
+		c.checkRelShape(n)
+		c.checkRelCardinality(n)
+		for _, ch := range n.Children {
+			if ch == nil {
+				c.reportRel("rel/arity", n, "nil child")
+				continue
+			}
+			walk(ch)
+		}
+	}
+	walk(root)
+	if root.Width() < 0 {
+		c.reportRel("rel/schema", root, "plan width is not derivable")
+	}
+	return c.issues
+}
+
+func (c *checker) reportRel(invariant string, n *relational.PlanNode, format string, args ...any) {
+	node := "<nil>"
+	if n != nil {
+		node = n.Op
+		if n.Rel != nil {
+			node = fmt.Sprintf("%s(%s)", n.Op, n.Rel.Name)
+		}
+	}
+	c.issues = append(c.issues, Issue{
+		Invariant: invariant,
+		Ref:       "Example 1.1",
+		Node:      node,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// relArity returns the expected child count per Op (-1 for unknown).
+func relArity(op string) int {
+	switch op {
+	case "scan":
+		return 0
+	case "select", "project", "aggregate":
+		return 1
+	case "nested-loop-join", "merge-join", "apply":
+		return 2
+	default:
+		return -1
+	}
+}
+
+func (c *checker) checkRelShape(n *relational.PlanNode) {
+	want := relArity(n.Op)
+	if want < 0 {
+		c.reportRel("rel/arity", n, "unknown operator %q", n.Op)
+		return
+	}
+	if len(n.Children) != want {
+		c.reportRel("rel/arity", n, "has %d children, want %d", len(n.Children), want)
+		return
+	}
+	if n.Op == "scan" {
+		if n.Rel == nil {
+			c.reportRel("rel/arity", n, "scan without a relation")
+		}
+	} else if n.Rel != nil {
+		c.reportRel("rel/arity", n, "non-scan operator carries a relation")
+	}
+	if n.Op == "project" {
+		inWidth := -1
+		if len(n.Children) == 1 && n.Children[0] != nil {
+			inWidth = n.Children[0].Width()
+		}
+		if len(n.Cols) == 0 {
+			c.reportRel("rel/schema", n, "projection with no output columns")
+		}
+		for _, col := range n.Cols {
+			if col < 0 || (inWidth >= 0 && col >= inWidth) {
+				c.reportRel("rel/schema", n, "projection column %d outside input width %d", col, inWidth)
+			}
+		}
+	} else if len(n.Cols) != 0 {
+		c.reportRel("rel/schema", n, "non-projection operator carries projection columns")
+	}
+}
+
+func (c *checker) checkRelCardinality(n *relational.PlanNode) {
+	est := n.EstTuples
+	if math.IsNaN(est) || math.IsInf(est, 0) || est < 0 {
+		c.reportRel("rel/cardinality", n, "estimate %v is not finite and non-negative", est)
+		return
+	}
+	switch n.Op {
+	case "scan":
+		if n.Rel != nil && est != float64(n.Rel.Cardinality()) {
+			c.reportRel("rel/cardinality", n, "scan estimate %v, relation holds %d tuples",
+				est, n.Rel.Cardinality())
+		}
+	case "select", "project", "aggregate":
+		if len(n.Children) == 1 && n.Children[0] != nil {
+			if in := n.Children[0].EstTuples; est > in {
+				c.reportRel("rel/cardinality", n, "unary operator estimates %v output tuples from %v inputs",
+					est, in)
+			}
+		}
+		if n.Op == "aggregate" && est > 1 {
+			c.reportRel("rel/cardinality", n, "scalar aggregate estimates %v tuples, want ≤ 1", est)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package planlint_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/planlint"
+	"repro/internal/relational"
+	"repro/internal/seq"
+)
+
+func e1Relations(t *testing.T) (*relational.Relation, *relational.Relation) {
+	t.Helper()
+	volcanos, err := relational.NewRelation("volcanos", relational.VolcanoSchema, []relational.Tuple{
+		{seq.Int(2), seq.Str("etna")},
+		{seq.Int(6), seq.Str("fuji")},
+		{seq.Int(9), seq.Str("rainier")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quakes, err := relational.NewRelation("quakes", relational.QuakeSchema, []relational.Tuple{
+		{seq.Int(1), seq.Float(6.0)},
+		{seq.Int(4), seq.Float(7.5)},
+		{seq.Int(8), seq.Float(5.0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return volcanos, quakes
+}
+
+// TestVerifyRelationalE1Plans is the regression test for the ROADMAP
+// item: the descriptors of both E1 strategies — the plans the
+// experiment actually runs — pass every rel/* invariant.
+func TestVerifyRelationalE1Plans(t *testing.T) {
+	volcanos, quakes := e1Relations(t)
+	for name, plan := range map[string]*relational.PlanNode{
+		"nested": relational.NestedPlan(volcanos, quakes),
+		"merge":  relational.MergePlan(volcanos, quakes),
+	} {
+		if issues := planlint.VerifyRelational(plan); len(issues) != 0 {
+			t.Errorf("%s: %v", name, planlint.Error(issues))
+		}
+		if w := plan.Width(); w != 1 {
+			t.Errorf("%s: plan width = %d, want 1 (the projected name)", name, w)
+		}
+	}
+}
+
+func TestVerifyRelationalViolations(t *testing.T) {
+	volcanos, quakes := e1Relations(t)
+	scanV := func() *relational.PlanNode {
+		return &relational.PlanNode{Op: "scan", Rel: volcanos, EstTuples: 3}
+	}
+
+	// rel/arity: wrong child counts, missing/misplaced relations,
+	// unknown operators.
+	wantInvariant(t, planlint.VerifyRelational(nil), "rel/arity", "nil plan root")
+	wantInvariant(t, planlint.VerifyRelational(&relational.PlanNode{Op: "frobnicate"}),
+		"rel/arity", "unknown operator")
+	wantInvariant(t, planlint.VerifyRelational(&relational.PlanNode{Op: "select"}),
+		"rel/arity", "has 0 children, want 1")
+	wantInvariant(t, planlint.VerifyRelational(&relational.PlanNode{Op: "scan"}),
+		"rel/arity", "scan without a relation")
+	wantInvariant(t, planlint.VerifyRelational(&relational.PlanNode{
+		Op: "select", Rel: quakes, EstTuples: 1, Children: []*relational.PlanNode{scanV()},
+	}), "rel/arity", "non-scan operator carries a relation")
+
+	// rel/schema: projection columns out of range, missing columns.
+	wantInvariant(t, planlint.VerifyRelational(&relational.PlanNode{
+		Op: "project", Cols: []int{5}, EstTuples: 3, Children: []*relational.PlanNode{scanV()},
+	}), "rel/schema", "projection column 5 outside input width 2")
+	wantInvariant(t, planlint.VerifyRelational(&relational.PlanNode{
+		Op: "project", EstTuples: 3, Children: []*relational.PlanNode{scanV()},
+	}), "rel/schema", "no output columns")
+
+	// rel/cardinality: scans must state the exact cardinality, unary
+	// operators cannot amplify, estimates must be finite.
+	wantInvariant(t, planlint.VerifyRelational(&relational.PlanNode{
+		Op: "scan", Rel: volcanos, EstTuples: 99,
+	}), "rel/cardinality", "relation holds 3")
+	wantInvariant(t, planlint.VerifyRelational(&relational.PlanNode{
+		Op: "select", EstTuples: 10, Children: []*relational.PlanNode{scanV()},
+	}), "rel/cardinality", "estimates 10 output tuples from 3")
+	wantInvariant(t, planlint.VerifyRelational(&relational.PlanNode{
+		Op: "aggregate", EstTuples: 2, Children: []*relational.PlanNode{scanV()},
+	}), "rel/cardinality", "scalar aggregate")
+	wantInvariant(t, planlint.VerifyRelational(&relational.PlanNode{
+		Op: "scan", Rel: volcanos, EstTuples: math.NaN(),
+	}), "rel/cardinality", "not finite")
+}

@@ -1,0 +1,113 @@
+package relational
+
+// PlanNode describes one operator of a relational evaluation plan. The
+// engine itself is function-shaped (VolcanoQueryNested and friends are
+// hand-fused loops), so the descriptors exist for verification: E1
+// builds the descriptor of each strategy it runs and planlint's rel/*
+// invariants check it, mirroring what the sequence engine gets from its
+// real plan trees.
+//
+// Op values and their arities:
+//
+//	scan                       0 children, Rel set
+//	select, project, aggregate 1 child
+//	nested-loop-join,
+//	merge-join, apply          2 children
+//
+// Project nodes carry Cols, the output column indexes into the child's
+// width. EstTuples is the optimizer's cardinality estimate for the
+// operator's output (scans must state the exact relation cardinality —
+// the baseline engine has perfect table statistics).
+type PlanNode struct {
+	Op        string
+	Rel       *Relation
+	Cols      []int
+	EstTuples float64
+	Children  []*PlanNode
+}
+
+// Width returns the output tuple width of the operator, or -1 when the
+// shape is malformed (unknown op, missing child, missing relation).
+func (n *PlanNode) Width() int {
+	if n == nil {
+		return -1
+	}
+	child := func(i int) int {
+		if i >= len(n.Children) {
+			return -1
+		}
+		return n.Children[i].Width()
+	}
+	switch n.Op {
+	case "scan":
+		if n.Rel == nil || n.Rel.Schema == nil {
+			return -1
+		}
+		return n.Rel.Schema.NumFields()
+	case "select":
+		return child(0)
+	case "project":
+		if child(0) < 0 {
+			return -1
+		}
+		return len(n.Cols)
+	case "aggregate":
+		if child(0) < 0 {
+			return -1
+		}
+		return 1
+	case "nested-loop-join", "merge-join", "apply":
+		l, r := child(0), child(1)
+		if l < 0 || r < 0 {
+			return -1
+		}
+		return l + r
+	default:
+		return -1
+	}
+}
+
+// NestedPlan describes the VolcanoQueryNested strategy: for every
+// volcano tuple, an apply runs the correlated aggregate sub-query (a
+// full scan of Earthquakes), then the join condition and strength
+// filter select, then the name projects out.
+func NestedPlan(volcanos, quakes *Relation) *PlanNode {
+	nV := float64(volcanos.Cardinality())
+	nQ := float64(quakes.Cardinality())
+	sub := &PlanNode{
+		Op: "aggregate", EstTuples: 1,
+		Children: []*PlanNode{{
+			Op: "select", EstTuples: nQ / 2,
+			Children: []*PlanNode{{
+				Op: "scan", Rel: quakes, EstTuples: nQ,
+			}},
+		}},
+	}
+	join := &PlanNode{
+		Op: "apply", EstTuples: nV,
+		Children: []*PlanNode{
+			{Op: "scan", Rel: volcanos, EstTuples: nV},
+			sub,
+		},
+	}
+	sel := &PlanNode{Op: "select", EstTuples: nV / 2, Children: []*PlanNode{join}}
+	// Volcano layout is (time, name): project the name.
+	return &PlanNode{Op: "project", Cols: []int{1}, EstTuples: nV / 2, Children: []*PlanNode{sel}}
+}
+
+// MergePlan describes the VolcanoQueryMerge strategy: one lock-step
+// pass over both time-sorted relations, then the strength filter and
+// the name projection.
+func MergePlan(volcanos, quakes *Relation) *PlanNode {
+	nV := float64(volcanos.Cardinality())
+	nQ := float64(quakes.Cardinality())
+	join := &PlanNode{
+		Op: "merge-join", EstTuples: nV,
+		Children: []*PlanNode{
+			{Op: "scan", Rel: volcanos, EstTuples: nV},
+			{Op: "scan", Rel: quakes, EstTuples: nQ},
+		},
+	}
+	sel := &PlanNode{Op: "select", EstTuples: nV / 2, Children: []*PlanNode{join}}
+	return &PlanNode{Op: "project", Cols: []int{1}, EstTuples: nV / 2, Children: []*PlanNode{sel}}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/expr"
 	"repro/internal/seq"
+	"repro/internal/storage"
 )
 
 // Config bounds the generated queries.
@@ -272,6 +273,56 @@ func (g *gen) agg(in *algebra.Node) (*algebra.Node, error) {
 		Window: windows[g.rng.Intn(len(windows))],
 		As:     "a",
 	})
+}
+
+// SkewedStore wraps a storage.Store and reports a fabricated density to
+// the optimizer while the underlying data keeps its real one — the
+// deliberately-skewed-estimate workload of the reoptimization tests.
+// Scans, probes, page counters and access costs all pass through to the
+// real store; only the Step-2 density estimate lies.
+type SkewedStore struct {
+	storage.Store
+	// Claimed is the density Info() reports instead of the real one.
+	Claimed float64
+}
+
+// Info implements seq.Sequence with the claimed density substituted.
+func (s *SkewedStore) Info() seq.Info {
+	info := s.Store.Info()
+	info.Density = s.Claimed
+	return info
+}
+
+// SkewedBase builds a base node over a store whose real density is
+// actual but whose Info() claims claimed — records val(p)=p at every
+// position selected with probability actual over [0, maxPos]. It
+// returns the node together with the wrapped store so tests can read
+// the real page counters.
+func SkewedBase(rng *rand.Rand, name string, maxPos int64, actual, claimed float64,
+	recordsPerPage int) (*algebra.Node, *SkewedStore, error) {
+	var entries []seq.Entry
+	for p := int64(0); p <= maxPos; p++ {
+		if rng.Float64() < actual {
+			entries = append(entries, seq.Entry{
+				Pos: p,
+				Rec: seq.Record{seq.Float(float64(p)), seq.Int(p)},
+			})
+		}
+	}
+	m, err := seq.NewMaterialized(twoColSchema, entries)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err = m.WithSpan(seq.NewSpan(0, maxPos))
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := storage.FromMaterialized(m, storage.KindSparse, recordsPerPage)
+	if err != nil {
+		return nil, nil, err
+	}
+	sk := &SkewedStore{Store: st, Claimed: claimed}
+	return algebra.Base(name, sk), sk, nil
 }
 
 // EntriesEqual compares two evaluation results.
