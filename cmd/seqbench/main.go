@@ -31,8 +31,12 @@ func main() {
 	mvOut := flag.String("matview-out", "BENCH_matview.json", "output path of the -matview sweep")
 	ro := flag.Bool("reopt", false, "measure mid-run reoptimization on skewed estimates plus a calibration round, writing BENCH_reopt.json")
 	roOut := flag.String("reopt-out", "BENCH_reopt.json", "output path of the -reopt benchmark")
+	sv := flag.Bool("server", false, "sweep concurrent seqd client connections with a live append stream, writing BENCH_server.json")
+	svOut := flag.String("server-out", "BENCH_server.json", "output path of the -server sweep")
+	svAddr := flag.String("server-addr", "", "drive an already-running seqd at this address instead of an in-process one")
+	svWorkers := flag.Int("server-workers", 0, "worker pool size of the in-process -server daemon (0 = GOMAXPROCS)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: seqbench [-quick] [-analyze] [-parallel] [-matview] [-reopt] [-list] [experiment ids...]\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: seqbench [-quick] [-analyze] [-parallel] [-matview] [-reopt] [-server] [-list] [experiment ids...]\n\nexperiments:\n")
 		for _, e := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %s  %s\n", e.ID, e.Name)
 		}
@@ -118,6 +122,26 @@ func main() {
 		}
 		fmt.Print(experiments.RenderReopt(bench))
 		fmt.Printf("(wrote reopt benchmark to %s)\n", *roOut)
+		return
+	}
+
+	if *sv {
+		points, err := experiments.ServerSweep(*svAddr, *quick, *svWorkers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seqbench: server sweep failed: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(points, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seqbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*svOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "seqbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.RenderServer(points))
+		fmt.Printf("(wrote %d sweep points to %s)\n", len(points), *svOut)
 		return
 	}
 

@@ -26,6 +26,19 @@ import (
 )
 
 func main() {
+	// `seqcli connect host:port` attaches to a running seqd daemon
+	// instead of the in-process database (see remote.go).
+	if len(os.Args) == 3 && os.Args[1] == "connect" {
+		if err := connectRepl(os.Args[2], os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "seqcli: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 {
+		fmt.Fprintln(os.Stderr, "usage: seqcli [connect host:port]")
+		os.Exit(1)
+	}
 	cli := &cli{db: seqproc.New(), out: os.Stdout}
 	fmt.Println("seqcli — sequence query processing (SIGMOD 1994 reproduction)")
 	fmt.Println(`type "help" for commands`)

@@ -1,0 +1,289 @@
+package main
+
+// The client mode of seqcli: `seqcli connect host:port` attaches the
+// shell to a running seqd daemon over the wire protocol instead of an
+// in-process database. The command set mirrors the local shell where the
+// protocol supports it; data generation and CSV I/O stay local-only.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/seq"
+	"repro/internal/wire"
+)
+
+// connectRepl runs the interactive remote shell against addr.
+func connectRepl(addr string, in io.Reader, out io.Writer) error {
+	c, err := wire.Dial(addr, "seqcli")
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	fmt.Fprintf(out, "connected to %s at %s (protocol v%d, epoch %d)\n",
+		c.Server(), addr, c.Version(), c.Epoch())
+	fmt.Fprintln(out, `type "help" for commands`)
+	r := &remote{c: c, out: out}
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Fprintf(out, "%s> ", c.Server())
+		if !scanner.Scan() {
+			return scanner.Err()
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return nil
+		}
+		if err := r.exec(line); err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+		}
+	}
+}
+
+type remote struct {
+	c   *wire.Client
+	out io.Writer
+}
+
+func (r *remote) exec(line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "help":
+		r.help()
+		return nil
+
+	case "list":
+		names, err := r.c.ListSeqs()
+		if err != nil {
+			return err
+		}
+		for _, name := range names {
+			info, err := r.c.Describe(name)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(r.out, "%-12s %s span=[%d,%d] density=%.2f %s\n",
+				name, fieldsString(info.Fields), info.Start, info.End, info.Density, info.Kind)
+		}
+		return nil
+
+	case "describe":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: describe <name>")
+		}
+		info, err := r.c.Describe(fields[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(r.out, "%s: schema=%s span=[%d,%d] density=%.3f kind=%s\n",
+			info.Name, fieldsString(info.Fields), info.Start, info.End, info.Density, info.Kind)
+		return nil
+
+	case "epoch":
+		fmt.Fprintf(r.out, "epoch %d (as of the last response)\n", r.c.Epoch())
+		return nil
+
+	case "append":
+		return r.append(fields[1:])
+
+	case "materialize":
+		rest := strings.TrimSpace(strings.TrimPrefix(line, "materialize"))
+		name, q, ok := strings.Cut(rest, " as ")
+		if !ok {
+			return fmt.Errorf("usage: materialize <name> as <seql> over <start> <end>")
+		}
+		src, span, err := splitOver(strings.TrimSpace(q))
+		if err != nil {
+			return err
+		}
+		note, err := r.c.Materialize(strings.TrimSpace(name), src, int64(span.Start), int64(span.End))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(r.out, note)
+		return nil
+
+	case "show":
+		if len(fields) == 2 && fields[1] == "views" {
+			return r.showViews()
+		}
+		return fmt.Errorf("usage: show views")
+
+	case "drop":
+		if len(fields) == 3 && fields[1] == "view" {
+			note, err := r.c.DropView(fields[2])
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(r.out, note)
+			return nil
+		}
+		return fmt.Errorf("usage: drop view <name>")
+
+	case "set":
+		if len(fields) != 3 {
+			return fmt.Errorf("usage: set <option> <value> (options: parallelism, reopt, views, verify)")
+		}
+		note, err := r.c.SetOption(fields[1], fields[2])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(r.out, note)
+		return nil
+
+	case "explain":
+		rest := strings.TrimSpace(strings.TrimPrefix(line, "explain"))
+		analyze := false
+		if strings.HasPrefix(rest, "analyze ") {
+			analyze = true
+			rest = strings.TrimSpace(strings.TrimPrefix(rest, "analyze"))
+		}
+		src, span, err := splitOver(rest)
+		if err != nil {
+			return err
+		}
+		var text string
+		if analyze {
+			text, err = r.c.Analyze(src, int64(span.Start), int64(span.End))
+		} else {
+			text, err = r.c.Explain(src, int64(span.Start), int64(span.End))
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(r.out, text)
+		return nil
+
+	default:
+		src, span, err := splitOver(line)
+		if err != nil {
+			return err
+		}
+		return r.run(src, span)
+	}
+}
+
+func (r *remote) append(args []string) error {
+	if len(args) < 3 {
+		return fmt.Errorf("usage: append <seq> <pos> <value>... (int, float, 'str', true/false)")
+	}
+	pos, err := strconv.ParseInt(args[1], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad position %q", args[1])
+	}
+	rec := make(seq.Record, 0, len(args)-2)
+	for _, raw := range args[2:] {
+		rec = append(rec, parseValue(raw))
+	}
+	epoch, err := r.c.Append(args[0], pos, rec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(r.out, "appended; visible from epoch %d\n", epoch)
+	return nil
+}
+
+// parseValue guesses the atomic type of a literal: int, then float, then
+// bool, then string (quotes optional).
+func parseValue(raw string) seq.Value {
+	if i, err := strconv.ParseInt(raw, 10, 64); err == nil {
+		return seq.Int(i)
+	}
+	if f, err := strconv.ParseFloat(raw, 64); err == nil {
+		return seq.Float(f)
+	}
+	if raw == "true" || raw == "false" {
+		return seq.Bool(raw == "true")
+	}
+	return seq.Str(strings.Trim(raw, `'"`))
+}
+
+func (r *remote) showViews() error {
+	views, err := r.c.ListViews()
+	if err != nil {
+		return err
+	}
+	if len(views) == 0 {
+		fmt.Fprintln(r.out, "no materialized views")
+		return nil
+	}
+	for _, v := range views {
+		validity := fmt.Sprintf("valid from epoch %d", v.FromEpoch)
+		if v.InvalidFrom != 0 {
+			validity = fmt.Sprintf("valid epochs [%d,%d)", v.FromEpoch, v.InvalidFrom)
+		}
+		fmt.Fprintf(r.out, "%-12s span=[%d,%d] records=%d density=%.2f hits=%d misses=%d %s\n",
+			v.Name, v.Start, v.End, v.Records, v.Density, v.Hits, v.Misses, validity)
+	}
+	return nil
+}
+
+func (r *remote) run(src string, span seq.Span) error {
+	res, err := r.c.Query(src, int64(span.Start), int64(span.End))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(r.out, "pos")
+	for _, f := range res.Fields {
+		fmt.Fprintf(r.out, "\t%s", f.Name)
+	}
+	fmt.Fprintln(r.out)
+	const maxRows = 50
+	for i, e := range res.Entries {
+		if i == maxRows {
+			fmt.Fprintf(r.out, "... (%d more rows)\n", len(res.Entries)-maxRows)
+			break
+		}
+		fmt.Fprintf(r.out, "%d", e.Pos)
+		for _, v := range e.Rec {
+			fmt.Fprintf(r.out, "\t%s", v.String())
+		}
+		fmt.Fprintln(r.out)
+	}
+	elapsed := time.Duration(res.ElapsedNs).Round(time.Microsecond)
+	fmt.Fprintf(r.out, "(%d rows @epoch %d, %v exec", len(res.Entries), res.Epoch, elapsed)
+	if res.QueueNs > 0 {
+		fmt.Fprintf(r.out, ", %v queued", time.Duration(res.QueueNs).Round(time.Microsecond))
+	}
+	fmt.Fprintln(r.out, ")")
+	return nil
+}
+
+func (r *remote) help() {
+	fmt.Fprint(r.out, `remote commands (seqd session):
+  list                                              list sequences on the server
+  describe <name>                                   show schema and meta-data (snapshot view)
+  epoch                                             show the server epoch from the last response
+  append <seq> <pos> <value>...                     append one record (writes advance the epoch)
+  set parallelism <n> | reopt on|off |              adjust this session's planner options
+      views on|off | verify on|off
+  materialize <name> as <seql> over <start> <end>   register a shared materialized view
+  show views                                        list views with epoch validity windows
+  drop view <name>                                  remove a view for every session
+  explain <seql> over <start> <end>                 show the plan without executing
+  explain analyze <seql> over <start> <end>         run instrumented; includes server counters
+  <seql> over <start> <end>                         run a query against a pinned snapshot
+  quit
+`)
+}
+
+func fieldsString(fs []seq.Field) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, f := range fs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", f.Name, f.Type)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

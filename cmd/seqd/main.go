@@ -1,0 +1,135 @@
+// Command seqd is the sequence-database daemon: it serves the engine to
+// concurrent clients over the wire protocol of docs/PROTOCOL.md, with
+// page-level snapshot isolation between readers and writers.
+//
+//	$ seqd -listen 127.0.0.1:7744 -table1 2 -load prices=prices.csv
+//
+// Clients: `seqcli connect 127.0.0.1:7744` for an interactive shell,
+// `seqbench -server 127.0.0.1:7744` for the load driver, or anything
+// speaking the documented protocol. docs/OPERATIONS.md is the operator's
+// guide; every flag below is documented there (enforced by a test).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	seqproc "repro"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// loadList collects repeated -load name=file.csv flags.
+type loadList []string
+
+func (l *loadList) String() string     { return strings.Join(*l, ",") }
+func (l *loadList) Set(v string) error { *l = append(*l, v); return nil }
+
+// options are the daemon's command-line knobs. newFlags binds them to a
+// FlagSet; the flag-documentation test enumerates the same set.
+type options struct {
+	listen      string
+	name        string
+	workers     int
+	gcInterval  time.Duration
+	maxFrame    int
+	verify      bool
+	parallelism int
+	table1      int
+	loads       loadList
+}
+
+// newFlags binds every seqd flag onto a fresh FlagSet. Kept separate
+// from main so the OPERATIONS.md coverage test can enumerate the flags.
+func newFlags() (*flag.FlagSet, *options) {
+	o := &options{}
+	fs := flag.NewFlagSet("seqd", flag.ExitOnError)
+	fs.StringVar(&o.listen, "listen", "127.0.0.1:7744", "TCP address to serve the wire protocol on")
+	fs.StringVar(&o.name, "name", "seqd", "server name announced in the HelloAck handshake")
+	fs.IntVar(&o.workers, "workers", 0, "worker-pool size bounding concurrently executing queries; 0 = GOMAXPROCS")
+	fs.DurationVar(&o.gcInterval, "gc-interval", 5*time.Second, "period of the epoch garbage collector reclaiming page versions and invalidated views no pinned reader can see; 0 disables")
+	fs.IntVar(&o.maxFrame, "max-frame", wire.DefaultMaxFrame, "maximum accepted wire frame size in bytes")
+	fs.BoolVar(&o.verify, "verify", false, "run the planlint invariant verifier on every optimized plan (snapshot/* invariants are always checked)")
+	fs.IntVar(&o.parallelism, "parallelism", 0, "default per-session parallelism bound for span-partitioned execution; sessions may override with `set parallelism`")
+	fs.IntVar(&o.table1, "table1", 0, "load the paper's Table 1 synthetic sequences (ibm, dec, hp) at this scale; 0 skips")
+	fs.Var(&o.loads, "load", "load a sparse base sequence from CSV as name=file.csv (repeatable; the file needs a \"pos\" column)")
+	return fs, o
+}
+
+func main() {
+	fs, o := newFlags()
+	fs.Parse(os.Args[1:])
+
+	srv := server.New(server.Config{
+		Name:       o.name,
+		Workers:    o.workers,
+		MaxFrame:   o.maxFrame,
+		GCInterval: o.gcInterval,
+		Verify:     o.verify,
+		Options:    core.Options{Parallelism: o.parallelism},
+	})
+	if err := loadData(srv, o); err != nil {
+		fmt.Fprintf(os.Stderr, "seqd: %v\n", err)
+		os.Exit(1)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "seqd: shutting down")
+		srv.Close()
+	}()
+
+	fmt.Fprintf(os.Stderr, "seqd: serving %d sequence(s) on %s\n", len(srv.Sequences()), o.listen)
+	if err := srv.ListenAndServe(o.listen); err != nil {
+		fmt.Fprintf(os.Stderr, "seqd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// loadData registers the startup sequences: Table 1 synthetics and CSV
+// loads.
+func loadData(srv *server.Server, o *options) error {
+	if o.table1 > 0 {
+		ibm, dec, hp, err := workload.Table1(int64(o.table1))
+		if err != nil {
+			return err
+		}
+		for _, s := range []struct {
+			name string
+			data *seqproc.SequenceData
+		}{{"ibm", ibm}, {"dec", dec}, {"hp", hp}} {
+			if err := srv.CreateSequence(s.name, s.data, storage.KindSparse); err != nil {
+				return err
+			}
+		}
+	}
+	for _, spec := range o.loads {
+		name, file, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || file == "" {
+			return fmt.Errorf("-load wants name=file.csv, got %q", spec)
+		}
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		data, err := seqproc.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("load %q: %w", spec, err)
+		}
+		if err := srv.CreateSequence(name, data, storage.KindSparse); err != nil {
+			return err
+		}
+	}
+	return nil
+}

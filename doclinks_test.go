@@ -1,0 +1,110 @@
+package seqproc
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target). Images and
+// reference-style links are not used in this repo.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// mdHeading matches ATX headings, whose GitHub anchor slugs intra-repo
+// fragment links resolve against.
+var mdHeading = regexp.MustCompile(`(?m)^#{1,6}\s+(.+)$`)
+
+// TestDocLinks walks every markdown file in the repository and verifies
+// each intra-repo link: the target file exists, and when the link
+// carries a #fragment, the target contains a heading with that GitHub
+// anchor slug. External links (scheme-qualified) are out of scope.
+func TestDocLinks(t *testing.T) {
+	var pages []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "bin" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			pages = append(pages, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) == 0 {
+		t.Fatal("no markdown files found; is the test running from the repo root?")
+	}
+
+	anchors := map[string]map[string]bool{} // file -> slug set, lazily built
+	anchorsOf := func(file string) map[string]bool {
+		if got, ok := anchors[file]; ok {
+			return got
+		}
+		set := map[string]bool{}
+		if raw, err := os.ReadFile(file); err == nil {
+			for _, m := range mdHeading.FindAllStringSubmatch(string(raw), -1) {
+				set[anchorSlug(m[1])] = true
+			}
+		}
+		anchors[file] = set
+		return set
+	}
+
+	for _, page := range pages {
+		raw, err := os.ReadFile(page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			file, fragment, _ := strings.Cut(target, "#")
+			resolved := page // self-link
+			if file != "" {
+				resolved = filepath.Join(filepath.Dir(page), file)
+				if info, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s links to %q: %v", page, target, err)
+					continue
+				} else if info.IsDir() {
+					continue // directory links render fine on GitHub
+				}
+			}
+			if fragment != "" && strings.EqualFold(filepath.Ext(resolved), ".md") {
+				if !anchorsOf(resolved)[fragment] {
+					t.Errorf("%s links to %q: no heading in %s has anchor #%s",
+						page, target, resolved, fragment)
+				}
+			}
+		}
+	}
+}
+
+// anchorSlug reproduces GitHub's heading-to-anchor rule: strip inline
+// formatting, lowercase, drop everything but letters, digits, spaces
+// and hyphens, then turn spaces into hyphens.
+func anchorSlug(heading string) string {
+	heading = strings.ReplaceAll(heading, "`", "")
+	heading = strings.ToLower(strings.TrimSpace(heading))
+	var b strings.Builder
+	for _, r := range heading {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServerSweepQuick runs the CI-sized connection sweep against an
+// in-process daemon and sanity-checks the shape of every point.
+func TestServerSweepQuick(t *testing.T) {
+	points, err := ServerSweep("", true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(serverSweepQuick) {
+		t.Fatalf("got %d points, want %d", len(points), len(serverSweepQuick))
+	}
+	for i, p := range points {
+		if p.Conns != serverSweepQuick[i] {
+			t.Errorf("point %d: conns = %d, want %d", i, p.Conns, serverSweepQuick[i])
+		}
+		if p.Workers != 2 {
+			t.Errorf("point %d: workers = %d, want 2", i, p.Workers)
+		}
+		if p.Queries != p.Conns*15 {
+			t.Errorf("point %d: %d queries for %d conns", i, p.Queries, p.Conns)
+		}
+		if p.Rows == 0 {
+			t.Errorf("point %d: zero-row workload measures nothing", i)
+		}
+		if p.QPS <= 0 || p.P50Ms <= 0 || p.P99Ms < p.P50Ms || p.MaxMs < p.P99Ms {
+			t.Errorf("point %d: implausible latency stats %+v", i, p)
+		}
+	}
+	// The append stream ran: the epoch must have advanced across the sweep.
+	if last := points[len(points)-1]; last.Epoch == 0 {
+		t.Error("epoch never advanced; background appender did not run")
+	}
+
+	out := RenderServer(points)
+	for _, want := range []string{"conns", "qps", "p99-ms", "finding:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderServer output missing %q", want)
+		}
+	}
+}

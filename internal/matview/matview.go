@@ -48,10 +48,32 @@ type View struct {
 	Span seq.Span
 	// Store holds the materialized entries, metered like a base store.
 	Store storage.Store
+	// FromEpoch is the MVCC epoch the view's contents correspond to: a
+	// reader pinned at an earlier epoch must not use it. Views registered
+	// outside the server (FromEpoch 0) are valid from the beginning.
+	FromEpoch int64
+
+	// invalidFrom is the epoch a base write invalidated this view at
+	// (readers pinned at >= invalidFrom must not use it); 0 while the
+	// view is live.
+	invalidFrom atomic.Int64
 
 	hits   atomic.Int64
 	misses atomic.Int64
 }
+
+// ValidAt reports whether a reader pinned at epoch e may use this view:
+// the view existed by e and no base write had invalidated it yet.
+func (v *View) ValidAt(e int64) bool {
+	if e < v.FromEpoch {
+		return false
+	}
+	inv := v.invalidFrom.Load()
+	return inv == 0 || e < inv
+}
+
+// InvalidFrom returns the epoch the view was invalidated at (0 = live).
+func (v *View) InvalidFrom() int64 { return v.invalidFrom.Load() }
 
 // Hit records that the optimizer substituted this view into a plan.
 func (v *View) Hit() { v.hits.Add(1) }
@@ -82,6 +104,11 @@ type Counters struct {
 	Hits    int64
 	Misses  int64
 	Pages   storage.StatsSnapshot
+	// FromEpoch/InvalidFrom delimit the MVCC validity window of the view
+	// ([FromEpoch, InvalidFrom); InvalidFrom 0 = still live). Both are 0
+	// outside the server.
+	FromEpoch   int64
+	InvalidFrom int64
 }
 
 // Counters snapshots the view's counters.
@@ -92,13 +119,15 @@ func (v *View) Counters() Counters {
 		records = int(float64(info.Span.Len())*info.Density + 0.5)
 	}
 	return Counters{
-		Name:    v.Name,
-		Span:    v.Span,
-		Records: records,
-		Density: info.Density,
-		Hits:    v.Hits(),
-		Misses:  v.Misses(),
-		Pages:   v.Store.Stats().Snapshot(),
+		Name:        v.Name,
+		Span:        v.Span,
+		Records:     records,
+		Density:     info.Density,
+		Hits:        v.Hits(),
+		Misses:      v.Misses(),
+		Pages:       v.Store.Stats().Snapshot(),
+		FromEpoch:   v.FromEpoch,
+		InvalidFrom: v.InvalidFrom(),
 	}
 }
 
@@ -159,6 +188,13 @@ func New() *Registry {
 // entries. The storage representation is chosen by density: dense at
 // ≥ half the positions occupied, sparse below.
 func (r *Registry) Register(name string, node *algebra.Node, data *seq.Materialized, span seq.Span) (*View, error) {
+	return r.RegisterAt(name, node, data, span, 0)
+}
+
+// RegisterAt is Register tagging the view with the MVCC epoch its
+// contents correspond to: only readers pinned at >= epoch may use it
+// (server materialization). Epoch 0 means valid from the beginning.
+func (r *Registry) RegisterAt(name string, node *algebra.Node, data *seq.Materialized, span seq.Span, epoch int64) (*View, error) {
 	if name == "" {
 		return nil, fmt.Errorf("matview: empty view name")
 	}
@@ -190,7 +226,7 @@ func (r *Registry) Register(name string, node *algebra.Node, data *seq.Materiali
 	if err != nil {
 		return nil, fmt.Errorf("matview: store view %q: %w", name, err)
 	}
-	v := &View{Name: name, Node: node, Canon: c, Span: span, Store: store}
+	v := &View{Name: name, Node: node, Canon: c, Span: span, Store: store, FromEpoch: epoch}
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -356,6 +392,67 @@ func (r *Registry) Drop(name string) bool {
 		}
 	}
 	return true
+}
+
+// At returns a read-only registry slice containing exactly the views a
+// reader pinned at epoch e may use. The slice shares View pointers with
+// the parent (counters accumulate in one place) but has its own
+// membership, so concurrent registration and invalidation in the parent
+// never change what a pinned reader can match. Register/Drop on the
+// slice affect only the slice; sessions must register through the
+// parent.
+func (r *Registry) At(e int64) *Registry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := &Registry{byName: make(map[string]*View)}
+	for _, v := range r.order {
+		if v.ValidAt(e) {
+			out.byName[v.Name] = v
+			out.order = append(out.order, v)
+		}
+	}
+	return out
+}
+
+// InvalidateBaseFrom marks every view whose block reads the named base
+// sequence as invalid for readers pinned at or after the given epoch —
+// the epoch-based MVCC flavor of InvalidateBase: readers pinned at
+// earlier epochs keep using the view, and GC reclaims it once no such
+// reader can exist. Returns the names of the views invalidated now
+// (already-invalid views are left at their earlier epoch).
+func (r *Registry) InvalidateBaseFrom(base string, epoch int64) []string {
+	r.mu.RLock()
+	views := append([]*View(nil), r.order...)
+	r.mu.RUnlock()
+	var marked []string
+	for _, v := range views {
+		if !readsBase(v.Node, base) {
+			continue
+		}
+		if v.invalidFrom.CompareAndSwap(0, epoch) {
+			marked = append(marked, v.Name)
+		}
+	}
+	return marked
+}
+
+// GC removes every view invalidated at or before minLive: no live reader
+// is pinned early enough to use it. Returns the dropped view names.
+func (r *Registry) GC(minLive int64) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var dropped []string
+	kept := r.order[:0]
+	for _, v := range r.order {
+		if inv := v.invalidFrom.Load(); inv != 0 && inv <= minLive {
+			delete(r.byName, v.Name)
+			dropped = append(dropped, v.Name)
+			continue
+		}
+		kept = append(kept, v)
+	}
+	r.order = kept
+	return dropped
 }
 
 // InvalidateBase drops every view whose block reads the named base

@@ -1,0 +1,70 @@
+package planlint
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/matview"
+)
+
+// snapshotStore is the structural interface of an MVCC snapshot leaf
+// (storage.Snapshot): a store frozen at the reader epoch it was pinned
+// at. Declared locally so the verifier stays decoupled from the storage
+// implementation — anything that reports a snapshot epoch qualifies.
+type snapshotStore interface {
+	SnapshotEpoch() int64
+}
+
+// VerifySnapshot re-derives the snapshot-isolation invariants of a
+// server reader plan (the snapshot/* invariant family; see
+// docs/INVARIANTS.md). A reader session pins one MVCC epoch and must
+// evaluate every base sequence — and use every substituted materialized
+// view — against exactly that epoch:
+//
+//   - snapshot/pinned-leaf: every base leaf of the (rewritten) logical
+//     tree is an MVCC snapshot store, not a live mutable store. A live
+//     leaf could observe concurrent writes mid-scan.
+//   - snapshot/single-epoch: every snapshot leaf is pinned at the
+//     reader's epoch — no plan mixes page versions across epochs.
+//   - snapshot/view-epoch: every materialized-view substitution uses a
+//     view whose validity window [FromEpoch, InvalidFrom) contains the
+//     reader's epoch: the view's frozen contents correspond to the base
+//     pages the reader sees.
+//
+// Constant-sequence leaves carry no storage and are exempt.
+func VerifySnapshot(root *algebra.Node, subs []*matview.Substitution, epoch int64) []Issue {
+	c := &checker{}
+	if root == nil {
+		c.report("snapshot/pinned-leaf", "MVCC", nil, "nil query root")
+		return c.issues
+	}
+	var walk func(n *algebra.Node)
+	walk = func(n *algebra.Node) {
+		if n.Kind == algebra.KindBase {
+			snap, ok := n.Seq.(snapshotStore)
+			if !ok {
+				c.report("snapshot/pinned-leaf", "MVCC", n,
+					"base leaf %q is not an epoch-pinned snapshot store (%T)", n.Name, n.Seq)
+			} else if got := snap.SnapshotEpoch(); got != epoch {
+				c.report("snapshot/single-epoch", "MVCC", n,
+					"base leaf %q pinned at epoch %d, reader pinned at %d: plan mixes page versions across epochs",
+					n.Name, got, epoch)
+			}
+		}
+		for _, in := range n.Inputs {
+			walk(in)
+		}
+	}
+	walk(root)
+
+	for _, s := range subs {
+		if s == nil || s.View == nil {
+			c.report("snapshot/view-epoch", "MVCC", nil, "incomplete substitution record")
+			continue
+		}
+		if !s.View.ValidAt(epoch) {
+			c.report("snapshot/view-epoch", "MVCC", s.Block,
+				"view %q valid over epochs [%d, %d) does not contain reader epoch %d",
+				s.View.Name, s.View.FromEpoch, s.View.InvalidFrom(), epoch)
+		}
+	}
+	return c.issues
+}

@@ -1,0 +1,316 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/seq"
+	"repro/internal/wire"
+)
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close, one goroutine per
+// connection, and runs the background epoch GC when Config.GCInterval is
+// set. Serve returns nil after Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.listenMu.Lock()
+	s.ln = ln
+	s.listenMu.Unlock()
+	if s.cfg.GCInterval > 0 {
+		s.wg.Add(1)
+		go s.gcLoop()
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting, stops the GC loop, and waits for in-flight
+// connections to finish their current turn. Connections observe the
+// closed flag between turns and shut down.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	close(s.stopGC)
+	s.listenMu.Lock()
+	ln := s.ln
+	s.listenMu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) gcLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.GCInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopGC:
+			return
+		case <-t.C:
+			s.GCOnce()
+		}
+	}
+}
+
+// conn is one client connection's wire state.
+type conn struct {
+	srv  *Server
+	sess *Session
+	nc   net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+func (c *conn) send(m wire.Message) error {
+	return wire.WriteMessage(c.w, m)
+}
+
+func (c *conn) flush() error { return c.w.Flush() }
+
+// ready ends the turn: flush everything buffered plus the turn marker.
+func (c *conn) ready() error {
+	if err := c.send(&wire.Ready{Epoch: c.srv.epochs.Current()}); err != nil {
+		return err
+	}
+	return c.flush()
+}
+
+// fail reports a classified error and ends the turn.
+func (c *conn) fail(err error) error {
+	var se *Error
+	if !errors.As(err, &se) {
+		se = &Error{Code: wire.CodeInternal, Err: err}
+	}
+	if err := c.send(&wire.Error{Code: se.Code, Message: se.Err.Error()}); err != nil {
+		return err
+	}
+	return c.ready()
+}
+
+func (s *Server) handleConn(nc net.Conn) {
+	defer nc.Close()
+	c := &conn{
+		srv: s,
+		nc:  nc,
+		r:   bufio.NewReader(nc),
+		w:   bufio.NewWriter(nc),
+	}
+	if !c.handshake() {
+		return
+	}
+	s.nSessions.Add(1)
+	defer s.nSessions.Add(-1)
+	for !s.closed.Load() {
+		m, err := wire.ReadMessage(c.r, s.cfg.MaxFrame)
+		if err != nil {
+			// EOF without Close is a dropped client, not a protocol
+			// error worth answering.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				_ = c.send(&wire.Error{Code: wire.CodeProtocol, Message: err.Error()})
+				_ = c.flush()
+			}
+			return
+		}
+		if _, ok := m.(*wire.Close); ok {
+			return
+		}
+		if err := c.serve(m); err != nil {
+			return // connection-level write failure
+		}
+	}
+}
+
+// handshake performs Hello/HelloAck. A version below the minimum gets an
+// Error frame and a closed connection.
+func (c *conn) handshake() bool {
+	m, err := wire.ReadMessage(c.r, c.srv.cfg.MaxFrame)
+	if err != nil {
+		return false
+	}
+	hello, ok := m.(*wire.Hello)
+	if !ok {
+		_ = c.send(&wire.Error{Code: wire.CodeProtocol,
+			Message: fmt.Sprintf("expected Hello, got %s", wire.TypeName(m.Type()))})
+		_ = c.flush()
+		return false
+	}
+	if hello.Version < wire.MinProtocolVersion {
+		_ = c.send(&wire.Error{Code: wire.CodeVersion,
+			Message: fmt.Sprintf("client version %d below server minimum %d", hello.Version, wire.MinProtocolVersion)})
+		_ = c.flush()
+		return false
+	}
+	version := hello.Version
+	if version > wire.ProtocolVersion {
+		version = wire.ProtocolVersion
+	}
+	c.sess = c.srv.NewSession(hello.Client)
+	if err := c.send(&wire.HelloAck{Version: version, Server: c.srv.name, Epoch: c.srv.epochs.Current()}); err != nil {
+		return false
+	}
+	return c.flush() == nil
+}
+
+// serve dispatches one request and writes its full response turn. It
+// returns an error only for connection-level failures; request failures
+// are reported in-band and keep the connection alive.
+func (c *conn) serve(m wire.Message) error {
+	switch req := m.(type) {
+	case *wire.Query:
+		res, err := c.sess.Query(req.SEQL, seq.NewSpan(seq.Pos(req.Start), seq.Pos(req.End)))
+		if err != nil {
+			return c.fail(err)
+		}
+		if err := c.send(&wire.ResultHeader{Fields: res.Fields, Epoch: res.Epoch}); err != nil {
+			return err
+		}
+		for off := 0; off < len(res.Entries); off += wire.RowsPerBatch {
+			hi := off + wire.RowsPerBatch
+			if hi > len(res.Entries) {
+				hi = len(res.Entries)
+			}
+			if err := c.send(&wire.ResultRows{Entries: res.Entries[off:hi]}); err != nil {
+				return err
+			}
+		}
+		done := &wire.ResultDone{
+			Rows:      uint64(len(res.Entries)),
+			Epoch:     res.Epoch,
+			ElapsedNs: uint64(res.Elapsed.Nanoseconds()),
+			QueueNs:   uint64(res.Queue.Nanoseconds()),
+		}
+		if err := c.send(done); err != nil {
+			return err
+		}
+		return c.ready()
+
+	case *wire.Explain:
+		text, _, err := c.sess.Explain(req.SEQL, seq.NewSpan(seq.Pos(req.Start), seq.Pos(req.End)))
+		if err != nil {
+			return c.fail(err)
+		}
+		if err := c.send(&wire.PlanText{Text: text}); err != nil {
+			return err
+		}
+		return c.ready()
+
+	case *wire.Analyze:
+		text, _, err := c.sess.Analyze(req.SEQL, seq.NewSpan(seq.Pos(req.Start), seq.Pos(req.End)))
+		if err != nil {
+			return c.fail(err)
+		}
+		if err := c.send(&wire.PlanText{Text: text}); err != nil {
+			return err
+		}
+		return c.ready()
+
+	case *wire.Materialize:
+		epoch, err := c.sess.Materialize(req.Name, req.SEQL, seq.NewSpan(seq.Pos(req.Start), seq.Pos(req.End)))
+		if err != nil {
+			return c.fail(err)
+		}
+		note := fmt.Sprintf("materialized %q over snapshot epoch %d", req.Name, epoch)
+		if err := c.send(&wire.Ack{Text: note, Epoch: epoch}); err != nil {
+			return err
+		}
+		return c.ready()
+
+	case *wire.Append:
+		epoch, err := c.srv.Append(req.Seq, seq.Pos(req.Pos), req.Rec)
+		if err != nil {
+			return c.fail(err)
+		}
+		note := fmt.Sprintf("appended to %q at position %d", req.Seq, req.Pos)
+		if err := c.send(&wire.Ack{Text: note, Epoch: epoch}); err != nil {
+			return err
+		}
+		return c.ready()
+
+	case *wire.SetOption:
+		note, err := c.sess.SetOption(req.Name, req.Value)
+		if err != nil {
+			return c.fail(err)
+		}
+		if err := c.send(&wire.Ack{Text: note, Epoch: c.srv.epochs.Current()}); err != nil {
+			return err
+		}
+		return c.ready()
+
+	case *wire.ListSeqs:
+		if err := c.send(&wire.SeqList{Names: c.srv.Sequences()}); err != nil {
+			return err
+		}
+		return c.ready()
+
+	case *wire.Describe:
+		info, err := c.sess.Describe(req.Name)
+		if err != nil {
+			return c.fail(err)
+		}
+		if err := c.send(info); err != nil {
+			return err
+		}
+		return c.ready()
+
+	case *wire.DropView:
+		if err := c.srv.DropView(req.Name); err != nil {
+			return c.fail(err)
+		}
+		if err := c.send(&wire.Ack{Text: fmt.Sprintf("dropped view %q", req.Name), Epoch: c.srv.epochs.Current()}); err != nil {
+			return err
+		}
+		return c.ready()
+
+	case *wire.ListViews:
+		counters := c.srv.ViewCounters()
+		views := make([]wire.ViewInfo, len(counters))
+		for i, v := range counters {
+			views[i] = wire.ViewInfo{
+				Name:        v.Name,
+				Start:       int64(v.Span.Start),
+				End:         int64(v.Span.End),
+				Records:     int64(v.Records),
+				Density:     v.Density,
+				Hits:        v.Hits,
+				Misses:      v.Misses,
+				FromEpoch:   v.FromEpoch,
+				InvalidFrom: v.InvalidFrom,
+			}
+		}
+		if err := c.send(&wire.ViewList{Views: views}); err != nil {
+			return err
+		}
+		return c.ready()
+
+	default:
+		return c.fail(errf(wire.CodeProtocol, "unexpected %s in request position", wire.TypeName(m.Type())))
+	}
+}

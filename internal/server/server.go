@@ -1,0 +1,612 @@
+// Package server is the seqd engine: the single-session seqproc library
+// lifted to a concurrent multi-client service with page-level snapshot
+// isolation.
+//
+// A Server owns the shared state — versioned base sequences
+// (storage.Versioned), the global epoch tracker, the materialized-view
+// registry with epoch validity windows, and the self-calibrating cost
+// model — and hands each client a Session carrying its own planner
+// options. Reads never block writes and writes never block reads:
+//
+//   - Every read turn pins the current epoch and plans against an
+//     epoch-sliced catalog whose leaves are immutable page snapshots
+//     (storage.Versioned.SnapshotAt) plus an epoch-sliced view registry
+//     (matview.Registry.At). The planlint snapshot/* verifier re-checks
+//     every plan before execution.
+//   - Every write (Append, Reorganize, view registration) runs under one
+//     global writer mutex: it publishes new page versions at epoch
+//     current+1 and only then advances the tracker, so a pinned epoch
+//     always denotes fully-published state.
+//
+// Execution is multiplexed onto a bounded worker pool; requests queue
+// when the pool is saturated, and the time spent queuing is reported per
+// query (wire.ResultDone.QueueNs) so operators can size the pool (see
+// docs/OPERATIONS.md). The wire layer lives in conn.go; this file is the
+// engine, directly usable in-process (the concurrency fuzz tests drive
+// it without sockets).
+package server
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/matview"
+	"repro/internal/meta"
+	"repro/internal/parser"
+	"repro/internal/planlint"
+	"repro/internal/reopt"
+	"repro/internal/seq"
+	"repro/internal/storage"
+	"repro/internal/wire"
+)
+
+// Config configures a Server. The zero value is usable: GOMAXPROCS
+// workers, default frame limit, background GC left to the caller.
+type Config struct {
+	// Name identifies the server in HelloAck (default "seqd").
+	Name string
+	// Workers bounds the number of concurrently executing requests;
+	// 0 selects runtime.GOMAXPROCS(0). Planning and result encoding do
+	// not occupy a worker slot — only execution does.
+	Workers int
+	// MaxFrame bounds incoming frames; 0 selects wire.DefaultMaxFrame.
+	MaxFrame int
+	// GCInterval is the period of the background epoch garbage
+	// collector started by Serve; 0 disables it (GC can still be run
+	// explicitly via GCOnce).
+	GCInterval time.Duration
+	// Verify additionally runs the full planlint rule verifier on every
+	// optimization (core.Options.Verify). The snapshot/* family is
+	// checked on every read regardless.
+	Verify bool
+	// Options seeds each new session's planner options. Views and
+	// Calibration are overwritten per request with the server's shared
+	// state.
+	Options core.Options
+}
+
+// Error is a classified engine failure, carrying the wire error code the
+// connection layer reports.
+type Error struct {
+	Code wire.ErrorCode
+	Err  error
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %v", e.Code, e.Err) }
+func (e *Error) Unwrap() error { return e.Err }
+
+func errf(code wire.ErrorCode, format string, args ...any) *Error {
+	return &Error{Code: code, Err: fmt.Errorf(format, args...)}
+}
+
+// serverSeq is one versioned base sequence plus its frozen column
+// statistics (computed at load; appends do not refresh them — the
+// optimizer treats them as estimates).
+type serverSeq struct {
+	name  string
+	v     *storage.Versioned
+	stats map[int]expr.ColStats
+}
+
+// Server is the shared engine state. See the package comment for the
+// concurrency protocol.
+type Server struct {
+	cfg  Config
+	name string
+
+	mu   sync.RWMutex // guards the seqs map structure
+	seqs map[string]*serverSeq
+
+	wmu    sync.Mutex // serializes all writers (publish-then-advance)
+	epochs *storage.EpochTracker
+	views  *matview.Registry
+	calib  *reopt.Calibration
+
+	sem chan struct{} // worker pool; len(sem) = executing requests
+
+	// Cumulative counters, reported in the Analyze counter block.
+	nSessions atomic.Int64 // currently connected wire sessions
+	nQueries  atomic.Int64
+	nAppends  atomic.Int64
+	nConflict atomic.Int64
+
+	closed   atomic.Bool
+	stopGC   chan struct{}
+	listenMu sync.Mutex
+	ln       net.Listener
+	wg       sync.WaitGroup
+}
+
+// New creates an empty server.
+func New(cfg Config) *Server {
+	if cfg.Name == "" {
+		cfg.Name = "seqd"
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = wire.DefaultMaxFrame
+	}
+	return &Server{
+		cfg:    cfg,
+		name:   cfg.Name,
+		seqs:   make(map[string]*serverSeq),
+		epochs: storage.NewEpochTracker(),
+		views:  matview.New(),
+		calib:  &reopt.Calibration{},
+		sem:    make(chan struct{}, cfg.Workers),
+		stopGC: make(chan struct{}),
+	}
+}
+
+// Epoch returns the current published epoch.
+func (s *Server) Epoch() int64 { return s.epochs.Current() }
+
+// CreateSequence registers a base sequence. Safe to call while serving,
+// though typically used at startup: the sequence becomes visible at the
+// epoch it is published under.
+func (s *Server) CreateSequence(name string, data *seq.Materialized, kind storage.Kind) error {
+	if name == "" {
+		return errf(wire.CodeAppend, "empty sequence name")
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	s.mu.Lock()
+	if _, dup := s.seqs[name]; dup {
+		s.mu.Unlock()
+		return errf(wire.CodeAppend, "sequence %q already exists", name)
+	}
+	s.mu.Unlock()
+	v, err := storage.NewVersioned(data, kind, 0, s.epochs.Current())
+	if err != nil {
+		return &Error{Code: wire.CodeAppend, Err: err}
+	}
+	ss := &serverSeq{name: name, v: v, stats: meta.StatsFromMaterialized(data)}
+	s.mu.Lock()
+	s.seqs[name] = ss
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Server) lookup(name string) (*serverSeq, *Error) {
+	s.mu.RLock()
+	ss, ok := s.seqs[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, errf(wire.CodeNotFound, "unknown sequence %q", name)
+	}
+	return ss, nil
+}
+
+// Append adds one record beyond the end of a sparse base sequence,
+// publishing a new epoch. Returns the epoch that made the write visible.
+func (s *Server) Append(name string, pos seq.Pos, rec seq.Record) (int64, error) {
+	ss, e := s.lookup(name)
+	if e != nil {
+		return 0, e
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	next := s.epochs.Current() + 1
+	if err := ss.v.Append(seq.Entry{Pos: pos, Rec: rec}, next); err != nil {
+		return 0, &Error{Code: wire.CodeAppend, Err: err}
+	}
+	// Views over this base freeze for readers pinned below next and
+	// disappear for readers pinned at or above it.
+	s.views.InvalidateBaseFrom(name, next)
+	if err := s.epochs.AdvanceTo(next); err != nil {
+		return 0, &Error{Code: wire.CodeInternal, Err: err}
+	}
+	s.nAppends.Add(1)
+	return next, nil
+}
+
+// Reorganize repacks a base sequence into a different physical
+// representation, publishing a new epoch. Readers pinned below it keep
+// scanning the old representation's pages.
+func (s *Server) Reorganize(name string, kind storage.Kind) (int64, error) {
+	ss, e := s.lookup(name)
+	if e != nil {
+		return 0, e
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	next := s.epochs.Current() + 1
+	if err := ss.v.Reorganize(kind, next); err != nil {
+		return 0, &Error{Code: wire.CodeAppend, Err: err}
+	}
+	s.views.InvalidateBaseFrom(name, next)
+	if err := s.epochs.AdvanceTo(next); err != nil {
+		return 0, &Error{Code: wire.CodeInternal, Err: err}
+	}
+	return next, nil
+}
+
+// Sequences lists the registered base sequence names, sorted.
+func (s *Server) Sequences() []string {
+	s.mu.RLock()
+	out := make([]string, 0, len(s.seqs))
+	for name := range s.seqs {
+		out = append(out, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// ViewCounters returns the counters of every registered view, sorted by
+// name.
+func (s *Server) ViewCounters() []matview.Counters {
+	views := s.views.Views()
+	out := make([]matview.Counters, 0, len(views))
+	for _, v := range views {
+		out = append(out, v.Counters())
+	}
+	return out
+}
+
+// DropView removes a materialized view for every session.
+func (s *Server) DropView(name string) error {
+	if !s.views.Drop(name) {
+		return errf(wire.CodeNotFound, "unknown view %q", name)
+	}
+	return nil
+}
+
+// GCOnce reclaims page versions and invalidated views unreachable by any
+// pinned reader. Returns the number of sequence versions dropped and the
+// names of reclaimed views.
+func (s *Server) GCOnce() (versions int, views []string) {
+	minLive := s.epochs.MinLive()
+	s.mu.RLock()
+	seqs := make([]*serverSeq, 0, len(s.seqs))
+	for _, ss := range s.seqs {
+		seqs = append(seqs, ss)
+	}
+	s.mu.RUnlock()
+	for _, ss := range seqs {
+		versions += ss.v.GC(minLive)
+	}
+	return versions, s.views.GC(minLive)
+}
+
+// PageVersions sums the distinct page versions retained across all
+// sequences — the marginal memory the MVCC layer holds beyond a
+// single-version store.
+func (s *Server) PageVersions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := 0
+	for _, ss := range s.seqs {
+		total += ss.v.PageVersions()
+	}
+	return total
+}
+
+// acquire takes a worker slot, returning the time spent queuing.
+func (s *Server) acquire() time.Duration {
+	select {
+	case s.sem <- struct{}{}:
+		return 0
+	default:
+	}
+	start := time.Now()
+	s.sem <- struct{}{}
+	return time.Since(start)
+}
+
+func (s *Server) release() { <-s.sem }
+
+// catalogAt resolves sequence names to snapshot leaves pinned at the
+// epoch: every mention mints a fresh algebra node (query graphs must be
+// trees) over the same immutable page version.
+func (s *Server) catalogAt(epoch int64) parser.Catalog {
+	return parser.CatalogFunc(func(name string) (*algebra.Node, bool) {
+		s.mu.RLock()
+		ss, ok := s.seqs[name]
+		s.mu.RUnlock()
+		if !ok {
+			return nil, false
+		}
+		snap := ss.v.SnapshotAt(epoch)
+		if snap == nil {
+			// Sequence created after this reader pinned: invisible.
+			return nil, false
+		}
+		return algebra.BaseWithStats(name, snap, ss.stats), true
+	})
+}
+
+// baseNames collects the distinct base-sequence names a plan reads.
+func baseNames(root *algebra.Node) []string {
+	seen := map[string]bool{}
+	var names []string
+	var walk func(n *algebra.Node)
+	walk = func(n *algebra.Node) {
+		if n.Kind == algebra.KindBase && !seen[n.Name] {
+			seen[n.Name] = true
+			names = append(names, n.Name)
+		}
+		for _, in := range n.Inputs {
+			walk(in)
+		}
+	}
+	walk(root)
+	return names
+}
+
+// ── sessions ────────────────────────────────────────────────────────
+
+// Session is one client's view of the server: private planner options
+// over the shared engine. Sessions are not safe for concurrent use; the
+// protocol is strictly request/response per connection, and in-process
+// callers open one Session per goroutine.
+type Session struct {
+	srv      *Server
+	opts     core.Options
+	useViews bool
+	client   string
+}
+
+// NewSession opens a session with the server's base options.
+func (s *Server) NewSession(client string) *Session {
+	opts := s.cfg.Options
+	opts.Verify = opts.Verify || s.cfg.Verify
+	return &Session{srv: s, opts: opts, useViews: true, client: client}
+}
+
+// SetOption adjusts one session option. See docs/PROTOCOL.md for the
+// names; unknown names or malformed values return CodeOption.
+func (sess *Session) SetOption(name, value string) (string, error) {
+	switch name {
+	case "parallelism":
+		var k int
+		if _, err := fmt.Sscanf(value, "%d", &k); err != nil || k < 0 {
+			return "", errf(wire.CodeOption, "parallelism wants an integer >= 0, got %q", value)
+		}
+		sess.opts.Parallelism = k
+		return fmt.Sprintf("parallelism = %d", k), nil
+	case "reopt":
+		on, err := parseOnOff(value)
+		if err != nil {
+			return "", err
+		}
+		sess.opts.Reopt.Enabled = on
+		return fmt.Sprintf("reopt = %v", on), nil
+	case "views":
+		on, err := parseOnOff(value)
+		if err != nil {
+			return "", err
+		}
+		sess.useViews = on
+		return fmt.Sprintf("views = %v", on), nil
+	case "verify":
+		on, err := parseOnOff(value)
+		if err != nil {
+			return "", err
+		}
+		sess.opts.Verify = on || sess.srv.cfg.Verify
+		return fmt.Sprintf("verify = %v", sess.opts.Verify), nil
+	default:
+		return "", errf(wire.CodeOption, "unknown option %q (have parallelism, reopt, views, verify)", name)
+	}
+}
+
+func parseOnOff(v string) (bool, error) {
+	switch v {
+	case "on", "true", "1":
+		return true, nil
+	case "off", "false", "0":
+		return false, nil
+	default:
+		return false, errf(wire.CodeOption, "want on/off, got %q", v)
+	}
+}
+
+// optimizeAt parses and optimizes against the epoch-pinned catalog and
+// view slice, then re-verifies the snapshot/* invariants on the result.
+func (sess *Session) optimizeAt(epoch int64, seql string, span seq.Span) (*core.Result, error) {
+	root, err := parser.Bind(seql, sess.srv.catalogAt(epoch))
+	if err != nil {
+		return nil, &Error{Code: wire.CodeParse, Err: err}
+	}
+	opts := sess.opts
+	if sess.useViews {
+		opts.Views = sess.srv.views.At(epoch)
+	} else {
+		opts.Views = nil
+	}
+	opts.Calibration = sess.srv.calib
+	res, err := core.Optimize(root, span, opts)
+	if err != nil {
+		return nil, &Error{Code: wire.CodePlan, Err: err}
+	}
+	// Independent re-derivation of the isolation invariants: every leaf
+	// is a snapshot pinned at exactly this reader's epoch, and every
+	// substituted view is valid at it.
+	if issues := planlint.VerifySnapshot(res.Rewritten, res.Substitutions, epoch); len(issues) > 0 {
+		return nil, errf(wire.CodeInternal, "snapshot invariant violated: %s", issues[0])
+	}
+	return res, nil
+}
+
+// QueryResult is a completed query: the materialized output plus the
+// epoch it was pinned at and the timing split the wire layer reports.
+type QueryResult struct {
+	Fields  []seq.Field
+	Entries []seq.Entry
+	Epoch   int64
+	Elapsed time.Duration
+	Queue   time.Duration
+}
+
+// Query plans and runs a SEQL query over the span against a snapshot
+// pinned for the duration of the call.
+func (sess *Session) Query(seql string, span seq.Span) (*QueryResult, error) {
+	epoch := sess.srv.epochs.Pin()
+	defer sess.srv.epochs.Release(epoch)
+	res, err := sess.optimizeAt(epoch, seql, span)
+	if err != nil {
+		return nil, err
+	}
+	queue := sess.srv.acquire()
+	start := time.Now()
+	out, err := res.Run()
+	elapsed := time.Since(start)
+	sess.srv.release()
+	if err != nil {
+		return nil, &Error{Code: wire.CodeExec, Err: err}
+	}
+	sess.srv.nQueries.Add(1)
+	return &QueryResult{
+		Fields:  out.Info().Schema.Fields(),
+		Entries: out.Entries(),
+		Epoch:   epoch,
+		Elapsed: elapsed,
+		Queue:   queue,
+	}, nil
+}
+
+// Explain returns the rendered plan for the span without executing.
+func (sess *Session) Explain(seql string, span seq.Span) (string, int64, error) {
+	epoch := sess.srv.epochs.Pin()
+	defer sess.srv.epochs.Release(epoch)
+	res, err := sess.optimizeAt(epoch, seql, span)
+	if err != nil {
+		return "", 0, err
+	}
+	mode := "stream-access (single scan, cache-finite)"
+	if !res.StreamAccess {
+		mode = "not stream-access (unbounded forward scope)"
+	}
+	text := fmt.Sprintf("plan @epoch %d (stream cost %.2f, per-probe cost %.2f, %s, cache budget %d records):\n%s\nannotated query (span/density propagation):\n%s",
+		epoch, res.Cost.Stream, res.Cost.ProbePer, mode, res.CacheBudget, res.Explain(), res.ExplainMeta())
+	return text, epoch, nil
+}
+
+// Analyze executes with per-operator instrumentation, feeds the shared
+// cost-model calibration, and appends the server counter block (see
+// docs/OPERATIONS.md, "Server counters").
+func (sess *Session) Analyze(seql string, span seq.Span) (string, int64, error) {
+	epoch := sess.srv.epochs.Pin()
+	defer sess.srv.epochs.Release(epoch)
+	res, err := sess.optimizeAt(epoch, seql, span)
+	if err != nil {
+		return "", 0, err
+	}
+	queue := sess.srv.acquire()
+	a, err := res.RunAnalyze()
+	sess.srv.release()
+	if err != nil {
+		return "", 0, &Error{Code: wire.CodeExec, Err: err}
+	}
+	sess.srv.nQueries.Add(1)
+	sess.srv.calib.Observe(a.Root)
+	return a.Render() + "\n" + sess.srv.counterBlock(epoch, queue), epoch, nil
+}
+
+// counterBlock renders the server-side counters appended to every
+// Analyze response. docs/OPERATIONS.md documents each line.
+func (s *Server) counterBlock(epoch int64, queue time.Duration) string {
+	return fmt.Sprintf(`server counters:
+  epoch          %d    (current published epoch)
+  pinned-epoch   %d    (this query's snapshot)
+  min-live       %d    (oldest pinned epoch; GC floor)
+  live-readers   %d
+  page-versions  %d    (sequence page versions retained)
+  views          %d
+  sessions       %d
+  workers        %d
+  queue-wait     %s   (this request)
+  queries        %d
+  appends        %d
+  conflicts      %d`,
+		s.epochs.Current(), epoch, s.epochs.MinLive(), s.epochs.LiveReaders(),
+		s.PageVersions(), s.views.Len(), s.nSessions.Load(), cap(s.sem),
+		queue.Round(time.Microsecond), s.nQueries.Load(), s.nAppends.Load(),
+		s.nConflict.Load())
+}
+
+// Materialize computes the query against a pinned snapshot and registers
+// the result as a shared view valid from that epoch. If any base the
+// view reads was written between pin and registration, it fails with
+// CodeConflict and registers nothing — the caller retries.
+func (sess *Session) Materialize(name, seql string, span seq.Span) (int64, error) {
+	if !span.Bounded() {
+		return 0, errf(wire.CodeMaterialize, "materialize %q needs a bounded span, got %s", name, span)
+	}
+	srv := sess.srv
+	epoch := srv.epochs.Pin()
+	defer srv.epochs.Release(epoch)
+	res, err := sess.optimizeAt(epoch, seql, span)
+	if err != nil {
+		if se, ok := err.(*Error); ok && se.Code == wire.CodePlan {
+			return 0, &Error{Code: wire.CodeMaterialize, Err: se.Err}
+		}
+		return 0, err
+	}
+	queue := srv.acquire()
+	_ = queue
+	out, err := res.Run()
+	srv.release()
+	if err != nil {
+		return 0, &Error{Code: wire.CodeExec, Err: err}
+	}
+	// Registration is a write: serialize with appenders and check that
+	// the snapshot the view was computed from is still current for every
+	// base it reads.
+	srv.wmu.Lock()
+	defer srv.wmu.Unlock()
+	for _, base := range baseNames(res.Rewritten) {
+		ss, e := srv.lookup(base)
+		if e != nil {
+			return 0, e
+		}
+		if ss.v.LatestEpoch() > epoch {
+			srv.nConflict.Add(1)
+			return 0, errf(wire.CodeConflict,
+				"base %q advanced to epoch %d while materializing against epoch %d; retry",
+				base, ss.v.LatestEpoch(), epoch)
+		}
+	}
+	if _, err := srv.views.RegisterAt(name, res.Rewritten, out, res.RunSpan, epoch); err != nil {
+		return 0, &Error{Code: wire.CodeMaterialize, Err: err}
+	}
+	return epoch, nil
+}
+
+// Describe reports one sequence as of a snapshot pinned for this call.
+func (sess *Session) Describe(name string) (*wire.SeqInfo, error) {
+	ss, e := sess.srv.lookup(name)
+	if e != nil {
+		return nil, e
+	}
+	epoch := sess.srv.epochs.Pin()
+	defer sess.srv.epochs.Release(epoch)
+	snap := ss.v.SnapshotAt(epoch)
+	if snap == nil {
+		return nil, errf(wire.CodeNotFound, "sequence %q not visible at epoch %d", name, epoch)
+	}
+	info := snap.Info()
+	kind := "sparse"
+	if snap.Kind() == storage.KindDense {
+		kind = "dense"
+	}
+	return &wire.SeqInfo{
+		Name:    name,
+		Fields:  info.Schema.Fields(),
+		Start:   int64(info.Span.Start),
+		End:     int64(info.Span.End),
+		Density: info.Density,
+		Kind:    kind,
+	}, nil
+}

@@ -1,0 +1,405 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/seq"
+	"repro/internal/storage"
+	"repro/internal/wire"
+)
+
+// testData builds a sparse one-column int sequence v=i at positions 1..n.
+func testData(t *testing.T, n int) *seq.Materialized {
+	t.Helper()
+	schema, err := seq.NewSchema(seq.Field{Name: "v", Type: seq.TInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]seq.Entry, n)
+	for i := range entries {
+		entries[i] = seq.Entry{Pos: seq.Pos(i + 1), Rec: seq.Record{seq.Int(int64(i + 1))}}
+	}
+	data, err := seq.NewMaterialized(schema, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func testServer(t *testing.T, cfg Config, n int) *Server {
+	t.Helper()
+	srv := New(cfg)
+	if err := srv.CreateSequence("s", testData(t, n), storage.KindSparse); err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// startTCP serves srv on a loopback listener, tearing down with the test.
+func startTCP(t *testing.T, srv *Server) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return ln.Addr().String()
+}
+
+func TestServerQueryOverWire(t *testing.T) {
+	srv := testServer(t, Config{Verify: true}, 100)
+	addr := startTCP(t, srv)
+
+	c, err := wire.Dial(addr, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Server() != "seqd" || c.Version() != wire.ProtocolVersion {
+		t.Fatalf("handshake: server %q version %d", c.Server(), c.Version())
+	}
+
+	res, err := c.Query("select(s, v > 90)", 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 10 || res.Rows != 10 {
+		t.Fatalf("got %d entries, %d rows, want 10", len(res.Entries), res.Rows)
+	}
+	for i, e := range res.Entries {
+		if want := seq.Pos(91 + i); e.Pos != want || e.Rec[0].AsInt() != int64(want) {
+			t.Fatalf("entry %d = %v@%d, want %d@%d", i, e.Rec, e.Pos, want, want)
+		}
+	}
+	if len(res.Fields) != 1 || res.Fields[0].Name != "v" {
+		t.Fatalf("fields = %v", res.Fields)
+	}
+	if res.Epoch != 0 {
+		t.Fatalf("epoch = %d, want 0", res.Epoch)
+	}
+
+	// Result batching: more rows than one ResultRows frame carries.
+	res, err = c.Query("select(s, v > 0)", 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 100 {
+		t.Fatalf("full scan returned %d entries", len(res.Entries))
+	}
+}
+
+func TestServerAppendAdvancesEpoch(t *testing.T) {
+	srv := testServer(t, Config{}, 10)
+	addr := startTCP(t, srv)
+	c, err := wire.Dial(addr, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	e1, err := c.Append("s", 11, seq.Record{seq.Int(11)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := c.Append("s", 12, seq.Record{seq.Int(12)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != 1 || e2 != 2 {
+		t.Fatalf("append epochs %d, %d, want 1, 2", e1, e2)
+	}
+	if c.Epoch() != 2 {
+		t.Fatalf("client-side epoch %d after turn, want 2", c.Epoch())
+	}
+	res, err := c.Query("select(s, v > 0)", 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 12 || res.Epoch != 2 {
+		t.Fatalf("post-append query: %d entries at epoch %d", len(res.Entries), res.Epoch)
+	}
+
+	// Append rejections keep the connection usable.
+	if _, err := c.Append("s", 5, seq.Record{seq.Int(5)}); err == nil {
+		t.Fatal("non-monotonic append accepted")
+	} else {
+		var se *wire.ServerError
+		if !errors.As(err, &se) || se.Code != wire.CodeAppend {
+			t.Fatalf("append error = %v", err)
+		}
+	}
+	if _, err := c.Append("nope", 1, seq.Record{seq.Int(1)}); err == nil {
+		t.Fatal("append to unknown sequence accepted")
+	} else {
+		var se *wire.ServerError
+		if !errors.As(err, &se) || se.Code != wire.CodeNotFound {
+			t.Fatalf("unknown-sequence error = %v", err)
+		}
+	}
+	if _, err := c.Query("select(s, v > 0)", 1, 20); err != nil {
+		t.Fatalf("connection unusable after errors: %v", err)
+	}
+}
+
+func TestServerExplainAnalyzeAndCounters(t *testing.T) {
+	srv := testServer(t, Config{Verify: true}, 200)
+	addr := startTCP(t, srv)
+	c, err := wire.Dial(addr, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	plan, err := c.Explain("select(s, v > 100)", 1, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "plan @epoch 0") || !strings.Contains(plan, "stream cost") {
+		t.Fatalf("explain output:\n%s", plan)
+	}
+
+	metrics, err := c.Analyze("select(s, v > 100)", 1, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"server counters:", "epoch", "pinned-epoch", "live-readers",
+		"page-versions", "workers", "queue-wait", "queries", "appends", "conflicts"} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("analyze output missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+func TestServerMaterializeAndViews(t *testing.T) {
+	srv := testServer(t, Config{Verify: true}, 100)
+	addr := startTCP(t, srv)
+	c, err := wire.Dial(addr, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Materialize("hot", "select(s, v > 50)", 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	views, err := c.ListViews()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 1 || views[0].Name != "hot" || views[0].InvalidFrom != 0 {
+		t.Fatalf("views = %+v", views)
+	}
+
+	// A write invalidates the view from its epoch.
+	if _, err := c.Append("s", 101, seq.Record{seq.Int(101)}); err != nil {
+		t.Fatal(err)
+	}
+	views, err = c.ListViews()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 1 || views[0].InvalidFrom != 1 {
+		t.Fatalf("views after append = %+v", views)
+	}
+
+	if _, err := c.DropView("hot"); err != nil {
+		t.Fatal(err)
+	}
+	if views, _ := c.ListViews(); len(views) != 0 {
+		t.Fatalf("views after drop = %+v", views)
+	}
+	if _, err := c.DropView("hot"); err == nil {
+		t.Fatal("double drop accepted")
+	}
+}
+
+func TestServerCatalogAndOptions(t *testing.T) {
+	srv := testServer(t, Config{}, 50)
+	addr := startTCP(t, srv)
+	c, err := wire.Dial(addr, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	names, err := c.ListSeqs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "s" {
+		t.Fatalf("sequences = %v", names)
+	}
+	info, err := c.Describe("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "s" || info.Kind != "sparse" || info.Start != 1 || info.End != 50 {
+		t.Fatalf("describe = %+v", info)
+	}
+	if _, err := c.Describe("nope"); err == nil {
+		t.Fatal("describe unknown accepted")
+	}
+
+	for _, opt := range [][2]string{
+		{"parallelism", "2"}, {"reopt", "on"}, {"views", "off"}, {"verify", "on"},
+	} {
+		if _, err := c.SetOption(opt[0], opt[1]); err != nil {
+			t.Fatalf("set %s=%s: %v", opt[0], opt[1], err)
+		}
+	}
+	if _, err := c.SetOption("nope", "1"); err == nil {
+		t.Fatal("unknown option accepted")
+	} else {
+		var se *wire.ServerError
+		if !errors.As(err, &se) || se.Code != wire.CodeOption {
+			t.Fatalf("option error = %v", err)
+		}
+	}
+
+	// Parse and plan errors come back classified.
+	if _, err := c.Query("select(s, nope > 3)", 1, 10); err == nil {
+		t.Fatal("bad query accepted")
+	} else {
+		var se *wire.ServerError
+		if !errors.As(err, &se) || se.Code != wire.CodeParse {
+			t.Fatalf("parse error = %v", err)
+		}
+	}
+}
+
+func TestServerRejectsOldClient(t *testing.T) {
+	srv := testServer(t, Config{}, 10)
+	addr := startTCP(t, srv)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := wire.WriteMessage(nc, &wire.Hello{Version: 0, Client: "old"}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := wire.ReadMessage(nc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := m.(*wire.Error)
+	if !ok || e.Code != wire.CodeVersion {
+		t.Fatalf("got %T %v, want version error", m, m)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	srv := testServer(t, Config{Workers: 2, Verify: true}, 100)
+	addr := startTCP(t, srv)
+
+	const clients = 8
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func(id int) {
+			c, err := wire.Dial(addr, fmt.Sprintf("c%d", id))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 10; j++ {
+				res, err := c.Query("select(s, v > 50)", 1, 100)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Entries) != 50 {
+					errs <- fmt.Errorf("client %d got %d entries", id, len(res.Entries))
+					return
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSessionSnapshotStability pins the core isolation property at the
+// engine level: a query sees exactly the records published at its epoch,
+// never a mix.
+func TestSessionSnapshotStability(t *testing.T) {
+	srv := testServer(t, Config{Verify: true}, 10)
+	sess := srv.NewSession("t")
+
+	res, err := sess.Query("select(s, v > 0)", seq.NewSpan(1, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 10 || res.Epoch != 0 {
+		t.Fatalf("initial query: %d entries at epoch %d", len(res.Entries), res.Epoch)
+	}
+	if _, err := srv.Append("s", 11, seq.Record{seq.Int(11)}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = sess.Query("select(s, v > 0)", seq.NewSpan(1, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 11 || res.Epoch != 1 {
+		t.Fatalf("post-append query: %d entries at epoch %d", len(res.Entries), res.Epoch)
+	}
+
+	// Reorganize publishes a new representation; contents unchanged.
+	if _, err := srv.Reorganize("s", storage.KindDense); err != nil {
+		t.Fatal(err)
+	}
+	res, err = sess.Query("select(s, v > 0)", seq.NewSpan(1, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 11 || res.Epoch != 2 {
+		t.Fatalf("post-reorganize query: %d entries at epoch %d", len(res.Entries), res.Epoch)
+	}
+	info, err := sess.Describe("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != "dense" {
+		t.Fatalf("kind after reorganize = %s", info.Kind)
+	}
+}
+
+func TestServerGC(t *testing.T) {
+	srv := testServer(t, Config{}, 10)
+	for i := 11; i <= 20; i++ {
+		if _, err := srv.Append("s", seq.Pos(i), seq.Record{seq.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.PageVersions() == 0 {
+		t.Fatal("no page versions retained")
+	}
+	versions, _ := srv.GCOnce()
+	if versions != 10 {
+		t.Fatalf("GC dropped %d versions, want 10", versions)
+	}
+	// Data unharmed.
+	sess := srv.NewSession("t")
+	res, err := sess.Query("select(s, v > 0)", seq.NewSpan(1, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 20 {
+		t.Fatalf("post-GC query: %d entries", len(res.Entries))
+	}
+}

@@ -1,0 +1,99 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// EpochTracker is the global epoch counter of the MVCC layer plus the
+// book-keeping of live readers. Writers advance the epoch after
+// publishing a new page version (see Versioned); readers pin the current
+// epoch for the duration of a query and evaluate every base sequence
+// against the snapshot visible at that epoch. The minimum pinned epoch
+// bounds garbage collection: page versions and invalidated views older
+// than every live reader can be reclaimed.
+//
+// The publication protocol is: a writer first publishes its new store
+// version under epoch current+1, then calls AdvanceTo(current+1). A
+// reader pins Current(), so it can only observe epochs whose versions
+// are fully published — a snapshot never changes after it is pinned.
+type EpochTracker struct {
+	mu      sync.Mutex
+	current int64
+	live    map[int64]int // pinned epoch -> reader count
+}
+
+// NewEpochTracker returns a tracker at epoch 0 with no live readers.
+func NewEpochTracker() *EpochTracker {
+	return &EpochTracker{live: make(map[int64]int)}
+}
+
+// Current returns the newest fully published epoch.
+func (t *EpochTracker) Current() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.current
+}
+
+// AdvanceTo publishes epoch e as the new current epoch. Epochs must
+// advance monotonically; the caller (the server's write path) serializes
+// writers, so e is always current+1.
+func (t *EpochTracker) AdvanceTo(e int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e <= t.current {
+		return fmt.Errorf("storage: epoch %d does not advance current %d", e, t.current)
+	}
+	t.current = e
+	return nil
+}
+
+// Pin registers a live reader at the current epoch and returns it. Every
+// Pin must be paired with a Release of the returned epoch.
+func (t *EpochTracker) Pin() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.live[t.current]++
+	return t.current
+}
+
+// Release drops one live reader pinned at epoch e.
+func (t *EpochTracker) Release(e int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, ok := t.live[e]
+	if !ok {
+		return // tolerate double release; nothing to undo
+	}
+	if n <= 1 {
+		delete(t.live, e)
+	} else {
+		t.live[e] = n - 1
+	}
+}
+
+// MinLive returns the oldest epoch any live reader is pinned at, or the
+// current epoch when no reader is live. Versions superseded before
+// MinLive are unreachable and may be garbage collected.
+func (t *EpochTracker) MinLive() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	min := t.current
+	for e := range t.live {
+		if e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+// LiveReaders returns the number of currently pinned readers.
+func (t *EpochTracker) LiveReaders() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, c := range t.live {
+		n += c
+	}
+	return n
+}

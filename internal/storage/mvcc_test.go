@@ -1,0 +1,302 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func mvccSchema(t *testing.T) *seq.Schema {
+	t.Helper()
+	s, err := seq.NewSchema(seq.Field{Name: "v", Type: seq.TInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mvccData(t *testing.T, schema *seq.Schema, n int) *seq.Materialized {
+	t.Helper()
+	entries := make([]seq.Entry, n)
+	for i := range entries {
+		entries[i] = seq.Entry{Pos: seq.Pos(i + 1), Rec: seq.Record{seq.Int(int64(i + 1))}}
+	}
+	m, err := seq.NewMaterialized(schema, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func collect(t *testing.T, s seq.Sequence, span seq.Span) []seq.Entry {
+	t.Helper()
+	es, err := seq.Collect(s.Scan(span))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return es
+}
+
+func TestVersionedSnapshotIsolation(t *testing.T) {
+	schema := mvccSchema(t)
+	v, err := NewVersioned(mvccData(t, schema, 100), KindSparse, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap0 := v.SnapshotAt(0)
+	if snap0 == nil {
+		t.Fatal("no snapshot at epoch 0")
+	}
+	before := collect(t, snap0, seq.AllSpan)
+	if len(before) != 100 {
+		t.Fatalf("snapshot 0 has %d records, want 100", len(before))
+	}
+
+	// Append under later epochs; the pinned snapshot must not move.
+	for i := 0; i < 50; i++ {
+		pos := seq.Pos(101 + i)
+		if err := v.Append(seq.Entry{Pos: pos, Rec: seq.Record{seq.Int(int64(pos))}}, int64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := collect(t, snap0, seq.AllSpan)
+	if len(after) != 100 {
+		t.Fatalf("snapshot 0 sees %d records after appends, want 100", len(after))
+	}
+	if got := snap0.Info().Span; got != seq.NewSpan(1, 100) {
+		t.Fatalf("snapshot 0 span moved to %v", got)
+	}
+
+	// A snapshot at an intermediate epoch sees exactly the prefix.
+	snap25 := v.SnapshotAt(25)
+	if got := len(collect(t, snap25, seq.AllSpan)); got != 125 {
+		t.Fatalf("snapshot 25 sees %d records, want 125", got)
+	}
+	if got := snap25.VersionEpoch(); got != 25 {
+		t.Fatalf("snapshot 25 version epoch = %d", got)
+	}
+	latest := v.Latest()
+	if got := len(collect(t, latest, seq.AllSpan)); got != 150 {
+		t.Fatalf("latest sees %d records, want 150", got)
+	}
+
+	// Probes respect the snapshot too.
+	if r, _ := snap0.Probe(120); r != nil {
+		t.Fatalf("snapshot 0 probes future record %v", r)
+	}
+	if r, _ := snap25.Probe(120); r == nil {
+		t.Fatal("snapshot 25 misses record 120")
+	}
+}
+
+func TestVersionedCopyOnWriteSharing(t *testing.T) {
+	schema := mvccSchema(t)
+	v, err := NewVersioned(mvccData(t, schema, 64), KindSparse, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := v.PageVersions() // 8 full pages
+	if base != 8 {
+		t.Fatalf("base page count = %d, want 8", base)
+	}
+	// One append opens a fresh tail page: +1 page version.
+	if err := v.Append(seq.Entry{Pos: 65, Rec: seq.Record{seq.Int(65)}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.PageVersions(); got != base+1 {
+		t.Fatalf("after first append: %d page versions, want %d", got, base+1)
+	}
+	// The next append copies only that tail page.
+	if err := v.Append(seq.Entry{Pos: 66, Rec: seq.Record{seq.Int(66)}}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.PageVersions(); got != base+2 {
+		t.Fatalf("after second append: %d page versions, want %d (tail-page COW only)", got, base+2)
+	}
+	if got := v.Versions(); got != 3 {
+		t.Fatalf("versions = %d, want 3", got)
+	}
+	// GC with no reader older than epoch 2 leaves one version and one
+	// page version per slot.
+	if dropped := v.GC(2); dropped != 2 {
+		t.Fatalf("GC dropped %d versions, want 2", dropped)
+	}
+	if got := v.PageVersions(); got != 9 {
+		t.Fatalf("after GC: %d page versions, want 9", got)
+	}
+	// GC must keep the newest version at or below minLive.
+	if err := v.Append(seq.Entry{Pos: 67, Rec: seq.Record{seq.Int(67)}}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if dropped := v.GC(3); dropped != 0 {
+		t.Fatalf("GC(3) dropped %d, want 0: epoch-2 version is still live for readers at 3", dropped)
+	}
+}
+
+func TestVersionedReorganize(t *testing.T) {
+	schema := mvccSchema(t)
+	v, err := NewVersioned(mvccData(t, schema, 100), KindSparse, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Reorganize(KindDense, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind() != KindDense {
+		t.Fatalf("kind = %v, want dense", v.Kind())
+	}
+	old := v.SnapshotAt(0)
+	nu := v.SnapshotAt(1)
+	if old.Kind() != KindSparse || nu.Kind() != KindDense {
+		t.Fatalf("snapshot kinds = %v/%v", old.Kind(), nu.Kind())
+	}
+	a, b := collect(t, old, seq.AllSpan), collect(t, nu, seq.AllSpan)
+	if len(a) != len(b) {
+		t.Fatalf("reorganize changed record count %d -> %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Pos != b[i].Pos || !a[i].Rec.Equal(b[i].Rec) {
+			t.Fatalf("entry %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Dense probing is O(1) page.
+	if c := nu.AccessCosts(); c.ProbePages != 1 {
+		t.Fatalf("dense probe cost = %d pages, want 1", c.ProbePages)
+	}
+	// Appends are rejected until reorganized back to sparse.
+	if err := v.Append(seq.Entry{Pos: 101, Rec: seq.Record{seq.Int(101)}}, 2); err == nil {
+		t.Fatal("append to dense version succeeded")
+	}
+	if err := v.Reorganize(KindSparse, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Append(seq.Entry{Pos: 101, Rec: seq.Record{seq.Int(101)}}, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionedScanMidSpanAndProbeCosts(t *testing.T) {
+	schema := mvccSchema(t)
+	v, err := NewVersioned(mvccData(t, schema, 100), KindSparse, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := v.Latest()
+	es := collect(t, snap, seq.NewSpan(40, 60))
+	if len(es) != 21 {
+		t.Fatalf("mid-span scan returned %d records, want 21", len(es))
+	}
+	for i, e := range es {
+		if e.Pos != seq.Pos(40+i) {
+			t.Fatalf("entry %d at position %d, want %d", i, e.Pos, 40+i)
+		}
+	}
+	st := snap.Stats().Snapshot()
+	if st.RandPages == 0 {
+		t.Fatal("mid-span scan charged no index descent")
+	}
+	if st.SeqRecords != 21 {
+		t.Fatalf("scan delivered %d records, want 21", st.SeqRecords)
+	}
+}
+
+func TestEpochTracker(t *testing.T) {
+	tr := NewEpochTracker()
+	if tr.Current() != 0 {
+		t.Fatal("fresh tracker not at epoch 0")
+	}
+	e := tr.Pin()
+	if e != 0 || tr.LiveReaders() != 1 {
+		t.Fatalf("pin: epoch %d live %d", e, tr.LiveReaders())
+	}
+	if err := tr.AdvanceTo(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AdvanceTo(1); err == nil {
+		t.Fatal("re-publishing epoch 1 succeeded")
+	}
+	e2 := tr.Pin()
+	if e2 != 1 {
+		t.Fatalf("second pin at %d, want 1", e2)
+	}
+	if got := tr.MinLive(); got != 0 {
+		t.Fatalf("min live = %d, want 0", got)
+	}
+	tr.Release(e)
+	if got := tr.MinLive(); got != 1 {
+		t.Fatalf("after release: min live = %d, want 1", got)
+	}
+	tr.Release(e2)
+	if got := tr.MinLive(); got != 1 || tr.LiveReaders() != 0 {
+		t.Fatalf("idle tracker: min live %d readers %d", got, tr.LiveReaders())
+	}
+}
+
+// TestVersionedConcurrentReaders runs appending writers against pinned
+// readers under the race detector: every reader must see exactly the
+// records visible at its pinned epoch, on every re-scan.
+func TestVersionedConcurrentReaders(t *testing.T) {
+	schema := mvccSchema(t)
+	v, err := NewVersioned(mvccData(t, schema, 50), KindSparse, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewEpochTracker()
+	const appends = 200
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < appends; i++ {
+			e := tr.Current() + 1
+			pos := seq.Pos(51 + i)
+			if err := v.Append(seq.Entry{Pos: pos, Rec: seq.Record{seq.Int(int64(pos))}}, e); err != nil {
+				panic(err)
+			}
+			if err := tr.AdvanceTo(e); err != nil {
+				panic(err)
+			}
+			if i%20 == 0 {
+				v.GC(tr.MinLive())
+			}
+		}
+	}()
+
+	errs := make(chan error, 8)
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 40; k++ {
+				e := tr.Pin()
+				snap := v.SnapshotAt(e)
+				a := mustCollect(snap, errs)
+				b := mustCollect(snap, errs)
+				if len(a) != len(b) {
+					errs <- fmt.Errorf("snapshot at %d unstable: %d then %d records", e, len(a), len(b))
+				}
+				want := 50 + int(e)
+				if len(a) != want {
+					errs <- fmt.Errorf("snapshot at %d has %d records, want %d", e, len(a), want)
+				}
+				tr.Release(e)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func mustCollect(s seq.Sequence, errs chan<- error) []seq.Entry {
+	es, err := seq.Collect(s.Scan(seq.AllSpan))
+	if err != nil {
+		errs <- err
+	}
+	return es
+}

@@ -1,0 +1,266 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"repro/internal/seq"
+)
+
+// ServerError is a server-reported failure surfaced by Client calls.
+type ServerError struct {
+	Code    ErrorCode
+	Message string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("seqd: %s: %s", e.Code, e.Message)
+}
+
+// Client is a synchronous seqd connection: one request in flight at a
+// time, each response read to its Ready turn marker. It is not safe for
+// concurrent use; open one Client per goroutine.
+type Client struct {
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	epoch   int64 // server epoch from the latest Ready/HelloAck
+	server  string
+	version uint32
+}
+
+// Dial connects to a seqd server and performs the Hello/HelloAck
+// handshake, announcing clientName.
+func Dial(addr, clientName string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	if err := c.send(&Hello{Version: ProtocolVersion, Client: clientName}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	m, err := c.read()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	switch ack := m.(type) {
+	case *HelloAck:
+		c.epoch = ack.Epoch
+		c.server = ack.Server
+		c.version = ack.Version
+	case *Error:
+		conn.Close()
+		return nil, &ServerError{Code: ack.Code, Message: ack.Message}
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("seqd: handshake got %s", TypeName(m.Type()))
+	}
+	return c, nil
+}
+
+// Close sends the Close message and tears down the connection.
+func (c *Client) Close() error {
+	_ = c.send(&Close{})
+	return c.conn.Close()
+}
+
+// Epoch returns the server's MVCC epoch as of the latest response turn.
+func (c *Client) Epoch() int64 { return c.epoch }
+
+// Server returns the server name from the handshake.
+func (c *Client) Server() string { return c.server }
+
+// Version returns the negotiated protocol version.
+func (c *Client) Version() uint32 { return c.version }
+
+func (c *Client) send(m Message) error {
+	if err := WriteMessage(c.w, m); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+func (c *Client) read() (Message, error) {
+	return ReadMessage(c.r, 0)
+}
+
+// turn sends a request and collects every response message up to (not
+// including) Ready. A server Error becomes a *ServerError, but the turn
+// is still drained to Ready first.
+func (c *Client) turn(req Message) ([]Message, error) {
+	if err := c.send(req); err != nil {
+		return nil, err
+	}
+	var msgs []Message
+	var srvErr *ServerError
+	for {
+		m, err := c.read()
+		if err != nil {
+			return nil, err
+		}
+		switch t := m.(type) {
+		case *Ready:
+			c.epoch = t.Epoch
+			if srvErr != nil {
+				return nil, srvErr
+			}
+			return msgs, nil
+		case *Error:
+			if srvErr == nil {
+				srvErr = &ServerError{Code: t.Code, Message: t.Message}
+			}
+		default:
+			msgs = append(msgs, m)
+		}
+	}
+}
+
+// QueryResult is a fully-drained query response.
+type QueryResult struct {
+	Fields    []seq.Field
+	Entries   []seq.Entry
+	Rows      uint64
+	Epoch     int64 // MVCC epoch the query was pinned at
+	ElapsedNs uint64
+	QueueNs   uint64 // time the request waited for a worker slot
+}
+
+// Query runs a SEQL query over the inclusive span [start, end] and
+// drains the full result.
+func (c *Client) Query(seql string, start, end int64) (*QueryResult, error) {
+	msgs, err := c.turn(&Query{SEQL: seql, Start: start, End: end})
+	if err != nil {
+		return nil, err
+	}
+	res := &QueryResult{}
+	for _, m := range msgs {
+		switch t := m.(type) {
+		case *ResultHeader:
+			res.Fields = t.Fields
+			res.Epoch = t.Epoch
+		case *ResultRows:
+			res.Entries = append(res.Entries, t.Entries...)
+		case *ResultDone:
+			res.Rows = t.Rows
+			res.Epoch = t.Epoch
+			res.ElapsedNs = t.ElapsedNs
+			res.QueueNs = t.QueueNs
+		}
+	}
+	return res, nil
+}
+
+// Explain returns the optimizer's rendered plan for a query.
+func (c *Client) Explain(seql string, start, end int64) (string, error) {
+	return c.planTurn(&Explain{SEQL: seql, Start: start, End: end})
+}
+
+// Analyze executes with instrumentation and returns the rendered
+// metrics, including the server counter block.
+func (c *Client) Analyze(seql string, start, end int64) (string, error) {
+	return c.planTurn(&Analyze{SEQL: seql, Start: start, End: end})
+}
+
+func (c *Client) planTurn(req Message) (string, error) {
+	msgs, err := c.turn(req)
+	if err != nil {
+		return "", err
+	}
+	for _, m := range msgs {
+		if t, ok := m.(*PlanText); ok {
+			return t.Text, nil
+		}
+	}
+	return "", fmt.Errorf("seqd: response missing PlanText")
+}
+
+// Materialize registers a named shared view computed over the session
+// snapshot. Retries are the caller's business on CodeConflict.
+func (c *Client) Materialize(name, seql string, start, end int64) (string, error) {
+	return c.ackTurn(&Materialize{Name: name, SEQL: seql, Start: start, End: end})
+}
+
+// Append adds one record beyond the end of a sparse base sequence and
+// returns the new epoch.
+func (c *Client) Append(seqName string, pos int64, rec seq.Record) (int64, error) {
+	msgs, err := c.turn(&Append{Seq: seqName, Pos: pos, Rec: rec})
+	if err != nil {
+		return 0, err
+	}
+	for _, m := range msgs {
+		if t, ok := m.(*Ack); ok {
+			return t.Epoch, nil
+		}
+	}
+	return 0, fmt.Errorf("seqd: response missing Ack")
+}
+
+// SetOption adjusts one session option.
+func (c *Client) SetOption(name, value string) (string, error) {
+	return c.ackTurn(&SetOption{Name: name, Value: value})
+}
+
+// DropView removes a shared materialized view.
+func (c *Client) DropView(name string) (string, error) {
+	return c.ackTurn(&DropView{Name: name})
+}
+
+func (c *Client) ackTurn(req Message) (string, error) {
+	msgs, err := c.turn(req)
+	if err != nil {
+		return "", err
+	}
+	for _, m := range msgs {
+		if t, ok := m.(*Ack); ok {
+			return t.Text, nil
+		}
+	}
+	return "", fmt.Errorf("seqd: response missing Ack")
+}
+
+// ListSeqs returns the catalog's sequence names.
+func (c *Client) ListSeqs() ([]string, error) {
+	msgs, err := c.turn(&ListSeqs{})
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range msgs {
+		if t, ok := m.(*SeqList); ok {
+			return t.Names, nil
+		}
+	}
+	return nil, fmt.Errorf("seqd: response missing SeqList")
+}
+
+// Describe returns one sequence's schema and metadata as of the session
+// snapshot.
+func (c *Client) Describe(name string) (*SeqInfo, error) {
+	msgs, err := c.turn(&Describe{Name: name})
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range msgs {
+		if t, ok := m.(*SeqInfo); ok {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("seqd: response missing SeqInfo")
+}
+
+// ListViews returns the shared materialized views with counters.
+func (c *Client) ListViews() ([]ViewInfo, error) {
+	msgs, err := c.turn(&ListViews{})
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range msgs {
+		if t, ok := m.(*ViewList); ok {
+			return t.Views, nil
+		}
+	}
+	return nil, fmt.Errorf("seqd: response missing ViewList")
+}

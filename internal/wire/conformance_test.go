@@ -1,0 +1,279 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"reflect"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// sample returns a representative, fully-populated instance of every
+// registered message type. The conformance test round-trips each through
+// the codec; a field added to a message without extending its sample
+// fails the population check below.
+func sample(t Type) Message {
+	rec := seq.Record{seq.Int(-42), seq.Float(2.5), seq.Str("søn"), seq.Bool(true)}
+	fields := []seq.Field{{Name: "price", Type: seq.TFloat}, {Name: "tag", Type: seq.TString}}
+	switch t {
+	case THello:
+		return &Hello{Version: ProtocolVersion, Client: "conformance"}
+	case TQuery:
+		return &Query{SEQL: "select(s, s.price > 10)", Start: -5, End: 1 << 40}
+	case TExplain:
+		return &Explain{SEQL: "project(s, s.tag)", Start: 1, End: 2}
+	case TAnalyze:
+		return &Analyze{SEQL: "offset(s, -3)", Start: 7, End: 99}
+	case TMaterialize:
+		return &Materialize{Name: "hot", SEQL: "select(s, s.price > 0)", Start: 1, End: 1000}
+	case TAppend:
+		return &Append{Seq: "s", Pos: 1001, Rec: rec}
+	case TSetOption:
+		return &SetOption{Name: "parallelism", Value: "4"}
+	case TListSeqs:
+		return &ListSeqs{}
+	case TDescribe:
+		return &Describe{Name: "s"}
+	case TListViews:
+		return &ListViews{}
+	case TDropView:
+		return &DropView{Name: "hot"}
+	case TClose:
+		return &Close{}
+	case THelloAck:
+		return &HelloAck{Version: ProtocolVersion, Server: "seqd/test", Epoch: 7}
+	case TReady:
+		return &Ready{Epoch: 9}
+	case TError:
+		return &Error{Code: CodeConflict, Message: "write raced snapshot"}
+	case TResultHeader:
+		return &ResultHeader{Fields: fields, Epoch: 7}
+	case TResultRows:
+		return &ResultRows{Entries: []seq.Entry{
+			{Pos: -1, Rec: rec},
+			{Pos: 2, Rec: nil},
+		}}
+	case TResultDone:
+		return &ResultDone{Rows: 12345, Epoch: 7, ElapsedNs: 5_000_000, QueueNs: 1234}
+	case TPlanText:
+		return &PlanText{Text: "scan(s)[1,9] est=10\n"}
+	case TAck:
+		return &Ack{Text: "appended", Epoch: 8}
+	case TSeqList:
+		return &SeqList{Names: []string{"a", "b", "c"}}
+	case TSeqInfo:
+		return &SeqInfo{Name: "s", Fields: fields, Start: 1, End: 1 << 30, Density: 0.25, Kind: "sparse"}
+	case TViewList:
+		return &ViewList{Views: []ViewInfo{{
+			Name: "hot", Start: 1, End: 100, Records: 42, Density: 0.42,
+			Hits: 9, Misses: 2, FromEpoch: 3, InvalidFrom: 11,
+		}}}
+	default:
+		return nil
+	}
+}
+
+// TestRoundTripEveryMessageType encodes and decodes a populated sample
+// of each registered message type and requires byte- and value-exact
+// round trips.
+func TestRoundTripEveryMessageType(t *testing.T) {
+	for _, ti := range Types() {
+		ti := ti
+		t.Run(ti.Name, func(t *testing.T) {
+			in := sample(ti.Code)
+			if in == nil {
+				t.Fatalf("no sample for registered type %s (0x%02x)", ti.Name, uint8(ti.Code))
+			}
+			if in.Type() != ti.Code {
+				t.Fatalf("sample reports type 0x%02x, registered as 0x%02x", uint8(in.Type()), uint8(ti.Code))
+			}
+			var buf bytes.Buffer
+			if err := WriteMessage(&buf, in); err != nil {
+				t.Fatal(err)
+			}
+			out, err := ReadMessage(&buf, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(in, out) {
+				t.Fatalf("round trip changed message:\n in: %#v\nout: %#v", in, out)
+			}
+			if buf.Len() != 0 {
+				t.Fatalf("%d bytes left after one frame", buf.Len())
+			}
+			// Re-encoding the decoded message must be byte-identical.
+			if a, b := Encode(in), Encode(out); !bytes.Equal(a, b) {
+				t.Fatalf("re-encode differs:\n a: %x\n b: %x", a, b)
+			}
+		})
+	}
+}
+
+// TestSamplesPopulated guards the samples themselves: every exported
+// field of every sample must be non-zero (slices non-empty), so a new
+// message field cannot silently skip round-trip coverage. Zero-payload
+// messages are exempt by construction.
+func TestSamplesPopulated(t *testing.T) {
+	for _, ti := range Types() {
+		m := sample(ti.Code)
+		v := reflect.ValueOf(m).Elem()
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			if f.IsZero() {
+				t.Errorf("%s.%s: sample leaves field zero — round trip cannot prove it travels",
+					ti.Name, v.Type().Field(i).Name)
+			}
+		}
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	// Oversized frame is rejected before allocation.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadMessage(&buf, 0); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	// Unknown type byte.
+	if _, err := Decode([]byte{0x7f}); err == nil {
+		t.Fatal("unknown message type accepted")
+	}
+	// Trailing garbage after a valid payload.
+	frame := append(Encode(&Ready{Epoch: 1}), 0x00)
+	if _, err := Decode(frame); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// Truncated payload.
+	full := Encode(&Hello{Version: 1, Client: "abcdef"})
+	if _, err := Decode(full[:len(full)-3]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+// protocolDocPath locates docs/PROTOCOL.md relative to this package.
+const protocolDocPath = "../../docs/PROTOCOL.md"
+
+var docTypeRow = regexp.MustCompile(`(?m)^\|\s*` + "`" + `0x([0-9a-f]{2})` + "`" + `\s*\|\s*` + "`" + `([A-Za-z]+)` + "`" + `\s*\|`)
+var docCodeRow = regexp.MustCompile(`(?m)^\|\s*` + "`" + `(\d+)` + "`" + `\s*\|\s*` + "`" + `([a-z-]+)` + "`" + `\s*\|`)
+
+// TestProtocolDocCoversEveryType fails when the codec and
+// docs/PROTOCOL.md drift in either direction: a registered message type
+// missing from the spec's message tables, or a documented type code this
+// codec does not implement. Same for error codes.
+func TestProtocolDocCoversEveryType(t *testing.T) {
+	raw, err := os.ReadFile(protocolDocPath)
+	if err != nil {
+		t.Fatalf("docs/PROTOCOL.md must exist and document the protocol: %v", err)
+	}
+
+	documented := map[Type]string{}
+	for _, m := range docTypeRow.FindAllStringSubmatch(string(raw), -1) {
+		code, err := strconv.ParseUint(m[1], 16, 8)
+		if err != nil {
+			t.Fatalf("bad type code in doc row %q: %v", m[0], err)
+		}
+		documented[Type(code)] = m[2]
+	}
+	if len(documented) == 0 {
+		t.Fatal("no message-type table rows found in docs/PROTOCOL.md")
+	}
+	impl := map[Type]string{}
+	for _, ti := range Types() {
+		impl[ti.Code] = ti.Name
+	}
+	for code, name := range impl {
+		docName, ok := documented[code]
+		if !ok {
+			t.Errorf("message %s (0x%02x) implemented but not documented in PROTOCOL.md", name, uint8(code))
+		} else if docName != name {
+			t.Errorf("message 0x%02x named %q in PROTOCOL.md but %q in the codec", uint8(code), docName, name)
+		}
+	}
+	for code, docName := range documented {
+		if _, ok := impl[code]; !ok {
+			t.Errorf("message %q (0x%02x) documented in PROTOCOL.md but not implemented", docName, uint8(code))
+		}
+	}
+
+	// Error codes, both directions.
+	docCodes := map[ErrorCode]string{}
+	for _, m := range docCodeRow.FindAllStringSubmatch(string(raw), -1) {
+		n, err := strconv.ParseUint(m[1], 10, 16)
+		if err != nil {
+			t.Fatalf("bad error code in doc row %q: %v", m[0], err)
+		}
+		docCodes[ErrorCode(n)] = m[2]
+	}
+	implCodes := []ErrorCode{
+		CodeProtocol, CodeVersion, CodeParse, CodePlan, CodeExec,
+		CodeAppend, CodeMaterialize, CodeConflict, CodeOption,
+		CodeNotFound, CodeInternal,
+	}
+	for _, c := range implCodes {
+		docName, ok := docCodes[c]
+		if !ok {
+			t.Errorf("error code %d (%s) implemented but not documented", uint16(c), c)
+		} else if docName != c.String() {
+			t.Errorf("error code %d named %q in PROTOCOL.md but %q in the codec", uint16(c), docName, c)
+		}
+	}
+	for c, docName := range docCodes {
+		found := false
+		for _, ic := range implCodes {
+			if ic == c {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("error code %d (%q) documented but not implemented", uint16(c), docName)
+		}
+	}
+}
+
+// TestValueEncodingStable pins the on-wire byte layout of the value
+// primitives so an accidental codec change cannot pass as "both sides
+// agree". These bytes are normative in docs/PROTOCOL.md.
+func TestValueEncodingStable(t *testing.T) {
+	w := &writer{}
+	w.record(seq.Record{seq.Int(1)})
+	want := []byte{
+		0x01,       // field count 1
+		0x01, 0x02, // TInt, zig-zag(1)
+	}
+	if !bytes.Equal(w.buf, want) {
+		t.Fatalf("record layout = %x, want %x", w.buf, want)
+	}
+
+	w = &writer{}
+	w.value(seq.Float(1.0))
+	want = []byte{0x02, 0x3f, 0xf0, 0, 0, 0, 0, 0, 0} // TFloat, IEEE-754 BE
+	if !bytes.Equal(w.buf, want) {
+		t.Fatalf("float layout = %x, want %x", w.buf, want)
+	}
+
+	// The Null record travels as field count 0 and decodes back to nil.
+	w = &writer{}
+	w.record(nil)
+	if !bytes.Equal(w.buf, []byte{0x00}) {
+		t.Fatalf("null record layout = %x, want 00", w.buf)
+	}
+	r := &reader{buf: w.buf}
+	if rec := r.record(); r.err != nil || rec != nil {
+		t.Fatalf("null record round trip: rec=%#v err=%v", rec, r.err)
+	}
+}
+
+func init() {
+	// Sanity check that samples exist for every registered type even
+	// under -run filters of other tests.
+	for _, ti := range Types() {
+		if sample(ti.Code) == nil {
+			panic(fmt.Sprintf("wire: no conformance sample for %s", ti.Name))
+		}
+	}
+}
