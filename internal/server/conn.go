@@ -48,9 +48,11 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Close stops accepting, stops the GC loop, and waits for in-flight
-// connections to finish their current turn. Connections observe the
-// closed flag between turns and shut down.
+// Close stops accepting, stops the GC loop, closes every open
+// connection, and waits for their handlers to return. Closing the
+// connections matters: an idle handler blocks in wire.ReadMessage with
+// no deadline, so without it Close would hang until every client hung
+// up on its own.
 func (s *Server) Close() error {
 	if s.closed.Swap(true) {
 		return nil
@@ -62,8 +64,36 @@ func (s *Server) Close() error {
 	if ln != nil {
 		ln.Close()
 	}
+	s.connMu.Lock()
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.connMu.Unlock()
 	s.wg.Wait()
 	return nil
+}
+
+// track registers an accepted connection so Close can unblock its
+// reader. It refuses (and the caller must drop the connection) when the
+// server is already closed — checked under connMu so a connection
+// accepted concurrently with Close cannot slip past the close loop.
+func (s *Server) track(nc net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.closed.Load() {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[nc] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(nc net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, nc)
+	s.connMu.Unlock()
 }
 
 func (s *Server) gcLoop() {
@@ -117,6 +147,18 @@ func (c *conn) fail(err error) error {
 
 func (s *Server) handleConn(nc net.Conn) {
 	defer nc.Close()
+	if !s.track(nc) {
+		return
+	}
+	defer s.untrack(nc)
+	// Defense in depth: a panic while serving one client (a decoder bug,
+	// an engine invariant) must cost that connection, not the daemon.
+	defer func() {
+		if p := recover(); p != nil {
+			_ = wire.WriteMessage(nc, &wire.Error{
+				Code: wire.CodeInternal, Message: fmt.Sprintf("panic: %v", p)})
+		}
+	}()
 	c := &conn{
 		srv: s,
 		nc:  nc,
@@ -192,12 +234,11 @@ func (c *conn) serve(m wire.Message) error {
 		if err := c.send(&wire.ResultHeader{Fields: res.Fields, Epoch: res.Epoch}); err != nil {
 			return err
 		}
-		for off := 0; off < len(res.Entries); off += wire.RowsPerBatch {
-			hi := off + wire.RowsPerBatch
-			if hi > len(res.Entries) {
-				hi = len(res.Entries)
-			}
-			if err := c.send(&wire.ResultRows{Entries: res.Entries[off:hi]}); err != nil {
+		// Batches are bounded by encoded size as well as row count so a
+		// string-heavy result cannot produce a frame the client's
+		// MaxFrame check rejects.
+		for _, batch := range wire.SplitRows(res.Entries) {
+			if err := c.send(&wire.ResultRows{Entries: batch}); err != nil {
 				return err
 			}
 		}
@@ -233,11 +274,12 @@ func (c *conn) serve(m wire.Message) error {
 		return c.ready()
 
 	case *wire.Materialize:
-		epoch, err := c.sess.Materialize(req.Name, req.SEQL, seq.NewSpan(seq.Pos(req.Start), seq.Pos(req.End)))
+		epoch, queue, err := c.sess.Materialize(req.Name, req.SEQL, seq.NewSpan(seq.Pos(req.Start), seq.Pos(req.End)))
 		if err != nil {
 			return c.fail(err)
 		}
-		note := fmt.Sprintf("materialized %q over snapshot epoch %d", req.Name, epoch)
+		note := fmt.Sprintf("materialized %q over snapshot epoch %d (queue-wait %s)",
+			req.Name, epoch, queue.Round(time.Microsecond))
 		if err := c.send(&wire.Ack{Text: note, Epoch: epoch}); err != nil {
 			return err
 		}

@@ -249,7 +249,7 @@ func TestFuzzMatviewEpochIsolation(t *testing.T) {
 	const initial = 200
 	srv := testServer(t, Config{Workers: 4, Verify: true}, initial)
 	sess := srv.NewSession("setup")
-	if _, err := sess.Materialize("hot", "select(s, v > 10)", seq.NewSpan(1, initial)); err != nil {
+	if _, _, err := sess.Materialize("hot", "select(s, v > 10)", seq.NewSpan(1, initial)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -292,7 +292,7 @@ func TestFuzzMatviewEpochIsolation(t *testing.T) {
 			default:
 			}
 			name := fmt.Sprintf("view%d", i)
-			_, err := s.Materialize(name, "select(s, v > 20)", seq.NewSpan(1, initial))
+			_, _, err := s.Materialize(name, "select(s, v > 20)", seq.NewSpan(1, initial))
 			if err != nil {
 				var se *Error
 				if errors.As(err, &se) && se.Code == wire.CodeConflict {

@@ -122,6 +122,8 @@ type Server struct {
 	stopGC   chan struct{}
 	listenMu sync.Mutex
 	ln       net.Listener
+	connMu   sync.Mutex // guards conns; see track/untrack in conn.go
+	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 }
 
@@ -539,10 +541,13 @@ func (s *Server) counterBlock(epoch int64, queue time.Duration) string {
 // Materialize computes the query against a pinned snapshot and registers
 // the result as a shared view valid from that epoch. If any base the
 // view reads was written between pin and registration, it fails with
-// CodeConflict and registers nothing — the caller retries.
-func (sess *Session) Materialize(name, seql string, span seq.Span) (int64, error) {
+// CodeConflict and registers nothing — the caller retries. Alongside the
+// pinned epoch it returns the time the request waited for a worker slot,
+// the same pool-sizing signal Query and Analyze report (see
+// docs/OPERATIONS.md).
+func (sess *Session) Materialize(name, seql string, span seq.Span) (int64, time.Duration, error) {
 	if !span.Bounded() {
-		return 0, errf(wire.CodeMaterialize, "materialize %q needs a bounded span, got %s", name, span)
+		return 0, 0, errf(wire.CodeMaterialize, "materialize %q needs a bounded span, got %s", name, span)
 	}
 	srv := sess.srv
 	epoch := srv.epochs.Pin()
@@ -550,16 +555,15 @@ func (sess *Session) Materialize(name, seql string, span seq.Span) (int64, error
 	res, err := sess.optimizeAt(epoch, seql, span)
 	if err != nil {
 		if se, ok := err.(*Error); ok && se.Code == wire.CodePlan {
-			return 0, &Error{Code: wire.CodeMaterialize, Err: se.Err}
+			return 0, 0, &Error{Code: wire.CodeMaterialize, Err: se.Err}
 		}
-		return 0, err
+		return 0, 0, err
 	}
 	queue := srv.acquire()
-	_ = queue
 	out, err := res.Run()
 	srv.release()
 	if err != nil {
-		return 0, &Error{Code: wire.CodeExec, Err: err}
+		return 0, queue, &Error{Code: wire.CodeExec, Err: err}
 	}
 	// Registration is a write: serialize with appenders and check that
 	// the snapshot the view was computed from is still current for every
@@ -569,19 +573,19 @@ func (sess *Session) Materialize(name, seql string, span seq.Span) (int64, error
 	for _, base := range baseNames(res.Rewritten) {
 		ss, e := srv.lookup(base)
 		if e != nil {
-			return 0, e
+			return 0, queue, e
 		}
 		if ss.v.LatestEpoch() > epoch {
 			srv.nConflict.Add(1)
-			return 0, errf(wire.CodeConflict,
+			return 0, queue, errf(wire.CodeConflict,
 				"base %q advanced to epoch %d while materializing against epoch %d; retry",
 				base, ss.v.LatestEpoch(), epoch)
 		}
 	}
 	if _, err := srv.views.RegisterAt(name, res.Rewritten, out, res.RunSpan, epoch); err != nil {
-		return 0, &Error{Code: wire.CodeMaterialize, Err: err}
+		return 0, queue, &Error{Code: wire.CodeMaterialize, Err: err}
 	}
-	return epoch, nil
+	return epoch, queue, nil
 }
 
 // Describe reports one sequence as of a snapshot pinned for this call.

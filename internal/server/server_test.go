@@ -6,6 +6,7 @@ import (
 	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/seq"
 	"repro/internal/storage"
@@ -275,6 +276,86 @@ func TestServerCatalogAndOptions(t *testing.T) {
 		if !errors.As(err, &se) || se.Code != wire.CodeParse {
 			t.Fatalf("parse error = %v", err)
 		}
+	}
+}
+
+// TestCloseUnblocksIdleConnections: Close must not wait for idle
+// clients — handlers park in wire.ReadMessage with no deadline, so Close
+// closes every tracked connection to unblock them. Before the tracking
+// was added, this test hung forever.
+func TestCloseUnblocksIdleConnections(t *testing.T) {
+	srv := testServer(t, Config{}, 10)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	// An idle client: handshake completes, then no further frames.
+	c, err := wire.Dial(ln.Addr().String(), "idle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	closed := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung on an idle connection")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve after Close: %v", err)
+	}
+}
+
+// TestHostileFrameKeepsServerAlive sends the frame that used to panic
+// the decode path (SetOption with a 2^63-1 string length) straight at a
+// live server: the connection must die with a protocol error while the
+// server keeps serving other clients.
+func TestHostileFrameKeepsServerAlive(t *testing.T) {
+	srv := testServer(t, Config{}, 10)
+	addr := startTCP(t, srv)
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := wire.WriteMessage(nc, &wire.Hello{Version: wire.ProtocolVersion, Client: "evil"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ReadMessage(nc, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-built SetOption frame claiming a 2^63-1 byte string.
+	payload := []byte{byte(wire.TSetOption)}
+	payload = append(payload, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f) // uvarint 2^63-1
+	hdr := []byte{0, 0, 0, byte(len(payload))}
+	if _, err := nc.Write(append(hdr, payload...)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := wire.ReadMessage(nc, 0)
+	if err != nil {
+		t.Fatalf("expected an Error frame, got %v", err)
+	}
+	if e, ok := m.(*wire.Error); !ok || e.Code != wire.CodeProtocol {
+		t.Fatalf("got %T %v, want protocol error", m, m)
+	}
+
+	// The daemon survived: a fresh client still gets answers.
+	c, err := wire.Dial(addr, "after")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if res, err := c.Query("select(s, v > 0)", 1, 10); err != nil || len(res.Entries) != 10 {
+		t.Fatalf("server unhealthy after hostile frame: %v", err)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"regexp"
 	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/seq"
@@ -151,6 +152,115 @@ func TestFrameLimits(t *testing.T) {
 	full := Encode(&Hello{Version: 1, Client: "abcdef"})
 	if _, err := Decode(full[:len(full)-3]); err == nil {
 		t.Fatal("truncated payload accepted")
+	}
+}
+
+// TestHostileLengths feeds every length- or count-prefixed decode path a
+// value vastly exceeding the payload. Each must fail cleanly: before the
+// uint64-space guards, counts near 2^63 wrapped negative (or overflowed
+// r.off+n) after the int conversion and panicked Decode — a remote crash
+// of seqd, whose handler reads attacker-supplied frames.
+func TestHostileLengths(t *testing.T) {
+	craft := func(tc Type, fill func(w *writer)) []byte {
+		w := &writer{}
+		w.byte(byte(tc))
+		fill(w)
+		return w.buf
+	}
+	frames := map[string][]byte{
+		"SetOption string len 2^63-1": craft(TSetOption, func(w *writer) { w.uvarint(1<<63 - 1) }),
+		"SetOption string len 2^63":   craft(TSetOption, func(w *writer) { w.uvarint(1 << 63) }),
+		"Append record count 2^63": craft(TAppend, func(w *writer) {
+			w.string("s")
+			w.varint(1)
+			w.uvarint(1 << 63)
+		}),
+		"Append record count 2^63-1": craft(TAppend, func(w *writer) {
+			w.string("s")
+			w.varint(1)
+			w.uvarint(1<<63 - 1)
+		}),
+		"ResultHeader field count 2^63": craft(TResultHeader, func(w *writer) { w.uvarint(1 << 63) }),
+		"ResultRows row count 2^63":     craft(TResultRows, func(w *writer) { w.uvarint(1 << 63) }),
+		"SeqList name count 2^63":       craft(TSeqList, func(w *writer) { w.uvarint(1 << 63) }),
+		"SeqList count exceeds payload": craft(TSeqList, func(w *writer) { w.uvarint(1000) }),
+		"SeqInfo field count 2^63": craft(TSeqInfo, func(w *writer) {
+			w.string("s")
+			w.uvarint(1 << 63)
+		}),
+		"ViewList view count 2^63": craft(TViewList, func(w *writer) { w.uvarint(1 << 63) }),
+	}
+	for name, frame := range frames {
+		frame := frame
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("Decode panicked: %v", p)
+				}
+			}()
+			if _, err := Decode(frame); err == nil {
+				t.Fatal("hostile frame accepted")
+			}
+		})
+	}
+}
+
+// TestSplitRows pins the outgoing batching bounds: row count for narrow
+// results, encoded bytes for wide ones — every produced frame must pass
+// the default MaxFrame check a client applies in ReadMessage.
+func TestSplitRows(t *testing.T) {
+	if got := SplitRows(nil); got != nil {
+		t.Fatalf("SplitRows(nil) = %v", got)
+	}
+
+	// Row-count bound: 600 tiny entries split 256/256/88.
+	small := make([]seq.Entry, 600)
+	for i := range small {
+		small[i] = seq.Entry{Pos: int64(i), Rec: seq.Record{seq.Int(int64(i))}}
+	}
+	batches := SplitRows(small)
+	if len(batches) != 3 || len(batches[0]) != 256 || len(batches[1]) != 256 || len(batches[2]) != 88 {
+		sizes := make([]int, len(batches))
+		for i, b := range batches {
+			sizes[i] = len(b)
+		}
+		t.Fatalf("row-count batching sizes = %v, want [256 256 88]", sizes)
+	}
+
+	// Byte bound: 256 rows of 64KiB strings would encode to a ~16MiB
+	// frame, which clients reject. Every batch must stay near
+	// RowsBatchBytes and round-trip under the default frame cap.
+	wide := make([]seq.Entry, 300)
+	big := strings.Repeat("x", 64<<10)
+	for i := range wide {
+		wide[i] = seq.Entry{Pos: int64(i), Rec: seq.Record{seq.Str(big)}}
+	}
+	total := 0
+	for _, b := range SplitRows(wide) {
+		if len(b) == 0 {
+			t.Fatal("empty batch")
+		}
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, &ResultRows{Entries: b}); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() > RowsBatchBytes+2*len(big) {
+			t.Fatalf("batch of %d rows frames to %d bytes", len(b), buf.Len())
+		}
+		out, err := ReadMessage(&buf, 0)
+		if err != nil {
+			t.Fatalf("client rejected server batch: %v", err)
+		}
+		rows := out.(*ResultRows)
+		for i, e := range rows.Entries {
+			if e.Pos != int64(total+i) {
+				t.Fatalf("entry order broken at %d: pos %d", total+i, e.Pos)
+			}
+		}
+		total += len(b)
+	}
+	if total != len(wide) {
+		t.Fatalf("split lost rows: %d of %d", total, len(wide))
 	}
 }
 

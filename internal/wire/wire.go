@@ -49,6 +49,37 @@ const DefaultMaxFrame = 16 << 20
 // carries at most.
 const RowsPerBatch = 256
 
+// RowsBatchBytes bounds the encoded payload of one outgoing ResultRows
+// frame: a batch flushes at whichever comes first, RowsPerBatch entries
+// or RowsBatchBytes of encoded entries, keeping every frame far below
+// DefaultMaxFrame even when individual records carry large strings.
+const RowsBatchBytes = 1 << 20
+
+// SplitRows partitions a result into ResultRows batches bounded by both
+// RowsPerBatch entries and RowsBatchBytes encoded bytes. Batches are
+// contiguous subslices of entries (no copying); a single entry larger
+// than RowsBatchBytes forms a batch of its own.
+func SplitRows(entries []seq.Entry) [][]seq.Entry {
+	var out [][]seq.Entry
+	w := &writer{}
+	start, batchBytes := 0, 0
+	for i, e := range entries {
+		w.buf = w.buf[:0]
+		w.varint(e.Pos)
+		w.record(e.Rec)
+		sz := len(w.buf)
+		if i > start && (batchBytes+sz > RowsBatchBytes || i-start >= RowsPerBatch) {
+			out = append(out, entries[start:i])
+			start, batchBytes = i, 0
+		}
+		batchBytes += sz
+	}
+	if start < len(entries) {
+		out = append(out, entries[start:])
+	}
+	return out
+}
+
 // Type identifies a message. Client-originated types occupy 0x01–0x7f,
 // server-originated types 0x81–0xff.
 type Type uint8
@@ -455,9 +486,8 @@ func (m *ResultHeader) encode(w *writer) {
 	w.varint(m.Epoch)
 }
 func (m *ResultHeader) decode(r *reader) {
-	n := int(r.uvarint())
-	if r.err != nil || n > 1<<16 {
-		r.fail("field count %d out of range", n)
+	n := r.count("field", 1<<16)
+	if r.err != nil {
 		return
 	}
 	m.Fields = make([]seq.Field, n)
@@ -482,9 +512,8 @@ func (m *ResultRows) encode(w *writer) {
 	}
 }
 func (m *ResultRows) decode(r *reader) {
-	n := int(r.uvarint())
-	if r.err != nil || n > RowsPerBatch*16 {
-		r.fail("row count %d out of range", n)
+	n := r.count("row", RowsPerBatch*16)
+	if r.err != nil {
 		return
 	}
 	m.Entries = make([]seq.Entry, n)
@@ -558,9 +587,8 @@ func (m *SeqList) encode(w *writer) {
 	}
 }
 func (m *SeqList) decode(r *reader) {
-	n := int(r.uvarint())
-	if r.err != nil || n > 1<<20 {
-		r.fail("name count %d out of range", n)
+	n := r.count("name", 1<<20)
+	if r.err != nil {
 		return
 	}
 	m.Names = make([]string, n)
@@ -593,9 +621,8 @@ func (m *SeqInfo) encode(w *writer) {
 }
 func (m *SeqInfo) decode(r *reader) {
 	m.Name = r.string()
-	n := int(r.uvarint())
-	if r.err != nil || n > 1<<16 {
-		r.fail("field count %d out of range", n)
+	n := r.count("field", 1<<16)
+	if r.err != nil {
 		return
 	}
 	m.Fields = make([]seq.Field, n)
@@ -643,9 +670,8 @@ func (m *ViewList) encode(w *writer) {
 	}
 }
 func (m *ViewList) decode(r *reader) {
-	n := int(r.uvarint())
-	if r.err != nil || n > 1<<20 {
-		r.fail("view count %d out of range", n)
+	n := r.count("view", 1<<20)
+	if r.err != nil {
 		return
 	}
 	m.Views = make([]ViewInfo, n)
@@ -849,17 +875,37 @@ func (r *reader) float() float64 {
 	return math.Float64frombits(bits)
 }
 
+// remaining is the unread byte count of the payload.
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+// count decodes a uvarint element count, comparing in uint64 space
+// before the int conversion so a hostile value can neither wrap negative
+// nor drive an oversized allocation: the count must fit both the
+// caller's limit and the unread payload (every element occupies at least
+// one byte).
+func (r *reader) count(what string, limit int) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64(limit) || v > uint64(r.remaining()) {
+		r.fail("%s count %d out of range", what, v)
+		return 0
+	}
+	return int(v)
+}
+
 func (r *reader) string() string {
-	n := int(r.uvarint())
+	n := r.uvarint()
 	if r.err != nil {
 		return ""
 	}
-	if n < 0 || r.off+n > len(r.buf) {
+	if n > uint64(r.remaining()) {
 		r.fail("truncated string of %d bytes", n)
 		return ""
 	}
-	s := string(r.buf[r.off : r.off+n])
-	r.off += n
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
 	return s
 }
 
@@ -881,16 +927,9 @@ func (r *reader) value() seq.Value {
 }
 
 func (r *reader) record() seq.Record {
-	n := int(r.uvarint())
-	if r.err != nil {
-		return nil
-	}
-	if n == 0 {
+	n := r.count("record field", 1<<16)
+	if r.err != nil || n == 0 {
 		return nil // the Null record
-	}
-	if n > 1<<16 {
-		r.fail("record of %d fields out of range", n)
-		return nil
 	}
 	rec := make(seq.Record, n)
 	for i := range rec {
