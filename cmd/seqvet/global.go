@@ -1,0 +1,216 @@
+// Whole-program mode: `seqvet -global ./...` loads every module package
+// at once — parsed and type-checked from source against a single shared
+// importer, so types.Object identities line up across package
+// boundaries — and runs both the per-package analyzers and the
+// whole-program ones (lockorder, epochpin, goexit, wiredoc) over the
+// resulting analyzers.Program.
+//
+// The loader leans on `go list -export -deps -json`, which cmd/go
+// answers from the build cache: stdlib dependencies arrive as gc export
+// data (fast, no source parsing), module packages are listed in
+// dependency order so each one type-checks against its already-checked
+// imports. No module proxy, no golang.org/x/tools.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"repro/internal/analyzers"
+)
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Export     string
+	Standard   bool
+}
+
+func runGlobalMode(patterns []string, only, skip string) {
+	keep, err := analyzers.FilterNames(knownAnalyzerNames(), only, skip)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seqvet: %v\n", err)
+		os.Exit(1)
+	}
+	locals, _ := selectLocal(only, skip)
+	var globals []*analyzers.GlobalAnalyzer
+	for _, a := range analyzers.AllGlobal() {
+		if keep[a.Name] {
+			globals = append(globals, a)
+		}
+	}
+
+	root, modPath, err := findModule()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seqvet: %v\n", err)
+		os.Exit(1)
+	}
+
+	pkgs, err := goList(root, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seqvet: %v\n", err)
+		os.Exit(1)
+	}
+
+	prog, err := loadProgram(root, modPath, pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seqvet: %v\n", err)
+		os.Exit(1)
+	}
+
+	diags := analyzers.RunGlobal(prog, locals, globals)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+// findModule walks up from the working directory to go.mod and reads
+// the module path from its first `module` directive.
+func findModule() (root, modPath string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gomod := filepath.Join(dir, "go.mod")
+		if data, err := os.ReadFile(gomod); err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s has no module directive", gomod)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s (seqvet -global must run inside the module)", dir)
+		}
+		dir = parent
+	}
+}
+
+// goList asks cmd/go for the transitive package graph with export data.
+// -deps guarantees dependency order: every package appears after its
+// imports.
+func goList(root string, patterns []string) ([]listPkg, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Imports,Export,Standard",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// loadProgram type-checks every module package from source, in
+// dependency order, sharing one FileSet and one importer so analyzers
+// can chase a types.Object from internal/server straight into
+// internal/storage. Stdlib packages are imported from their gc export
+// data.
+func loadProgram(root, modPath string, pkgs []listPkg) (*analyzers.Program, error) {
+	fset := token.NewFileSet()
+
+	exportFile := map[string]string{} // stdlib import path -> export data
+	for _, p := range pkgs {
+		if p.Standard && p.Export != "" {
+			exportFile[p.ImportPath] = p.Export
+		}
+	}
+	gcImp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exportFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	checked := map[string]*types.Package{} // module import path -> checked package
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if pkg, ok := checked[path]; ok {
+			return pkg, nil
+		}
+		return gcImp.(types.ImporterFrom).ImportFrom(path, root, 0)
+	})
+
+	isModule := func(path string) bool {
+		return path == modPath || strings.HasPrefix(path, modPath+"/")
+	}
+
+	var passes []*analyzers.Pass
+	for _, p := range pkgs {
+		if p.Standard || !isModule(p.ImportPath) {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil,
+				parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		tcfg := &types.Config{
+			Importer: imp,
+			Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		pkg, err := tcfg.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typechecking %s: %v", p.ImportPath, err)
+		}
+		checked[p.ImportPath] = pkg
+		passes = append(passes, &analyzers.Pass{Fset: fset, Files: files, Pkg: pkg, Info: info})
+	}
+	if len(passes) == 0 {
+		return nil, fmt.Errorf("no module packages matched (module %s)", modPath)
+	}
+	return analyzers.NewProgram(fset, root, passes), nil
+}

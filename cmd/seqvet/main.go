@@ -8,9 +8,20 @@
 //
 //	go run ./cmd/seqvet ./...
 //
-// also works. The container this project builds in has no module proxy,
-// so the golang.org/x/tools unitchecker is not available; this file
-// implements the small vettool protocol cmd/go speaks directly:
+// also works. With -global it leaves the per-package vet protocol
+// behind and loads the entire module at once, running the
+// whole-program analyzers (lockorder, epochpin, goexit, wiredoc) that
+// need to follow calls across package boundaries:
+//
+//	go run ./cmd/seqvet -global ./...
+//
+// -only and -skip select analyzers by name in every mode; both are
+// surfaced through the -flags JSON, so `go vet -vettool=seqvet
+// -only=kindswitch` forwards them to each unit invocation.
+//
+// The container this project builds in has no module proxy, so the
+// golang.org/x/tools unitchecker is not available; this file implements
+// the small vettool protocol cmd/go speaks directly:
 //
 //   - `seqvet -V=full` prints a version line fingerprinting the binary
 //     (cmd/go keys its action cache on it);
@@ -23,6 +34,7 @@ package main
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -40,23 +52,43 @@ import (
 )
 
 func main() {
-	args := os.Args[1:]
+	fs := flag.NewFlagSet("seqvet", flag.ExitOnError)
+	vFlag := fs.String("V", "", "if 'full', print the tool version and exit (vet protocol)")
+	flagsFlag := fs.Bool("flags", false, "print analyzer flags as JSON and exit (vet protocol)")
+	globalFlag := fs.Bool("global", false, "load the whole module and run the whole-program analyzers too")
+	onlyFlag := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	skipFlag := fs.String("skip", "", "comma-separated analyzer names to skip")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: seqvet [-only=a,b] [-skip=c] ./...")
+		fmt.Fprintln(os.Stderr, "       seqvet -global [-only=a,b] [-skip=c] ./...")
+		fmt.Fprintln(os.Stderr, "       go vet -vettool=seqvet [-only=a,b] [-skip=c] ./...")
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+	args := fs.Args()
+
 	switch {
-	case len(args) == 1 && args[0] == "-V=full":
+	case *vFlag == "full":
 		printVersion()
-	case len(args) == 1 && args[0] == "-flags":
-		// No analyzer flags: an empty JSON list tells cmd/go not to
-		// forward any.
-		fmt.Println("[]")
+	case *vFlag != "":
+		fmt.Fprintf(os.Stderr, "seqvet: unsupported -V=%s (only -V=full)\n", *vFlag)
+		os.Exit(2)
+	case *flagsFlag:
+		printFlags()
+	case *globalFlag:
+		if len(args) == 0 {
+			args = []string{"./..."}
+		}
+		runGlobalMode(args, *onlyFlag, *skipFlag)
 	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
-		if err := analyzeUnit(args[0]); err != nil {
+		if err := analyzeUnit(args[0], *onlyFlag, *skipFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "seqvet: %v\n", err)
 			os.Exit(1)
 		}
 	case len(args) > 0:
-		runGoVet(args)
+		runGoVet(args, *onlyFlag, *skipFlag)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: seqvet ./... | go vet -vettool=seqvet ./...")
+		fs.Usage()
 		os.Exit(2)
 	}
 }
@@ -75,15 +107,74 @@ func printVersion() {
 	fmt.Printf("%s version devel buildID=%02x\n", progname, h.Sum(nil))
 }
 
+// printFlags emits the analyzer flag descriptors cmd/go reads to decide
+// which command-line flags to forward to each vet unit invocation (the
+// unitchecker -flags wire format).
+func printFlags() {
+	type flagDesc struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	descs := []flagDesc{
+		{Name: "only", Bool: false, Usage: "comma-separated analyzer names to run (default: all)"},
+		{Name: "skip", Bool: false, Usage: "comma-separated analyzer names to skip"},
+	}
+	out, err := json.Marshal(descs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seqvet: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}
+
+// knownAnalyzerNames is the -only/-skip vocabulary: the union of
+// per-package and whole-program analyzer names.
+func knownAnalyzerNames() []string {
+	var names []string
+	for _, a := range analyzers.All() {
+		names = append(names, a.Name)
+	}
+	for _, a := range analyzers.AllGlobal() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// selectLocal filters the per-package analyzers by the -only/-skip
+// selection. Whole-program analyzer names are valid selections that
+// simply match no per-package analyzer.
+func selectLocal(only, skip string) ([]*analyzers.Analyzer, error) {
+	keep, err := analyzers.FilterNames(knownAnalyzerNames(), only, skip)
+	if err != nil {
+		return nil, err
+	}
+	var out []*analyzers.Analyzer
+	for _, a := range analyzers.All() {
+		if keep[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
 // runGoVet re-invokes the toolchain with this binary as the vettool, so
-// `go run ./cmd/seqvet ./...` works without ceremony.
-func runGoVet(patterns []string) {
+// `go run ./cmd/seqvet ./...` works without ceremony. The analyzer
+// selection flags travel along; cmd/go forwards them to every unit.
+func runGoVet(patterns []string, only, skip string) {
 	self, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "seqvet: cannot locate own executable: %v\n", err)
 		os.Exit(1)
 	}
-	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	vetArgs := []string{"vet", "-vettool=" + self}
+	if only != "" {
+		vetArgs = append(vetArgs, "-only="+only)
+	}
+	if skip != "" {
+		vetArgs = append(vetArgs, "-skip="+skip)
+	}
+	cmd := exec.Command("go", append(vetArgs, patterns...)...)
 	cmd.Stdout = os.Stdout
 	cmd.Stderr = os.Stderr
 	if err := cmd.Run(); err != nil {
@@ -115,7 +206,7 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
-func analyzeUnit(cfgPath string) error {
+func analyzeUnit(cfgPath, only, skip string) error {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		return err
@@ -139,6 +230,13 @@ func analyzeUnit(cfgPath string) error {
 	// skip typechecking everything else (stdlib, when vet is invoked on
 	// it explicitly).
 	if cfg.ImportPath != "repro" && !strings.HasPrefix(cfg.ImportPath, "repro/") {
+		return nil
+	}
+	locals, err := selectLocal(only, skip)
+	if err != nil {
+		return err
+	}
+	if len(locals) == 0 {
 		return nil
 	}
 
@@ -194,7 +292,7 @@ func analyzeUnit(cfgPath string) error {
 	}
 
 	pass := &analyzers.Pass{Fset: fset, Files: files, Pkg: pkg, Info: info}
-	diags := analyzers.Run(pass, analyzers.All())
+	diags := analyzers.Run(pass, locals)
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
 	}

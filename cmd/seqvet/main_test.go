@@ -1,0 +1,195 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildSeqvet compiles the tool into a temp dir and returns the binary
+// path and the repository root.
+func buildSeqvet(t *testing.T) (bin, root string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("builds the seqvet binary")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin = filepath.Join(t.TempDir(), "seqvet")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/seqvet")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building seqvet: %v\n%s", err, out)
+	}
+	return bin, root
+}
+
+func exitCode(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	t.Fatalf("command did not run: %v", err)
+	return -1
+}
+
+// TestFlagsJSON checks the -flags handshake: cmd/go parses this JSON to
+// decide which flags to forward to each vet unit invocation.
+func TestFlagsJSON(t *testing.T) {
+	bin, _ := buildSeqvet(t)
+	out, err := exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("seqvet -flags: %v", err)
+	}
+	var descs []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(out, &descs); err != nil {
+		t.Fatalf("-flags output is not the expected JSON: %v\n%s", err, out)
+	}
+	names := map[string]bool{}
+	for _, d := range descs {
+		if d.Bool {
+			t.Errorf("flag %q declared Bool; string flags expected", d.Name)
+		}
+		names[d.Name] = true
+	}
+	if !names["only"] || !names["skip"] {
+		t.Fatalf("-flags must declare only and skip, got %s", out)
+	}
+}
+
+// TestUnitFindingsExitTwo drives the vet unit protocol directly with a
+// crafted vet.cfg whose package carries a reasonless suppression — a
+// finding that needs no export data — and wants exit status 2.
+func TestUnitFindingsExitTwo(t *testing.T) {
+	bin, _ := buildSeqvet(t)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "demo.go")
+	if err := os.WriteFile(src, []byte("package demo\nfunc f() int {\n\t//seqvet:ignore kindswitch\n\treturn 0\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := map[string]any{
+		"ID":         "repro/internal/demo",
+		"Compiler":   "gc",
+		"Dir":        dir,
+		"ImportPath": "repro/internal/demo",
+		"GoFiles":    []string{src},
+		"VetxOutput": filepath.Join(dir, "demo.vetx"),
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := exec.Command(bin, cfgPath).CombinedOutput()
+	if code := exitCode(t, err); code != 2 {
+		t.Fatalf("findings must exit 2, got %d\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "seqvet:ignore needs an analyzer name and a reason") {
+		t.Fatalf("expected the bad-suppression finding, got:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "demo.vetx")); err != nil {
+		t.Errorf("the facts file cmd/go expects was not written: %v", err)
+	}
+
+	// The same unit with the offending analyzer deselected still reports
+	// the framework-level bad suppression — -only narrows analyzers, not
+	// the suppression hygiene.
+	out, err = exec.Command(bin, "-only=rawstore", cfgPath).CombinedOutput()
+	if code := exitCode(t, err); code != 2 {
+		t.Fatalf("-only must keep framework findings, got exit %d\n%s", code, out)
+	}
+
+	// An unknown analyzer name is a usage error (exit 1), not a finding.
+	out, err = exec.Command(bin, "-only=nosuch", cfgPath).CombinedOutput()
+	if code := exitCode(t, err); code != 1 {
+		t.Fatalf("unknown -only name must exit 1, got %d\n%s", code, out)
+	}
+	if !strings.Contains(string(out), `unknown analyzer "nosuch"`) {
+		t.Fatalf("expected the unknown-analyzer error, got:\n%s", out)
+	}
+}
+
+// TestGoVetForwardsSelection checks the full `go vet -vettool` path:
+// the -only/-skip flags declared in -flags travel to every unit.
+func TestGoVetForwardsSelection(t *testing.T) {
+	bin, root := buildSeqvet(t)
+	run := func(args ...string) (string, int) {
+		cmd := exec.Command("go", append([]string{"vet", "-vettool=" + bin}, args...)...)
+		cmd.Dir = root
+		cmd.Env = append(os.Environ(), "GOFLAGS=")
+		out, err := cmd.CombinedOutput()
+		return string(out), exitCode(t, err)
+	}
+	// Selecting only a whole-program analyzer leaves per-package mode
+	// with nothing to run — clean pass.
+	if out, code := run("-only=wiredoc", "./internal/seq/"); code != 0 {
+		t.Fatalf("-only=wiredoc should vet clean, got exit %d\n%s", code, out)
+	}
+	// An unknown name surfaces as a vet failure.
+	out, code := run("-only=nosuch", "./internal/seq/")
+	if code == 0 || !strings.Contains(out, `unknown analyzer "nosuch"`) {
+		t.Fatalf("unknown -only name should fail go vet, got exit %d\n%s", code, out)
+	}
+}
+
+// TestGlobalCleanOnRepository is the whole-program integration test:
+// `seqvet -global ./...` must come back clean on the repository itself
+// (every surfaced violation fixed or suppressed with a reason).
+func TestGlobalCleanOnRepository(t *testing.T) {
+	bin, root := buildSeqvet(t)
+	cmd := exec.Command(bin, "-global", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if code := exitCode(t, err); code != 0 {
+		t.Fatalf("seqvet -global ./... must pass clean, got exit %d\n%s", code, out)
+	}
+}
+
+// TestGlobalFindingsExitTwo builds a scratch module with an unannotated
+// mutex and wants the lockorder coverage finding, end to end through
+// `go list` loading.
+func TestGlobalFindingsExitTwo(t *testing.T) {
+	bin, _ := buildSeqvet(t)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratch\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := "package scratch\n\nimport \"sync\"\n\ntype T struct {\n\tmu sync.Mutex\n}\n\nfunc (t *T) Use() {\n\tt.mu.Lock()\n\tt.mu.Unlock()\n}\n"
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-global", "./...")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=")
+	out, err := cmd.CombinedOutput()
+	if code := exitCode(t, err); code != 2 {
+		t.Fatalf("uncovered mutex must exit 2, got %d\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "mutex scratch.T.mu is not covered") {
+		t.Fatalf("expected the lockorder coverage finding, got:\n%s", out)
+	}
+	// Deselecting lockorder silences it.
+	cmd = exec.Command(bin, "-global", "-skip=lockorder", "./...")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=")
+	out, err = cmd.CombinedOutput()
+	if code := exitCode(t, err); code != 0 {
+		t.Fatalf("-skip=lockorder should pass clean, got exit %d\n%s", code, out)
+	}
+}

@@ -1,6 +1,7 @@
 package seqproc
 
 import (
+	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -52,9 +53,7 @@ func TestDocLinks(t *testing.T) {
 		}
 		set := map[string]bool{}
 		if raw, err := os.ReadFile(file); err == nil {
-			for _, m := range mdHeading.FindAllStringSubmatch(string(raw), -1) {
-				set[anchorSlug(m[1])] = true
-			}
+			set = headingAnchors(string(raw))
 		}
 		anchors[file] = set
 		return set
@@ -88,6 +87,37 @@ func TestDocLinks(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// headingAnchors returns the set of anchors a markdown document
+// exposes, including GitHub's disambiguation rule for repeated
+// headings: the second occurrence of a slug gets a -1 suffix, the
+// third -2, and so on.
+func headingAnchors(raw string) map[string]bool {
+	set := map[string]bool{}
+	count := map[string]int{}
+	for _, m := range mdHeading.FindAllStringSubmatch(raw, -1) {
+		slug := anchorSlug(m[1])
+		if n := count[slug]; n > 0 {
+			set[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			set[slug] = true
+		}
+		count[slug]++
+	}
+	return set
+}
+
+func TestHeadingAnchorDuplicates(t *testing.T) {
+	got := headingAnchors("# Setup\n\n## Example\n\ntext\n\n## Example\n\n## Example\n\n## Tear Down\n")
+	for _, want := range []string{"setup", "example", "example-1", "example-2", "tear-down"} {
+		if !got[want] {
+			t.Errorf("anchor %q missing from %v", want, got)
+		}
+	}
+	if got["example-3"] {
+		t.Error("anchor example-3 should not exist for three occurrences")
 	}
 }
 

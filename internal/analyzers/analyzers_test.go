@@ -254,6 +254,17 @@ func fine(st storage.Store) int { return st.Scan(1) }
 	wantDiags(t, got)
 }
 
+func TestRawStoreSuppression(t *testing.T) {
+	got := check(t, "repro/internal/exec", `package exec
+import "repro/internal/storage"
+func calibrate(d *storage.Dense) int {
+	//seqvet:ignore rawstore calibration loop measures the raw store on purpose
+	return d.Scan(1)
+}
+`)
+	wantDiags(t, got)
+}
+
 func TestStatsAtomic(t *testing.T) {
 	got := check(t, "repro/internal/demo", `package demo
 import "repro/internal/storage"
@@ -270,6 +281,17 @@ func bad(s *storage.Stats) *storage.Counter {
 	wantDiags(t, got,
 		"statsatomic: storage.Stats.SeqPages used outside an atomic method call",
 		"statsatomic: storage.Stats.RandPages used outside an atomic method call")
+}
+
+func TestStatsAtomicSuppression(t *testing.T) {
+	got := check(t, "repro/internal/demo", `package demo
+import "repro/internal/storage"
+func snapshot(s *storage.Stats) storage.Counter {
+	//seqvet:ignore statsatomic single-threaded test helper reads the raw counter
+	return s.SeqPages
+}
+`)
+	wantDiags(t, got)
 }
 
 // TestSeqvetOnRepository is the integration test: the built tool, driven

@@ -1,0 +1,253 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// EpochPin enforces the two epoch disciplines the MVCC layer's
+// correctness hangs on (docs/INVARIANTS.md, "publish-then-advance" and
+// "pinned readers"):
+//
+//  1. Every EpochTracker.Pin() acquisition must be released: the
+//     statement taking the pin must be followed, in the same block, by
+//     `defer tracker.Release(...)` before any branch, or by an
+//     unconditional tracker.Release(...) later in the same block (the
+//     dominating-release shape). A pin whose release sits inside an if
+//     or a loop leaks readers on the paths around it, and a leaked pin
+//     blocks MVCC garbage collection forever.
+//
+//  2. EpochTracker.AdvanceTo may only be called while the writer mutex
+//     declared by a module annotation
+//
+//     //seqvet:epochpin advance-under server.Server.wmu
+//
+//     is held, and only after at least one preceding call in the same
+//     function (the page publish) — advancing the epoch before the new
+//     page versions are published would let a concurrent reader pin the
+//     new epoch and miss the pages, violating snapshot isolation
+//     (Thm. 3.1's cache-consistency argument).
+//
+// Pins held in struct fields or returned to callers are not modeled;
+// such a design would need an explicit //seqvet:ignore with its reason.
+var EpochPin = &GlobalAnalyzer{
+	Name: "epochpin",
+	Doc:  "EpochTracker pins released on every path; AdvanceTo only under the declared writer mutex",
+	Run:  runEpochPin,
+}
+
+const epochpinMarker = "//seqvet:epochpin "
+
+func runEpochPin(prog *Program) {
+	li := prog.locks()
+	gates := parseEpochGates(prog, li)
+
+	// Discipline 2: AdvanceTo under the declared gate, after a publish.
+	for _, sum := range li.all {
+		sawCall := false
+		for _, ev := range sum.events {
+			if ev.kind != evCall {
+				continue
+			}
+			fn, ok := ev.callee.(*types.Func)
+			if !ok || !isEpochTrackerMethod(fn, "AdvanceTo") {
+				sawCall = true
+				continue
+			}
+			if len(gates) > 0 && !holdsAny(ev.held, gates) {
+				prog.report(ev.pos, "epochpin: EpochTracker.AdvanceTo called without holding the declared writer mutex (%s)", joinIDs(gates, ", "))
+			}
+			if !sawCall {
+				prog.report(ev.pos, "epochpin: EpochTracker.AdvanceTo is the first call in %s — the epoch must advance only after the page publish", sum.name)
+			}
+			sawCall = true
+		}
+	}
+
+	// Discipline 1: Pin paired with defer/dominating Release. This is a
+	// block-structure check, so it walks the AST rather than the event
+	// stream.
+	for _, sum := range li.all {
+		checkPins(prog, sum)
+	}
+}
+
+// parseEpochGates collects the `advance-under` annotations.
+func parseEpochGates(prog *Program, li *lockInfo) []mutexID {
+	var gates []mutexID
+	for _, pass := range prog.Pkgs {
+		for _, f := range pass.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, epochpinMarker) {
+						continue
+					}
+					rest := strings.TrimSpace(strings.TrimPrefix(c.Text, epochpinMarker))
+					fields := strings.Fields(rest)
+					if len(fields) != 2 || fields[0] != "advance-under" {
+						prog.report(c.Pos(), "epochpin: malformed annotation %q (want `advance-under pkg.Type.field`)", rest)
+						continue
+					}
+					m := mutexID(fields[1])
+					if _, ok := li.mutexes[m]; !ok {
+						prog.report(c.Pos(), "epochpin: annotation names unknown mutex %s", m)
+						continue
+					}
+					gates = append(gates, m)
+				}
+			}
+		}
+	}
+	return gates
+}
+
+func holdsAny(held []mutexID, want []mutexID) bool {
+	for _, h := range held {
+		for _, w := range want {
+			if h == w {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isEpochTrackerMethod reports whether fn is storage.EpochTracker's
+// method named name.
+func isEpochTrackerMethod(fn *types.Func, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return namedFrom(sig.Recv().Type(), "repro/internal/storage", "EpochTracker")
+}
+
+// checkPins walks one function body looking for Pin acquisitions and
+// their releases.
+func checkPins(prog *Program, sum *funcSummary) {
+	var walkBlock func(list []ast.Stmt)
+	walkBlock = func(list []ast.Stmt) {
+		for i, s := range list {
+			// Recurse into nested blocks first; a pin taken inside an if
+			// body must be released inside that body.
+			switch st := s.(type) {
+			case *ast.BlockStmt:
+				walkBlock(st.List)
+				continue
+			case *ast.IfStmt:
+				walkBlock(st.Body.List)
+				if b, ok := st.Else.(*ast.BlockStmt); ok {
+					walkBlock(b.List)
+				}
+				continue
+			case *ast.ForStmt:
+				walkBlock(st.Body.List)
+				continue
+			case *ast.RangeStmt:
+				walkBlock(st.Body.List)
+				continue
+			case *ast.SwitchStmt:
+				for _, cc := range st.Body.List {
+					if c, ok := cc.(*ast.CaseClause); ok {
+						walkBlock(c.Body)
+					}
+				}
+				continue
+			case *ast.TypeSwitchStmt:
+				for _, cc := range st.Body.List {
+					if c, ok := cc.(*ast.CaseClause); ok {
+						walkBlock(c.Body)
+					}
+				}
+				continue
+			case *ast.SelectStmt:
+				for _, cc := range st.Body.List {
+					if c, ok := cc.(*ast.CommClause); ok {
+						walkBlock(c.Body)
+					}
+				}
+				continue
+			}
+			recv, call := pinCallIn(sum.pass, s)
+			if call == nil {
+				continue
+			}
+			if !releasedAfter(sum.pass, list[i+1:], recv) {
+				prog.report(call.Pos(), "epochpin: EpochTracker.Pin acquisition is not released on every path — pair it with `defer %s.Release(...)` in the next statement or an unconditional Release in the same block", recv)
+			}
+		}
+	}
+	walkBlock(sum.body.List)
+}
+
+// pinCallIn finds a Pin() call on an EpochTracker inside statement s
+// (excluding nested function literals) and returns the printed receiver
+// expression and the call.
+func pinCallIn(pass *Pass, s ast.Stmt) (string, *ast.CallExpr) {
+	var recv string
+	var found *ast.CallExpr
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found != nil {
+			return found == nil
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && isEpochTrackerMethod(fn, "Pin") {
+			recv = types.ExprString(sel.X)
+			found = call
+			return false
+		}
+		return true
+	})
+	return recv, found
+}
+
+// releasedAfter reports whether the statements following the pin
+// contain, before any return or branch into other control flow, either
+// a `defer recv.Release(...)` or an unconditional `recv.Release(...)`.
+func releasedAfter(pass *Pass, rest []ast.Stmt, recv string) bool {
+	for _, s := range rest {
+		switch st := s.(type) {
+		case *ast.DeferStmt:
+			if isReleaseCall(pass, st.Call, recv) {
+				return true
+			}
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok && isReleaseCall(pass, call, recv) {
+				return true
+			}
+		case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
+			// Straight-line statements cannot skip the release; keep
+			// scanning.
+		case *ast.ReturnStmt:
+			return false
+		default:
+			// A branch (if/for/switch/goto/…) before the release means
+			// some path may leave the block with the pin held.
+			return false
+		}
+	}
+	return false
+}
+
+func isReleaseCall(pass *Pass, call *ast.CallExpr, recv string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || !isEpochTrackerMethod(fn, "Release") {
+		return false
+	}
+	return types.ExprString(sel.X) == recv
+}

@@ -1,0 +1,153 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Program is the whole-module view a global analyzer inspects: every
+// module package, parsed and type-checked together so types.Object
+// identities are shared across package boundaries and an analyzer can
+// follow a call from internal/server into internal/storage. cmd/seqvet
+// builds one in -global mode (see cmd/seqvet/global.go); the fixture
+// tests build small ones from in-memory sources.
+type Program struct {
+	Fset *token.FileSet
+	// Dir is the module root; wiredoc resolves docs/PROTOCOL.md
+	// relative to it.
+	Dir string
+	// Pkgs holds one Pass per module package, in dependency order
+	// (imported packages first).
+	Pkgs []*Pass
+
+	diags    []Diagnostic
+	suppress map[suppressKey]bool
+	badSupp  []Diagnostic
+
+	li *lockInfo // lazily built lock/call summaries, shared by analyzers
+}
+
+// NewProgram assembles a Program from per-package passes. The passes
+// must share fset and be listed in dependency order.
+func NewProgram(fset *token.FileSet, dir string, pkgs []*Pass) *Program {
+	return &Program{Fset: fset, Dir: dir, Pkgs: pkgs}
+}
+
+// GlobalAnalyzer is one whole-program check. Unlike an Analyzer it sees
+// every module package at once; it runs only under `seqvet -global`,
+// never under the per-package `go vet -vettool` protocol.
+type GlobalAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Program)
+}
+
+// AllGlobal returns every whole-program analyzer, in reporting order.
+func AllGlobal() []*GlobalAnalyzer {
+	return []*GlobalAnalyzer{LockOrder, EpochPin, GoExit, WireDoc}
+}
+
+func (p *Program) report(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// locks returns the program's lock/call summaries, built on first use.
+// lockorder, epochpin and goexit all read them.
+func (p *Program) locks() *lockInfo {
+	if p.li == nil {
+		p.li = buildLockInfo(p)
+	}
+	return p.li
+}
+
+// RunGlobal executes the per-package analyzers over every pass and the
+// global analyzers over the whole program, returning the surviving
+// diagnostics sorted by position. Suppressions (//seqvet:ignore) work
+// exactly as in per-package mode; bad suppressions are reported once.
+func RunGlobal(prog *Program, locals []*Analyzer, globals []*GlobalAnalyzer) []Diagnostic {
+	prog.suppress = make(map[suppressKey]bool)
+	var kept []Diagnostic
+	for _, pass := range prog.Pkgs {
+		pass.diags = nil
+		pass.badSupp = nil
+		for _, d := range Run(pass, locals) {
+			kept = append(kept, d)
+		}
+		for k, v := range pass.suppress {
+			prog.suppress[k] = v
+		}
+	}
+	for _, a := range globals {
+		prev := len(prog.diags)
+		a.Run(prog)
+		for i := prev; i < len(prog.diags); i++ {
+			prog.diags[i].Analyzer = a.Name
+		}
+	}
+	kept = append(kept, prog.badSupp...)
+	for _, d := range prog.diags {
+		pos := prog.Fset.Position(d.Pos)
+		if !prog.suppress[suppressKey{pos.Filename, pos.Line, d.Analyzer}] {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		pi, pj := prog.Fset.Position(kept[i].Pos), prog.Fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return kept[i].Message < kept[j].Message
+	})
+	return kept
+}
+
+// FilterNames resolves -only/-skip selections against the known
+// analyzer names (the union of per-package and global analyzers) and
+// returns the set to run. Empty only means "all"; skip wins over only.
+func FilterNames(known []string, only, skip string) (map[string]bool, error) {
+	isKnown := make(map[string]bool, len(known))
+	for _, n := range known {
+		isKnown[n] = true
+	}
+	split := func(list string) ([]string, error) {
+		var out []string
+		for _, n := range strings.Split(list, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if !isKnown[n] {
+				return nil, fmt.Errorf("unknown analyzer %q (have %s)", n, strings.Join(known, ", "))
+			}
+			out = append(out, n)
+		}
+		return out, nil
+	}
+	keep := make(map[string]bool, len(known))
+	if only == "" {
+		for _, n := range known {
+			keep[n] = true
+		}
+	} else {
+		names, err := split(only)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range names {
+			keep[n] = true
+		}
+	}
+	skipped, err := split(skip)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range skipped {
+		delete(keep, n)
+	}
+	return keep, nil
+}

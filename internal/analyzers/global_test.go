@@ -1,0 +1,498 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The whole-program fixtures type-check several small packages together
+// so the analyzers can follow calls across package boundaries, exactly
+// as `seqvet -global` does on the real module. sync is stubbed: the
+// analyzers only match sync.Mutex/RWMutex/WaitGroup by name and path.
+const fakeSync = `package sync
+type Mutex struct{ state int }
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+type RWMutex struct{ state int }
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}
+type WaitGroup struct{ state int }
+func (w *WaitGroup) Add(delta int) {}
+func (w *WaitGroup) Done()         {}
+func (w *WaitGroup) Wait()         {}
+`
+
+// fakeEpoch stands in for the real EpochTracker; epochpin matches its
+// methods by receiver type and package path.
+const fakeEpoch = `package storage
+type EpochTracker struct{ cur int64 }
+func (t *EpochTracker) Pin() int64        { return t.cur }
+func (t *EpochTracker) Release(e int64)   {}
+func (t *EpochTracker) AdvanceTo(e int64) {}
+func (t *EpochTracker) Current() int64    { return t.cur }
+`
+
+type fakePkg struct {
+	path string
+	src  string
+}
+
+// checkGlobal type-checks the fake packages in order (dependencies
+// first), assembles a Program from the module-path ("repro/...") ones,
+// and runs the single given whole-program analyzer, returning rendered
+// "line: analyzer: message" strings. dir becomes Program.Dir (wiredoc
+// resolves docs/PROTOCOL.md under it; the other analyzers ignore it).
+func checkGlobal(t *testing.T, dir string, ga *GlobalAnalyzer, pkgs ...fakePkg) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	checked := map[string]*types.Package{}
+	imp := importerFn(func(path string) (*types.Package, error) {
+		if p, ok := checked[path]; ok {
+			return p, nil
+		}
+		if path == "sync" {
+			f, err := parser.ParseFile(fset, "sync/sync.go", fakeSync, 0)
+			if err != nil {
+				return nil, err
+			}
+			p, err := (&types.Config{}).Check("sync", fset, []*ast.File{f}, nil)
+			if err != nil {
+				return nil, err
+			}
+			checked["sync"] = p
+			return p, nil
+		}
+		return nil, fmt.Errorf("unknown test import %q", path)
+	})
+	var passes []*Pass
+	for _, fp := range pkgs {
+		f, err := parser.ParseFile(fset, fp.path+"/fix.go", fp.src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", fp.path, err)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		pkg, err := (&types.Config{Importer: imp}).Check(fp.path, fset, []*ast.File{f}, info)
+		if err != nil {
+			t.Fatalf("typecheck %s: %v", fp.path, err)
+		}
+		checked[fp.path] = pkg
+		if strings.HasPrefix(fp.path, "repro") {
+			passes = append(passes, &Pass{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info})
+		}
+	}
+	prog := NewProgram(fset, dir, passes)
+	var out []string
+	for _, d := range RunGlobal(prog, nil, []*GlobalAnalyzer{ga}) {
+		out = append(out, fmt.Sprintf("%d: %s: %s", fset.Position(d.Pos).Line, d.Analyzer, d.Message))
+	}
+	return out
+}
+
+// ---- lockorder ----
+
+func TestLockOrderClean(t *testing.T) {
+	got := checkGlobal(t, "", LockOrder, fakePkg{"repro/internal/demo", `package demo
+import "sync"
+//seqvet:lockorder demo.S.a < demo.S.b
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+func (s *S) straight() {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+func (s *S) nested() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.locked()
+}
+func (s *S) locked() {
+	s.b.Lock()
+	defer s.b.Unlock()
+}
+`})
+	wantDiags(t, got)
+}
+
+func TestLockOrderViolations(t *testing.T) {
+	got := checkGlobal(t, "", LockOrder, fakePkg{"repro/internal/demo", `package demo
+import "sync"
+//seqvet:lockorder demo.S.a < demo.S.b
+//seqvet:lockorder leaf demo.S.l
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+	l sync.Mutex
+}
+func (s *S) inverted() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+func (s *S) reentrant() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.again()
+}
+func (s *S) again() {
+	s.a.Lock()
+	defer s.a.Unlock()
+}
+func (s *S) underLeaf() {
+	s.l.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.l.Unlock()
+}
+`})
+	wantDiags(t, got,
+		"lockorder: lock order: demo.S.a acquired while holding demo.S.b but no //seqvet:lockorder path demo.S.b < demo.S.a is declared",
+		"lockorder: lock order: demo.S.a acquired while already held (via call to demo.(S).again) (self-deadlock)",
+		"lockorder: lock order: demo.S.b acquired while holding demo.S.l, which is declared leaf")
+}
+
+func TestLockOrderCoverageAndAnnotations(t *testing.T) {
+	got := checkGlobal(t, "", LockOrder, fakePkg{"repro/internal/demo", `package demo
+import "sync"
+//seqvet:lockorder demo.S.a < demo.S.b
+//seqvet:lockorder demo.S.b < demo.S.a
+//seqvet:lockorder demo.S.x < demo.S.a
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+	c sync.Mutex
+}
+`})
+	wantDiags(t, got,
+		"lockorder: lock order: declared order has a cycle: demo.S.a < demo.S.b < demo.S.a",
+		"lockorder: lock order: annotation names unknown mutex demo.S.x",
+		"lockorder: lock order: mutex demo.S.c is not covered by any //seqvet:lockorder annotation")
+}
+
+func TestLockOrderSuppression(t *testing.T) {
+	got := checkGlobal(t, "", LockOrder, fakePkg{"repro/internal/demo", `package demo
+import "sync"
+//seqvet:lockorder demo.S.a < demo.S.b
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+func (s *S) inverted() {
+	s.b.Lock()
+	//seqvet:ignore lockorder fixture exercises the suppression drill
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+`})
+	wantDiags(t, got)
+}
+
+// ---- epochpin ----
+
+func TestEpochPinClean(t *testing.T) {
+	got := checkGlobal(t, "", EpochPin,
+		fakePkg{"repro/internal/storage", fakeEpoch},
+		fakePkg{"repro/internal/demo", `package demo
+import (
+	"repro/internal/storage"
+	"sync"
+)
+//seqvet:epochpin advance-under demo.W.wmu
+type W struct {
+	wmu sync.Mutex
+	tr  *storage.EpochTracker
+}
+func (w *W) read() int64 {
+	e := w.tr.Pin()
+	defer w.tr.Release(e)
+	return e
+}
+func (w *W) write() {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	w.publish()
+	w.tr.AdvanceTo(1)
+}
+func (w *W) publish() {}
+`})
+	wantDiags(t, got)
+}
+
+func TestEpochPinLeakedPin(t *testing.T) {
+	got := checkGlobal(t, "", EpochPin,
+		fakePkg{"repro/internal/storage", fakeEpoch},
+		fakePkg{"repro/internal/demo", `package demo
+import "repro/internal/storage"
+type W struct {
+	tr *storage.EpochTracker
+}
+func (w *W) leak(cond bool) int64 {
+	e := w.tr.Pin()
+	if cond {
+		return 0
+	}
+	w.tr.Release(e)
+	return e
+}
+`})
+	wantDiags(t, got,
+		"epochpin: EpochTracker.Pin acquisition is not released on every path")
+}
+
+func TestEpochPinAdvanceViolations(t *testing.T) {
+	got := checkGlobal(t, "", EpochPin,
+		fakePkg{"repro/internal/storage", fakeEpoch},
+		fakePkg{"repro/internal/demo", `package demo
+import (
+	"repro/internal/storage"
+	"sync"
+)
+//seqvet:epochpin advance-under demo.W.wmu
+type W struct {
+	wmu sync.Mutex
+	tr  *storage.EpochTracker
+}
+func (w *W) bare() {
+	w.prep()
+	w.tr.AdvanceTo(1)
+}
+func (w *W) first() {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	w.tr.AdvanceTo(1)
+}
+func (w *W) prep() {}
+`})
+	wantDiags(t, got,
+		"epochpin: EpochTracker.AdvanceTo called without holding the declared writer mutex (demo.W.wmu)",
+		"epochpin: EpochTracker.AdvanceTo is the first call in demo.(*W).first")
+}
+
+func TestEpochPinSuppression(t *testing.T) {
+	got := checkGlobal(t, "", EpochPin,
+		fakePkg{"repro/internal/storage", fakeEpoch},
+		fakePkg{"repro/internal/demo", `package demo
+import "repro/internal/storage"
+type W struct {
+	tr *storage.EpochTracker
+}
+func (w *W) handoff() int64 {
+	//seqvet:ignore epochpin pin ownership moves to the caller
+	e := w.tr.Pin()
+	return e
+}
+`})
+	wantDiags(t, got)
+}
+
+// ---- goexit ----
+
+func TestGoExitClean(t *testing.T) {
+	got := checkGlobal(t, "", GoExit, fakePkg{"repro/internal/server", `package server
+import "sync"
+type S struct{ wg sync.WaitGroup }
+func (s *S) run() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+	}()
+	s.wg.Add(1)
+	go s.loop()
+}
+func (s *S) loop() {
+	defer s.wg.Done()
+}
+`})
+	wantDiags(t, got)
+}
+
+func TestGoExitViolations(t *testing.T) {
+	got := checkGlobal(t, "", GoExit, fakePkg{"repro/internal/server", `package server
+import "sync"
+type S struct{ wg sync.WaitGroup }
+func (s *S) noAdd() {
+	go s.loop()
+}
+func (s *S) noDone() {
+	s.wg.Add(1)
+	go func() {}()
+}
+func (s *S) dynamic(f func()) {
+	s.wg.Add(1)
+	go f()
+}
+func (s *S) loop() {
+	defer s.wg.Done()
+}
+`})
+	wantDiags(t, got,
+		"goexit: go statement in server.(*S).noAdd has no preceding WaitGroup.Add",
+		"goexit: goroutine body server.(*S).noDone.func does not `defer wg.Done()`",
+		"goexit: go statement in server.(*S).dynamic spawns a dynamically resolved function")
+}
+
+func TestGoExitOtherPackagesExempt(t *testing.T) {
+	// The rule binds internal/server and internal/storage only; other
+	// packages (e.g. internal/parallel's worker pools) manage goroutine
+	// lifecycles their own way.
+	got := checkGlobal(t, "", GoExit, fakePkg{"repro/internal/demo", `package demo
+func fireAndForget() {
+	go func() {}()
+}
+`})
+	wantDiags(t, got)
+}
+
+func TestGoExitSuppression(t *testing.T) {
+	got := checkGlobal(t, "", GoExit, fakePkg{"repro/internal/server", `package server
+func detach() {
+	//seqvet:ignore goexit tracked by the connection registry, reaped in Close
+	go func() {}()
+}
+`})
+	wantDiags(t, got)
+}
+
+// ---- wiredoc ----
+
+const fakeWire = `package wire
+type Type uint8
+const THello Type = 0x01
+const TReady Type = 0x82
+type ErrorCode uint16
+const CodeProtocol ErrorCode = 1
+func (c ErrorCode) String() string {
+	switch c {
+	case CodeProtocol:
+		return "protocol"
+	}
+	return "unknown"
+}
+type Message interface{ M() }
+type typeInfo struct {
+	Code Type
+	Name string
+	New  func() Message
+}
+var registry = []typeInfo{
+	{THello, "Hello", nil},
+	{TReady, "Ready", nil},
+}
+`
+
+func writeProtocolDoc(t *testing.T, dir, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Join(dir, "docs"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "docs", "PROTOCOL.md"), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireDocClean(t *testing.T) {
+	dir := t.TempDir()
+	writeProtocolDoc(t, dir, "# Protocol\n\n"+
+		"| `0x01` | `Hello` | client |\n"+
+		"| `0x82` | `Ready` | server |\n\n"+
+		"| `1` | `protocol` | malformed frame |\n")
+	wantDiags(t, checkGlobal(t, dir, WireDoc, fakePkg{"repro/internal/wire", fakeWire}))
+}
+
+func TestWireDocDrift(t *testing.T) {
+	dir := t.TempDir()
+	// Ready is undocumented, 0x83 is documented but unimplemented, and
+	// code 1 is documented under the wrong name.
+	writeProtocolDoc(t, dir, "# Protocol\n\n"+
+		"| `0x01` | `Hello` | client |\n"+
+		"| `0x83` | `Error` | server |\n\n"+
+		"| `1` | `version` | wrong name |\n")
+	got := checkGlobal(t, dir, WireDoc, fakePkg{"repro/internal/wire", fakeWire})
+	wantDiags(t, got,
+		"wiredoc: docs/PROTOCOL.md:4 documents type 0x83 (Error) but the wire registry does not implement it",
+		`wiredoc: error code 1 is named "protocol" by ErrorCode.String but "version" in docs/PROTOCOL.md:6`,
+		"wiredoc: registered type 0x82 (Ready) has no row in the docs/PROTOCOL.md message tables")
+}
+
+func TestWireDocMissingDoc(t *testing.T) {
+	got := checkGlobal(t, t.TempDir(), WireDoc, fakePkg{"repro/internal/wire", fakeWire})
+	wantDiags(t, got, "wiredoc: cannot read")
+}
+
+func TestWireDocSuppression(t *testing.T) {
+	dir := t.TempDir()
+	writeProtocolDoc(t, dir, "| `0x01` | `Hello` | client |\n\n| `1` | `protocol` | ok |\n")
+	got := checkGlobal(t, dir, WireDoc, fakePkg{"repro/internal/wire", `package wire
+type Type uint8
+const THello Type = 0x01
+const TReady Type = 0x82
+type ErrorCode uint16
+const CodeProtocol ErrorCode = 1
+func (c ErrorCode) String() string {
+	switch c {
+	case CodeProtocol:
+		return "protocol"
+	}
+	return "unknown"
+}
+type Message interface{ M() }
+type typeInfo struct {
+	Code Type
+	Name string
+	New  func() Message
+}
+var registry = []typeInfo{
+	{THello, "Hello", nil},
+	//seqvet:ignore wiredoc internal-only frame, deliberately unspecified
+	{TReady, "Ready", nil},
+}
+`})
+	wantDiags(t, got)
+}
+
+// ---- -only/-skip selection ----
+
+func TestFilterNames(t *testing.T) {
+	known := []string{"a", "b", "c"}
+	all, err := FilterNames(known, "", "")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("empty selection = %v, %v; want all 3", all, err)
+	}
+	only, err := FilterNames(known, "a,b", "")
+	if err != nil || !only["a"] || !only["b"] || only["c"] {
+		t.Fatalf("-only=a,b = %v, %v", only, err)
+	}
+	skipWins, err := FilterNames(known, "a,b", "b")
+	if err != nil || !skipWins["a"] || skipWins["b"] {
+		t.Fatalf("-only=a,b -skip=b = %v, %v", skipWins, err)
+	}
+	skipped, err := FilterNames(known, "", "c")
+	if err != nil || !skipped["a"] || !skipped["b"] || skipped["c"] {
+		t.Fatalf("-skip=c = %v, %v", skipped, err)
+	}
+	if _, err := FilterNames(known, "nosuch", ""); err == nil {
+		t.Fatal("-only=nosuch should be rejected")
+	}
+	if _, err := FilterNames(known, "", "nosuch"); err == nil {
+		t.Fatal("-skip=nosuch should be rejected")
+	}
+}

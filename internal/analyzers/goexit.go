@@ -1,0 +1,73 @@
+package analyzers
+
+// GoExit forbids leakable goroutines in the concurrency-bearing
+// packages: every `go` statement in internal/server and
+// internal/storage must be tied to a sync.WaitGroup — an Add call
+// earlier in the spawning function and a deferred Done inside the
+// spawned body (directly for a `go func(){…}()` literal, or in the
+// statically resolved callee for `go s.gcLoop()`). This is the
+// tracking Server.Close relies on: wg.Wait can only mean "all
+// goroutines finished" if every spawn is counted and every exit
+// decrements.
+//
+// A goroutine with different lifecycle management (e.g. tracked by a
+// connection registry alone) needs a //seqvet:ignore goexit with the
+// reason spelled out.
+var GoExit = &GlobalAnalyzer{
+	Name: "goexit",
+	Doc:  "every go statement in internal/server and internal/storage is WaitGroup-tracked",
+	Run:  runGoExit,
+}
+
+// goExitPkgs are the packages under the no-leakable-goroutines rule.
+// internal/parallel manages its workers with its own barrier and is
+// exercised by its race-mode tests; the server/storage layer is where a
+// leaked goroutine outlives Close and corrupts shutdown.
+var goExitPkgs = map[string]bool{
+	"repro/internal/server":  true,
+	"repro/internal/storage": true,
+}
+
+func runGoExit(prog *Program) {
+	li := prog.locks()
+	for _, sum := range li.all {
+		if !goExitPkgs[sum.pkg] {
+			continue
+		}
+		sawAdd := false
+		for _, ev := range sum.events {
+			switch ev.kind {
+			case evWGAdd:
+				sawAdd = true
+			case evGo:
+				if !sawAdd {
+					prog.report(ev.pos, "goexit: go statement in %s has no preceding WaitGroup.Add in the spawning function", sum.name)
+					continue
+				}
+				var target *funcSummary
+				switch {
+				case ev.goLit != nil:
+					target = li.lits[ev.goLit]
+				case ev.callee != nil:
+					target = li.funcs[ev.callee]
+				}
+				if target == nil {
+					prog.report(ev.pos, "goexit: go statement in %s spawns a dynamically resolved function — cannot prove it signals WaitGroup.Done", sum.name)
+					continue
+				}
+				if !hasDeferredDone(target) {
+					prog.report(ev.pos, "goexit: goroutine body %s does not `defer wg.Done()` — it can exit untracked", target.name)
+				}
+			}
+		}
+	}
+}
+
+func hasDeferredDone(sum *funcSummary) bool {
+	for _, ev := range sum.events {
+		if ev.kind == evWGDone {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,271 @@
+package analyzers
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// LockOrder verifies the module's static lock-acquisition graph against
+// a declared partial order. The order is written in machine-readable
+// annotations anywhere in the module:
+//
+//	//seqvet:lockorder server.Server.wmu < server.Server.mu
+//	//seqvet:lockorder leaf storage.EpochTracker.mu
+//
+// `a < b` declares that a may be held while b is acquired; `leaf a`
+// declares that nothing may be acquired while a is held. The relation
+// is transitive: with wmu < mu and mu < Versioned.mu declared,
+// acquiring Versioned.mu under wmu is allowed.
+//
+// The analyzer reports:
+//   - a named mutex never mentioned in any annotation (the order must
+//     cover every mutex, so adding a lock forces a decision about its
+//     rank);
+//   - a cycle in the declared order, or a leaf with an outgoing edge;
+//   - acquiring b while holding a without a declared path a < b —
+//     including a == b, the self-deadlock, and acquisitions under a
+//     declared leaf;
+//   - a call made under a held lock into a function that transitively
+//     acquires a lock the held set does not permit (the shape
+//     Server.Close almost had: closing connections under connMu while
+//     handlers re-enter untrack).
+var LockOrder = &GlobalAnalyzer{
+	Name: "lockorder",
+	Doc:  "verify mutex acquisitions against the declared //seqvet:lockorder partial order",
+	Run:  runLockOrder,
+}
+
+const lockorderMarker = "//seqvet:lockorder "
+
+// lockOrderDecl is the parsed annotation set.
+type lockOrderDecl struct {
+	edges     map[mutexID]map[mutexID]token.Pos // a -> b -> decl pos
+	leaves    map[mutexID]token.Pos
+	mentioned map[mutexID]bool
+}
+
+func runLockOrder(prog *Program) {
+	li := prog.locks()
+	decl := parseLockOrder(prog, li)
+
+	// Structural validation: leaves must not have outgoing edges, and
+	// the declared order must be acyclic (an order with a cycle permits
+	// the deadlock it exists to prevent).
+	for a, pos := range decl.leaves {
+		if len(decl.edges[a]) > 0 {
+			prog.report(pos, "lock order: %s is declared leaf but also has outgoing edges", a)
+		}
+	}
+	if cycle := findCycle(decl.edges); cycle != nil {
+		pos := decl.edges[cycle[0]][cycle[1]]
+		prog.report(pos, "lock order: declared order has a cycle: %s", joinIDs(cycle, " < "))
+	}
+
+	// Coverage: every named mutex in the module must appear in some
+	// annotation.
+	var uncovered []mutexID
+	for m := range li.mutexes {
+		if !decl.mentioned[m] {
+			uncovered = append(uncovered, m)
+		}
+	}
+	sort.Slice(uncovered, func(i, j int) bool { return uncovered[i] < uncovered[j] })
+	for _, m := range uncovered {
+		prog.report(li.mutexes[m], "lock order: mutex %s is not covered by any //seqvet:lockorder annotation (declare an edge or `leaf %s`)", m, m)
+	}
+
+	allows := decl.reachability()
+
+	check := func(pos token.Pos, held []mutexID, acquired mutexID, via string) {
+		for _, h := range held {
+			_, isLeaf := decl.leaves[h]
+			switch {
+			case h == acquired:
+				prog.report(pos, "lock order: %s acquired while already held%s (self-deadlock)", acquired, via)
+			case isLeaf:
+				prog.report(pos, "lock order: %s acquired while holding %s, which is declared leaf%s", acquired, h, via)
+			case !allows[h][acquired]:
+				prog.report(pos, "lock order: %s acquired while holding %s but no //seqvet:lockorder path %s < %s is declared%s", acquired, h, h, acquired, via)
+			}
+		}
+	}
+
+	for _, sum := range li.all {
+		for _, ev := range sum.events {
+			if len(ev.held) == 0 {
+				continue
+			}
+			switch ev.kind {
+			case evLock:
+				check(ev.pos, ev.held, ev.mutex, "")
+			case evCall:
+				callee := li.summaryFor(ev)
+				if callee == nil {
+					continue
+				}
+				for _, m := range sortedIDs(callee.trans) {
+					check(ev.pos, ev.held, m, " (via call to "+ev.calleeName+")")
+				}
+			}
+		}
+	}
+}
+
+// summaryFor resolves a call event to the callee's summary, if its body
+// is part of the module.
+func (li *lockInfo) summaryFor(ev event) *funcSummary {
+	if ev.callee != nil {
+		return li.funcs[ev.callee]
+	}
+	return nil
+}
+
+func parseLockOrder(prog *Program, li *lockInfo) *lockOrderDecl {
+	decl := &lockOrderDecl{
+		edges:     make(map[mutexID]map[mutexID]token.Pos),
+		leaves:    make(map[mutexID]token.Pos),
+		mentioned: make(map[mutexID]bool),
+	}
+	known := func(pos token.Pos, m mutexID) bool {
+		if _, ok := li.mutexes[m]; !ok {
+			prog.report(pos, "lock order: annotation names unknown mutex %s (named mutexes are pkg.Type.field or pkg.var)", m)
+			return false
+		}
+		decl.mentioned[m] = true
+		return true
+	}
+	for _, pass := range prog.Pkgs {
+		for _, f := range pass.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, lockorderMarker) {
+						continue
+					}
+					rest := strings.TrimSpace(strings.TrimPrefix(c.Text, lockorderMarker))
+					fields := strings.Fields(rest)
+					switch {
+					case len(fields) == 2 && fields[0] == "leaf":
+						m := mutexID(fields[1])
+						if known(c.Pos(), m) {
+							decl.leaves[m] = c.Pos()
+						}
+					case len(fields) == 3 && fields[1] == "<":
+						a, b := mutexID(fields[0]), mutexID(fields[2])
+						if a == b {
+							prog.report(c.Pos(), "lock order: self-edge %s < %s is meaningless", a, b)
+							continue
+						}
+						if known(c.Pos(), a) && known(c.Pos(), b) {
+							if decl.edges[a] == nil {
+								decl.edges[a] = make(map[mutexID]token.Pos)
+							}
+							decl.edges[a][b] = c.Pos()
+						}
+					default:
+						prog.report(c.Pos(), "lock order: malformed annotation %q (want `a < b` or `leaf a`)", rest)
+					}
+				}
+			}
+		}
+	}
+	return decl
+}
+
+// reachability computes the transitive closure of the declared edges.
+func (d *lockOrderDecl) reachability() map[mutexID]map[mutexID]bool {
+	reach := make(map[mutexID]map[mutexID]bool, len(d.edges))
+	for a := range d.edges {
+		seen := make(map[mutexID]bool)
+		stack := []mutexID{a}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for b := range d.edges[n] {
+				if !seen[b] {
+					seen[b] = true
+					stack = append(stack, b)
+				}
+			}
+		}
+		reach[a] = seen
+	}
+	return reach
+}
+
+// findCycle returns some cycle in the edge set as a path [a, b, …, a],
+// or nil.
+func findCycle(edges map[mutexID]map[mutexID]token.Pos) []mutexID {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[mutexID]int)
+	var path []mutexID
+	var dfs func(n mutexID) []mutexID
+	dfs = func(n mutexID) []mutexID {
+		color[n] = gray
+		path = append(path, n)
+		for _, b := range sortedEdgeKeys(edges[n]) {
+			switch color[b] {
+			case gray:
+				for i, p := range path {
+					if p == b {
+						return append(append([]mutexID(nil), path[i:]...), b)
+					}
+				}
+			case white:
+				if c := dfs(b); c != nil {
+					return c
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		color[n] = black
+		return nil
+	}
+	for _, n := range sortedOuterKeys(edges) {
+		if color[n] == white {
+			if c := dfs(n); c != nil {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+func sortedEdgeKeys(m map[mutexID]token.Pos) []mutexID {
+	out := make([]mutexID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedOuterKeys(m map[mutexID]map[mutexID]token.Pos) []mutexID {
+	out := make([]mutexID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedIDs(m map[mutexID]bool) []mutexID {
+	out := make([]mutexID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func joinIDs(s []mutexID, sep string) string {
+	strs := make([]string, len(s))
+	for i, m := range s {
+		strs[i] = string(m)
+	}
+	return strings.Join(strs, sep)
+}

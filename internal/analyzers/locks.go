@@ -1,0 +1,595 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the shared static lock-and-call model behind the
+// whole-program analyzers: a per-function summary of which named
+// mutexes are acquired, which functions are called, and which locks are
+// held at each point. lockorder checks the acquisition graph against
+// the declared partial order, epochpin checks that AdvanceTo only runs
+// under the writer mutex, and goexit reads the go-statement and
+// WaitGroup events.
+//
+// The model is a deliberate approximation — a convention checker, not a
+// verifier:
+//
+//   - Held sets are tracked in source order within each function body.
+//     Lock() adds, Unlock() removes; a deferred Unlock keeps the mutex
+//     held to the end of the function, which matches both repository
+//     idioms (lock/defer-unlock, and lock…unlock straight-line pairs).
+//   - Only named mutexes are modeled: fields of type sync.Mutex or
+//     sync.RWMutex on a named struct (id "pkg.Type.field") and
+//     package-level mutex variables (id "pkg.var"). Local mutexes have
+//     no cross-function aliasing story and are ignored.
+//   - Calls resolve statically: direct function calls and method calls
+//     on concrete receivers. Interface dispatch and calls through
+//     function values are skipped. RLock counts as an acquisition (a
+//     second RLock can deadlock behind a blocked writer).
+//   - A `go` statement does not propagate the caller's held set: the
+//     spawned goroutine blocks, it does not deadlock, as long as the
+//     spawner eventually releases. Its body is summarized separately.
+type lockInfo struct {
+	prog *Program
+	// mutexes maps every named mutex declared in the module to its
+	// declaration position (lockorder's coverage universe).
+	mutexes map[mutexID]token.Pos
+	// funcs indexes summaries by declared function/method object;
+	// lits by function literal.
+	funcs map[types.Object]*funcSummary
+	lits  map[*ast.FuncLit]*funcSummary
+	all   []*funcSummary
+}
+
+// mutexID names a mutex: "pkg.Type.field" for a struct field,
+// "pkg.var" for a package-level variable (pkg is the package base
+// name — unique across this module).
+type mutexID string
+
+type eventKind int
+
+const (
+	evLock   eventKind = iota // acquisition of a named mutex (Lock or RLock)
+	evCall                    // statically resolved call
+	evGo                      // go statement
+	evWGAdd                   // sync.WaitGroup Add
+	evWGDone                  // deferred sync.WaitGroup Done
+)
+
+// event is one point of interest inside a function body, in source
+// order.
+type event struct {
+	kind eventKind
+	pos  token.Pos
+	held []mutexID // locks held when the event fires, acquisition order
+
+	mutex mutexID // evLock
+
+	callee     types.Object // evCall, evGo: static target (nil when unresolvable)
+	calleeName string       // rendering name for diagnostics
+
+	goLit *ast.FuncLit // evGo launching a function literal
+}
+
+// funcSummary is the analysis of one function, method, or function
+// literal body.
+type funcSummary struct {
+	name   string // "server.(*Server).Append", "storage.NewVersioned", …
+	pkg    string // import path
+	pass   *Pass
+	body   *ast.BlockStmt
+	events []event
+	// litCalls records immediately-invoked function literals so trans
+	// propagation can follow them.
+	litCalls []litCall
+	// trans is the set of mutexes this function acquires directly or
+	// through statically resolved calls (go statements excluded).
+	trans map[mutexID]bool
+}
+
+func buildLockInfo(prog *Program) *lockInfo {
+	li := &lockInfo{
+		prog:    prog,
+		mutexes: make(map[mutexID]token.Pos),
+		funcs:   make(map[types.Object]*funcSummary),
+		lits:    make(map[*ast.FuncLit]*funcSummary),
+	}
+	for _, pass := range prog.Pkgs {
+		li.collectMutexDecls(pass)
+	}
+	for _, pass := range prog.Pkgs {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj := pass.Info.Defs[fd.Name]
+				sum := &funcSummary{
+					name: qualifiedName(pass, fd),
+					pkg:  pass.Pkg.Path(),
+					pass: pass,
+					body: fd.Body,
+				}
+				if obj != nil {
+					li.funcs[obj] = sum
+				}
+				li.all = append(li.all, sum)
+				li.walk(sum)
+			}
+		}
+	}
+	li.computeTrans()
+	return li
+}
+
+// collectMutexDecls records every named mutex declared in the package:
+// struct fields and package-level variables of type sync.Mutex or
+// sync.RWMutex.
+func (li *lockInfo) collectMutexDecls(pass *Pass) {
+	for id, obj := range pass.Info.Defs {
+		switch o := obj.(type) {
+		case *types.Var:
+			if !isMutexType(o.Type()) {
+				continue
+			}
+			if o.IsField() {
+				// Only fields of named structs are addressable by the
+				// annotation grammar; the owner is recovered from the
+				// enclosing type declaration below.
+				continue
+			}
+			if o.Parent() == pass.Pkg.Scope() {
+				li.mutexes[mutexID(pass.Pkg.Name()+"."+id.Name)] = id.Pos()
+			}
+		}
+	}
+	// Struct fields: walk type declarations so the owning type name is
+	// in hand (Defs alone does not relate a field to its struct).
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					for _, name := range field.Names {
+						obj := pass.Info.Defs[name]
+						if obj != nil && isMutexType(obj.Type()) {
+							id := mutexID(pass.Pkg.Name() + "." + ts.Name.Name + "." + name.Name)
+							li.mutexes[id] = name.Pos()
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func isMutexType(t types.Type) bool {
+	return namedFrom(t, "sync", "Mutex") || namedFrom(t, "sync", "RWMutex")
+}
+
+func isWaitGroupType(t types.Type) bool {
+	return namedFrom(t, "sync", "WaitGroup")
+}
+
+// qualifiedName renders a function declaration for diagnostics.
+func qualifiedName(pass *Pass, fd *ast.FuncDecl) string {
+	pkg := pass.Pkg.Name()
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return pkg + "." + fd.Name.Name
+	}
+	recv := types.ExprString(fd.Recv.List[0].Type)
+	return fmt.Sprintf("%s.(%s).%s", pkg, recv, fd.Name.Name)
+}
+
+// walk fills sum.events by traversing the body in source order,
+// tracking the held set. Function literals it meets become summaries of
+// their own, analyzed with an empty held set (they run at an unknown
+// time).
+func (li *lockInfo) walk(sum *funcSummary) {
+	var held []mutexID
+
+	snapshot := func() []mutexID {
+		return append([]mutexID(nil), held...)
+	}
+	release := func(m mutexID) {
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i] == m {
+				held = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+
+	var walkStmt func(s ast.Stmt)
+	var scanExpr func(e ast.Expr)
+
+	queueLit := func(lit *ast.FuncLit) *funcSummary {
+		ls := &funcSummary{
+			name: sum.name + ".func",
+			pkg:  sum.pkg,
+			pass: sum.pass,
+			body: lit.Body,
+		}
+		li.lits[lit] = ls
+		li.all = append(li.all, ls)
+		li.walk(ls)
+		return ls
+	}
+
+	// handleCall classifies one call expression after its operands have
+	// been scanned. deferred marks calls in defer statements: a deferred
+	// Unlock does not release (the mutex stays held to function end) and
+	// a deferred WaitGroup.Done is the goexit completion marker.
+	handleCall := func(call *ast.CallExpr, deferred bool) {
+		if m, method, ok := mutexMethod(sum.pass, call); ok {
+			switch method {
+			case "Lock", "RLock":
+				if m != "" {
+					sum.events = append(sum.events, event{
+						kind: evLock, pos: call.Pos(), held: snapshot(), mutex: m,
+					})
+					if !deferred {
+						held = append(held, m)
+					}
+				}
+			case "Unlock", "RUnlock":
+				if m != "" && !deferred {
+					release(m)
+				}
+			}
+			return
+		}
+		if method, ok := waitGroupMethod(sum.pass, call); ok {
+			switch {
+			case method == "Add" && !deferred:
+				sum.events = append(sum.events, event{kind: evWGAdd, pos: call.Pos(), held: snapshot()})
+			case method == "Done" && deferred:
+				sum.events = append(sum.events, event{kind: evWGDone, pos: call.Pos(), held: snapshot()})
+			}
+			return
+		}
+		callee, name := staticCallee(sum.pass, call)
+		if callee == nil && name == "" {
+			return
+		}
+		sum.events = append(sum.events, event{
+			kind: evCall, pos: call.Pos(), held: snapshot(),
+			callee: callee, calleeName: name,
+		})
+	}
+
+	scanCall := func(call *ast.CallExpr, deferred bool) {
+		// Operands first: their nested calls execute before the call.
+		if _, isLit := call.Fun.(*ast.FuncLit); !isLit {
+			scanExpr(call.Fun)
+		}
+		for _, a := range call.Args {
+			scanExpr(a)
+		}
+		if lit, ok := call.Fun.(*ast.FuncLit); ok {
+			// An immediately-invoked literal runs right here, under the
+			// current held set — but its body is summarized separately
+			// and linked as a call-like event.
+			ls := queueLit(lit)
+			_ = ls
+			sum.events = append(sum.events, event{
+				kind: evCall, pos: call.Pos(), held: snapshot(),
+				callee: nil, calleeName: ls.name,
+			})
+			// Link transitively through the lits map during computeTrans
+			// via the litCalls side table.
+			sum.litCalls = append(sum.litCalls, litCall{lit: lit, pos: call.Pos(), held: snapshot()})
+			return
+		}
+		handleCall(call, deferred)
+	}
+
+	scanExpr = func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		switch x := e.(type) {
+		case *ast.FuncLit:
+			queueLit(x)
+		case *ast.CallExpr:
+			scanCall(x, false)
+		default:
+			// Generic descent that stops at the nodes handled above.
+			ast.Inspect(e, func(n ast.Node) bool {
+				if n == nil || n == e {
+					return true
+				}
+				switch y := n.(type) {
+				case *ast.FuncLit:
+					queueLit(y)
+					return false
+				case *ast.CallExpr:
+					scanCall(y, false)
+					return false
+				}
+				return true
+			})
+		}
+	}
+
+	walkStmt = func(s ast.Stmt) {
+		switch st := s.(type) {
+		case nil:
+		case *ast.BlockStmt:
+			for _, inner := range st.List {
+				walkStmt(inner)
+			}
+		case *ast.IfStmt:
+			walkStmt(st.Init)
+			scanExpr(st.Cond)
+			walkStmt(st.Body)
+			walkStmt(st.Else)
+		case *ast.ForStmt:
+			walkStmt(st.Init)
+			scanExpr(st.Cond)
+			walkStmt(st.Body)
+			walkStmt(st.Post)
+		case *ast.RangeStmt:
+			scanExpr(st.X)
+			walkStmt(st.Body)
+		case *ast.SwitchStmt:
+			walkStmt(st.Init)
+			scanExpr(st.Tag)
+			walkStmt(st.Body)
+		case *ast.TypeSwitchStmt:
+			walkStmt(st.Init)
+			walkStmt(st.Assign)
+			walkStmt(st.Body)
+		case *ast.SelectStmt:
+			walkStmt(st.Body)
+		case *ast.CaseClause:
+			for _, e := range st.List {
+				scanExpr(e)
+			}
+			for _, inner := range st.Body {
+				walkStmt(inner)
+			}
+		case *ast.CommClause:
+			walkStmt(st.Comm)
+			for _, inner := range st.Body {
+				walkStmt(inner)
+			}
+		case *ast.LabeledStmt:
+			walkStmt(st.Stmt)
+		case *ast.GoStmt:
+			for _, a := range st.Call.Args {
+				scanExpr(a)
+			}
+			ev := event{kind: evGo, pos: st.Pos(), held: snapshot()}
+			if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+				ev.goLit = lit
+				queueLit(lit)
+			} else {
+				ev.callee, ev.calleeName = staticCallee(sum.pass, st.Call)
+			}
+			sum.events = append(sum.events, ev)
+		case *ast.DeferStmt:
+			for _, a := range st.Call.Args {
+				scanExpr(a)
+			}
+			if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+				queueLit(lit)
+				break
+			}
+			handleCall(st.Call, true)
+		case *ast.ExprStmt:
+			scanExpr(st.X)
+		case *ast.AssignStmt:
+			for _, e := range st.Rhs {
+				scanExpr(e)
+			}
+			for _, e := range st.Lhs {
+				scanExpr(e)
+			}
+		case *ast.ReturnStmt:
+			for _, e := range st.Results {
+				scanExpr(e)
+			}
+		case *ast.SendStmt:
+			scanExpr(st.Chan)
+			scanExpr(st.Value)
+		case *ast.IncDecStmt:
+			scanExpr(st.X)
+		case *ast.DeclStmt:
+			if gd, ok := st.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, e := range vs.Values {
+							scanExpr(e)
+						}
+					}
+				}
+			}
+		}
+	}
+	walkStmt(sum.body)
+}
+
+// litCall records an immediately-invoked function literal so trans
+// propagation can follow it.
+type litCall struct {
+	lit  *ast.FuncLit
+	pos  token.Pos
+	held []mutexID
+}
+
+// computeTrans fixpoints the transitive-acquisition sets over the
+// static call graph. go-statement targets are excluded by design (the
+// spawner does not wait under its locks).
+func (li *lockInfo) computeTrans() {
+	for _, sum := range li.all {
+		sum.trans = make(map[mutexID]bool)
+		for _, ev := range sum.events {
+			if ev.kind == evLock {
+				sum.trans[ev.mutex] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, sum := range li.all {
+			grow := func(callee *funcSummary) {
+				for m := range callee.trans {
+					if !sum.trans[m] {
+						sum.trans[m] = true
+						changed = true
+					}
+				}
+			}
+			for _, ev := range sum.events {
+				if ev.kind == evCall && ev.callee != nil {
+					if callee, ok := li.funcs[ev.callee]; ok {
+						grow(callee)
+					}
+				}
+			}
+			for _, lc := range sum.litCalls {
+				if callee, ok := li.lits[lc.lit]; ok {
+					grow(callee)
+				}
+			}
+		}
+	}
+}
+
+// mutexMethod reports whether the call invokes Lock/Unlock/RLock/RUnlock
+// on a named mutex, returning its id and the method name. A lock method
+// on an unnamed mutex (a local variable) returns ok with an empty id.
+func mutexMethod(pass *Pass, call *ast.CallExpr) (mutexID, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal || !isMutexType(s.Recv()) {
+		return "", "", false
+	}
+	return mutexIDOf(pass, sel.X), sel.Sel.Name, true
+}
+
+// mutexIDOf names the mutex expression: a field on a named struct or a
+// package-level variable. Anything else (locals, map elements) has no
+// stable name and yields "".
+func mutexIDOf(pass *Pass, e ast.Expr) mutexID {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pass.Info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			if name, owner, ok := fieldOwner(s); ok {
+				return mutexID(owner + "." + name + "." + x.Sel.Name)
+			}
+			return ""
+		}
+		// pkg.Var selector.
+		if obj, ok := pass.Info.Uses[x.Sel].(*types.Var); ok && obj.Pkg() != nil && !obj.IsField() {
+			return mutexID(obj.Pkg().Name() + "." + obj.Name())
+		}
+	case *ast.Ident:
+		if obj, ok := pass.Info.Uses[x].(*types.Var); ok && obj.Pkg() != nil && !obj.IsField() &&
+			obj.Parent() == obj.Pkg().Scope() {
+			return mutexID(obj.Pkg().Name() + "." + obj.Name())
+		}
+	}
+	return ""
+}
+
+// fieldOwner resolves a field selection to (owner type name, package
+// base name).
+func fieldOwner(s *types.Selection) (typeName, pkgName string, ok bool) {
+	t := s.Recv()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return "", "", false
+	}
+	return obj.Name(), obj.Pkg().Name(), true
+}
+
+// waitGroupMethod reports whether the call invokes Add/Done/Wait on a
+// sync.WaitGroup.
+func waitGroupMethod(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Add", "Done", "Wait":
+	default:
+		return "", false
+	}
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal || !isWaitGroupType(s.Recv()) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// staticCallee resolves a call expression to its target function or
+// method object, with a rendering name. Interface methods resolve to
+// the interface's *types.Func — they carry a name but no body, so they
+// never contribute transitive acquisitions. Type conversions and calls
+// through function values return (nil, "").
+func staticCallee(pass *Pass, call *ast.CallExpr) (types.Object, string) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			return obj, obj.Pkg().Name() + "." + obj.Name()
+		}
+	case *ast.SelectorExpr:
+		if s, ok := pass.Info.Selections[fun]; ok && s.Kind() == types.MethodVal {
+			obj := s.Obj()
+			if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil {
+				if name, pkg, ok := methodOwner(s); ok {
+					return obj, pkg + ".(" + name + ")." + fn.Name()
+				}
+				return obj, fn.Pkg().Name() + "." + fn.Name()
+			}
+		}
+		if obj, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok && obj.Pkg() != nil {
+			return obj, obj.Pkg().Name() + "." + obj.Name()
+		}
+	}
+	return nil, ""
+}
+
+func methodOwner(s *types.Selection) (typeName, pkgName string, ok bool) {
+	return fieldOwner(s)
+}

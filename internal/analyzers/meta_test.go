@@ -1,0 +1,94 @@
+package analyzers
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestEveryAnalyzerHasTheDrill is the meta-test: every registered
+// analyzer — per-package and whole-program alike — must come with
+//
+//  1. a fixture test (a Test function whose name contains the
+//     analyzer's name, proving at least one true positive against
+//     crafted sources),
+//  2. a suppression test (some test source carrying a literal
+//     `//seqvet:ignore <name> <reason>` marker, proving the escape
+//     hatch works), and
+//  3. a documentation entry (a `## <name>` section in
+//     docs/ANALYZERS.md).
+//
+// A future analyzer that skips any part of the drill fails here, not in
+// review.
+func TestEveryAnalyzerHasTheDrill(t *testing.T) {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	for _, a := range AllGlobal() {
+		names = append(names, a.Name)
+	}
+
+	// Gather every test source in this package.
+	matches, err := filepath.Glob("*_test.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var testSrc strings.Builder
+	testFuncs := regexp.MustCompile(`func (Test[A-Za-z0-9_]+)`)
+	var funcNames []string
+	for _, m := range matches {
+		data, err := os.ReadFile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testSrc.Write(data)
+		for _, f := range testFuncs.FindAllStringSubmatch(string(data), -1) {
+			funcNames = append(funcNames, strings.ToLower(f[1]))
+		}
+	}
+
+	doc, err := os.ReadFile(filepath.Join("..", "..", "docs", "ANALYZERS.md"))
+	if err != nil {
+		t.Fatalf("docs/ANALYZERS.md must exist and catalogue the analyzers: %v", err)
+	}
+
+	for _, name := range names {
+		hasFixture := false
+		for _, fn := range funcNames {
+			if strings.Contains(fn, name) {
+				hasFixture = true
+				break
+			}
+		}
+		if !hasFixture {
+			t.Errorf("analyzer %q has no fixture test (want a Test function whose name contains %q)", name, name)
+		}
+		if !strings.Contains(testSrc.String(), "seqvet:ignore "+name+" ") {
+			t.Errorf("analyzer %q has no suppression test (want a test fixture carrying `//seqvet:ignore %s <reason>`)", name, name)
+		}
+		if !strings.Contains(string(doc), "\n## "+name+"\n") {
+			t.Errorf("analyzer %q has no docs/ANALYZERS.md entry (want a `## %s` section)", name, name)
+		}
+	}
+}
+
+// TestAnalyzerNamesAreDistinct guards the -only/-skip vocabulary: a
+// duplicated name would make selection and suppression ambiguous.
+func TestAnalyzerNamesAreDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, a := range AllGlobal() {
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

@@ -77,6 +77,23 @@ func TestReoptCovNoTests(t *testing.T) {
 		`reoptcov: invariant "reopt/cache-isolation" has no _test.go files`)
 }
 
+func TestReoptCovSuppression(t *testing.T) {
+	dir := t.TempDir()
+	writeReoptTests(t, dir, `package planlint_test
+var cases = []string{"reopt/span-cover"}
+`)
+	got := checkReoptCov(t, dir, `package planlint
+func verify() []string {
+	return []string{
+		"reopt/span-cover",
+		//seqvet:ignore reoptcov invariant lands with the durable-storage arc
+		"reopt/wal-replay",
+	}
+}
+`)
+	wantDiags(t, got)
+}
+
 func TestReoptCovSkipsOtherPackages(t *testing.T) {
 	// The same literals in another package are not planlint invariants.
 	got := check(t, "repro/internal/other", `package other

@@ -105,6 +105,30 @@ func TestRuleRegMissingAudit(t *testing.T) {
 		"rulereg: rewrite rule function orphanRule is not registered in DefaultRules")
 }
 
+func TestRuleRegSuppression(t *testing.T) {
+	dir := t.TempDir()
+	writeAudit(t, dir, `package rewrite_test
+var corpus = map[string]int{"merge-selects": 1}
+`)
+	got := checkRuleReg(t, dir, `package rewrite
+import "repro/internal/algebra"
+type Rule struct {
+	Name  string
+	Group string
+	Apply func(n *algebra.Node) (*algebra.Node, bool, error)
+}
+func DefaultRules() []Rule {
+	return []Rule{
+		{"merge-selects", "selects", mergeSelects},
+	}
+}
+func mergeSelects(n *algebra.Node) (*algebra.Node, bool, error) { return n, false, nil }
+//seqvet:ignore rulereg staged rule, registered by the next commit
+func stagedRule(n *algebra.Node) (*algebra.Node, bool, error) { return n, false, nil }
+`)
+	wantDiags(t, got)
+}
+
 func TestRuleRegSkipsOtherPackages(t *testing.T) {
 	// The same shapes under another import path are not checked: rule
 	// hygiene only applies to the rewrite package itself.

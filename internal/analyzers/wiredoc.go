@@ -1,0 +1,267 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+)
+
+// WireDoc cross-checks internal/wire against docs/PROTOCOL.md at vet
+// time: every registered message type (the wire registry's code/name
+// pairs) and every ErrorCode constant (with the document name its
+// String method returns) must appear in the spec's tables, and every
+// documented row must correspond to an implemented type or code. The
+// same check exists as TestProtocolDocCoversEveryType, but a test can
+// be skipped; the vet gate cannot.
+//
+// Extraction is static: the registry composite literal supplies
+// (code, name) pairs, ErrorCode constants come from the package scope,
+// and their document names from the String() switch. The doc rows are
+// matched with the identical regexes the conformance test uses.
+var WireDoc = &GlobalAnalyzer{
+	Name: "wiredoc",
+	Doc:  "wire registry and error codes agree with the docs/PROTOCOL.md tables in both directions",
+	Run:  runWireDoc,
+}
+
+const wirePkgPath = "repro/internal/wire"
+
+var (
+	wireDocTypeRow = regexp.MustCompile(`(?m)^\|\s*` + "`" + `0x([0-9a-f]{2})` + "`" + `\s*\|\s*` + "`" + `([A-Za-z]+)` + "`" + `\s*\|`)
+	wireDocCodeRow = regexp.MustCompile(`(?m)^\|\s*` + "`" + `(\d+)` + "`" + `\s*\|\s*` + "`" + `([a-z-]+)` + "`" + `\s*\|`)
+)
+
+func runWireDoc(prog *Program) {
+	var wire *Pass
+	for _, pass := range prog.Pkgs {
+		if pass.Pkg.Path() == wirePkgPath {
+			wire = pass
+		}
+	}
+	if wire == nil {
+		return
+	}
+	anchor := wire.Files[0].Pos() // fallback position for doc-side findings
+
+	docPath := filepath.Join(prog.Dir, "docs", "PROTOCOL.md")
+	raw, err := os.ReadFile(docPath)
+	if err != nil {
+		prog.report(anchor, "wiredoc: cannot read %s: %v", docPath, err)
+		return
+	}
+
+	// Implementation side.
+	regTypes, regPos := wireRegistry(wire)      // code -> name
+	codes, codePos := wireErrorCodes(wire)      // value -> const name
+	codeDocNames := wireErrorCodeDocNames(wire) // const name -> String() name
+
+	// Document side.
+	docTypes := map[uint8]string{}
+	docTypeLine := map[uint8]int{}
+	for _, m := range wireDocTypeRow.FindAllStringSubmatchIndex(string(raw), -1) {
+		hex := string(raw[m[2]:m[3]])
+		name := string(raw[m[4]:m[5]])
+		n, err := strconv.ParseUint(hex, 16, 8)
+		if err != nil {
+			continue
+		}
+		docTypes[uint8(n)] = name
+		docTypeLine[uint8(n)] = lineOf(raw, m[0])
+	}
+	docCodes := map[uint16]string{}
+	docCodeLine := map[uint16]int{}
+	for _, m := range wireDocCodeRow.FindAllStringSubmatchIndex(string(raw), -1) {
+		num := string(raw[m[2]:m[3]])
+		name := string(raw[m[4]:m[5]])
+		n, err := strconv.ParseUint(num, 10, 16)
+		if err != nil {
+			continue
+		}
+		docCodes[uint16(n)] = name
+		docCodeLine[uint16(n)] = lineOf(raw, m[0])
+	}
+
+	// Message types, both directions.
+	for code, name := range regTypes {
+		docName, ok := docTypes[code]
+		switch {
+		case !ok:
+			prog.report(regPos[code], "wiredoc: registered type 0x%02x (%s) has no row in the docs/PROTOCOL.md message tables", code, name)
+		case docName != name:
+			prog.report(regPos[code], "wiredoc: type 0x%02x is registered as %s but documented as %s (docs/PROTOCOL.md:%d)", code, name, docName, docTypeLine[code])
+		}
+	}
+	for code, name := range docTypes {
+		if _, ok := regTypes[code]; !ok {
+			prog.report(anchor, "wiredoc: docs/PROTOCOL.md:%d documents type 0x%02x (%s) but the wire registry does not implement it", docTypeLine[code], code, name)
+		}
+	}
+
+	// Error codes, both directions.
+	for val, constName := range codes {
+		wantName, hasDocName := codeDocNames[constName]
+		docName, ok := docCodes[val]
+		switch {
+		case !ok:
+			prog.report(codePos[val], "wiredoc: error code %d (%s) has no row in the docs/PROTOCOL.md error-code table", val, constName)
+		case !hasDocName:
+			prog.report(codePos[val], "wiredoc: error code %d (%s) has no case in ErrorCode.String — the doc name cannot be checked", val, constName)
+		case docName != wantName:
+			prog.report(codePos[val], "wiredoc: error code %d is named %q by ErrorCode.String but %q in docs/PROTOCOL.md:%d", val, wantName, docName, docCodeLine[val])
+		}
+	}
+	for val, name := range docCodes {
+		if _, ok := codes[val]; !ok {
+			prog.report(anchor, "wiredoc: docs/PROTOCOL.md:%d documents error code %d (%s) but internal/wire does not define it", docCodeLine[val], val, name)
+		}
+	}
+}
+
+func lineOf(raw []byte, offset int) int {
+	line := 1
+	for _, b := range raw[:offset] {
+		if b == '\n' {
+			line++
+		}
+	}
+	return line
+}
+
+// wireRegistry extracts (code, name) pairs from the package-level
+// `registry` composite literal. Codes are resolved through constant
+// folding, so both `THello` and a literal `0x01` work.
+func wireRegistry(pass *Pass) (map[uint8]string, map[uint8]token.Pos) {
+	out := map[uint8]string{}
+	pos := map[uint8]token.Pos{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "registry" || len(vs.Values) != 1 {
+					continue
+				}
+				lit, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				for _, elt := range lit.Elts {
+					entry, ok := elt.(*ast.CompositeLit)
+					if !ok || len(entry.Elts) < 2 {
+						continue
+					}
+					code, okCode := constUint(pass, entry.Elts[0], 8)
+					name, okName := constString(pass, entry.Elts[1])
+					if okCode && okName {
+						out[uint8(code)] = name
+						pos[uint8(code)] = entry.Pos()
+					}
+				}
+			}
+		}
+	}
+	return out, pos
+}
+
+// wireErrorCodes collects the package-level ErrorCode constants.
+func wireErrorCodes(pass *Pass) (map[uint16]string, map[uint16]token.Pos) {
+	out := map[uint16]string{}
+	pos := map[uint16]token.Pos{}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !namedFrom(c.Type(), wirePkgPath, "ErrorCode") {
+			continue
+		}
+		v, ok := constant.Uint64Val(c.Val())
+		if !ok {
+			continue
+		}
+		out[uint16(v)] = name
+		pos[uint16(v)] = c.Pos()
+	}
+	return out, pos
+}
+
+// wireErrorCodeDocNames maps each ErrorCode constant name to the string
+// its String() method returns, read from the switch statement.
+func wireErrorCodeDocNames(pass *Pass) map[string]string {
+	out := map[string]string{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "String" || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			if !namedFrom(pass.Info.TypeOf(fd.Recv.List[0].Type), wirePkgPath, "ErrorCode") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				cc, ok := n.(*ast.CaseClause)
+				if !ok {
+					return true
+				}
+				ret := returnedString(cc.Body)
+				if ret == "" {
+					return true
+				}
+				for _, e := range cc.List {
+					if id, ok := e.(*ast.Ident); ok {
+						out[id.Name] = ret
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// returnedString extracts the string literal from a one-statement
+// `return "name"` body.
+func returnedString(body []ast.Stmt) string {
+	if len(body) != 1 {
+		return ""
+	}
+	ret, ok := body[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return ""
+	}
+	lit, ok := ret.Results[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return ""
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return ""
+	}
+	return s
+}
+
+func constUint(pass *Pass, e ast.Expr, bits int) (uint64, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, ok := constant.Uint64Val(constant.ToInt(tv.Value))
+	if !ok || bits < 64 && v >= 1<<uint(bits) {
+		return 0, false
+	}
+	return v, true
+}
+
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

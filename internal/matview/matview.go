@@ -170,6 +170,12 @@ type Substitution struct {
 }
 
 // Registry holds the registered views. Safe for concurrent use.
+//
+// mu is a leaf in the declared lock order: critical sections are map
+// and slice bookkeeping; invalidation scans copy the view list under
+// RLock and CAS the epoch bounds outside it.
+//
+//seqvet:lockorder leaf matview.Registry.mu
 type Registry struct {
 	mu     sync.RWMutex
 	byName map[string]*View

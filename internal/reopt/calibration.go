@@ -44,6 +44,11 @@ var priorConstants = [nFeatures]float64{1, 4.0, 0.005, 0.002}
 //
 // All methods are safe for concurrent use: runs observe and queries
 // derive under one mutex.
+//
+// mu is a leaf in the declared lock order: critical sections are pure
+// accumulator arithmetic.
+//
+//seqvet:lockorder leaf reopt.Calibration.mu
 type Calibration struct {
 	mu  sync.Mutex
 	xtx [nFeatures][nFeatures]float64

@@ -98,6 +98,22 @@ type serverSeq struct {
 
 // Server is the shared engine state. See the package comment for the
 // concurrency protocol.
+//
+// The declared lock order, verified by `seqvet -global` (lockorder):
+// wmu is the top of the order — a writer holding it may take the seqs
+// map lock, publish into a store, invalidate views and advance the
+// epoch. mu may wrap store reads (PageVersions). connMu and listenMu
+// are leaves: nothing is ever acquired under them, which is what lets
+// Close shut connections without deadlocking against handlers.
+//
+//seqvet:lockorder server.Server.wmu < server.Server.mu
+//seqvet:lockorder server.Server.wmu < storage.EpochTracker.mu
+//seqvet:lockorder server.Server.wmu < storage.Versioned.mu
+//seqvet:lockorder server.Server.wmu < matview.Registry.mu
+//seqvet:lockorder server.Server.mu < storage.Versioned.mu
+//seqvet:lockorder leaf server.Server.connMu
+//seqvet:lockorder leaf server.Server.listenMu
+//seqvet:epochpin advance-under server.Server.wmu
 type Server struct {
 	cfg  Config
 	name string

@@ -17,6 +17,11 @@ import (
 // version under epoch current+1, then calls AdvanceTo(current+1). A
 // reader pins Current(), so it can only observe epochs whose versions
 // are fully published — a snapshot never changes after it is pinned.
+//
+// mu is a leaf in the declared lock order: every critical section is a
+// few map/counter operations and never calls out.
+//
+//seqvet:lockorder leaf storage.EpochTracker.mu
 type EpochTracker struct {
 	mu      sync.Mutex
 	current int64

@@ -22,6 +22,12 @@ import (
 // memory cost of K retained epochs is O(K) extra pages, not O(K) copies
 // of the sequence. GC reclaims versions older than every live reader
 // (EpochTracker.MinLive).
+//
+// mu is a leaf in the declared lock order: version-list manipulation
+// under it is pure slice/page work (packVersion, collectEntries) with
+// no calls into locked code.
+//
+//seqvet:lockorder leaf storage.Versioned.mu
 type Versioned struct {
 	schema *seq.Schema
 	rpp    int
