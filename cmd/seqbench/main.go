@@ -31,12 +31,14 @@ func main() {
 	mvOut := flag.String("matview-out", "BENCH_matview.json", "output path of the -matview sweep")
 	ro := flag.Bool("reopt", false, "measure mid-run reoptimization on skewed estimates plus a calibration round, writing BENCH_reopt.json")
 	roOut := flag.String("reopt-out", "BENCH_reopt.json", "output path of the -reopt benchmark")
+	dk := flag.Bool("disk", false, "benchmark the durable tier: cold/warm buffer-pool sweeps, a page-file vs LSM-style layout head-to-head and a cold-trace calibration round, writing BENCH_disk.json")
+	dkOut := flag.String("disk-out", "BENCH_disk.json", "output path of the -disk benchmark")
 	sv := flag.Bool("server", false, "sweep concurrent seqd client connections with a live append stream, writing BENCH_server.json")
 	svOut := flag.String("server-out", "BENCH_server.json", "output path of the -server sweep")
 	svAddr := flag.String("server-addr", "", "drive an already-running seqd at this address instead of an in-process one")
 	svWorkers := flag.Int("server-workers", 0, "worker pool size of the in-process -server daemon (0 = GOMAXPROCS)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: seqbench [-quick] [-analyze] [-parallel] [-matview] [-reopt] [-server] [-list] [experiment ids...]\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: seqbench [-quick] [-analyze] [-parallel] [-matview] [-reopt] [-disk] [-server] [-list] [experiment ids...]\n\nexperiments:\n")
 		for _, e := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %s  %s\n", e.ID, e.Name)
 		}
@@ -122,6 +124,26 @@ func main() {
 		}
 		fmt.Print(experiments.RenderReopt(bench))
 		fmt.Printf("(wrote reopt benchmark to %s)\n", *roOut)
+		return
+	}
+
+	if *dk {
+		bench, err := experiments.DiskBenchmark(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seqbench: disk benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seqbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*dkOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "seqbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.RenderDisk(bench))
+		fmt.Printf("(wrote disk benchmark to %s)\n", *dkOut)
 		return
 	}
 

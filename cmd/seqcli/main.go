@@ -47,6 +47,7 @@ func main() {
 	for {
 		fmt.Print("seq> ")
 		if !scanner.Scan() {
+			cli.shutdown()
 			return
 		}
 		line := strings.TrimSpace(scanner.Text())
@@ -54,6 +55,7 @@ func main() {
 			continue
 		}
 		if line == "quit" || line == "exit" {
+			cli.shutdown()
 			return
 		}
 		if err := cli.exec(line); err != nil {
@@ -69,6 +71,16 @@ type cli struct {
 	// reoptThresholdSet distinguishes an explicit "set reopt threshold 0"
 	// (replan at every checkpoint) from the unset zero value.
 	reoptThresholdSet bool
+}
+
+// shutdown checkpoints and closes any open durable database before the
+// shell exits, so a clean quit never needs WAL replay on the next open.
+func (c *cli) shutdown() {
+	if _, ok := c.db.Persistent(); ok {
+		if err := c.db.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "seqcli: close: %v\n", err)
+		}
+	}
 }
 
 func (c *cli) exec(line string) error {
@@ -119,6 +131,21 @@ func (c *cli) exec(line string) error {
 		return c.load(fields[1:])
 	case "save":
 		return c.save(fields[1:])
+	case "append":
+		return c.append(fields[1:])
+	case "open":
+		return c.open(fields[1:])
+	case "close":
+		return c.closeDB(fields[1:])
+	case "checkpoint":
+		if len(fields) != 1 {
+			return fmt.Errorf("usage: checkpoint")
+		}
+		if err := c.db.Checkpoint(); err != nil {
+			return err
+		}
+		fmt.Fprintln(c.out, "checkpointed")
+		return nil
 	case "explain":
 		rest := strings.TrimSpace(strings.TrimPrefix(line, "explain"))
 		analyze := false
@@ -161,6 +188,10 @@ func (c *cli) help() {
   gen table1 <scale>                                load the paper's Table 1 data
   load <name> <file.csv>                            load a sequence from CSV (needs a "pos" column)
   save <name> <file.csv>                            write a sequence to CSV
+  append <name> <pos> <value...>                    append a record past the end of a sparse sequence
+  open <dir>                                        open a durable on-disk database (created if absent)
+  close                                             checkpoint and close the open database
+  checkpoint                                        force a checkpoint of the open database
   set parallelism <n>                               bound span-partitioned workers (0 = auto, 1 = serial)
   set reopt on|off                                  monitor runs and replan mid-stream on cost divergence
   set reopt interval <n>                            positions between reoptimization checkpoints
@@ -384,6 +415,107 @@ func (c *cli) load(args []string) error {
 	info := data.Info()
 	fmt.Fprintf(c.out, "loaded %s: %d records, span %v, schema %v\n",
 		args[0], data.Count(), info.Span, info.Schema)
+	return nil
+}
+
+// append adds one record past the end of a sparse sequence, parsing
+// each value against the sequence's schema.
+func (c *cli) append(args []string) error {
+	if len(args) < 3 {
+		return fmt.Errorf("usage: append <name> <pos> <value...>")
+	}
+	name := args[0]
+	pos, err := strconv.ParseInt(args[1], 10, 64)
+	if err != nil {
+		return fmt.Errorf("position must be an integer, got %q", args[1])
+	}
+	info, err := c.db.Describe(name)
+	if err != nil {
+		return err
+	}
+	schemaFields := info.Schema.Fields()
+	if len(args)-2 != len(schemaFields) {
+		return fmt.Errorf("sequence %s wants %d value(s) for %v, got %d",
+			name, len(schemaFields), info.Schema, len(args)-2)
+	}
+	rec := make(seqproc.Record, len(schemaFields))
+	for i, f := range schemaFields {
+		v, err := parseFieldValue(f, args[2+i])
+		if err != nil {
+			return err
+		}
+		rec[i] = v
+	}
+	if err := c.db.Append(name, seqproc.Pos(pos), rec); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "appended %s@%d\n", name, pos)
+	return nil
+}
+
+// parseFieldValue converts one command-line token to the field's type.
+func parseFieldValue(f seqproc.Field, s string) (seqproc.Value, error) {
+	switch f.Type {
+	case seqproc.TInt:
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return seqproc.Value{}, fmt.Errorf("field %s wants an integer, got %q", f.Name, s)
+		}
+		return seqproc.Int(n), nil
+	case seqproc.TFloat:
+		x, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return seqproc.Value{}, fmt.Errorf("field %s wants a number, got %q", f.Name, s)
+		}
+		return seqproc.Float(x), nil
+	case seqproc.TBool:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return seqproc.Value{}, fmt.Errorf("field %s wants true/false, got %q", f.Name, s)
+		}
+		return seqproc.Bool(b), nil
+	default:
+		return seqproc.Str(s), nil
+	}
+}
+
+// open switches the shell to a durable database rooted at dir
+// (created when absent, recovered when present): everything created,
+// appended or materialized afterwards persists across sessions.
+func (c *cli) open(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: open <dir>")
+	}
+	if dir, ok := c.db.Persistent(); ok {
+		return fmt.Errorf("database %s is open; run close first", dir)
+	}
+	db, err := seqproc.Open(args[0], nil)
+	if err != nil {
+		return err
+	}
+	db.SetOptions(c.opts)
+	c.db = db
+	fmt.Fprintf(c.out, "opened %s: %d sequence(s), %d view(s)\n",
+		args[0], len(db.Sequences()), len(db.ListViews()))
+	return nil
+}
+
+// closeDB checkpoints and closes the open durable database, returning
+// the shell to a fresh in-memory database.
+func (c *cli) closeDB(args []string) error {
+	if len(args) != 0 {
+		return fmt.Errorf("usage: close")
+	}
+	dir, ok := c.db.Persistent()
+	if !ok {
+		return fmt.Errorf("no durable database open")
+	}
+	if err := c.db.Close(); err != nil {
+		return err
+	}
+	c.db = seqproc.New()
+	c.db.SetOptions(c.opts)
+	fmt.Fprintf(c.out, "closed %s\n", dir)
 	return nil
 }
 

@@ -237,3 +237,67 @@ func TestCLIMaterializedViews(t *testing.T) {
 		}
 	}
 }
+
+// The durable-database round trip: open, create data and a view, close,
+// reopen — everything recovers, and epoch-validity rules carry over (a
+// view invalidated by an append before close stays gone).
+func TestCLIOpenCloseRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, buf := newTestCLI()
+	if err := c.exec("open " + dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.exec("open " + dir); err == nil {
+		t.Error("double open must fail")
+	}
+	for _, cmd := range []string{
+		"gen stock acme 1 200 0.8 7",
+		"gen stock beta 1 200 0.8 9",
+		"materialize keep as select(acme, close > 0.0) over 1 200",
+		"materialize stale as select(beta, close > 0.0) over 1 200",
+		"append beta 201 1.2 1.5 100",
+		"checkpoint",
+	} {
+		if err := c.exec(cmd); err != nil {
+			t.Fatalf("%q: %v", cmd, err)
+		}
+	}
+	buf.Reset()
+	if err := c.exec("close"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "closed "+dir) {
+		t.Errorf("close output = %q", buf.String())
+	}
+	if err := c.exec("close"); err == nil {
+		t.Error("close without open database must fail")
+	}
+
+	buf.Reset()
+	if err := c.exec("open " + dir); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2 sequence(s), 1 view(s)") {
+		t.Errorf("reopen summary = %q", buf.String())
+	}
+	buf.Reset()
+	if err := c.exec("show views"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "keep") {
+		t.Errorf("view %q missing after reopen: %q", "keep", out)
+	}
+	if strings.Contains(out, "stale") {
+		t.Errorf("invalidated view resurrected: %q", out)
+	}
+	// The appended record survived.
+	buf.Reset()
+	if err := c.exec("describe beta"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "201") {
+		t.Errorf("describe beta after reopen = %q", buf.String())
+	}
+	c.shutdown()
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/server"
 	"repro/internal/storage"
+	"repro/internal/storage/disk"
 	"repro/internal/wire"
 	"repro/internal/workload"
 )
@@ -45,6 +46,13 @@ type options struct {
 	parallelism int
 	table1      int
 	loads       loadList
+
+	// Durable-storage tier (docs/STORAGE.md).
+	data               string
+	pageSize           int
+	poolPages          int
+	fsyncBatch         bool
+	checkpointInterval time.Duration
 }
 
 // newFlags binds every seqd flag onto a fresh FlagSet. Kept separate
@@ -61,6 +69,11 @@ func newFlags() (*flag.FlagSet, *options) {
 	fs.IntVar(&o.parallelism, "parallelism", 0, "default per-session parallelism bound for span-partitioned execution; sessions may override with `set parallelism`")
 	fs.IntVar(&o.table1, "table1", 0, "load the paper's Table 1 synthetic sequences (ibm, dec, hp) at this scale; 0 skips")
 	fs.Var(&o.loads, "load", "load a sparse base sequence from CSV as name=file.csv (repeatable; the file needs a \"pos\" column)")
+	fs.StringVar(&o.data, "data", "", "directory of the durable on-disk database (page files + WAL, docs/STORAGE.md); created if absent, recovered if present; empty serves from memory only")
+	fs.IntVar(&o.pageSize, "page-size", 0, "on-disk page size in bytes when creating a new -data database (0 = 8 KiB); an existing database's page size always wins")
+	fs.IntVar(&o.poolPages, "pool-pages", 0, "buffer-pool capacity of the -data tier in pages (0 = 1024)")
+	fs.BoolVar(&o.fsyncBatch, "fsync-batch", false, "group WAL fsyncs across appends (group commit): higher append throughput, but a crash may lose the last few acknowledged appends")
+	fs.DurationVar(&o.checkpointInterval, "checkpoint-interval", 0, "background checkpoint period of the -data tier (0 = 15s default; negative disables background checkpoints)")
 	return fs, o
 }
 
@@ -76,6 +89,11 @@ func main() {
 		Verify:     o.verify,
 		Options:    core.Options{Parallelism: o.parallelism},
 	})
+	ddb, err := attachData(srv, o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seqd: %v\n", err)
+		os.Exit(1)
+	}
 	if err := loadData(srv, o); err != nil {
 		fmt.Fprintf(os.Stderr, "seqd: %v\n", err)
 		os.Exit(1)
@@ -90,15 +108,54 @@ func main() {
 	}()
 
 	fmt.Fprintf(os.Stderr, "seqd: serving %d sequence(s) on %s\n", len(srv.Sequences()), o.listen)
-	if err := srv.ListenAndServe(o.listen); err != nil {
-		fmt.Fprintf(os.Stderr, "seqd: %v\n", err)
+	serveErr := srv.ListenAndServe(o.listen)
+	// Close the durable tier after the server drained: a final
+	// checkpoint lands so the next boot needs no WAL replay.
+	if ddb != nil {
+		if err := ddb.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "seqd: close data: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if serveErr != nil {
+		fmt.Fprintf(os.Stderr, "seqd: %v\n", serveErr)
 		os.Exit(1)
 	}
 }
 
+// attachData opens and attaches the durable storage tier when -data is
+// set, returning the database so main can close it after shutdown.
+func attachData(srv *server.Server, o *options) (*disk.DB, error) {
+	if o.data == "" {
+		return nil, nil
+	}
+	ddb, err := disk.Open(o.data, disk.Config{
+		PageSize:           o.pageSize,
+		PoolPages:          o.poolPages,
+		BatchFsync:         o.fsyncBatch,
+		CheckpointInterval: o.checkpointInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.AttachDisk(ddb); err != nil {
+		ddb.Close()
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "seqd: data directory %s at epoch %d (%d sequence(s), %d view(s))\n",
+		o.data, ddb.Epoch(), len(ddb.Names()), len(ddb.Views()))
+	return ddb, nil
+}
+
 // loadData registers the startup sequences: Table 1 synthetics and CSV
-// loads.
+// loads. Sequences already recovered from a -data directory are kept as
+// recovered — the same boot line works for the first and every later
+// start.
 func loadData(srv *server.Server, o *options) error {
+	existing := make(map[string]bool)
+	for _, name := range srv.Sequences() {
+		existing[name] = true
+	}
 	if o.table1 > 0 {
 		ibm, dec, hp, err := workload.Table1(int64(o.table1))
 		if err != nil {
@@ -108,6 +165,9 @@ func loadData(srv *server.Server, o *options) error {
 			name string
 			data *seqproc.SequenceData
 		}{{"ibm", ibm}, {"dec", dec}, {"hp", hp}} {
+			if existing[s.name] {
+				continue
+			}
 			if err := srv.CreateSequence(s.name, s.data, storage.KindSparse); err != nil {
 				return err
 			}
@@ -117,6 +177,9 @@ func loadData(srv *server.Server, o *options) error {
 		name, file, ok := strings.Cut(spec, "=")
 		if !ok || name == "" || file == "" {
 			return fmt.Errorf("-load wants name=file.csv, got %q", spec)
+		}
+		if existing[name] {
+			continue
 		}
 		f, err := os.Open(file)
 		if err != nil {

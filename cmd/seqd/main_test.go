@@ -126,3 +126,62 @@ func TestLoadCSV(t *testing.T) {
 		t.Fatal("malformed -load accepted")
 	}
 }
+
+// TestDataDirPersistsAcrossBoots boots the daemon wiring with -data,
+// writes through the wire, shuts down, and boots again on the same
+// directory: the recovered state serves, and -table1 does not clash
+// with the recovered sequences.
+func TestDataDirPersistsAcrossBoots(t *testing.T) {
+	dir := t.TempDir()
+	boot := func() (*server.Server, func() error) {
+		_, o := newFlags()
+		o.table1 = 1
+		o.data = dir
+		o.checkpointInterval = -1
+		srv := server.New(server.Config{Name: "seqd-test"})
+		ddb, err := attachData(srv, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := loadData(srv, o); err != nil {
+			ddb.Close()
+			t.Fatal(err)
+		}
+		return srv, ddb.Close
+	}
+
+	srv, closeData := boot()
+	sess := srv.NewSession("t")
+	if _, err := srv.Append("ibm", 501, seq.Record{seq.Float(1), seq.Float(2), seq.Int(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Materialize("cheap", "select(ibm, close < 1000.0)", seq.NewSpan(200, 500)); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if err := closeData(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, closeData2 := boot()
+	defer func() {
+		srv2.Close()
+		if err := closeData2(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if got := fmt.Sprint(srv2.Sequences()); got != "[dec hp ibm]" {
+		t.Fatalf("sequences after reboot = %v", got)
+	}
+	sess2 := srv2.NewSession("t")
+	res, err := sess2.Query("ibm", seq.NewSpan(501, 501))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 1 {
+		t.Fatalf("appended record lost across reboot: %d entries", len(res.Entries))
+	}
+	if vcs := srv2.ViewCounters(); len(vcs) != 1 || vcs[0].Name != "cheap" {
+		t.Fatalf("views after reboot = %+v", vcs)
+	}
+}

@@ -52,7 +52,7 @@ func main() {
 	run(db, fig3, span, 3)
 	var pages int64
 	for _, name := range db.Sequences() {
-		st, _ := db.PageStats(name)
+		st, _ := db.TakePageStats(name)
 		pages += st.Pages()
 	}
 	fmt.Printf("figure-3 query touched %d pages with span propagation\n", pages)
@@ -68,7 +68,7 @@ func main() {
 	}
 	var pagesNo int64
 	for _, name := range db.Sequences() {
-		st, _ := db.PageStats(name)
+		st, _ := db.TakePageStats(name)
 		pagesNo += st.Pages()
 	}
 	fmt.Printf("the same query without span propagation: %d pages (%.1fx more)\n",

@@ -62,8 +62,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	qs, _ := db.PageStats("quakes")
-	vs, _ := db.PageStats("volcanos")
+	qs, _ := db.TakePageStats("quakes")
+	vs, _ := db.TakePageStats("volcanos")
 	seqRecords := qs.SeqRecords + qs.ProbeRecords + vs.SeqRecords + vs.ProbeRecords
 
 	fmt.Printf("sequence engine: %d answers, %d record accesses\n", res.Count(), seqRecords)

@@ -1,8 +1,8 @@
 package analyzers
 
 // GoExit forbids leakable goroutines in the concurrency-bearing
-// packages: every `go` statement in internal/server and
-// internal/storage must be tied to a sync.WaitGroup — an Add call
+// packages: every `go` statement in internal/server, internal/storage
+// and internal/storage/disk must be tied to a sync.WaitGroup — an Add call
 // earlier in the spawning function and a deferred Done inside the
 // spawned body (directly for a `go func(){…}()` literal, or in the
 // statically resolved callee for `go s.gcLoop()`). This is the
@@ -15,17 +15,20 @@ package analyzers
 // reason spelled out.
 var GoExit = &GlobalAnalyzer{
 	Name: "goexit",
-	Doc:  "every go statement in internal/server and internal/storage is WaitGroup-tracked",
+	Doc:  "every go statement in internal/server, internal/storage and internal/storage/disk is WaitGroup-tracked",
 	Run:  runGoExit,
 }
 
 // goExitPkgs are the packages under the no-leakable-goroutines rule.
 // internal/parallel manages its workers with its own barrier and is
 // exercised by its race-mode tests; the server/storage layer is where a
-// leaked goroutine outlives Close and corrupts shutdown.
+// leaked goroutine outlives Close and corrupts shutdown. The disk tier
+// qualifies the same way: its flusher and checkpointer must drain
+// before Close returns or they race the final checkpoint.
 var goExitPkgs = map[string]bool{
-	"repro/internal/server":  true,
-	"repro/internal/storage": true,
+	"repro/internal/server":       true,
+	"repro/internal/storage":      true,
+	"repro/internal/storage/disk": true,
 }
 
 func runGoExit(prog *Program) {

@@ -214,6 +214,16 @@ func (a *Analysis) render(times bool) string {
 		if n.HasPages {
 			fmt.Fprintf(&b, " pages=%dseq+%drand cost=%.2f",
 				n.Pages.SeqPages, n.Pages.RandPages, a.PageCost(n.Pages))
+			// Disk-backed leaves also carry buffer-pool traffic: the
+			// split between cached and real I/O behind the page touches.
+			// Memory-backed stores never set these, keeping the render
+			// byte-stable for existing plans.
+			if n.Pages.HasPool() {
+				fmt.Fprintf(&b, " pool=%dhit+%dmiss", n.Pages.PoolHits, n.Pages.PoolMisses)
+				if n.Pages.PoolEvictions > 0 || n.Pages.DirtyWrites > 0 {
+					fmt.Fprintf(&b, " evict=%d wb=%d", n.Pages.PoolEvictions, n.Pages.DirtyWrites)
+				}
+			}
 		}
 		b.WriteByte(']')
 		if n.HasCache {

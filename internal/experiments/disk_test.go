@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The quick disk benchmark exercises every stage the CI sweep runs:
+// cold/warm pool behavior, the layout head-to-head, and the cold-trace
+// calibration round.
+func TestDiskBenchmarkQuick(t *testing.T) {
+	b, err := DiskBenchmark(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Sweep) == 0 || len(b.Layout) == 0 || b.Calibration == nil {
+		t.Fatalf("incomplete artifact: %+v", b)
+	}
+	for _, p := range b.Sweep {
+		if p.ColdMisses == 0 {
+			t.Errorf("%s n=%d: cold run missed nothing (pool not cold)", p.Access, p.N)
+		}
+		if p.WarmMisses != 0 {
+			t.Errorf("%s n=%d: warm run missed %d pages (pool not resident)", p.Access, p.N, p.WarmMisses)
+		}
+		if p.WarmHits == 0 {
+			t.Errorf("%s n=%d: warm run hit nothing", p.Access, p.N)
+		}
+		if p.Pages == 0 {
+			t.Errorf("%s n=%d: no pages touched", p.Access, p.N)
+		}
+	}
+	for _, p := range b.Layout {
+		// A dense page-file probe reads exactly one page; the K-run
+		// LSM layout must consult a page per candidate run.
+		if p.PageProbePages != 1 {
+			t.Errorf("n=%d: page-file probe touched %.2f pages, want 1", p.N, p.PageProbePages)
+		}
+		if p.ProbeReadAmp <= 1 {
+			t.Errorf("n=%d: LSM read amplification %.2f, want > 1", p.N, p.ProbeReadAmp)
+		}
+		if p.LSMScanPages == 0 || p.PageScanPages == 0 {
+			t.Errorf("n=%d: scan pages page=%d lsm=%d", p.N, p.PageScanPages, p.LSMScanPages)
+		}
+	}
+	c := b.Calibration
+	if c.Samples < 8 {
+		t.Errorf("calibration from %d samples, want >= 8", c.Samples)
+	}
+	if c.Constants["rand_page"] <= 0 {
+		t.Errorf("calibrated rand_page = %v", c.Constants["rand_page"])
+	}
+	out := RenderDisk(b)
+	for _, want := range []string{"cold vs warm", "read-amp", "calibration"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderDisk missing %q:\n%s", want, out)
+		}
+	}
+}

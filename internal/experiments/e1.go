@@ -83,8 +83,8 @@ func e1(sizes []int) (*Table, error) {
 			return nil, err
 		}
 		seqTime := time.Since(startSeq)
-		qs, _ := db.PageStats("quakes")
-		vs, _ := db.PageStats("volcanos")
+		qs, _ := db.TakePageStats("quakes")
+		vs, _ := db.TakePageStats("volcanos")
 		seqRecords := qs.SeqRecords + qs.ProbeRecords + vs.SeqRecords + vs.ProbeRecords
 
 		// Cross-check the two engines agree.

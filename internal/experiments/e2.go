@@ -62,7 +62,7 @@ func e2(scales []int64) (*Table, error) {
 			elapsed := time.Since(start)
 			var pages int64
 			for _, name := range db.Sequences() {
-				st, err := db.PageStats(name)
+				st, err := db.TakePageStats(name)
 				if err != nil {
 					return 0, 0, 0, err
 				}

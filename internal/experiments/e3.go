@@ -95,7 +95,7 @@ func e3(n int64, densities []float64) (*Table, error) {
 			elapsed := time.Since(start)
 			var cost int64
 			for _, name := range []string{"l", "r"} {
-				st, _ := db.PageStats(name)
+				st, _ := db.TakePageStats(name)
 				cost += st.SeqPages + randWeight*st.RandPages
 			}
 			return cost, elapsed, plan, nil

@@ -93,7 +93,7 @@ func e8(scale int64) (*Table, error) {
 			if rep == 0 {
 				res = r
 				for _, name := range db.Sequences() {
-					st, _ := db.PageStats(name)
+					st, _ := db.TakePageStats(name)
 					pages += st.Pages()
 				}
 			}

@@ -45,6 +45,7 @@ import (
 	"repro/internal/reopt"
 	"repro/internal/seq"
 	"repro/internal/storage"
+	"repro/internal/storage/disk"
 	"repro/internal/wire"
 )
 
@@ -89,10 +90,11 @@ func errf(code wire.ErrorCode, format string, args ...any) *Error {
 
 // serverSeq is one versioned base sequence plus its frozen column
 // statistics (computed at load; appends do not refresh them — the
-// optimizer treats them as estimates).
+// optimizer treats them as estimates). v is memory-backed (memSeq) or,
+// with an attached database, disk-backed (diskSeq); see disk.go.
 type serverSeq struct {
 	name  string
-	v     *storage.Versioned
+	v     versionedSeq
 	stats map[int]expr.ColStats
 }
 
@@ -106,17 +108,30 @@ type serverSeq struct {
 // are leaves: nothing is ever acquired under them, which is what lets
 // Close shut connections without deadlocking against handlers.
 //
+// With an attached disk database, writes nest the database's own
+// writer lock (and, transitively, its pool and file locks) under wmu;
+// reads nest the sequence version lock under mu the same way the
+// memory tier nests Versioned.mu.
+//
 //seqvet:lockorder server.Server.wmu < server.Server.mu
 //seqvet:lockorder server.Server.wmu < storage.EpochTracker.mu
 //seqvet:lockorder server.Server.wmu < storage.Versioned.mu
 //seqvet:lockorder server.Server.wmu < matview.Registry.mu
+//seqvet:lockorder server.Server.wmu < disk.DB.wmu
+//seqvet:lockorder server.Server.wmu < reopt.Calibration.mu
 //seqvet:lockorder server.Server.mu < storage.Versioned.mu
+//seqvet:lockorder server.Server.mu < disk.Seq.mu
 //seqvet:lockorder leaf server.Server.connMu
 //seqvet:lockorder leaf server.Server.listenMu
 //seqvet:epochpin advance-under server.Server.wmu
 type Server struct {
 	cfg  Config
 	name string
+
+	// disk is the attached durable storage tier; nil for a pure
+	// in-memory server. Written once by AttachDisk before the server
+	// accepts traffic, read without synchronization afterwards.
+	disk *disk.DB
 
 	mu   sync.RWMutex // guards the seqs map structure
 	seqs map[string]*serverSeq
@@ -184,11 +199,27 @@ func (s *Server) CreateSequence(name string, data *seq.Materialized, kind storag
 		return errf(wire.CodeAppend, "sequence %q already exists", name)
 	}
 	s.mu.Unlock()
-	v, err := storage.NewVersioned(data, kind, 0, s.epochs.Current())
-	if err != nil {
-		return &Error{Code: wire.CodeAppend, Err: err}
+	var vs versionedSeq
+	if s.disk != nil {
+		// Durable create: WAL-logged and page-packed before it appears
+		// in the catalog, visible at the current epoch like the memory
+		// path.
+		if err := s.disk.CreateSequenceAt(name, data, kind, s.epochs.Current()); err != nil {
+			return &Error{Code: wire.CodeAppend, Err: err}
+		}
+		ds, ok := s.disk.Seq(name)
+		if !ok {
+			return errf(wire.CodeInternal, "sequence %q vanished after durable create", name)
+		}
+		vs = diskSeq{db: s.disk, s: ds}
+	} else {
+		v, err := storage.NewVersioned(data, kind, 0, s.epochs.Current())
+		if err != nil {
+			return &Error{Code: wire.CodeAppend, Err: err}
+		}
+		vs = memSeq{v}
 	}
-	ss := &serverSeq{name: name, v: v, stats: meta.StatsFromMaterialized(data)}
+	ss := &serverSeq{name: name, v: vs, stats: meta.StatsFromMaterialized(data)}
 	s.mu.Lock()
 	s.seqs[name] = ss
 	s.mu.Unlock()
@@ -272,10 +303,26 @@ func (s *Server) ViewCounters() []matview.Counters {
 	return out
 }
 
-// DropView removes a materialized view for every session.
+// DropView removes a materialized view for every session. With an
+// attached disk database the persisted copy is dropped too (it may
+// already be gone: a base write deletes persisted views eagerly while
+// the registry keeps invalidated ones for pinned readers).
 func (s *Server) DropView(name string) error {
+	if s.disk == nil {
+		if !s.views.Drop(name) {
+			return errf(wire.CodeNotFound, "unknown view %q", name)
+		}
+		return nil
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	if !s.views.Drop(name) {
 		return errf(wire.CodeNotFound, "unknown view %q", name)
+	}
+	if s.diskViews()[name] {
+		if err := s.disk.DropViewAt(name, s.epochs.Current()); err != nil {
+			return &Error{Code: wire.CodeInternal, Err: err}
+		}
 	}
 	return nil
 }
@@ -599,6 +646,9 @@ func (sess *Session) Materialize(name, seql string, span seq.Span) (int64, time.
 		}
 	}
 	if _, err := srv.views.RegisterAt(name, res.Rewritten, out, res.RunSpan, epoch); err != nil {
+		return 0, queue, &Error{Code: wire.CodeMaterialize, Err: err}
+	}
+	if err := srv.persistView(name, seql, res.RunSpan, epoch, baseNames(res.Rewritten), out); err != nil {
 		return 0, queue, &Error{Code: wire.CodeMaterialize, Err: err}
 	}
 	return epoch, queue, nil

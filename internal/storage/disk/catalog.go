@@ -1,0 +1,243 @@
+package disk
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/seq"
+	"repro/internal/storage"
+)
+
+// The catalog (catalog.bin) is the checkpoint root: the complete latest
+// state of every sequence — schema, kind, span, and the page table
+// mapping logical pages to physical slots — plus the persisted views,
+// the epoch, and the WAL segment replay starts from. It is written to a
+// temp file, fsynced, and renamed over the previous catalog, so exactly
+// one catalog is ever visible; a whole-file CRC32-C rejects torn
+// catalogs (the rename either happened or it did not).
+//
+// Free-slot state is deliberately not persisted: recovery derives the
+// free list as "allocated slots the catalog does not reference", which
+// also reclaims slots leaked by writebacks that raced a failed
+// checkpoint.
+const (
+	catalogMagic = "SEQCAT1\n"
+	catalogName  = "catalog.bin"
+)
+
+// catSeq is one sequence's catalog entry.
+type catSeq struct {
+	name   string
+	fileID uint32
+	kind   storage.Kind
+	rpp    int
+	schema *seq.Schema
+	span   seq.Span
+	count  int
+	epoch  int64
+	table  []catRef
+}
+
+// catRef is one durable page reference.
+type catRef struct {
+	phys  int64
+	epoch int64
+	first int64
+	n     int
+}
+
+// View is a persisted materialized view: enough to re-register it (and
+// re-derive its plan) on reopen. A base write removes the views reading
+// it, so a persisted view is always valid at the catalog's epoch;
+// re-registration at Epoch preserves the epoch-validity window for
+// readers pinned before it.
+type View struct {
+	Name    string
+	SEQL    string
+	Span    seq.Span
+	Epoch   int64
+	Bases   []string
+	Entries []seq.Entry
+}
+
+// catalog is the decoded catalog.bin.
+type catalog struct {
+	pageSize int
+	epoch    int64
+	walSeq   uint64
+	nextFile uint32
+	seqs     []catSeq
+	views    []*View
+}
+
+func encodeCatalog(c *catalog) []byte {
+	w := &writer{}
+	w.buf = append(w.buf, catalogMagic...)
+	w.u32(formatVersion)
+	w.u32(uint32(c.pageSize))
+	w.varint(c.epoch)
+	w.uvarint(c.walSeq)
+	w.uvarint(uint64(c.nextFile))
+	w.uvarint(uint64(len(c.seqs)))
+	for _, s := range c.seqs {
+		w.string(s.name)
+		w.uvarint(uint64(s.fileID))
+		w.byte(byte(s.kind))
+		w.uvarint(uint64(s.rpp))
+		w.schema(s.schema)
+		w.span(s.span)
+		w.uvarint(uint64(s.count))
+		w.varint(s.epoch)
+		w.uvarint(uint64(len(s.table)))
+		for _, r := range s.table {
+			w.varint(r.phys)
+			w.varint(r.epoch)
+			w.varint(r.first)
+			w.uvarint(uint64(r.n))
+		}
+	}
+	w.uvarint(uint64(len(c.views)))
+	for _, v := range c.views {
+		w.string(v.Name)
+		w.string(v.SEQL)
+		w.span(v.Span)
+		w.varint(v.Epoch)
+		w.uvarint(uint64(len(v.Bases)))
+		for _, b := range v.Bases {
+			w.string(b)
+		}
+		w.entries(v.Entries)
+	}
+	w.u32(crc32.Checksum(w.buf, crcTable))
+	return w.buf
+}
+
+func decodeCatalog(data []byte) (*catalog, error) {
+	if len(data) < len(catalogMagic)+4 {
+		return nil, fmt.Errorf("disk: catalog too short")
+	}
+	if string(data[:len(catalogMagic)]) != catalogMagic {
+		return nil, fmt.Errorf("disk: bad catalog magic")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTable) != getU32(tail) {
+		return nil, fmt.Errorf("disk: catalog CRC mismatch")
+	}
+	r := &reader{buf: body, off: len(catalogMagic)}
+	if v := r.u32(); v != formatVersion {
+		return nil, fmt.Errorf("disk: catalog format version %d (this build reads %d)", v, formatVersion)
+	}
+	c := &catalog{}
+	c.pageSize = int(r.u32())
+	c.epoch = r.varint()
+	c.walSeq = r.uvarint()
+	c.nextFile = uint32(r.uvarint())
+	nseqs := r.count("sequence", 1<<20)
+	for i := 0; i < nseqs && r.err == nil; i++ {
+		s := catSeq{}
+		s.name = r.string()
+		s.fileID = uint32(r.uvarint())
+		s.kind = storage.Kind(r.byte())
+		s.rpp = int(r.uvarint())
+		s.schema = r.schema()
+		s.span = r.span()
+		s.count = int(r.uvarint())
+		s.epoch = r.varint()
+		ntable := r.count("page ref", 1<<26)
+		s.table = make([]catRef, 0, ntable)
+		for j := 0; j < ntable && r.err == nil; j++ {
+			ref := catRef{phys: r.varint(), epoch: r.varint(), first: r.varint(), n: int(r.uvarint())}
+			if ref.phys < 0 {
+				r.fail("catalog ref with unassigned slot")
+				break
+			}
+			s.table = append(s.table, ref)
+		}
+		if s.kind != storage.KindDense && s.kind != storage.KindSparse {
+			r.fail("unknown sequence kind %d", int(s.kind))
+		}
+		if s.rpp <= 0 {
+			r.fail("bad records-per-page %d", s.rpp)
+		}
+		c.seqs = append(c.seqs, s)
+	}
+	nviews := r.count("view", 1<<20)
+	for i := 0; i < nviews && r.err == nil; i++ {
+		v := &View{}
+		v.Name = r.string()
+		v.SEQL = r.string()
+		v.Span = r.span()
+		v.Epoch = r.varint()
+		nb := r.count("view base", 1<<16)
+		for j := 0; j < nb && r.err == nil; j++ {
+			v.Bases = append(v.Bases, r.string())
+		}
+		v.Entries = r.entriesRun(1 << 26)
+		c.views = append(c.views, v)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("disk: corrupt catalog: %w", r.err)
+	}
+	return c, nil
+}
+
+// writeCatalog persists the catalog atomically: temp file, fsync, rename
+// over catalogName, fsync the directory.
+func writeCatalog(dir string, c *catalog, hook Hook) error {
+	data := encodeCatalog(c)
+	tmp := filepath.Join(dir, catalogName+".tmp")
+	if hook != nil {
+		if err := hook("cat.write"); err != nil {
+			return err
+		}
+	}
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if hook != nil {
+		if err := hook("cat.rename"); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, catalogName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readCatalog loads catalog.bin; a missing file returns (nil, nil) — a
+// fresh database.
+func readCatalog(dir string) (*catalog, error) {
+	data, err := os.ReadFile(filepath.Join(dir, catalogName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return decodeCatalog(data)
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

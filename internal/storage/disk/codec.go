@@ -1,0 +1,317 @@
+// Package disk implements the durable tier of the storage layer: a
+// positional page-file format with per-page CRC32 checksums, a redo-only
+// write-ahead log with group-commit fsync batching, crash recovery on
+// open, and background checkpointing — all behind a CLOCK buffer pool
+// whose hits, misses, evictions and dirty writebacks flow through the
+// same storage.Stats metering the memory-backed stores use, so EXPLAIN
+// ANALYZE, parallel attribution and calibration observe genuine I/O.
+//
+// docs/STORAGE.md is the normative description of the on-disk format,
+// the WAL record layout, and the recovery algorithm.
+package disk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/seq"
+)
+
+// The value/record encoding mirrors the wire protocol's: integers are
+// varints (signed: zig-zag), strings are uvarint-length-prefixed,
+// float64 is its 8-byte IEEE-754 big-endian bit pattern, values are
+// tagged with their seq.Type byte, and a record is a uvarint field
+// count followed by the values — the Null record is count 0. The two
+// codecs are deliberately not shared: the wire format and the disk
+// format version independently.
+
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) byte(b byte)      { w.buf = append(w.buf, b) }
+func (w *writer) uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *writer) varint(v int64)   { w.buf = binary.AppendVarint(w.buf, v) }
+func (w *writer) u32(v uint32)     { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) float(f float64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(f))
+	w.buf = append(w.buf, b[:]...)
+}
+func (w *writer) string(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *writer) value(v seq.Value) {
+	w.byte(byte(v.T))
+	switch v.T {
+	case seq.TInt:
+		w.varint(v.AsInt())
+	case seq.TFloat:
+		w.float(v.AsFloat())
+	case seq.TString:
+		w.string(v.AsStr())
+	case seq.TBool:
+		if v.AsBool() {
+			w.byte(1)
+		} else {
+			w.byte(0)
+		}
+	}
+}
+
+// record encodes a record as a uvarint field count followed by tagged
+// values; the Null record travels as count 0.
+func (w *writer) record(rec seq.Record) {
+	w.uvarint(uint64(len(rec)))
+	for _, v := range rec {
+		w.value(v)
+	}
+}
+
+func (w *writer) schema(sc *seq.Schema) {
+	fields := sc.Fields()
+	w.uvarint(uint64(len(fields)))
+	for _, f := range fields {
+		w.string(f.Name)
+		w.byte(byte(f.Type))
+	}
+}
+
+// span encodes a span as an emptiness flag plus bounds (bounds omitted
+// when empty).
+func (w *writer) span(sp seq.Span) {
+	if sp.IsEmpty() {
+		w.byte(0)
+		return
+	}
+	w.byte(1)
+	w.varint(sp.Start)
+	w.varint(sp.End)
+}
+
+// entries encodes a sorted entry run: a uvarint count, the first
+// position as a varint, then per entry a uvarint position delta from
+// its predecessor followed by the record. Positions in a run are
+// strictly ascending, so the deltas are ≥ 1 (except the first, 0).
+func (w *writer) entries(ents []seq.Entry) {
+	w.uvarint(uint64(len(ents)))
+	if len(ents) == 0 {
+		return
+	}
+	w.varint(ents[0].Pos)
+	prev := ents[0].Pos
+	for i, e := range ents {
+		if i > 0 {
+			w.uvarint(uint64(e.Pos - prev))
+			prev = e.Pos
+		}
+		w.record(e.Rec)
+	}
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail("truncated payload")
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("bad varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.buf) {
+		r.fail("truncated u32")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) float() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.buf) {
+		r.fail("truncated float")
+		return 0
+	}
+	bits := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return math.Float64frombits(bits)
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+// count decodes a uvarint element count, comparing in uint64 space
+// before the int conversion so a corrupt value can neither wrap
+// negative nor drive an oversized allocation: the count must fit both
+// the caller's limit and the unread payload (every element occupies at
+// least one byte).
+func (r *reader) count(what string, limit int) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64(limit) || v > uint64(r.remaining()) {
+		r.fail("%s count %d out of range", what, v)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) string() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(r.remaining()) {
+		r.fail("truncated string of %d bytes", n)
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *reader) value() seq.Value {
+	t := seq.Type(r.byte())
+	switch t {
+	case seq.TInt:
+		return seq.Int(r.varint())
+	case seq.TFloat:
+		return seq.Float(r.float())
+	case seq.TString:
+		return seq.Str(r.string())
+	case seq.TBool:
+		return seq.Bool(r.byte() != 0)
+	default:
+		r.fail("unknown value type %d", uint8(t))
+		return seq.Value{}
+	}
+}
+
+func (r *reader) record() seq.Record {
+	n := r.count("record field", 1<<16)
+	if r.err != nil || n == 0 {
+		return nil // the Null record
+	}
+	rec := make(seq.Record, n)
+	for i := range rec {
+		rec[i] = r.value()
+	}
+	return rec
+}
+
+func (r *reader) schema() *seq.Schema {
+	n := r.count("schema field", 1<<12)
+	if r.err != nil {
+		return nil
+	}
+	fields := make([]seq.Field, n)
+	for i := range fields {
+		fields[i].Name = r.string()
+		fields[i].Type = seq.Type(r.byte())
+	}
+	if r.err != nil {
+		return nil
+	}
+	sc, err := seq.NewSchema(fields...)
+	if err != nil {
+		r.fail("bad schema: %v", err)
+		return nil
+	}
+	return sc
+}
+
+func (r *reader) span() seq.Span {
+	if r.byte() == 0 {
+		return seq.EmptySpan
+	}
+	start := r.varint()
+	end := r.varint()
+	if r.err != nil {
+		return seq.EmptySpan
+	}
+	if end < start {
+		r.fail("span end %d before start %d", end, start)
+		return seq.EmptySpan
+	}
+	return seq.NewSpan(start, end)
+}
+
+func (r *reader) entriesRun(limit int) []seq.Entry {
+	n := r.count("entry", limit)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	ents := make([]seq.Entry, 0, n)
+	pos := seq.Pos(r.varint())
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			d := r.uvarint()
+			if r.err != nil {
+				return nil
+			}
+			if d == 0 || d > uint64(math.MaxInt64)-uint64(pos) {
+				r.fail("bad position delta %d at entry %d", d, i)
+				return nil
+			}
+			pos += seq.Pos(d)
+		}
+		rec := r.record()
+		if r.err != nil {
+			return nil
+		}
+		ents = append(ents, seq.Entry{Pos: pos, Rec: rec})
+	}
+	return ents
+}

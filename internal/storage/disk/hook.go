@@ -1,0 +1,34 @@
+package disk
+
+import "fmt"
+
+// Hook is the failure-injection point the recovery fuzz harness uses to
+// model crashes: when non-nil, it is consulted immediately before every
+// durability-relevant I/O operation. Returning a non-nil error aborts
+// the operation (the write or fsync does not happen) and fails the
+// caller; the database transitions to a failed state in which every
+// subsequent mutation errors, exactly as a process that lost its disk
+// would. Production opens leave the hook nil, which compiles to a single
+// nil check per I/O.
+//
+// The op names are:
+//
+//	wal.write   – flushing buffered WAL records to the segment file
+//	wal.sync    – fsyncing the WAL segment
+//	page.write  – writing one data page to a page file
+//	page.sync   – fsyncing a page file
+//	cat.write   – writing the catalog temp file
+//	cat.rename  – renaming the catalog temp file over catalog.bin
+type Hook func(op string) error
+
+// PartialWriteError is a special Hook return for the "wal.write" op: the
+// flush writes only the first N bytes of the pending buffer before
+// failing, leaving a torn record tail on disk for recovery's CRC check
+// to find.
+type PartialWriteError struct {
+	N int
+}
+
+func (e *PartialWriteError) Error() string {
+	return fmt.Sprintf("disk: injected partial write of %d bytes", e.N)
+}

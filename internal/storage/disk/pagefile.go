@@ -1,0 +1,187 @@
+package disk
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// pageFile is one sequence's positional page file: a header page
+// followed by fixed-size data pages addressed by physical slot number.
+// Slot allocation state (nextPhys and the free list) is owned here but
+// persisted in the catalog, not in the file — the file may be longer
+// than nextPhys slots after a crash rolled allocation back, and those
+// tail slots are simply reused.
+//
+// Freed slots are quarantined in pending until the next durable catalog
+// no longer references them: a slot freed by GC or reorganize may still
+// be referenced by the last checkpoint's catalog, and overwriting it
+// before a new catalog lands would corrupt recovery. takePending/promote
+// implement the two-stage hand-off around the checkpoint's rename.
+//
+// mu is a leaf below the pool lock: critical sections are pure file I/O
+// and free-list bookkeeping.
+//
+//seqvet:lockorder leaf disk.pageFile.mu
+type pageFile struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	pageSize int
+	nextPhys int64
+	free     []int64
+	pending  []int64
+	hook     Hook
+}
+
+// createPageFile creates a fresh page file with a synced header.
+func createPageFile(path string, pageSize int, hook Hook) (*pageFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.WriteAt(encodeFileHeader(pageSize), 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("disk: writing %s header: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &pageFile{f: f, path: path, pageSize: pageSize, hook: hook}, nil
+}
+
+// openPageFile opens an existing page file, validating its header. The
+// allocation state comes from the catalog.
+func openPageFile(path string, pageSize int, nextPhys int64, free []int64, hook Hook) (*pageFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, pageSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("disk: reading %s header: %w", path, err)
+	}
+	if err := checkFileHeader(hdr, pageSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("disk: %s: %w", path, err)
+	}
+	return &pageFile{
+		f: f, path: path, pageSize: pageSize, hook: hook,
+		nextPhys: nextPhys, free: append([]int64(nil), free...),
+	}, nil
+}
+
+// readPage reads and decodes one data page.
+func (p *pageFile) readPage(phys int64) (*frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if phys < 0 || phys >= p.nextPhys {
+		return nil, fmt.Errorf("disk: %s: read of unallocated page %d (of %d)", p.path, phys, p.nextPhys)
+	}
+	buf := make([]byte, p.pageSize)
+	if _, err := p.f.ReadAt(buf, (1+phys)*int64(p.pageSize)); err != nil {
+		return nil, fmt.Errorf("disk: %s: reading page %d: %w", p.path, phys, err)
+	}
+	f, err := decodePage(buf)
+	if err != nil {
+		return nil, fmt.Errorf("disk: %s page %d: %w", p.path, phys, err)
+	}
+	return f, nil
+}
+
+// writeFrame allocates a slot (reusing the free list first) and writes
+// the encoded frame into it. No fsync: durability comes from the WAL
+// until the next checkpoint syncs the file.
+func (p *pageFile) writeFrame(f *frame) (int64, error) {
+	page, err := encodePage(f, p.pageSize)
+	if err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.hook != nil {
+		if err := p.hook("page.write"); err != nil {
+			return 0, err
+		}
+	}
+	var phys int64
+	if n := len(p.free); n > 0 {
+		phys = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		phys = p.nextPhys
+		p.nextPhys++
+	}
+	if _, err := p.f.WriteAt(page, (1+phys)*int64(p.pageSize)); err != nil {
+		// Put the slot back: the write may be torn, nothing references it.
+		p.free = append(p.free, phys)
+		return 0, fmt.Errorf("disk: %s: writing page %d: %w", p.path, phys, err)
+	}
+	return phys, nil
+}
+
+// freeSlot quarantines a no-longer-referenced slot until the next
+// durable catalog.
+func (p *pageFile) freeSlot(phys int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pending = append(p.pending, phys)
+}
+
+// takePending hands the current quarantine to a checkpoint; the caller
+// promotes it after the catalog rename succeeds.
+func (p *pageFile) takePending() []int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := p.pending
+	p.pending = nil
+	return out
+}
+
+// promote makes previously quarantined slots allocatable: the durable
+// catalog no longer references them.
+func (p *pageFile) promote(slots []int64) {
+	if len(slots) == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free = append(p.free, slots...)
+}
+
+// requeue returns quarantined slots taken by a failed checkpoint to the
+// quarantine (they may be referenced by the still-current catalog).
+func (p *pageFile) requeue(slots []int64) {
+	if len(slots) == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pending = append(p.pending, slots...)
+}
+
+// allocState snapshots the allocation state for the catalog.
+func (p *pageFile) allocState() (nextPhys int64, free []int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.nextPhys, append([]int64(nil), p.free...)
+}
+
+func (p *pageFile) sync() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.hook != nil {
+		if err := p.hook("page.sync"); err != nil {
+			return err
+		}
+	}
+	return p.f.Sync()
+}
+
+func (p *pageFile) close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.f.Close()
+}

@@ -1,0 +1,247 @@
+package disk
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/seq"
+	"repro/internal/storage"
+)
+
+// Snapshot is an immutable view of one version of a disk-backed Seq,
+// pinned at a reader epoch. It implements storage.Store (and
+// storage.SeqSnapshot), so the optimizer, executor, server and parallel
+// machinery treat it exactly like a memory-backed store; page fetches go
+// through the DB's buffer pool and are charged — page touches and pool
+// traffic both — to the snapshot's private counters, which is what
+// EXPLAIN ANALYZE attributes per plan leaf.
+//
+// The page-touch accounting (SeqPages, RandPages, probe depths) is
+// identical to the memory-backed Snapshot's, so plan costs are
+// comparable across tiers; the pool counters underneath tell cold from
+// warm.
+type Snapshot struct {
+	sq    *Seq
+	at    int64 // the reader epoch the snapshot was pinned at
+	v     *dversion
+	stats *storage.Stats
+}
+
+// SnapshotEpoch returns the reader epoch the snapshot is pinned at.
+func (s *Snapshot) SnapshotEpoch() int64 { return s.at }
+
+// VersionEpoch returns the epoch of the underlying store version.
+func (s *Snapshot) VersionEpoch() int64 { return s.v.epoch }
+
+// Kind returns the snapshot's physical representation.
+func (s *Snapshot) Kind() storage.Kind { return s.v.kind }
+
+// Count returns the number of non-Null records.
+func (s *Snapshot) Count() int { return s.v.count }
+
+// Info implements seq.Sequence.
+func (s *Snapshot) Info() seq.Info {
+	den := 0.0
+	if n := s.v.span.Len(); n > 0 && s.v.span.Bounded() {
+		den = float64(s.v.count) / float64(n)
+	}
+	return seq.Info{Schema: s.sq.schema, Span: s.v.span, Density: den}
+}
+
+// Stats implements storage.Store.
+func (s *Snapshot) Stats() *storage.Stats { return s.stats }
+
+// Fork implements storage.StatsForker: a view over the same version
+// counting into stats, for per-worker attribution in parallel runs.
+func (s *Snapshot) Fork(stats *storage.Stats) storage.Store {
+	cp := *s
+	cp.stats = stats
+	return &cp
+}
+
+// probeDepth mirrors the memory stores: page touches charged per probed
+// descent of the page index.
+func (s *Snapshot) probeDepth() int64 {
+	n := int64(len(s.v.table))
+	if n <= 1 {
+		return n
+	}
+	return int64(bits.Len64(uint64(n - 1)))
+}
+
+// AccessCosts implements storage.Store.
+func (s *Snapshot) AccessCosts() storage.AccessCosts {
+	if s.v.kind == storage.KindDense {
+		return storage.AccessCosts{StreamPages: int64(len(s.v.table)), ProbePages: 1, RecordsPerPage: s.sq.rpp}
+	}
+	d := s.probeDepth()
+	if d == 0 {
+		d = 1
+	}
+	return storage.AccessCosts{StreamPages: int64(len(s.v.table)), ProbePages: d, RecordsPerPage: s.sq.rpp}
+}
+
+// Probe implements seq.Sequence: one page fetch through the pool plus
+// the modeled index-descent charge.
+func (s *Snapshot) Probe(pos seq.Pos) (seq.Record, error) {
+	s.stats.ProbeRecords.Add(1)
+	if !s.v.span.Contains(pos) || len(s.v.table) == 0 {
+		return nil, nil
+	}
+	if s.v.kind == storage.KindDense {
+		s.stats.RandPages.Add(1)
+		pi := int((pos - s.v.span.Start) / int64(s.sq.rpp)) //seqvet:ignore spanarith bounded dense span
+		ref := s.v.table[pi]
+		fr, err := s.sq.db.pool.get(s.sq, ref, s.stats)
+		if err != nil {
+			return nil, err
+		}
+		return fr.slots[pos-fr.first], nil
+	}
+	s.stats.RandPages.Add(s.probeDepth())
+	pi := sort.Search(len(s.v.table), func(i int) bool { return s.v.table[i].first > pos }) - 1
+	if pi < 0 {
+		return nil, nil
+	}
+	fr, err := s.sq.db.pool.get(s.sq, s.v.table[pi], s.stats)
+	if err != nil {
+		return nil, err
+	}
+	ents := fr.entries
+	j := sort.Search(len(ents), func(i int) bool { return ents[i].Pos >= pos })
+	if j < len(ents) && ents[j].Pos == pos {
+		return ents[j].Rec, nil
+	}
+	return nil, nil
+}
+
+// Scan implements seq.Sequence: sequential page touches over the
+// intersection of the requested span with the version's valid range,
+// fetching each page through the pool as the cursor enters it.
+func (s *Snapshot) Scan(span seq.Span) seq.Cursor {
+	span = span.Intersect(s.v.span)
+	if span.IsEmpty() || len(s.v.table) == 0 {
+		return emptyCursor{}
+	}
+	if s.v.kind == storage.KindDense {
+		return &diskDenseCursor{s: s, pos: span.Start, end: span.End, page: -1}
+	}
+	pi := sort.Search(len(s.v.table), func(i int) bool { return s.v.table[i].first > span.Start }) - 1
+	if pi < 0 {
+		pi = 0
+	}
+	c := &diskSparseCursor{s: s, pi: pi, end: span.End, page: -1, start: span.Start, seek: true}
+	if pi > 0 {
+		// Entering the middle of the file requires an index descent,
+		// exactly as in the memory stores.
+		s.stats.RandPages.Add(s.probeDepth())
+		c.charged = true
+	}
+	return c
+}
+
+type emptyCursor struct{}
+
+func (emptyCursor) Next() (seq.Pos, seq.Record, bool) { return 0, nil, false }
+func (emptyCursor) Err() error                        { return nil }
+func (emptyCursor) Close() error                      { return nil }
+
+type diskSparseCursor struct {
+	s       *Snapshot
+	pi      int // current page index
+	j       int // next entry index within the current frame
+	end     seq.Pos
+	start   seq.Pos
+	seek    bool // position j at start within the first frame
+	charged bool // mid-file entry descent already charged
+	page    int  // last page charged; -1 before the first touch
+	fr      *frame
+	err     error
+}
+
+func (c *diskSparseCursor) Next() (seq.Pos, seq.Record, bool) {
+	if c.err != nil {
+		return 0, nil, false
+	}
+	for c.pi < len(c.s.v.table) {
+		if c.fr == nil {
+			fr, err := c.s.sq.db.pool.get(c.s.sq, c.s.v.table[c.pi], c.s.stats)
+			if err != nil {
+				c.err = err
+				return 0, nil, false
+			}
+			c.fr = fr
+			c.j = 0
+			if c.seek {
+				c.seek = false
+				c.j = sort.Search(len(fr.entries), func(i int) bool { return fr.entries[i].Pos >= c.start })
+				if c.j > 0 && !c.charged {
+					c.s.stats.RandPages.Add(c.s.probeDepth())
+					c.charged = true
+				}
+			}
+		}
+		if c.j >= len(c.fr.entries) {
+			c.pi++
+			c.fr = nil
+			continue
+		}
+		e := c.fr.entries[c.j]
+		if e.Pos > c.end {
+			return 0, nil, false
+		}
+		if c.pi != c.page {
+			c.page = c.pi
+			c.s.stats.SeqPages.Add(1)
+		}
+		c.j++
+		c.s.stats.SeqRecords.Add(1)
+		return e.Pos, e.Rec, true
+	}
+	return 0, nil, false
+}
+
+func (c *diskSparseCursor) Err() error   { return c.err }
+func (c *diskSparseCursor) Close() error { return nil }
+
+type diskDenseCursor struct {
+	s    *Snapshot
+	pos  seq.Pos
+	end  seq.Pos
+	page int
+	fr   *frame
+	err  error
+}
+
+func (c *diskDenseCursor) Next() (seq.Pos, seq.Record, bool) {
+	if c.err != nil {
+		return 0, nil, false
+	}
+	for c.pos <= c.end {
+		p := c.pos
+		c.pos++
+		// Dense versions have bounded spans at construction.
+		pi := int((p - c.s.v.span.Start) / int64(c.s.sq.rpp)) //seqvet:ignore spanarith bounded dense span
+		if pi != c.page {
+			c.page = pi
+			c.fr = nil
+			c.s.stats.SeqPages.Add(1)
+		}
+		if c.fr == nil {
+			fr, err := c.s.sq.db.pool.get(c.s.sq, c.s.v.table[pi], c.s.stats)
+			if err != nil {
+				c.err = err
+				return 0, nil, false
+			}
+			c.fr = fr
+		}
+		if r := c.fr.slots[p-c.fr.first]; r != nil {
+			c.s.stats.SeqRecords.Add(1)
+			return p, r, true
+		}
+	}
+	return 0, nil, false
+}
+
+func (c *diskDenseCursor) Err() error   { return c.err }
+func (c *diskDenseCursor) Close() error { return nil }

@@ -1,0 +1,378 @@
+package disk
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/seq"
+	"repro/internal/storage"
+)
+
+// Seq is one disk-backed multi-version sequence: the durable counterpart
+// of storage.Versioned. Contents live in immutable page versions
+// addressed by pageRefs; every mutation publishes a new version — a
+// fresh ref table sharing every untouched page with its predecessor
+// (copy-on-write at page granularity) — tagged with the epoch at which
+// it becomes visible. Readers obtain an epoch-pinned Snapshot whose page
+// fetches go through the DB's buffer pool; writers log to the WAL before
+// publishing.
+//
+// An Append copies at most one page (the tail it extends), so K retained
+// epochs cost O(K) extra pages. GC drops versions older than every live
+// reader and frees the disk slots of unreachable page versions.
+//
+// mu guards the version list only; page I/O happens outside it (reads
+// through the pool before publication, which needs no lock because
+// writers are serialized by the DB's writer lock).
+//
+//seqvet:lockorder leaf disk.Seq.mu
+type Seq struct {
+	name   string
+	fileID uint32
+	schema *seq.Schema
+	rpp    int
+	file   *pageFile
+	db     *DB
+
+	mu       sync.RWMutex
+	versions []*dversion // ascending by epoch; last is latest
+}
+
+// dversion is one immutable published state of a Seq.
+type dversion struct {
+	epoch int64
+	kind  storage.Kind
+	span  seq.Span
+	count int // non-Null records
+	table []*pageRef
+}
+
+// Name returns the sequence name.
+func (s *Seq) Name() string { return s.name }
+
+// Schema returns the record type of the stored sequence.
+func (s *Seq) Schema() *seq.Schema { return s.schema }
+
+func (s *Seq) latest() *dversion { return s.versions[len(s.versions)-1] }
+
+// LatestEpoch returns the epoch of the newest published version.
+func (s *Seq) LatestEpoch() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.latest().epoch
+}
+
+// Kind returns the physical representation of the newest version.
+func (s *Seq) Kind() storage.Kind {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.latest().kind
+}
+
+// Versions returns the number of retained versions.
+func (s *Seq) Versions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.versions)
+}
+
+// PageVersions returns the number of distinct page versions retained —
+// the MVCC cost beyond a single copy of the data, in pages.
+func (s *Seq) PageVersions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	distinct := make(map[*pageRef]bool)
+	for _, v := range s.versions {
+		for _, ref := range v.table {
+			distinct[ref] = true
+		}
+	}
+	return len(distinct)
+}
+
+// SnapshotAt returns an immutable snapshot of the newest version
+// published at or before the given epoch, with fresh access counters, or
+// nil when the store has no version that old.
+func (s *Seq) SnapshotAt(epoch int64) *Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i := sort.Search(len(s.versions), func(i int) bool { return s.versions[i].epoch > epoch })
+	if i == 0 {
+		return nil
+	}
+	return &Snapshot{sq: s, at: epoch, v: s.versions[i-1], stats: &storage.Stats{}}
+}
+
+// Latest returns a snapshot of the newest published version.
+func (s *Seq) Latest() *Snapshot {
+	s.mu.RLock()
+	cur := s.latest()
+	s.mu.RUnlock()
+	return &Snapshot{sq: s, at: cur.epoch, v: cur, stats: &storage.Stats{}}
+}
+
+// packFrames builds the page versions of one full sequence state:
+// entries must be sorted by position, unique and non-Null. The frames
+// are returned alongside their refs for the caller to register with the
+// pool as dirty pages.
+func packFrames(entries []seq.Entry, span seq.Span, kind storage.Kind, rpp int, epoch int64) (*dversion, []*frame, error) {
+	if span.IsEmpty() && len(entries) > 0 {
+		span = seq.NewSpan(entries[0].Pos, entries[len(entries)-1].Pos)
+	}
+	v := &dversion{epoch: epoch, kind: kind, span: span, count: len(entries)}
+	var frames []*frame
+	switch kind {
+	case storage.KindSparse:
+		for i := 0; i < len(entries); i += rpp {
+			hi := i + rpp
+			if hi > len(entries) {
+				hi = len(entries)
+			}
+			pg := entries[i:hi:hi]
+			fr := &frame{kind: kind, epoch: epoch, first: pg[0].Pos, entries: pg}
+			v.table = append(v.table, newRef(epoch, pg[0].Pos, len(pg)))
+			frames = append(frames, fr)
+		}
+	case storage.KindDense:
+		if span.IsEmpty() {
+			break
+		}
+		if !span.Bounded() {
+			return nil, nil, fmt.Errorf("disk: dense version requires a bounded span, got %v", span)
+		}
+		n := span.Len()
+		const maxSlots = 1 << 28
+		if n > maxSlots {
+			return nil, nil, fmt.Errorf("disk: dense span of %d positions too large", n)
+		}
+		next := 0
+		for off := int64(0); off < n; off += int64(rpp) {
+			m := n - off
+			if m > int64(rpp) {
+				m = int64(rpp)
+			}
+			first := span.Start + off //seqvet:ignore spanarith bounded dense span
+			fr := &frame{kind: kind, epoch: epoch, first: first, slots: make([]seq.Record, m)}
+			for next < len(entries) && entries[next].Pos < first+m { //seqvet:ignore spanarith bounded dense span
+				fr.slots[entries[next].Pos-first] = entries[next].Rec
+				next++
+			}
+			v.table = append(v.table, newRef(epoch, first, int(m)))
+			frames = append(frames, fr)
+		}
+	default:
+		return nil, nil, fmt.Errorf("disk: unknown kind %v", kind)
+	}
+	return v, frames, nil
+}
+
+// install registers packed frames with the pool and publishes the
+// version. Called with the DB's writer lock held.
+func (s *Seq) install(v *dversion, frames []*frame) error {
+	for i, fr := range frames {
+		if err := s.db.pool.put(s, v.table[i], fr, nil); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.versions = append(s.versions, v)
+	s.mu.Unlock()
+	return nil
+}
+
+// checkAppend runs appendLocked's validation without mutating anything,
+// so the caller can reject a bad append before logging it to the WAL.
+func (s *Seq) checkAppend(e seq.Entry, epoch int64) error {
+	if e.Rec.IsNull() {
+		return fmt.Errorf("disk: cannot append a Null record")
+	}
+	if !e.Rec.Conforms(s.schema) {
+		return fmt.Errorf("disk: record %v does not conform to %v", e.Rec, s.schema)
+	}
+	s.mu.RLock()
+	cur := s.latest()
+	s.mu.RUnlock()
+	if epoch <= cur.epoch {
+		return fmt.Errorf("disk: append epoch %d does not advance version epoch %d", epoch, cur.epoch)
+	}
+	if cur.kind != storage.KindSparse {
+		return fmt.Errorf("disk: version is not appendable (reorganize to sparse first)")
+	}
+	if !cur.span.IsEmpty() && e.Pos <= cur.span.End {
+		return fmt.Errorf("disk: append position %d inside the valid range %v", e.Pos, cur.span)
+	}
+	return nil
+}
+
+// appendLocked builds and publishes the version extending the latest
+// with entry e. Called with the DB's writer lock held (writers are
+// serialized); returns without mutating state on validation errors.
+func (s *Seq) appendLocked(e seq.Entry, epoch int64) error {
+	if e.Rec.IsNull() {
+		return fmt.Errorf("disk: cannot append a Null record")
+	}
+	if !e.Rec.Conforms(s.schema) {
+		return fmt.Errorf("disk: record %v does not conform to %v", e.Rec, s.schema)
+	}
+	s.mu.RLock()
+	cur := s.latest()
+	s.mu.RUnlock()
+	if epoch <= cur.epoch {
+		return fmt.Errorf("disk: append epoch %d does not advance version epoch %d", epoch, cur.epoch)
+	}
+	if cur.kind != storage.KindSparse {
+		return fmt.Errorf("disk: version is not appendable (reorganize to sparse first)")
+	}
+	if !cur.span.IsEmpty() && e.Pos <= cur.span.End {
+		return fmt.Errorf("disk: append position %d inside the valid range %v", e.Pos, cur.span)
+	}
+	table := make([]*pageRef, len(cur.table), len(cur.table)+1)
+	copy(table, cur.table)
+	var ref *pageRef
+	var fr *frame
+	if n := len(table); n > 0 && table[n-1].n < s.rpp {
+		tailRef := table[n-1]
+		tailFr, err := s.db.pool.get(s, tailRef, nil)
+		if err != nil {
+			return err
+		}
+		ents := make([]seq.Entry, len(tailFr.entries), len(tailFr.entries)+1)
+		copy(ents, tailFr.entries)
+		ents = append(ents, e)
+		ref = newRef(epoch, tailFr.first, len(ents))
+		fr = &frame{kind: storage.KindSparse, epoch: epoch, first: tailFr.first, entries: ents}
+		table[n-1] = ref
+	} else {
+		ref = newRef(epoch, e.Pos, 1)
+		fr = &frame{kind: storage.KindSparse, epoch: epoch, first: e.Pos, entries: []seq.Entry{e}}
+		table = append(table, ref)
+	}
+	span := cur.span
+	if span.IsEmpty() {
+		span = seq.NewSpan(e.Pos, e.Pos)
+	} else {
+		span.End = e.Pos
+	}
+	if err := s.db.pool.put(s, ref, fr, nil); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.versions = append(s.versions, &dversion{
+		epoch: epoch, kind: storage.KindSparse, span: span, count: cur.count + 1, table: table,
+	})
+	s.mu.Unlock()
+	return nil
+}
+
+// reorganizeLocked repacks the latest contents into the given kind and
+// publishes the result at epoch. Called with the DB's writer lock held.
+func (s *Seq) reorganizeLocked(kind storage.Kind, epoch int64) error {
+	s.mu.RLock()
+	cur := s.latest()
+	s.mu.RUnlock()
+	if epoch <= cur.epoch {
+		return fmt.Errorf("disk: reorganize epoch %d does not advance version epoch %d", epoch, cur.epoch)
+	}
+	entries, err := s.collect(cur)
+	if err != nil {
+		return err
+	}
+	v, frames, err := packFrames(entries, cur.span, kind, s.rpp, epoch)
+	if err != nil {
+		return err
+	}
+	return s.install(v, frames)
+}
+
+// collect flattens a version's pages into sorted entries, fetching
+// frames through the pool.
+func (s *Seq) collect(v *dversion) ([]seq.Entry, error) {
+	out := make([]seq.Entry, 0, v.count)
+	for _, ref := range v.table {
+		fr, err := s.db.pool.get(s, ref, nil)
+		if err != nil {
+			return nil, err
+		}
+		if fr.entries != nil {
+			out = append(out, fr.entries...)
+			continue
+		}
+		for i, r := range fr.slots {
+			if r != nil {
+				out = append(out, seq.Entry{Pos: fr.first + seq.Pos(i), Rec: r}) //seqvet:ignore spanarith bounded dense span
+			}
+		}
+	}
+	return out, nil
+}
+
+// GC drops this sequence's versions superseded at or before minLive and
+// frees the disk slots of unreachable page versions, returning the
+// number of versions dropped. It takes the database writer lock — the
+// per-sequence entry point the server's GC loop uses; DB.GC does the
+// same for every sequence under one lock acquisition.
+func (s *Seq) GC(minLive int64) int {
+	s.db.wmu.Lock()
+	defer s.db.wmu.Unlock()
+	versions, _ := s.gcLocked(minLive)
+	return versions
+}
+
+// gcLocked drops every version superseded at or before minLive and
+// frees the disk slots of page versions no surviving version references.
+// Called with the DB's writer lock held. It returns versions dropped and
+// disk page slots freed.
+func (s *Seq) gcLocked(minLive int64) (versions, pages int) {
+	s.mu.Lock()
+	i := sort.Search(len(s.versions), func(i int) bool { return s.versions[i].epoch > minLive })
+	if i <= 1 {
+		s.mu.Unlock()
+		return 0, 0
+	}
+	dropped := s.versions[:i-1]
+	keep := s.versions[i-1:]
+	s.versions = append(make([]*dversion, 0, len(keep)), keep...)
+	live := make(map[*pageRef]bool)
+	for _, v := range s.versions {
+		for _, ref := range v.table {
+			live[ref] = true
+		}
+	}
+	s.mu.Unlock()
+	freed := 0
+	seen := make(map[*pageRef]bool)
+	for _, v := range dropped {
+		for _, ref := range v.table {
+			if live[ref] || seen[ref] {
+				continue
+			}
+			seen[ref] = true
+			if phys := s.db.pool.forget(ref); phys >= 0 {
+				s.file.freeSlot(phys)
+				freed++
+			}
+		}
+	}
+	return len(dropped), freed
+}
+
+// dropAllPages forgets every resident frame and quarantines every
+// allocated slot — the sequence-drop path. Called with the DB's writer
+// lock held.
+func (s *Seq) dropAllPages() {
+	s.mu.Lock()
+	versions := s.versions
+	s.versions = nil
+	s.mu.Unlock()
+	seen := make(map[*pageRef]bool)
+	for _, v := range versions {
+		for _, ref := range v.table {
+			if seen[ref] {
+				continue
+			}
+			seen[ref] = true
+			s.db.pool.forget(ref)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package disk
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// WAL record types. Records are logical redo entries: replay re-executes
+// the mutation against the recovered in-memory state, so the log is
+// idempotent under the epoch-advance check (a record whose epoch does
+// not advance the sequence's version epoch was already captured by the
+// checkpoint the replay started from).
+//
+// Bulk loads (CreateSequence, PutView) are chunked: a begin record
+// carries the metadata, bulk records carry bounded entry runs, and a
+// commit record makes the object visible. Recovery discards a begin
+// group with no commit — such a group can only sit at the torn tail of
+// the last segment, because the whole group is appended contiguously
+// under the writer lock.
+const (
+	walCreate     byte = 1  // begin sequence: name, fileID, kind, rpp, schema, span, epoch
+	walBulk       byte = 2  // entry run for the pending create: fileID, entries
+	walCommitSeq  byte = 3  // commit the pending create: fileID
+	walAppend     byte = 4  // single append: fileID, epoch, pos, record
+	walReorg      byte = 5  // reorganize: fileID, epoch, kind
+	walDrop       byte = 6  // drop sequence: fileID, epoch
+	walPutView    byte = 7  // begin view: name, epoch, seql, span, bases
+	walViewBulk   byte = 8  // entry run for the pending view: name, entries
+	walCommitView byte = 9  // commit the pending view: name
+	walDropView   byte = 10 // drop view: name, epoch
+)
+
+// maxWALRecord bounds one WAL record; larger length prefixes are treated
+// as torn tails. Bulk chunking keeps well-formed writers far below it.
+const maxWALRecord = 32 << 20
+
+// walBulkChunk is the number of entries per bulk record.
+const walBulkChunk = 512
+
+// walName formats a segment file name; segments are replayed in
+// ascending sequence order.
+func walName(n uint64) string { return fmt.Sprintf("wal-%08d.log", n) }
+
+// parseWALName inverts walName.
+func parseWALName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// listWALSegments returns the segment numbers present in dir, ascending.
+func listWALSegments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []uint64
+	for _, e := range ents {
+		if n, ok := parseWALName(e.Name()); ok {
+			segs = append(segs, n)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// wal is the write-ahead log writer: an append-only segment file with
+// per-record CRC32-C framing
+//
+//	u32 big-endian  payload length
+//	u32 big-endian  CRC32-C of the payload
+//	bytes           payload (type byte + record body)
+//
+// Appends buffer in memory; flush writes the buffer, sync flushes and
+// fsyncs. Group commit batches syncs: in batched mode the flusher
+// goroutine syncs on a timer, bounding the durability window instead of
+// paying one fsync per append.
+//
+// mu is a leaf in the declared lock order: critical sections are buffer
+// manipulation and file I/O only.
+//
+//seqvet:lockorder leaf disk.wal.mu
+type wal struct {
+	mu    sync.Mutex
+	dir   string
+	seq   uint64
+	f     *os.File
+	buf   []byte // appended but not yet written
+	size  int64  // bytes written to the current segment
+	dirty bool   // written or buffered bytes not yet fsynced
+	hook  Hook
+}
+
+// createWAL opens a fresh segment for appending.
+func createWAL(dir string, seq uint64, hook Hook) (*wal, error) {
+	f, err := os.OpenFile(filepath.Join(dir, walName(seq)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{dir: dir, seq: seq, f: f, hook: hook}, nil
+}
+
+// append frames one record into the buffer. When syncNow is set the
+// record (and everything buffered before it) is durable on return.
+func (w *wal) append(payload []byte, syncNow bool) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(payload) > maxWALRecord {
+		return fmt.Errorf("disk: WAL record of %d bytes exceeds limit %d", len(payload), maxWALRecord)
+	}
+	var hdr [8]byte
+	putU32(hdr[0:4], uint32(len(payload)))
+	putU32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	w.buf = append(w.buf, hdr[:]...)
+	w.buf = append(w.buf, payload...)
+	w.dirty = true
+	if syncNow {
+		return w.syncLocked()
+	}
+	return nil
+}
+
+// flushLocked writes the buffer to the segment file. On a hook-injected
+// partial write, the prefix reaches the file and the rest is dropped —
+// the torn-tail shape recovery must detect.
+func (w *wal) flushLocked() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	buf := w.buf
+	if w.hook != nil {
+		if err := w.hook("wal.write"); err != nil {
+			if pw, ok := err.(*PartialWriteError); ok {
+				n := pw.N
+				if n > len(buf) {
+					n = len(buf)
+				}
+				wrote, _ := w.f.Write(buf[:n])
+				w.size += int64(wrote)
+				w.buf = nil
+				return err
+			}
+			return err
+		}
+	}
+	n, err := w.f.Write(buf)
+	w.size += int64(n)
+	if err != nil {
+		w.buf = nil
+		return err
+	}
+	w.buf = w.buf[:0]
+	return nil
+}
+
+func (w *wal) syncLocked() error {
+	if err := w.flushLocked(); err != nil {
+		return err
+	}
+	if !w.dirty {
+		return nil
+	}
+	if w.hook != nil {
+		if err := w.hook("wal.sync"); err != nil {
+			return err
+		}
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.dirty = false
+	return nil
+}
+
+// sync makes everything appended so far durable.
+func (w *wal) sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+// needsSync reports whether unsynced bytes exist (the flusher's cheap
+// poll).
+func (w *wal) needsSync() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dirty
+}
+
+// bytes returns the size of the current segment including buffered data.
+func (w *wal) bytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size + int64(len(w.buf))
+}
+
+// rotate syncs and closes the current segment and opens segment n. The
+// caller (the checkpoint) serializes rotation against appends.
+func (w *wal) rotate(n uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(w.dir, walName(n)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f.Close()
+	w.f, w.seq, w.size, w.dirty = f, n, 0, false
+	return nil
+}
+
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.syncLocked()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// replayWAL reads one segment and calls apply for each intact record, in
+// order. It stops at the first torn record — a truncated header, an
+// implausible length, a short payload, or a CRC mismatch — and reports
+// whether a tear was found. Torn tails are the expected shape of a crash
+// mid-append; they are never applied.
+func replayWAL(path string, apply func(payload []byte) error) (torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	off := 0
+	for off < len(data) {
+		if off+8 > len(data) {
+			return true, nil
+		}
+		n := int(getU32(data[off : off+4]))
+		want := getU32(data[off+4 : off+8])
+		if n == 0 || n > maxWALRecord || off+8+n > len(data) {
+			return true, nil
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.Checksum(payload, crcTable) != want {
+			return true, nil
+		}
+		if err := apply(payload); err != nil {
+			return false, fmt.Errorf("disk: replaying %s at offset %d: %w", path, off, err)
+		}
+		off += 8 + n
+	}
+	return false, nil
+}

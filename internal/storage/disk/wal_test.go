@@ -1,0 +1,151 @@
+package disk
+
+import (
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeSegment(t *testing.T, path string, payloads [][]byte) []byte {
+	t.Helper()
+	var data []byte
+	for _, p := range payloads {
+		var hdr [8]byte
+		putU32(hdr[0:4], uint32(len(p)))
+		putU32(hdr[4:8], crc32.Checksum(p, crcTable))
+		data = append(data, hdr[:]...)
+		data = append(data, p...)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func replayAll(t *testing.T, path string) (applied [][]byte, torn bool) {
+	t.Helper()
+	torn, err := replayWAL(path, func(p []byte) error {
+		applied = append(applied, append([]byte(nil), p...))
+		return err2(nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return applied, torn
+}
+
+func err2(e error) error { return e }
+
+// TestReplayTornShapes covers every torn-tail shape recovery must stop
+// at without erroring: truncated header, truncated payload, corrupt
+// payload, zero length, implausible length.
+func TestReplayTornShapes(t *testing.T) {
+	dir := t.TempDir()
+	payloads := [][]byte{{1, 2, 3}, {4, 5, 6, 7}, {8}}
+
+	path := filepath.Join(dir, "full.log")
+	full := writeSegment(t, path, payloads)
+	applied, torn := replayAll(t, path)
+	if torn || len(applied) != 3 {
+		t.Fatalf("intact segment: applied=%d torn=%v", len(applied), torn)
+	}
+
+	cases := []struct {
+		name   string
+		mangle func([]byte) []byte
+		want   int // intact records surviving
+	}{
+		{"truncated header", func(d []byte) []byte { return d[:len(d)-len(payloads[2])-4] }, 2},
+		{"truncated payload", func(d []byte) []byte { return d[:len(d)-1] }, 2},
+		{"corrupt payload", func(d []byte) []byte {
+			out := append([]byte(nil), d...)
+			out[len(out)-1] ^= 0xff
+			return out
+		}, 2},
+		{"zero length", func(d []byte) []byte {
+			head := d[:len(d)-len(payloads[2])-8]
+			return append(append([]byte(nil), head...), make([]byte, 8)...)
+		}, 2},
+		{"implausible length", func(d []byte) []byte {
+			out := append([]byte(nil), d...)
+			off := len(d) - len(payloads[2]) - 8
+			putU32(out[off:off+4], maxWALRecord+1)
+			return out
+		}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := filepath.Join(dir, "case.log")
+			if err := os.WriteFile(p, tc.mangle(append([]byte(nil), full...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			applied, torn := replayAll(t, p)
+			if !torn {
+				t.Fatal("tear not detected")
+			}
+			if len(applied) != tc.want {
+				t.Fatalf("applied %d records, want %d", len(applied), tc.want)
+			}
+		})
+	}
+}
+
+// TestWALRotateAndList: segment naming round-trips and lists ascending.
+func TestWALRotateAndList(t *testing.T) {
+	dir := t.TempDir()
+	w, err := createWAL(dir, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append([]byte{1}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.rotate(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append([]byte{2}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listWALSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 || segs[0] != 3 || segs[1] != 7 {
+		t.Fatalf("segments = %v", segs)
+	}
+	if n, ok := parseWALName(walName(42)); !ok || n != 42 {
+		t.Fatalf("walName round-trip: %d %v", n, ok)
+	}
+}
+
+// TestPartialWriteHook: a PartialWriteError leaves exactly the prefix in
+// the file — the torn shape the fuzz harness relies on.
+func TestPartialWriteHook(t *testing.T) {
+	dir := t.TempDir()
+	var arm bool
+	w, err := createWAL(dir, 1, func(op string) error {
+		if arm && op == "wal.write" {
+			return &PartialWriteError{N: 5}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append([]byte{1, 2, 3}, true); err != nil {
+		t.Fatal(err)
+	}
+	arm = true
+	if err := w.append([]byte{4, 5, 6}, true); err == nil {
+		t.Fatal("partial write reported success")
+	}
+	w.f.Close()
+	applied, torn := replayAll(t, filepath.Join(dir, walName(1)))
+	if !torn || len(applied) != 1 {
+		t.Fatalf("after partial write: applied=%d torn=%v", len(applied), torn)
+	}
+}

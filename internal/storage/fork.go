@@ -35,6 +35,18 @@ func (s *Stats) AddSnapshot(d StatsSnapshot) {
 	if d.ProbeRecords != 0 {
 		s.ProbeRecords.Add(d.ProbeRecords)
 	}
+	if d.PoolHits != 0 {
+		s.PoolHits.Add(d.PoolHits)
+	}
+	if d.PoolMisses != 0 {
+		s.PoolMisses.Add(d.PoolMisses)
+	}
+	if d.PoolEvictions != 0 {
+		s.PoolEvictions.Add(d.PoolEvictions)
+	}
+	if d.DirtyWrites != 0 {
+		s.DirtyWrites.Add(d.DirtyWrites)
+	}
 }
 
 // Fork implements StatsForker: a shallow view over the same pages and

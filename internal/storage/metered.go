@@ -47,6 +47,18 @@ func (m *metered) credit(before StatsSnapshot) {
 	if d.ProbeRecords != 0 {
 		m.consumer.ProbeRecords.Add(d.ProbeRecords)
 	}
+	if d.PoolHits != 0 {
+		m.consumer.PoolHits.Add(d.PoolHits)
+	}
+	if d.PoolMisses != 0 {
+		m.consumer.PoolMisses.Add(d.PoolMisses)
+	}
+	if d.PoolEvictions != 0 {
+		m.consumer.PoolEvictions.Add(d.PoolEvictions)
+	}
+	if d.DirtyWrites != 0 {
+		m.consumer.DirtyWrites.Add(d.DirtyWrites)
+	}
 }
 
 // Probe implements seq.Sequence.

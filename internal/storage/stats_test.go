@@ -1,0 +1,94 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSnapshotAndReset(t *testing.T) {
+	var s Stats
+	s.SeqPages.Add(5)
+	s.RandPages.Add(3)
+	s.SeqRecords.Add(7)
+	s.ProbeRecords.Add(2)
+	s.PoolHits.Add(11)
+	s.PoolMisses.Add(4)
+	s.PoolEvictions.Add(1)
+	s.DirtyWrites.Add(6)
+
+	got := s.SnapshotAndReset()
+	want := StatsSnapshot{
+		SeqPages: 5, RandPages: 3, SeqRecords: 7, ProbeRecords: 2,
+		PoolHits: 11, PoolMisses: 4, PoolEvictions: 1, DirtyWrites: 6,
+	}
+	if got != want {
+		t.Fatalf("SnapshotAndReset = %+v, want %+v", got, want)
+	}
+	if after := s.Snapshot(); after != (StatsSnapshot{}) {
+		t.Fatalf("counters not zeroed: %+v", after)
+	}
+	if !got.HasPool() {
+		t.Fatal("HasPool false with pool traffic")
+	}
+	if (StatsSnapshot{SeqPages: 9}).HasPool() {
+		t.Fatal("HasPool true without pool traffic")
+	}
+}
+
+// TestSnapshotAndResetString: the pool section renders only when pool
+// traffic exists, keeping memory-tier renders byte-identical.
+func TestStatsSnapshotString(t *testing.T) {
+	mem := StatsSnapshot{SeqPages: 2, SeqRecords: 8}
+	if s := mem.String(); s != "seqPages=2 randPages=0 seqRecs=8 probes=0" {
+		t.Fatalf("memory-tier String() = %q", s)
+	}
+	disk := StatsSnapshot{SeqPages: 2, PoolHits: 1, PoolMisses: 1}
+	if s := disk.String(); s != "seqPages=2 randPages=0 seqRecs=0 probes=0 poolHits=1 poolMisses=1 evictions=0 dirtyWrites=0" {
+		t.Fatalf("disk-tier String() = %q", s)
+	}
+}
+
+// TestSnapshotAndResetConservation: concurrent writers and swappers —
+// every increment lands in exactly one taken snapshot (or the final
+// remainder). A Snapshot-then-Reset pair would lose increments that
+// slip between the two calls; the per-counter swap cannot.
+func TestSnapshotAndResetConservation(t *testing.T) {
+	var s Stats
+	const writers = 4
+	const perWriter = 10000
+
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				s.SeqPages.Add(1)
+			}
+		}()
+	}
+
+	var taken int64 // swapper-local; read only after the swapper joins
+	stop := make(chan struct{})
+	var swapperWG sync.WaitGroup
+	swapperWG.Add(1)
+	go func() {
+		defer swapperWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				taken += s.SnapshotAndReset().SeqPages
+			}
+		}
+	}()
+
+	writerWG.Wait()
+	close(stop)
+	swapperWG.Wait()
+	total := taken + s.Snapshot().SeqPages
+	if total != writers*perWriter {
+		t.Fatalf("conservation violated: %d counted, want %d", total, writers*perWriter)
+	}
+}

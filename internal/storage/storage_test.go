@@ -223,10 +223,10 @@ func TestFromMaterialized(t *testing.T) {
 func TestStatsSnapshotArithmetic(t *testing.T) {
 	a := StatsSnapshot{SeqPages: 5, RandPages: 2, SeqRecords: 10, ProbeRecords: 1}
 	b := StatsSnapshot{SeqPages: 1, RandPages: 1, SeqRecords: 4, ProbeRecords: 1}
-	if got := a.Sub(b); got != (StatsSnapshot{4, 1, 6, 0}) {
+	if got := a.Sub(b); got != (StatsSnapshot{SeqPages: 4, RandPages: 1, SeqRecords: 6, ProbeRecords: 0}) {
 		t.Errorf("Sub = %+v", got)
 	}
-	if got := a.Add(b); got != (StatsSnapshot{6, 3, 14, 2}) {
+	if got := a.Add(b); got != (StatsSnapshot{SeqPages: 6, RandPages: 3, SeqRecords: 14, ProbeRecords: 2}) {
 		t.Errorf("Add = %+v", got)
 	}
 	if a.Pages() != 7 {

@@ -285,7 +285,7 @@ type Ready struct {
 	Epoch int64
 }
 
-func (*Ready) Type() Type        { return TReady }
+func (*Ready) Type() Type         { return TReady }
 func (m *Ready) encode(w *writer) { w.varint(m.Epoch) }
 func (m *Ready) decode(r *reader) { m.Epoch = r.varint() }
 
@@ -429,9 +429,9 @@ func (m *SetOption) decode(r *reader) {
 // ListSeqs asks for the catalog. Response: SeqList, Ready.
 type ListSeqs struct{}
 
-func (*ListSeqs) Type() Type      { return TListSeqs }
-func (*ListSeqs) encode(*writer)  {}
-func (*ListSeqs) decode(*reader)  {}
+func (*ListSeqs) Type() Type     { return TListSeqs }
+func (*ListSeqs) encode(*writer) {}
+func (*ListSeqs) decode(*reader) {}
 
 // Describe asks for one sequence's schema and meta-data as of the
 // session's snapshot. Response: SeqInfo, Ready.
@@ -439,7 +439,7 @@ type Describe struct {
 	Name string
 }
 
-func (*Describe) Type() Type        { return TDescribe }
+func (*Describe) Type() Type         { return TDescribe }
 func (m *Describe) encode(w *writer) { w.string(m.Name) }
 func (m *Describe) decode(r *reader) { m.Name = r.string() }
 
@@ -457,7 +457,7 @@ type DropView struct {
 	Name string
 }
 
-func (*DropView) Type() Type        { return TDropView }
+func (*DropView) Type() Type         { return TDropView }
 func (m *DropView) encode(w *writer) { w.string(m.Name) }
 func (m *DropView) decode(r *reader) { m.Name = r.string() }
 
@@ -553,7 +553,7 @@ type PlanText struct {
 	Text string
 }
 
-func (*PlanText) Type() Type        { return TPlanText }
+func (*PlanText) Type() Type         { return TPlanText }
 func (m *PlanText) encode(w *writer) { w.string(m.Text) }
 func (m *PlanText) decode(r *reader) { m.Text = r.string() }
 
@@ -771,9 +771,9 @@ type writer struct {
 	buf []byte
 }
 
-func (w *writer) byte(b byte)        { w.buf = append(w.buf, b) }
-func (w *writer) uvarint(v uint64)   { w.buf = binary.AppendUvarint(w.buf, v) }
-func (w *writer) varint(v int64)     { w.buf = binary.AppendVarint(w.buf, v) }
+func (w *writer) byte(b byte)      { w.buf = append(w.buf, b) }
+func (w *writer) uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *writer) varint(v int64)   { w.buf = binary.AppendVarint(w.buf, v) }
 func (w *writer) float(f float64) {
 	var b [8]byte
 	binary.BigEndian.PutUint64(b[:], math.Float64bits(f))

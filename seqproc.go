@@ -36,6 +36,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/seq"
 	"repro/internal/storage"
+	"repro/internal/storage/disk"
 )
 
 // Re-exported core types, so API users need no internal imports.
@@ -126,12 +127,28 @@ type DB struct {
 	seqs  map[string]*dbSeq
 	opts  Options
 	views *matview.Registry
+	// disk is the durable tier of an Open'd database (persist.go);
+	// nil for New'd in-memory databases.
+	disk *disk.DB
 }
 
 type dbSeq struct {
 	name  string
 	store storage.Store
 	stats map[int]expr.ColStats
+	// dseq is the durable sequence behind store (nil in-memory).
+	// store is then a snapshot of its latest version, re-forked after
+	// every mutation with the same counters so PageStats accumulates
+	// across versions.
+	dseq *disk.Seq
+}
+
+// refresh points store at the latest durable version after a mutation,
+// keeping the accumulated page counters.
+func (s *dbSeq) refresh() {
+	if s.dseq != nil {
+		s.store = s.dseq.Latest().Fork(s.store.Stats())
+	}
 }
 
 // node mints a fresh algebra leaf over the stored sequence. Every
@@ -162,6 +179,19 @@ func (db *DB) CreateSequence(name string, data *seq.Materialized, kind StorageKi
 	if _, dup := db.seqs[name]; dup {
 		return fmt.Errorf("seqproc: sequence %q already exists", name)
 	}
+	if db.disk != nil {
+		if err := db.disk.CreateSequence(name, data, kind); err != nil {
+			return err
+		}
+		ds, _ := db.disk.Seq(name)
+		db.seqs[name] = &dbSeq{
+			name:  name,
+			store: ds.Latest().Fork(&storage.Stats{}),
+			stats: meta.StatsFromMaterialized(data),
+			dseq:  ds,
+		}
+		return nil
+	}
 	store, err := storage.FromMaterialized(data, kind, 0)
 	if err != nil {
 		return err
@@ -185,8 +215,14 @@ func (db *DB) MustCreateSequence(name string, data *seq.Materialized, kind Stora
 // DropSequence removes a base sequence, invalidating every view whose
 // block reads it.
 func (db *DB) DropSequence(name string) error {
-	if _, ok := db.seqs[name]; !ok {
+	s, ok := db.seqs[name]
+	if !ok {
 		return fmt.Errorf("seqproc: unknown sequence %q", name)
+	}
+	if s.dseq != nil {
+		if err := db.disk.DropSequence(name); err != nil {
+			return err
+		}
 	}
 	delete(db.seqs, name)
 	db.views.InvalidateBase(name)
@@ -219,6 +255,16 @@ func (db *DB) Append(name string, pos Pos, rec Record) error {
 	if !ok {
 		return fmt.Errorf("seqproc: unknown sequence %q", name)
 	}
+	if s.dseq != nil {
+		// WAL-logged append: durable (or queued for group commit)
+		// before the new version publishes.
+		if _, err := db.disk.Append(name, seq.Entry{Pos: pos, Rec: rec}); err != nil {
+			return err
+		}
+		s.refresh()
+		db.views.InvalidateBase(name)
+		return nil
+	}
 	sp, ok := s.store.(*storage.Sparse)
 	if !ok {
 		return fmt.Errorf("seqproc: sequence %q is not appendable (use Sparse storage)", name)
@@ -241,6 +287,14 @@ func (db *DB) Reorganize(name string, kind StorageKind) error {
 	s, ok := db.seqs[name]
 	if !ok {
 		return fmt.Errorf("seqproc: unknown sequence %q", name)
+	}
+	if s.dseq != nil {
+		if _, err := db.disk.Reorganize(name, kind); err != nil {
+			return err
+		}
+		s.refresh()
+		db.views.InvalidateBase(name)
+		return nil
 	}
 	info := s.store.Info()
 	entries, err := seq.Collect(s.store.Scan(seq.AllSpan))
@@ -275,6 +329,19 @@ func (db *DB) PageStats(name string) (storage.StatsSnapshot, error) {
 		return storage.StatsSnapshot{}, fmt.Errorf("seqproc: unknown sequence %q", name)
 	}
 	return s.store.Stats().Snapshot(), nil
+}
+
+// TakePageStats atomically snapshots and zeroes the page-access
+// counters of a base sequence — the metered-region read. Unlike a
+// Snapshot followed by Reset, the single swap per counter loses no
+// touches that race the region boundary, so back-to-back regions
+// partition the counts exactly.
+func (db *DB) TakePageStats(name string) (storage.StatsSnapshot, error) {
+	s, ok := db.seqs[name]
+	if !ok {
+		return storage.StatsSnapshot{}, fmt.Errorf("seqproc: unknown sequence %q", name)
+	}
+	return s.store.Stats().SnapshotAndReset(), nil
 }
 
 // ResetPageStats zeroes the page-access counters of every sequence.
@@ -321,6 +388,9 @@ func (db *DB) Materialize(name, seql string, span Span) (ViewCounters, error) {
 	if err != nil {
 		return ViewCounters{}, err
 	}
+	if err := db.persistView(name, seql, res, out); err != nil {
+		return ViewCounters{}, err
+	}
 	return v.Counters(), nil
 }
 
@@ -335,10 +405,20 @@ func (db *DB) ListViews() []ViewCounters {
 	return out
 }
 
-// DropView removes a materialized view.
+// DropView removes a materialized view (and its persisted copy, for
+// durable databases).
 func (db *DB) DropView(name string) error {
 	if !db.views.Drop(name) {
 		return fmt.Errorf("seqproc: unknown view %q", name)
+	}
+	if db.disk != nil {
+		// The persisted copy may already be gone: base writes delete
+		// persisted views eagerly.
+		for _, v := range db.disk.Views() {
+			if v.Name == name {
+				return db.disk.DropViewAt(name, db.disk.Epoch())
+			}
+		}
 	}
 	return nil
 }
