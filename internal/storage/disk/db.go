@@ -108,6 +108,14 @@ type DB struct {
 	closed   bool
 	dropped  []*pageFile // files of dropped sequences, removed at checkpoint
 
+	// Checkpoint pinning (guarded by wmu): while a checkpoint is in
+	// flight, every ref in its captured version tables is pinned, and
+	// drop/GC must defer forgetting a pinned ref until the checkpoint
+	// ends — a forget would otherwise make the flush of a captured dirty
+	// page fail and poison the DB.
+	cpPins     map[*pageRef]bool
+	cpDeferred []deferredForget
+
 	mu    sync.RWMutex // guards the maps for concurrent readers
 	seqs  map[string]*Seq
 	byID  map[uint32]*Seq
@@ -250,8 +258,13 @@ func (db *DB) loadSeq(cs *catSeq) error {
 }
 
 // sweepOrphans removes files recovery proved unreferenced: WAL segments
-// before the catalog's replay point, page files of dropped or
-// never-committed sequences, and a leftover catalog temp file.
+// before the catalog's replay point, page files the catalog has never
+// heard of (crash leftovers of checkpoint-removed drops), and a leftover
+// catalog temp file. Files of sequences whose drop was replayed from the
+// WAL are NOT swept — the on-disk catalog still references them, and
+// deleting them before a new catalog lands would make the next recovery
+// fail in loadSeq; they sit in db.dropped until a checkpoint publishes a
+// catalog without them.
 func (db *DB) sweepOrphans(catWALSeq uint64, segs []uint64) {
 	for _, n := range segs {
 		if n < catWALSeq {
@@ -263,9 +276,12 @@ func (db *DB) sweepOrphans(catWALSeq uint64, segs []uint64) {
 	if err != nil {
 		return
 	}
-	live := make(map[string]bool, len(db.seqs))
+	live := make(map[string]bool, len(db.seqs)+len(db.dropped))
 	for _, s := range db.seqs {
 		live[seqFileName(s.fileID)] = true
+	}
+	for _, f := range db.dropped {
+		live[filepath.Base(f.path)] = true
 	}
 	for _, e := range ents {
 		name := e.Name()
@@ -279,6 +295,10 @@ func (db *DB) releaseFiles() {
 	for _, s := range db.seqs {
 		s.file.close()
 	}
+	for _, f := range db.dropped {
+		f.close()
+	}
+	db.dropped = nil
 }
 
 func seqFileName(fileID uint32) string { return fmt.Sprintf("s%06d.spf", fileID) }
@@ -598,7 +618,11 @@ func (db *DB) applyWAL(payload []byte, rs *replayState) error {
 		if epoch <= s.LatestEpoch() {
 			return nil // captured by the checkpoint already
 		}
-		if err := s.appendLocked(seq.Entry{Pos: pos, Rec: rec}, epoch); err != nil {
+		p, err := s.prepareAppend(seq.Entry{Pos: pos, Rec: rec}, epoch)
+		if err != nil {
+			return err
+		}
+		if err := s.commitAppend(p); err != nil {
 			return err
 		}
 		db.dropViewsReadingLocked(s.name)
@@ -700,7 +724,7 @@ func (db *DB) applyCreate(m createMeta, entries []seq.Entry) error {
 		return err
 	}
 	s := &Seq{name: m.name, fileID: m.fileID, schema: m.schema, rpp: m.rpp, file: file, db: db}
-	v, frames, err := packFrames(entries, m.span, m.kind, m.rpp, m.epoch)
+	v, frames, err := packFrames(entries, m.span, m.kind, m.rpp, m.epoch, db.cfg.PageSize)
 	if err != nil {
 		file.close()
 		os.Remove(file.path)
@@ -811,9 +835,10 @@ func (db *DB) CreateSequenceAt(name string, data *seq.Materialized, kind storage
 		schema: data.Info().Schema, span: data.Info().Span, epoch: epoch,
 	}
 	entries := data.Entries()
-	// Validate the pack before logging anything: a too-large record must
-	// fail cleanly, not poison the WAL.
-	if _, _, err := packFrames(entries, m.span, kind, m.rpp, epoch); err != nil {
+	// Validate the pack — including every page's encoded size — before
+	// logging anything: a too-large record must fail cleanly, not poison
+	// the WAL.
+	if _, _, err := packFrames(entries, m.span, kind, m.rpp, epoch, db.cfg.PageSize); err != nil {
 		return err
 	}
 	db.nextFile++
@@ -846,6 +871,10 @@ func (db *DB) CreateSequence(name string, data *seq.Materialized, kind storage.K
 func (db *DB) AppendAt(name string, e seq.Entry, epoch int64) error {
 	db.wmu.Lock()
 	defer db.wmu.Unlock()
+	return db.appendAtLocked(name, e, epoch)
+}
+
+func (db *DB) appendAtLocked(name string, e seq.Entry, epoch int64) error {
 	if err := db.writableLocked(); err != nil {
 		return err
 	}
@@ -855,13 +884,14 @@ func (db *DB) AppendAt(name string, e seq.Entry, epoch int64) error {
 	if !ok {
 		return fmt.Errorf("disk: unknown sequence %q", name)
 	}
-	if err := s.checkAppend(e, epoch); err != nil {
+	p, err := s.prepareAppend(e, epoch)
+	if err != nil {
 		return err
 	}
 	if err := db.w.append(encAppend(s.fileID, epoch, e), !db.cfg.BatchFsync); err != nil {
 		return db.fail(err)
 	}
-	if err := s.appendLocked(e, epoch); err != nil {
+	if err := s.commitAppend(p); err != nil {
 		return db.fail(err)
 	}
 	db.dropViewsReadingLocked(name)
@@ -869,10 +899,14 @@ func (db *DB) AppendAt(name string, e seq.Entry, epoch int64) error {
 	return nil
 }
 
-// Append appends at the next epoch and returns it.
+// Append appends at the next epoch — allocated under the writer lock,
+// so concurrent appenders never share or spuriously skip an epoch — and
+// returns it.
 func (db *DB) Append(name string, e seq.Entry) (int64, error) {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
 	epoch := db.Epoch() + 1
-	if err := db.AppendAt(name, e, epoch); err != nil {
+	if err := db.appendAtLocked(name, e, epoch); err != nil {
 		return 0, err
 	}
 	return epoch, nil
@@ -883,6 +917,10 @@ func (db *DB) Append(name string, e seq.Entry) (int64, error) {
 func (db *DB) ReorganizeAt(name string, kind storage.Kind, epoch int64) error {
 	db.wmu.Lock()
 	defer db.wmu.Unlock()
+	return db.reorganizeAtLocked(name, kind, epoch)
+}
+
+func (db *DB) reorganizeAtLocked(name string, kind storage.Kind, epoch int64) error {
 	if err := db.writableLocked(); err != nil {
 		return err
 	}
@@ -895,23 +933,29 @@ func (db *DB) ReorganizeAt(name string, kind storage.Kind, epoch int64) error {
 	if kind != storage.KindDense && kind != storage.KindSparse {
 		return fmt.Errorf("disk: unknown kind %v", kind)
 	}
-	if epoch <= s.LatestEpoch() {
-		return fmt.Errorf("disk: reorganize epoch %d does not advance version epoch %d", epoch, s.LatestEpoch())
+	// Prepare (collect, repack, size-check) before logging: an
+	// unencodable repack must fail the call, not poison the WAL.
+	v, frames, err := s.prepareReorganize(kind, epoch)
+	if err != nil {
+		return err
 	}
 	if err := db.w.append(encReorg(s.fileID, epoch, kind), true); err != nil {
 		return db.fail(err)
 	}
-	if err := s.reorganizeLocked(kind, epoch); err != nil {
+	if err := s.install(v, frames); err != nil {
 		return db.fail(err)
 	}
 	db.bumpEpoch(epoch)
 	return nil
 }
 
-// Reorganize repacks at the next epoch and returns it.
+// Reorganize repacks at the next epoch (allocated under the writer
+// lock) and returns it.
 func (db *DB) Reorganize(name string, kind storage.Kind) (int64, error) {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
 	epoch := db.Epoch() + 1
-	if err := db.ReorganizeAt(name, kind, epoch); err != nil {
+	if err := db.reorganizeAtLocked(name, kind, epoch); err != nil {
 		return 0, err
 	}
 	return epoch, nil
@@ -922,6 +966,10 @@ func (db *DB) Reorganize(name string, kind storage.Kind) (int64, error) {
 func (db *DB) DropSequenceAt(name string, epoch int64) error {
 	db.wmu.Lock()
 	defer db.wmu.Unlock()
+	return db.dropSequenceAtLocked(name, epoch)
+}
+
+func (db *DB) dropSequenceAtLocked(name string, epoch int64) error {
 	if err := db.writableLocked(); err != nil {
 		return err
 	}
@@ -939,9 +987,12 @@ func (db *DB) DropSequenceAt(name string, epoch int64) error {
 	return nil
 }
 
-// DropSequence removes a sequence at the next epoch.
+// DropSequence removes a sequence at the next epoch (allocated under
+// the writer lock).
 func (db *DB) DropSequence(name string) error {
-	return db.DropSequenceAt(name, db.Epoch()+1)
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	return db.dropSequenceAtLocked(name, db.Epoch()+1)
 }
 
 // PutViewAt persists a materialized view (overwriting any previous view
@@ -1027,6 +1078,34 @@ type cpSeq struct {
 	toPro []int64 // quarantined slots to promote after the catalog lands
 }
 
+// deferredForget is a pool forget that a drop or GC deferred because the
+// ref was captured by the in-flight checkpoint. free says whether the
+// ref's disk slot should be quarantined for reuse afterwards (GC on a
+// live sequence) or left alone (the whole file is parked for removal).
+type deferredForget struct {
+	file *pageFile
+	ref  *pageRef
+	free bool
+}
+
+// finishCheckpoint unpins the captured refs and processes the forgets
+// drop/GC deferred while the checkpoint was in flight. It runs whether
+// the checkpoint succeeded or failed: freed slots only become
+// allocatable through the quarantine → promote hand-off, which is gated
+// on a new durable catalog, so freeing here is safe in both cases.
+func (db *DB) finishCheckpoint() {
+	db.wmu.Lock()
+	db.cpPins = nil
+	deferred := db.cpDeferred
+	db.cpDeferred = nil
+	db.wmu.Unlock()
+	for _, d := range deferred {
+		if phys := db.pool.forget(d.ref); phys >= 0 && d.free {
+			d.file.freeSlot(phys)
+		}
+	}
+}
+
 // Checkpoint rotates the WAL, flushes every dirty page of the latest
 // versions, fsyncs the page files, and atomically publishes a new
 // catalog pointing past the old segments — which are then deleted, along
@@ -1065,9 +1144,17 @@ func (db *DB) Checkpoint() error {
 		views = append(views, v)
 	}
 	db.mu.RUnlock()
+	pins := make(map[*pageRef]bool)
+	for _, c := range caps {
+		for _, ref := range c.v.table {
+			pins[ref] = true
+		}
+	}
+	db.cpPins = pins
 	dropped := db.dropped
 	db.dropped = nil
 	db.wmu.Unlock()
+	defer db.finishCheckpoint()
 
 	requeue := func() {
 		for _, c := range caps {

@@ -64,12 +64,11 @@ func (f *frame) records() int {
 	return n
 }
 
-// encodePage serializes a frame into a page image of exactly pageSize
-// bytes: [u32 CRC][u32 len][payload][zero padding]. It fails when the
-// payload exceeds the page, which callers surface as a
-// record-too-large-for-page-size configuration error.
-func encodePage(f *frame, pageSize int) ([]byte, error) {
-	w := &writer{buf: make([]byte, pageHeaderLen, pageSize)}
+// encodePageInto serializes a frame's header-prefixed encoding into w
+// (whose buf must start with pageHeaderLen reserved bytes) and fails
+// when the result exceeds pageSize — the record-too-large-for-page-size
+// configuration error write paths must surface before WAL-logging.
+func encodePageInto(w *writer, f *frame, pageSize int) error {
 	w.byte(byte(f.kind))
 	w.varint(f.epoch)
 	switch f.kind {
@@ -82,11 +81,30 @@ func encodePage(f *frame, pageSize int) ([]byte, error) {
 			w.record(r)
 		}
 	default:
-		return nil, fmt.Errorf("disk: unknown page kind %v", f.kind)
+		return fmt.Errorf("disk: unknown page kind %v", f.kind)
 	}
 	if len(w.buf) > pageSize {
-		return nil, fmt.Errorf("disk: encoded page of %d bytes exceeds page size %d (raise PageSize or shrink records)",
+		return fmt.Errorf("disk: encoded page of %d bytes exceeds page size %d (raise PageSize or shrink records)",
 			len(w.buf), pageSize)
+	}
+	return nil
+}
+
+// checkPageFits verifies that a frame encodes within pageSize, without
+// materializing the padded page image. Write paths call it before
+// logging to the WAL: an unencodable frame must fail the operation, not
+// poison every later writeback and checkpoint.
+func checkPageFits(f *frame, pageSize int) error {
+	w := &writer{buf: make([]byte, pageHeaderLen, pageSize)}
+	return encodePageInto(w, f, pageSize)
+}
+
+// encodePage serializes a frame into a page image of exactly pageSize
+// bytes: [u32 CRC][u32 len][payload][zero padding].
+func encodePage(f *frame, pageSize int) ([]byte, error) {
+	w := &writer{buf: make([]byte, pageHeaderLen, pageSize)}
+	if err := encodePageInto(w, f, pageSize); err != nil {
+		return nil, err
 	}
 	payload := w.buf[pageHeaderLen:]
 	putU32(w.buf[0:4], crc32.Checksum(payload, crcTable))

@@ -6,10 +6,13 @@ import "fmt"
 // model crashes: when non-nil, it is consulted immediately before every
 // durability-relevant I/O operation. Returning a non-nil error aborts
 // the operation (the write or fsync does not happen) and fails the
-// caller; the database transitions to a failed state in which every
-// subsequent mutation errors, exactly as a process that lost its disk
-// would. Production opens leave the hook nil, which compiles to a single
-// nil check per I/O.
+// caller. A failure on or after an operation's WAL record transitions
+// the database to a failed state in which every subsequent mutation
+// errors, exactly as a process that lost its disk would; a failure in an
+// operation's prepare stage (before anything was logged — e.g. an
+// eviction writeback forced by a pre-validation read) only rejects that
+// operation and the database stays healthy. Production opens leave the
+// hook nil, which compiles to a single nil check per I/O.
 //
 // The op names are:
 //

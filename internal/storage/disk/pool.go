@@ -44,10 +44,12 @@ type PoolCounters struct {
 }
 
 // pool is the CLOCK buffer pool, shared by every sequence of one DB.
-// All frame residency, eviction, page-file I/O on behalf of a lookup,
-// and phys assignment happen under mu; consumers receive immutable
-// frames they may keep using after eviction (a Go reference keeps the
-// memory alive), so cursors never pin frames.
+// Frame residency, eviction, and phys assignment happen under mu; a
+// miss's page read runs outside it (the index is re-checked on
+// reacquire), so cold reads from concurrent sessions proceed in
+// parallel. Consumers receive immutable frames they may keep using
+// after eviction (a Go reference keeps the memory alive), so cursors
+// never pin frames.
 //
 // Dirty frames are pinned by construction: eviction of a dirty slot
 // first writes the frame back (assigning the ref's physical slot, no
@@ -76,13 +78,16 @@ func newPool(capacity int) *pool {
 
 // get returns the frame for ref, reading it from the sequence's page
 // file on a miss. The consumer's stats are credited with the hit or
-// miss and with any eviction work the miss forced.
+// miss and with any eviction work the miss forced. The read I/O happens
+// outside the pool lock so concurrent sessions' cold reads are not
+// serialized behind one mutex; concurrent misses on the same ref may
+// each read the page, and the first to reinsert wins.
 func (p *pool) get(sq *Seq, ref *pageRef, st *storage.Stats) (*frame, error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if s, ok := p.index[ref]; ok {
 		s.used = true
 		p.hits.Add(1)
+		p.mu.Unlock()
 		if st != nil {
 			st.PoolHits.Add(1)
 		}
@@ -90,9 +95,11 @@ func (p *pool) get(sq *Seq, ref *pageRef, st *storage.Stats) (*frame, error) {
 	}
 	phys := ref.phys.Load()
 	if phys < 0 {
+		p.mu.Unlock()
 		return nil, fmt.Errorf("disk: internal: dirty page version not resident in pool")
 	}
 	p.misses.Add(1)
+	p.mu.Unlock()
 	if st != nil {
 		st.PoolMisses.Add(1)
 	}
@@ -103,6 +110,13 @@ func (p *pool) get(sq *Seq, ref *pageRef, st *storage.Stats) (*frame, error) {
 	if fr.epoch != ref.epoch || fr.first != ref.first {
 		return nil, fmt.Errorf("disk: %s: page %d does not match its reference (epoch %d/%d, first %d/%d)",
 			sq.file.path, phys, fr.epoch, ref.epoch, fr.first, ref.first)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s, ok := p.index[ref]; ok {
+		// Another reader inserted the page while we read it.
+		s.used = true
+		return s.fr, nil
 	}
 	if err := p.insertLocked(&poolSlot{ref: ref, sq: sq, fr: fr, used: true}, st); err != nil {
 		return nil, err

@@ -1,0 +1,266 @@
+package disk
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/seq"
+	"repro/internal/storage"
+)
+
+// A drop replayed from the WAL leaves the dropped sequence's page file
+// referenced by the on-disk catalog until a checkpoint publishes a new
+// one. Recovery must not sweep that file: a second crash before the
+// next checkpoint reopens from the same catalog, and loadSeq has to
+// find it.
+func TestRecoverReplayedDropKeepsCatalogFiles(t *testing.T) {
+	dir := t.TempDir()
+	schema := testSchema(t)
+	db := openTest(t, dir, testConfig())
+	if err := db.CreateSequence("a", testData(t, schema, 20), storage.KindSparse); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateSequence("b", testData(t, schema, 20), storage.KindSparse); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err) // the catalog now references both page files
+	}
+	if err := db.DropSequence("b"); err != nil {
+		t.Fatal(err) // WAL-only: no checkpoint after the drop
+	}
+	kill(db)
+
+	// First recovery replays the drop and must keep b's page file.
+	db2 := openTest(t, dir, testConfig())
+	if _, ok := db2.Seq("b"); ok {
+		t.Fatal("dropped sequence resurrected by recovery")
+	}
+	kill(db2) // crash again before any checkpoint
+
+	// Second recovery loads the same catalog, which still references b.
+	db3, err := Open(dir, testConfig())
+	if err != nil {
+		t.Fatalf("second recovery failed: %v", err)
+	}
+	if _, ok := db3.Seq("b"); ok {
+		t.Fatal("dropped sequence resurrected by second recovery")
+	}
+	s, ok := db3.Seq("a")
+	if !ok {
+		t.Fatal("surviving sequence missing after second recovery")
+	}
+	if got := collect(t, s.Latest(), seq.AllSpan); len(got) != 20 {
+		t.Fatalf("surviving sequence has %d records, want 20", len(got))
+	}
+	// A clean close checkpoints, after which the dropped file is gone.
+	if err := db3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, seqFileName(1))); !os.IsNotExist(err) {
+		t.Fatalf("dropped sequence's page file not removed after checkpoint: %v", err)
+	}
+}
+
+// Dropping sequences while a checkpoint is mid-flush must not poison
+// the DB: the checkpoint pinned the captured refs, so the drop defers
+// forgetting them until the flush completes.
+func TestCheckpointSurvivesConcurrentDrop(t *testing.T) {
+	dir := t.TempDir()
+	schema := testSchema(t)
+	var armed atomic.Bool
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	cfg := testConfig()
+	cfg.Hook = func(op string) error {
+		if op == "page.write" && armed.Load() {
+			once.Do(func() {
+				close(entered)
+				<-release
+			})
+		}
+		return nil
+	}
+	db, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateSequence("a", testData(t, schema, 20), storage.KindSparse); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateSequence("b", testData(t, schema, 20), storage.KindSparse); err != nil {
+		t.Fatal(err)
+	}
+	armed.Store(true)
+	done := make(chan error, 1)
+	go func() { done <- db.Checkpoint() }()
+	<-entered // checkpoint captured both sequences, first dirty page mid-write
+	if err := db.DropSequence("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropSequence("b"); err != nil {
+		t.Fatal(err)
+	}
+	armed.Store(false)
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("checkpoint failed under concurrent drops: %v", err)
+	}
+	if db.failed.Load() {
+		t.Fatal("concurrent drops poisoned the DB")
+	}
+	// The DB stays writable and the drops stick across a clean reopen.
+	if err := db.CreateSequence("c", testData(t, schema, 5), storage.KindSparse); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openTest(t, dir, testConfig())
+	defer db2.Close()
+	if names := db2.Names(); len(names) != 1 || names[0] != "c" {
+		t.Fatalf("reopened names = %v, want [c]", names)
+	}
+}
+
+// GC of a version captured by an in-flight checkpoint must defer the
+// forget: the captured dirty pages have to stay resident until the
+// checkpoint flushes them.
+func TestGCDefersCheckpointCapturedRefs(t *testing.T) {
+	db := openTest(t, t.TempDir(), testConfig())
+	defer db.Close()
+	schema := testSchema(t)
+	// 6 entries at rpp 4: a full page and a half-full tail the next
+	// append extends, making the old tail ref unique to the old version.
+	if err := db.CreateSequence("a", testData(t, schema, 6), storage.KindSparse); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := db.Seq("a")
+	s.mu.RLock()
+	captured := s.latest()
+	s.mu.RUnlock()
+	// Pin the latest version's refs exactly as Checkpoint's capture does.
+	pins := make(map[*pageRef]bool)
+	for _, ref := range captured.table {
+		pins[ref] = true
+	}
+	db.wmu.Lock()
+	db.cpPins = pins
+	db.wmu.Unlock()
+
+	if _, err := db.Append("a", seq.Entry{Pos: 100, Rec: seq.Record{seq.Int(100)}}); err != nil {
+		t.Fatal(err)
+	}
+	db.GC(db.Epoch()) // supersedes the captured version; its tail ref is unique
+
+	// Every captured ref must still be flushable — the review's failure
+	// mode was "dirty page version not resident at flush" here.
+	for _, ref := range captured.table {
+		if err := db.pool.flush(ref); err != nil {
+			t.Fatalf("captured ref forgotten during GC: %v", err)
+		}
+	}
+	db.finishCheckpoint()
+	db.wmu.Lock()
+	deferred := len(db.cpDeferred)
+	db.wmu.Unlock()
+	if deferred != 0 {
+		t.Fatalf("%d deferred forgets left after finishCheckpoint", deferred)
+	}
+}
+
+// Records too large for the page size must be rejected before their WAL
+// record is written: once logged, every checkpoint (and every recovery)
+// would recreate the unencodable frame and the DB could never truncate
+// its WAL again.
+func TestOversizedRecordRejectedBeforeLogging(t *testing.T) {
+	dir := t.TempDir()
+	db := openTest(t, dir, testConfig()) // 512-byte pages
+	schema, err := seq.NewSchema(seq.Field{Name: "s", Type: seq.TString})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := seq.Record{seq.Str(strings.Repeat("x", 2048))}
+
+	// Create with an oversized record fails cleanly.
+	m, err := seq.NewMaterialized(schema, []seq.Entry{{Pos: 1, Rec: big}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateSequence("big", m, storage.KindSparse); err == nil {
+		t.Fatal("create with an oversized record was accepted")
+	}
+	if db.failed.Load() {
+		t.Fatal("oversized create poisoned the DB")
+	}
+
+	// Append of an oversized record to a healthy sequence fails cleanly.
+	small, err := seq.NewMaterialized(schema, []seq.Entry{
+		{Pos: 1, Rec: seq.Record{seq.Str("one")}},
+		{Pos: 2, Rec: seq.Record{seq.Str("two")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateSequence("a", small, storage.KindSparse); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Append("a", seq.Entry{Pos: 3, Rec: big}); err == nil {
+		t.Fatal("oversized append was accepted")
+	}
+	if db.failed.Load() {
+		t.Fatal("oversized append poisoned the DB")
+	}
+
+	// A reorganize that would overflow a page is rejected before logging:
+	// dense pages holding one record each compact into sparse pages of
+	// four records that no longer fit.
+	wide := make([]seq.Entry, 0, 4)
+	for i := 0; i < 4; i++ {
+		wide = append(wide, seq.Entry{
+			Pos: seq.Pos(1 + 4*i), Rec: seq.Record{seq.Str(strings.Repeat("y", 150))},
+		})
+	}
+	mw, err := seq.NewMaterialized(schema, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateSequence("wide", mw, storage.KindDense); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Reorganize("wide", storage.KindSparse); err == nil {
+		t.Fatal("overflowing reorganize was accepted")
+	}
+	if db.failed.Load() {
+		t.Fatal("overflowing reorganize poisoned the DB")
+	}
+
+	// The DB keeps working, checkpoints, and recovers cleanly.
+	if _, err := db.Append("a", seq.Entry{Pos: 3, Rec: seq.Record{seq.Str("three")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint failed after oversized rejections: %v", err)
+	}
+	kill(db)
+	db2, err := Open(dir, testConfig())
+	if err != nil {
+		t.Fatalf("recovery failed after oversized rejections: %v", err)
+	}
+	defer db2.Close()
+	s, ok := db2.Seq("a")
+	if !ok {
+		t.Fatal("sequence missing after reopen")
+	}
+	if got := collect(t, s.Latest(), seq.AllSpan); len(got) != 3 {
+		t.Fatalf("reopened sequence has %d records, want 3", len(got))
+	}
+	if s, ok := db2.Seq("wide"); !ok || s.Kind() != storage.KindDense {
+		t.Fatal("rejected reorganize leaked into durable state")
+	}
+}

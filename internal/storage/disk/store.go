@@ -115,8 +115,9 @@ func (s *Seq) Latest() *Snapshot {
 // packFrames builds the page versions of one full sequence state:
 // entries must be sorted by position, unique and non-Null. The frames
 // are returned alongside their refs for the caller to register with the
-// pool as dirty pages.
-func packFrames(entries []seq.Entry, span seq.Span, kind storage.Kind, rpp int, epoch int64) (*dversion, []*frame, error) {
+// pool as dirty pages. Every frame is checked to encode within pageSize,
+// so callers can reject oversized records before WAL-logging them.
+func packFrames(entries []seq.Entry, span seq.Span, kind storage.Kind, rpp int, epoch int64, pageSize int) (*dversion, []*frame, error) {
 	if span.IsEmpty() && len(entries) > 0 {
 		span = seq.NewSpan(entries[0].Pos, entries[len(entries)-1].Pos)
 	}
@@ -164,6 +165,11 @@ func packFrames(entries []seq.Entry, span seq.Span, kind storage.Kind, rpp int, 
 	default:
 		return nil, nil, fmt.Errorf("disk: unknown kind %v", kind)
 	}
+	for _, fr := range frames {
+		if err := checkPageFits(fr, pageSize); err != nil {
+			return nil, nil, err
+		}
+	}
 	return v, frames, nil
 }
 
@@ -181,51 +187,42 @@ func (s *Seq) install(v *dversion, frames []*frame) error {
 	return nil
 }
 
-// checkAppend runs appendLocked's validation without mutating anything,
-// so the caller can reject a bad append before logging it to the WAL.
-func (s *Seq) checkAppend(e seq.Entry, epoch int64) error {
-	if e.Rec.IsNull() {
-		return fmt.Errorf("disk: cannot append a Null record")
-	}
-	if !e.Rec.Conforms(s.schema) {
-		return fmt.Errorf("disk: record %v does not conform to %v", e.Rec, s.schema)
-	}
-	s.mu.RLock()
-	cur := s.latest()
-	s.mu.RUnlock()
-	if epoch <= cur.epoch {
-		return fmt.Errorf("disk: append epoch %d does not advance version epoch %d", epoch, cur.epoch)
-	}
-	if cur.kind != storage.KindSparse {
-		return fmt.Errorf("disk: version is not appendable (reorganize to sparse first)")
-	}
-	if !cur.span.IsEmpty() && e.Pos <= cur.span.End {
-		return fmt.Errorf("disk: append position %d inside the valid range %v", e.Pos, cur.span)
-	}
-	return nil
+// pendingAppend is a fully validated append that has not been published
+// yet: the new page version, the copied ref table, and the resulting
+// version metadata. prepareAppend builds it before the WAL record is
+// written; commitAppend publishes it afterwards.
+type pendingAppend struct {
+	ref   *pageRef
+	fr    *frame
+	table []*pageRef
+	span  seq.Span
+	count int
+	epoch int64
 }
 
-// appendLocked builds and publishes the version extending the latest
-// with entry e. Called with the DB's writer lock held (writers are
-// serialized); returns without mutating state on validation errors.
-func (s *Seq) appendLocked(e seq.Entry, epoch int64) error {
+// prepareAppend validates an append — including that the resulting tail
+// page encodes within the page size — and builds the not-yet-published
+// page version. Nothing is mutated, so the caller can reject a bad
+// append before logging it to the WAL. Called with the DB's writer lock
+// held (writers are serialized).
+func (s *Seq) prepareAppend(e seq.Entry, epoch int64) (*pendingAppend, error) {
 	if e.Rec.IsNull() {
-		return fmt.Errorf("disk: cannot append a Null record")
+		return nil, fmt.Errorf("disk: cannot append a Null record")
 	}
 	if !e.Rec.Conforms(s.schema) {
-		return fmt.Errorf("disk: record %v does not conform to %v", e.Rec, s.schema)
+		return nil, fmt.Errorf("disk: record %v does not conform to %v", e.Rec, s.schema)
 	}
 	s.mu.RLock()
 	cur := s.latest()
 	s.mu.RUnlock()
 	if epoch <= cur.epoch {
-		return fmt.Errorf("disk: append epoch %d does not advance version epoch %d", epoch, cur.epoch)
+		return nil, fmt.Errorf("disk: append epoch %d does not advance version epoch %d", epoch, cur.epoch)
 	}
 	if cur.kind != storage.KindSparse {
-		return fmt.Errorf("disk: version is not appendable (reorganize to sparse first)")
+		return nil, fmt.Errorf("disk: version is not appendable (reorganize to sparse first)")
 	}
 	if !cur.span.IsEmpty() && e.Pos <= cur.span.End {
-		return fmt.Errorf("disk: append position %d inside the valid range %v", e.Pos, cur.span)
+		return nil, fmt.Errorf("disk: append position %d inside the valid range %v", e.Pos, cur.span)
 	}
 	table := make([]*pageRef, len(cur.table), len(cur.table)+1)
 	copy(table, cur.table)
@@ -235,7 +232,7 @@ func (s *Seq) appendLocked(e seq.Entry, epoch int64) error {
 		tailRef := table[n-1]
 		tailFr, err := s.db.pool.get(s, tailRef, nil)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		ents := make([]seq.Entry, len(tailFr.entries), len(tailFr.entries)+1)
 		copy(ents, tailFr.entries)
@@ -248,37 +245,56 @@ func (s *Seq) appendLocked(e seq.Entry, epoch int64) error {
 		fr = &frame{kind: storage.KindSparse, epoch: epoch, first: e.Pos, entries: []seq.Entry{e}}
 		table = append(table, ref)
 	}
+	if err := checkPageFits(fr, s.db.cfg.PageSize); err != nil {
+		return nil, err
+	}
 	span := cur.span
 	if span.IsEmpty() {
 		span = seq.NewSpan(e.Pos, e.Pos)
 	} else {
 		span.End = e.Pos
 	}
-	if err := s.db.pool.put(s, ref, fr, nil); err != nil {
+	return &pendingAppend{ref: ref, fr: fr, table: table, span: span, count: cur.count + 1, epoch: epoch}, nil
+}
+
+// commitAppend registers the prepared page version with the pool and
+// publishes it. Called with the DB's writer lock held, after the WAL
+// record is durable; an error here is an I/O failure, not validation.
+func (s *Seq) commitAppend(p *pendingAppend) error {
+	if err := s.db.pool.put(s, p.ref, p.fr, nil); err != nil {
 		return err
 	}
 	s.mu.Lock()
 	s.versions = append(s.versions, &dversion{
-		epoch: epoch, kind: storage.KindSparse, span: span, count: cur.count + 1, table: table,
+		epoch: p.epoch, kind: storage.KindSparse, span: p.span, count: p.count, table: p.table,
 	})
 	s.mu.Unlock()
 	return nil
 }
 
-// reorganizeLocked repacks the latest contents into the given kind and
-// publishes the result at epoch. Called with the DB's writer lock held.
-func (s *Seq) reorganizeLocked(kind storage.Kind, epoch int64) error {
+// prepareReorganize validates a repack of the latest contents into the
+// given kind — including that every packed page encodes within the page
+// size — without publishing anything, so the caller can reject it
+// before logging to the WAL. Called with the DB's writer lock held.
+func (s *Seq) prepareReorganize(kind storage.Kind, epoch int64) (*dversion, []*frame, error) {
 	s.mu.RLock()
 	cur := s.latest()
 	s.mu.RUnlock()
 	if epoch <= cur.epoch {
-		return fmt.Errorf("disk: reorganize epoch %d does not advance version epoch %d", epoch, cur.epoch)
+		return nil, nil, fmt.Errorf("disk: reorganize epoch %d does not advance version epoch %d", epoch, cur.epoch)
 	}
 	entries, err := s.collect(cur)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
-	v, frames, err := packFrames(entries, cur.span, kind, s.rpp, epoch)
+	return packFrames(entries, cur.span, kind, s.rpp, epoch, s.db.cfg.PageSize)
+}
+
+// reorganizeLocked repacks the latest contents into the given kind and
+// publishes the result at epoch — the replay path, where the WAL record
+// already exists. Called with the DB's writer lock held.
+func (s *Seq) reorganizeLocked(kind storage.Kind, epoch int64) error {
+	v, frames, err := s.prepareReorganize(kind, epoch)
 	if err != nil {
 		return err
 	}
@@ -348,6 +364,13 @@ func (s *Seq) gcLocked(minLive int64) (versions, pages int) {
 				continue
 			}
 			seen[ref] = true
+			// A ref captured by the in-flight checkpoint must stay
+			// resident until its flush completes; forget it when the
+			// checkpoint ends instead.
+			if s.db.cpPins[ref] {
+				s.db.cpDeferred = append(s.db.cpDeferred, deferredForget{file: s.file, ref: ref, free: true})
+				continue
+			}
 			if phys := s.db.pool.forget(ref); phys >= 0 {
 				s.file.freeSlot(phys)
 				freed++
@@ -372,6 +395,12 @@ func (s *Seq) dropAllPages() {
 				continue
 			}
 			seen[ref] = true
+			// Refs captured by an in-flight checkpoint stay resident
+			// until its flush completes (see finishCheckpoint).
+			if s.db.cpPins[ref] {
+				s.db.cpDeferred = append(s.db.cpDeferred, deferredForget{file: s.file, ref: ref})
+				continue
+			}
 			s.db.pool.forget(ref)
 		}
 	}
