@@ -33,12 +33,14 @@ func main() {
 	roOut := flag.String("reopt-out", "BENCH_reopt.json", "output path of the -reopt benchmark")
 	dk := flag.Bool("disk", false, "benchmark the durable tier: cold/warm buffer-pool sweeps, a page-file vs LSM-style layout head-to-head and a cold-trace calibration round, writing BENCH_disk.json")
 	dkOut := flag.String("disk-out", "BENCH_disk.json", "output path of the -disk benchmark")
+	ba := flag.Bool("batch", false, "benchmark the vectorized batch plane against the scalar interpreter on the E1/E4 hot paths plus an intern-table hit-rate sweep, writing BENCH_batch.json")
+	baOut := flag.String("batch-out", "BENCH_batch.json", "output path of the -batch benchmark")
 	sv := flag.Bool("server", false, "sweep concurrent seqd client connections with a live append stream, writing BENCH_server.json")
 	svOut := flag.String("server-out", "BENCH_server.json", "output path of the -server sweep")
 	svAddr := flag.String("server-addr", "", "drive an already-running seqd at this address instead of an in-process one")
 	svWorkers := flag.Int("server-workers", 0, "worker pool size of the in-process -server daemon (0 = GOMAXPROCS)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: seqbench [-quick] [-analyze] [-parallel] [-matview] [-reopt] [-disk] [-server] [-list] [experiment ids...]\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: seqbench [-quick] [-analyze] [-parallel] [-matview] [-reopt] [-disk] [-batch] [-server] [-list] [experiment ids...]\n\nexperiments:\n")
 		for _, e := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %s  %s\n", e.ID, e.Name)
 		}
@@ -144,6 +146,26 @@ func main() {
 		}
 		fmt.Print(experiments.RenderDisk(bench))
 		fmt.Printf("(wrote disk benchmark to %s)\n", *dkOut)
+		return
+	}
+
+	if *ba {
+		bench, err := experiments.BatchBenchmark(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seqbench: batch benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seqbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*baOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "seqbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.RenderBatch(bench))
+		fmt.Printf("(wrote batch benchmark to %s)\n", *baOut)
 		return
 	}
 

@@ -56,6 +56,15 @@ type Analysis struct {
 	// old→new mode) and executed segments. Nil for unmonitored runs
 	// (see Result.RunAnalyzeReopt).
 	Reopt *reopt.Report
+	// Batches and BatchRows count the batches and valid rows the run's
+	// root collector consumed; both zero for scalar runs, which also
+	// keeps the render byte-identical to a build without the batch
+	// subsystem.
+	Batches   int64
+	BatchRows int64
+	// Intern totals the run's value-intern hit/miss counters, summed
+	// across worker-private tables for partitioned runs.
+	Intern seq.InternStats
 }
 
 // RunAnalyze executes the stream plan with per-node instrumentation and
@@ -70,9 +79,21 @@ func (r *Result) RunAnalyze() (*Analysis, error) {
 		return r.RunAnalyzeReopt()
 	}
 	pred := r.predFn()
+	var bctx *seq.BatchCtx
+	if r.opts.Batch.Enabled() {
+		bctx = seq.NewBatchCtx()
+	}
 	if r.Parallel.Parallel() {
 		start := time.Now()
-		out, root, parts, err := parallel.RunAnalyze(r.Plan, r.RunSpan, r.Parallel, pred)
+		var out *seq.Materialized
+		var root *exec.NodeMetrics
+		var parts []parallel.PartitionMetrics
+		var err error
+		if bctx != nil {
+			out, root, parts, err = parallel.RunAnalyzeBatch(r.Plan, r.RunSpan, r.Parallel, pred, bctx)
+		} else {
+			out, root, parts, err = parallel.RunAnalyze(r.Plan, r.RunSpan, r.Parallel, pred)
+		}
 		elapsed := time.Since(start)
 		if err != nil {
 			return nil, err
@@ -84,7 +105,7 @@ func (r *Result) RunAnalyze() (*Analysis, error) {
 		for _, pm := range parts {
 			global = global.Add(pm.Pages)
 		}
-		return &Analysis{
+		a := &Analysis{
 			Output:      out,
 			Root:        root,
 			Span:        r.RunSpan,
@@ -95,7 +116,9 @@ func (r *Result) RunAnalyze() (*Analysis, error) {
 			Decision:    r.Parallel,
 			Partitions:  parts,
 			Views:       r.viewCounters(),
-		}, nil
+		}
+		a.absorbBatch(bctx)
+		return a, nil
 	}
 	instr, root := exec.Instrument(r.Plan, pred)
 	stores := exec.PlanStores(r.Plan)
@@ -104,7 +127,13 @@ func (r *Result) RunAnalyze() (*Analysis, error) {
 		before[i] = st.Stats().Snapshot()
 	}
 	start := time.Now()
-	out, err := exec.Run(instr, r.RunSpan)
+	var out *seq.Materialized
+	var err error
+	if bctx != nil {
+		out, err = exec.RunBatch(instr, r.RunSpan, bctx)
+	} else {
+		out, err = exec.Run(instr, r.RunSpan)
+	}
 	elapsed := time.Since(start)
 	if err != nil {
 		return nil, err
@@ -114,7 +143,7 @@ func (r *Result) RunAnalyze() (*Analysis, error) {
 	for i, st := range stores {
 		global = global.Add(st.Stats().Snapshot().Sub(before[i]))
 	}
-	return &Analysis{
+	a := &Analysis{
 		Output:      out,
 		Root:        root,
 		Span:        r.RunSpan,
@@ -123,7 +152,20 @@ func (r *Result) RunAnalyze() (*Analysis, error) {
 		GlobalPages: global,
 		Params:      r.Params,
 		Views:       r.viewCounters(),
-	}, nil
+	}
+	a.absorbBatch(bctx)
+	return a, nil
+}
+
+// absorbBatch copies a completed batch context's run counters into the
+// analysis (no-op for scalar runs, keeping their reports unchanged).
+func (a *Analysis) absorbBatch(ctx *seq.BatchCtx) {
+	if ctx == nil {
+		return
+	}
+	a.Batches = ctx.Batches
+	a.BatchRows = ctx.Rows
+	a.Intern = ctx.Intern.Stats()
 }
 
 // viewCounters snapshots the registry's per-view counters (nil when the
@@ -166,6 +208,20 @@ func (a *Analysis) render(times bool) string {
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "predicted stream cost %.2f | actual page cost %.2f (%s)\n",
 		a.Predicted.Stream, a.PageCost(a.GlobalPages), a.GlobalPages)
+	// Batch-plane summary: only vectorized runs print it, so scalar
+	// reports stay byte-identical to builds without the subsystem.
+	if a.Batches > 0 {
+		fmt.Fprintf(&b, "batch: batches=%d rows/batch=%.1f", a.Batches, float64(a.BatchRows)/float64(a.Batches))
+		in := a.Intern
+		if in.StrHits+in.StrMisses > 0 {
+			fmt.Fprintf(&b, " intern[str hits=%d misses=%d", in.StrHits, in.StrMisses)
+			if in.RecHits+in.RecMisses > 0 {
+				fmt.Fprintf(&b, " rec hits=%d misses=%d", in.RecHits, in.RecMisses)
+			}
+			b.WriteByte(']')
+		}
+		b.WriteByte('\n')
+	}
 	if len(a.Partitions) > 0 {
 		fmt.Fprintf(&b, "parallel K=%d halo=%s cost %.2f vs serial %.2f\n",
 			len(a.Partitions), a.Decision.Halo, a.Decision.ParallelCost, a.Decision.SerialCost)
@@ -207,6 +263,9 @@ func (a *Analysis) render(times bool) string {
 		fmt.Fprintf(&b, "] act[rows=%d", n.Rows())
 		if n.ScanCalls > 0 {
 			fmt.Fprintf(&b, " scans=%d", n.ScanCalls)
+		}
+		if n.Batches > 0 {
+			fmt.Fprintf(&b, " batches=%d rows/batch=%.1f", n.Batches, float64(n.BatchRows)/float64(n.Batches))
 		}
 		if n.ProbeCalls > 0 {
 			fmt.Fprintf(&b, " probes=%d nulls=%d", n.ProbeCalls, n.ProbeNulls)

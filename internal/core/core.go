@@ -70,6 +70,14 @@ type Options struct {
 	// (reopt.Calibration). Until it has enough observations the defaults
 	// apply unchanged.
 	Calibration *reopt.Calibration
+	// Batch selects the execution data plane for Run and RunAnalyze: the
+	// zero value (BatchAuto) drives converted operators through columnar
+	// batches with value interning, BatchOff forces the record-at-a-time
+	// scalar interpreter — the semantic ground truth the differential
+	// tests compare against. Reoptimized runs always execute scalar:
+	// mid-run splicing needs record-granular checkpoints, which batch
+	// boundaries do not provide.
+	Batch exec.BatchMode
 }
 
 func (o Options) params() CostParams {
@@ -174,6 +182,13 @@ func (r *Result) Run() (*seq.Materialized, error) {
 	if r.opts.Reopt.Enabled {
 		out, _, err := r.RunReoptWith(r.opts.Reopt)
 		return out, err
+	}
+	if r.opts.Batch.Enabled() {
+		ctx := seq.NewBatchCtx()
+		if r.Parallel.Parallel() {
+			return parallel.RunBatch(r.Plan, r.RunSpan, r.Parallel, ctx)
+		}
+		return exec.RunBatch(r.Plan, r.RunSpan, ctx)
 	}
 	if r.Parallel.Parallel() {
 		return parallel.Run(r.Plan, r.RunSpan, r.Parallel)

@@ -1,0 +1,824 @@
+// Batch-mode windowed aggregates and value offsets. Each operator
+// mirrors its scalar algorithm position for position — including the
+// exact order of floating-point adds and subtracts, so results are
+// bit-identical to the scalar interpreter — but consumes batched input
+// rows and emits batched outputs, replacing the per-record cursor
+// machinery and the per-add seq.Record allocations with ring buffers of
+// plain values.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/seq"
+)
+
+// aggArgAt extracts the aggregate argument from row i of a batch.
+func aggArgAt(spec *algebra.AggSpec, b *seq.Batch, i int, in *seq.Intern) seq.Value {
+	if spec.Arg >= 0 {
+		return b.Cols[spec.Arg].Value(i, in)
+	}
+	return seq.Int(1) // Count over whole records
+}
+
+// posRing is a growable ring buffer of (position, value) pairs — the
+// window storage of the batch sliding accumulator. Amortized O(1) push
+// and pop at both ends without the slice-shift reallocation pattern of
+// the scalar accumulator's `vals = vals[1:]` idiom.
+type posRing struct {
+	pos  []seq.Pos
+	val  []seq.Value
+	head int
+	n    int
+}
+
+func (r *posRing) len() int { return r.n }
+
+func (r *posRing) push(pos seq.Pos, v seq.Value) {
+	if r.n == len(r.pos) {
+		r.grow()
+	}
+	i := (r.head + r.n) % len(r.pos)
+	r.pos[i] = pos
+	r.val[i] = v
+	r.n++
+}
+
+func (r *posRing) grow() {
+	capacity := len(r.pos) * 2
+	if capacity < 8 {
+		capacity = 8
+	}
+	pos := make([]seq.Pos, capacity)
+	val := make([]seq.Value, capacity)
+	for i := 0; i < r.n; i++ {
+		j := (r.head + i) % len(r.pos)
+		pos[i] = r.pos[j]
+		val[i] = r.val[j]
+	}
+	r.pos, r.val, r.head = pos, val, 0
+}
+
+// front returns the oldest element without removing it.
+func (r *posRing) front() (seq.Pos, seq.Value) {
+	return r.pos[r.head], r.val[r.head]
+}
+
+// back returns the newest element.
+func (r *posRing) back() (seq.Pos, seq.Value) {
+	i := (r.head + r.n - 1) % len(r.pos)
+	return r.pos[i], r.val[i]
+}
+
+func (r *posRing) popFront() {
+	r.head = (r.head + 1) % len(r.pos)
+	r.n--
+}
+
+func (r *posRing) popBack() { r.n-- }
+
+func (r *posRing) reset() { r.head, r.n = 0, 0 }
+
+// batchSlidingAcc is the batch-mode counterpart of slidingAcc: identical
+// arithmetic in identical order, ring buffers instead of slice-shifted
+// entry slices, no per-add record allocation.
+type batchSlidingAcc struct {
+	fn    algebra.AggFunc
+	isInt bool
+	count int64
+	sumI  int64
+	sumF  float64
+	vals  posRing
+	mono  posRing
+}
+
+func (a *batchSlidingAcc) add(pos seq.Pos, v seq.Value) error {
+	a.count++
+	switch a.fn {
+	case algebra.AggSum, algebra.AggAvg:
+		if a.isInt && v.T == seq.TInt {
+			a.sumI += v.AsInt()
+		} else {
+			a.sumF += v.AsFloat()
+		}
+		a.vals.push(pos, v)
+	case algebra.AggCount:
+		a.vals.push(pos, seq.Value{})
+	case algebra.AggMin, algebra.AggMax:
+		a.vals.push(pos, v)
+		for a.mono.len() > 0 {
+			_, last := a.mono.back()
+			c, err := v.Compare(last)
+			if err != nil {
+				return err
+			}
+			if (a.fn == algebra.AggMin && c <= 0) || (a.fn == algebra.AggMax && c >= 0) {
+				a.mono.popBack()
+			} else {
+				break
+			}
+		}
+		a.mono.push(pos, v)
+	}
+	return nil
+}
+
+func (a *batchSlidingAcc) evictBelow(pos seq.Pos) {
+	for a.vals.len() > 0 {
+		p, v := a.vals.front()
+		if p >= pos {
+			break
+		}
+		a.vals.popFront()
+		a.count--
+		switch a.fn {
+		case algebra.AggSum, algebra.AggAvg:
+			if a.isInt && v.T == seq.TInt {
+				a.sumI -= v.AsInt()
+			} else {
+				a.sumF -= v.AsFloat()
+			}
+		}
+	}
+	for a.mono.len() > 0 {
+		if p, _ := a.mono.front(); p >= pos {
+			break
+		}
+		a.mono.popFront()
+	}
+}
+
+func (a *batchSlidingAcc) result() (seq.Value, bool) {
+	if a.count == 0 {
+		return seq.Value{}, false
+	}
+	switch a.fn {
+	case algebra.AggCount:
+		return seq.Int(a.count), true
+	case algebra.AggSum:
+		if a.isInt {
+			return seq.Int(a.sumI), true
+		}
+		return seq.Float(a.sumF), true
+	case algebra.AggAvg:
+		s := a.sumF
+		if a.isInt {
+			s = float64(a.sumI)
+		}
+		return seq.Float(s / float64(a.count)), true
+	default:
+		_, v := a.mono.front()
+		return v, true
+	}
+}
+
+// BatchScan implements the incremental sliding-window aggregate over
+// batched input: the same single input scan and per-position
+// absorb/evict sequence as the scalar Scan, emitting output rows in
+// batches.
+func (a *AggSliding) BatchScan(span seq.Span, ctx *seq.BatchCtx) seq.BatchCursor {
+	span = span.Intersect(a.OutSpan)
+	if span.IsEmpty() {
+		return seq.EmptyBatchCursor()
+	}
+	if !span.Bounded() {
+		return seq.ErrBatchCursor(fmt.Errorf("exec: unbounded scan of aggregate (span %v)", span))
+	}
+	w := a.Spec.Window
+	inSpan := a.In.Info().Span
+	scanSpan := seq.Span{
+		Start: seq.ClampPos(span.Start + w.Lo),
+		End:   seq.ClampPos(span.End + w.Hi),
+	}.Intersect(inSpan)
+	isInt := a.schema.Field(0).Type == seq.TInt && a.Spec.Func == algebra.AggSum
+	cur := &aggBatchCursor{
+		spec: &a.Spec,
+		in:   newBatchRows(BatchScanOf(a.In, scanSpan, ctx)),
+		ctx:  ctx,
+		out:  seq.NewBatchFor(a.schema, ctx.Size),
+		p:    span.Start,
+		end:  span.End,
+		next: span.Start,
+		lo:   w.Lo, hi: w.Hi, sliding: true,
+	}
+	if cur.num = newNumAcc(&a.Spec, a.In.Info().Schema, true); cur.num == nil {
+		cur.acc = &batchSlidingAcc{fn: a.Spec.Func, isInt: isInt}
+	}
+	return cur
+}
+
+// BatchScan implements the running (cumulative) aggregate over batched
+// input, reusing the batchSlidingAcc in add-only mode (no evictions —
+// exactly the runningAcc recurrence, same arithmetic order).
+func (a *AggCumulative) BatchScan(span seq.Span, ctx *seq.BatchCtx) seq.BatchCursor {
+	span = span.Intersect(a.OutSpan)
+	if span.IsEmpty() {
+		return seq.EmptyBatchCursor()
+	}
+	if !span.Bounded() {
+		return seq.ErrBatchCursor(fmt.Errorf("exec: unbounded scan of aggregate (span %v)", span))
+	}
+	inSpan := a.In.Info().Span
+	scanSpan := seq.Span{Start: inSpan.Start, End: seq.ClampPos(span.End + a.Spec.Window.Hi)}.Intersect(inSpan)
+	isInt := a.schema.Field(0).Type == seq.TInt && a.Spec.Func == algebra.AggSum
+	cur := &aggBatchCursor{
+		spec: &a.Spec,
+		in:   newBatchRows(BatchScanOf(a.In, scanSpan, ctx)),
+		ctx:  ctx,
+		out:  seq.NewBatchFor(a.schema, ctx.Size),
+		p:    span.Start,
+		end:  span.End,
+		next: span.Start,
+		hi:   a.Spec.Window.Hi,
+	}
+	if cur.num = newNumAcc(&a.Spec, a.In.Info().Schema, false); cur.num == nil {
+		cur.acc = &cumulativeAcc{runningAcc: *newRunningAcc(a.Spec.Func, isInt)}
+	}
+	return cur
+}
+
+// numKind selects the unboxed accumulator specialization.
+type numKind uint8
+
+const (
+	numFloat  numKind = iota // sum/avg over a TFloat argument
+	numIntSum                // sum over a TInt argument (integer result)
+	numIntAvg                // avg over a TInt argument (float accumulation)
+	numCount                 // count (argument ignored)
+)
+
+// numAcc is the unboxed fast path of the windowed sum/avg/count
+// aggregates: raw column values flow straight into the running sums and
+// (for sliding windows) a compact position/value ring, with no seq.Value
+// boxing anywhere on the per-row path. The arithmetic — adds in arrival
+// order, subtracts in eviction order — is exactly the boxed
+// accumulator's, so results stay bit-identical to the scalar
+// interpreter. Min/max and non-numeric arguments stay on the generic
+// boxed accumulator.
+type numAcc struct {
+	kind  numKind
+	avg   bool // result is sum/count
+	ring  bool // sliding window: retain values for eviction
+	count int64
+	sumI  int64
+	sumF  float64
+	pos   []seq.Pos
+	valF  []float64
+	valI  []int64
+	head  int
+	n     int
+}
+
+// newNumAcc returns the unboxed accumulator when the spec qualifies,
+// nil otherwise.
+func newNumAcc(spec *algebra.AggSpec, inSchema *seq.Schema, sliding bool) *numAcc {
+	switch spec.Func {
+	case algebra.AggCount:
+		return &numAcc{kind: numCount, ring: sliding}
+	case algebra.AggSum, algebra.AggAvg:
+		if spec.Arg < 0 || spec.Arg >= inSchema.NumFields() {
+			return nil
+		}
+		avg := spec.Func == algebra.AggAvg
+		switch inSchema.Field(spec.Arg).Type {
+		case seq.TFloat:
+			return &numAcc{kind: numFloat, avg: avg, ring: sliding}
+		case seq.TInt:
+			if avg {
+				return &numAcc{kind: numIntAvg, avg: true, ring: sliding}
+			}
+			return &numAcc{kind: numIntSum, ring: sliding}
+		}
+	}
+	return nil
+}
+
+func (a *numAcc) grow() {
+	capacity := len(a.pos) * 2
+	if capacity < 8 {
+		capacity = 8
+	}
+	pos := make([]seq.Pos, capacity)
+	for i := 0; i < a.n; i++ {
+		pos[i] = a.pos[(a.head+i)%len(a.pos)]
+	}
+	switch a.kind {
+	case numFloat, numIntAvg:
+		valF := make([]float64, capacity)
+		for i := 0; i < a.n; i++ {
+			valF[i] = a.valF[(a.head+i)%len(a.valF)]
+		}
+		a.valF = valF
+	case numIntSum:
+		valI := make([]int64, capacity)
+		for i := 0; i < a.n; i++ {
+			valI[i] = a.valI[(a.head+i)%len(a.valI)]
+		}
+		a.valI = valI
+	}
+	a.pos, a.head = pos, 0
+}
+
+// slot claims the ring index for one push.
+func (a *numAcc) slot() int {
+	if a.n == len(a.pos) {
+		a.grow()
+	}
+	i := a.head + a.n
+	if i >= len(a.pos) {
+		i -= len(a.pos)
+	}
+	a.n++
+	return i
+}
+
+// absorbRun consumes rows i.. of b whose position is at most hi,
+// folding their argument values into the accumulator. It returns the
+// new row index and whether it stopped at a row beyond hi (as opposed
+// to exhausting the batch).
+func (a *numAcc) absorbRun(b *seq.Batch, col, i int, hi seq.Pos) (int, bool) {
+	pv := b.Pos
+	switch a.kind {
+	case numFloat:
+		f := b.Cols[col].F
+		for i < len(pv) {
+			if pv[i] > hi {
+				return i, true
+			}
+			if b.Valid.Get(i) {
+				a.count++
+				a.sumF += f[i]
+				if a.ring {
+					s := a.slot()
+					a.pos[s], a.valF[s] = pv[i], f[i]
+				}
+			}
+			i++
+		}
+	case numIntSum:
+		iv := b.Cols[col].I
+		for i < len(pv) {
+			if pv[i] > hi {
+				return i, true
+			}
+			if b.Valid.Get(i) {
+				a.count++
+				a.sumI += iv[i]
+				if a.ring {
+					s := a.slot()
+					a.pos[s], a.valI[s] = pv[i], iv[i]
+				}
+			}
+			i++
+		}
+	case numIntAvg:
+		iv := b.Cols[col].I
+		for i < len(pv) {
+			if pv[i] > hi {
+				return i, true
+			}
+			if b.Valid.Get(i) {
+				x := float64(iv[i]) // the scalar path's Value.AsFloat conversion
+				a.count++
+				a.sumF += x
+				if a.ring {
+					s := a.slot()
+					a.pos[s], a.valF[s] = pv[i], x
+				}
+			}
+			i++
+		}
+	default: // numCount
+		for i < len(pv) {
+			if pv[i] > hi {
+				return i, true
+			}
+			if b.Valid.Get(i) {
+				a.count++
+				if a.ring {
+					s := a.slot()
+					a.pos[s] = pv[i]
+				}
+			}
+			i++
+		}
+	}
+	return i, false
+}
+
+// evictBelow drops window entries with position < p, subtracting their
+// values in eviction order exactly as the boxed accumulator does.
+func (a *numAcc) evictBelow(p seq.Pos) {
+	for a.n > 0 && a.pos[a.head] < p {
+		switch a.kind {
+		case numFloat, numIntAvg:
+			a.sumF -= a.valF[a.head]
+		case numIntSum:
+			a.sumI -= a.valI[a.head]
+		}
+		a.head++
+		if a.head == len(a.pos) {
+			a.head = 0
+		}
+		a.count--
+		a.n--
+	}
+}
+
+// emit appends the accumulator's current result for pos to the output
+// batch, straight into the typed column — no row when the window is
+// empty, matching the scalar interpreter.
+func (a *numAcc) emit(out *seq.Batch, pos seq.Pos) {
+	if a.count == 0 {
+		return
+	}
+	out.AppendPos(pos)
+	v := &out.Cols[0]
+	switch {
+	case a.kind == numCount:
+		v.I = append(v.I, a.count)
+	case a.kind == numIntSum:
+		v.I = append(v.I, a.sumI)
+	case a.avg:
+		v.F = append(v.F, a.sumF/float64(a.count))
+	default:
+		v.F = append(v.F, a.sumF)
+	}
+}
+
+// windowAcc is what aggBatchCursor needs from an accumulator.
+type windowAcc interface {
+	add(pos seq.Pos, v seq.Value) error
+	evictBelow(pos seq.Pos)
+	result() (seq.Value, bool)
+}
+
+// cumulativeAcc adapts runningAcc to the windowAcc interface (positions
+// are irrelevant to an add-only accumulator).
+type cumulativeAcc struct {
+	runningAcc
+}
+
+func (a *cumulativeAcc) add(_ seq.Pos, v seq.Value) error { return a.runningAcc.add(v) }
+func (a *cumulativeAcc) evictBelow(seq.Pos)               {}
+
+// aggBatchCursor drives the shared per-position loop of the windowed
+// aggregates: absorb input rows up to pos+hi, evict below pos+lo (for
+// sliding windows), emit the accumulator result.
+type aggBatchCursor struct {
+	spec    *algebra.AggSpec
+	in      *batchRows
+	ctx     *seq.BatchCtx
+	out     *seq.Batch
+	acc     windowAcc // generic boxed accumulator (min/max, non-numeric)
+	num     *numAcc   // unboxed fast path (sum/avg/count over numerics)
+	p       seq.Pos   // next position of the dense output walk
+	end     seq.Pos
+	next    seq.Pos // start of the next output batch's span
+	lo, hi  int64
+	sliding bool
+	err     error
+	done    bool
+}
+
+func (c *aggBatchCursor) NextBatch() (*seq.Batch, bool) {
+	if c.err != nil || c.done {
+		return nil, false
+	}
+	out := c.out
+	out.Reset()
+	out.Span = seq.Span{Start: c.next, End: c.end}
+	var ok bool
+	if c.num != nil {
+		ok = c.numLoop(out)
+	} else {
+		ok = c.genericLoop(out)
+	}
+	if !ok {
+		return nil, false
+	}
+	if c.p > c.end {
+		// The walk is complete: this final batch covers the tail.
+		c.done = true
+		return out, true
+	}
+	out.Span.End = c.p - 1
+	c.next = c.p
+	return out, true
+}
+
+// numLoop drives the per-position walk on the unboxed accumulator:
+// input rows are absorbed in whole-batch runs (absorbRun) instead of
+// one peek/take round trip per row.
+func (c *aggBatchCursor) numLoop(out *seq.Batch) bool {
+	r := c.in
+	a := c.num
+	arg := c.spec.Arg
+	for c.p <= c.end && out.Rows() < c.ctx.Size {
+		pos := c.p
+		c.p++
+		hi := seq.ClampPos(pos + c.hi)
+		for !r.done {
+			if r.b == nil || r.i >= r.b.Rows() {
+				b, ok := r.cur.NextBatch()
+				if !ok {
+					r.done = true
+					if err := r.cur.Err(); err != nil {
+						c.err = err
+						return false
+					}
+					break
+				}
+				r.b, r.i = b, 0
+				continue
+			}
+			i, stopped := a.absorbRun(r.b, arg, r.i, hi)
+			r.i = i
+			if stopped {
+				break
+			}
+		}
+		if c.sliding {
+			a.evictBelow(seq.ClampPos(pos + c.lo))
+		}
+		a.emit(out, pos)
+	}
+	return true
+}
+
+// genericLoop is the boxed per-row walk used by the aggregates the fast
+// path does not cover.
+func (c *aggBatchCursor) genericLoop(out *seq.Batch) bool {
+	in := c.ctx.Intern
+	for c.p <= c.end && out.Rows() < c.ctx.Size {
+		pos := c.p
+		c.p++
+		hi := seq.ClampPos(pos + c.hi)
+		for {
+			epos, ok, err := c.in.peek()
+			if err != nil {
+				c.err = err
+				return false
+			}
+			if !ok || epos > hi {
+				break
+			}
+			v := aggArgAt(c.spec, c.in.b, c.in.i, in)
+			if err := c.acc.add(epos, v); err != nil {
+				c.err = err
+				return false
+			}
+			c.in.take()
+		}
+		if c.sliding {
+			c.acc.evictBelow(seq.ClampPos(pos + c.lo))
+		}
+		if v, ok := c.acc.result(); ok {
+			out.AppendPos(pos)
+			if err := out.Cols[0].AppendValue(v, in); err != nil {
+				c.err = err
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (c *aggBatchCursor) Err() error   { return c.err }
+func (c *aggBatchCursor) Close() error { return c.in.close() }
+
+// recRing is a fixed-capacity ring of (position, record) snapshots whose
+// record storage is allocated once and reused — the batch counterpart of
+// the FIFO cache a scalar ValueOffsetIncremental scan maintains.
+type recRing struct {
+	pos   []seq.Pos
+	rows  []seq.Record // each preallocated at the input arity
+	head  int
+	n     int
+	width int
+}
+
+func newRecRing(capacity, width int) *recRing {
+	r := &recRing{
+		pos:   make([]seq.Pos, capacity),
+		rows:  make([]seq.Record, capacity),
+		width: width,
+	}
+	slab := make([]seq.Value, capacity*width)
+	for i := range r.rows {
+		r.rows[i] = seq.Record(slab[i*width : (i+1)*width : (i+1)*width])
+	}
+	return r
+}
+
+func (r *recRing) len() int { return r.n }
+
+// push copies row i of the batch into the ring, evicting the oldest
+// entry when full (FIFO semantics, like cache.FIFO.Put at capacity).
+func (r *recRing) push(pos seq.Pos, b *seq.Batch, i int, in *seq.Intern) {
+	var slot int
+	if r.n == len(r.pos) {
+		slot = r.head
+		r.head = (r.head + 1) % len(r.pos)
+	} else {
+		slot = (r.head + r.n) % len(r.pos)
+		r.n++
+	}
+	r.pos[slot] = pos
+	b.RowInto(i, r.rows[slot], in)
+}
+
+// oldest returns the least recently pushed entry.
+func (r *recRing) oldest() (seq.Pos, seq.Record) {
+	return r.pos[r.head], r.rows[r.head]
+}
+
+// newest returns the most recently pushed entry.
+func (r *recRing) newest() (seq.Pos, seq.Record) {
+	i := (r.head + r.n - 1) % len(r.pos)
+	return r.pos[i], r.rows[i]
+}
+
+// evictBelow drops entries with position < pos from the front.
+func (r *recRing) evictBelow(pos seq.Pos) {
+	for r.n > 0 && r.pos[r.head] < pos {
+		r.head = (r.head + 1) % len(r.pos)
+		r.n--
+	}
+}
+
+// BatchScan implements Cache-Strategy-B value offsets over batched
+// input: the same single input scan and ring-of-|offset| algorithm as
+// the scalar Scan (including the historyStart probing shortcut), with
+// the FIFO cache replaced by a preallocated record ring.
+func (v *ValueOffsetIncremental) BatchScan(span seq.Span, ctx *seq.BatchCtx) seq.BatchCursor {
+	span = span.Intersect(v.OutSpan)
+	if span.IsEmpty() {
+		return seq.EmptyBatchCursor()
+	}
+	if !span.Bounded() {
+		return seq.ErrBatchCursor(fmt.Errorf("exec: unbounded scan of value offset (span %v)", span))
+	}
+	inSpan := v.In.Info().Span
+	width := v.In.Info().Schema.NumFields()
+	schema := v.In.Info().Schema
+	if v.Offset < 0 {
+		end := span.End - 1
+		if end > inSpan.End {
+			end = inSpan.End
+		}
+		start, err := v.historyStart(span.Start, inSpan)
+		if err != nil {
+			return seq.ErrBatchCursor(err)
+		}
+		need := int(-v.Offset)
+		return &voffsetBatchCursor{
+			in:   newBatchRows(BatchScanOf(v.In, seq.Span{Start: start, End: end}, ctx)),
+			ctx:  ctx,
+			out:  seq.NewBatchFor(schema, ctx.Size),
+			ring: newRecRing(need, width),
+			need: need,
+			p:    span.Start,
+			end:  span.End,
+			next: span.Start,
+		}
+	}
+	start := span.Start + 1
+	if start < inSpan.Start {
+		start = inSpan.Start
+	}
+	need := int(v.Offset)
+	return &voffsetBatchCursor{
+		in:      newBatchRows(BatchScanOf(v.In, seq.Span{Start: start, End: inSpan.End}, ctx)),
+		ctx:     ctx,
+		out:     seq.NewBatchFor(schema, ctx.Size),
+		ring:    newRecRing(need, width),
+		need:    need,
+		forward: true,
+		p:       span.Start,
+		end:     span.End,
+		next:    span.Start,
+	}
+}
+
+type voffsetBatchCursor struct {
+	in      *batchRows
+	ctx     *seq.BatchCtx
+	out     *seq.Batch
+	ring    *recRing
+	need    int
+	forward bool
+	p       seq.Pos
+	end     seq.Pos
+	next    seq.Pos
+	err     error
+	done    bool
+}
+
+func (c *voffsetBatchCursor) NextBatch() (*seq.Batch, bool) {
+	if c.err != nil || c.done {
+		return nil, false
+	}
+	out := c.out
+	out.Reset()
+	out.Span = seq.Span{Start: c.next, End: c.end}
+	in := c.ctx.Intern
+	for c.p <= c.end && out.Rows() < c.ctx.Size {
+		if !c.forward {
+			// Absorb input records strictly before c.p; the ring keeps
+			// the last `need` of them.
+			var nextIn seq.Pos
+			haveIn := false
+			for {
+				epos, ok, err := c.in.peek()
+				if err != nil {
+					c.err = err
+					return nil, false
+				}
+				if !ok {
+					break
+				}
+				if epos >= c.p {
+					nextIn, haveIn = epos, true
+					break
+				}
+				c.ring.push(epos, c.in.b, c.in.i, in)
+				c.in.take()
+			}
+			// The ring is stable for every position up to and including
+			// the next input record (absorption is strictly-before), so
+			// the whole run emits one shared record.
+			runEnd := c.end
+			if haveIn && nextIn < runEnd {
+				runEnd = nextIn
+			}
+			cnt := int(runEnd - c.p + 1) //seqvet:ignore spanarith both ends lie inside the bounded scan span
+			if space := c.ctx.Size - out.Rows(); cnt > space {
+				cnt = space
+			}
+			if c.ring.len() >= c.need {
+				_, rec := c.ring.oldest()
+				if err := out.AppendRunRows(c.p, cnt, rec, in); err != nil {
+					c.err = err
+					return nil, false
+				}
+			}
+			c.p += seq.Pos(cnt)
+			continue
+		}
+		// Forward: drop ring entries at or before c.p, then fill the
+		// ring with records strictly after it.
+		pos := c.p
+		c.ring.evictBelow(pos + 1)
+		for c.ring.len() < c.need {
+			epos, ok, err := c.in.peek()
+			if err != nil {
+				c.err = err
+				return nil, false
+			}
+			if !ok {
+				break
+			}
+			if epos > pos {
+				c.ring.push(epos, c.in.b, c.in.i, in)
+			}
+			c.in.take()
+		}
+		if c.ring.len() < c.need {
+			// Input exhausted: no remaining position sees `need` records
+			// ahead; the batch still spans them, holding no rows.
+			c.p = c.end + 1 //seqvet:ignore spanarith bounded scan span
+			break
+		}
+		// The newest ring entry — the record `need` ahead — is constant
+		// until c.p reaches the oldest entry's position, where it is
+		// evicted: emit that whole run at once.
+		oldest, _ := c.ring.oldest()
+		_, rec := c.ring.newest()
+		runEnd := oldest - 1
+		if runEnd > c.end {
+			runEnd = c.end
+		}
+		cnt := int(runEnd - pos + 1) //seqvet:ignore spanarith both ends lie inside the bounded scan span
+		if space := c.ctx.Size - out.Rows(); cnt > space {
+			cnt = space
+		}
+		if err := out.AppendRunRows(pos, cnt, rec, in); err != nil {
+			c.err = err
+			return nil, false
+		}
+		c.p += seq.Pos(cnt)
+	}
+	if c.p > c.end {
+		c.done = true
+		return out, true
+	}
+	out.Span.End = c.p - 1
+	c.next = c.p
+	return out, true
+}
+
+func (c *voffsetBatchCursor) Err() error   { return c.err }
+func (c *voffsetBatchCursor) Close() error { return c.in.close() }
+

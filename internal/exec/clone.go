@@ -54,6 +54,7 @@ func clonePlan(p Plan, orig map[Plan]Plan) (Plan, error) {
 			return nil, err
 		}
 		cp.In = in
+		cp.pe = nil // compiled evaluator scratch must not be shared across workers
 		out = &cp
 	case *ProjectOp:
 		cp := *op
@@ -62,6 +63,7 @@ func clonePlan(p Plan, orig map[Plan]Plan) (Plan, error) {
 			return nil, err
 		}
 		cp.In = in
+		cp.pc = nil // compiled projection scratch must not be shared across workers
 		out = &cp
 	case *PosOffsetOp:
 		cp := *op

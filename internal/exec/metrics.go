@@ -61,6 +61,15 @@ type NodeMetrics struct {
 	ScanTime  time.Duration
 	ProbeTime time.Duration
 
+	// Batch-mode tallies. BatchCalls counts batch scans opened on the
+	// node (each also counts in ScanCalls), Batches the batches it
+	// emitted, BatchRows the valid rows those batches carried (also in
+	// ScanRows, so rows stay comparable across modes). All zero when
+	// the node ran scalar.
+	BatchCalls int64
+	Batches    int64
+	BatchRows  int64
+
 	// Pages holds the base-store accesses attributed to this node.
 	// Only leaves over metered stores set HasPages; by construction the
 	// leaf-attributed counters sum exactly to the global storage.Stats
@@ -125,6 +134,9 @@ func (m *NodeMetrics) Merge(o *NodeMetrics) error {
 	m.ProbeNulls += o.ProbeNulls
 	m.ScanTime += o.ScanTime
 	m.ProbeTime += o.ProbeTime
+	m.BatchCalls += o.BatchCalls
+	m.Batches += o.Batches
+	m.BatchRows += o.BatchRows
 	m.Pages = m.Pages.Add(o.Pages)
 	m.HasPages = m.HasPages || o.HasPages
 	m.HasCache = m.HasCache || o.HasCache

@@ -12,6 +12,13 @@ import (
 type SelectOp struct {
 	In   Plan
 	Pred expr.Expr
+
+	// pe is the batch-mode predicate evaluator, compiled on first use
+	// and reused across runs. Like the other operator-resident run state
+	// (e.g. ValueOffsetIncremental's cache) it makes an instance
+	// single-run-at-a-time; parallel workers get fresh state via
+	// ClonePlan.
+	pe *predEval
 }
 
 // NewSelect builds a selection over the input plan.
@@ -73,6 +80,10 @@ type ProjectOp struct {
 	In     Plan
 	Items  []ProjExpr
 	schema *seq.Schema
+
+	// pc is the batch-mode projection program, compiled on first use and
+	// reused across runs; see SelectOp.pe for the aliasing rules.
+	pc *projCompiled
 }
 
 // ProjExpr is one output attribute of a physical projection.

@@ -1,0 +1,597 @@
+// Vectorized expression evaluation over columnar batches. An expression
+// built from columns, literals, comparisons, +,-,*, float /, not, neg,
+// and the boolean connectives compiles to tight per-column loops; the
+// compiled form reuses its scratch vectors across batches, so evaluation
+// allocates only on the first batch of a scan.
+//
+// The vectorizable subset is exactly the error-free subset: integer
+// division and modulo (which can fail per-row) and Call (host functions)
+// are excluded, so evaluating rows eagerly — including rows a
+// short-circuiting scalar evaluation would have skipped, and rows whose
+// validity bit is clear — can never surface an error the scalar
+// interpreter would not. Results on invalid rows are garbage and must be
+// ignored by the consumer, which batch operators do by construction.
+package expr
+
+import (
+	"repro/internal/seq"
+)
+
+// vctx is the per-evaluation state threaded through compiled closures.
+type vctx struct {
+	b  *seq.Batch
+	in *seq.Intern
+	n  int
+}
+
+type (
+	intFn   func(c *vctx) []int64
+	floatFn func(c *vctx) []float64
+	boolFn  func(c *vctx) []bool
+	strFn   func(c *vctx) []uint32 // intern handles
+)
+
+// VecPred is a compiled vectorized boolean expression. Not safe for
+// concurrent use: the compiled closures own scratch buffers. Each
+// operator instance compiles its own.
+type VecPred struct {
+	f boolFn
+	c vctx
+}
+
+// CompilePred compiles a boolean expression for vectorized evaluation.
+// ok is false when the expression uses a non-vectorizable construct; the
+// caller falls back to row-at-a-time Eval.
+func CompilePred(e Expr) (*VecPred, bool) {
+	if e.Type() != seq.TBool {
+		return nil, false
+	}
+	f, ok := compileBool(e)
+	if !ok {
+		return nil, false
+	}
+	return &VecPred{f: f}, true
+}
+
+// Eval evaluates the predicate over every row of the batch (valid or
+// not) and returns one bool per row. The returned slice is owned by the
+// predicate and valid until the next Eval.
+func (p *VecPred) Eval(b *seq.Batch, in *seq.Intern) []bool {
+	p.c = vctx{b: b, in: in, n: b.Rows()}
+	return p.f(&p.c)
+}
+
+// VecExpr is a compiled vectorized value expression.
+type VecExpr struct {
+	t  seq.Type
+	fi intFn
+	ff floatFn
+	fb boolFn
+	fs strFn
+	c  vctx
+}
+
+// CompileExpr compiles a value expression for vectorized evaluation.
+func CompileExpr(e Expr) (*VecExpr, bool) {
+	v := &VecExpr{t: e.Type()}
+	var ok bool
+	switch v.t {
+	case seq.TInt:
+		v.fi, ok = compileInt(e)
+	case seq.TFloat:
+		v.ff, ok = compileFloat(e)
+	case seq.TBool:
+		v.fb, ok = compileBool(e)
+	case seq.TString:
+		v.fs, ok = compileStr(e)
+	}
+	if !ok {
+		return nil, false
+	}
+	return v, true
+}
+
+// Type returns the compiled expression's result type.
+func (v *VecExpr) Type() seq.Type { return v.t }
+
+// EvalInto evaluates the expression over every row of the batch and
+// copies the results into dst (reset first). dst.T must equal Type().
+func (v *VecExpr) EvalInto(b *seq.Batch, in *seq.Intern, dst *seq.Vec) {
+	v.c = vctx{b: b, in: in, n: b.Rows()}
+	switch v.t {
+	case seq.TInt:
+		dst.I = append(dst.I[:0], v.fi(&v.c)...)
+	case seq.TFloat:
+		dst.F = append(dst.F[:0], v.ff(&v.c)...)
+	case seq.TBool:
+		dst.B = append(dst.B[:0], v.fb(&v.c)...)
+	default:
+		dst.H = append(dst.H[:0], v.fs(&v.c)...)
+	}
+}
+
+// growI returns s resized to n, reallocating only when capacity grows.
+func growI(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growB(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growH(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		return make([]uint32, n)
+	}
+	return s[:n]
+}
+
+func compileInt(e Expr) (intFn, bool) {
+	switch v := e.(type) {
+	case *Col:
+		if v.Typ != seq.TInt {
+			return nil, false
+		}
+		idx := v.Index
+		return func(c *vctx) []int64 { return c.b.Cols[idx].I }, true
+	case *Lit:
+		if v.Val.T != seq.TInt {
+			return nil, false
+		}
+		lit := v.Val.AsInt()
+		var scratch []int64
+		return func(c *vctx) []int64 {
+			scratch = growI(scratch, c.n)
+			for i := range scratch {
+				scratch[i] = lit
+			}
+			return scratch
+		}, true
+	case *Neg:
+		in, ok := compileInt(v.E)
+		if !ok {
+			return nil, false
+		}
+		var scratch []int64
+		return func(c *vctx) []int64 {
+			a := in(c)
+			scratch = growI(scratch, c.n)
+			for i := range scratch {
+				scratch[i] = -a[i]
+			}
+			return scratch
+		}, true
+	case *Bin:
+		if v.typ != seq.TInt || !v.Op.Arithmetic() || v.Op == OpDiv || v.Op == OpMod {
+			// Integer division and modulo can fail per-row; leave them
+			// to the scalar fallback.
+			return nil, false
+		}
+		l, ok := compileInt(v.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := compileInt(v.R)
+		if !ok {
+			return nil, false
+		}
+		op := v.Op
+		var scratch []int64
+		return func(c *vctx) []int64 {
+			a, b := l(c), r(c)
+			scratch = growI(scratch, c.n)
+			switch op {
+			case OpAdd:
+				for i := range scratch {
+					scratch[i] = a[i] + b[i]
+				}
+			case OpSub:
+				for i := range scratch {
+					scratch[i] = a[i] - b[i]
+				}
+			default: // OpMul
+				for i := range scratch {
+					scratch[i] = a[i] * b[i]
+				}
+			}
+			return scratch
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+// compileAsFloat compiles a numeric expression, widening TInt results to
+// float64 exactly as Value.AsFloat does.
+func compileAsFloat(e Expr) (floatFn, bool) {
+	if e.Type() == seq.TFloat {
+		return compileFloat(e)
+	}
+	in, ok := compileInt(e)
+	if !ok {
+		return nil, false
+	}
+	var scratch []float64
+	return func(c *vctx) []float64 {
+		a := in(c)
+		scratch = growF(scratch, c.n)
+		for i := range scratch {
+			scratch[i] = float64(a[i])
+		}
+		return scratch
+	}, true
+}
+
+func compileFloat(e Expr) (floatFn, bool) {
+	switch v := e.(type) {
+	case *Col:
+		if v.Typ != seq.TFloat {
+			return nil, false
+		}
+		idx := v.Index
+		return func(c *vctx) []float64 { return c.b.Cols[idx].F }, true
+	case *Lit:
+		if v.Val.T != seq.TFloat {
+			return nil, false
+		}
+		lit := v.Val.AsFloat()
+		var scratch []float64
+		return func(c *vctx) []float64 {
+			scratch = growF(scratch, c.n)
+			for i := range scratch {
+				scratch[i] = lit
+			}
+			return scratch
+		}, true
+	case *Neg:
+		in, ok := compileAsFloat(v.E)
+		if !ok {
+			return nil, false
+		}
+		var scratch []float64
+		return func(c *vctx) []float64 {
+			a := in(c)
+			scratch = growF(scratch, c.n)
+			for i := range scratch {
+				scratch[i] = -a[i]
+			}
+			return scratch
+		}, true
+	case *Bin:
+		if v.typ != seq.TFloat || !v.Op.Arithmetic() {
+			return nil, false
+		}
+		// Float arithmetic, including /, never errors (div by zero
+		// yields ±Inf like the scalar path).
+		l, ok := compileAsFloat(v.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := compileAsFloat(v.R)
+		if !ok {
+			return nil, false
+		}
+		op := v.Op
+		var scratch []float64
+		return func(c *vctx) []float64 {
+			a, b := l(c), r(c)
+			scratch = growF(scratch, c.n)
+			switch op {
+			case OpAdd:
+				for i := range scratch {
+					scratch[i] = a[i] + b[i]
+				}
+			case OpSub:
+				for i := range scratch {
+					scratch[i] = a[i] - b[i]
+				}
+			case OpMul:
+				for i := range scratch {
+					scratch[i] = a[i] * b[i]
+				}
+			default: // OpDiv
+				for i := range scratch {
+					scratch[i] = a[i] / b[i]
+				}
+			}
+			return scratch
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+func compileStr(e Expr) (strFn, bool) {
+	switch v := e.(type) {
+	case *Col:
+		if v.Typ != seq.TString {
+			return nil, false
+		}
+		idx := v.Index
+		return func(c *vctx) []uint32 { return c.b.Cols[idx].H }, true
+	case *Lit:
+		if v.Val.T != seq.TString {
+			return nil, false
+		}
+		lit := v.Val.AsStr()
+		var scratch []uint32
+		return func(c *vctx) []uint32 {
+			h := c.in.PutStr(lit)
+			scratch = growH(scratch, c.n)
+			for i := range scratch {
+				scratch[i] = h
+			}
+			return scratch
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+func compileBool(e Expr) (boolFn, bool) {
+	switch v := e.(type) {
+	case *Col:
+		if v.Typ != seq.TBool {
+			return nil, false
+		}
+		idx := v.Index
+		return func(c *vctx) []bool { return c.b.Cols[idx].B }, true
+	case *Lit:
+		if v.Val.T != seq.TBool {
+			return nil, false
+		}
+		lit := v.Val.AsBool()
+		var scratch []bool
+		return func(c *vctx) []bool {
+			scratch = growB(scratch, c.n)
+			for i := range scratch {
+				scratch[i] = lit
+			}
+			return scratch
+		}, true
+	case *Not:
+		in, ok := compileBool(v.E)
+		if !ok {
+			return nil, false
+		}
+		var scratch []bool
+		return func(c *vctx) []bool {
+			a := in(c)
+			scratch = growB(scratch, c.n)
+			for i := range scratch {
+				scratch[i] = !a[i]
+			}
+			return scratch
+		}, true
+	case *Bin:
+		switch {
+		case v.Op.Logical():
+			// The operands are themselves error-free, so eager
+			// evaluation matches the scalar short-circuit exactly.
+			l, ok := compileBool(v.L)
+			if !ok {
+				return nil, false
+			}
+			r, ok := compileBool(v.R)
+			if !ok {
+				return nil, false
+			}
+			and := v.Op == OpAnd
+			var scratch []bool
+			return func(c *vctx) []bool {
+				a, b := l(c), r(c)
+				scratch = growB(scratch, c.n)
+				if and {
+					for i := range scratch {
+						scratch[i] = a[i] && b[i]
+					}
+				} else {
+					for i := range scratch {
+						scratch[i] = a[i] || b[i]
+					}
+				}
+				return scratch
+			}, true
+		case v.Op.Comparison():
+			return compileCompare(v)
+		default:
+			return nil, false
+		}
+	default:
+		return nil, false
+	}
+}
+
+// compileCompare builds a vectorized three-way comparison matching
+// Value.Compare exactly: int/int compares as integers, mixed numerics as
+// float64 (so NaN is ordered equal to everything, as a<b / a>b both
+// fail), strings bytewise, bools false<true.
+func compileCompare(v *Bin) (boolFn, bool) {
+	lt, rt := v.L.Type(), v.R.Type()
+	op := v.Op
+	switch {
+	case lt == seq.TInt && rt == seq.TInt:
+		l, ok := compileInt(v.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := compileInt(v.R)
+		if !ok {
+			return nil, false
+		}
+		var scratch []bool
+		return func(c *vctx) []bool {
+			a, b := l(c), r(c)
+			scratch = growB(scratch, c.n)
+			switch op {
+			case OpLt:
+				for i := range scratch {
+					scratch[i] = a[i] < b[i]
+				}
+			case OpLe:
+				for i := range scratch {
+					scratch[i] = a[i] <= b[i]
+				}
+			case OpGt:
+				for i := range scratch {
+					scratch[i] = a[i] > b[i]
+				}
+			case OpGe:
+				for i := range scratch {
+					scratch[i] = a[i] >= b[i]
+				}
+			case OpEq:
+				for i := range scratch {
+					scratch[i] = a[i] == b[i]
+				}
+			default: // OpNe
+				for i := range scratch {
+					scratch[i] = a[i] != b[i]
+				}
+			}
+			return scratch
+		}, true
+	case lt.Numeric() && rt.Numeric():
+		l, ok := compileAsFloat(v.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := compileAsFloat(v.R)
+		if !ok {
+			return nil, false
+		}
+		var scratch []bool
+		return func(c *vctx) []bool {
+			a, b := l(c), r(c)
+			scratch = growB(scratch, c.n)
+			// Phrase every operator in terms of a<b and a>b so NaN
+			// behaves exactly like the scalar Compare (never < or >,
+			// hence "equal").
+			switch op {
+			case OpLt:
+				for i := range scratch {
+					scratch[i] = a[i] < b[i]
+				}
+			case OpLe:
+				for i := range scratch {
+					scratch[i] = !(a[i] > b[i])
+				}
+			case OpGt:
+				for i := range scratch {
+					scratch[i] = a[i] > b[i]
+				}
+			case OpGe:
+				for i := range scratch {
+					scratch[i] = !(a[i] < b[i])
+				}
+			case OpEq:
+				for i := range scratch {
+					scratch[i] = !(a[i] < b[i]) && !(a[i] > b[i])
+				}
+			default: // OpNe
+				for i := range scratch {
+					scratch[i] = a[i] < b[i] || a[i] > b[i]
+				}
+			}
+			return scratch
+		}, true
+	case lt == seq.TString && rt == seq.TString:
+		l, ok := compileStr(v.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := compileStr(v.R)
+		if !ok {
+			return nil, false
+		}
+		var scratch []bool
+		return func(c *vctx) []bool {
+			a, b := l(c), r(c)
+			scratch = growB(scratch, c.n)
+			switch op {
+			case OpEq:
+				// Handles are canonical within one intern table:
+				// equal handles iff equal strings.
+				for i := range scratch {
+					scratch[i] = a[i] == b[i]
+				}
+			case OpNe:
+				for i := range scratch {
+					scratch[i] = a[i] != b[i]
+				}
+			default:
+				in := c.in
+				for i := range scratch {
+					as, bs := in.Str(a[i]), in.Str(b[i])
+					switch op {
+					case OpLt:
+						scratch[i] = as < bs
+					case OpLe:
+						scratch[i] = as <= bs
+					case OpGt:
+						scratch[i] = as > bs
+					default: // OpGe
+						scratch[i] = as >= bs
+					}
+				}
+			}
+			return scratch
+		}, true
+	case lt == seq.TBool && rt == seq.TBool:
+		l, ok := compileBool(v.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := compileBool(v.R)
+		if !ok {
+			return nil, false
+		}
+		var scratch []bool
+		return func(c *vctx) []bool {
+			a, b := l(c), r(c)
+			scratch = growB(scratch, c.n)
+			switch op {
+			case OpLt:
+				for i := range scratch {
+					scratch[i] = !a[i] && b[i]
+				}
+			case OpLe:
+				for i := range scratch {
+					scratch[i] = !a[i] || b[i]
+				}
+			case OpGt:
+				for i := range scratch {
+					scratch[i] = a[i] && !b[i]
+				}
+			case OpGe:
+				for i := range scratch {
+					scratch[i] = a[i] || !b[i]
+				}
+			case OpEq:
+				for i := range scratch {
+					scratch[i] = a[i] == b[i]
+				}
+			default: // OpNe
+				for i := range scratch {
+					scratch[i] = a[i] != b[i]
+				}
+			}
+			return scratch
+		}, true
+	default:
+		return nil, false
+	}
+}

@@ -1,0 +1,197 @@
+package expr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// vecBatch packs the given records into one batch over an intern table.
+func vecBatch(t *testing.T, recs []seq.Record) (*seq.Batch, *seq.Intern) {
+	t.Helper()
+	in := seq.NewIntern()
+	b := seq.NewBatchFor(testSchema, len(recs))
+	for i, r := range recs {
+		if err := b.AppendRow(seq.Pos(i+1), r, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b, in
+}
+
+// vecRecords is a workload hitting the interesting value-space corners:
+// negative floats, NaN, +/-Inf, repeated strings, zero and negative
+// ints, and both bool polarities.
+func vecRecords() []seq.Record {
+	return []seq.Record{
+		testRec(1.5, 2.5, 10, false, "aa"),
+		testRec(-3.25, 2.5, -4, true, "bb"),
+		testRec(math.NaN(), math.NaN(), 0, false, "aa"),
+		testRec(math.Inf(1), math.Inf(-1), 7, true, "cc"),
+		testRec(2.5, 1.5, 10, false, "bb"),
+		testRec(0, 0, 3, true, ""),
+	}
+}
+
+func TestCompilePredMatchesScalarEval(t *testing.T) {
+	preds := map[string]Expr{
+		"float gt":      bin(t, OpGt, col(t, "close"), Literal(seq.Float(2))),
+		"float lt nan":  bin(t, OpLt, col(t, "open"), col(t, "close")),
+		"float ge nan":  bin(t, OpGe, col(t, "open"), col(t, "close")),
+		"float eq nan":  bin(t, OpEq, col(t, "open"), col(t, "close")),
+		"float ne":      bin(t, OpNe, col(t, "open"), col(t, "close")),
+		"mixed int cmp": bin(t, OpLe, col(t, "volume"), col(t, "close")),
+		"int eq":        bin(t, OpEq, col(t, "volume"), Literal(seq.Int(10))),
+		"str cmp":       bin(t, OpLt, col(t, "sym"), Literal(seq.Str("bb"))),
+		"str eq":        bin(t, OpEq, col(t, "sym"), Literal(seq.Str("aa"))),
+		"bool col":      col(t, "halted"),
+		"and": bin(t, OpAnd,
+			bin(t, OpGt, col(t, "close"), Literal(seq.Float(0))),
+			bin(t, OpLt, col(t, "volume"), Literal(seq.Int(10)))),
+		"or": bin(t, OpOr,
+			col(t, "halted"),
+			bin(t, OpGt, col(t, "open"), col(t, "close"))),
+		"not": not(t, col(t, "halted")),
+		"arith in cmp": bin(t, OpGt,
+			bin(t, OpAdd, col(t, "open"), bin(t, OpMul, col(t, "close"), Literal(seq.Float(2)))),
+			neg(t, col(t, "close"))),
+		"float div": bin(t, OpLt,
+			bin(t, OpDiv, col(t, "open"), col(t, "close")),
+			Literal(seq.Float(1))),
+	}
+	recs := vecRecords()
+	b, in := vecBatch(t, recs)
+	for name, e := range preds {
+		vp, ok := CompilePred(e)
+		if !ok {
+			t.Errorf("%s: did not vectorize", name)
+			continue
+		}
+		got := vp.Eval(b, in)
+		if len(got) != len(recs) {
+			t.Fatalf("%s: %d results for %d rows", name, len(got), len(recs))
+		}
+		for i, r := range recs {
+			want, err := e.Eval(r)
+			if err != nil {
+				t.Fatalf("%s row %d: scalar eval: %v", name, i, err)
+			}
+			if got[i] != want.AsBool() {
+				t.Errorf("%s row %d (%v): vector %v, scalar %v", name, i, r, got[i], want.AsBool())
+			}
+		}
+	}
+}
+
+func TestCompileExprMatchesScalarEval(t *testing.T) {
+	exprs := map[string]Expr{
+		"col float":   col(t, "close"),
+		"col int":     col(t, "volume"),
+		"col str":     col(t, "sym"),
+		"col bool":    col(t, "halted"),
+		"lit":         Literal(seq.Float(42)),
+		"add":         bin(t, OpAdd, col(t, "open"), col(t, "close")),
+		"sub mixed":   bin(t, OpSub, col(t, "close"), col(t, "volume")),
+		"mul int":     bin(t, OpMul, col(t, "volume"), Literal(seq.Int(3))),
+		"div float":   bin(t, OpDiv, col(t, "open"), col(t, "close")),
+		"neg float":   neg(t, col(t, "open")),
+		"neg int":     neg(t, col(t, "volume")),
+		"not":         not(t, col(t, "halted")),
+		"cmp as bool": bin(t, OpGe, col(t, "close"), col(t, "open")),
+	}
+	recs := vecRecords()
+	b, in := vecBatch(t, recs)
+	for name, e := range exprs {
+		ve, ok := CompileExpr(e)
+		if !ok {
+			t.Errorf("%s: did not vectorize", name)
+			continue
+		}
+		var dst seq.Vec
+		dst.T = ve.Type()
+		ve.EvalInto(b, in, &dst)
+		if dst.Len() != len(recs) {
+			t.Fatalf("%s: %d results for %d rows", name, dst.Len(), len(recs))
+		}
+		for i, r := range recs {
+			want, err := e.Eval(r)
+			if err != nil {
+				t.Fatalf("%s row %d: scalar eval: %v", name, i, err)
+			}
+			if want.T != ve.Type() {
+				t.Fatalf("%s: compiled type %v, scalar type %v", name, ve.Type(), want.T)
+			}
+			got := dst.Value(i, in)
+			// NaN != NaN under ==, but Value.Equal treats NaN as equal to
+			// itself, which is exactly the parity we need.
+			if !got.Equal(want) {
+				t.Errorf("%s row %d (%v): vector %v, scalar %v", name, i, r, got, want)
+			}
+		}
+	}
+}
+
+func TestCompileRejectsFallibleConstructs(t *testing.T) {
+	intDiv := bin(t, OpDiv, col(t, "volume"), Literal(seq.Int(2)))
+	intMod := bin(t, OpMod, col(t, "volume"), Literal(seq.Int(2)))
+	call, err := NewCall(FnAbs, []Expr{col(t, "close")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected := map[string]Expr{
+		"int div":         intDiv,
+		"int mod":         intMod,
+		"call":            call,
+		"div under cmp":   bin(t, OpGt, intDiv, Literal(seq.Int(0))),
+		"call under and":  bin(t, OpAnd, bin(t, OpGt, call, Literal(seq.Float(0))), col(t, "halted")),
+		"div under arith": bin(t, OpAdd, intMod, col(t, "volume")),
+	}
+	for name, e := range rejected {
+		if _, ok := CompileExpr(e); ok {
+			t.Errorf("%s: CompileExpr vectorized a fallible expression", name)
+		}
+		if e.Type() == seq.TBool {
+			if _, ok := CompilePred(e); ok {
+				t.Errorf("%s: CompilePred vectorized a fallible expression", name)
+			}
+		}
+	}
+}
+
+func TestVecPredScratchReuse(t *testing.T) {
+	p := bin(t, OpGt, col(t, "close"), Literal(seq.Float(2)))
+	vp, ok := CompilePred(p)
+	if !ok {
+		t.Fatal("simple comparison did not vectorize")
+	}
+	b1, in := vecBatch(t, vecRecords()[:4])
+	r1 := vp.Eval(b1, in)
+	first := make([]bool, len(r1))
+	copy(first, r1)
+	// A second batch reuses the scratch: same backing array, fresh values.
+	r2 := vp.Eval(b1, in)
+	for i := range first {
+		if r2[i] != first[i] {
+			t.Fatalf("re-evaluation changed row %d", i)
+		}
+	}
+}
+
+func not(t *testing.T, e Expr) Expr {
+	t.Helper()
+	n, err := NewNot(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func neg(t *testing.T, e Expr) Expr {
+	t.Helper()
+	n, err := NewNeg(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}

@@ -1,0 +1,152 @@
+package parallel
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/seq"
+	"repro/internal/storage"
+)
+
+// RunBatch is the vectorized counterpart of Run: each partition worker
+// drives the batch pipeline over its sub-span with a private forked
+// context — same batch size, its own intern table, so handle spaces
+// never cross goroutines — and the per-worker batch and intern counters
+// are folded back into ctx after the join. The legality argument is
+// unchanged (batch evaluation produces the identical record stream, so
+// partition concatenation still reconstructs the serial scan); a serial
+// decision or an uncloneable plan falls back to single-context batch
+// evaluation.
+func RunBatch(p exec.Plan, span seq.Span, d *Decision, ctx *seq.BatchCtx) (*seq.Materialized, error) {
+	if !d.Parallel() {
+		return exec.RunBatch(p, span, ctx)
+	}
+	clones, err := CloneWorkers(p, len(d.Partitions))
+	if err != nil {
+		return exec.RunBatch(p, span, ctx)
+	}
+	k := len(d.Partitions)
+	results := make([][]seq.Entry, k)
+	errs := make([]error, k)
+	wctxs := make([]*seq.BatchCtx, k)
+	var wg sync.WaitGroup
+	for i, part := range d.Partitions {
+		wctxs[i] = ctx.Fork()
+		wg.Add(1)
+		go func(i int, part seq.Span) {
+			defer wg.Done()
+			results[i], errs[i] = exec.CollectBatchesIn(exec.BatchScanOf(clones[i], part, wctxs[i]), wctxs[i], part)
+		}(i, part)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, w := range wctxs {
+		ctx.AbsorbCounters(w)
+	}
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	all := make([]seq.Entry, 0, total)
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	// Partition outputs are disjoint ascending sub-spans concatenated in
+	// order, so the merged stream is already sorted and verified.
+	return seq.FromSortedEntries(p.Info().Schema, all)
+}
+
+// RunAnalyzeBatch is the vectorized counterpart of RunAnalyze: per-worker
+// instrumentation shards, per-worker stats forks for exact concurrent
+// page attribution, and per-worker batch contexts whose counters — batch
+// tallies and intern hit/miss totals — fold into ctx at the merge, so a
+// partitioned EXPLAIN ANALYZE reports run-wide interning behavior.
+func RunAnalyzeBatch(p exec.Plan, span seq.Span, d *Decision, pred func(exec.Plan) exec.PredictedCost, ctx *seq.BatchCtx) (*seq.Materialized, *exec.NodeMetrics, []PartitionMetrics, error) {
+	if !d.Parallel() {
+		return nil, nil, nil, fmt.Errorf("parallel: RunAnalyzeBatch requires a parallel decision")
+	}
+	if pred == nil {
+		pred = func(exec.Plan) exec.PredictedCost { return exec.PredictedCost{} }
+	}
+	k := len(d.Partitions)
+	results := make([][]seq.Entry, k)
+	errs := make([]error, k)
+	roots := make([]*exec.NodeMetrics, k)
+	parts := make([]PartitionMetrics, k)
+	forks := make([][]statsFork, k)
+	wctxs := make([]*seq.BatchCtx, k)
+	var wg sync.WaitGroup
+	for i, part := range d.Partitions {
+		clone, orig, err := exec.ClonePlan(p)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		exec.ReplaceLeafSeqs(clone, func(l *exec.Leaf) {
+			if st, ok := l.Seq.(storage.StatsForker); ok {
+				priv := &storage.Stats{}
+				forks[i] = append(forks[i], statsFork{shared: st.Stats(), priv: priv})
+				l.Seq = st.Fork(priv)
+			}
+		})
+		predClone := func(cp exec.Plan) exec.PredictedCost {
+			if o, ok := orig[cp]; ok {
+				return pred(o)
+			}
+			return exec.PredictedCost{}
+		}
+		instr, root := exec.Instrument(clone, predClone)
+		roots[i] = root
+		wctxs[i] = ctx.Fork()
+		wg.Add(1)
+		go func(i int, part seq.Span) {
+			defer wg.Done()
+			start := time.Now()
+			results[i], errs[i] = exec.CollectBatchesIn(exec.BatchScanOf(instr, part, wctxs[i]), wctxs[i], part)
+			parts[i] = PartitionMetrics{Span: part, Rows: int64(len(results[i])), Elapsed: time.Since(start)}
+		}(i, part)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	for i := range parts {
+		var pages storage.StatsSnapshot
+		for _, f := range forks[i] {
+			snap := f.priv.Snapshot()
+			pages = pages.Add(snap)
+			f.shared.AddSnapshot(snap)
+		}
+		parts[i].Pages = pages
+		roots[i].Finalize()
+	}
+	for _, w := range wctxs {
+		ctx.AbsorbCounters(w)
+	}
+	merged := roots[0]
+	for _, r := range roots[1:] {
+		if err := merged.Merge(r); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	all := make([]seq.Entry, 0, total)
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	out, err := seq.FromSortedEntries(p.Info().Schema, all)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return out, merged, parts, nil
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/matview"
 	"repro/internal/parallel"
 	"repro/internal/planlint"
@@ -38,6 +39,7 @@ func TestDifferentialFuzz(t *testing.T) {
 	}
 	verified, partitioned, substituted := 0, 0, 0
 	respliced, reoptTails := 0, 0
+	var batched, batchParts int64
 	for seed := int64(1); verified < *fuzzPlans; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		q, err := testgen.RandomQuery(rng, cfg)
@@ -75,6 +77,31 @@ func TestDifferentialFuzz(t *testing.T) {
 		if issues := planlint.VerifyPhysical(res.Plan); len(issues) != 0 {
 			t.Fatalf("seed %d: post-run physical verification:\n%v", seed, planlint.Error(issues))
 		}
+		// Batch-vs-scalar differential: the vectorized data plane must
+		// reproduce the scalar interpreter's stream record for record on
+		// the same physical plan, and the batch stream itself must uphold
+		// the batch/* invariants (span tiling, validity/Null agreement,
+		// intern-table isolation).
+		if issues := planlint.VerifyBatches(res.Plan, res.RunSpan); len(issues) != 0 {
+			t.Fatalf("seed %d: batch verification:\n%v\nquery:\n%s\nplan:\n%s",
+				seed, planlint.Error(issues), q, res.Explain())
+		}
+		if res.RunSpan.Bounded() && !res.RunSpan.IsEmpty() {
+			bctx := seq.NewBatchCtx()
+			bgot, err := exec.RunBatch(res.Plan, res.RunSpan, bctx)
+			if err != nil {
+				t.Fatalf("seed %d: batch run: %v\nquery:\n%s\nplan:\n%s", seed, err, q, res.Explain())
+			}
+			sgot, err := exec.Run(res.Plan, res.RunSpan)
+			if err != nil {
+				t.Fatalf("seed %d: scalar run: %v\nquery:\n%s\nplan:\n%s", seed, err, q, res.Explain())
+			}
+			if !testgen.EntriesApproxEqual(bgot.Entries(), sgot.Entries()) {
+				t.Fatalf("seed %d: batch evaluation disagrees with scalar\nquery:\n%s\nplan:\n%s",
+					seed, q, res.Explain())
+			}
+			batched += bctx.Batches
+		}
 		// Partitioned evaluation must agree with the serial stream record
 		// for record at any K on any clonable plan, including plans the
 		// cost model would never split (ForceK bypasses it). The forced
@@ -97,6 +124,19 @@ func TestDifferentialFuzz(t *testing.T) {
 				t.Fatalf("seed %d: K=%d partitioned evaluation disagrees with serial\nquery:\n%s\nplan:\n%s",
 					seed, k, q, res.Explain())
 			}
+			// The partitioned batch plane must agree too: per-worker
+			// forked intern tables, concatenated in partition order.
+			bctx := seq.NewBatchCtx()
+			pbgot, err := parallel.RunBatch(res.Plan, res.RunSpan, dec, bctx)
+			if err != nil {
+				t.Fatalf("seed %d: K=%d partitioned batch run: %v\nquery:\n%s\nplan:\n%s",
+					seed, k, err, q, res.Explain())
+			}
+			if !testgen.EntriesApproxEqual(pbgot.Entries(), got.Entries()) {
+				t.Fatalf("seed %d: K=%d partitioned batch evaluation disagrees with serial\nquery:\n%s\nplan:\n%s",
+					seed, k, q, res.Explain())
+			}
+			batchParts += bctx.Batches
 			if dec.Parallel() {
 				partitioned++
 			}
@@ -179,10 +219,16 @@ func TestDifferentialFuzz(t *testing.T) {
 		}
 		verified++
 	}
-	t.Logf("verified %d random plans differentially (%d partitioned cross-checks, %d view substitutions, %d reopt splices, %d reopt parallel tails)",
-		verified, partitioned, substituted, respliced, reoptTails)
+	t.Logf("verified %d random plans differentially (%d partitioned cross-checks, %d view substitutions, %d reopt splices, %d reopt parallel tails, %d batches consumed, %d partitioned-batch batches)",
+		verified, partitioned, substituted, respliced, reoptTails, batched, batchParts)
 	if partitioned == 0 {
 		t.Fatalf("no plan ever took the partitioned evaluation path; the parallel differential harness is dead")
+	}
+	if batched == 0 {
+		t.Fatalf("no plan ever consumed a batch; the batch differential harness is dead")
+	}
+	if batchParts == 0 {
+		t.Fatalf("no partitioned run ever consumed a batch; the partitioned batch differential harness is dead")
 	}
 	if substituted == 0 {
 		t.Fatalf("no plan ever substituted a pre-materialized view; the matview differential harness is dead")

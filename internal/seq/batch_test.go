@@ -1,0 +1,494 @@
+package seq
+
+import (
+	"strings"
+	"testing"
+)
+
+var batchSchema = MustSchema(
+	Field{Name: "sym", Type: TString},
+	Field{Name: "px", Type: TFloat},
+	Field{Name: "qty", Type: TInt},
+	Field{Name: "buy", Type: TBool},
+)
+
+func batchEntry(pos Pos, sym string, px float64, qty int64, buy bool) Entry {
+	return Entry{Pos: pos, Rec: Record{Str(sym), Float(px), Int(qty), Bool(buy)}}
+}
+
+func TestBitmap(t *testing.T) {
+	b := make(Bitmap, bitmapWords(130))
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in fresh bitmap", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Count(130); got != 8 {
+		t.Errorf("Count(130) = %d, want 8", got)
+	}
+	// Count honors the prefix length, including mid-word cutoffs.
+	if got := b.Count(64); got != 3 {
+		t.Errorf("Count(64) = %d, want 3", got)
+	}
+	if got := b.Count(65); got != 4 {
+		t.Errorf("Count(65) = %d, want 4", got)
+	}
+	b.Clear(64)
+	if b.Get(64) || b.Count(130) != 7 {
+		t.Error("Clear(64) did not drop exactly one bit")
+	}
+}
+
+func TestBitmapNextSet(t *testing.T) {
+	b := make(Bitmap, bitmapWords(300))
+	for _, i := range []int{3, 64, 200, 299} {
+		b.Set(i)
+	}
+	cases := []struct{ from, want int }{
+		{0, 3}, {3, 3}, {4, 64}, {64, 64}, {65, 200}, // word-boundary hops
+		{201, 299}, {299, 299}, {300, 300},
+	}
+	for _, c := range cases {
+		if got := b.NextSet(c.from, 300); got != c.want {
+			t.Errorf("NextSet(%d, 300) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	// The length bound cuts off bits at and past n.
+	if got := b.NextSet(201, 250); got != 250 {
+		t.Errorf("NextSet(201, 250) = %d, want 250", got)
+	}
+	empty := make(Bitmap, bitmapWords(128))
+	if got := empty.NextSet(0, 128); got != 128 {
+		t.Errorf("NextSet over empty bitmap = %d, want 128", got)
+	}
+}
+
+func TestBatchAppendRunRows(t *testing.T) {
+	in := NewIntern()
+	b := NewBatchFor(batchSchema, 8)
+	rec := Record{Str("ibm"), Float(1.5), Int(7), Bool(true)}
+	if err := b.AppendRunRows(10, 3, rec, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendRow(13, Record{Str("dec"), Float(2.5), Int(8), Bool(false)}, in); err != nil {
+		t.Fatal(err)
+	}
+	// A run past the initial capacity forces the extend-in-place helpers
+	// through their grow path.
+	rec2 := Record{Str("ibm"), Float(9), Int(1), Bool(false)}
+	if err := b.AppendRunRows(14, 70, rec2, in); err != nil {
+		t.Fatal(err)
+	}
+	if b.Rows() != 74 {
+		t.Fatalf("Rows() = %d, want 74", b.Rows())
+	}
+	for i := 0; i < 74; i++ {
+		wantPos := Pos(10 + i)
+		if b.Pos[i] != wantPos || !b.Valid.Get(i) {
+			t.Fatalf("row %d: pos %d valid %v, want pos %d valid", i, b.Pos[i], b.Valid.Get(i), wantPos)
+		}
+		var want Record
+		switch {
+		case i < 3:
+			want = rec
+		case i == 3:
+			want = Record{Str("dec"), Float(2.5), Int(8), Bool(false)}
+		default:
+			want = rec2
+		}
+		if got := b.Row(i, in); !got.Equal(want) {
+			t.Fatalf("row %d = %v, want %v", i, got, want)
+		}
+	}
+	// The run's string is interned once, not once per row.
+	if hits, misses := in.Stats().StrHits, in.Stats().StrMisses; misses != 2 || hits != 1 {
+		t.Errorf("intern stats = %d hits / %d misses, want 1/2", hits, misses)
+	}
+	// Type mismatches are rejected with the AppendRow error shape.
+	if err := b.AppendRunRows(100, 2, Record{Int(1), Float(1), Int(1), Bool(true)}, in); err == nil ||
+		!strings.Contains(err.Error(), "type mismatch") {
+		t.Errorf("type mismatch error = %v", err)
+	}
+}
+
+func TestInternRecTableGrow(t *testing.T) {
+	// Push well past the initial table size so lookup/insert survive
+	// several grow cycles, and duplicates still hit.
+	in := NewIntern()
+	b := NewBatchFor(batchSchema, 512)
+	for i := 0; i < 500; i++ {
+		e := batchEntry(Pos(i+1), "sym", float64(i%250), int64(i%250), i%2 == 0)
+		if err := b.AppendRow(e.Pos, e.Rec, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out []Entry
+	out = b.AppendEntries(out, in)
+	if len(out) != 500 {
+		t.Fatalf("AppendEntries returned %d rows, want 500", len(out))
+	}
+	seen := map[string]Record{}
+	for i, e := range out {
+		want := batchEntry(Pos(i+1), "sym", float64(i%250), int64(i%250), i%2 == 0)
+		if e.Pos != want.Pos || !e.Rec.Equal(want.Rec) {
+			t.Fatalf("entry %d = %v, want %v", i, e, want)
+		}
+		k := e.Rec.String()
+		if prev, ok := seen[k]; ok && &prev[0] != &e.Rec[0] {
+			t.Fatalf("entry %d: duplicate record %s not canonicalized", i, k)
+		}
+		seen[k] = e.Rec
+	}
+	st := in.Stats()
+	if st.RecMisses != 250 || st.RecHits != 250 {
+		t.Errorf("rec stats = %d hits / %d misses, want 250/250", st.RecHits, st.RecMisses)
+	}
+}
+
+func TestVecRoundtrip(t *testing.T) {
+	in := NewIntern()
+	vals := []Value{Str("a"), Float(1.5), Int(-7), Bool(true), Str("a"), Str("b")}
+	types := []Type{TString, TFloat, TInt, TBool, TString, TString}
+	for i, val := range vals {
+		v := &Vec{T: types[i]}
+		if err := v.AppendValue(val, in); err != nil {
+			t.Fatal(err)
+		}
+		if v.Len() != 1 {
+			t.Fatalf("len = %d", v.Len())
+		}
+		if got := v.Value(0, in); !got.Equal(val) {
+			t.Errorf("roundtrip %v -> %v", val, got)
+		}
+		// AppendFrom copies the raw payload.
+		w := &Vec{T: types[i]}
+		w.AppendFrom(v, 0)
+		if got := w.Value(0, in); !got.Equal(val) {
+			t.Errorf("AppendFrom %v -> %v", val, got)
+		}
+	}
+	v := &Vec{T: TInt}
+	if err := v.AppendValue(Float(1), in); err == nil {
+		t.Error("type-mismatched append succeeded")
+	} else if !strings.Contains(err.Error(), "type mismatch") {
+		t.Errorf("unexpected error %v", err)
+	}
+	// Repeated strings intern to one handle.
+	s := &Vec{T: TString}
+	s.AppendValue(Str("x"), in)
+	s.AppendValue(Str("x"), in)
+	if s.H[0] != s.H[1] {
+		t.Error("identical strings got distinct handles")
+	}
+}
+
+func TestBatchAppendRowAndDecode(t *testing.T) {
+	in := NewIntern()
+	b := NewBatchFor(batchSchema, 4)
+	es := []Entry{
+		batchEntry(1, "ibm", 101.5, 10, true),
+		batchEntry(3, "apple", 7.25, -2, false),
+		batchEntry(7, "ibm", 101.5, 10, true),
+	}
+	for _, e := range es {
+		if err := b.AppendRow(e.Pos, e.Rec, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Rows() != 3 || b.ValidRows() != 3 {
+		t.Fatalf("rows = %d valid = %d", b.Rows(), b.ValidRows())
+	}
+	for i, e := range es {
+		rec := b.Row(i, in)
+		for j := range rec {
+			if !rec[j].Equal(e.Rec[j]) {
+				t.Errorf("row %d col %d: %v != %v", i, j, rec[j], e.Rec[j])
+			}
+		}
+		scratch := make(Record, len(b.Cols))
+		got := b.RowInto(i, scratch, in)
+		for j := range got {
+			if !got[j].Equal(e.Rec[j]) {
+				t.Errorf("RowInto row %d col %d: %v != %v", i, j, got[j], e.Rec[j])
+			}
+		}
+	}
+	// Out-of-order and malformed appends are rejected.
+	if err := b.AppendRow(5, es[0].Rec, in); err == nil {
+		t.Error("out-of-order append succeeded")
+	}
+	b2 := NewBatchFor(batchSchema, 4)
+	if err := b2.AppendRow(1, Record{Str("x")}, in); err == nil {
+		t.Error("arity-mismatched append succeeded")
+	}
+	// Cleared validity bits hide rows from Row and AppendEntries.
+	b.Valid.Clear(1)
+	if b.Row(1, in) != nil {
+		t.Error("invalid row decoded non-nil")
+	}
+	out := b.AppendEntries(nil, in)
+	if len(out) != 2 || out[0].Pos != 1 || out[1].Pos != 7 {
+		t.Fatalf("AppendEntries after invalidation: %v", out)
+	}
+	// Rows 0 and 2 are identical records: the intern table dedups them
+	// onto one backing array.
+	if &out[0].Rec[0] != &out[1].Rec[0] {
+		t.Error("identical rows did not share a canonical record")
+	}
+	st := in.Stats()
+	if st.RecHits == 0 || st.StrHits == 0 {
+		t.Errorf("no intern hits recorded: %+v", st)
+	}
+}
+
+func TestBatchReset(t *testing.T) {
+	in := NewIntern()
+	b := NewBatchFor(batchSchema, 4)
+	if err := b.AppendRow(1, batchEntry(1, "a", 1, 1, true).Rec, in); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if b.Rows() != 0 || b.ValidRows() != 0 || !b.Span.IsEmpty() {
+		t.Error("Reset left state behind")
+	}
+	for i := range b.Cols {
+		if b.Cols[i].Len() != 0 {
+			t.Errorf("column %d not truncated", i)
+		}
+	}
+	// The validity word is actually zeroed, not just logically hidden.
+	if err := b.AppendRow(2, batchEntry(2, "b", 2, 2, false).Rec, in); err != nil {
+		t.Fatal(err)
+	}
+	if b.ValidRows() != 1 {
+		t.Errorf("valid rows after refill = %d", b.ValidRows())
+	}
+}
+
+func TestInternStats(t *testing.T) {
+	in := NewIntern()
+	in.PutStr("a")
+	in.PutStr("b")
+	in.PutStr("a")
+	if in.Strings() != 2 {
+		t.Errorf("Strings() = %d", in.Strings())
+	}
+	if in.Str(in.PutStr("b")) != "b" {
+		t.Error("handle does not round-trip")
+	}
+	st := in.Stats()
+	if st.StrMisses != 2 || st.StrHits != 2 {
+		t.Errorf("stats %+v, want 2 hits 2 misses", st)
+	}
+	sum := st.Add(InternStats{StrHits: 1, RecMisses: 5})
+	if sum.StrHits != 3 || sum.RecMisses != 5 {
+		t.Errorf("Add: %+v", sum)
+	}
+}
+
+func TestBatchCtxForkAndAbsorb(t *testing.T) {
+	root := NewBatchCtx()
+	if root.Size != DefaultBatchSize || root.Intern == nil {
+		t.Fatal("fresh context misconfigured")
+	}
+	root.Size = 16
+	f := root.Fork()
+	if f.Size != 16 {
+		t.Error("fork did not inherit batch size")
+	}
+	if f.Intern == root.Intern {
+		t.Fatal("fork shares the parent intern table")
+	}
+	f.Batches, f.Rows = 3, 100
+	f.Intern.PutStr("x")
+	f.Intern.PutStr("x")
+	root.AbsorbCounters(f)
+	if root.Batches != 3 || root.Rows != 100 {
+		t.Errorf("absorbed counters: batches=%d rows=%d", root.Batches, root.Rows)
+	}
+	st := root.Intern.Stats()
+	if st.StrHits != 1 || st.StrMisses != 1 {
+		t.Errorf("absorbed intern stats %+v", st)
+	}
+	// Absorbing folds counters only; the fork's strings stay behind.
+	if root.Intern.Strings() != 0 {
+		t.Error("absorb leaked the fork's interned strings")
+	}
+}
+
+// drainTiled consumes a batch cursor checking the span-tiling contract
+// as it goes, returning the decoded valid entries.
+func drainTiled(t *testing.T, cur BatchCursor, want Span, in *Intern) []Entry {
+	t.Helper()
+	defer cur.Close()
+	var out []Entry
+	first := true
+	var next Pos
+	for {
+		b, ok := cur.NextBatch()
+		if !ok {
+			break
+		}
+		if b.Span.IsEmpty() || !b.Span.Bounded() {
+			t.Fatalf("batch span %v empty or unbounded", b.Span)
+		}
+		if first {
+			if b.Span.Start != want.Start {
+				t.Fatalf("first batch starts at %d, scan span %v", b.Span.Start, want)
+			}
+			first = false
+		} else if b.Span.Start != next {
+			t.Fatalf("batch span %v does not start at %d", b.Span, next)
+		}
+		next = b.Span.End + 1 //seqvet:ignore spanarith bounded checked above
+		out = b.AppendEntries(out, in)
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !first && next-1 != want.End {
+		t.Fatalf("final batch ends at %d, scan span %v", next-1, want)
+	}
+	return out
+}
+
+func TestBatchCursorFromTiling(t *testing.T) {
+	es := []Entry{
+		batchEntry(1, "a", 1, 1, true),
+		batchEntry(2, "b", 2, 2, false),
+		batchEntry(5, "a", 5, 5, true),
+		batchEntry(6, "b", 6, 6, false),
+		batchEntry(9, "c", 9, 9, true),
+	}
+	m, err := NewMaterialized(batchSchema, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := NewSpan(0, 12)
+	for _, size := range []int{1, 2, 3, 100} {
+		ctx := NewBatchCtx()
+		ctx.Size = size
+		got := drainTiled(t, BatchCursorFrom(m.Scan(span), span, batchSchema, ctx), span, ctx.Intern)
+		if len(got) != len(es) {
+			t.Fatalf("size %d: %d entries, want %d", size, len(got), len(es))
+		}
+		for i := range got {
+			if got[i].Pos != es[i].Pos || !got[i].Rec[0].Equal(es[i].Rec[0]) {
+				t.Fatalf("size %d entry %d: %v", size, i, got[i])
+			}
+		}
+	}
+	// Empty span short-circuits to the empty cursor.
+	ctx := NewBatchCtx()
+	cur := BatchCursorFrom(m.Scan(EmptySpan), EmptySpan, batchSchema, ctx)
+	if _, ok := cur.NextBatch(); ok {
+		t.Error("empty-span adapter yielded a batch")
+	}
+}
+
+func TestMaterializedScanBatches(t *testing.T) {
+	es := []Entry{
+		batchEntry(1, "a", 1, 1, true),
+		batchEntry(2, "b", 2, 2, false),
+		batchEntry(5, "a", 5, 5, true),
+		batchEntry(6, "b", 6, 6, false),
+		batchEntry(9, "c", 9, 9, true),
+	}
+	m, err := NewMaterialized(batchSchema, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := []Span{
+		NewSpan(-3, 20), // narrowed to the materialized span at open
+		NewSpan(1, 9),   // exact
+		NewSpan(2, 6),   // interior
+		NewSpan(3, 4),   // gap: no entries
+	}
+	for _, span := range spans {
+		want, err := Collect(m.Scan(span))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, size := range []int{1, 2, 3, 100} {
+			ctx := NewBatchCtx()
+			ctx.Size = size
+			eff := span.Intersect(m.Info().Span)
+			cur := m.ScanBatches(span, ctx)
+			var got []Entry
+			if eff.IsEmpty() {
+				if _, ok := cur.NextBatch(); ok {
+					t.Fatalf("span %v: empty effective span yielded a batch", span)
+				}
+			} else {
+				got = drainTiled(t, cur, eff, ctx.Intern)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("span %v size %d: %d entries, want %d", span, size, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Pos != want[i].Pos {
+					t.Fatalf("span %v size %d entry %d: pos %d want %d", span, size, i, got[i].Pos, want[i].Pos)
+				}
+				for j := range got[i].Rec {
+					if !got[i].Rec[j].Equal(want[i].Rec[j]) {
+						t.Fatalf("span %v pos %d col %d mismatch", span, got[i].Pos, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFromSortedEntries(t *testing.T) {
+	good := []Entry{batchEntry(1, "a", 1, 1, true), batchEntry(3, "b", 3, 3, false)}
+	m, err := FromSortedEntries(batchSchema, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Info().Span != NewSpan(1, 3) || m.Count() != 2 {
+		t.Errorf("span %v count %d", m.Info().Span, m.Count())
+	}
+	empty, err := FromSortedEntries(batchSchema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty.Info().Span.IsEmpty() {
+		t.Error("empty build has non-empty span")
+	}
+	cases := []struct {
+		name    string
+		entries []Entry
+	}{
+		{"descending", []Entry{batchEntry(3, "a", 1, 1, true), batchEntry(1, "b", 1, 1, true)}},
+		{"duplicate", []Entry{batchEntry(1, "a", 1, 1, true), batchEntry(1, "b", 1, 1, true)}},
+		{"null record", []Entry{{Pos: 1, Rec: nil}}},
+		{"min pos", []Entry{{Pos: MinPos, Rec: good[0].Rec}}},
+		{"max pos", []Entry{{Pos: MaxPos, Rec: good[0].Rec}}},
+	}
+	for _, tc := range cases {
+		if _, err := FromSortedEntries(batchSchema, tc.entries); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := FromSortedEntries(nil, good); err == nil {
+		t.Error("nil schema accepted")
+	}
+}
+
+func TestErrAndEmptyBatchCursors(t *testing.T) {
+	e := EmptyBatchCursor()
+	if _, ok := e.NextBatch(); ok || e.Err() != nil || e.Close() != nil {
+		t.Error("empty cursor misbehaves")
+	}
+	werr := ErrBatchCursor(errForTest)
+	if _, ok := werr.NextBatch(); ok {
+		t.Error("err cursor yielded a batch")
+	}
+	if werr.Err() != errForTest {
+		t.Error("err cursor lost its error")
+	}
+}

@@ -1,0 +1,204 @@
+// Native batch scans for the memory-backed stores. Page and record
+// accounting is position-for-position identical to the scalar cursors —
+// the same pages are charged in the same order — but the counters are
+// accumulated locally per batch and published with one atomic add per
+// counter per batch, removing the per-record atomic traffic from the
+// hot loop. The MVCC snapshot and disk-backed stores do not implement
+// the batch protocol and are bridged by the execution layer's adapter,
+// which preserves their per-record accounting exactly.
+package storage
+
+import (
+	"sort"
+
+	"repro/internal/seq"
+)
+
+// ScanBatches implements seq.BatchScanner for the dense store: the
+// position walk, page charging (every page entered, holding records or
+// not) and record accounting mirror denseCursor exactly.
+func (d *Dense) ScanBatches(span seq.Span, ctx *seq.BatchCtx) seq.BatchCursor {
+	span = span.Intersect(d.span)
+	if span.IsEmpty() {
+		return seq.EmptyBatchCursor()
+	}
+	return &denseBatchCursor{d: d, ctx: ctx, pos: span.Start, end: span.End, page: -1}
+}
+
+type denseBatchCursor struct {
+	d     *Dense
+	ctx   *seq.BatchCtx
+	batch *seq.Batch
+	ents  []seq.Entry // scratch window, reused per batch
+	pos   seq.Pos
+	end   seq.Pos
+	page  int64 // last page charged; -1 before the first touch
+	err   error
+	done  bool
+}
+
+func (c *denseBatchCursor) NextBatch() (*seq.Batch, bool) {
+	if c.done || c.err != nil {
+		return nil, false
+	}
+	if c.batch == nil {
+		c.batch = seq.NewBatchFor(c.d.schema, c.ctx.Size)
+		c.ents = make([]seq.Entry, 0, c.ctx.Size)
+	}
+	b := c.batch
+	b.Reset()
+	b.Span = seq.Span{Start: c.pos, End: c.end}
+	first := c.pos
+	ents := c.ents[:0]
+	for c.pos <= c.end && len(ents) < c.ctx.Size {
+		p := c.pos
+		c.pos++
+		off := p - c.d.span.Start //seqvet:ignore spanarith dense spans are bounded at construction
+		if r := c.d.recs[off]; r != nil {
+			ents = append(ents, seq.Entry{Pos: p, Rec: r})
+		}
+	}
+	c.ents = ents
+	// The walk visited the contiguous positions [first, c.pos-1]; charge
+	// one page per distinct page in that range, continuing from the last
+	// page charged — the same pages in the same order as the scalar
+	// cursor's per-position walk.
+	firstPg := (first - c.d.span.Start) / int64(c.d.rpp)  //seqvet:ignore spanarith dense spans are bounded at construction
+	lastPg := (c.pos - 1 - c.d.span.Start) / int64(c.d.rpp) //seqvet:ignore spanarith dense spans are bounded at construction
+	pages := lastPg - firstPg
+	if firstPg != c.page {
+		pages++
+	}
+	c.page = lastPg
+	if pages != 0 {
+		c.d.stats.SeqPages.Add(pages)
+	}
+	if len(ents) != 0 {
+		c.d.stats.SeqRecords.Add(int64(len(ents)))
+	}
+	if err := b.AppendEntryRows(ents, c.ctx.Intern); err != nil {
+		c.err = err
+		return nil, false
+	}
+	if c.pos > c.end {
+		c.done = true
+		return b, true
+	}
+	b.Span.End = c.pos - 1
+	return b, true
+}
+
+func (c *denseBatchCursor) Err() error   { return c.err }
+func (c *denseBatchCursor) Close() error { return nil }
+
+// ScanBatches implements seq.BatchScanner for the sparse store: entry
+// windows decompose into batches; page charges (by entry index, plus
+// the index descent for a mid-file start) mirror sparseCursor exactly.
+func (s *Sparse) ScanBatches(span seq.Span, ctx *seq.BatchCtx) seq.BatchCursor {
+	span = span.Intersect(s.span)
+	if span.IsEmpty() || len(s.entries) == 0 {
+		return seq.EmptyBatchCursor()
+	}
+	lo := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].Pos >= span.Start })
+	hi := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].Pos > span.End })
+	if lo > 0 {
+		// Entering the middle of the file requires an index descent.
+		s.stats.RandPages.Add(s.probeDepth())
+	}
+	return &sparseBatchCursor{
+		s: s, ctx: ctx, entries: s.entries[lo:hi], base: lo,
+		next: span.Start, end: span.End, page: -1,
+	}
+}
+
+type sparseBatchCursor struct {
+	s       *Sparse
+	ctx     *seq.BatchCtx
+	batch   *seq.Batch
+	entries []seq.Entry
+	base    int // index of entries[0] in s.entries, for page math
+	i       int
+	next    seq.Pos
+	end     seq.Pos
+	page    int64
+	err     error
+	done    bool
+}
+
+func (c *sparseBatchCursor) NextBatch() (*seq.Batch, bool) {
+	if c.done || c.err != nil {
+		return nil, false
+	}
+	if c.batch == nil {
+		c.batch = seq.NewBatchFor(c.s.schema, c.ctx.Size)
+	}
+	b := c.batch
+	b.Reset()
+	b.Span = seq.Span{Start: c.next, End: c.end}
+	n := len(c.entries) - c.i
+	if n > c.ctx.Size {
+		n = c.ctx.Size
+	}
+	if n > 0 {
+		win := c.entries[c.i : c.i+n]
+		// One page per distinct page among the window's entry indexes,
+		// continuing from the last page charged — the same pages in the
+		// same order as the scalar cursor's per-entry walk.
+		firstPg := int64(c.base+c.i) / int64(c.s.rpp)
+		lastPg := int64(c.base+c.i+n-1) / int64(c.s.rpp)
+		pages := lastPg - firstPg
+		if firstPg != c.page {
+			pages++
+		}
+		c.page = lastPg
+		c.i += n
+		if pages != 0 {
+			c.s.stats.SeqPages.Add(pages)
+		}
+		c.s.stats.SeqRecords.Add(int64(n))
+		if err := b.AppendEntryRows(win, c.ctx.Intern); err != nil {
+			c.err = err
+			return nil, false
+		}
+	}
+	if c.i >= len(c.entries) {
+		c.done = true
+		return b, true
+	}
+	b.Span.End = b.Pos[b.Rows()-1]
+	c.next = b.Span.End + 1 //seqvet:ignore spanarith row positions lie inside the bounded scan span
+	return b, true
+}
+
+func (c *sparseBatchCursor) Err() error   { return c.err }
+func (c *sparseBatchCursor) Close() error { return nil }
+
+// ScanBatches implements seq.BatchScanner for the metering wrapper:
+// batch-capable inner stores are delegated to with the shared-counter
+// movement credited to the consumer around the open and around each
+// batch; anything else is bridged through the wrapper's own scalar Scan,
+// preserving its per-record crediting.
+func (m *metered) ScanBatches(span seq.Span, ctx *seq.BatchCtx) seq.BatchCursor {
+	if bs, ok := m.inner.(seq.BatchScanner); ok {
+		before := m.inner.Stats().Snapshot()
+		cur := bs.ScanBatches(span, ctx)
+		m.credit(before)
+		return &meteredBatchCursor{m: m, in: cur}
+	}
+	return seq.BatchCursorFrom(m.Scan(span), span, m.inner.Info().Schema, ctx)
+}
+
+type meteredBatchCursor struct {
+	m  *metered
+	in seq.BatchCursor
+}
+
+func (c *meteredBatchCursor) NextBatch() (*seq.Batch, bool) {
+	before := c.m.inner.Stats().Snapshot()
+	b, ok := c.in.NextBatch()
+	c.m.credit(before)
+	return b, ok
+}
+
+func (c *meteredBatchCursor) Err() error   { return c.in.Err() }
+func (c *meteredBatchCursor) Close() error { return c.in.Close() }
