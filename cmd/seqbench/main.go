@@ -35,12 +35,14 @@ func main() {
 	dkOut := flag.String("disk-out", "BENCH_disk.json", "output path of the -disk benchmark")
 	ba := flag.Bool("batch", false, "benchmark the vectorized batch plane against the scalar interpreter on the E1/E4 hot paths plus an intern-table hit-rate sweep, writing BENCH_batch.json")
 	baOut := flag.String("batch-out", "BENCH_batch.json", "output path of the -batch benchmark")
+	iv := flag.Bool("ivm", false, "benchmark incremental view maintenance against invalidate-and-recompute across 0/10/100 standing views under an append stream, writing BENCH_ivm.json")
+	ivOut := flag.String("ivm-out", "BENCH_ivm.json", "output path of the -ivm benchmark")
 	sv := flag.Bool("server", false, "sweep concurrent seqd client connections with a live append stream, writing BENCH_server.json")
 	svOut := flag.String("server-out", "BENCH_server.json", "output path of the -server sweep")
 	svAddr := flag.String("server-addr", "", "drive an already-running seqd at this address instead of an in-process one")
 	svWorkers := flag.Int("server-workers", 0, "worker pool size of the in-process -server daemon (0 = GOMAXPROCS)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: seqbench [-quick] [-analyze] [-parallel] [-matview] [-reopt] [-disk] [-batch] [-server] [-list] [experiment ids...]\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: seqbench [-quick] [-analyze] [-parallel] [-matview] [-reopt] [-disk] [-batch] [-ivm] [-server] [-list] [experiment ids...]\n\nexperiments:\n")
 		for _, e := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %s  %s\n", e.ID, e.Name)
 		}
@@ -166,6 +168,26 @@ func main() {
 		}
 		fmt.Print(experiments.RenderBatch(bench))
 		fmt.Printf("(wrote batch benchmark to %s)\n", *baOut)
+		return
+	}
+
+	if *iv {
+		points, err := experiments.IVMBenchmark(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seqbench: ivm benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(points, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seqbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*ivOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "seqbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.RenderIVM(points))
+		fmt.Printf("(wrote %d benchmark points to %s)\n", len(points), *ivOut)
 		return
 	}
 

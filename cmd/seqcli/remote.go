@@ -139,6 +139,53 @@ func (r *remote) exec(line string) error {
 		fmt.Fprintln(r.out, note)
 		return nil
 
+	case "subscribe":
+		rest := strings.TrimSpace(strings.TrimPrefix(line, "subscribe"))
+		src, span, err := splitOver(rest)
+		if err != nil {
+			return err
+		}
+		ack, err := r.c.Subscribe(src, int64(span.Start), int64(span.End))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(r.out, "subscription %d %s at epoch %d; initial content follows\n",
+			ack.SubID, fieldsString(ack.Fields), ack.Epoch)
+		return r.drainDeltas()
+
+	case "unsubscribe":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: unsubscribe <id>")
+		}
+		id, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad subscription id %q", fields[1])
+		}
+		note, err := r.c.Unsubscribe(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(r.out, note)
+		return nil
+
+	case "deltas":
+		if len(fields) == 2 && fields[1] == "wait" {
+			d, err := r.c.ReadDelta()
+			if err != nil {
+				return err
+			}
+			r.printDelta(d)
+			return r.drainDeltas()
+		}
+		if len(fields) != 1 {
+			return fmt.Errorf("usage: deltas [wait]")
+		}
+		if r.c.PendingDeltas() == 0 {
+			fmt.Fprintln(r.out, "no pending deltas (try a query or epoch turn first, or: deltas wait)")
+			return nil
+		}
+		return r.drainDeltas()
+
 	case "explain":
 		rest := strings.TrimSpace(strings.TrimPrefix(line, "explain"))
 		analyze := false
@@ -226,6 +273,38 @@ func (r *remote) showViews() error {
 	return nil
 }
 
+// drainDeltas prints every delta already queued on the client. Deltas
+// arrive during any turn (they are the one push frame in the protocol),
+// so this is how the shell surfaces what accumulated since the last
+// command.
+func (r *remote) drainDeltas() error {
+	for r.c.PendingDeltas() > 0 {
+		d, err := r.c.ReadDelta()
+		if err != nil {
+			return err
+		}
+		r.printDelta(d)
+	}
+	return nil
+}
+
+func (r *remote) printDelta(d *wire.Delta) {
+	fmt.Fprintf(r.out, "delta sub=%d epoch=%d region=[%d,%d]: %d record(s)\n",
+		d.SubID, d.Epoch, d.Start, d.End, len(d.Entries))
+	const maxRows = 20
+	for i, e := range d.Entries {
+		if i == maxRows {
+			fmt.Fprintf(r.out, "  ... (%d more)\n", len(d.Entries)-maxRows)
+			break
+		}
+		fmt.Fprintf(r.out, "  %d", e.Pos)
+		for _, v := range e.Rec {
+			fmt.Fprintf(r.out, "\t%s", v.String())
+		}
+		fmt.Fprintln(r.out)
+	}
+}
+
 func (r *remote) run(src string, span seq.Span) error {
 	res, err := r.c.Query(src, int64(span.Start), int64(span.End))
 	if err != nil {
@@ -268,6 +347,9 @@ func (r *remote) help() {
   materialize <name> as <seql> over <start> <end>   register a shared materialized view
   show views                                        list views with epoch validity windows
   drop view <name>                                  remove a view for every session
+  subscribe <seql> over <start> <end>               register a standing query; deltas follow writes
+  unsubscribe <id>                                  cancel a standing query
+  deltas [wait]                                     print queued deltas (wait: block for the next)
   explain <seql> over <start> <end>                 show the plan without executing
   explain analyze <seql> over <start> <end>         run instrumented; includes server counters
   <seql> over <start> <end>                         run a query against a pinned snapshot

@@ -64,6 +64,11 @@ func TestConnectRepl(t *testing.T) {
 		"set views off",
 		"drop view hot",
 		"epoch",
+		"subscribe select(s, v > 15) over 1 100",
+		"deltas", // nothing queued beyond the drained snapshot
+		"append s 22 22",
+		"deltas", // the append's delta arrived during the append turn
+		"unsubscribe 1",
 		"describe nope",        // error, stays usable
 		"select(s, nope) over", // parse error of the shell itself
 		"list",
@@ -89,6 +94,11 @@ func TestConnectRepl(t *testing.T) {
 		"views = false",                     // set option
 		`dropped view "hot"`,                // drop ack
 		"epoch 1 (as of the last response)", // epoch command
+		"subscription 1 (v int) at epoch 1; initial content follows",
+		"delta sub=1 epoch=1 region=[1,100]: 6 record(s)", // initial snapshot
+		"no pending deltas",                               // idle deltas command
+		"delta sub=1 epoch=2 region=[22,22]: 1 record(s)", // the append's delta
+		"unsubscribed 1",
 		`error: seqd: not-found`,            // server-side error surfaced
 		"error: expected",                   // local parse error
 	} {

@@ -1,0 +1,85 @@
+package algebra
+
+// Support analysis: which blocks produce non-Null records at unboundedly
+// many positions, and which blocks compute *different values* under
+// different evaluation universes.
+//
+// The evaluator bounds every unbounded walk — a value offset's search for
+// the |l|-th non-Null neighbour, an unbounded aggregate window — by the
+// evaluation universe (Universe in eval.go). When the operator's input
+// holds non-Null records only inside the data hull, the clamp is
+// harmless: the walk would have found nothing beyond the hull anyway, so
+// every universe that covers the hull yields the same records. But when
+// the input has *infinite support* — a value offset fills every position
+// beyond the data edge with its nearest neighbour, a constant sequence is
+// non-Null everywhere — the walk's result depends on where the universe
+// ends, and two evaluations under different universes legitimately
+// disagree. Such a block is universe-sensitive: its output is only
+// meaningful relative to the universe it was evaluated under, so it must
+// never be materialized and substituted into a query planned under a
+// different universe.
+
+// InfiniteSupport reports whether the node's output may hold non-Null
+// records at unboundedly many positions. The analysis is conservative:
+// true means "possibly infinite", false is a guarantee of finite support.
+func InfiniteSupport(n *Node) bool {
+	switch n.Kind {
+	case KindBase:
+		// Physical sequences hold finitely many records.
+		return false
+	case KindConst:
+		// A constant sequence repeats its record at every position.
+		return true
+	case KindSelect, KindProject, KindPosOffset, KindCollapse, KindExpand:
+		// Null in, Null out (selection and projection preserve Nulls;
+		// offset shifts; collapse/expand regroup): support follows input.
+		return InfiniteSupport(n.Inputs[0])
+	case KindValueOffset:
+		// Beyond the data edge every position still has an |l|-th non-Null
+		// neighbour on the data side, so the output extends unboundedly in
+		// that direction (conservatively: unless the input is everywhere
+		// Null, which we do not try to prove).
+		return true
+	case KindAgg:
+		if n.Agg.Window.LoUnbounded || n.Agg.Window.HiUnbounded {
+			// An unbounded window sees the whole data prefix/suffix from
+			// unboundedly many positions.
+			return true
+		}
+		return InfiniteSupport(n.Inputs[0])
+	case KindCompose:
+		// Composition is Null when either side is: infinite only if both are.
+		return InfiniteSupport(n.Inputs[0]) && InfiniteSupport(n.Inputs[1])
+	default:
+		return true
+	}
+}
+
+// UniverseSensitive reports whether any operator in the subtree computes
+// values that depend on the evaluation universe: a value offset, or an
+// unbounded-window aggregate, whose input has possibly-infinite support.
+// Materializing such a block is unsound — the stored records encode the
+// universe of the materializing evaluation, and a later query planned
+// under a different universe disagrees with them (the fuzz seed-81
+// defect: collapse over a materialized voffset-over-voffset block).
+func UniverseSensitive(n *Node) bool {
+	switch n.Kind {
+	case KindValueOffset:
+		if InfiniteSupport(n.Inputs[0]) {
+			return true
+		}
+	case KindAgg:
+		if (n.Agg.Window.LoUnbounded || n.Agg.Window.HiUnbounded) && InfiniteSupport(n.Inputs[0]) {
+			return true
+		}
+	case KindBase, KindConst, KindSelect, KindProject, KindPosOffset,
+		KindCompose, KindCollapse, KindExpand:
+		// Bounded-scope reads: sensitivity can only come from below.
+	}
+	for _, in := range n.Inputs {
+		if UniverseSensitive(in) {
+			return true
+		}
+	}
+	return false
+}

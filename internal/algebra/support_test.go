@@ -1,0 +1,98 @@
+package algebra
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/seq"
+)
+
+func supportBase(t *testing.T) *Node {
+	t.Helper()
+	schema := seq.MustSchema(seq.Field{Name: "v", Type: seq.TInt})
+	var entries []seq.Entry
+	for p := int64(0); p < 10; p++ {
+		entries = append(entries, seq.Entry{Pos: p, Rec: seq.Record{seq.Int(p)}})
+	}
+	data, err := seq.NewMaterialized(schema, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Base("b", data)
+}
+
+func TestSupportAnalysis(t *testing.T) {
+	base := supportBase(t)
+	schema := base.Schema
+	col, err := expr.ColAt(schema, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := expr.NewBin(expr.OpGe, col, expr.Literal(seq.Int(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	constNode, err := Const(schema, seq.Record{seq.Int(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mk := func(f func() (*Node, error)) *Node {
+		t.Helper()
+		n, err := f()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	sel := mk(func() (*Node, error) { return Select(base, pred) })
+	vo := mk(func() (*Node, error) { return ValueOffset(base, -1) })
+	selOverVo := mk(func() (*Node, error) { return Select(vo, pred) })
+	voOverVo := mk(func() (*Node, error) { return ValueOffset(selOverVo, -2) })
+	cum := mk(func() (*Node, error) {
+		return Agg(base, AggSpec{Func: AggSum, Arg: 0, Window: Cumulative()})
+	})
+	cumOverVo := mk(func() (*Node, error) {
+		return Agg(vo, AggSpec{Func: AggSum, Arg: 0, Window: Cumulative()})
+	})
+	trailing := mk(func() (*Node, error) {
+		return Agg(base, AggSpec{Func: AggSum, Arg: 0, Window: Trailing(3)})
+	})
+	trailingOverVo := mk(func() (*Node, error) {
+		return Agg(vo, AggSpec{Func: AggSum, Arg: 0, Window: Trailing(3)})
+	})
+	composeBoth := mk(func() (*Node, error) { return Compose(vo, constNode, nil, "l", "r") })
+	composeOne := mk(func() (*Node, error) { return Compose(vo, base, nil, "l", "r") })
+	voOverCompose := mk(func() (*Node, error) { return ValueOffset(composeOne, 1) })
+	voOverComposeBoth := mk(func() (*Node, error) { return ValueOffset(composeBoth, 1) })
+
+	cases := []struct {
+		name      string
+		node      *Node
+		infinite  bool
+		sensitive bool
+	}{
+		{"base", base, false, false},
+		{"const", constNode, true, false},
+		{"select-over-base", sel, false, false},
+		{"voffset-over-base", vo, true, false},
+		{"select-over-voffset", selOverVo, true, false},
+		{"voffset-over-voffset (seed-81)", voOverVo, true, true},
+		{"cumulative-over-base", cum, true, false},
+		{"cumulative-over-voffset", cumOverVo, true, true},
+		{"trailing-over-base", trailing, false, false},
+		{"trailing-over-voffset", trailingOverVo, true, false},
+		{"compose-finite-leg", composeOne, false, false},
+		{"compose-both-infinite", composeBoth, true, false},
+		{"voffset-over-finite-compose", voOverCompose, true, false},
+		{"voffset-over-infinite-compose", voOverComposeBoth, true, true},
+	}
+	for _, tc := range cases {
+		if got := InfiniteSupport(tc.node); got != tc.infinite {
+			t.Errorf("%s: InfiniteSupport = %v, want %v", tc.name, got, tc.infinite)
+		}
+		if got := UniverseSensitive(tc.node); got != tc.sensitive {
+			t.Errorf("%s: UniverseSensitive = %v, want %v", tc.name, got, tc.sensitive)
+		}
+	}
+}

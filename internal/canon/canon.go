@@ -57,6 +57,12 @@ type Canon struct {
 	// ColMap maps output columns: original column i holds the same
 	// values as canonical column ColMap[i]. Always a permutation.
 	ColMap []int
+	// SelectInputKey is the canonical rendering of the block under its
+	// top-level selection — the block itself when the root is not a
+	// selection (a block with no selection is a selection with zero
+	// conjuncts). Precomputed so conjunct-subsumption matching compares
+	// keys instead of re-rendering candidate inputs per probe.
+	SelectInputKey string
 	// Scope is the composed scope hull of the whole block viewed as one
 	// complex operator (Proposition 2.1): the widest effective scope over
 	// every root-to-leaf path.
@@ -75,12 +81,17 @@ func Canonicalize(n *algebra.Node) (*Canon, error) {
 	}
 	key := renderNode(cn)
 	sum := sha256.Sum256([]byte(key))
+	inputKey := key
+	if cn.Kind == algebra.KindSelect {
+		inputKey = renderNode(cn.Inputs[0])
+	}
 	return &Canon{
-		Node:        cn,
-		Key:         key,
-		Fingerprint: hex.EncodeToString(sum[:8]),
-		ColMap:      cm,
-		Scope:       scopeHull(cn),
+		Node:           cn,
+		Key:            key,
+		Fingerprint:    hex.EncodeToString(sum[:8]),
+		ColMap:         cm,
+		Scope:          scopeHull(cn),
+		SelectInputKey: inputKey,
 	}, nil
 }
 

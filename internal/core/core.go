@@ -221,8 +221,12 @@ func (r *Result) Explain() string {
 		case s.Probed && !s.Stream:
 			modes = "probed"
 		}
+		span := s.Need.String()
+		if !s.Covered.IsEmpty() && s.Covered != s.Need {
+			span = fmt.Sprintf("%s covered=%s", s.Need, s.Covered)
+		}
 		out += fmt.Sprintf("\nmatview: %s block ← scan %q span=%s residual=%d conjunct(s) [%s] cost %.2f vs recompute %.2f",
-			s.Block.Kind, s.View.Name, s.Need, len(s.Residual), modes, s.ViewCost, s.RecomputeCost)
+			s.Block.Kind, s.View.Name, span, len(s.Residual), modes, s.ViewCost, s.RecomputeCost)
 	}
 	return out
 }

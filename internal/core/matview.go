@@ -45,22 +45,35 @@ func (b *builder) tryView(n *algebra.Node, m *meta.NodeMeta, cand *candidate) (*
 	}
 	v := match.View
 	access := m.AccessSpan
+	partial := match.Partial(access)
+	if partial && (cand.stream == nil || !access.Bounded()) {
+		// A partial match splices the recompute plan in for the uncovered
+		// tail; without one (or with an unbounded need) there is nothing
+		// sound to splice.
+		return cand, nil
+	}
+	covered := match.Covered
 
 	// Price the view scan like a base store (§4.1.1): a restricted scan
-	// touches the restricted fraction of the pages.
-	plan := exec.Plan(exec.NewLeaf("matview:"+v.Name, v.Store, access))
+	// touches the restricted fraction of the pages. A partial match scans
+	// only the covered prefix.
+	scanSpan := access
+	if partial {
+		scanSpan = covered
+	}
+	plan := exec.Plan(exec.NewLeaf("matview:"+v.Name, v.Store, scanSpan))
 	info := v.Store.Info()
 	ac := v.Store.AccessCosts()
 	frac := 1.0
-	if full := info.Span.Len(); full > 0 && info.Span.Bounded() && access.Bounded() {
-		frac = float64(access.Len()) / float64(full)
+	if full := info.Span.Len(); full > 0 && info.Span.Bounded() && scanSpan.Bounded() {
+		frac = float64(scanSpan.Len()) / float64(full)
 		if frac > 1 {
 			frac = 1
 		}
 	}
 	records := 0.0
-	if access.Bounded() && access.Len() > 0 {
-		records = info.Density * float64(access.Len())
+	if scanSpan.Bounded() && scanSpan.Len() > 0 {
+		records = info.Density * float64(scanSpan.Len())
 	}
 	cost := Cost{
 		Stream:   finite(float64(ac.StreamPages) * frac * b.params.SeqPage),
@@ -94,8 +107,58 @@ func (b *builder) tryView(n *algebra.Node, m *meta.NodeMeta, cand *candidate) (*
 		b.note(plan, cost)
 	}
 
+	if partial {
+		// Serve the covered prefix from the view and recompute the gap
+		// with the plan the builder already has for this block: its leaf
+		// access spans were derived for all of access ⊇ gap, so scanning
+		// it over the gap alone is sound. The stream cost of the gap side
+		// scales with the uncovered fraction of the span.
+		gap := seq.NewSpan(covered.End+1, access.End)
+		concat, err := exec.NewConcat(plan, cand.stream, covered.End)
+		if err != nil {
+			return nil, err
+		}
+		gapFrac := float64(gap.Len()) / float64(access.Len())
+		coverFrac := 1 - gapFrac
+		ccost := Cost{
+			Stream:   finite(cost.Stream + gapFrac*cand.cost.Stream),
+			ProbePer: finite(coverFrac*cost.ProbePer + gapFrac*cand.cost.ProbePer),
+		}
+		b.note(concat, ccost)
+		sub := &matview.Substitution{
+			View: v, Block: n, Need: access, Covered: covered,
+			Residual: match.Residual, ColMap: match.ColMap,
+			ViewCost: ccost.Stream, RecomputeCost: cand.cost.Stream,
+		}
+		if ccost.Stream < cand.cost.Stream {
+			sub.Stream = true
+			cand.stream = concat
+			cand.cost.Stream = ccost.Stream
+		}
+		if ccost.ProbePer < cand.cost.ProbePer {
+			sub.Probed = true
+			if cand.probed != nil {
+				if pc, err := exec.NewConcat(plan, cand.probed, covered.End); err == nil {
+					cand.probed = pc
+					cand.cost.ProbePer = ccost.ProbePer
+				} else {
+					sub.Probed = false
+				}
+			} else {
+				sub.Probed = false
+			}
+		}
+		if sub.Stream || sub.Probed {
+			v.Hit()
+			b.subs = append(b.subs, sub)
+		} else {
+			v.Miss()
+		}
+		return cand, nil
+	}
+
 	sub := &matview.Substitution{
-		View: v, Block: n, Need: access,
+		View: v, Block: n, Need: access, Covered: access,
 		Residual: match.Residual, ColMap: match.ColMap,
 		ViewCost: cost.Stream, RecomputeCost: cand.cost.Stream,
 	}

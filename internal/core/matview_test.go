@@ -151,16 +151,58 @@ func TestViewSubstitutionResidual(t *testing.T) {
 	}
 }
 
-// A view whose span falls short of the requested range is not used, and
-// the miss is counted.
-func TestViewSpanShortIsMiss(t *testing.T) {
+// A view covering only a prefix of the requested range is matched
+// partially: the plan concatenates the view scan over the covered prefix
+// with a recomputation of the gap, and the output still matches a full
+// recomputation record for record.
+func TestViewSpanPrefixIsPartialMatch(t *testing.T) {
 	reg := matview.New()
 	cold := optimize(t, selGt(t, wideBase(t, "s"), 3900), seq.NewSpan(1, 2000), Options{})
 	v := registerResult(t, reg, "short", cold)
 
+	need := seq.NewSpan(1, 4000)
+	warm := optimize(t, selGt(t, wideBase(t, "s"), 3900), need, Options{Verify: true, Views: reg})
+	if len(warm.Substitutions) != 1 {
+		t.Fatalf("expected 1 partial substitution, got %d\n%s", len(warm.Substitutions), warm.Explain())
+	}
+	sub := warm.Substitutions[0]
+	if sub.Covered != seq.NewSpan(1, 2000) || sub.Need != need {
+		t.Fatalf("substitution covered=%v need=%v, want covered [1, 2000] of [1, 4000]", sub.Covered, sub.Need)
+	}
+	if !sub.Stream {
+		t.Fatalf("stream mode did not adopt the partial match:\n%s", warm.Explain())
+	}
+	if !strings.Contains(warm.Explain(), "concat(@2000)") {
+		t.Fatalf("plan does not splice at the view boundary:\n%s", warm.Explain())
+	}
+	if v.Hits() == 0 {
+		t.Fatal("adopted partial match did not record a hit")
+	}
+
+	warmOut, err := warm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := algebra.EvalRange(selGt(t, wideBase(t, "s"), 3900), need)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !testgen.EntriesApproxEqual(warmOut.Entries(), want) {
+		t.Fatalf("partial-match run differs from recomputation\ngot  %v\nwant %v",
+			warmOut.Entries(), want)
+	}
+}
+
+// A view that does not even cover the start of the requested range can
+// serve no prefix; it is not used, and the miss is counted.
+func TestViewSpanShortIsMiss(t *testing.T) {
+	reg := matview.New()
+	cold := optimize(t, selGt(t, wideBase(t, "s"), 3900), seq.NewSpan(100, 2000), Options{})
+	v := registerResult(t, reg, "short", cold)
+
 	warm := optimize(t, selGt(t, wideBase(t, "s"), 3900), seq.NewSpan(1, 4000), Options{Verify: true, Views: reg})
 	if len(warm.Substitutions) != 0 {
-		t.Fatalf("short-span view was substituted:\n%s", warm.Explain())
+		t.Fatalf("non-prefix view was substituted:\n%s", warm.Explain())
 	}
 	if v.Misses() == 0 {
 		t.Fatal("span-failing match did not record a miss")

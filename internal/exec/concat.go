@@ -1,0 +1,124 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/seq"
+)
+
+// Concat splices two plans computing the same sequence along a position
+// boundary: positions at or below Boundary come from Left, positions
+// above it from Right. The optimizer uses it for partial-span
+// materialized-view matching — a view covering only a prefix of the
+// block's access span serves that prefix while the uncovered tail is
+// recomputed — so both sides must evaluate the same block, just over
+// complementary windows.
+type Concat struct {
+	Left, Right Plan
+	Boundary    seq.Pos
+}
+
+// NewConcat builds the splice. Both inputs must share a schema.
+func NewConcat(left, right Plan, boundary seq.Pos) (*Concat, error) {
+	ls, rs := left.Info().Schema, right.Info().Schema
+	if ls.NumFields() != rs.NumFields() {
+		return nil, fmt.Errorf("exec: concat arity mismatch: %d vs %d", ls.NumFields(), rs.NumFields())
+	}
+	for i := 0; i < ls.NumFields(); i++ {
+		if ls.Field(i).Type != rs.Field(i).Type {
+			return nil, fmt.Errorf("exec: concat type mismatch at %d: %s vs %s",
+				i, ls.Field(i).Type, rs.Field(i).Type)
+		}
+	}
+	return &Concat{Left: left, Right: right, Boundary: boundary}, nil
+}
+
+// leftSpan and rightSpan restrict a requested span to each side's window.
+func (c *Concat) leftSpan(span seq.Span) seq.Span {
+	return span.Intersect(seq.Span{Start: seq.MinPos, End: c.Boundary})
+}
+
+func (c *Concat) rightSpan(span seq.Span) seq.Span {
+	if c.Boundary >= seq.MaxPos {
+		return seq.EmptySpan
+	}
+	return span.Intersect(seq.Span{Start: c.Boundary + 1, End: seq.MaxPos})
+}
+
+// Info implements seq.Sequence: the hull of the two sides' windows.
+func (c *Concat) Info() seq.Info {
+	li, ri := c.Left.Info(), c.Right.Info()
+	info := seq.Info{Schema: li.Schema}
+	ls, rs := c.leftSpan(li.Span), c.rightSpan(ri.Span)
+	switch {
+	case ls.IsEmpty():
+		info.Span, info.Density = rs, ri.Density
+	case rs.IsEmpty():
+		info.Span, info.Density = ls, li.Density
+	default:
+		info.Span = seq.Span{Start: ls.Start, End: rs.End}
+		if n := info.Span.Len(); info.Span.Bounded() && n > 0 {
+			occupied := li.Density*float64(ls.Len()) + ri.Density*float64(rs.Len())
+			info.Density = occupied / float64(n)
+		} else {
+			info.Density = ri.Density
+		}
+	}
+	return info
+}
+
+// Scan implements seq.Sequence: drain the left window, then the right.
+func (c *Concat) Scan(span seq.Span) seq.Cursor {
+	ls, rs := c.leftSpan(span), c.rightSpan(span)
+	var cur seq.Cursor
+	onRight := false
+	if !ls.IsEmpty() {
+		cur = c.Left.Scan(ls)
+	} else {
+		onRight = true
+		cur = c.Right.Scan(rs)
+	}
+	fc := &forwardCursor{}
+	fc.next = func() (seq.Pos, seq.Record, bool, error) {
+		for {
+			pos, rec, ok := cur.Next()
+			if ok {
+				return pos, rec, true, nil
+			}
+			err := cur.Err()
+			if cerr := cur.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil || onRight || rs.IsEmpty() {
+				return 0, nil, false, err
+			}
+			onRight = true
+			cur = c.Right.Scan(rs)
+		}
+	}
+	fc.closes = []func() error{func() error {
+		if cur == nil {
+			return nil
+		}
+		return cur.Close()
+	}}
+	return fc
+}
+
+// Probe implements seq.Sequence: route by position.
+func (c *Concat) Probe(pos seq.Pos) (seq.Record, error) {
+	if pos <= c.Boundary {
+		return c.Left.Probe(pos)
+	}
+	return c.Right.Probe(pos)
+}
+
+// Label implements Plan.
+func (c *Concat) Label() string { return fmt.Sprintf("concat(@%d)", c.Boundary) }
+
+// Children implements Plan.
+func (c *Concat) Children() []Plan { return []Plan{c.Left, c.Right} }
+
+// Caches implements Plan.
+func (c *Concat) Caches() []*cache.FIFO { return nil }

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	seqproc "repro"
+	"repro/internal/matview"
+	"repro/internal/seq"
+	"repro/internal/testgen"
+)
+
+// IVMPoint is one (standing views, maintenance mode) measurement of the
+// incremental-view-maintenance benchmark; seqbench -ivm emits these as
+// BENCH_ivm.json. The workload interleaves append rounds with a read of
+// every standing view, which is the shape a SUBSCRIBE-heavy deployment
+// sees: every write must leave every standing result servable.
+type IVMPoint struct {
+	// Views is the number of standing materialized views over the
+	// appended base (each a trailing-window aggregate with a distinct
+	// window, so every append lands inside every view's halo).
+	Views int `json:"views"`
+	// Mode is "incremental" (stitch the delta halo) or "invalidate"
+	// (drop views on write, recompute on read — the pre-IVM behavior).
+	Mode    string `json:"mode"`
+	Appends int    `json:"appends"`
+	Rounds  int    `json:"rounds"`
+	// AppendNs is the total wall time of the append phase; per-op cost
+	// includes whatever maintenance the mode performs on the write path.
+	AppendNs      int64 `json:"append_ns"`
+	AppendNsPerOp int64 `json:"append_ns_per_op"`
+	// ReadNs is the total wall time of reading every standing view once
+	// per round. Incremental mode answers from maintained views;
+	// invalidate mode recomputes from the base.
+	ReadNs int64 `json:"read_ns"`
+	// TotalNs = AppendNs + ReadNs: the end-to-end cost of sustaining the
+	// standing queries across the append stream.
+	TotalNs int64 `json:"total_ns"`
+	// Maintenance action tallies (incremental mode; zero otherwise).
+	Stitches    int `json:"stitches,omitempty"`
+	Shrinks     int `json:"shrinks,omitempty"`
+	Invalidates int `json:"invalidates,omitempty"`
+	Noops       int `json:"noops,omitempty"`
+	// SpeedupEndToEnd is invalidate-TotalNs / incremental-TotalNs for
+	// the same view count (incremental rows only).
+	SpeedupEndToEnd float64 `json:"speedup_end_to_end,omitempty"`
+}
+
+// ivmViewCounts is the standing-view sweep: no subscribers (the write
+// path's fixed overhead), a typical handful, and a heavy fan-out.
+var ivmViewCounts = []int{0, 10, 100}
+
+// ivmBuildDB creates a fresh database with one sparse int sequence of n
+// records (v = position) and v standing trailing-window aggregate views
+// over it. Windows start large enough that every benchmark append lands
+// inside every view's output hull, so incremental mode must do real
+// stitch work on each write.
+func ivmBuildDB(n, nviews, appends int, incremental bool) (*seqproc.DB, []string, []seq.Span, error) {
+	schema, err := seq.NewSchema(seq.Field{Name: "v", Type: seq.TInt})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	entries := make([]seq.Entry, n)
+	for i := range entries {
+		entries[i] = seq.Entry{Pos: seq.Pos(i + 1), Rec: seq.Record{seq.Int(int64(i+1) % 101)}}
+	}
+	data, err := seq.NewMaterialized(schema, entries)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	db := seqproc.New()
+	db.MustCreateSequence("s", data, seqproc.Sparse)
+	db.SetViewMaintenance(incremental)
+	queries := make([]string, nviews)
+	spans := make([]seq.Span, nviews)
+	for i := 0; i < nviews; i++ {
+		// Window > appends+1 keeps the append halo inside the view span.
+		// The filter keeps only windows near the sawtooth crest (~2% of
+		// positions), the standing-query shape that rewards maintenance:
+		// a maintained view scans a handful of records where a
+		// recomputation re-aggregates the whole span.
+		w := appends + 2 + i%32
+		queries[i] = fmt.Sprintf("select(sum(s, v, %d), sum > %d)", w, 90*w)
+		counters, err := db.Materialize(fmt.Sprintf("standing%d", i), queries[i],
+			seq.NewSpan(1, seq.Pos(n+appends+64)))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		spans[i] = counters.Span
+	}
+	return db, queries, spans, nil
+}
+
+// ivmRun drives one (views, mode) cell: rounds of appends, each followed
+// by one read of every standing view over its registered span.
+func ivmRun(n, nviews, rounds, perRound int, incremental bool) (IVMPoint, error) {
+	appends := rounds * perRound
+	db, queries, spans, err := ivmBuildDB(n, nviews, appends, incremental)
+	if err != nil {
+		return IVMPoint{}, err
+	}
+	db.TakeMaintenanceReports()
+	mode := "invalidate"
+	if incremental {
+		mode = "incremental"
+	}
+	pt := IVMPoint{Views: nviews, Mode: mode, Appends: appends, Rounds: rounds}
+
+	pos := int64(n)
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		for i := 0; i < perRound; i++ {
+			pos++
+			if err := db.Append("s", seq.Pos(pos), seq.Record{seq.Int(pos)}); err != nil {
+				return IVMPoint{}, err
+			}
+		}
+		pt.AppendNs += time.Since(start).Nanoseconds()
+
+		start = time.Now()
+		for i, query := range queries {
+			q, err := db.Query(query)
+			if err != nil {
+				return IVMPoint{}, err
+			}
+			if _, err := q.Run(spans[i]); err != nil {
+				return IVMPoint{}, err
+			}
+		}
+		pt.ReadNs += time.Since(start).Nanoseconds()
+	}
+	pt.AppendNsPerOp = pt.AppendNs / int64(appends)
+	pt.TotalNs = pt.AppendNs + pt.ReadNs
+	for _, rep := range db.TakeMaintenanceReports() {
+		switch rep.Action {
+		case matview.MaintainStitch:
+			pt.Stitches++
+		case matview.MaintainShrink:
+			pt.Shrinks++
+		case matview.MaintainInvalidate:
+			pt.Invalidates++
+		case matview.MaintainNone:
+			pt.Noops++
+		}
+	}
+
+	// Correctness guard: a maintained view must answer exactly what a
+	// fresh recomputation answers.
+	if incremental && nviews > 0 {
+		q, err := db.Query(queries[0])
+		if err != nil {
+			return IVMPoint{}, err
+		}
+		got, err := q.Run(spans[0])
+		if err != nil {
+			return IVMPoint{}, err
+		}
+		db.SetViewMaintenance(false)
+		db.SetOptions(seqproc.Options{Views: matview.New()}) // bypass the registry
+		fresh, err := db.Query(queries[0])
+		if err != nil {
+			return IVMPoint{}, err
+		}
+		want, err := fresh.Run(spans[0])
+		if err != nil {
+			return IVMPoint{}, err
+		}
+		if !testgen.EntriesApproxEqual(got.Entries(), want.Entries()) {
+			return IVMPoint{}, fmt.Errorf(
+				"maintained view diverged from recomputation over %v (%d vs %d rows)",
+				spans[0], got.Count(), want.Count())
+		}
+	}
+	return pt, nil
+}
+
+// IVMBenchmark measures append throughput and standing-query read cost
+// at 0, 10, and 100 standing views, once with incremental maintenance
+// (stitch the delta halo into each view) and once with the pre-IVM
+// invalidate-on-write behavior (every read recomputes). The end-to-end
+// comparison is the one that matters: incremental trades slower appends
+// for reads that stay near-free, and wins once standing views pile up.
+func IVMBenchmark(quick bool) ([]IVMPoint, error) {
+	n, rounds, perRound := 20000, 5, 10
+	if quick {
+		n, rounds, perRound = 4000, 3, 5
+	}
+	var out []IVMPoint
+	for _, nviews := range ivmViewCounts {
+		inval, err := ivmRun(n, nviews, rounds, perRound, false)
+		if err != nil {
+			return nil, fmt.Errorf("ivm: %d views invalidate: %w", nviews, err)
+		}
+		incr, err := ivmRun(n, nviews, rounds, perRound, true)
+		if err != nil {
+			return nil, fmt.Errorf("ivm: %d views incremental: %w", nviews, err)
+		}
+		if incr.TotalNs > 0 {
+			incr.SpeedupEndToEnd = float64(inval.TotalNs) / float64(incr.TotalNs)
+		}
+		out = append(out, inval, incr)
+	}
+	return out, nil
+}
+
+// RenderIVM formats benchmark points as the table seqbench prints next
+// to the JSON artifact.
+func RenderIVM(points []IVMPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-12s %-14s %-12s %-12s %-8s %s\n",
+		"views", "mode", "append ns/op", "read ns", "total ns", "speedup", "actions (stitch/shrink/inval/noop)")
+	for _, p := range points {
+		speedup := ""
+		if p.SpeedupEndToEnd > 0 {
+			speedup = fmt.Sprintf("%.2f", p.SpeedupEndToEnd)
+		}
+		fmt.Fprintf(&b, "%-6d %-12s %-14d %-12d %-12d %-8s %d/%d/%d/%d\n",
+			p.Views, p.Mode, p.AppendNsPerOp, p.ReadNs, p.TotalNs, speedup,
+			p.Stitches, p.Shrinks, p.Invalidates, p.Noops)
+	}
+	return b.String()
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+// TestIVMRunCell drives one small benchmark cell in each mode and checks
+// the accounting: incremental mode must stitch every (append, view)
+// pair — the windows are sized so every append lands inside every view's
+// halo — and invalidate mode must do no maintenance at all. Result
+// correctness is asserted inside ivmRun (maintained view vs fresh
+// recomputation).
+func TestIVMRunCell(t *testing.T) {
+	const n, nviews, rounds, perRound = 800, 3, 2, 3
+	incr, err := ivmRun(n, nviews, rounds, perRound, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := nviews * rounds * perRound; incr.Stitches != want {
+		t.Errorf("incremental stitches = %d, want %d (shrink %d inval %d noop %d)",
+			incr.Stitches, want, incr.Shrinks, incr.Invalidates, incr.Noops)
+	}
+	if incr.Invalidates != 0 || incr.Shrinks != 0 {
+		t.Errorf("incremental mode degraded: %d invalidates, %d shrinks", incr.Invalidates, incr.Shrinks)
+	}
+	inval, err := ivmRun(n, nviews, rounds, perRound, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inval.Stitches+inval.Shrinks+inval.Invalidates+inval.Noops != 0 {
+		t.Errorf("invalidate mode reported maintenance actions: %+v", inval)
+	}
+	if incr.Appends != rounds*perRound || inval.Appends != rounds*perRound {
+		t.Errorf("append counts = %d/%d, want %d", incr.Appends, inval.Appends, rounds*perRound)
+	}
+}
+
+func BenchmarkIVMCell(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ivmRun(4000, 10, 3, 5, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

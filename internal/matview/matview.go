@@ -142,6 +142,16 @@ type Match struct {
 	// ColMap maps block output columns to stored columns: block column i
 	// is stored column ColMap[i]. Always a permutation.
 	ColMap []int
+	// Covered is the portion of the requested span the view's valid span
+	// actually holds. Equal to the request for a full match; a proper
+	// prefix of it for a partial match, where the caller must recompute
+	// the remainder [Covered.End+1, need.End] itself.
+	Covered seq.Span
+}
+
+// Partial reports whether the match covers only a prefix of need.
+func (m *Match) Partial(need seq.Span) bool {
+	return !need.IsEmpty() && m.Covered != need
 }
 
 // Substitution records one optimizer decision to answer a query block
@@ -155,6 +165,11 @@ type Substitution struct {
 	// Need is the access span the substituted plan must produce, per
 	// top-down span propagation.
 	Need seq.Span
+	// Covered is the prefix of Need the view scan serves. Equal to Need
+	// for a full substitution; shorter for a partial one, where the plan
+	// concatenates the view scan with a recomputation of the uncovered
+	// tail (Covered.End+1 .. Need.End).
+	Covered seq.Span
 	// Residual holds the conjuncts applied on top of the view scan, in
 	// the view's stored column space. Empty for an exact match.
 	Residual []expr.Expr
@@ -213,6 +228,12 @@ func (r *Registry) RegisterAt(name string, node *algebra.Node, data *seq.Materia
 	if !span.Bounded() {
 		return nil, fmt.Errorf("matview: view %q span %v is unbounded", name, span)
 	}
+	if algebra.UniverseSensitive(node) {
+		// The stored records would encode the evaluation universe of the
+		// materializing run; substituting them into a query planned under
+		// a different universe is unsound (the fuzz seed-81 defect).
+		return nil, fmt.Errorf("matview: view %q block is universe-sensitive (value offset or unbounded aggregate over an input with infinite support) and cannot be materialized soundly", name)
+	}
 	if got, want := data.Info().Schema, node.Schema; !compatibleSchemas(got, want) {
 		return nil, fmt.Errorf("matview: view %q data schema %v does not match block schema %v", name, got, want)
 	}
@@ -262,29 +283,47 @@ func compatibleSchemas(a, b *seq.Schema) bool {
 // over the span need. Candidates match exactly (equal keys) or by
 // conjunct subsumption; among structural matches whose span covers need,
 // the one with the fewest residual conjuncts wins (ties: registration
-// order). Structural matches whose span falls short record a Miss.
-// Match itself never records Hits: the optimizer costs the substitution
-// against recomputation and reports the outcome via View.Hit/Miss.
+// order). When no view covers all of need, a view whose span covers a
+// proper prefix of it can still match partially (Covered < need): the
+// caller serves the prefix from the view and recomputes the rest.
+// Structural matches that cover nothing record a Miss. Match itself
+// never records Hits: the optimizer costs the substitution against
+// recomputation and reports the outcome via View.Hit/Miss.
 func (r *Registry) Match(c *canon.Canon, need seq.Span) (*Match, bool) {
 	r.mu.RLock()
 	views := append([]*View(nil), r.order...)
 	r.mu.RUnlock()
 
-	var best *Match
+	var best, partial *Match
 	for _, v := range views {
 		m, ok := subsume(v, c)
 		if !ok {
 			continue
 		}
-		if !need.IsEmpty() && v.Span.Intersect(need) != need {
-			v.Miss()
+		if need.IsEmpty() || v.Span.Intersect(need) == need {
+			m.Covered = need
+			if best == nil || len(m.Residual) < len(best.Residual) {
+				best = m
+			}
 			continue
 		}
-		if best == nil || len(m.Residual) < len(best.Residual) {
-			best = m
+		// Prefix cover: the view holds [need.Start, v.Span.End] with a
+		// recomputable gap above. Prefer the longest covered prefix, then
+		// the fewest residual conjuncts.
+		if need.Bounded() && v.Span.Start <= need.Start && v.Span.End >= need.Start {
+			m.Covered = seq.NewSpan(need.Start, v.Span.End)
+			if partial == nil || m.Covered.End > partial.Covered.End ||
+				(m.Covered.End == partial.Covered.End && len(m.Residual) < len(partial.Residual)) {
+				partial = m
+			}
+			continue
 		}
+		v.Miss()
 	}
-	return best, best != nil
+	if best != nil {
+		return best, true
+	}
+	return partial, partial != nil
 }
 
 // subsume tests whether view v structurally answers the canonical block
@@ -309,13 +348,13 @@ func subsume(v *View, c *canon.Canon) (*Match, bool) {
 	if c.Node.Kind != algebra.KindSelect {
 		return nil, false
 	}
-	qIn, qConjs := c.Node.Inputs[0], canon.Conjuncts(c.Node.Pred)
-	vIn, vConjs := v.Canon.Node, []expr.Expr(nil)
-	if vIn.Kind == algebra.KindSelect {
-		vIn, vConjs = vIn.Inputs[0], canon.Conjuncts(vIn.Pred)
-	}
-	if canon.Render(vIn) != canon.Render(qIn) {
+	if v.Canon.SelectInputKey != c.SelectInputKey {
 		return nil, false
+	}
+	qConjs := canon.Conjuncts(c.Node.Pred)
+	vConjs := []expr.Expr(nil)
+	if v.Canon.Node.Kind == algebra.KindSelect {
+		vConjs = canon.Conjuncts(v.Canon.Node.Pred)
 	}
 	have := make(map[string]bool, len(vConjs))
 	for _, e := range vConjs {
@@ -391,12 +430,15 @@ func (r *Registry) Drop(name string) bool {
 		return false
 	}
 	delete(r.byName, name)
-	for i, v := range r.order {
-		if v.Name == name {
-			r.order = append(r.order[:i], r.order[i+1:]...)
-			break
+	// Remove every generation of the name (SwapGeneration retains old
+	// generations in order for pinned readers).
+	kept := r.order[:0]
+	for _, v := range r.order {
+		if v.Name != name {
+			kept = append(kept, v)
 		}
 	}
+	r.order = kept
 	return true
 }
 
@@ -451,7 +493,11 @@ func (r *Registry) GC(minLive int64) []string {
 	kept := r.order[:0]
 	for _, v := range r.order {
 		if inv := v.invalidFrom.Load(); inv != 0 && inv <= minLive {
-			delete(r.byName, v.Name)
+			// An old generation superseded by SwapGeneration no longer owns
+			// the byName entry; only clear it if this view still does.
+			if r.byName[v.Name] == v {
+				delete(r.byName, v.Name)
+			}
 			dropped = append(dropped, v.Name)
 			continue
 		}
@@ -479,6 +525,17 @@ func (r *Registry) InvalidateBase(base string) []string {
 	}
 	r.order = kept
 	return dropped
+}
+
+// ReadsBase reports whether the block reads the named base sequence.
+func ReadsBase(n *algebra.Node, base string) bool { return readsBase(n, base) }
+
+// InvalidateFrom marks this single view invalid for readers pinned at or
+// after epoch; it reports whether this call did the marking (false when
+// an earlier write already invalidated the view). The maintenance
+// planner uses it when it decides a view is not worth stitching.
+func (v *View) InvalidateFrom(epoch int64) bool {
+	return v.invalidFrom.CompareAndSwap(0, epoch)
 }
 
 func readsBase(n *algebra.Node, base string) bool {

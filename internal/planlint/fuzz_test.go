@@ -248,7 +248,7 @@ func randomSubBlock(rng *rand.Rand, res *core.Result) (*algebra.Node, seq.Span, 
 	var nodes []*algebra.Node
 	var walk func(n *algebra.Node)
 	walk = func(n *algebra.Node) {
-		if n.Kind != algebra.KindBase && n.Kind != algebra.KindConst {
+		if n.Kind != algebra.KindBase && n.Kind != algebra.KindConst && !algebra.UniverseSensitive(n) {
 			if m := res.Annotation.Get(n); m != nil && m.AccessSpan.Bounded() && !m.AccessSpan.IsEmpty() {
 				nodes = append(nodes, n)
 			}

@@ -5,6 +5,7 @@ import (
 	"repro/internal/canon"
 	"repro/internal/expr"
 	"repro/internal/matview"
+	"repro/internal/seq"
 )
 
 // VerifyMatviews re-derives the correctness of every materialized-view
@@ -37,10 +38,26 @@ func verifyMatview(c *checker, s *matview.Substitution) {
 		return
 	}
 
-	if !s.Need.IsEmpty() && s.View.Span.Intersect(s.Need) != s.Need {
+	// A full substitution's view span must cover the whole access span; a
+	// partial one (Covered a proper prefix of Need) must cover exactly the
+	// prefix it claims — the plan recomputes the rest, which needs no view
+	// guarantee. A zero-value Covered is a record from before partial
+	// matching existed and means "all of Need".
+	served := s.Covered
+	if served == (seq.Span{}) {
+		served = s.Need
+	}
+	if served != s.Need {
+		if served.IsEmpty() || served.Start != s.Need.Start || served.End >= s.Need.End {
+			c.report("matview/span-covers", "§3.2", s.Block,
+				"partial substitution's covered span %v is not a proper prefix of the access span %v",
+				served, s.Need)
+		}
+	}
+	if !served.IsEmpty() && s.View.Span.Intersect(served) != served {
 		c.report("matview/span-covers", "§3.2", s.Block,
-			"view %q span %v does not cover the block's access span %v",
-			s.View.Name, s.View.Span, s.Need)
+			"view %q span %v does not cover the served span %v (access span %v)",
+			s.View.Name, s.View.Span, served, s.Need)
 	}
 
 	arity := s.Block.Schema.NumFields()

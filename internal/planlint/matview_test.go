@@ -109,6 +109,41 @@ func TestVerifyMatviewsCatchesViolations(t *testing.T) {
 	}
 }
 
+// Partial substitutions: the covered prefix must be a genuine prefix of
+// the access span and lie inside the view's span; the uncovered tail
+// needs no view guarantee.
+func TestVerifyMatviewsPartial(t *testing.T) {
+	_, v, block := viewFixture(t)
+
+	clean := &matview.Substitution{
+		View: v, Block: block, Need: seq.NewSpan(5, 30),
+		Covered: seq.NewSpan(5, 20), ColMap: []int{0, 1}, Stream: true,
+	}
+	if issues := planlint.VerifyMatviews([]*matview.Substitution{clean}); len(issues) != 0 {
+		t.Fatalf("clean partial substitution flagged:\n%v", planlint.Error(issues))
+	}
+
+	// Covered span starts past the access span's start: not a prefix.
+	notPrefix := &matview.Substitution{
+		View: v, Block: block, Need: seq.NewSpan(5, 30),
+		Covered: seq.NewSpan(10, 20), ColMap: []int{0, 1},
+	}
+	issues := planlint.VerifyMatviews([]*matview.Substitution{notPrefix})
+	if !hasInvariant(issues, "matview/span-covers") {
+		t.Fatalf("non-prefix covered span not reported:\n%v", planlint.Error(issues))
+	}
+
+	// Covered span claims positions beyond the view's valid span.
+	beyond := &matview.Substitution{
+		View: v, Block: block, Need: seq.NewSpan(5, 30),
+		Covered: seq.NewSpan(5, 25), ColMap: []int{0, 1},
+	}
+	issues = planlint.VerifyMatviews([]*matview.Substitution{beyond})
+	if !hasInvariant(issues, "matview/span-covers") {
+		t.Fatalf("covered-beyond-view-span not reported:\n%v", planlint.Error(issues))
+	}
+}
+
 func hasInvariant(issues []planlint.Issue, invariant string) bool {
 	for _, is := range issues {
 		if strings.HasPrefix(is.Invariant, invariant) {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/seq"
@@ -110,20 +111,46 @@ func (s *Server) gcLoop() {
 	}
 }
 
-// conn is one client connection's wire state.
+// conn is one client connection's wire state. The write side is shared:
+// the connection's own handler writes response turns, and writers on
+// other connections push Delta frames for this connection's standing
+// queries (under Server.wmu; see subscribe.go). wm makes each frame
+// atomic in the outgoing stream; wmu orders above it, so a handler never
+// holds wm while taking wmu.
+//
+//seqvet:lockorder server.Server.wmu < server.conn.wm
 type conn struct {
 	srv  *Server
 	sess *Session
 	nc   net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+	wm   sync.Mutex // guards w; frames from both sides interleave whole
 }
 
 func (c *conn) send(m wire.Message) error {
+	c.wm.Lock()
+	defer c.wm.Unlock()
 	return wire.WriteMessage(c.w, m)
 }
 
-func (c *conn) flush() error { return c.w.Flush() }
+func (c *conn) flush() error {
+	c.wm.Lock()
+	defer c.wm.Unlock()
+	return c.w.Flush()
+}
+
+// push writes and flushes one asynchronous frame (SubAck or Delta).
+// Flushing matters: the subscriber may be idle between turns, so a
+// buffered delta would otherwise sit unsent indefinitely.
+func (c *conn) push(m wire.Message) error {
+	c.wm.Lock()
+	defer c.wm.Unlock()
+	if err := wire.WriteMessage(c.w, m); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
 
 // ready ends the turn: flush everything buffered plus the turn marker.
 func (c *conn) ready() error {
@@ -165,6 +192,7 @@ func (s *Server) handleConn(nc net.Conn) {
 		r:   bufio.NewReader(nc),
 		w:   bufio.NewWriter(nc),
 	}
+	defer s.dropConnSubs(c)
 	if !c.handshake() {
 		return
 	}
@@ -327,6 +355,24 @@ func (c *conn) serve(m wire.Message) error {
 			return c.fail(err)
 		}
 		if err := c.send(&wire.Ack{Text: fmt.Sprintf("dropped view %q", req.Name), Epoch: c.srv.epochs.Current()}); err != nil {
+			return err
+		}
+		return c.ready()
+
+	case *wire.Subscribe:
+		// SubAck and the initial content deltas are framed inside
+		// subscribe, atomically with the registration; only the turn
+		// marker is left to us.
+		if err := c.srv.subscribe(c, req.SEQL, seq.NewSpan(seq.Pos(req.Start), seq.Pos(req.End))); err != nil {
+			return c.fail(err)
+		}
+		return c.ready()
+
+	case *wire.Unsubscribe:
+		if err := c.srv.unsubscribe(c, req.SubID); err != nil {
+			return c.fail(err)
+		}
+		if err := c.send(&wire.Ack{Text: fmt.Sprintf("unsubscribed %d", req.SubID), Epoch: c.srv.epochs.Current()}); err != nil {
 			return err
 		}
 		return c.ready()

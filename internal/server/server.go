@@ -141,6 +141,14 @@ type Server struct {
 	views  *matview.Registry
 	calib  *reopt.Calibration
 
+	// Incremental-view-maintenance decisions accumulated by writes, and
+	// the standing-query subscriptions deltas are pushed to (see
+	// subscribe.go). Both are guarded by wmu: every reader and writer of
+	// either already holds it.
+	maintReports []matview.MaintenanceReport
+	subs         map[uint64]*subscription
+	nextSub      uint64
+
 	sem chan struct{} // worker pool; len(sem) = executing requests
 
 	// Cumulative counters, reported in the Analyze counter block.
@@ -176,6 +184,7 @@ func New(cfg Config) *Server {
 		epochs: storage.NewEpochTracker(),
 		views:  matview.New(),
 		calib:  &reopt.Calibration{},
+		subs:   make(map[uint64]*subscription),
 		sem:    make(chan struct{}, cfg.Workers),
 		stopGC: make(chan struct{}),
 	}
@@ -249,14 +258,59 @@ func (s *Server) Append(name string, pos seq.Pos, rec seq.Record) (int64, error)
 	if err := ss.v.Append(seq.Entry{Pos: pos, Rec: rec}, next); err != nil {
 		return 0, &Error{Code: wire.CodeAppend, Err: err}
 	}
-	// Views over this base freeze for readers pinned below next and
-	// disappear for readers pinned at or above it.
-	s.views.InvalidateBaseFrom(name, next)
+	// The write is published at next but not yet visible. Registered
+	// views are maintained incrementally (stitched, shrunk, or — last
+	// resort — frozen for readers pinned below next), and standing-query
+	// subscribers get their epoch-stamped deltas framed, all before the
+	// epoch advances: a pinned reader always denotes fully-maintained
+	// state, and no subscriber can observe next without its delta.
+	s.maintainBase(name, seq.NewSpan(pos, pos), next)
+	s.publishDeltas(name, seq.NewSpan(pos, pos), next)
 	if err := s.epochs.AdvanceTo(next); err != nil {
 		return 0, &Error{Code: wire.CodeInternal, Err: err}
 	}
 	s.nAppends.Add(1)
 	return next, nil
+}
+
+// maintainBase runs incremental view maintenance after base changed
+// over delta, published at epoch but not yet advanced to. Called under
+// wmu. The registered blocks are re-bound to the epoch's snapshots; a
+// view whose maintenance fails is invalidated from epoch (never left
+// stale), so the write itself cannot fail here.
+func (s *Server) maintainBase(name string, delta seq.Span, epoch int64) {
+	opts := s.cfg.Options
+	opts.Calibration = s.calib
+	reports, _ := core.MaintainViews(s.views, name, delta, epoch, s.sequenceAt(epoch), opts)
+	s.maintReports = append(s.maintReports, reports...)
+}
+
+// sequenceAt resolves base names to their snapshots at the epoch — the
+// binding view maintenance and delta evaluation run against.
+func (s *Server) sequenceAt(epoch int64) func(string) (seq.Sequence, bool) {
+	return func(name string) (seq.Sequence, bool) {
+		s.mu.RLock()
+		ss, ok := s.seqs[name]
+		s.mu.RUnlock()
+		if !ok {
+			return nil, false
+		}
+		snap := ss.v.SnapshotAt(epoch)
+		if snap == nil {
+			return nil, false
+		}
+		return snap, true
+	}
+}
+
+// TakeMaintenanceReports drains the per-view maintenance decisions
+// accumulated by writes since the last call.
+func (s *Server) TakeMaintenanceReports() []matview.MaintenanceReport {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	out := s.maintReports
+	s.maintReports = nil
+	return out
 }
 
 // Reorganize repacks a base sequence into a different physical
@@ -273,7 +327,10 @@ func (s *Server) Reorganize(name string, kind storage.Kind) (int64, error) {
 	if err := ss.v.Reorganize(kind, next); err != nil {
 		return 0, &Error{Code: wire.CodeAppend, Err: err}
 	}
-	s.views.InvalidateBaseFrom(name, next)
+	// Reorganization preserves logical content: the delta is empty, so
+	// maintenance keeps every view and no subscriber delta is due.
+	s.maintainBase(name, seq.EmptySpan, next)
+	s.publishDeltas(name, seq.EmptySpan, next)
 	if err := s.epochs.AdvanceTo(next); err != nil {
 		return 0, &Error{Code: wire.CodeInternal, Err: err}
 	}

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/matview"
 	"repro/internal/seq"
 	"repro/internal/storage"
 	"repro/internal/wire"
@@ -202,7 +203,9 @@ func TestServerMaterializeAndViews(t *testing.T) {
 		t.Fatalf("views = %+v", views)
 	}
 
-	// A write invalidates the view from its epoch.
+	// A write outside the view's span leaves it valid: the append's
+	// delta halo [101,101] misses [1,100], so maintenance is a no-op
+	// where the old behavior invalidated.
 	if _, err := c.Append("s", 101, seq.Record{seq.Int(101)}); err != nil {
 		t.Fatal(err)
 	}
@@ -210,10 +213,83 @@ func TestServerMaterializeAndViews(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(views) != 1 || views[0].InvalidFrom != 1 {
-		t.Fatalf("views after append = %+v", views)
+	if len(views) != 1 || views[0].InvalidFrom != 0 {
+		t.Fatalf("views after out-of-span append = %+v", views)
+	}
+	reports := srv.TakeMaintenanceReports()
+	if len(reports) != 1 || reports[0].Action != matview.MaintainNone {
+		t.Fatalf("maintenance reports after out-of-span append = %v", reports)
 	}
 
+	// A write inside a view's span is stitched: a trailing-window sum's
+	// hull extends past the base end, so the next append lands inside
+	// the view. The view stays valid, its fresh generation is stamped
+	// with the write's epoch, and the stitched region reflects the new
+	// record.
+	if _, err := c.Materialize("wide", "sum(s, v, 3)", 1, 200); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Append("s", 102, seq.Record{seq.Int(102)}); err != nil {
+		t.Fatal(err)
+	}
+	stitched := false
+	for _, rep := range srv.TakeMaintenanceReports() {
+		if rep.ViewName == "wide" {
+			if rep.Action != matview.MaintainStitch {
+				t.Fatalf("wide view not stitched: %v", rep)
+			}
+			stitched = true
+		}
+	}
+	if !stitched {
+		t.Fatal("no maintenance report for the wide view")
+	}
+	views, err = c.ListViews()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The swap keeps the superseded generation for readers pinned below
+	// the write's epoch; the live generation is stamped with it.
+	var live, old bool
+	for _, v := range views {
+		if v.Name != "wide" {
+			continue
+		}
+		switch v.InvalidFrom {
+		case 0:
+			live = true
+			if v.FromEpoch != 2 {
+				t.Fatalf("live wide generation = %+v, want valid from epoch 2", v)
+			}
+		case 2:
+			old = true
+		default:
+			t.Fatalf("unexpected wide generation %+v", v)
+		}
+	}
+	if !live || !old {
+		t.Fatalf("want a live and a superseded wide generation, got %+v", views)
+	}
+	res, err := c.Query("sum(s, v, 3)", 1, 103)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range res.Entries {
+		if e.Pos == 102 {
+			found = true
+			if len(e.Rec) != 1 || e.Rec[0] != seq.Int(100+101+102) {
+				t.Fatalf("stitched window at 102 = %v, want sum 303", e.Rec)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no entry at position 102 after stitch")
+	}
+
+	if _, err := c.DropView("wide"); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := c.DropView("hot"); err != nil {
 		t.Fatal(err)
 	}

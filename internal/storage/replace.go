@@ -1,0 +1,118 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/seq"
+)
+
+// Replace builds a new store whose content equals old everywhere except
+// inside hit, where it is exactly fresh. It is the write path of view
+// stitching: maintenance re-evaluates only the delta halo, and splicing
+// the result must not cost a full rebuild. Unchanged storage is copied
+// flat — Dense slots and Sparse entries are position-validated already,
+// so only the fresh records are checked — making a replacement O(store)
+// in memcpy plus O(|fresh|) in validation instead of O(store) in
+// re-validation, sorting, and page packing. The copy leaves old
+// untouched: pinned readers of the previous generation keep a consistent
+// store.
+//
+// The second return is false when the store kind has no flat replacement
+// path (callers fall back to rebuilding).
+func Replace(old Store, hit seq.Span, fresh []seq.Entry) (Store, bool, error) {
+	if err := checkFresh(old.Info().Schema, hit, fresh); err != nil {
+		return nil, false, err
+	}
+	switch s := old.(type) {
+	case *Dense:
+		return replaceDense(s, hit, fresh)
+	case *Sparse:
+		return replaceSparse(s, hit, fresh)
+	}
+	return nil, false, nil
+}
+
+// checkFresh validates the replacement region: entries strictly ordered,
+// inside hit, non-Null, and conforming. O(|fresh|).
+func checkFresh(schema *seq.Schema, hit seq.Span, fresh []seq.Entry) error {
+	for i, e := range fresh {
+		if e.Pos < hit.Start || e.Pos > hit.End {
+			return fmt.Errorf("storage: replacement entry at %d outside region %v", e.Pos, hit)
+		}
+		if i > 0 && e.Pos <= fresh[i-1].Pos {
+			return fmt.Errorf("storage: replacement entries not strictly ordered at %d", e.Pos)
+		}
+		if e.Rec.IsNull() {
+			return fmt.Errorf("storage: Null replacement record at %d (omit the position instead)", e.Pos)
+		}
+		if !e.Rec.Conforms(schema) {
+			return fmt.Errorf("storage: replacement record %v at %d does not conform to %v", e.Rec, e.Pos, schema)
+		}
+	}
+	return nil
+}
+
+func replaceDense(d *Dense, hit seq.Span, fresh []seq.Entry) (Store, bool, error) {
+	recs := make([]seq.Record, len(d.recs))
+	copy(recs, d.recs)
+	count := d.count
+	if !d.span.Bounded() {
+		// An empty dense store (the only unbounded-span case NewDense
+		// admits) has nothing to clear and no slot for fresh records.
+		if len(fresh) > 0 {
+			return nil, false, fmt.Errorf("storage: replacement entries for an empty dense store")
+		}
+		return &Dense{schema: d.schema, span: d.span, recs: recs, count: count, rpp: d.rpp, stats: &Stats{}}, true, nil
+	}
+	// An empty intersection leaves the clearing loop body unreached.
+	region := hit.Intersect(d.span)
+	for p := region.Start; p <= region.End; p++ {
+		slot := p - d.span.Start
+		if recs[slot] != nil {
+			count--
+			recs[slot] = nil
+		}
+	}
+	for _, e := range fresh {
+		if e.Pos < d.span.Start || e.Pos > d.span.End {
+			return nil, false, fmt.Errorf("storage: replacement entry at %d outside store span %v", e.Pos, d.span)
+		}
+		recs[e.Pos-d.span.Start] = e.Rec
+		count++
+	}
+	return &Dense{schema: d.schema, span: d.span, recs: recs, count: count, rpp: d.rpp, stats: &Stats{}}, true, nil
+}
+
+func replaceSparse(s *Sparse, hit seq.Span, fresh []seq.Entry) (Store, bool, error) {
+	for _, e := range fresh {
+		if e.Pos < s.span.Start || e.Pos > s.span.End {
+			return nil, false, fmt.Errorf("storage: replacement entry at %d outside store span %v", e.Pos, s.span)
+		}
+	}
+	// Binary-search the cut points: entries[:lo] precede hit,
+	// entries[hi:] follow it.
+	lo, hi := 0, len(s.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.entries[mid].Pos < hit.Start {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	cut := lo
+	lo, hi = cut, len(s.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.entries[mid].Pos <= hit.End {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	merged := make([]seq.Entry, 0, cut+len(fresh)+len(s.entries)-lo)
+	merged = append(merged, s.entries[:cut]...)
+	merged = append(merged, fresh...)
+	merged = append(merged, s.entries[lo:]...)
+	return &Sparse{schema: s.schema, span: s.span, entries: merged, rpp: s.rpp, stats: &Stats{}}, true, nil
+}

@@ -1,0 +1,118 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func replaceSchema(t *testing.T) *seq.Schema {
+	t.Helper()
+	s, err := seq.NewSchema(seq.Field{Name: "v", Type: seq.TInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func replaceEntries(lo, hi int) []seq.Entry {
+	var out []seq.Entry
+	for p := lo; p <= hi; p++ {
+		out = append(out, seq.Entry{Pos: seq.Pos(p), Rec: seq.Record{seq.Int(int64(p))}})
+	}
+	return out
+}
+
+func buildKind(schema *seq.Schema, entries []seq.Entry, span seq.Span, kind Kind) (Store, error) {
+	if kind == KindDense {
+		return NewDense(schema, entries, span, 0)
+	}
+	return NewSparse(schema, entries, span, 0)
+}
+
+// scanAll collects a store's full content.
+func scanAll(t *testing.T, s Store) []seq.Entry {
+	t.Helper()
+	got, err := seq.Collect(s.Scan(s.Info().Span))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestReplaceRegion(t *testing.T) {
+	schema := replaceSchema(t)
+	fresh := []seq.Entry{
+		{Pos: 5, Rec: seq.Record{seq.Int(-5)}},
+		{Pos: 7, Rec: seq.Record{seq.Int(-7)}},
+	}
+	for _, kind := range []Kind{KindSparse, KindDense} {
+		old, err := buildKind(schema, replaceEntries(1, 10), seq.NewSpan(1, 10), kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Replace [4,8] (5 old records) with records at 5 and 7 only.
+		got, ok, err := Replace(old, seq.NewSpan(4, 8), fresh)
+		if err != nil || !ok {
+			t.Fatalf("%v: Replace = ok %v, err %v", kind, ok, err)
+		}
+		entries := scanAll(t, got)
+		wantPos := []seq.Pos{1, 2, 3, 5, 7, 9, 10}
+		if len(entries) != len(wantPos) {
+			t.Fatalf("%v: replaced content %v, want positions %v", kind, entries, wantPos)
+		}
+		for i, e := range entries {
+			if e.Pos != wantPos[i] {
+				t.Fatalf("%v: entry %d at %d, want %d", kind, i, e.Pos, wantPos[i])
+			}
+			want := seq.Int(int64(e.Pos))
+			if e.Pos == 5 || e.Pos == 7 {
+				want = seq.Int(-int64(e.Pos))
+			}
+			if e.Rec[0] != want {
+				t.Fatalf("%v: entry at %d = %v, want %v", kind, e.Pos, e.Rec[0], want)
+			}
+		}
+		// Copy-on-write: the old store is untouched.
+		if n := len(scanAll(t, old)); n != 10 {
+			t.Fatalf("%v: original store mutated, %d entries", kind, n)
+		}
+		// An empty replacement clears the region.
+		cleared, ok, err := Replace(old, seq.NewSpan(4, 8), nil)
+		if err != nil || !ok {
+			t.Fatalf("%v: clearing Replace = ok %v, err %v", kind, ok, err)
+		}
+		if n := len(scanAll(t, cleared)); n != 5 {
+			t.Fatalf("%v: cleared content has %d entries, want 5", kind, n)
+		}
+	}
+}
+
+func TestReplaceRejectsBadFresh(t *testing.T) {
+	schema := replaceSchema(t)
+	old, err := buildKind(schema, replaceEntries(1, 10), seq.NewSpan(1, 10), KindSparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		hit   seq.Span
+		fresh []seq.Entry
+		want  string
+	}{
+		{"outside region", seq.NewSpan(4, 8), replaceEntries(9, 9), "outside region"},
+		{"unordered", seq.NewSpan(4, 8),
+			[]seq.Entry{{Pos: 7, Rec: seq.Record{seq.Int(7)}}, {Pos: 5, Rec: seq.Record{seq.Int(5)}}},
+			"not strictly ordered"},
+		{"null record", seq.NewSpan(4, 8), []seq.Entry{{Pos: 5}}, "Null replacement"},
+		{"wrong schema", seq.NewSpan(4, 8),
+			[]seq.Entry{{Pos: 5, Rec: seq.Record{seq.Str("x")}}}, "does not conform"},
+	}
+	for _, tc := range cases {
+		_, _, err := Replace(old, tc.hit, tc.fresh)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -21,6 +21,11 @@ func (e *ServerError) Error() string {
 // Client is a synchronous seqd connection: one request in flight at a
 // time, each response read to its Ready turn marker. It is not safe for
 // concurrent use; open one Client per goroutine.
+//
+// Subscriptions are the one asynchronous element: after Subscribe, the
+// server pushes Delta frames outside request/response turns. Deltas that
+// arrive while a turn is being drained are queued in arrival order;
+// ReadDelta pops the queue or blocks reading the connection.
 type Client struct {
 	conn    net.Conn
 	r       *bufio.Reader
@@ -28,6 +33,7 @@ type Client struct {
 	epoch   int64 // server epoch from the latest Ready/HelloAck
 	server  string
 	version uint32
+	deltas  []*Delta // pushed frames routed out of response turns
 }
 
 // Dial connects to a seqd server and performs the Hello/HelloAck
@@ -113,6 +119,10 @@ func (c *Client) turn(req Message) ([]Message, error) {
 			if srvErr == nil {
 				srvErr = &ServerError{Code: t.Code, Message: t.Message}
 			}
+		case *Delta:
+			// Pushed by a concurrent writer's handler; not part of this
+			// turn. Queued for ReadDelta.
+			c.deltas = append(c.deltas, t)
 		default:
 			msgs = append(msgs, m)
 		}
@@ -250,6 +260,53 @@ func (c *Client) Describe(name string) (*SeqInfo, error) {
 	}
 	return nil, fmt.Errorf("seqd: response missing SeqInfo")
 }
+
+// Subscribe registers a standing query over the inclusive span
+// [start, end]. The returned SubAck carries the subscription id and
+// output schema; the initial full-content Delta and all subsequent
+// incremental ones are read with ReadDelta.
+func (c *Client) Subscribe(seql string, start, end int64) (*SubAck, error) {
+	msgs, err := c.turn(&Subscribe{SEQL: seql, Start: start, End: end})
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range msgs {
+		if t, ok := m.(*SubAck); ok {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("seqd: response missing SubAck")
+}
+
+// Unsubscribe cancels a standing query. Deltas the server framed before
+// processing the request may still be delivered (they queue for
+// ReadDelta); none follow the Ack.
+func (c *Client) Unsubscribe(id uint64) (string, error) {
+	return c.ackTurn(&Unsubscribe{SubID: id})
+}
+
+// ReadDelta returns the next pushed Delta, blocking on the connection
+// when none is queued. Any other frame arriving outside a turn is a
+// protocol error.
+func (c *Client) ReadDelta() (*Delta, error) {
+	if len(c.deltas) > 0 {
+		d := c.deltas[0]
+		c.deltas = c.deltas[1:]
+		return d, nil
+	}
+	m, err := c.read()
+	if err != nil {
+		return nil, err
+	}
+	if d, ok := m.(*Delta); ok {
+		return d, nil
+	}
+	return nil, fmt.Errorf("seqd: expected Delta outside a turn, got %s", TypeName(m.Type()))
+}
+
+// PendingDeltas reports how many pushed deltas are queued client-side
+// (it does not read the connection).
+func (c *Client) PendingDeltas() int { return len(c.deltas) }
 
 // ListViews returns the shared materialized views with counters.
 func (c *Client) ListViews() ([]ViewInfo, error) {

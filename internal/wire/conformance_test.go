@@ -73,6 +73,17 @@ func sample(t Type) Message {
 			Name: "hot", Start: 1, End: 100, Records: 42, Density: 0.42,
 			Hits: 9, Misses: 2, FromEpoch: 3, InvalidFrom: 11,
 		}}}
+	case TSubscribe:
+		return &Subscribe{SEQL: "select(s, s.price > 10)", Start: -2, End: 500}
+	case TUnsubscribe:
+		return &Unsubscribe{SubID: 3}
+	case TSubAck:
+		return &SubAck{SubID: 3, Epoch: 7, Fields: fields}
+	case TDelta:
+		return &Delta{SubID: 3, Epoch: 8, Start: 41, End: 43, Entries: []seq.Entry{
+			{Pos: 41, Rec: rec},
+			{Pos: 43, Rec: nil},
+		}}
 	default:
 		return nil
 	}
@@ -189,6 +200,25 @@ func TestHostileLengths(t *testing.T) {
 			w.uvarint(1 << 63)
 		}),
 		"ViewList view count 2^63": craft(TViewList, func(w *writer) { w.uvarint(1 << 63) }),
+		"SubAck field count 2^63": craft(TSubAck, func(w *writer) {
+			w.uvarint(3)
+			w.varint(7)
+			w.uvarint(1 << 63)
+		}),
+		"Delta entry count 2^63": craft(TDelta, func(w *writer) {
+			w.uvarint(3)
+			w.varint(7)
+			w.varint(1)
+			w.varint(9)
+			w.uvarint(1 << 63)
+		}),
+		"Delta count exceeds payload": craft(TDelta, func(w *writer) {
+			w.uvarint(3)
+			w.varint(7)
+			w.varint(1)
+			w.varint(9)
+			w.uvarint(100)
+		}),
 	}
 	for name, frame := range frames {
 		frame := frame
@@ -261,6 +291,54 @@ func TestSplitRows(t *testing.T) {
 	}
 	if total != len(wide) {
 		t.Fatalf("split lost rows: %d of %d", total, len(wide))
+	}
+}
+
+// TestSplitDelta pins the chunked region-replacement contract: the
+// produced frames tile the region contiguously, preserve entry order,
+// and an empty replacement still yields one frame (clearing a region is
+// meaningful).
+func TestSplitDelta(t *testing.T) {
+	empty := SplitDelta(1, 5, 10, 20, nil)
+	if len(empty) != 1 || empty[0].Start != 10 || empty[0].End != 20 || len(empty[0].Entries) != 0 {
+		t.Fatalf("empty replacement = %+v, want one entry-less frame over [10,20]", empty)
+	}
+
+	// Sparse region: 600 entries at even positions force row-count splits;
+	// the split regions must tile [0, 1300] exactly, with each entry inside
+	// its frame's region.
+	entries := make([]seq.Entry, 600)
+	for i := range entries {
+		entries[i] = seq.Entry{Pos: int64(2 * i), Rec: seq.Record{seq.Int(int64(i))}}
+	}
+	frames := SplitDelta(9, 7, 0, 1300, entries)
+	if len(frames) < 2 {
+		t.Fatalf("600 entries produced %d frames, want several", len(frames))
+	}
+	wantLo, total := int64(0), 0
+	for i, f := range frames {
+		if f.SubID != 9 || f.Epoch != 7 {
+			t.Fatalf("frame %d lost identity: %+v", i, f)
+		}
+		if f.Start != wantLo {
+			t.Fatalf("frame %d starts at %d, want %d (regions must tile)", i, f.Start, wantLo)
+		}
+		for _, e := range f.Entries {
+			if e.Pos < f.Start || e.Pos > f.End {
+				t.Fatalf("frame %d entry at %d outside region [%d,%d]", i, e.Pos, f.Start, f.End)
+			}
+			if e.Pos != entries[total].Pos {
+				t.Fatalf("entry order broken at %d", total)
+			}
+			total++
+		}
+		wantLo = f.End + 1
+	}
+	if frames[len(frames)-1].End != 1300 {
+		t.Fatalf("last frame ends at %d, want 1300", frames[len(frames)-1].End)
+	}
+	if total != len(entries) {
+		t.Fatalf("split lost entries: %d of %d", total, len(entries))
 	}
 }
 

@@ -98,6 +98,8 @@ const (
 	TListViews   Type = 0x0a
 	TDropView    Type = 0x0b
 	TClose       Type = 0x0c
+	TSubscribe   Type = 0x0d
+	TUnsubscribe Type = 0x0e
 )
 
 // Server → client message types.
@@ -113,6 +115,8 @@ const (
 	TSeqList      Type = 0x89
 	TSeqInfo      Type = 0x8a
 	TViewList     Type = 0x8b
+	TSubAck       Type = 0x8c
+	TDelta        Type = 0x8d
 )
 
 // ErrorCode classifies a server-reported failure.
@@ -206,6 +210,10 @@ var registry = []typeInfo{
 	{TSeqList, "SeqList", func() Message { return &SeqList{} }},
 	{TSeqInfo, "SeqInfo", func() Message { return &SeqInfo{} }},
 	{TViewList, "ViewList", func() Message { return &ViewList{} }},
+	{TSubscribe, "Subscribe", func() Message { return &Subscribe{} }},
+	{TUnsubscribe, "Unsubscribe", func() Message { return &Unsubscribe{} }},
+	{TSubAck, "SubAck", func() Message { return &SubAck{} }},
+	{TDelta, "Delta", func() Message { return &Delta{} }},
 }
 
 // TypeName returns the registered name of a message type code.
@@ -687,6 +695,136 @@ func (m *ViewList) decode(r *reader) {
 		v.FromEpoch = r.varint()
 		v.InvalidFrom = r.varint()
 	}
+}
+
+// Subscribe registers a standing query over the inclusive span
+// [Start, End]. The server answers with SubAck (the subscription id,
+// output schema and snapshot epoch) followed by an initial Delta
+// carrying the full span's current content, then Ready. From then on,
+// every base write whose delta halo intersects the query pushes a
+// Delta frame — outside any request/response turn — until Unsubscribe
+// or disconnect.
+type Subscribe struct {
+	SEQL       string
+	Start, End int64
+}
+
+func (*Subscribe) Type() Type { return TSubscribe }
+func (m *Subscribe) encode(w *writer) {
+	w.string(m.SEQL)
+	w.varint(m.Start)
+	w.varint(m.End)
+}
+func (m *Subscribe) decode(r *reader) {
+	m.SEQL = r.string()
+	m.Start = r.varint()
+	m.End = r.varint()
+}
+
+// Unsubscribe cancels a standing query on this connection. Response:
+// Ack, Ready. Deltas already framed may still arrive before the Ack.
+type Unsubscribe struct {
+	SubID uint64
+}
+
+func (*Unsubscribe) Type() Type         { return TUnsubscribe }
+func (m *Unsubscribe) encode(w *writer) { w.uvarint(m.SubID) }
+func (m *Unsubscribe) decode(r *reader) { m.SubID = r.uvarint() }
+
+// SubAck accepts a subscription: its connection-scoped id, the standing
+// query's output schema, and the MVCC epoch of the initial snapshot.
+type SubAck struct {
+	SubID  uint64
+	Epoch  int64
+	Fields []seq.Field
+}
+
+func (*SubAck) Type() Type { return TSubAck }
+func (m *SubAck) encode(w *writer) {
+	w.uvarint(m.SubID)
+	w.varint(m.Epoch)
+	w.uvarint(uint64(len(m.Fields)))
+	for _, f := range m.Fields {
+		w.string(f.Name)
+		w.byte(byte(f.Type))
+	}
+}
+func (m *SubAck) decode(r *reader) {
+	m.SubID = r.uvarint()
+	m.Epoch = r.varint()
+	n := r.count("field", 1<<16)
+	if r.err != nil {
+		return
+	}
+	m.Fields = make([]seq.Field, n)
+	for i := range m.Fields {
+		m.Fields[i].Name = r.string()
+		m.Fields[i].Type = seq.Type(r.byte())
+	}
+}
+
+// Delta is one epoch-stamped region replacement for a standing query:
+// the subscriber's records over the inclusive region [Start, End] are
+// now exactly Entries — positions inside the region absent from Entries
+// no longer hold a record. Applying deltas in arrival order keeps a
+// client's copy equal to the query's current result.
+type Delta struct {
+	SubID      uint64
+	Epoch      int64
+	Start, End int64
+	Entries    []seq.Entry
+}
+
+func (*Delta) Type() Type { return TDelta }
+func (m *Delta) encode(w *writer) {
+	w.uvarint(m.SubID)
+	w.varint(m.Epoch)
+	w.varint(m.Start)
+	w.varint(m.End)
+	w.uvarint(uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		w.varint(e.Pos)
+		w.record(e.Rec)
+	}
+}
+func (m *Delta) decode(r *reader) {
+	m.SubID = r.uvarint()
+	m.Epoch = r.varint()
+	m.Start = r.varint()
+	m.End = r.varint()
+	n := r.count("delta entry", RowsPerBatch*16)
+	if r.err != nil {
+		return
+	}
+	m.Entries = make([]seq.Entry, n)
+	for i := range m.Entries {
+		m.Entries[i].Pos = r.varint()
+		m.Entries[i].Rec = r.record()
+	}
+}
+
+// SplitDelta partitions one region replacement into Delta frames whose
+// entry batches obey the same bounds as SplitRows, tiling [start, end]
+// with contiguous sub-regions so each frame is itself a valid region
+// replacement. Entries must lie inside the region in positional order.
+// At least one frame is always produced: an empty region replacement
+// (clearing the region) is meaningful.
+func SplitDelta(subID uint64, epoch, start, end int64, entries []seq.Entry) []*Delta {
+	batches := SplitRows(entries)
+	if len(batches) <= 1 {
+		return []*Delta{{SubID: subID, Epoch: epoch, Start: start, End: end, Entries: entries}}
+	}
+	out := make([]*Delta, 0, len(batches))
+	lo := start
+	for i, b := range batches {
+		hi := end
+		if i < len(batches)-1 {
+			hi = b[len(b)-1].Pos
+		}
+		out = append(out, &Delta{SubID: subID, Epoch: epoch, Start: lo, End: hi, Entries: b})
+		lo = hi + 1
+	}
+	return out
 }
 
 // ── framing ─────────────────────────────────────────────────────────

@@ -130,6 +130,12 @@ type DB struct {
 	// disk is the durable tier of an Open'd database (persist.go);
 	// nil for New'd in-memory databases.
 	disk *disk.DB
+	// noIVM disables incremental view maintenance: base writes
+	// invalidate views instead of stitching them (SetViewMaintenance).
+	noIVM bool
+	// maintReports accumulates maintenance decisions until
+	// TakeMaintenanceReports drains them.
+	maintReports []matview.MaintenanceReport
 }
 
 type dbSeq struct {
@@ -257,12 +263,14 @@ func (db *DB) Append(name string, pos Pos, rec Record) error {
 	}
 	if s.dseq != nil {
 		// WAL-logged append: durable (or queued for group commit)
-		// before the new version publishes.
+		// before the new version publishes. The disk tier deletes
+		// persisted views reading this base eagerly; the in-memory
+		// registry maintains its generations incrementally.
 		if _, err := db.disk.Append(name, seq.Entry{Pos: pos, Rec: rec}); err != nil {
 			return err
 		}
 		s.refresh()
-		db.views.InvalidateBase(name)
+		db.maintainBase(name, seq.NewSpan(pos, pos))
 		return nil
 	}
 	sp, ok := s.store.(*storage.Sparse)
@@ -272,10 +280,46 @@ func (db *DB) Append(name string, pos Pos, rec Record) error {
 	if err := sp.Append(seq.Entry{Pos: pos, Rec: rec}); err != nil {
 		return err
 	}
-	// A view over this base may now be stale beyond its span; drop it
-	// rather than serve frozen data.
-	db.views.InvalidateBase(name)
+	// Views over this base are maintained incrementally: the delta halo
+	// of the appended position is re-evaluated and stitched in; views
+	// not worth stitching are shrunk or invalidated.
+	db.maintainBase(name, seq.NewSpan(pos, pos))
 	return nil
+}
+
+// maintainBase runs incremental view maintenance after the named base
+// changed over delta. With maintenance disabled it falls back to the old
+// invalidate-everything behavior; a view whose maintenance fails is
+// invalidated by the planner (never left stale), so the append itself
+// cannot fail here.
+func (db *DB) maintainBase(name string, delta Span) {
+	if db.noIVM {
+		db.views.InvalidateBase(name)
+		return
+	}
+	lookup := func(b string) (seq.Sequence, bool) {
+		s, ok := db.seqs[b]
+		if !ok {
+			return nil, false
+		}
+		return s.store, true
+	}
+	reports, _ := core.MaintainViews(db.views, name, delta, 0, lookup, db.opts)
+	db.maintReports = append(db.maintReports, reports...)
+}
+
+// SetViewMaintenance toggles incremental view maintenance (default on).
+// When off, Append and Reorganize invalidate every view reading the
+// written base, as before.
+func (db *DB) SetViewMaintenance(on bool) { db.noIVM = !on }
+
+// TakeMaintenanceReports drains the accumulated per-view maintenance
+// decisions (delta halo, chosen action, stitch-vs-recompute costs) made
+// by Append and Reorganize since the last call.
+func (db *DB) TakeMaintenanceReports() []matview.MaintenanceReport {
+	out := db.maintReports
+	db.maintReports = nil
+	return out
 }
 
 // Reorganize repacks a base sequence into a different physical
@@ -293,7 +337,10 @@ func (db *DB) Reorganize(name string, kind StorageKind) error {
 			return err
 		}
 		s.refresh()
-		db.views.InvalidateBase(name)
+		// Reorganization preserves logical content: the delta is empty,
+		// so maintenance keeps every view (or invalidates them all when
+		// maintenance is off).
+		db.maintainBase(name, seq.EmptySpan)
 		return nil
 	}
 	info := s.store.Info()
@@ -315,9 +362,9 @@ func (db *DB) Reorganize(name string, kind StorageKind) error {
 		return err
 	}
 	s.store = store
-	// Registered views hold leaves of the old store; their blocks no
-	// longer describe the catalog, so drop them.
-	db.views.InvalidateBase(name)
+	// Reorganization preserves logical content (empty delta); views
+	// survive it under maintenance.
+	db.maintainBase(name, seq.EmptySpan)
 	return nil
 }
 
@@ -366,8 +413,11 @@ func (db *DB) catalog() parser.Catalog {
 // the result as a named materialized view. Later queries whose blocks
 // are canonically equal to (or subsume, for selections) the view's
 // block over a covered span are answered from the view when the cost
-// model prefers it. Views are frozen copies: Append, Reorganize and
-// DropSequence on a base the view reads invalidate it.
+// model prefers it. Views are maintained incrementally: Append on a base
+// the view reads re-evaluates only the delta halo and stitches it into
+// the stored data (or shrinks/invalidates the view when stitching is not
+// worth it — see SetViewMaintenance); Reorganize preserves content and
+// leaves views intact; DropSequence invalidates them.
 func (db *DB) Materialize(name, seql string, span Span) (ViewCounters, error) {
 	if !span.Bounded() {
 		return ViewCounters{}, fmt.Errorf("seqproc: materialize %q needs a bounded span, got %s", name, span)

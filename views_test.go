@@ -63,10 +63,11 @@ func TestMaterializeRejectsUnboundedSpan(t *testing.T) {
 	}
 }
 
-// Mutating a base a view reads invalidates the view; untouched views
-// survive.
+// With maintenance disabled, mutating a base a view reads invalidates
+// the view (the pre-IVM contract); untouched views survive.
 func TestViewInvalidation(t *testing.T) {
 	db := stockDB(t)
+	db.SetViewMaintenance(false)
 	span := NewSpan(1, 750)
 	if _, err := db.Materialize("ibm-high", "select(ibm, ibm.close > 100.0)", span); err != nil {
 		t.Fatal(err)
@@ -89,5 +90,59 @@ func TestViewInvalidation(t *testing.T) {
 	}
 	if len(db.ListViews()) != 0 {
 		t.Fatalf("reorganize did not invalidate: %+v", db.ListViews())
+	}
+}
+
+// With maintenance on (the default), an append outside a view's span
+// leaves the view registered and still correct, a reorganize preserves
+// every view, and the maintenance reports record the decisions.
+func TestViewMaintenanceKeepsViews(t *testing.T) {
+	db := stockDB(t)
+	span := NewSpan(1, 750)
+	if _, err := db.Materialize("ibm-high", "select(ibm, ibm.close > 100.0)", span); err != nil {
+		t.Fatal(err)
+	}
+
+	// The view's span cannot reach position 900: the delta halo misses it.
+	if err := db.Append("ibm", 900, Record{Float(1), Float(1), Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	views := db.ListViews()
+	if len(views) != 1 || views[0].Name != "ibm-high" {
+		t.Fatalf("after out-of-span append views = %+v, want ibm-high kept", views)
+	}
+	reports := db.TakeMaintenanceReports()
+	if len(reports) != 1 || reports[0].ViewName != "ibm-high" {
+		t.Fatalf("maintenance reports = %+v", reports)
+	}
+
+	// Reorganize preserves content; the view must survive and the query
+	// must still answer from it, matching recomputation.
+	if err := db.Reorganize("ibm", Dense); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.ListViews()) != 1 {
+		t.Fatalf("reorganize dropped the view: %+v", db.ListViews())
+	}
+	q, err := db.Query("select(ibm, ibm.close > 100.0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := q.Run(NewSpan(200, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetViewMaintenance(false)
+	db2 := stockDB(t)
+	q2, err := db2.Query("select(ibm, ibm.close > 100.0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := q2.Run(NewSpan(200, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != want.Count() {
+		t.Fatalf("view-served count %d != recomputed %d", got.Count(), want.Count())
 	}
 }
